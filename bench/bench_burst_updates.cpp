@@ -1,0 +1,70 @@
+// §4.2 "What influences Flay's update processing speed?" — the burst
+// experiment: 1000 fuzzer-generated IPv4 entries inserted into the SCION
+// forwarding table are classified as not requiring recompilation within a
+// second; a batch enabling the IPv6 paths is correctly flagged.
+
+#include <chrono>
+#include <cstdio>
+
+#include "flay/engine.h"
+#include "net/workloads.h"
+
+int main() {
+  namespace p4 = flay::p4;
+namespace net = flay::net;
+namespace runtime = flay::runtime;
+namespace core = flay::flay;
+using flay::BitVec;
+
+  p4::CheckedProgram checked =
+      p4::loadProgramFromFile(net::programPath("scion"));
+  core::FlayService service(checked);
+  for (const auto& u : net::scionCommonConfig()) service.applyUpdate(u);
+  for (const auto& u : net::scionV4Config(4)) service.applyUpdate(u);
+
+  std::printf("SCION burst handling\n\n");
+
+  // Burst 1: 1000 unique IPv4 routes (semantics-preserving).
+  auto burst = net::scionV4RouteBurst(1000);
+  auto t0 = std::chrono::steady_clock::now();
+  auto verdict = service.applyBatch(burst);
+  auto wallMs = std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count() /
+                1000.0;
+  std::printf("burst of %zu IPv4 route inserts:\n", burst.size());
+  std::printf("  wall time (install + analysis): %8.1f ms\n", wallMs);
+  std::printf("  analysis time:                  %8.1f ms\n",
+              verdict.analysisTime.count() / 1000.0);
+  std::printf("  recompilation needed:           %8s\n",
+              verdict.needsRecompilation ? "YES" : "no");
+
+  // One more incremental update on top of the 1000: the steady-state cost.
+  auto single = net::scionV4RouteBurst(1, /*seed=*/999);
+  auto v1 = service.applyUpdate(single[0]);
+  std::printf("  single follow-up update:        %8.3f ms (recompile: %s)\n",
+              v1.analysisTime.count() / 1000.0,
+              v1.needsRecompilation ? "YES" : "no");
+
+  // Burst 2: enable the previously-unused IPv6 paths.
+  auto v6 = service.applyBatch(net::scionV6Config(16));
+  std::printf("\nbatch enabling IPv6 paths (%zu updates):\n",
+              net::scionV6Config(16).size());
+  std::printf("  analysis time:                  %8.1f ms\n",
+              v6.analysisTime.count() / 1000.0);
+  std::printf("  recompilation needed:           %8s\n",
+              v6.needsRecompilation ? "YES" : "no");
+  std::printf("  changed components: ");
+  size_t shown = 0;
+  for (const auto& c : v6.changedComponents) {
+    if (shown++ > 4) {
+      std::printf("... (%zu total)", v6.changedComponents.size());
+      break;
+    }
+    std::printf("%s ", c.c_str());
+  }
+  std::printf(
+      "\n\nShape check: the route burst completes well under a second and\n"
+      "forwards without recompilation; the IPv6 batch demands it.\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// §3 "Specializing packet-classification" (ablation): when the active
+// control-plane configuration uses few or no masks, the TCAM can be
+// replaced by a cheaper structure (STCAM / exact hash / LPM trie). This
+// bench sweeps rule-set shapes and compares memory cost across structures,
+// plus the config-driven chooser's pick.
+
+#include <cstdio>
+#include <random>
+#include <set>
+
+#include "classifier/classifier.h"
+
+namespace {
+
+using namespace flay::classifier;
+
+std::vector<Rule> makeRules(int shape, size_t count, std::mt19937_64& rng) {
+  std::vector<Rule> rules;
+  std::set<uint64_t> seen;
+  while (rules.size() < count) {
+    uint64_t v = rng() & 0xFFFFFFFF;
+    Rule r;
+    switch (shape) {
+      case 0:  // all exact
+        if (!seen.insert(v).second) continue;
+        r = {flay::BitVec(32, v), flay::BitVec::allOnes(32), 0,
+             static_cast<uint32_t>(rules.size())};
+        break;
+      case 1: {  // prefixes
+        uint32_t plen = 8 + static_cast<uint32_t>(rng() % 17);
+        if (!seen.insert((v >> (32 - plen)) | (uint64_t{plen} << 40)).second) {
+          continue;
+        }
+        flay::BitVec mask = flay::BitVec::allOnes(32).shl(32 - plen);
+        r = {flay::BitVec(32, v), mask, static_cast<int32_t>(plen),
+             static_cast<uint32_t>(rules.size())};
+        break;
+      }
+      case 2: {  // few distinct masks (4)
+        static const uint64_t kMasks[4] = {0xFFFFFF00, 0xFFFF0000,
+                                           0x00FFFF00, 0xFF0000FF};
+        uint64_t m = kMasks[rng() % 4];
+        if (!seen.insert((v & m) ^ (m << 1)).second) continue;
+        r = {flay::BitVec(32, v), flay::BitVec(32, m),
+             static_cast<int32_t>(rules.size()),
+             static_cast<uint32_t>(rules.size())};
+        break;
+      }
+      default: {  // arbitrary masks
+        uint64_t m = rng() & 0xFFFFFFFF;
+        if (m == 0) continue;
+        if (!seen.insert(v ^ (m * 3)).second) continue;
+        r = {flay::BitVec(32, v), flay::BitVec(32, m),
+             static_cast<int32_t>(rules.size()),
+             static_cast<uint32_t>(rules.size())};
+        break;
+      }
+    }
+    rules.push_back(std::move(r));
+  }
+  return rules;
+}
+
+}  // namespace
+
+int main() {
+  std::mt19937_64 rng(2024);
+  const char* shapeNames[] = {"all-exact", "prefixes", "4-masks",
+                              "arbitrary"};
+
+  std::printf(
+      "Classifier memory cost by rule shape (1024 rules, 32-bit key,\n"
+      "cost units: SRAM bit = 1, TCAM bit = 6)\n\n");
+  std::printf("%-10s %12s %14s %14s %10s\n", "Shape", "TCAM cost",
+              "Chosen", "Chosen cost", "Saving");
+
+  for (int shape = 0; shape < 4; ++shape) {
+    auto rules = makeRules(shape, 1024, rng);
+    auto tcam = makeTcam(rules, 32);
+    auto chosen = chooseClassifier(rules, 32);
+    double saving =
+        100.0 * (1.0 - static_cast<double>(chosen->costUnits()) /
+                           tcam->costUnits());
+    std::printf("%-10s %12llu %14s %14llu %9.1f%%\n", shapeNames[shape],
+                static_cast<unsigned long long>(tcam->costUnits()),
+                chosen->name().c_str(),
+                static_cast<unsigned long long>(chosen->costUnits()), saving);
+  }
+
+  // Sweep: how the saving scales with rule count for the exact case.
+  std::printf("\nExact-rule saving vs rule count:\n%10s %12s %12s\n", "Rules",
+              "TCAM", "Hash");
+  for (size_t n : {64u, 256u, 1024u, 4096u, 16384u}) {
+    auto rules = makeRules(0, n, rng);
+    auto tcam = makeTcam(rules, 32);
+    auto hash = makeExactHash(rules, 32);
+    std::printf("%10zu %12llu %12llu\n", n,
+                static_cast<unsigned long long>(tcam->costUnits()),
+                static_cast<unsigned long long>(hash->costUnits()));
+  }
+  std::printf(
+      "\nShape check: specialization replaces the TCAM whenever the config's\n"
+      "mask diversity allows, cutting cost by multiples.\n");
+  return 0;
+}

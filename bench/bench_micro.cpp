@@ -1,0 +1,174 @@
+// Microbenchmarks (google-benchmark) for the substrates behind the tables:
+// expression interning/substitution (the Z3-replacement hot path), SAT
+// solving, the software-switch packet loop, and Flay update processing.
+
+#include <benchmark/benchmark.h>
+
+#include "expr/substitute.h"
+#include "flay/engine.h"
+#include "net/fuzzer.h"
+#include "net/headers.h"
+#include "net/workloads.h"
+#include "sim/interpreter.h"
+#include "smt/solver.h"
+
+namespace {
+
+namespace p4 = flay::p4;
+namespace net = flay::net;
+namespace runtime = flay::runtime;
+namespace core = flay::flay;
+using flay::BitVec;
+namespace expr = flay::expr;
+namespace smt = flay::smt;
+namespace sim = flay::sim;
+
+// --- Expression arena -------------------------------------------------------
+
+void BM_ExprInterning(benchmark::State& state) {
+  for (auto _ : state) {
+    expr::ExprArena arena;
+    expr::ExprRef x = arena.var("x", 32, expr::SymbolClass::kDataPlane);
+    expr::ExprRef acc = arena.bvConst(32, 0);
+    for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+      acc = arena.add(acc, arena.bvXor(x, arena.bvConst(32, i)));
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ExprInterning)->Arg(100)->Arg(1000);
+
+void BM_Substitution(benchmark::State& state) {
+  expr::ExprArena arena;
+  expr::ExprRef key = arena.var("key", 32, expr::SymbolClass::kDataPlane);
+  expr::ExprRef cfg =
+      arena.boolVar("cfg", expr::SymbolClass::kControlPlane);
+  // Nested ITE chain like a precise table encoding of N entries.
+  expr::ExprRef chain = arena.bvConst(9, 0);
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    chain = arena.ite(arena.eq(key, arena.bvConst(32, i * 7)),
+                      arena.bvConst(9, i % 512), chain);
+  }
+  expr::ExprRef guarded = arena.ite(cfg, chain, arena.bvConst(9, 0));
+  for (auto _ : state) {
+    expr::Substitution subst(arena);
+    subst.bindConst("cfg", true, expr::SymbolClass::kControlPlane);
+    benchmark::DoNotOptimize(subst.apply(guarded));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Substitution)->Arg(10)->Arg(100)->Arg(1000);
+
+// --- SMT ----------------------------------------------------------------------
+
+void BM_SmtEquivalenceQuery(benchmark::State& state) {
+  for (auto _ : state) {
+    expr::ExprArena arena;
+    expr::ExprRef x = arena.var("x", 16, expr::SymbolClass::kDataPlane);
+    expr::ExprRef y = arena.var("y", 16, expr::SymbolClass::kDataPlane);
+    expr::ExprRef lhs = arena.bvXor(x, y);
+    expr::ExprRef rhs = arena.bvAnd(arena.bvOr(x, y),
+                                    arena.bvNot(arena.bvAnd(x, y)));
+    benchmark::DoNotOptimize(smt::areEquivalent(arena, lhs, rhs));
+  }
+}
+BENCHMARK(BM_SmtEquivalenceQuery);
+
+// --- Software switch --------------------------------------------------------------
+
+const char* kFwdProgram = R"(
+header eth_t { bit<48> dst; bit<48> src; bit<16> type; }
+header ipv4_t {
+  bit<8> ttl; bit<8> proto; bit<32> src; bit<32> dst;
+}
+struct headers { eth_t eth; ipv4_t ipv4; }
+parser P {
+  state start {
+    extract(hdr.eth);
+    transition select(hdr.eth.type) { 0x800: parse_ipv4; default: accept; }
+  }
+  state parse_ipv4 { extract(hdr.ipv4); transition accept; }
+}
+control C {
+  action fwd(bit<9> port) { sm.egress_spec = port; }
+  table route {
+    key = { hdr.ipv4.dst : lpm; }
+    actions = { fwd; noop; }
+    default_action = noop;
+  }
+  apply {
+    if (hdr.ipv4.isValid()) { route.apply(); }
+  }
+}
+deparser D { emit(hdr.eth); emit(hdr.ipv4); }
+pipeline(P, C, D);
+)";
+
+void BM_InterpreterPacketRate(benchmark::State& state) {
+  auto checked = p4::loadProgramFromString(kFwdProgram);
+  runtime::DeviceConfig config(checked);
+  runtime::TableEntry e;
+  e.matches.push_back(runtime::FieldMatch::lpm(BitVec(32, 0x0A000000), 8));
+  e.actionName = "fwd";
+  e.actionArgs.push_back(BitVec(9, 2));
+  config.table("C.route").insert(std::move(e));
+  sim::DataPlaneState dpState(checked);
+  sim::Interpreter interp(checked, config, dpState);
+
+  net::EthHeader eth;
+  eth.type = 0x800;
+  sim::Packet p;
+  p.bytes = net::PacketBuilder()
+                .eth(eth)
+                .raw(BitVec(8, 64))
+                .raw(BitVec(8, 6))
+                .raw(BitVec(32, 0xC0A80101))
+                .raw(BitVec(32, 0x0A000001))
+                .build();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(interp.process(p));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InterpreterPacketRate);
+
+// --- Flay update processing ----------------------------------------------------
+
+void BM_FlayUpdateAnalysis(benchmark::State& state) {
+  auto checked = p4::loadProgramFromFile(net::programPath("middleblock"));
+  core::FlayOptions options;
+  options.analysis.analyzeParser = false;
+  options.encoder.overapproxThreshold =
+      static_cast<size_t>(state.range(1)) != 0 ? 100 : (1u << 30);
+  core::FlayService service(checked, options);
+  // One unique pool: the first range(0) entries preload the table, the rest
+  // cycle through insert+delete pairs so the installed count stays constant
+  // (steady-state measurement, no duplicate collisions).
+  const size_t preloadCount = static_cast<size_t>(state.range(0));
+  auto pool = net::middleblockAclEntries(preloadCount + 64, 5);
+  std::vector<runtime::Update> preload(pool.begin(),
+                                       pool.begin() + preloadCount);
+  if (!preload.empty()) service.applyBatch(preload);
+  size_t next = 0;
+  for (auto _ : state) {
+    const auto& probe = pool[preloadCount + (next++ % 64)];
+    benchmark::DoNotOptimize(service.applyUpdate(probe));
+    uint64_t id = service.config()
+                      .table("MbIngress.acl_pre_ingress")
+                      .entries()
+                      .back()
+                      .id;
+    benchmark::DoNotOptimize(service.applyUpdate(
+        runtime::Update::remove("MbIngress.acl_pre_ingress", id)));
+  }
+}
+BENCHMARK(BM_FlayUpdateAnalysis)
+    ->Args({10, 0})
+    ->Args({100, 0})
+    ->Args({150, 1})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

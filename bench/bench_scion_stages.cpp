@@ -1,0 +1,62 @@
+// §4.2 "Can specialization save resources?" — the SCION stage experiment.
+//
+// Paper: the unspecialized SCION program needs the maximum number of
+// Tofino-2 stages; specializing against the supplied (IPv4-only)
+// configuration removes the unused IPv6 paths and needs 20% fewer stages;
+// enabling the IPv6 paths brings it back to the maximum.
+
+#include <cstdio>
+
+#include "flay/specializer.h"
+#include "net/workloads.h"
+#include "tofino/compiler.h"
+
+int main() {
+  namespace p4 = flay::p4;
+namespace net = flay::net;
+namespace runtime = flay::runtime;
+namespace tofino = flay::tofino;
+namespace core = flay::flay;
+using flay::BitVec;
+
+  p4::CheckedProgram checked =
+      p4::loadProgramFromFile(net::programPath("scion"));
+  tofino::CompilerOptions copts;
+  copts.searchIterations = 400;
+  tofino::PipelineCompiler compiler(tofino::PipelineModel{}, copts);
+
+  std::printf("SCION border router on a %u-stage RMT pipeline\n\n",
+              compiler.model().numStages);
+
+  tofino::CompileResult baseline = compiler.compile(checked);
+  std::printf("%-38s %2u stages  (tcam=%u sram=%u phv=%u)\n",
+              "unspecialized program:", baseline.stagesUsed,
+              baseline.tcamBlocksUsed, baseline.sramBlocksUsed,
+              baseline.phvBitsUsed);
+
+  core::FlayService service(checked);
+  for (const auto& u : net::scionCommonConfig()) service.applyUpdate(u);
+  for (const auto& u : net::scionV4Config(64)) service.applyUpdate(u);
+
+  auto v4Result = core::Specializer(service).specialize();
+  p4::CheckedProgram v4Checked = core::recheck(std::move(v4Result.program));
+  tofino::CompileResult v4Compiled = compiler.compile(v4Checked);
+  std::printf("%-38s %2u stages  (%.0f%% fewer; %zu tables removed)\n",
+              "specialized, IPv4-only config:", v4Compiled.stagesUsed,
+              100.0 * (1.0 - static_cast<double>(v4Compiled.stagesUsed) /
+                                 baseline.stagesUsed),
+              v4Result.stats.removedTables);
+
+  auto verdict = service.applyBatch(net::scionV6Config(16));
+  auto v6Result = core::Specializer(service).specialize();
+  p4::CheckedProgram v6Checked = core::recheck(std::move(v6Result.program));
+  tofino::CompileResult v6Compiled = compiler.compile(v6Checked);
+  std::printf("%-38s %2u stages  (recompile verdict: %s)\n",
+              "after enabling IPv6 paths:", v6Compiled.stagesUsed,
+              verdict.needsRecompilation ? "required" : "not required");
+
+  std::printf(
+      "\nShape check: max stages -> ~20%% fewer -> max stages again,\n"
+      "with Flay correctly demanding recompilation for the IPv6 batch.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// ACL burst handling — the middleblock pre-ingress ACL under update storms.
+//
+// Demonstrates the precise/over-approximate trade-off of §4.1: the precise
+// control-plane representation gives exact change verdicts but degrades
+// with installed entries; past the threshold Flay over-approximates and
+// processing time stays flat.
+//
+// Build & run:  ./build/examples/acl_burst [threshold]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "flay/engine.h"
+#include "net/workloads.h"
+
+namespace p4 = flay::p4;
+namespace net = flay::net;
+namespace core = flay::flay;
+
+int main(int argc, char** argv) {
+  size_t threshold = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 100;
+
+  p4::CheckedProgram checked =
+      p4::loadProgramFromFile(net::programPath("middleblock"));
+  core::FlayOptions options;
+  options.analysis.analyzeParser = false;
+  options.encoder.overapproxThreshold = threshold;
+  core::FlayService service(checked, options);
+
+  std::printf("middleblock pre-ingress ACL, over-approx threshold = %zu\n\n",
+              threshold);
+  std::printf("%10s %14s %12s %12s\n", "installed", "analysis", "recompile",
+              "overapprox");
+
+  size_t installed = 0;
+  for (size_t batch : {1u, 9u, 40u, 50u, 100u, 300u, 500u}) {
+    auto updates = net::middleblockAclEntries(batch, 1000 + installed);
+    auto verdict = service.applyBatch(updates);
+    installed += batch;
+    std::printf("%10zu %12.3fms %12s %12s\n", installed,
+                verdict.analysisTime.count() / 1000.0,
+                verdict.needsRecompilation ? "yes" : "no",
+                verdict.overapproximated ? "yes" : "no");
+  }
+
+  std::printf(
+      "\nBelow the threshold each batch is analyzed precisely (cost grows\n"
+      "with the installed entries); above it the encoder falls back to the\n"
+      "general form and the analysis cost flattens out.\n");
+  return 0;
+}

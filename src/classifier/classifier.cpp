@@ -1,0 +1,382 @@
+#include "classifier/classifier.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace flay::classifier {
+
+namespace {
+
+constexpr uint64_t kTcamCellCost = 6;  // relative to one SRAM bit
+constexpr uint64_t kSramCellCost = 1;
+
+void sortByPriority(std::vector<Rule>& rules) {
+  std::stable_sort(rules.begin(), rules.end(),
+                   [](const Rule& a, const Rule& b) {
+                     return a.priority > b.priority;
+                   });
+}
+
+// ---------------------------------------------------------------------------
+// TCAM
+// ---------------------------------------------------------------------------
+
+class TcamClassifier final : public Classifier {
+ public:
+  TcamClassifier(std::vector<Rule> rules, uint32_t width)
+      : rules_(std::move(rules)), width_(width) {
+    sortByPriority(rules_);
+  }
+
+  std::optional<uint32_t> classify(const BitVec& key) const override {
+    for (const Rule& r : rules_) {
+      if (key.bitAnd(r.mask) == r.value.bitAnd(r.mask)) return r.actionId;
+    }
+    return std::nullopt;
+  }
+
+  uint64_t memoryBits() const override {
+    // Each TCAM cell stores value+care: 2 bits of storage per key bit,
+    // plus the action id (SRAM side, counted in costUnits only).
+    return static_cast<uint64_t>(rules_.size()) * width_ * 2;
+  }
+
+  uint64_t costUnits() const override {
+    uint64_t tcamBits = static_cast<uint64_t>(rules_.size()) * width_;
+    uint64_t actionBits = static_cast<uint64_t>(rules_.size()) * 32;
+    return tcamBits * kTcamCellCost + actionBits * kSramCellCost;
+  }
+
+  std::string name() const override { return "tcam"; }
+  size_t ruleCount() const override { return rules_.size(); }
+
+ private:
+  std::vector<Rule> rules_;
+  uint32_t width_;
+};
+
+// ---------------------------------------------------------------------------
+// STCAM: per-distinct-mask exact groups searched in priority order
+// ---------------------------------------------------------------------------
+
+class StcamClassifier final : public Classifier {
+ public:
+  StcamClassifier(std::vector<Rule> rules, uint32_t width, uint32_t maxMasks)
+      : width_(width) {
+    for (const Rule& r : rules) {
+      groups_[maskKey(r.mask)].mask = r.mask;
+    }
+    if (groups_.size() > maxMasks) {
+      throw std::invalid_argument("rule set needs " +
+                                  std::to_string(groups_.size()) +
+                                  " masks, STCAM supports " +
+                                  std::to_string(maxMasks));
+    }
+    for (Rule& r : rules) {
+      Group& g = groups_[maskKey(r.mask)];
+      g.entries.emplace(r.value.bitAnd(r.mask).toHexString(), r);
+    }
+    ruleCount_ = rules.size();
+  }
+
+  std::optional<uint32_t> classify(const BitVec& key) const override {
+    const Rule* best = nullptr;
+    for (const auto& [mk, g] : groups_) {
+      auto it = g.entries.find(key.bitAnd(g.mask).toHexString());
+      if (it == g.entries.end()) continue;
+      if (best == nullptr || it->second.priority > best->priority) {
+        best = &it->second;
+      }
+    }
+    if (best == nullptr) return std::nullopt;
+    return best->actionId;
+  }
+
+  uint64_t memoryBits() const override {
+    // One stored mask per group plus exact entries in SRAM (value + action
+    // + hash overhead at 75% load).
+    uint64_t bits = groups_.size() * width_;
+    uint64_t perEntry = (width_ + 32) * 4 / 3;
+    return bits + ruleCount_ * perEntry;
+  }
+
+  uint64_t costUnits() const override { return memoryBits() * kSramCellCost; }
+  std::string name() const override { return "stcam"; }
+  size_t ruleCount() const override { return ruleCount_; }
+
+ private:
+  static std::string maskKey(const BitVec& mask) { return mask.toHexString(); }
+  struct Group {
+    BitVec mask;
+    std::unordered_map<std::string, Rule> entries;  // masked value -> rule
+  };
+  std::map<std::string, Group> groups_;
+  uint32_t width_;
+  size_t ruleCount_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Exact hash
+// ---------------------------------------------------------------------------
+
+class ExactHashClassifier final : public Classifier {
+ public:
+  ExactHashClassifier(std::vector<Rule> rules, uint32_t width)
+      : width_(width) {
+    for (Rule& r : rules) {
+      if (!r.mask.isAllOnes()) {
+        throw std::invalid_argument("exact classifier requires full masks");
+      }
+      table_.emplace(r.value.toHexString(), r.actionId);
+    }
+  }
+
+  std::optional<uint32_t> classify(const BitVec& key) const override {
+    auto it = table_.find(key.toHexString());
+    if (it == table_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  uint64_t memoryBits() const override {
+    uint64_t perEntry = (width_ + 32) * 4 / 3;  // 75% load factor
+    return table_.size() * perEntry;
+  }
+  uint64_t costUnits() const override { return memoryBits() * kSramCellCost; }
+  std::string name() const override { return "exact-hash"; }
+  size_t ruleCount() const override { return table_.size(); }
+
+ private:
+  std::unordered_map<std::string, uint32_t> table_;
+  uint32_t width_;
+};
+
+// ---------------------------------------------------------------------------
+// LPM trie
+// ---------------------------------------------------------------------------
+
+/// Path-compressed (Patricia-style) binary trie: chains of single-child
+/// nodes collapse into a skip segment per edge, so the node count is at
+/// most ~2x the rule count regardless of prefix lengths.
+class LpmTrieClassifier final : public Classifier {
+ public:
+  LpmTrieClassifier(std::vector<Rule> rules, uint32_t width) : width_(width) {
+    nodes_.push_back({});
+    for (const Rule& r : rules) {
+      if (!r.mask.isPrefixMask()) {
+        throw std::invalid_argument("LPM trie requires prefix masks");
+      }
+      insert(r);
+    }
+    ruleCount_ = rules.size();
+  }
+
+  std::optional<uint32_t> classify(const BitVec& key) const override {
+    std::optional<uint32_t> best;
+    size_t node = 0;
+    uint32_t depth = 0;  // bits of key consumed so far (from MSB)
+    for (;;) {
+      const Node& n = nodes_[node];
+      if (n.hasAction) best = n.actionId;
+      if (depth >= width_) break;
+      bool bit = key.bit(width_ - 1 - depth);
+      size_t next = bit ? n.one : n.zero;
+      if (next == 0) break;
+      const Node& child = nodes_[next];
+      // The edge consumes 1 branch bit + the child's skip segment, all of
+      // which must match the key.
+      uint32_t consumed = 1 + child.skipLen;
+      if (depth + consumed > width_) break;
+      bool match = true;
+      for (uint32_t i = 0; i < child.skipLen; ++i) {
+        uint32_t keyBit = width_ - 1 - (depth + 1 + i);
+        if (key.bit(keyBit) != child.skip.bit(child.skipLen - 1 - i)) {
+          match = false;
+          break;
+        }
+      }
+      if (!match) break;
+      depth += consumed;
+      node = next;
+    }
+    return best;
+  }
+
+  uint64_t memoryBits() const override {
+    // Per node: two child pointers (24b), action id + flag (33b), skip
+    // length (6b) + the stored skip bits.
+    uint64_t bits = 0;
+    for (const Node& n : nodes_) bits += 2 * 24 + 33 + 6 + n.skipLen;
+    return bits;
+  }
+  uint64_t costUnits() const override { return memoryBits() * kSramCellCost; }
+  std::string name() const override { return "lpm-trie"; }
+  size_t ruleCount() const override { return ruleCount_; }
+
+ private:
+  struct Node {
+    size_t zero = 0, one = 0;  // 0 = absent (node 0 is the root)
+    uint32_t skipLen = 0;
+    BitVec skip;  // path-compressed bits below the branch bit (MSB first)
+    bool hasAction = false;
+    uint32_t actionId = 0;
+  };
+
+  /// Bits [offset, offset+len) of the rule's prefix, MSB order.
+  BitVec prefixSlice(const Rule& r, uint32_t offset, uint32_t len) const {
+    if (len == 0) return BitVec::zero(0);
+    uint32_t hi = width_ - 1 - offset;
+    uint32_t lo = hi + 1 - len;
+    return r.value.slice(hi, lo);
+  }
+
+  void insert(const Rule& r) {
+    uint32_t prefixLen = r.mask.leadingOnes();
+    size_t node = 0;
+    uint32_t depth = 0;
+    while (depth < prefixLen) {
+      bool bit = r.value.bit(width_ - 1 - depth);
+      size_t childIdx = bit ? nodes_[node].one : nodes_[node].zero;
+      if (childIdx == 0) {
+        // New leaf edge: branch bit + remaining prefix as skip segment.
+        Node leaf;
+        leaf.skipLen = prefixLen - depth - 1;
+        leaf.skip = prefixSlice(r, depth + 1, leaf.skipLen);
+        leaf.hasAction = true;
+        leaf.actionId = r.actionId;
+        nodes_.push_back(std::move(leaf));
+        size_t fresh = nodes_.size() - 1;
+        if (bit) {
+          nodes_[node].one = fresh;
+        } else {
+          nodes_[node].zero = fresh;
+        }
+        return;
+      }
+      // Compare the child's skip segment with the rule's continuation.
+      uint32_t childSkip = nodes_[childIdx].skipLen;
+      uint32_t ruleRemaining = prefixLen - depth - 1;
+      uint32_t common = 0;
+      uint32_t comparable = std::min(childSkip, ruleRemaining);
+      for (; common < comparable; ++common) {
+        bool ruleBit = r.value.bit(width_ - 1 - (depth + 1 + common));
+        bool skipBit = nodes_[childIdx].skip.bit(childSkip - 1 - common);
+        if (ruleBit != skipBit) break;
+      }
+      if (common == childSkip) {
+        // Full skip matched: descend.
+        depth += 1 + childSkip;
+        node = childIdx;
+        if (depth == prefixLen) {
+          nodes_[node].hasAction = true;
+          nodes_[node].actionId = r.actionId;
+          return;
+        }
+        continue;
+      }
+      // Split the child's edge at `common`.
+      Node upper;
+      upper.skipLen = common;
+      upper.skip = common == 0 ? BitVec::zero(0)
+                               : nodes_[childIdx].skip.slice(
+                                     childSkip - 1, childSkip - common);
+      // The old child keeps its tail below its (former) bit at position
+      // `common` of the skip.
+      bool oldBit = nodes_[childIdx].skip.bit(childSkip - 1 - common);
+      Node oldTail = std::move(nodes_[childIdx]);
+      uint32_t tailLen = childSkip - common - 1;
+      oldTail.skip = tailLen == 0 ? BitVec::zero(0)
+                                  : oldTail.skip.slice(tailLen - 1, 0);
+      oldTail.skipLen = tailLen;
+      nodes_[childIdx] = std::move(upper);
+      nodes_.push_back(std::move(oldTail));
+      size_t oldTailIdx = nodes_.size() - 1;
+      if (oldBit) {
+        nodes_[childIdx].one = oldTailIdx;
+      } else {
+        nodes_[childIdx].zero = oldTailIdx;
+      }
+      // Continue inserting below the split point.
+      depth += 1 + common;
+      node = childIdx;
+      if (depth == prefixLen) {
+        nodes_[node].hasAction = true;
+        nodes_[node].actionId = r.actionId;
+        return;
+      }
+    }
+    nodes_[node].hasAction = true;
+    nodes_[node].actionId = r.actionId;
+  }
+
+  std::vector<Node> nodes_;
+  uint32_t width_;
+  size_t ruleCount_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Classifier> makeTcam(std::vector<Rule> rules, uint32_t width) {
+  return std::make_unique<TcamClassifier>(std::move(rules), width);
+}
+
+std::unique_ptr<Classifier> makeStcam(std::vector<Rule> rules, uint32_t width,
+                                      uint32_t maxMasks) {
+  return std::make_unique<StcamClassifier>(std::move(rules), width, maxMasks);
+}
+
+std::unique_ptr<Classifier> makeExactHash(std::vector<Rule> rules,
+                                          uint32_t width) {
+  return std::make_unique<ExactHashClassifier>(std::move(rules), width);
+}
+
+std::unique_ptr<Classifier> makeLpmTrie(std::vector<Rule> rules,
+                                        uint32_t width) {
+  return std::make_unique<LpmTrieClassifier>(std::move(rules), width);
+}
+
+RuleSetProfile profileRules(const std::vector<Rule>& rules) {
+  RuleSetProfile p;
+  p.rules = rules.size();
+  std::vector<std::string> masks;
+  for (const Rule& r : rules) {
+    p.allExact &= r.mask.isAllOnes();
+    p.allPrefix &= r.mask.isPrefixMask();
+    std::string mk = r.mask.toHexString();
+    if (std::find(masks.begin(), masks.end(), mk) == masks.end()) {
+      masks.push_back(mk);
+    }
+  }
+  p.distinctMasks = masks.size();
+  return p;
+}
+
+std::unique_ptr<Classifier> chooseClassifier(std::vector<Rule> rules,
+                                             uint32_t width,
+                                             uint32_t stcamMaxMasks) {
+  // Build every structure the rule shape admits and keep the cheapest.
+  // SRAM structures win ties and small deficits (factor below) because
+  // TCAM additionally burns ~10x the power per searched bit.
+  constexpr double kSramBias = 1.2;
+  RuleSetProfile p = profileRules(rules);
+  std::unique_ptr<Classifier> best = makeTcam(rules, width);
+  auto consider = [&](std::unique_ptr<Classifier> candidate) {
+    // An SRAM candidate displaces a TCAM incumbent even at a small cost
+    // deficit (power bias); between SRAM structures, strictly cheaper wins.
+    uint64_t threshold =
+        best->name() == "tcam"
+            ? static_cast<uint64_t>(
+                  static_cast<double>(best->costUnits()) * kSramBias)
+            : best->costUnits();
+    if (candidate->costUnits() < threshold) best = std::move(candidate);
+  };
+  if (p.allExact) consider(makeExactHash(rules, width));
+  if (p.allPrefix) consider(makeLpmTrie(rules, width));
+  if (p.distinctMasks <= stcamMaxMasks) {
+    consider(makeStcam(rules, width, stcamMaxMasks));
+  }
+  return best;
+}
+
+}  // namespace flay::classifier

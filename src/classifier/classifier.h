@@ -1,0 +1,79 @@
+#ifndef FLAY_CLASSIFIER_CLASSIFIER_H
+#define FLAY_CLASSIFIER_CLASSIFIER_H
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/bitvec.h"
+
+namespace flay::classifier {
+
+/// One classification rule: key matches if (key & mask) == (value & mask).
+/// Higher priority wins among matches.
+struct Rule {
+  BitVec value;
+  BitVec mask;
+  int32_t priority = 0;
+  uint32_t actionId = 0;
+};
+
+/// A single-field packet classifier. Implementations trade generality for
+/// memory: TCAM handles arbitrary masks at high per-bit cost, STCAM a
+/// bounded number of distinct masks, hash tables only exact rules, tries
+/// only prefix rules (§3, "Specializing packet-classification").
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Action id of the winning rule, or nullopt on miss.
+  virtual std::optional<uint32_t> classify(const BitVec& key) const = 0;
+
+  /// Raw storage bits used by the data structure.
+  virtual uint64_t memoryBits() const = 0;
+
+  /// Technology-weighted cost: TCAM cells are ~6x the silicon of SRAM
+  /// cells, which is why replacing a TCAM pays (§3).
+  virtual uint64_t costUnits() const = 0;
+
+  virtual std::string name() const = 0;
+  virtual size_t ruleCount() const = 0;
+};
+
+/// Priority-ordered TCAM: arbitrary value/mask rules.
+std::unique_ptr<Classifier> makeTcam(std::vector<Rule> rules, uint32_t width);
+
+/// Semi-TCAM: at most `maxMasks` distinct masks; per-mask exact groups.
+/// Throws std::invalid_argument if the rule set needs more masks.
+std::unique_ptr<Classifier> makeStcam(std::vector<Rule> rules, uint32_t width,
+                                      uint32_t maxMasks = 8);
+
+/// Exact-match hash table; all rules must have full masks.
+std::unique_ptr<Classifier> makeExactHash(std::vector<Rule> rules,
+                                          uint32_t width);
+
+/// Longest-prefix-match binary trie; all rules must have prefix masks.
+std::unique_ptr<Classifier> makeLpmTrie(std::vector<Rule> rules,
+                                        uint32_t width);
+
+/// Analysis of a rule set that drives structure choice.
+struct RuleSetProfile {
+  size_t rules = 0;
+  size_t distinctMasks = 0;
+  bool allExact = true;   // every mask all-ones
+  bool allPrefix = true;  // every mask a prefix mask
+};
+RuleSetProfile profileRules(const std::vector<Rule>& rules);
+
+/// Config-driven specialization: picks the cheapest structure that can
+/// represent the rule set (exact -> hash, prefixes -> trie, few masks ->
+/// STCAM, otherwise TCAM). This is what an incremental specializer re-runs
+/// when the installed rules change shape.
+std::unique_ptr<Classifier> chooseClassifier(std::vector<Rule> rules,
+                                             uint32_t width,
+                                             uint32_t stcamMaxMasks = 8);
+
+}  // namespace flay::classifier
+
+#endif  // FLAY_CLASSIFIER_CLASSIFIER_H

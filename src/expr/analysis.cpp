@@ -1,0 +1,127 @@
+#include "expr/analysis.h"
+
+#include <unordered_map>
+
+#include "expr/traverse.h"
+
+namespace flay::expr {
+
+namespace {
+
+/// Visits each reachable node exactly once, pre-order.
+template <typename Fn>
+void visitDag(const ExprArena& arena, ExprRef root, Fn&& fn) {
+  if (!root.valid()) return;
+  std::unordered_set<uint32_t> seen;
+  std::vector<uint32_t> stack{root.id};
+  while (!stack.empty()) {
+    uint32_t id = stack.back();
+    stack.pop_back();
+    if (!seen.insert(id).second) continue;
+    const ExprNode& n = arena.node(ExprRef{id});
+    fn(ExprRef{id}, n);
+    uint32_t kids[3];
+    int numKids = children(n, kids);
+    for (int i = 0; i < numKids; ++i) stack.push_back(kids[i]);
+  }
+}
+
+}  // namespace
+
+std::unordered_set<uint32_t> collectSymbols(const ExprArena& arena, ExprRef e) {
+  std::unordered_set<uint32_t> result;
+  visitDag(arena, e, [&result](ExprRef, const ExprNode& n) {
+    if (n.kind == ExprKind::kVar || n.kind == ExprKind::kBoolVar) {
+      result.insert(n.a);
+    }
+  });
+  return result;
+}
+
+std::unordered_set<uint32_t> collectSymbols(const ExprArena& arena, ExprRef e,
+                                            SymbolClass cls) {
+  std::unordered_set<uint32_t> result;
+  visitDag(arena, e, [&](ExprRef, const ExprNode& n) {
+    if ((n.kind == ExprKind::kVar || n.kind == ExprKind::kBoolVar) &&
+        arena.symbolInfo(n.a).cls == cls) {
+      result.insert(n.a);
+    }
+  });
+  return result;
+}
+
+bool isFreeOf(const ExprArena& arena, ExprRef e, SymbolClass cls) {
+  return collectSymbols(arena, e, cls).empty();
+}
+
+size_t dagSize(const ExprArena& arena, ExprRef e) {
+  size_t count = 0;
+  visitDag(arena, e, [&count](ExprRef, const ExprNode&) { ++count; });
+  return count;
+}
+
+size_t treeSize(const ExprArena& arena, ExprRef root) {
+  if (!root.valid()) return 0;
+  // Bottom-up with memoization; sizes can overflow for pathological DAGs, so
+  // saturate instead of wrapping.
+  std::unordered_map<uint32_t, size_t> memo;
+  std::vector<uint32_t> stack{root.id};
+  constexpr size_t kMax = ~size_t{0};
+  while (!stack.empty()) {
+    uint32_t id = stack.back();
+    if (memo.count(id) != 0) {
+      stack.pop_back();
+      continue;
+    }
+    const ExprNode& n = arena.node(ExprRef{id});
+    uint32_t kids[3];
+    int numKids = children(n, kids);
+    bool ready = true;
+    for (int i = 0; i < numKids; ++i) {
+      if (memo.count(kids[i]) == 0) {
+        ready = false;
+        stack.push_back(kids[i]);
+      }
+    }
+    if (!ready) continue;
+    size_t total = 1;
+    for (int i = 0; i < numKids; ++i) {
+      size_t k = memo.at(kids[i]);
+      total = (k > kMax - total) ? kMax : total + k;
+    }
+    memo.emplace(id, total);
+    stack.pop_back();
+  }
+  return memo.at(root.id);
+}
+
+size_t depth(const ExprArena& arena, ExprRef root) {
+  if (!root.valid()) return 0;
+  std::unordered_map<uint32_t, size_t> memo;
+  std::vector<uint32_t> stack{root.id};
+  while (!stack.empty()) {
+    uint32_t id = stack.back();
+    if (memo.count(id) != 0) {
+      stack.pop_back();
+      continue;
+    }
+    const ExprNode& n = arena.node(ExprRef{id});
+    uint32_t kids[3];
+    int numKids = children(n, kids);
+    bool ready = true;
+    for (int i = 0; i < numKids; ++i) {
+      if (memo.count(kids[i]) == 0) {
+        ready = false;
+        stack.push_back(kids[i]);
+      }
+    }
+    if (!ready) continue;
+    size_t maxKid = 0;
+    for (int i = 0; i < numKids; ++i) maxKid = std::max(maxKid, memo.at(kids[i]));
+    memo.emplace(id, 1 + maxKid);
+    stack.pop_back();
+  }
+  return memo.at(root.id);
+}
+
+}  // namespace flay::expr

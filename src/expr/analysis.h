@@ -1,0 +1,36 @@
+#ifndef FLAY_EXPR_ANALYSIS_H
+#define FLAY_EXPR_ANALYSIS_H
+
+#include <unordered_set>
+#include <vector>
+
+#include "expr/arena.h"
+
+namespace flay::expr {
+
+/// Symbol ids of all variables reachable from `e`.
+std::unordered_set<uint32_t> collectSymbols(const ExprArena& arena, ExprRef e);
+
+/// Symbol ids of reachable variables restricted to one class. This is the
+/// primitive behind Flay's taint map: the control-plane symbols of an
+/// annotation are the taints that map updates to program points.
+std::unordered_set<uint32_t> collectSymbols(const ExprArena& arena, ExprRef e,
+                                            SymbolClass cls);
+
+/// True if `e` contains no variables of class `cls`.
+bool isFreeOf(const ExprArena& arena, ExprRef e, SymbolClass cls);
+
+/// Number of distinct DAG nodes reachable from `e`. A proxy for the
+/// "expression complexity" the paper's preprocessing step reduces.
+size_t dagSize(const ExprArena& arena, ExprRef e);
+
+/// Number of nodes counting shared subtrees once per occurrence (tree size).
+/// Grows much faster than dagSize for nested table-entry chains.
+size_t treeSize(const ExprArena& arena, ExprRef e);
+
+/// Longest root-to-leaf path length.
+size_t depth(const ExprArena& arena, ExprRef e);
+
+}  // namespace flay::expr
+
+#endif  // FLAY_EXPR_ANALYSIS_H

@@ -1,0 +1,401 @@
+#include "expr/arena.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace flay::expr {
+
+size_t ExprArena::NodeHash::operator()(const ExprNode& n) const {
+  size_t h = 1469598103934665603ull;
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(static_cast<uint64_t>(n.kind));
+  mix(n.width);
+  mix(n.a);
+  mix(n.b);
+  mix(n.c);
+  return h;
+}
+
+ExprArena::ExprArena() {
+  // Index 0 is the null node so ExprRef{0} is never a real expression.
+  nodes_.push_back({ExprKind::kBoolConst, 0, 0xFFFFFFFF, 0, 0});
+}
+
+ExprRef ExprArena::intern(ExprNode n) {
+  auto [it, inserted] = internMap_.try_emplace(n, 0);
+  if (inserted) {
+    nodes_.push_back(n);
+    it->second = static_cast<uint32_t>(nodes_.size() - 1);
+  }
+  return ExprRef{it->second};
+}
+
+uint32_t ExprArena::symbol(std::string_view name, uint32_t width,
+                           SymbolClass cls) {
+  auto it = symbolIndex_.find(std::string(name));
+  if (it != symbolIndex_.end()) {
+    const Symbol& s = symbols_[it->second];
+    if (s.width != width || s.cls != cls) {
+      throw std::invalid_argument("symbol '" + std::string(name) +
+                                  "' re-declared with different width/class");
+    }
+    return it->second;
+  }
+  symbols_.push_back({std::string(name), width, cls});
+  uint32_t id = static_cast<uint32_t>(symbols_.size() - 1);
+  symbolIndex_.emplace(std::string(name), id);
+  return id;
+}
+
+ExprRef ExprArena::bvConst(const BitVec& value) {
+  // Dedupe through a hash bucket of pool indices.
+  auto& bucket = constPoolIndex_[value.hash()];
+  for (uint32_t idx : bucket) {
+    if (constPool_[idx] == value) {
+      return intern({ExprKind::kBvConst, value.width(), idx, 0, 0});
+    }
+  }
+  constPool_.push_back(value);
+  uint32_t idx = static_cast<uint32_t>(constPool_.size() - 1);
+  bucket.push_back(idx);
+  return intern({ExprKind::kBvConst, value.width(), idx, 0, 0});
+}
+
+ExprRef ExprArena::boolConst(bool value) {
+  return intern({ExprKind::kBoolConst, 0, value ? 1u : 0u, 0, 0});
+}
+
+ExprRef ExprArena::var(std::string_view name, uint32_t width, SymbolClass cls) {
+  assert(width > 0 && "bit-vector variable needs a positive width");
+  uint32_t id = symbol(name, width, cls);
+  return intern({ExprKind::kVar, width, id, 0, 0});
+}
+
+ExprRef ExprArena::boolVar(std::string_view name, SymbolClass cls) {
+  uint32_t id = symbol(name, 0, cls);
+  return intern({ExprKind::kBoolVar, 0, id, 0, 0});
+}
+
+// ---------------------------------------------------------------------------
+// Bit-vector operations
+// ---------------------------------------------------------------------------
+
+ExprRef ExprArena::add(ExprRef a, ExprRef b) {
+  assert(width(a) == width(b) && width(a) > 0);
+  if (isConst(a) && isConst(b)) return bvConst(constValue(a).add(constValue(b)));
+  if (isConst(a) && constValue(a).isZero()) return b;
+  if (isConst(b) && constValue(b).isZero()) return a;
+  if (isConst(a)) std::swap(a, b);  // canonical: constant on the right
+  if (a.id > b.id && !isConst(b)) std::swap(a, b);
+  return intern({ExprKind::kAdd, width(a), a.id, b.id, 0});
+}
+
+ExprRef ExprArena::sub(ExprRef a, ExprRef b) {
+  assert(width(a) == width(b) && width(a) > 0);
+  if (isConst(a) && isConst(b)) return bvConst(constValue(a).sub(constValue(b)));
+  if (isConst(b) && constValue(b).isZero()) return a;
+  if (a == b) return bvConst(BitVec::zero(width(a)));
+  return intern({ExprKind::kSub, width(a), a.id, b.id, 0});
+}
+
+ExprRef ExprArena::mul(ExprRef a, ExprRef b) {
+  assert(width(a) == width(b) && width(a) > 0);
+  if (isConst(a) && isConst(b)) return bvConst(constValue(a).mul(constValue(b)));
+  if (isConst(a)) std::swap(a, b);
+  if (isConst(b)) {
+    const BitVec& v = constValue(b);
+    if (v.isZero()) return b;
+    if (v == BitVec::one(v.width())) return a;
+    // Strength reduction: multiply by a power of two becomes a shift.
+    if (v.countOnes() == 1) {
+      uint32_t sh = 0;
+      while (!v.bit(sh)) ++sh;
+      return shl(a, sh);
+    }
+  }
+  if (a.id > b.id && !isConst(b)) std::swap(a, b);
+  return intern({ExprKind::kMul, width(a), a.id, b.id, 0});
+}
+
+ExprRef ExprArena::udiv(ExprRef a, ExprRef b) {
+  assert(width(a) == width(b) && width(a) > 0);
+  if (isConst(a) && isConst(b)) return bvConst(constValue(a).udiv(constValue(b)));
+  if (isConst(b)) {
+    const BitVec& v = constValue(b);
+    if (v == BitVec::one(v.width())) return a;
+    if (v.countOnes() == 1) {
+      uint32_t sh = 0;
+      while (!v.bit(sh)) ++sh;
+      return lshr(a, sh);
+    }
+  }
+  return intern({ExprKind::kUDiv, width(a), a.id, b.id, 0});
+}
+
+ExprRef ExprArena::urem(ExprRef a, ExprRef b) {
+  assert(width(a) == width(b) && width(a) > 0);
+  if (isConst(a) && isConst(b)) return bvConst(constValue(a).urem(constValue(b)));
+  if (isConst(b)) {
+    const BitVec& v = constValue(b);
+    if (v == BitVec::one(v.width())) return bvConst(BitVec::zero(v.width()));
+    // x % 2^k == x & (2^k - 1)
+    if (v.countOnes() == 1) {
+      return bvAnd(a, bvConst(v.sub(BitVec::one(v.width()))));
+    }
+  }
+  return intern({ExprKind::kURem, width(a), a.id, b.id, 0});
+}
+
+ExprRef ExprArena::bvAnd(ExprRef a, ExprRef b) {
+  assert(width(a) == width(b) && width(a) > 0);
+  if (isConst(a) && isConst(b)) {
+    return bvConst(constValue(a).bitAnd(constValue(b)));
+  }
+  if (isConst(a)) std::swap(a, b);
+  if (isConst(b)) {
+    const BitVec& v = constValue(b);
+    if (v.isZero()) return b;
+    if (v.isAllOnes()) return a;
+  }
+  if (a == b) return a;
+  if (isComplement(a, b)) return bvConst(BitVec::zero(width(a)));
+  if (a.id > b.id && !isConst(b)) std::swap(a, b);
+  return intern({ExprKind::kAnd, width(a), a.id, b.id, 0});
+}
+
+ExprRef ExprArena::bvOr(ExprRef a, ExprRef b) {
+  assert(width(a) == width(b) && width(a) > 0);
+  if (isConst(a) && isConst(b)) return bvConst(constValue(a).bitOr(constValue(b)));
+  if (isConst(a)) std::swap(a, b);
+  if (isConst(b)) {
+    const BitVec& v = constValue(b);
+    if (v.isZero()) return a;
+    if (v.isAllOnes()) return b;
+  }
+  if (a == b) return a;
+  if (isComplement(a, b)) return bvConst(BitVec::allOnes(width(a)));
+  if (a.id > b.id && !isConst(b)) std::swap(a, b);
+  return intern({ExprKind::kOr, width(a), a.id, b.id, 0});
+}
+
+ExprRef ExprArena::bvXor(ExprRef a, ExprRef b) {
+  assert(width(a) == width(b) && width(a) > 0);
+  if (isConst(a) && isConst(b)) {
+    return bvConst(constValue(a).bitXor(constValue(b)));
+  }
+  if (isConst(a)) std::swap(a, b);
+  if (isConst(b)) {
+    const BitVec& v = constValue(b);
+    if (v.isZero()) return a;
+    if (v.isAllOnes()) return bvNot(a);
+  }
+  if (a == b) return bvConst(BitVec::zero(width(a)));
+  if (a.id > b.id && !isConst(b)) std::swap(a, b);
+  return intern({ExprKind::kXor, width(a), a.id, b.id, 0});
+}
+
+ExprRef ExprArena::bvNot(ExprRef a) {
+  assert(width(a) > 0);
+  if (isConst(a)) return bvConst(constValue(a).bitNot());
+  if (node(a).kind == ExprKind::kNot) return ExprRef{node(a).a};
+  return intern({ExprKind::kNot, width(a), a.id, 0, 0});
+}
+
+ExprRef ExprArena::neg(ExprRef a) {
+  assert(width(a) > 0);
+  if (isConst(a)) return bvConst(constValue(a).neg());
+  if (node(a).kind == ExprKind::kNeg) return ExprRef{node(a).a};
+  return intern({ExprKind::kNeg, width(a), a.id, 0, 0});
+}
+
+ExprRef ExprArena::shl(ExprRef a, uint32_t amount) {
+  assert(width(a) > 0);
+  if (amount == 0) return a;
+  if (amount >= width(a)) return bvConst(BitVec::zero(width(a)));
+  if (isConst(a)) return bvConst(constValue(a).shl(amount));
+  return intern({ExprKind::kShl, width(a), a.id, amount, 0});
+}
+
+ExprRef ExprArena::lshr(ExprRef a, uint32_t amount) {
+  assert(width(a) > 0);
+  if (amount == 0) return a;
+  if (amount >= width(a)) return bvConst(BitVec::zero(width(a)));
+  if (isConst(a)) return bvConst(constValue(a).lshr(amount));
+  return intern({ExprKind::kLShr, width(a), a.id, amount, 0});
+}
+
+ExprRef ExprArena::extract(ExprRef a, uint32_t hi, uint32_t lo) {
+  assert(hi < width(a) && lo <= hi);
+  if (lo == 0 && hi == width(a) - 1) return a;
+  if (isConst(a)) return bvConst(constValue(a).slice(hi, lo));
+  const ExprNode& n = node(a);
+  // extract of extract composes.
+  if (n.kind == ExprKind::kExtract) {
+    return extract(ExprRef{n.a}, n.c + hi, n.c + lo);
+  }
+  // extract entirely within the original operand of a zext, or entirely in
+  // the zero padding, simplifies.
+  if (n.kind == ExprKind::kZExt) {
+    uint32_t origWidth = width(ExprRef{n.a});
+    if (hi < origWidth) return extract(ExprRef{n.a}, hi, lo);
+    if (lo >= origWidth) return bvConst(BitVec::zero(hi - lo + 1));
+  }
+  // extract entirely within one half of a concat narrows to that half.
+  if (n.kind == ExprKind::kConcat) {
+    uint32_t lowWidth = width(ExprRef{n.b});
+    if (hi < lowWidth) return extract(ExprRef{n.b}, hi, lo);
+    if (lo >= lowWidth) return extract(ExprRef{n.a}, hi - lowWidth, lo - lowWidth);
+  }
+  return intern({ExprKind::kExtract, hi - lo + 1, a.id, hi, lo});
+}
+
+ExprRef ExprArena::zext(ExprRef a, uint32_t newWidth) {
+  assert(newWidth >= width(a));
+  if (newWidth == width(a)) return a;
+  if (isConst(a)) return bvConst(constValue(a).zext(newWidth));
+  if (node(a).kind == ExprKind::kZExt) return zext(ExprRef{node(a).a}, newWidth);
+  return intern({ExprKind::kZExt, newWidth, a.id, 0, 0});
+}
+
+ExprRef ExprArena::concat(ExprRef hi, ExprRef lo) {
+  assert(width(hi) > 0 && width(lo) > 0);
+  if (isConst(hi) && isConst(lo)) {
+    return bvConst(constValue(hi).concat(constValue(lo)));
+  }
+  // 0-valued high part is a zero extension.
+  if (isConst(hi) && constValue(hi).isZero()) {
+    return zext(lo, width(hi) + width(lo));
+  }
+  return intern({ExprKind::kConcat, width(hi) + width(lo), hi.id, lo.id, 0});
+}
+
+// ---------------------------------------------------------------------------
+// Predicates and boolean connectives
+// ---------------------------------------------------------------------------
+
+ExprRef ExprArena::eq(ExprRef a, ExprRef b) {
+  assert(width(a) == width(b));
+  if (a == b) return boolConst(true);
+  // Push equality with a constant into an ITE whose arms contain constants:
+  // (c ? k1 : e) == k  becomes  c ? (k1 == k) : (e == k), which folds the
+  // reachable arm away. This is the rewrite that collapses table-selector
+  // chains after control-plane substitution.
+  if (isConst(b) && node(a).kind == ExprKind::kIte) {
+    const ExprNode& n = node(a);
+    if (isConst(ExprRef{n.b}) || isConst(ExprRef{n.c})) {
+      return ite(ExprRef{n.a}, eq(ExprRef{n.b}, b), eq(ExprRef{n.c}, b));
+    }
+  }
+  if (isConst(a) && node(b).kind == ExprKind::kIte) {
+    const ExprNode& n = node(b);
+    if (isConst(ExprRef{n.b}) || isConst(ExprRef{n.c})) {
+      return ite(ExprRef{n.a}, eq(a, ExprRef{n.b}), eq(a, ExprRef{n.c}));
+    }
+  }
+  if (isBool(a)) {
+    // Boolean equality (iff): fold constants, x == true -> x, etc.
+    if (isConst(a) && isConst(b)) return boolConst(isTrue(a) == isTrue(b));
+    if (isTrue(a)) return b;
+    if (isTrue(b)) return a;
+    if (isFalse(a)) return bNot(b);
+    if (isFalse(b)) return bNot(a);
+  } else {
+    if (isConst(a) && isConst(b)) {
+      return boolConst(constValue(a).eq(constValue(b)));
+    }
+  }
+  if (a.id > b.id) std::swap(a, b);
+  return intern({ExprKind::kEq, 0, a.id, b.id, 0});
+}
+
+ExprRef ExprArena::ult(ExprRef a, ExprRef b) {
+  assert(width(a) == width(b) && width(a) > 0);
+  if (a == b) return boolConst(false);
+  if (isConst(a) && isConst(b)) return boolConst(constValue(a).ult(constValue(b)));
+  if (isConst(b) && constValue(b).isZero()) return boolConst(false);
+  if (isConst(a) && constValue(a).isAllOnes()) return boolConst(false);
+  return intern({ExprKind::kUlt, 0, a.id, b.id, 0});
+}
+
+ExprRef ExprArena::ule(ExprRef a, ExprRef b) {
+  assert(width(a) == width(b) && width(a) > 0);
+  if (a == b) return boolConst(true);
+  if (isConst(a) && isConst(b)) return boolConst(constValue(a).ule(constValue(b)));
+  if (isConst(a) && constValue(a).isZero()) return boolConst(true);
+  if (isConst(b) && constValue(b).isAllOnes()) return boolConst(true);
+  return intern({ExprKind::kUle, 0, a.id, b.id, 0});
+}
+
+ExprRef ExprArena::bAnd(ExprRef a, ExprRef b) {
+  assert(isBool(a) && isBool(b));
+  if (isFalse(a) || isFalse(b)) return boolConst(false);
+  if (isTrue(a)) return b;
+  if (isTrue(b)) return a;
+  if (a == b) return a;
+  if (isComplement(a, b)) return boolConst(false);
+  if (a.id > b.id) std::swap(a, b);
+  return intern({ExprKind::kBAnd, 0, a.id, b.id, 0});
+}
+
+ExprRef ExprArena::bOr(ExprRef a, ExprRef b) {
+  assert(isBool(a) && isBool(b));
+  if (isTrue(a) || isTrue(b)) return boolConst(true);
+  if (isFalse(a)) return b;
+  if (isFalse(b)) return a;
+  if (a == b) return a;
+  if (isComplement(a, b)) return boolConst(true);
+  if (a.id > b.id) std::swap(a, b);
+  return intern({ExprKind::kBOr, 0, a.id, b.id, 0});
+}
+
+ExprRef ExprArena::bNot(ExprRef a) {
+  assert(isBool(a));
+  if (isConst(a)) return boolConst(!isTrue(a));
+  if (node(a).kind == ExprKind::kBNot) return ExprRef{node(a).a};
+  return intern({ExprKind::kBNot, 0, a.id, 0, 0});
+}
+
+ExprRef ExprArena::ite(ExprRef cond, ExprRef thenE, ExprRef elseE) {
+  assert(isBool(cond));
+  assert(width(thenE) == width(elseE));
+  if (isTrue(cond)) return thenE;
+  if (isFalse(cond)) return elseE;
+  if (thenE == elseE) return thenE;
+  // Push negated conditions through by swapping the arms.
+  if (node(cond).kind == ExprKind::kBNot) {
+    return ite(ExprRef{node(cond).a}, elseE, thenE);
+  }
+  if (isBool(thenE)) {
+    if (isTrue(thenE) && isFalse(elseE)) return cond;
+    if (isFalse(thenE) && isTrue(elseE)) return bNot(cond);
+    if (isTrue(thenE)) return bOr(cond, elseE);
+    if (isFalse(thenE)) return bAnd(bNot(cond), elseE);
+    if (isTrue(elseE)) return bOr(bNot(cond), thenE);
+    if (isFalse(elseE)) return bAnd(cond, thenE);
+  }
+  // Collapse nested ites that repeat the same condition: the inner branch on
+  // the same guard is unreachable on one side.
+  if (node(thenE).kind == ExprKind::kIte && node(thenE).a == cond.id) {
+    return ite(cond, ExprRef{node(thenE).b}, elseE);
+  }
+  if (node(elseE).kind == ExprKind::kIte && node(elseE).a == cond.id) {
+    return ite(cond, thenE, ExprRef{node(elseE).c});
+  }
+  return intern({ExprKind::kIte, width(thenE), cond.id, thenE.id, elseE.id});
+}
+
+bool ExprArena::isComplement(ExprRef r, ExprRef o) const {
+  const ExprNode& rn = node(r);
+  const ExprNode& on = node(o);
+  if (rn.width == 0) {
+    return (rn.kind == ExprKind::kBNot && rn.a == o.id) ||
+           (on.kind == ExprKind::kBNot && on.a == r.id);
+  }
+  return (rn.kind == ExprKind::kNot && rn.a == o.id) ||
+         (on.kind == ExprKind::kNot && on.a == r.id);
+}
+
+}  // namespace flay::expr

@@ -1,0 +1,125 @@
+#include "expr/eval.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "expr/traverse.h"
+
+namespace flay::expr {
+
+namespace {
+
+/// Applies a concrete operation to already-evaluated children.
+Value applyOp(const ExprNode& n, const Value* kids) {
+  auto bv = [&kids](int i) -> const BitVec& { return std::get<BitVec>(kids[i]); };
+  auto bl = [&kids](int i) -> bool { return std::get<bool>(kids[i]); };
+  switch (n.kind) {
+    case ExprKind::kAdd: return bv(0).add(bv(1));
+    case ExprKind::kSub: return bv(0).sub(bv(1));
+    case ExprKind::kMul: return bv(0).mul(bv(1));
+    case ExprKind::kUDiv: return bv(0).udiv(bv(1));
+    case ExprKind::kURem: return bv(0).urem(bv(1));
+    case ExprKind::kAnd: return bv(0).bitAnd(bv(1));
+    case ExprKind::kOr: return bv(0).bitOr(bv(1));
+    case ExprKind::kXor: return bv(0).bitXor(bv(1));
+    case ExprKind::kConcat: return bv(0).concat(bv(1));
+    case ExprKind::kNot: return bv(0).bitNot();
+    case ExprKind::kNeg: return bv(0).neg();
+    case ExprKind::kShl: return bv(0).shl(n.b);
+    case ExprKind::kLShr: return bv(0).lshr(n.b);
+    case ExprKind::kExtract: return bv(0).slice(n.b, n.c);
+    case ExprKind::kZExt: return bv(0).zext(n.width);
+    case ExprKind::kEq:
+      if (std::holds_alternative<bool>(kids[0])) return bl(0) == bl(1);
+      return bv(0).eq(bv(1));
+    case ExprKind::kUlt: return bv(0).ult(bv(1));
+    case ExprKind::kUle: return bv(0).ule(bv(1));
+    case ExprKind::kBAnd: return bl(0) && bl(1);
+    case ExprKind::kBOr: return bl(0) || bl(1);
+    case ExprKind::kBNot: return !bl(0);
+    case ExprKind::kIte: return bl(0) ? kids[1] : kids[2];
+    default:
+      // Leaves (constants/variables) are handled by the evaluator loop.
+      throw std::logic_error("applyOp: unexpected leaf kind");
+  }
+}
+
+}  // namespace
+
+void Evaluator::bind(uint32_t symbolId, Value value) {
+  bindings_[symbolId] = std::move(value);
+  memo_.clear();
+}
+
+void Evaluator::bindVar(ExprRef var, Value value) {
+  const ExprNode& n = arena_.node(var);
+  if (n.kind != ExprKind::kVar && n.kind != ExprKind::kBoolVar) {
+    throw std::invalid_argument("Evaluator::bindVar target must be a variable");
+  }
+  bind(n.a, std::move(value));
+}
+
+void Evaluator::clear() {
+  bindings_.clear();
+  memo_.clear();
+}
+
+std::optional<Value> Evaluator::tryEvaluate(ExprRef root) {
+  if (!root.valid()) return std::nullopt;
+  std::vector<uint32_t> stack{root.id};
+  while (!stack.empty()) {
+    uint32_t id = stack.back();
+    if (memo_.count(id) != 0) {
+      stack.pop_back();
+      continue;
+    }
+    const ExprNode& n = arena_.node(ExprRef{id});
+    switch (n.kind) {
+      case ExprKind::kBvConst:
+        memo_.emplace(id, arena_.constValue(ExprRef{id}));
+        stack.pop_back();
+        continue;
+      case ExprKind::kBoolConst:
+        memo_.emplace(id, n.a == 1);
+        stack.pop_back();
+        continue;
+      case ExprKind::kVar:
+      case ExprKind::kBoolVar: {
+        auto it = bindings_.find(n.a);
+        if (it == bindings_.end()) return std::nullopt;
+        memo_.emplace(id, it->second);
+        stack.pop_back();
+        continue;
+      }
+      default:
+        break;
+    }
+    uint32_t kids[3];
+    int numKids = children(n, kids);
+    bool ready = true;
+    for (int i = 0; i < numKids; ++i) {
+      if (memo_.count(kids[i]) == 0) {
+        ready = false;
+        stack.push_back(kids[i]);
+      }
+    }
+    if (!ready) continue;
+    Value vals[3];
+    for (int i = 0; i < numKids; ++i) vals[i] = memo_.at(kids[i]);
+    memo_.emplace(id, applyOp(n, vals));
+    stack.pop_back();
+  }
+  return memo_.at(root.id);
+}
+
+Value Evaluator::evaluate(ExprRef e) {
+  auto v = tryEvaluate(e);
+  if (!v) throw std::runtime_error("Evaluator: unbound variable in expression");
+  return *v;
+}
+
+BitVec Evaluator::evaluateBv(ExprRef e) { return std::get<BitVec>(evaluate(e)); }
+
+bool Evaluator::evaluateBool(ExprRef e) { return std::get<bool>(evaluate(e)); }
+
+}  // namespace flay::expr

@@ -1,0 +1,45 @@
+#ifndef FLAY_EXPR_EVAL_H
+#define FLAY_EXPR_EVAL_H
+
+#include <optional>
+#include <unordered_map>
+#include <variant>
+
+#include "expr/arena.h"
+
+namespace flay::expr {
+
+/// A concrete value: boolean or bit-vector.
+using Value = std::variant<bool, BitVec>;
+
+/// Concrete bottom-up evaluator used by the software-switch interpreter and
+/// by differential tests. All variables reachable from an evaluated
+/// expression must be bound; evaluate() throws otherwise.
+class Evaluator {
+ public:
+  explicit Evaluator(const ExprArena& arena) : arena_(arena) {}
+
+  /// Binds symbol `symbolId` to a value. Rebinding invalidates the memo.
+  void bind(uint32_t symbolId, Value value);
+  void bindVar(ExprRef var, Value value);
+  void clear();
+
+  /// Evaluates `e` to a concrete value; throws std::runtime_error on an
+  /// unbound variable.
+  Value evaluate(ExprRef e);
+  BitVec evaluateBv(ExprRef e);
+  bool evaluateBool(ExprRef e);
+
+  /// Evaluates and returns nullopt instead of throwing when a free variable
+  /// is reachable.
+  std::optional<Value> tryEvaluate(ExprRef e);
+
+ private:
+  const ExprArena& arena_;
+  std::unordered_map<uint32_t, Value> bindings_;  // symbol id -> value
+  std::unordered_map<uint32_t, Value> memo_;      // node id -> value
+};
+
+}  // namespace flay::expr
+
+#endif  // FLAY_EXPR_EVAL_H

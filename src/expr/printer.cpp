@@ -1,0 +1,84 @@
+#include "expr/printer.h"
+
+namespace flay::expr {
+
+namespace {
+
+class Printer {
+ public:
+  Printer(const ExprArena& arena, const PrintOptions& options)
+      : arena_(arena), options_(options) {}
+
+  // Recursive rendering is fine here: printing is a debugging aid and deep
+  // expressions are depth-limited by callers via options.maxDepth.
+  std::string print(ExprRef e, size_t curDepth) {
+    if (!e.valid()) return "<null>";
+    if (options_.maxDepth != 0 && curDepth > options_.maxDepth) return "...";
+    const ExprNode& n = arena_.node(e);
+    auto sub = [this, curDepth](uint32_t id) {
+      return print(ExprRef{id}, curDepth + 1);
+    };
+    switch (n.kind) {
+      case ExprKind::kBvConst: {
+        const BitVec& v = arena_.constValue(e);
+        return options_.hexConstants ? v.toHexString() : v.toDecimalString();
+      }
+      case ExprKind::kBoolConst:
+        return n.a == 1 ? "true" : "false";
+      case ExprKind::kVar:
+      case ExprKind::kBoolVar: {
+        const Symbol& s = arena_.symbolInfo(n.a);
+        if (!options_.paperNotation) return s.name;
+        return s.cls == SymbolClass::kControlPlane ? "|" + s.name + "|"
+                                                   : "@" + s.name + "@";
+      }
+      case ExprKind::kAdd: return binary(n, " + ", curDepth);
+      case ExprKind::kSub: return binary(n, " - ", curDepth);
+      case ExprKind::kMul: return binary(n, " * ", curDepth);
+      case ExprKind::kUDiv: return binary(n, " / ", curDepth);
+      case ExprKind::kURem: return binary(n, " % ", curDepth);
+      case ExprKind::kAnd: return binary(n, " & ", curDepth);
+      case ExprKind::kOr: return binary(n, " | ", curDepth);
+      case ExprKind::kXor: return binary(n, " ^ ", curDepth);
+      case ExprKind::kConcat: return binary(n, " ++ ", curDepth);
+      case ExprKind::kNot: return "~" + sub(n.a);
+      case ExprKind::kNeg: return "-" + sub(n.a);
+      case ExprKind::kShl:
+        return "(" + sub(n.a) + " << " + std::to_string(n.b) + ")";
+      case ExprKind::kLShr:
+        return "(" + sub(n.a) + " >> " + std::to_string(n.b) + ")";
+      case ExprKind::kExtract:
+        return sub(n.a) + "[" + std::to_string(n.b) + ":" +
+               std::to_string(n.c) + "]";
+      case ExprKind::kZExt:
+        return "zext<" + std::to_string(n.width) + ">(" + sub(n.a) + ")";
+      case ExprKind::kEq: return binary(n, " == ", curDepth);
+      case ExprKind::kUlt: return binary(n, " < ", curDepth);
+      case ExprKind::kUle: return binary(n, " <= ", curDepth);
+      case ExprKind::kBAnd: return binary(n, " && ", curDepth);
+      case ExprKind::kBOr: return binary(n, " || ", curDepth);
+      case ExprKind::kBNot: return "!" + sub(n.a);
+      case ExprKind::kIte:
+        return "(" + sub(n.a) + " ? " + sub(n.b) + " : " + sub(n.c) + ")";
+    }
+    return "<?>";
+  }
+
+ private:
+  std::string binary(const ExprNode& n, const char* op, size_t curDepth) {
+    return "(" + print(ExprRef{n.a}, curDepth + 1) + op +
+           print(ExprRef{n.b}, curDepth + 1) + ")";
+  }
+
+  const ExprArena& arena_;
+  const PrintOptions& options_;
+};
+
+}  // namespace
+
+std::string toString(const ExprArena& arena, ExprRef e,
+                     const PrintOptions& options) {
+  return Printer(arena, options).print(e, 1);
+}
+
+}  // namespace flay::expr

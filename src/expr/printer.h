@@ -1,0 +1,27 @@
+#ifndef FLAY_EXPR_PRINTER_H
+#define FLAY_EXPR_PRINTER_H
+
+#include <string>
+
+#include "expr/arena.h"
+
+namespace flay::expr {
+
+struct PrintOptions {
+  /// Decorate symbols the way the paper's Fig. 5 does: |x| for control-plane
+  /// symbols, @x@ for data-plane symbols.
+  bool paperNotation = true;
+  /// Render bit-vector constants as hex instead of decimal.
+  bool hexConstants = true;
+  /// Stop descending below this depth and print "..." (0 = unlimited).
+  size_t maxDepth = 0;
+};
+
+/// Renders `e` as a compact infix string, e.g.
+///   (|port_table_configured| && |port_table_action| == 0x1 ? |p| : 0x0)
+std::string toString(const ExprArena& arena, ExprRef e,
+                     const PrintOptions& options = {});
+
+}  // namespace flay::expr
+
+#endif  // FLAY_EXPR_PRINTER_H

@@ -1,0 +1,93 @@
+#ifndef FLAY_EXPR_TRAVERSE_H
+#define FLAY_EXPR_TRAVERSE_H
+
+#include "expr/arena.h"
+
+namespace flay::expr {
+
+/// Writes the expression-valued children of `n` into `out` and returns how
+/// many there are (0–3). Immediate operands (shift amounts, extract bounds)
+/// are not children.
+inline int children(const ExprNode& n, uint32_t out[3]) {
+  switch (n.kind) {
+    case ExprKind::kBvConst:
+    case ExprKind::kBoolConst:
+    case ExprKind::kVar:
+    case ExprKind::kBoolVar:
+      return 0;
+    case ExprKind::kNot:
+    case ExprKind::kNeg:
+    case ExprKind::kZExt:
+    case ExprKind::kShl:
+    case ExprKind::kLShr:
+    case ExprKind::kExtract:
+    case ExprKind::kBNot:
+      out[0] = n.a;
+      return 1;
+    case ExprKind::kAdd:
+    case ExprKind::kSub:
+    case ExprKind::kMul:
+    case ExprKind::kUDiv:
+    case ExprKind::kURem:
+    case ExprKind::kAnd:
+    case ExprKind::kOr:
+    case ExprKind::kXor:
+    case ExprKind::kConcat:
+    case ExprKind::kEq:
+    case ExprKind::kUlt:
+    case ExprKind::kUle:
+    case ExprKind::kBAnd:
+    case ExprKind::kBOr:
+      out[0] = n.a;
+      out[1] = n.b;
+      return 2;
+    case ExprKind::kIte:
+      out[0] = n.a;
+      out[1] = n.b;
+      out[2] = n.c;
+      return 3;
+  }
+  return 0;
+}
+
+/// Rebuilds a node of `n`'s kind with new children, going through the smart
+/// constructors so folding/canonicalization re-applies. Children not used by
+/// the kind are ignored.
+inline ExprRef rebuild(ExprArena& arena, const ExprNode& n, ExprRef a,
+                       ExprRef b, ExprRef c) {
+  switch (n.kind) {
+    case ExprKind::kBvConst:
+    case ExprKind::kBoolConst:
+    case ExprKind::kVar:
+    case ExprKind::kBoolVar:
+      // Leaves are returned as-is; callers replace them before rebuild.
+      return a;
+    case ExprKind::kAdd: return arena.add(a, b);
+    case ExprKind::kSub: return arena.sub(a, b);
+    case ExprKind::kMul: return arena.mul(a, b);
+    case ExprKind::kUDiv: return arena.udiv(a, b);
+    case ExprKind::kURem: return arena.urem(a, b);
+    case ExprKind::kAnd: return arena.bvAnd(a, b);
+    case ExprKind::kOr: return arena.bvOr(a, b);
+    case ExprKind::kXor: return arena.bvXor(a, b);
+    case ExprKind::kConcat: return arena.concat(a, b);
+    case ExprKind::kNot: return arena.bvNot(a);
+    case ExprKind::kNeg: return arena.neg(a);
+    case ExprKind::kShl: return arena.shl(a, n.b);
+    case ExprKind::kLShr: return arena.lshr(a, n.b);
+    case ExprKind::kExtract: return arena.extract(a, n.b, n.c);
+    case ExprKind::kZExt: return arena.zext(a, n.width);
+    case ExprKind::kEq: return arena.eq(a, b);
+    case ExprKind::kUlt: return arena.ult(a, b);
+    case ExprKind::kUle: return arena.ule(a, b);
+    case ExprKind::kBAnd: return arena.bAnd(a, b);
+    case ExprKind::kBOr: return arena.bOr(a, b);
+    case ExprKind::kBNot: return arena.bNot(a);
+    case ExprKind::kIte: return arena.ite(a, b, c);
+  }
+  return a;
+}
+
+}  // namespace flay::expr
+
+#endif  // FLAY_EXPR_TRAVERSE_H

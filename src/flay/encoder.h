@@ -1,0 +1,58 @@
+#ifndef FLAY_FLAY_ENCODER_H
+#define FLAY_FLAY_ENCODER_H
+
+#include <vector>
+
+#include "flay/symbolic_executor.h"
+#include "runtime/device_config.h"
+
+namespace flay::flay {
+
+/// A control-plane assignment: `symbol := value`. A binding whose value is
+/// the null ExprRef means "leave the placeholder free" (over-approximation).
+struct Binding {
+  expr::ExprRef symbol;
+  expr::ExprRef value;
+};
+
+struct EncoderOptions {
+  /// Entry count beyond which a table's match logic is over-approximated
+  /// (§4.1: "Once a certain threshold of entries (e.g., 100) has been
+  /// reached, we overapproximate").
+  size_t overapproxThreshold = 100;
+};
+
+/// Translates runtime state (installed entries, value-set members, default
+/// actions) into control-plane assignments over the placeholders the
+/// symbolic executor introduced — the "control-plane assignments" box of
+/// Fig. 4. Implements both the precise and the over-approximate encodings.
+class ControlPlaneEncoder {
+ public:
+  ControlPlaneEncoder(expr::ExprArena& arena, const AnalysisResult& analysis,
+                      EncoderOptions options = {})
+      : arena_(arena), analysis_(analysis), options_(options) {}
+
+  /// Encodes one table's current state. Sets *overapproximated when the
+  /// normalized entry count exceeded the threshold.
+  std::vector<Binding> encodeTable(const TableInfo& info,
+                                   const runtime::TableState& table,
+                                   const runtime::DeviceConfig& config,
+                                   bool* overapproximated = nullptr) const;
+
+  /// Encodes one value set; produces a binding per use site.
+  std::vector<Binding> encodeValueSet(
+      const std::string& qualified,
+      const runtime::ValueSetState& valueSet) const;
+
+ private:
+  expr::ExprRef entryCondition(const TableInfo& info,
+                               const runtime::TableEntry& entry) const;
+
+  expr::ExprArena& arena_;
+  const AnalysisResult& analysis_;
+  EncoderOptions options_;
+};
+
+}  // namespace flay::flay
+
+#endif  // FLAY_FLAY_ENCODER_H

@@ -1,0 +1,308 @@
+#include "flay/engine.h"
+
+#include <algorithm>
+
+#include "expr/analysis.h"
+
+#include "expr/substitute.h"
+
+namespace flay::flay {
+
+using expr::ExprRef;
+
+FlayService::FlayService(const p4::CheckedProgram& checked, FlayOptions options)
+    : checked_(checked),
+      options_(options),
+      arena_(std::make_unique<expr::ExprArena>()) {
+  SymbolicExecutor executor(checked_, *arena_, options_.analysis);
+  analysis_ = executor.run();
+  config_ = std::make_unique<runtime::DeviceConfig>(checked_);
+  encoder_ = std::make_unique<ControlPlaneEncoder>(*arena_, analysis_,
+                                                   options_.encoder);
+  buildObjectDependencies();
+  auto start = std::chrono::steady_clock::now();
+  respecializeAll();
+  preprocessTime_ = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - start);
+}
+
+void FlayService::buildObjectDependencies() {
+  // A table whose key expressions mention another object's placeholders
+  // must be re-encoded whenever that object changes (chained tables: a key
+  // on a metadata field written by an upstream table's action). Same for
+  // value-set uses whose select expression depends on tables.
+  for (const auto& info : analysis_.tables) {
+    objectOrder_.push_back(info.qualified);
+    std::set<std::string> owners;
+    for (expr::ExprRef k : info.keyExprs) {
+      for (uint32_t s : expr::collectSymbols(
+               *arena_, k, expr::SymbolClass::kControlPlane)) {
+        auto it = analysis_.symbolOwner.find(s);
+        if (it != analysis_.symbolOwner.end()) owners.insert(it->second);
+      }
+    }
+    for (const auto& o : owners) {
+      if (o != info.qualified) objectDependents_[o].insert(info.qualified);
+    }
+  }
+  for (const auto& use : analysis_.valueSetUses) {
+    if (std::find(objectOrder_.begin(), objectOrder_.end(), use.qualified) ==
+        objectOrder_.end()) {
+      objectOrder_.push_back(use.qualified);
+    }
+    for (uint32_t s : expr::collectSymbols(
+             *arena_, use.selectExpr, expr::SymbolClass::kControlPlane)) {
+      auto it = analysis_.symbolOwner.find(s);
+      if (it != analysis_.symbolOwner.end() && it->second != use.qualified) {
+        objectDependents_[it->second].insert(use.qualified);
+      }
+    }
+  }
+}
+
+std::vector<std::string> FlayService::dependencyClosure(
+    const std::set<std::string>& objects) const {
+  std::set<std::string> closure = objects;
+  // Transitive closure over the dependents relation.
+  std::vector<std::string> frontier(objects.begin(), objects.end());
+  while (!frontier.empty()) {
+    std::string o = std::move(frontier.back());
+    frontier.pop_back();
+    auto it = objectDependents_.find(o);
+    if (it == objectDependents_.end()) continue;
+    for (const auto& d : it->second) {
+      if (closure.insert(d).second) frontier.push_back(d);
+    }
+  }
+  // Emit in program order so upstream bindings are resolved before any
+  // downstream encoding reads them.
+  std::vector<std::string> ordered;
+  for (const auto& o : objectOrder_) {
+    if (closure.count(o) != 0) ordered.push_back(o);
+  }
+  // Objects outside the known order (e.g. action profiles) go last.
+  for (const auto& o : closure) {
+    if (std::find(ordered.begin(), ordered.end(), o) == ordered.end()) {
+      ordered.push_back(o);
+    }
+  }
+  return ordered;
+}
+
+void FlayService::rebindObject(const std::string& object,
+                               bool* overapproximated) {
+  std::vector<Binding> bindings;
+  if (config_->hasTable(object)) {
+    bindings = encoder_->encodeTable(analysis_.table(object),
+                                     config_->table(object), *config_,
+                                     overapproximated);
+  } else if (config_->hasValueSet(object)) {
+    bindings = encoder_->encodeValueSet(object, config_->valueSet(object));
+  } else if (config_->hasActionProfile(object)) {
+    // Profile changes feed back through every table that uses the profile.
+    for (const auto& info : analysis_.tables) {
+      if (info.decl->actionProfile.empty()) continue;
+      if (info.control->name + "." + info.decl->actionProfile != object) {
+        continue;
+      }
+      bool tableOver = false;
+      auto tableBindings = encoder_->encodeTable(
+          info, config_->table(info.qualified), *config_, &tableOver);
+      if (overapproximated != nullptr) *overapproximated |= tableOver;
+      bindings.insert(bindings.end(), tableBindings.begin(),
+                      tableBindings.end());
+    }
+  }
+  // Resolve nested placeholders: a table's match condition is built over
+  // its key expressions, which may mention upstream objects' placeholders
+  // (chained tables). Substituting the current assignment here keeps every
+  // stored binding value fully resolved, so one substitution pass per
+  // annotation suffices later.
+  expr::Substitution resolve(*arena_);
+  bool needResolve = false;
+  for (const auto& b : bindings) {
+    if (!b.value.valid()) continue;
+    for (uint32_t s : expr::collectSymbols(*arena_, b.value,
+                                           expr::SymbolClass::kControlPlane)) {
+      auto it = bindings_.find(s);
+      if (it == bindings_.end()) continue;
+      const expr::Symbol& sym = arena_->symbolInfo(s);
+      expr::ExprRef var = sym.width == 0
+                              ? arena_->boolVar(sym.name, sym.cls)
+                              : arena_->var(sym.name, sym.width, sym.cls);
+      resolve.bind(var, it->second);
+      needResolve = true;
+    }
+  }
+  for (const auto& b : bindings) {
+    uint32_t symbolId = arena_->node(b.symbol).a;
+    if (b.value.valid()) {
+      bindings_[symbolId] = needResolve ? resolve.apply(b.value) : b.value;
+    } else {
+      bindings_.erase(symbolId);  // over-approximation: leave free
+    }
+  }
+}
+
+std::string FlayService::pointDigest(expr::ExprRef specialized) const {
+  if (arena_->isTrue(specialized)) return "T";
+  if (arena_->isFalse(specialized)) return "F";
+  if (arena_->isConst(specialized)) {
+    return arena_->constValue(specialized).toHexString();
+  }
+  return "";  // non-constant: the general implementation is already needed
+}
+
+std::string FlayService::tableDigest(const std::string& qualified) const {
+  const runtime::TableState& table = config_->table(qualified);
+  std::string d = table.empty() ? "empty;" : "live;";
+  // Above the over-approximation threshold, skip the O(n^2) eclipse
+  // normalization and digest the raw entries instead (a sound
+  // over-approximation of reachability, consistent with the encoder).
+  if (table.size() > options_.encoder.overapproxThreshold) {
+    std::set<std::string> actions;
+    for (const auto& e : table.entries()) actions.insert(e.actionName);
+    actions.insert(table.defaultActionName());
+    for (const auto& a : actions) d += a + ",";
+    for (size_t k = 0; k < table.decl().keys.size(); ++k) {
+      if (table.decl().keys[k].matchKind == p4::MatchKind::kExact) continue;
+      bool allExact = true;
+      for (const auto& e : table.entries()) {
+        allExact &= e.matches[k].isExactValued();
+      }
+      d += allExact ? ";exactable" : ";masked";
+    }
+    return d;
+  }
+  auto actions = table.reachableActions();
+  std::sort(actions.begin(), actions.end());
+  for (const auto& a : actions) d += a + ",";
+  auto normalized = table.normalizedEntries();
+  for (size_t k = 0; k < table.decl().keys.size(); ++k) {
+    if (table.decl().keys[k].matchKind == p4::MatchKind::kExact) continue;
+    bool allExact = !normalized.empty();
+    for (const runtime::TableEntry* e : normalized) {
+      allExact &= e->matches[k].isExactValued();
+    }
+    d += allExact ? ";exactable" : ";masked";
+  }
+  return d;
+}
+
+UpdateVerdict FlayService::analyzeObjects(const std::set<std::string>& objects) {
+  auto start = std::chrono::steady_clock::now();
+  UpdateVerdict verdict;
+
+  // Re-encode the updated objects plus every object whose encoding depends
+  // on them, upstream first.
+  std::vector<std::string> closure = dependencyClosure(objects);
+  for (const auto& object : closure) {
+    bool over = false;
+    rebindObject(object, &over);
+    verdict.overapproximated |= over;
+    // Structural change check (Fig. 3 C->D: match-kind shape, action sets).
+    if (config_->hasTable(object)) {
+      std::string digest = tableDigest(object);
+      auto [it, inserted] = tableDigests_.try_emplace(object, digest);
+      if (!inserted && it->second != digest) {
+        verdict.needsRecompilation = true;
+        verdict.changedComponents.insert(object);
+        it->second = std::move(digest);
+      }
+    }
+  }
+
+  // One substitution over the full current assignment; the shared memo makes
+  // repeated subtrees across points cheap.
+  expr::Substitution subst(*arena_);
+  for (const auto& [symbolId, value] : bindings_) {
+    const expr::Symbol& s = arena_->symbolInfo(symbolId);
+    ExprRef var = s.width == 0
+                      ? arena_->boolVar(s.name, s.cls)
+                      : arena_->var(s.name, s.width, s.cls);
+    subst.bind(var, value);
+  }
+
+  // Affected points: union of the taint sets of the touched objects — or,
+  // with the ablation knob off, every point in the program.
+  std::set<uint32_t> affected;
+  if (options_.useTaintMap) {
+    for (const auto& object : closure) {
+      for (uint32_t id : analysis_.annotations.affectedPoints(object)) {
+        affected.insert(id);
+      }
+    }
+  } else {
+    for (const auto& p : analysis_.annotations.points()) {
+      affected.insert(p.id);
+    }
+  }
+  if (pointDigests_.size() < analysis_.annotations.points().size()) {
+    pointDigests_.resize(analysis_.annotations.points().size());
+  }
+  for (uint32_t id : affected) {
+    ProgramPoint& p = analysis_.annotations.point(id);
+    ExprRef specialized = subst.apply(p.expr);
+    if (specialized == p.specialized) continue;  // O(1): hash-consed refs
+    p.specialized = specialized;
+    verdict.changedPoints.push_back(id);
+    // The recompile decision: did the point's *verdict* (constant vs
+    // general) flip, not merely its expression?
+    std::string digest = pointDigest(specialized);
+    if (digest != pointDigests_[id]) {
+      pointDigests_[id] = std::move(digest);
+      verdict.needsRecompilation = true;
+      verdict.changedComponents.insert(p.component);
+    }
+  }
+  verdict.expressionsChanged = !verdict.changedPoints.empty();
+  verdict.analysisTime = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - start);
+  return verdict;
+}
+
+UpdateVerdict FlayService::applyUpdate(const runtime::Update& update) {
+  std::string object = config_->apply(update);
+  return analyzeObjects({object});
+}
+
+UpdateVerdict FlayService::applyBatch(
+    const std::vector<runtime::Update>& updates) {
+  std::set<std::string> objects;
+  for (const auto& u : updates) objects.insert(config_->apply(u));
+  return analyzeObjects(objects);
+}
+
+expr::ExprRef FlayService::resolveSymbol(expr::ExprRef symbolExpr) const {
+  auto it = bindings_.find(arena_->node(symbolExpr).a);
+  return it == bindings_.end() ? symbolExpr : it->second;
+}
+
+void FlayService::respecializeAll() {
+  std::set<std::string> objects;
+  for (const auto& [name, t] : config_->tables()) objects.insert(name);
+  for (const auto& [name, vs] : config_->valueSets()) objects.insert(name);
+  // Re-specialize every point, including ones without control-plane taint.
+  analyzeObjects(objects);
+  expr::Substitution subst(*arena_);
+  for (const auto& [symbolId, value] : bindings_) {
+    const expr::Symbol& s = arena_->symbolInfo(symbolId);
+    ExprRef var = s.width == 0 ? arena_->boolVar(s.name, s.cls)
+                               : arena_->var(s.name, s.width, s.cls);
+    subst.bind(var, value);
+  }
+  for (auto& p : analysis_.annotations.points()) {
+    p.specialized = subst.apply(p.expr);
+  }
+  // Baseline digests for subsequent recompile-level change detection.
+  pointDigests_.resize(analysis_.annotations.points().size());
+  for (const auto& p : analysis_.annotations.points()) {
+    pointDigests_[p.id] = pointDigest(p.specialized);
+  }
+  tableDigests_.clear();
+  for (const auto& [name, table] : config_->tables()) {
+    tableDigests_[name] = tableDigest(name);
+  }
+}
+
+}  // namespace flay::flay

@@ -1,0 +1,133 @@
+#ifndef FLAY_FLAY_ENGINE_H
+#define FLAY_FLAY_ENGINE_H
+
+#include <chrono>
+#include <memory>
+#include <set>
+
+#include "flay/encoder.h"
+#include "flay/symbolic_executor.h"
+#include "runtime/device_config.h"
+
+namespace flay::flay {
+
+struct FlayOptions {
+  AnalysisOptions analysis;
+  EncoderOptions encoder;
+  /// Ablation knob: when false, every update re-specializes EVERY program
+  /// point instead of only the tainted ones. Quantifies the incrementality
+  /// claim of §2 (see bench_ablation_taint).
+  bool useTaintMap = true;
+};
+
+/// Verdict for one control-plane update (or batch), mirroring Fig. 2: the
+/// update is installed either way; `needsRecompilation` says whether the
+/// specialized program implementation must be recompiled first.
+///
+/// Two levels of change are distinguished, following §2's observation that
+/// "many control-plane entries just increase the likelihood for an already
+/// existing data-plane program path to be taken":
+///  - expressionsChanged: some annotation's specialized expression differs
+///    (e.g. a new route widens a hit condition). Cheap to detect, frequent.
+///  - needsRecompilation: some specialization *decision* flipped — a value
+///    stopped being constant, a branch became (un)reachable, a table's
+///    reachable-action set or key shape changed. Only these force the
+///    device compiler to run.
+struct UpdateVerdict {
+  bool expressionsChanged = false;
+  bool needsRecompilation = false;
+  /// Program points whose specialized expression changed.
+  std::vector<uint32_t> changedPoints;
+  /// Components (tables, parser states) needing recompilation.
+  std::set<std::string> changedComponents;
+  /// Pure analysis time (excluding config mutation).
+  std::chrono::microseconds analysisTime{0};
+  /// True if any touched table fell back to the over-approximate encoding.
+  bool overapproximated = false;
+};
+
+/// The Flay service: owns the device's control-plane state, runs the
+/// one-time data-plane analysis, and processes control-plane updates
+/// incrementally through taint lookup + substitution + O(1) change checks.
+class FlayService {
+ public:
+  explicit FlayService(const p4::CheckedProgram& checked,
+                       FlayOptions options = {});
+
+  /// The managed control-plane state. Mutate only through applyUpdate() /
+  /// applyBatch() so the analysis stays in sync.
+  const runtime::DeviceConfig& config() const { return *config_; }
+
+  /// Applies one update and re-analyzes the tainted program points.
+  /// Throws std::invalid_argument for malformed updates (nothing changes).
+  UpdateVerdict applyUpdate(const runtime::Update& update);
+
+  /// Applies a burst of updates, analyzing each object once at the end —
+  /// the §4.2 scenario of 1000 fuzzer updates processed in under a second.
+  UpdateVerdict applyBatch(const std::vector<runtime::Update>& updates);
+
+  /// Re-specializes every annotation from the current config (used once at
+  /// startup and after a semantics-changing batch has been recompiled).
+  void respecializeAll();
+
+  const AnalysisResult& analysis() const { return analysis_; }
+  expr::ExprArena& arena() { return *arena_; }
+  const p4::CheckedProgram& checkedProgram() const { return checked_; }
+
+  /// Current specialized expression of a program point.
+  expr::ExprRef specialized(uint32_t pointId) const {
+    return analysis_.annotations.point(pointId).specialized;
+  }
+
+  /// Current control-plane assignment of a placeholder symbol, fully
+  /// specialized; returns the symbol itself when it is free
+  /// (over-approximated or never bound).
+  expr::ExprRef resolveSymbol(expr::ExprRef symbolExpr) const;
+
+  /// Time spent in the one-time data-plane analysis.
+  std::chrono::microseconds dataPlaneAnalysisTime() const {
+    return analysis_.analysisTime;
+  }
+  /// Time spent preprocessing (initial whole-program specialization).
+  std::chrono::microseconds preprocessTime() const { return preprocessTime_; }
+
+ private:
+  /// Recomputes bindings for `objects` and re-specializes tainted points.
+  UpdateVerdict analyzeObjects(const std::set<std::string>& objects);
+  void rebindObject(const std::string& object, bool* overapproximated);
+  /// Expands a set of updated objects with every object whose encoding
+  /// depends on them (tables keying on fields other tables write), in
+  /// program order so upstream bindings resolve first.
+  std::vector<std::string> dependencyClosure(
+      const std::set<std::string>& objects) const;
+  void buildObjectDependencies();
+  /// The specialization decision a point's expression currently supports:
+  /// "" for unknown/non-constant, else a rendering of the constant.
+  std::string pointDigest(expr::ExprRef specialized) const;
+  /// Structural digest of a table's runtime state: reachable actions,
+  /// per-key exactness, emptiness — the properties the specializer keys on.
+  std::string tableDigest(const std::string& qualified) const;
+
+  const p4::CheckedProgram& checked_;
+  FlayOptions options_;
+  std::unique_ptr<expr::ExprArena> arena_;
+  AnalysisResult analysis_;
+  std::unique_ptr<runtime::DeviceConfig> config_;
+  std::unique_ptr<ControlPlaneEncoder> encoder_;
+  /// Current control-plane assignment: symbol id -> value (absent = free).
+  /// Values are fully resolved: they contain no placeholders that have
+  /// bindings themselves.
+  std::map<uint32_t, expr::ExprRef> bindings_;
+  /// object -> objects whose encoding mentions its placeholders.
+  std::map<std::string, std::set<std::string>> objectDependents_;
+  /// Objects (tables then value sets) in program order, for closure order.
+  std::vector<std::string> objectOrder_;
+  /// Decision digests for change detection at the recompile level.
+  std::vector<std::string> pointDigests_;
+  std::map<std::string, std::string> tableDigests_;
+  std::chrono::microseconds preprocessTime_{0};
+};
+
+}  // namespace flay::flay
+
+#endif  // FLAY_FLAY_ENGINE_H

@@ -1,0 +1,95 @@
+#ifndef FLAY_FLAY_PROGRAM_POINTS_H
+#define FLAY_FLAY_PROGRAM_POINTS_H
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "expr/arena.h"
+
+namespace flay::flay {
+
+/// What a program-point annotation captures (§4.1: "Flay ... annotates
+/// program points of interest with a data-plane expression").
+enum class PointKind {
+  kIfCondition,    // executability of an if branch
+  kAssignedValue,  // value snapshot after an assignment (constant query)
+  kTableHit,       // does some entry of this table match?
+  kTableAction,    // which action index executes?
+  kSelectCase,     // parser select-case guard
+  kParserAccept,   // overall parser accept condition
+  kFinalValue,     // value of a location at end of pipeline
+};
+
+/// One annotated program point. `expr` is the hermetic data-plane expression
+/// over data-plane symbols and control-plane placeholders; `specialized` is
+/// its current value under the active control-plane assignments.
+struct ProgramPoint {
+  uint32_t id = 0;
+  PointKind kind = PointKind::kAssignedValue;
+  /// Human-readable site, e.g. "Ingress.apply#3" or "Ingress.fwd".
+  std::string label;
+  /// The component a change at this point forces a recompile of (usually a
+  /// qualified table or control name), per the paper's component mapping.
+  std::string component;
+  expr::ExprRef expr;
+  expr::ExprRef specialized;
+  /// Original-AST node this point annotates (Stmt* or SelectCase*), set only
+  /// for points the specializer may rewrite (top-level statements, not
+  /// statements inside action bodies). Never dereferenced for ownership.
+  const void* astNode = nullptr;
+};
+
+/// The annotation store plus the taint index from control-plane objects to
+/// the program points they influence.
+class AnnotationStore {
+ public:
+  uint32_t add(PointKind kind, std::string label, std::string component,
+               expr::ExprRef e, const void* astNode = nullptr) {
+    ProgramPoint p;
+    p.id = static_cast<uint32_t>(points_.size());
+    p.kind = kind;
+    p.label = std::move(label);
+    p.component = std::move(component);
+    p.expr = e;
+    p.specialized = e;
+    p.astNode = astNode;
+    points_.push_back(std::move(p));
+    return points_.back().id;
+  }
+
+  /// Point id annotating a given original-AST node, or UINT32_MAX.
+  uint32_t pointForNode(const void* node) const {
+    for (const auto& p : points_) {
+      if (p.astNode == node) return p.id;
+    }
+    return UINT32_MAX;
+  }
+
+  std::vector<ProgramPoint>& points() { return points_; }
+  const std::vector<ProgramPoint>& points() const { return points_; }
+  ProgramPoint& point(uint32_t id) { return points_[id]; }
+  const ProgramPoint& point(uint32_t id) const { return points_[id]; }
+
+  /// Taint map: control-plane object (qualified name) -> affected points.
+  void taint(const std::string& object, uint32_t pointId) {
+    taintMap_[object].push_back(pointId);
+  }
+  const std::vector<uint32_t>& affectedPoints(const std::string& object) const {
+    static const std::vector<uint32_t> kEmpty;
+    auto it = taintMap_.find(object);
+    return it == taintMap_.end() ? kEmpty : it->second;
+  }
+  const std::unordered_map<std::string, std::vector<uint32_t>>& taintMap()
+      const {
+    return taintMap_;
+  }
+
+ private:
+  std::vector<ProgramPoint> points_;
+  std::unordered_map<std::string, std::vector<uint32_t>> taintMap_;
+};
+
+}  // namespace flay::flay
+
+#endif  // FLAY_FLAY_PROGRAM_POINTS_H

@@ -1,0 +1,675 @@
+#include "flay/symbolic_executor.h"
+
+#include <set>
+#include <stdexcept>
+
+#include "expr/analysis.h"
+
+namespace flay::flay {
+
+using expr::ExprArena;
+using expr::ExprRef;
+using expr::SymbolClass;
+using p4::Expr;
+using p4::ExprOp;
+using p4::PathKind;
+using p4::Stmt;
+using p4::StmtOp;
+
+uint32_t TableInfo::actionIndex(const std::string& name) const {
+  for (size_t i = 0; i < decl->actionNames.size(); ++i) {
+    if (decl->actionNames[i] == name) return static_cast<uint32_t>(i);
+  }
+  return noopIndex();
+}
+
+namespace {
+
+constexpr uint32_t kSelectorWidth = 8;
+
+/// A symbolic machine state: location -> expression, plus the liveness
+/// condition used to model `exit`.
+struct SymState {
+  std::map<std::string, ExprRef> values;
+  ExprRef live;
+};
+
+class Executor {
+ public:
+  Executor(const p4::CheckedProgram& checked, ExprArena& arena,
+           const AnalysisOptions& options)
+      : checked_(checked), arena_(arena), options_(options) {}
+
+  AnalysisResult run() {
+    auto start = std::chrono::steady_clock::now();
+    initState();
+
+    const p4::Program& prog = checked_.program;
+    if (options_.analyzeParser) {
+      const p4::ParserDecl* parser =
+          prog.findParser(prog.pipeline.parserName);
+      if (parser == nullptr) throw std::logic_error("pipeline parser missing");
+      ParserOut out = execParserState(*parser, "start", state_, 0);
+      state_ = std::move(out.state);
+      result_.parserAccept = out.accepted;
+    } else {
+      freeParserOutputs();
+      result_.parserAccept =
+          arena_.boolVar("$parser.accepted", SymbolClass::kDataPlane);
+    }
+    result_.annotations.add(PointKind::kParserAccept, "parser",
+                            prog.pipeline.parserName, result_.parserAccept);
+
+    for (const auto& name : prog.pipeline.controlNames) {
+      const p4::ControlDecl* control = prog.findControl(name);
+      if (control == nullptr) throw std::logic_error("pipeline control missing");
+      currentControl_ = control;
+      component_ = control->name;
+      execStmts(control->applyBody, state_);
+    }
+
+    // Final-value annotations used by drop analysis and header pruning.
+    annotate(PointKind::kFinalValue, "final:sm.egress_spec", "pipeline",
+             state_.values.at("sm.egress_spec"));
+    for (const auto& h : checked_.env.headers()) {
+      annotate(PointKind::kFinalValue, "final:" + h.validityCanonical,
+               "pipeline", state_.values.at(h.validityCanonical));
+    }
+
+    result_.finalState = state_.values;
+    buildTaintMap();
+    result_.analysisTime = std::chrono::duration_cast<std::chrono::microseconds>(
+        std::chrono::steady_clock::now() - start);
+    return std::move(result_);
+  }
+
+ private:
+  // ----- Setup --------------------------------------------------------------
+
+  /// Initial state mirrors the interpreter: everything zero-initialized
+  /// except intrinsic inputs, which are free data-plane symbols.
+  void initState() {
+    for (const auto& f : checked_.env.fields()) {
+      if (f.isBool) {
+        state_.values[f.canonical] = arena_.boolConst(false);
+      } else {
+        state_.values[f.canonical] = arena_.bvConst(BitVec::zero(f.width));
+      }
+    }
+    state_.values["sm.ingress_port"] =
+        arena_.var("sm.ingress_port", p4::kPortWidth, SymbolClass::kDataPlane);
+    state_.values["sm.packet_length"] =
+        arena_.var("sm.packet_length", 32, SymbolClass::kDataPlane);
+    state_.live = arena_.boolConst(true);
+  }
+
+  /// Skip-parser mode: header fields and validity bits are unconstrained.
+  void freeParserOutputs() {
+    for (const auto& f : checked_.env.fields()) {
+      if (f.canonical.rfind("hdr.", 0) != 0 &&
+          f.canonical.rfind("meta.", 0) != 0) {
+        continue;
+      }
+      if (f.isBool) {
+        state_.values[f.canonical] =
+            arena_.boolVar(f.canonical, SymbolClass::kDataPlane);
+      } else {
+        state_.values[f.canonical] =
+            arena_.var(f.canonical, f.width, SymbolClass::kDataPlane);
+      }
+    }
+  }
+
+  // ----- Parser -------------------------------------------------------------
+
+  struct ParserOut {
+    SymState state;
+    ExprRef accepted;
+  };
+
+  ParserOut execParserState(const p4::ParserDecl& parser,
+                            const std::string& stateName, SymState state,
+                            int depth) {
+    if (stateName == "accept") return {std::move(state), arena_.boolConst(true)};
+    if (stateName == "reject") {
+      return {std::move(state), arena_.boolConst(false)};
+    }
+    if (depth > 64) {
+      throw std::runtime_error("parser state recursion too deep (cycle?)");
+    }
+    const p4::ParserStateDecl* decl = parser.findState(stateName);
+    if (decl == nullptr) throw std::logic_error("unknown parser state");
+
+    component_ = parser.name + "." + stateName;
+    for (const auto& stmt : decl->body) {
+      if (stmt->op == StmtOp::kExtract) {
+        const p4::HeaderInstance* hdr =
+            checked_.env.findHeader(stmt->lhs->canonical);
+        for (const auto& fieldName : hdr->fieldCanonicals) {
+          const p4::FieldInfo* info = checked_.env.findField(fieldName);
+          assignLoc(state, fieldName,
+                    arena_.var(fieldName, info->width,
+                               SymbolClass::kDataPlane));
+        }
+        assignLoc(state, hdr->validityCanonical, arena_.boolConst(true));
+      } else if (stmt->op == StmtOp::kTransition) {
+        return execTransition(parser, stmt->transition, std::move(state),
+                              depth);
+      } else {
+        execStmt(*stmt, state);
+      }
+    }
+    throw std::logic_error("parser state missing transition");
+  }
+
+  ParserOut execTransition(const p4::ParserDecl& parser,
+                           const p4::TransitionInfo& t, SymState state,
+                           int depth) {
+    if (t.selectExpr == nullptr) {
+      return execParserState(parser, t.nextState, std::move(state), depth + 1);
+    }
+    ExprRef sel = evalSym(*t.selectExpr, state, nullptr);
+    // Build the case conditions in order, then fold from the last case up:
+    // earlier cases take precedence in the resulting ITE chain.
+    ParserOut acc{state, arena_.boolConst(false)};  // fall-off: reject
+    bool sawDefault = false;
+    std::vector<std::pair<ExprRef, std::string>> guarded;
+    for (const auto& c : t.cases) {
+      switch (c.kind) {
+        case p4::SelectCase::Kind::kDefault:
+          guarded.emplace_back(arena_.boolConst(true), c.nextState);
+          sawDefault = true;
+          break;
+        case p4::SelectCase::Kind::kConst: {
+          ExprRef value = arena_.bvConst(c.value->value);
+          ExprRef cond;
+          if (c.mask != nullptr) {
+            ExprRef mask = arena_.bvConst(c.mask->value);
+            cond = arena_.eq(arena_.bvAnd(sel, mask),
+                             arena_.bvAnd(value, mask));
+          } else {
+            cond = arena_.eq(sel, value);
+          }
+          annotate(PointKind::kSelectCase,
+                   component_ + ":case " + c.value->value.toHexString(),
+                   component_, cond, &c);
+          guarded.emplace_back(cond, c.nextState);
+          break;
+        }
+        case p4::SelectCase::Kind::kValueSet: {
+          std::string qualified = parser.name + "." + c.valueSet;
+          ExprRef symbol = arena_.boolVar(
+              qualified + "@" +
+                  std::to_string(result_.valueSetUses.size()),
+              SymbolClass::kControlPlane);
+          result_.symbolOwner[arena_.node(symbol).a] = qualified;
+          result_.valueSetUses.push_back({qualified, sel, symbol});
+          annotate(PointKind::kSelectCase, component_ + ":case " + qualified,
+                   qualified, symbol, &c);
+          guarded.emplace_back(symbol, c.nextState);
+          break;
+        }
+      }
+      if (sawDefault) break;  // cases after default are unreachable
+    }
+    for (size_t i = guarded.size(); i-- > 0;) {
+      const auto& [cond, next] = guarded[i];
+      if (arena_.isTrue(cond)) {
+        acc = execParserState(parser, next, state, depth + 1);
+        continue;
+      }
+      ParserOut taken = execParserState(parser, next, state, depth + 1);
+      acc = mergeParserOut(cond, std::move(taken), std::move(acc));
+    }
+    return acc;
+  }
+
+  ParserOut mergeParserOut(ExprRef cond, ParserOut a, ParserOut b) {
+    ParserOut out;
+    out.state = mergeStates(cond, std::move(a.state), std::move(b.state));
+    out.accepted = arena_.ite(cond, a.accepted, b.accepted);
+    return out;
+  }
+
+  // ----- Controls -----------------------------------------------------------
+
+  /// Params for the enclosing action body, if any.
+  using ParamEnv = std::map<std::string, ExprRef>;
+
+  void execStmts(const std::vector<p4::StmtPtr>& stmts, SymState& state,
+                 const ParamEnv* params = nullptr) {
+    for (const auto& s : stmts) execStmt(*s, state, params);
+  }
+
+  void execStmt(const Stmt& stmt, SymState& state,
+                const ParamEnv* params = nullptr) {
+    switch (stmt.op) {
+      case StmtOp::kAssign: {
+        ExprRef rhs = evalSym(*stmt.rhs, state, params);
+        assignLValue(*stmt.lhs, rhs, state, params);
+        const std::string& loc = stmt.lhs->op == ExprOp::kSlice
+                                     ? stmt.lhs->a->canonical
+                                     : stmt.lhs->canonical;
+        annotate(PointKind::kAssignedValue,
+                 component_ + ":assign " + loc + "@" +
+                     std::to_string(stmt.loc.line),
+                 component_, readLoc(state, loc, params), &stmt);
+        return;
+      }
+      case StmtOp::kVarDecl: {
+        ExprRef init;
+        if (stmt.rhs != nullptr) {
+          init = evalSym(*stmt.rhs, state, params);
+        } else {
+          init = stmt.varIsBool
+                     ? arena_.boolConst(false)
+                     : arena_.bvConst(BitVec::zero(stmt.varWidth));
+        }
+        state.values[localKey(stmt.varName)] = init;
+        return;
+      }
+      case StmtOp::kIf: {
+        ExprRef cond = evalSym(*stmt.cond, state, params);
+        annotate(PointKind::kIfCondition,
+                 component_ + ":if@" + std::to_string(stmt.loc.line),
+                 component_, cond, &stmt);
+        if (arena_.isTrue(cond)) {
+          execStmts(stmt.thenBody, state, params);
+          return;
+        }
+        if (arena_.isFalse(cond)) {
+          execStmts(stmt.elseBody, state, params);
+          return;
+        }
+        SymState thenState = state;
+        SymState elseState = state;
+        execStmts(stmt.thenBody, thenState, params);
+        execStmts(stmt.elseBody, elseState, params);
+        state = mergeStates(cond, std::move(thenState), std::move(elseState));
+        return;
+      }
+      case StmtOp::kApply:
+        execApply(stmt, state);
+        return;
+      case StmtOp::kActionCall: {
+        std::vector<ExprRef> args;
+        for (const auto& a : stmt.args) {
+          args.push_back(evalSym(*a, state, params));
+        }
+        execActionBody(stmt.target, args, state);
+        return;
+      }
+      case StmtOp::kMarkToDrop:
+        assignLoc(state, "sm.egress_spec",
+                  arena_.bvConst(BitVec(p4::kPortWidth, p4::kDropPort)));
+        return;
+      case StmtOp::kSetValid:
+        assignLoc(state, stmt.lhs->canonical + ".$valid",
+                  arena_.boolConst(true));
+        return;
+      case StmtOp::kSetInvalid:
+        assignLoc(state, stmt.lhs->canonical + ".$valid",
+                  arena_.boolConst(false));
+        return;
+      case StmtOp::kRegRead: {
+        // Register contents are data-plane state: a fresh free symbol.
+        const std::string qualified =
+            currentControl_->name + "." + stmt.target;
+        ExprRef fresh = arena_.var(
+            qualified + ".$read" + std::to_string(freshCounter_++),
+            stmt.lhs->width, SymbolClass::kDataPlane);
+        assignLValue(*stmt.lhs, fresh, state, params);
+        return;
+      }
+      case StmtOp::kRegWrite:
+      case StmtOp::kCountCall:
+        return;  // no effect on packet-visible state
+      case StmtOp::kMeterCall: {
+        const std::string qualified =
+            currentControl_->name + "." + stmt.target;
+        ExprRef fresh = arena_.var(
+            qualified + ".$color" + std::to_string(freshCounter_++), 2,
+            SymbolClass::kDataPlane);
+        assignLValue(*stmt.lhs, fresh, state, params);
+        return;
+      }
+      case StmtOp::kExit:
+        state.live = arena_.boolConst(false);
+        return;
+      case StmtOp::kEmit:
+      case StmtOp::kExtract:
+      case StmtOp::kTransition:
+        throw std::logic_error("statement not valid in a control");
+    }
+  }
+
+  // ----- Table apply ----------------------------------------------------------
+
+  void execApply(const Stmt& stmt, SymState& state) {
+    const p4::TableDecl* decl = currentControl_->findTable(stmt.target);
+    std::string qualified = currentControl_->name + "." + stmt.target;
+    if (result_.tableIndex.count(qualified) != 0) {
+      throw std::logic_error("table '" + qualified +
+                             "' applied more than once; Flay requires a "
+                             "single apply site per table");
+    }
+
+    TableInfo info;
+    info.qualified = qualified;
+    info.control = currentControl_;
+    info.decl = decl;
+    for (const auto& k : decl->keys) {
+      info.keyExprs.push_back(evalSym(*k.expr, state, nullptr));
+    }
+    info.hitSymbol =
+        arena_.boolVar(qualified + ".$hit", SymbolClass::kControlPlane);
+    info.actionSymbol = arena_.var(qualified + ".$action", kSelectorWidth,
+                                   SymbolClass::kControlPlane);
+    info.defaultActionSymbol =
+        arena_.var(qualified + ".$defaultaction", kSelectorWidth,
+                   SymbolClass::kControlPlane);
+    registerOwner(info.hitSymbol, qualified);
+    registerOwner(info.actionSymbol, qualified);
+    registerOwner(info.defaultActionSymbol, qualified);
+
+    std::string savedComponent = component_;
+    component_ = qualified;
+
+    // Execute every action arm twice: once with entry-role parameters, once
+    // with default-role parameters (the runtime default action can change).
+    SymState base = state;
+    std::vector<SymState> entryArm, defaultArm;
+    for (const auto& actionName : decl->actionNames) {
+      entryArm.push_back(
+          execActionArm(info, actionName, base, /*defaultRole=*/false));
+      defaultArm.push_back(
+          execActionArm(info, actionName, base, /*defaultRole=*/true));
+    }
+    // The no-op arm leaves the state unchanged.
+    entryArm.push_back(base);
+    defaultArm.push_back(base);
+
+    // Merge: ite(hit, selector chain over entry arms, selector chain over
+    // default arms), all guarded by liveness.
+    SymState hitMerged = selectorMerge(info.actionSymbol, entryArm);
+    SymState missMerged = selectorMerge(info.defaultActionSymbol, defaultArm);
+    SymState merged =
+        mergeStates(info.hitSymbol, std::move(hitMerged), std::move(missMerged));
+    state = mergeStates(state.live, std::move(merged), std::move(base));
+
+    info.hitPoint = annotate(PointKind::kTableHit, qualified + ":hit",
+                             qualified, info.hitSymbol);
+    info.actionPoint = annotate(PointKind::kTableAction, qualified + ":action",
+                                qualified, info.actionSymbol);
+
+    component_ = savedComponent;
+    result_.tableIndex[qualified] = result_.tables.size();
+    result_.tables.push_back(std::move(info));
+  }
+
+  SymState execActionArm(TableInfo& info, const std::string& actionName,
+                         const SymState& base, bool defaultRole) {
+    SymState arm = base;
+    if (actionName == "noop" || actionName == "NoAction") return arm;
+    insideAction_ = true;
+    const p4::ActionDecl* action = info.control->findAction(actionName);
+    if (action == nullptr) throw std::logic_error("unknown action");
+    ParamEnv params;
+    for (const auto& p : action->params) {
+      std::string symbolName = info.qualified +
+                               (defaultRole ? ".$default." : ".") +
+                               actionName + "." + p.name;
+      ExprRef sym =
+          arena_.var(symbolName, p.width, SymbolClass::kControlPlane);
+      registerOwner(sym, info.qualified);
+      params[p.name] = sym;
+      auto& target =
+          defaultRole ? info.defaultParamSymbols : info.paramSymbols;
+      target[actionName + "." + p.name] = sym;
+    }
+    for (const auto& s : action->body) execStmt(*s, arm, &params);
+    insideAction_ = false;
+    return arm;
+  }
+
+  /// Direct action call with concrete (symbolic) arguments.
+  void execActionBody(const std::string& actionName,
+                      const std::vector<ExprRef>& args, SymState& state) {
+    if (actionName == "noop" || actionName == "NoAction") return;
+    const p4::ActionDecl* action = currentControl_->findAction(actionName);
+    if (action == nullptr) throw std::logic_error("unknown action");
+    ParamEnv params;
+    for (size_t i = 0; i < action->params.size(); ++i) {
+      params[action->params[i].name] = args[i];
+    }
+    bool saved = insideAction_;
+    insideAction_ = true;
+    for (const auto& s : action->body) execStmt(*s, state, &params);
+    insideAction_ = saved;
+  }
+
+  /// Nested ITE over selector values 0..n-1, arm n-1 as the fall-through.
+  SymState selectorMerge(ExprRef selector, std::vector<SymState>& arms) {
+    SymState acc = std::move(arms.back());
+    for (size_t i = arms.size() - 1; i-- > 0;) {
+      ExprRef cond = arena_.eq(
+          selector, arena_.bvConst(BitVec(kSelectorWidth, i)));
+      acc = mergeStates(cond, std::move(arms[i]), std::move(acc));
+    }
+    return acc;
+  }
+
+  // ----- State plumbing --------------------------------------------------------
+
+  SymState mergeStates(ExprRef cond, SymState a, SymState b) {
+    SymState out;
+    out.live = arena_.ite(cond, a.live, b.live);
+    // Union of keys; a location missing on one side keeps the other side's
+    // value (locals declared in one branch are dead outside it anyway).
+    for (auto& [k, v] : a.values) {
+      auto it = b.values.find(k);
+      if (it == b.values.end()) {
+        out.values.emplace(k, v);
+      } else if (v == it->second) {
+        out.values.emplace(k, v);
+      } else {
+        out.values.emplace(k, arena_.ite(cond, v, it->second));
+      }
+    }
+    for (auto& [k, v] : b.values) {
+      out.values.emplace(k, v);  // no-op for keys already present
+    }
+    return out;
+  }
+
+  std::string localKey(const std::string& name) const {
+    return currentControl_->name + ".$local." + name;
+  }
+
+  ExprRef readLoc(SymState& state, const std::string& canonical,
+                  const ParamEnv* params) {
+    (void)params;
+    auto it = state.values.find(canonical);
+    if (it != state.values.end()) return it->second;
+    auto localIt = state.values.find(localKey(canonical));
+    if (localIt != state.values.end()) return localIt->second;
+    throw std::logic_error("unknown location '" + canonical + "'");
+  }
+
+  /// Liveness-guarded write.
+  void assignLoc(SymState& state, const std::string& key, ExprRef value) {
+    auto it = state.values.find(key);
+    if (it == state.values.end()) {
+      state.values[key] = value;
+      return;
+    }
+    it->second = arena_.ite(state.live, value, it->second);
+  }
+
+  void assignLValue(const Expr& lhs, ExprRef value, SymState& state,
+                    const ParamEnv* params) {
+    if (lhs.op == ExprOp::kSlice) {
+      const std::string key = lhs.a->pathKind == PathKind::kLocal
+                                  ? localKey(lhs.a->canonical)
+                                  : lhs.a->canonical;
+      ExprRef cur = state.values.at(key);
+      uint32_t w = arena_.width(cur);
+      // cur with bits [hi:lo] replaced by value.
+      ExprRef result;
+      ExprRef shifted = arena_.shl(arena_.zext(value, w), lhs.sliceLo);
+      BitVec maskBits = BitVec::allOnes(lhs.sliceHi - lhs.sliceLo + 1)
+                            .zext(w)
+                            .shl(lhs.sliceLo);
+      result = arena_.bvOr(
+          arena_.bvAnd(cur, arena_.bvConst(maskBits.bitNot())), shifted);
+      assignLoc(state, key, result);
+      return;
+    }
+    (void)params;
+    const std::string key = lhs.pathKind == PathKind::kLocal
+                                ? localKey(lhs.canonical)
+                                : lhs.canonical;
+    assignLoc(state, key, value);
+  }
+
+  // ----- Expression translation ---------------------------------------------
+
+  ExprRef evalSym(const Expr& e, SymState& state, const ParamEnv* params) {
+    switch (e.op) {
+      case ExprOp::kIntLit:
+        return arena_.bvConst(e.value);
+      case ExprOp::kBoolLit:
+        return arena_.boolConst(e.boolValue);
+      case ExprOp::kPath:
+        switch (e.pathKind) {
+          case PathKind::kConst:
+            return arena_.bvConst(e.value);
+          case PathKind::kField:
+            return state.values.at(e.canonical);
+          case PathKind::kLocal:
+            return state.values.at(localKey(e.canonical));
+          case PathKind::kActionParam: {
+            if (params == nullptr) {
+              throw std::logic_error("action parameter outside action");
+            }
+            return params->at(e.canonical);
+          }
+          case PathKind::kUnresolved:
+            throw std::logic_error("unresolved path in checked program");
+        }
+        break;
+      case ExprOp::kIsValid:
+        return state.values.at(e.canonical + ".$valid");
+      case ExprOp::kUnary: {
+        ExprRef a = evalSym(*e.a, state, params);
+        switch (e.unOp) {
+          case p4::UnOp::kLNot: return arena_.bNot(a);
+          case p4::UnOp::kBitNot: return arena_.bvNot(a);
+          case p4::UnOp::kNeg: return arena_.neg(a);
+        }
+        break;
+      }
+      case ExprOp::kBinary: {
+        using p4::BinOp;
+        ExprRef a = evalSym(*e.a, state, params);
+        if (e.binOp == BinOp::kShl || e.binOp == BinOp::kShr) {
+          uint32_t amount = static_cast<uint32_t>(e.b->value.toUint64());
+          return e.binOp == BinOp::kShl ? arena_.shl(a, amount)
+                                        : arena_.lshr(a, amount);
+        }
+        ExprRef b = evalSym(*e.b, state, params);
+        switch (e.binOp) {
+          case BinOp::kAdd: return arena_.add(a, b);
+          case BinOp::kSub: return arena_.sub(a, b);
+          case BinOp::kMul: return arena_.mul(a, b);
+          case BinOp::kDiv: return arena_.udiv(a, b);
+          case BinOp::kMod: return arena_.urem(a, b);
+          case BinOp::kBitAnd: return arena_.bvAnd(a, b);
+          case BinOp::kBitOr: return arena_.bvOr(a, b);
+          case BinOp::kBitXor: return arena_.bvXor(a, b);
+          case BinOp::kEq: return arena_.eq(a, b);
+          case BinOp::kNe: return arena_.neq(a, b);
+          case BinOp::kLt: return arena_.ult(a, b);
+          case BinOp::kLe: return arena_.ule(a, b);
+          case BinOp::kGt: return arena_.ult(b, a);
+          case BinOp::kGe: return arena_.ule(b, a);
+          case BinOp::kLAnd: return arena_.bAnd(a, b);
+          case BinOp::kLOr: return arena_.bOr(a, b);
+          case BinOp::kConcat: return arena_.concat(a, b);
+          default: break;
+        }
+        break;
+      }
+      case ExprOp::kTernary: {
+        ExprRef c = evalSym(*e.a, state, params);
+        return arena_.ite(c, evalSym(*e.b, state, params),
+                          evalSym(*e.c, state, params));
+      }
+      case ExprOp::kSlice:
+        return arena_.extract(evalSym(*e.a, state, params), e.sliceHi,
+                              e.sliceLo);
+      case ExprOp::kCast: {
+        ExprRef a = evalSym(*e.a, state, params);
+        uint32_t w = arena_.width(a);
+        if (w == e.castWidth) return a;
+        return w < e.castWidth ? arena_.zext(a, e.castWidth)
+                               : arena_.extract(a, e.castWidth - 1, 0);
+      }
+    }
+    throw std::logic_error("unhandled expression in symbolic evaluation");
+  }
+
+  // ----- Bookkeeping ------------------------------------------------------------
+
+  uint32_t annotate(PointKind kind, std::string label, std::string component,
+                    ExprRef e, const void* astNode = nullptr) {
+    // Statements inside action arms are annotated once per arm with
+    // arm-specific guards; rewriting the shared action body from any one of
+    // them would be unsound, so they carry no AST back-pointer.
+    if (insideAction_) astNode = nullptr;
+    return result_.annotations.add(kind, std::move(label),
+                                   std::move(component), e, astNode);
+  }
+
+  void registerOwner(ExprRef symbolExpr, const std::string& owner) {
+    result_.symbolOwner[arena_.node(symbolExpr).a] = owner;
+  }
+
+  /// For every annotation, map each reachable control-plane symbol back to
+  /// its owning object and record the taint edge.
+  void buildTaintMap() {
+    for (const auto& p : result_.annotations.points()) {
+      auto symbols =
+          expr::collectSymbols(arena_, p.expr, SymbolClass::kControlPlane);
+      std::set<std::string> owners;
+      for (uint32_t sym : symbols) {
+        auto it = result_.symbolOwner.find(sym);
+        if (it != result_.symbolOwner.end()) owners.insert(it->second);
+      }
+      for (const auto& o : owners) result_.annotations.taint(o, p.id);
+    }
+  }
+
+  const p4::CheckedProgram& checked_;
+  ExprArena& arena_;
+  AnalysisOptions options_;
+  AnalysisResult result_;
+  SymState state_;
+  const p4::ControlDecl* currentControl_ = nullptr;
+  std::string component_;
+  uint64_t freshCounter_ = 0;
+  bool insideAction_ = false;
+};
+
+}  // namespace
+
+SymbolicExecutor::SymbolicExecutor(const p4::CheckedProgram& checked,
+                                   expr::ExprArena& arena,
+                                   AnalysisOptions options)
+    : checked_(checked), arena_(arena), options_(options) {}
+
+AnalysisResult SymbolicExecutor::run() {
+  return Executor(checked_, arena_, options_).run();
+}
+
+}  // namespace flay::flay

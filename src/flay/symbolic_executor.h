@@ -1,0 +1,96 @@
+#ifndef FLAY_FLAY_SYMBOLIC_EXECUTOR_H
+#define FLAY_FLAY_SYMBOLIC_EXECUTOR_H
+
+#include <chrono>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "expr/arena.h"
+#include "flay/program_points.h"
+#include "p4/typecheck.h"
+
+namespace flay::flay {
+
+/// Control-plane placeholders created for one table apply site. The encoder
+/// substitutes these with expressions derived from the installed entries.
+struct TableInfo {
+  std::string qualified;  // "Ingress.fwd"
+  const p4::ControlDecl* control = nullptr;
+  const p4::TableDecl* decl = nullptr;
+  /// Symbolic values of the key expressions at the apply site.
+  std::vector<expr::ExprRef> keyExprs;
+  /// bool: does some entry match?
+  expr::ExprRef hitSymbol;
+  /// bit<8> selector over [actions..., noop]: which action runs on hit.
+  expr::ExprRef actionSymbol;
+  /// bit<8> selector: which action runs on miss (runtime default action).
+  expr::ExprRef defaultActionSymbol;
+  /// Entry-role parameter symbols: "<action>.<param>" -> symbol.
+  std::map<std::string, expr::ExprRef> paramSymbols;
+  /// Default-role parameter symbols: "<action>.<param>" -> symbol.
+  std::map<std::string, expr::ExprRef> defaultParamSymbols;
+  /// Program point ids for the hit/action annotations.
+  uint32_t hitPoint = 0;
+  uint32_t actionPoint = 0;
+
+  /// Selector index of the built-in no-op arm.
+  uint32_t noopIndex() const {
+    return static_cast<uint32_t>(decl->actionNames.size());
+  }
+  /// Selector index for an action name (noopIndex() for noop/NoAction).
+  uint32_t actionIndex(const std::string& name) const;
+};
+
+/// One use of a parser value set in a select expression.
+struct ValueSetUse {
+  std::string qualified;  // "MyParser.tpids"
+  expr::ExprRef selectExpr;
+  expr::ExprRef symbol;  // bool cp placeholder for "select value in set"
+};
+
+struct AnalysisOptions {
+  /// Symbolically execute the parser. Disabled, every header field and
+  /// validity bit becomes a free symbol — the mode Table 2 reports for
+  /// large programs ("skips the parser").
+  bool analyzeParser = true;
+};
+
+/// Output of the one-time data-plane analysis (Fig. 4, top box).
+struct AnalysisResult {
+  AnnotationStore annotations;
+  std::vector<TableInfo> tables;
+  std::map<std::string, size_t> tableIndex;  // qualified -> tables[] index
+  std::vector<ValueSetUse> valueSetUses;
+  /// Final symbolic value of every location after the last control.
+  std::map<std::string, expr::ExprRef> finalState;
+  expr::ExprRef parserAccept;
+  /// Map from control-plane symbol id to owning object qualified name.
+  std::map<uint32_t, std::string> symbolOwner;
+  std::chrono::microseconds analysisTime{0};
+
+  const TableInfo& table(const std::string& qualified) const {
+    return tables[tableIndex.at(qualified)];
+  }
+};
+
+/// The data-flow analysis with state merging (§4.1): computes hermetic
+/// data-plane expressions for every program point of interest, introducing
+/// control-plane placeholder symbols at table applies and value-set uses.
+class SymbolicExecutor {
+ public:
+  SymbolicExecutor(const p4::CheckedProgram& checked, expr::ExprArena& arena,
+                   AnalysisOptions options = {});
+
+  AnalysisResult run();
+
+ private:
+  class Impl;
+  const p4::CheckedProgram& checked_;
+  expr::ExprArena& arena_;
+  AnalysisOptions options_;
+};
+
+}  // namespace flay::flay
+
+#endif  // FLAY_FLAY_SYMBOLIC_EXECUTOR_H

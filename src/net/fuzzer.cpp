@@ -1,0 +1,100 @@
+#include "net/fuzzer.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace flay::net {
+
+BitVec EntryFuzzer::randomValue(uint32_t width) {
+  BitVec v = BitVec::zero(width);
+  for (uint32_t lo = 0; lo < width; lo += 64) {
+    uint32_t chunk = std::min(64u, width - lo);
+    v = v.bitOr(BitVec(width, rng_()).shl(lo));
+    (void)chunk;
+  }
+  return v;
+}
+
+BitVec EntryFuzzer::randomMask(uint32_t width) {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    BitVec m = randomValue(width);
+    if (!m.isZero()) return m;
+  }
+  return BitVec::allOnes(width);
+}
+
+uint64_t EntryFuzzer::randomUint(uint64_t bound) {
+  return bound == 0 ? 0 : rng_() % bound;
+}
+
+std::vector<runtime::TableEntry> EntryFuzzer::uniqueEntries(
+    const runtime::TableState& table, size_t count,
+    const std::vector<std::string>& excludedActions) {
+  const p4::TableDecl& decl = table.decl();
+  const p4::ControlDecl& control = table.control();
+
+  std::vector<std::string> actions;
+  for (const auto& a : decl.actionNames) {
+    bool excluded = false;
+    for (const auto& e : excludedActions) excluded |= e == a;
+    if (!excluded) actions.push_back(a);
+  }
+  if (actions.empty()) {
+    throw std::invalid_argument("no usable actions for fuzzing");
+  }
+
+  // Capacity check so we fail fast instead of spinning on a tiny keyspace.
+  double keyspaceBits = 0;
+  for (const auto& k : decl.keys) keyspaceBits += k.expr->width;
+  if (keyspaceBits < 60 &&
+      static_cast<double>(count) > std::pow(2.0, keyspaceBits)) {
+    throw std::invalid_argument("table keyspace too small for request");
+  }
+
+  std::set<std::string> seen;
+  std::vector<runtime::TableEntry> result;
+  result.reserve(count);
+  int32_t priority = static_cast<int32_t>(count) + 1;
+  while (result.size() < count) {
+    runtime::TableEntry e;
+    for (const auto& k : decl.keys) {
+      uint32_t w = k.expr->width;
+      switch (k.matchKind) {
+        case p4::MatchKind::kExact:
+          e.matches.push_back(runtime::FieldMatch::exact(randomValue(w)));
+          break;
+        case p4::MatchKind::kTernary:
+          e.matches.push_back(
+              runtime::FieldMatch::ternary(randomValue(w), randomMask(w)));
+          break;
+        case p4::MatchKind::kLpm: {
+          uint32_t plen = 1 + static_cast<uint32_t>(randomUint(w));
+          e.matches.push_back(
+              runtime::FieldMatch::lpm(randomValue(w), plen));
+          break;
+        }
+      }
+    }
+    // Uniqueness must mirror TableState's duplicate detection, which
+    // compares masked values: build the signature from (value & mask, mask).
+    std::string sig;
+    for (const auto& m : e.matches) {
+      sig += m.value.bitAnd(m.mask).toHexString() + "/" +
+             m.mask.toHexString() + "|";
+    }
+    if (!seen.insert(sig).second) continue;
+
+    const std::string& actionName = actions[randomUint(actions.size())];
+    e.actionName = actionName;
+    if (const p4::ActionDecl* action = control.findAction(actionName)) {
+      for (const auto& p : action->params) {
+        e.actionArgs.push_back(randomValue(p.width));
+      }
+    }
+    if (table.usesPriority()) e.priority = priority--;
+    result.push_back(std::move(e));
+  }
+  return result;
+}
+
+}  // namespace flay::net

@@ -1,0 +1,41 @@
+#ifndef FLAY_NET_FUZZER_H
+#define FLAY_NET_FUZZER_H
+
+#include <random>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "runtime/table_state.h"
+
+namespace flay::net {
+
+/// Generates unique random control-plane entries for a table schema — the
+/// stand-in for the ControlPlaneSmith fuzzer the paper uses to produce
+/// 1000-entry semantics-preserving bursts (§4.2).
+class EntryFuzzer {
+ public:
+  explicit EntryFuzzer(uint64_t seed) : rng_(seed) {}
+
+  /// Produces `count` entries valid for `table`, each with a distinct match
+  /// set. Actions are drawn uniformly from the table's action list (minus
+  /// `excludedActions`); action arguments are random values of the right
+  /// width. Priorities are assigned decreasing and unique for ternary
+  /// tables. Throws if the schema admits fewer than `count` distinct keys.
+  std::vector<runtime::TableEntry> uniqueEntries(
+      const runtime::TableState& table, size_t count,
+      const std::vector<std::string>& excludedActions = {});
+
+  /// Random value of the given width.
+  BitVec randomValue(uint32_t width);
+  /// Random mask that keeps at least one bit set (non-wildcard).
+  BitVec randomMask(uint32_t width);
+  uint64_t randomUint(uint64_t bound);  // [0, bound)
+
+ private:
+  std::mt19937_64 rng_;
+};
+
+}  // namespace flay::net
+
+#endif  // FLAY_NET_FUZZER_H

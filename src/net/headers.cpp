@@ -1,0 +1,103 @@
+#include "net/headers.h"
+
+namespace flay::net {
+
+void PacketBuilder::appendBits(const BitVec& v) {
+  for (uint32_t i = v.width(); i-- > 0;) {
+    if (bitPos_ % 8 == 0) bytes_.push_back(0);
+    if (v.bit(i)) {
+      bytes_.back() |= static_cast<uint8_t>(1u << (7 - bitPos_ % 8));
+    }
+    ++bitPos_;
+  }
+}
+
+PacketBuilder& PacketBuilder::eth(const EthHeader& h) {
+  appendBits(BitVec(48, h.dst));
+  appendBits(BitVec(48, h.src));
+  appendBits(BitVec(16, h.type));
+  return *this;
+}
+
+PacketBuilder& PacketBuilder::ipv4(const Ipv4Header& h) {
+  appendBits(BitVec(4, h.version));
+  appendBits(BitVec(4, h.ihl));
+  appendBits(BitVec(8, h.tos));
+  appendBits(BitVec(16, h.len));
+  appendBits(BitVec(16, h.id));
+  appendBits(BitVec(3, h.flags));
+  appendBits(BitVec(13, h.frag));
+  appendBits(BitVec(8, h.ttl));
+  appendBits(BitVec(8, h.proto));
+  appendBits(BitVec(16, h.csum));
+  appendBits(BitVec(32, h.src));
+  appendBits(BitVec(32, h.dst));
+  return *this;
+}
+
+PacketBuilder& PacketBuilder::ipv6(const Ipv6Header& h) {
+  appendBits(BitVec(4, h.version));
+  appendBits(BitVec(8, h.trafficClass));
+  appendBits(BitVec(20, h.flowLabel));
+  appendBits(BitVec(16, h.payloadLen));
+  appendBits(BitVec(8, h.nextHeader));
+  appendBits(BitVec(8, h.hopLimit));
+  appendBits(h.src);
+  appendBits(h.dst);
+  return *this;
+}
+
+PacketBuilder& PacketBuilder::udp(const UdpHeader& h) {
+  appendBits(BitVec(16, h.srcPort));
+  appendBits(BitVec(16, h.dstPort));
+  appendBits(BitVec(16, h.len));
+  appendBits(BitVec(16, h.csum));
+  return *this;
+}
+
+PacketBuilder& PacketBuilder::tcp(const TcpHeader& h) {
+  appendBits(BitVec(16, h.srcPort));
+  appendBits(BitVec(16, h.dstPort));
+  appendBits(BitVec(32, h.seq));
+  appendBits(BitVec(32, h.ack));
+  appendBits(BitVec(4, h.dataOffset));
+  appendBits(BitVec(12, h.flags));
+  appendBits(BitVec(16, h.window));
+  appendBits(BitVec(16, h.csum));
+  appendBits(BitVec(16, h.urgent));
+  return *this;
+}
+
+PacketBuilder& PacketBuilder::payload(std::vector<uint8_t> bytes) {
+  for (uint8_t b : bytes) appendBits(BitVec(8, b));
+  return *this;
+}
+
+PacketBuilder& PacketBuilder::raw(const BitVec& bits) {
+  appendBits(bits);
+  return *this;
+}
+
+uint16_t internetChecksum(const std::vector<uint8_t>& bytes, size_t offset,
+                          size_t length) {
+  uint32_t sum = 0;
+  for (size_t i = 0; i + 1 < length; i += 2) {
+    sum += (static_cast<uint32_t>(bytes[offset + i]) << 8) |
+           bytes[offset + i + 1];
+  }
+  if (length % 2 != 0) {
+    sum += static_cast<uint32_t>(bytes[offset + length - 1]) << 8;
+  }
+  while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
+  return static_cast<uint16_t>(~sum);
+}
+
+void fillIpv4Checksum(std::vector<uint8_t>& packet, size_t offset) {
+  packet[offset + 10] = 0;
+  packet[offset + 11] = 0;
+  uint16_t csum = internetChecksum(packet, offset, 20);
+  packet[offset + 10] = static_cast<uint8_t>(csum >> 8);
+  packet[offset + 11] = static_cast<uint8_t>(csum & 0xFF);
+}
+
+}  // namespace flay::net

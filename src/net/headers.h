@@ -1,0 +1,94 @@
+#ifndef FLAY_NET_HEADERS_H
+#define FLAY_NET_HEADERS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "support/bitvec.h"
+
+namespace flay::net {
+
+/// Helpers that assemble raw packets for the simulator. Field layouts match
+/// the header declarations used throughout the bundled P4-lite programs.
+
+struct EthHeader {
+  uint64_t dst = 0;  // 48 bits
+  uint64_t src = 0;  // 48 bits
+  uint16_t type = 0;
+};
+
+struct Ipv4Header {
+  uint8_t version = 4;
+  uint8_t ihl = 5;
+  uint8_t tos = 0;
+  uint16_t len = 20;
+  uint16_t id = 0;
+  uint8_t flags = 0;   // 3 bits
+  uint16_t frag = 0;   // 13 bits
+  uint8_t ttl = 64;
+  uint8_t proto = 6;
+  uint16_t csum = 0;
+  uint32_t src = 0;
+  uint32_t dst = 0;
+};
+
+struct Ipv6Header {
+  uint8_t version = 6;      // 4 bits
+  uint8_t trafficClass = 0;
+  uint32_t flowLabel = 0;   // 20 bits
+  uint16_t payloadLen = 0;
+  uint8_t nextHeader = 6;
+  uint8_t hopLimit = 64;
+  BitVec src = BitVec::zero(128);
+  BitVec dst = BitVec::zero(128);
+};
+
+struct UdpHeader {
+  uint16_t srcPort = 0;
+  uint16_t dstPort = 0;
+  uint16_t len = 8;
+  uint16_t csum = 0;
+};
+
+struct TcpHeader {
+  uint16_t srcPort = 0;
+  uint16_t dstPort = 0;
+  uint32_t seq = 0;
+  uint32_t ack = 0;
+  uint8_t dataOffset = 5;  // 4 bits
+  uint8_t flags = 0;       // we model 12 bits of reserved+flags
+  uint16_t window = 0;
+  uint16_t csum = 0;
+  uint16_t urgent = 0;
+};
+
+/// Incremental packet builder; append headers high-to-low in wire order.
+class PacketBuilder {
+ public:
+  PacketBuilder& eth(const EthHeader& h);
+  PacketBuilder& ipv4(const Ipv4Header& h);
+  PacketBuilder& ipv6(const Ipv6Header& h);
+  PacketBuilder& udp(const UdpHeader& h);
+  PacketBuilder& tcp(const TcpHeader& h);
+  PacketBuilder& payload(std::vector<uint8_t> bytes);
+  PacketBuilder& raw(const BitVec& bits);
+
+  std::vector<uint8_t> build() const { return bytes_; }
+
+ private:
+  void appendBits(const BitVec& v);
+  std::vector<uint8_t> bytes_;
+  uint32_t bitPos_ = 0;
+};
+
+/// RFC 1071 ones-complement checksum over 16-bit words.
+uint16_t internetChecksum(const std::vector<uint8_t>& bytes, size_t offset,
+                          size_t length);
+
+/// Computes and fills the IPv4 header checksum field in a built packet whose
+/// IPv4 header starts at byte `offset`.
+void fillIpv4Checksum(std::vector<uint8_t>& packet, size_t offset);
+
+}  // namespace flay::net
+
+#endif  // FLAY_NET_HEADERS_H

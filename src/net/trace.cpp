@@ -1,0 +1,85 @@
+#include "net/trace.h"
+
+#include <algorithm>
+#include <random>
+
+#include "net/fuzzer.h"
+
+namespace flay::net {
+
+std::vector<TraceEvent> generateControlPlaneTrace(
+    const runtime::DeviceConfig& config, const TraceSpec& spec) {
+  std::mt19937_64 rng(spec.seed);
+  std::vector<TraceEvent> events;
+
+  auto exponential = [&rng](double mean) {
+    std::exponential_distribution<double> d(1.0 / mean);
+    return d(rng);
+  };
+
+  // Pre-fuzz a large unique pool per table so events never collide.
+  auto fuzzPool = [&](const std::string& table, size_t count) {
+    EntryFuzzer fuzzer(rng());
+    return fuzzer.uniqueEntries(config.table(table), count);
+  };
+
+  // Policy: rare independent changes.
+  if (!spec.policyTable.empty()) {
+    size_t expected = static_cast<size_t>(
+                          spec.durationSec / spec.policyMeanIntervalSec) +
+                      4;
+    auto pool = fuzzPool(spec.policyTable, expected + 4);
+    double t = exponential(spec.policyMeanIntervalSec);
+    size_t i = 0;
+    while (t < spec.durationSec && i < pool.size()) {
+      events.push_back({t, UpdateClass::kPolicy,
+                        runtime::Update::insert(spec.policyTable, pool[i++])});
+      t += exponential(spec.policyMeanIntervalSec);
+    }
+  }
+
+  // Routing: bursts of many inserts back to back.
+  if (!spec.routeTable.empty()) {
+    size_t expectedBursts = static_cast<size_t>(
+                                spec.durationSec /
+                                spec.routeBurstMeanIntervalSec) +
+                            2;
+    auto pool = fuzzPool(spec.routeTable,
+                         expectedBursts * spec.routeBurstMax + 8);
+    double t = exponential(spec.routeBurstMeanIntervalSec);
+    size_t i = 0;
+    while (t < spec.durationSec) {
+      size_t burst = spec.routeBurstMin +
+                     rng() % (spec.routeBurstMax - spec.routeBurstMin + 1);
+      for (size_t k = 0; k < burst && i < pool.size(); ++k) {
+        events.push_back(
+            {t + static_cast<double>(k) * spec.routeBurstSpacingSec,
+             UpdateClass::kRouting,
+             runtime::Update::insert(spec.routeTable, pool[i++])});
+      }
+      t += exponential(spec.routeBurstMeanIntervalSec);
+    }
+  }
+
+  // NAT: steady frequent churn.
+  if (!spec.natTable.empty()) {
+    size_t expected =
+        static_cast<size_t>(spec.durationSec / spec.natMeanIntervalSec) + 8;
+    auto pool = fuzzPool(spec.natTable, expected + 8);
+    double t = exponential(spec.natMeanIntervalSec);
+    size_t i = 0;
+    while (t < spec.durationSec && i < pool.size()) {
+      events.push_back({t, UpdateClass::kNat,
+                        runtime::Update::insert(spec.natTable, pool[i++])});
+      t += exponential(spec.natMeanIntervalSec);
+    }
+  }
+
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.timeSec < b.timeSec;
+                   });
+  return events;
+}
+
+}  // namespace flay::net

@@ -1,0 +1,61 @@
+#ifndef FLAY_NET_TRACE_H
+#define FLAY_NET_TRACE_H
+
+#include <string>
+#include <vector>
+
+#include "runtime/device_config.h"
+
+namespace flay::net {
+
+/// The control-plane input classes of the paper's Fig. 1, ordered by rate
+/// of change: policy (days), routing/NAT (seconds, bursty), and — outside
+/// the control plane — packets (nanoseconds; handled by the simulator).
+enum class UpdateClass { kPolicy, kRouting, kNat };
+
+inline const char* updateClassName(UpdateClass c) {
+  switch (c) {
+    case UpdateClass::kPolicy: return "policy";
+    case UpdateClass::kRouting: return "routing";
+    case UpdateClass::kNat: return "nat";
+  }
+  return "?";
+}
+
+/// One timed control-plane event.
+struct TraceEvent {
+  double timeSec = 0;
+  UpdateClass cls = UpdateClass::kRouting;
+  runtime::Update update;
+};
+
+/// Parameters of a synthetic control-plane timeline. Policy changes are
+/// rare and independent; routing updates arrive in bursts ("changes
+/// happening at once quickly followed by a long quiescence", §1); NAT
+/// churn is frequent and steady.
+struct TraceSpec {
+  double durationSec = 3600;
+  uint64_t seed = 1;
+
+  std::string policyTable;
+  double policyMeanIntervalSec = 900;
+
+  std::string routeTable;
+  double routeBurstMeanIntervalSec = 120;
+  size_t routeBurstMin = 20;
+  size_t routeBurstMax = 200;
+  double routeBurstSpacingSec = 0.01;
+
+  std::string natTable;
+  double natMeanIntervalSec = 2.0;
+};
+
+/// Generates a time-ordered event sequence valid for `config`'s schemas
+/// (entries are fuzzed per table; inserts and occasional deletes). The
+/// returned updates have NOT been applied to `config`.
+std::vector<TraceEvent> generateControlPlaneTrace(
+    const runtime::DeviceConfig& config, const TraceSpec& spec);
+
+}  // namespace flay::net
+
+#endif  // FLAY_NET_TRACE_H

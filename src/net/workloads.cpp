@@ -1,0 +1,160 @@
+#include "net/workloads.h"
+
+#include <random>
+#include <set>
+
+#include "runtime/entry.h"
+
+namespace flay::net {
+
+using runtime::FieldMatch;
+using runtime::TableEntry;
+using runtime::Update;
+
+namespace {
+
+TableEntry entry(std::vector<FieldMatch> matches, std::string action,
+                 std::vector<BitVec> args, int32_t priority = 0) {
+  TableEntry e;
+  e.matches = std::move(matches);
+  e.actionName = std::move(action);
+  e.actionArgs = std::move(args);
+  e.priority = priority;
+  return e;
+}
+
+}  // namespace
+
+std::vector<Update> scionCommonConfig() {
+  std::vector<Update> updates;
+  // path_type_check: SCION path type 1 starts the chain at link value 1.
+  updates.push_back(Update::insert(
+      "ScionIngress.path_type_check",
+      entry({FieldMatch::exact(BitVec(8, 1))}, "chain0", {BitVec(16, 1)})));
+  // iface_lookup: link 1, ingress interface 2 -> AS interfaces; link := 2.
+  updates.push_back(Update::insert(
+      "ScionIngress.iface_lookup",
+      entry({FieldMatch::exact(BitVec(16, 1)), FieldMatch::exact(BitVec(16, 2))},
+            "set_iface", {BitVec(16, 2), BitVec(16, 3)})));
+  // mac_verify: link 2, segment 7 -> verified; link := 4.
+  updates.push_back(Update::insert(
+      "ScionIngress.mac_verify",
+      entry({FieldMatch::exact(BitVec(16, 2)), FieldMatch::exact(BitVec(16, 7))},
+            "verify_mac", {BitVec(48, 0xA1B2C3D4E5F6ull)})));
+  // path_accept: link 4 -> accept; link := 7.
+  updates.push_back(Update::insert(
+      "ScionIngress.path_accept",
+      entry({FieldMatch::exact(BitVec(16, 4))}, "accept_path", {})));
+  return updates;
+}
+
+std::vector<Update> scionV4Config(size_t routes, uint64_t seed) {
+  std::vector<Update> updates;
+  std::mt19937_64 rng(seed);
+  // First hop keys on the common chain's final link value (7) + dst prefix.
+  for (size_t i = 0; i < routes; ++i) {
+    uint32_t prefix = static_cast<uint32_t>(0x0A000000 + (i << 8));
+    updates.push_back(Update::insert(
+        "ScionIngress.v4_t01",
+        entry({FieldMatch::exact(BitVec(16, 7)),
+               FieldMatch::lpm(BitVec(32, prefix), 24)},
+              "v4_hop", {BitVec(16, 1)})));
+  }
+  // Interior chain: v4_tXX keys on the previous hop's link value.
+  for (int t = 2; t <= 10; ++t) {
+    std::string table =
+        "ScionIngress.v4_t" + std::string(t < 10 ? "0" : "") +
+        std::to_string(t);
+    updates.push_back(Update::insert(
+        table, entry({FieldMatch::exact(BitVec(16, t - 1))}, "v4_hop",
+                     {BitVec(16, static_cast<uint64_t>(t))})));
+  }
+  updates.push_back(Update::insert(
+      "ScionIngress.v4_t11",
+      entry({FieldMatch::exact(BitVec(16, 10))}, "v4_fwd",
+            {BitVec(9, 4), BitVec(48, 0x0000DEADBEEFull)})));
+  return updates;
+}
+
+std::vector<Update> scionV6Config(size_t routes, uint64_t seed) {
+  std::vector<Update> updates;
+  std::mt19937_64 rng(seed);
+  for (size_t i = 0; i < routes; ++i) {
+    BitVec dst = BitVec(128, rng()).shl(64).bitOr(BitVec(128, rng()));
+    updates.push_back(Update::insert(
+        "ScionIngress.v6_t01",
+        entry({FieldMatch::exact(BitVec(16, 7)), FieldMatch::exact(dst)},
+              "v6_hop", {BitVec(16, 1)})));
+  }
+  for (int t = 2; t <= 14; ++t) {
+    std::string table =
+        "ScionIngress.v6_t" + std::string(t < 10 ? "0" : "") +
+        std::to_string(t);
+    updates.push_back(Update::insert(
+        table, entry({FieldMatch::exact(BitVec(16, t - 1))}, "v6_hop",
+                     {BitVec(16, static_cast<uint64_t>(t))})));
+  }
+  updates.push_back(Update::insert(
+      "ScionIngress.v6_t15",
+      entry({FieldMatch::exact(BitVec(16, 14))}, "v6_fwd",
+            {BitVec(9, 5), BitVec(48, 0x0000CAFEF00Dull)})));
+  return updates;
+}
+
+std::vector<Update> scionV4RouteBurst(size_t count, uint64_t seed) {
+  std::vector<Update> updates;
+  std::mt19937_64 rng(seed);
+  std::set<uint64_t> seen;
+  while (updates.size() < count) {
+    uint32_t plen = 8 + static_cast<uint32_t>(rng() % 17);  // 8..24
+    // Mask the prefix to its length so the uniqueness signature matches the
+    // table's duplicate detection (which compares masked values).
+    uint32_t prefix = (static_cast<uint32_t>(rng()) | 0x80000000u) &
+                      static_cast<uint32_t>(~uint64_t{0} << (32 - plen));
+    uint64_t sig = (static_cast<uint64_t>(prefix) << 8) | plen;
+    if (!seen.insert(sig).second) continue;
+    updates.push_back(Update::insert(
+        "ScionIngress.v4_t01",
+        entry({FieldMatch::exact(BitVec(16, 7)),
+               FieldMatch::lpm(BitVec(32, prefix), plen)},
+              "v4_hop", {BitVec(16, 1)})));
+  }
+  return updates;
+}
+
+std::vector<Update> middleblockAclEntries(size_t count, uint64_t seed) {
+  std::vector<Update> updates;
+  std::mt19937_64 rng(seed);
+  std::set<std::string> seen;
+  int32_t priority = static_cast<int32_t>(count) + 10;
+  while (updates.size() < count) {
+    TableEntry e;
+    e.matches.push_back(FieldMatch::ternary(
+        BitVec(32, rng()), BitVec(32, 0xFFFFFF00u)));
+    e.matches.push_back(FieldMatch::ternary(
+        BitVec(32, rng()), BitVec(32, 0xFFFF0000u)));
+    e.matches.push_back(FieldMatch::ternary(
+        BitVec(8, rng() % 2 == 0 ? 6 : 17), BitVec(8, 0xFF)));
+    e.matches.push_back(
+        FieldMatch::ternary(BitVec(16, rng()), BitVec(16, 0xF000)));
+    e.matches.push_back(
+        FieldMatch::ternary(BitVec(16, rng()), BitVec(16, 0xFF00)));
+    std::string sig;
+    for (const auto& m : e.matches) {
+      sig += m.value.bitAnd(m.mask).toHexString() + "|";
+    }
+    if (!seen.insert(sig).second) continue;
+    e.actionName = "set_vrf";
+    e.actionArgs.push_back(BitVec(10, rng() % 1024));
+    e.priority = priority--;
+    updates.push_back(
+        Update::insert("MbIngress.acl_pre_ingress", std::move(e)));
+  }
+  return updates;
+}
+
+std::string programPath(const std::string& name) {
+  return std::string(FLAY_PROGRAMS_DIR) + "/" + name + ".p4l";
+}
+
+}  // namespace flay::net

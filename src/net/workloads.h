@@ -1,0 +1,42 @@
+#ifndef FLAY_NET_WORKLOADS_H
+#define FLAY_NET_WORKLOADS_H
+
+#include <string>
+#include <vector>
+
+#include "runtime/device_config.h"
+
+namespace flay::net {
+
+/// Canned control-plane configurations for the bundled program suite —
+/// the "representative control-plane configurations" the paper's SCION
+/// programs ship with (§4.2).
+
+/// Entries for scion.p4l's common path-verification chain (path type,
+/// interface, MAC verification, path accept).
+std::vector<runtime::Update> scionCommonConfig();
+
+/// Entries lighting up the IPv4 underlay chain, with `routes` fuzzed
+/// prefixes in the first hop table.
+std::vector<runtime::Update> scionV4Config(size_t routes, uint64_t seed = 1);
+
+/// Entries lighting up the previously-unused IPv6 underlay chain — the
+/// batch that makes Flay trigger respecialization back to max stages.
+std::vector<runtime::Update> scionV6Config(size_t routes, uint64_t seed = 2);
+
+/// Fuzzed IPv4 route inserts against scion.p4l's v4_t01 (the burst of
+/// semantics-preserving updates in §4.2).
+std::vector<runtime::Update> scionV4RouteBurst(size_t count,
+                                               uint64_t seed = 3);
+
+/// Fuzzed 5-tuple ternary entries for middleblock.p4l's pre-ingress ACL
+/// (the Table 3 workload).
+std::vector<runtime::Update> middleblockAclEntries(size_t count,
+                                                   uint64_t seed = 4);
+
+/// Resolves a bundled program path ("scion" -> "<programs dir>/scion.p4l").
+std::string programPath(const std::string& name);
+
+}  // namespace flay::net
+
+#endif  // FLAY_NET_WORKLOADS_H

@@ -1,0 +1,34 @@
+#include "p4/ast.h"
+
+namespace flay::p4 {
+
+namespace {
+
+size_t countStmts(const std::vector<StmtPtr>& stmts) {
+  size_t n = 0;
+  for (const auto& s : stmts) {
+    ++n;
+    if (s->op == StmtOp::kIf) {
+      n += countStmts(s->thenBody) + countStmts(s->elseBody);
+    }
+  }
+  return n;
+}
+
+}  // namespace
+
+size_t Program::statementCount() const {
+  size_t n = 0;
+  for (const auto& p : parsers) {
+    for (const auto& st : p.states) n += countStmts(st.body);
+  }
+  for (const auto& c : controls) {
+    for (const auto& a : c.actions) n += countStmts(a.body);
+    n += c.tables.size();
+    n += countStmts(c.applyBody);
+  }
+  for (const auto& d : deparsers) n += countStmts(d.body);
+  return n;
+}
+
+}  // namespace flay::p4

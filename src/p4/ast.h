@@ -1,0 +1,379 @@
+#ifndef FLAY_P4_AST_H
+#define FLAY_P4_AST_H
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/bitvec.h"
+#include "support/diagnostics.h"
+
+namespace flay::p4 {
+
+/// P4-lite is the dialect this repo's front end accepts: a subset of P4-16
+/// with a fixed V1-style architecture (parser -> controls -> deparser),
+/// headers/structs of bit<N> and bool fields, match-action tables
+/// (exact/ternary/lpm), actions with data parameters, registers, counters,
+/// meters, parser value sets, and action profiles. See README for the
+/// grammar. Everything Flay specializes (Sections 3-4 of the paper) is
+/// representable.
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+enum class BinOp {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kBitAnd, kBitOr, kBitXor,
+  kShl, kShr,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kLAnd, kLOr,
+  kConcat,
+};
+
+enum class UnOp { kBitNot, kLNot, kNeg };
+
+enum class ExprOp {
+  kIntLit,   // literal text (+ optional explicit width, e.g. 8w255)
+  kBoolLit,
+  kPath,     // dotted name: hdr.eth.dst, local var, const, action param
+  kUnary,
+  kBinary,
+  kTernary,  // cond ? a : b
+  kSlice,    // a[hi:lo]
+  kCast,     // (bit<W>) a
+  kIsValid,  // path.isValid()
+};
+
+/// How the type checker resolved a kPath expression.
+enum class PathKind {
+  kUnresolved,
+  kField,        // flattened header/struct/standard-metadata field
+  kLocal,        // local variable in an apply block or action
+  kConst,        // top-level const (inlined by the checker)
+  kActionParam,  // data parameter of the enclosing action
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  ExprOp op;
+  SourceLoc loc;
+
+  // kIntLit
+  std::string literalText;
+  std::optional<uint32_t> literalWidth;  // explicit "8w..." width if given
+  // kBoolLit
+  bool boolValue = false;
+  // kPath / kIsValid
+  std::vector<std::string> path;
+  // kUnary / kBinary
+  UnOp unOp = UnOp::kBitNot;
+  BinOp binOp = BinOp::kAdd;
+  // kSlice
+  uint32_t sliceHi = 0, sliceLo = 0;
+  // kCast
+  uint32_t castWidth = 0;
+
+  ExprPtr a, b, c;
+
+  // ----- Filled in by the type checker -----
+  uint32_t width = 0;   // bit width; 0 together with isBool means boolean
+  bool isBool = false;
+  PathKind pathKind = PathKind::kUnresolved;
+  /// Canonical dotted location for kField ("hdr.eth.dst", "sm.egress_spec"),
+  /// or the local/param name for kLocal/kActionParam.
+  std::string canonical;
+  /// For kIntLit (and kPath resolved to kConst): the literal's value.
+  BitVec value;
+};
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+enum class StmtOp {
+  kAssign,       // lhs = rhs
+  kVarDecl,      // bit<W> name = init
+  kIf,
+  kApply,        // table.apply()
+  kActionCall,   // direct action invocation: act(arg, ...)
+  kExtract,      // extract(hdr.x)       (parser only)
+  kEmit,         // emit(hdr.x)          (deparser only)
+  kSetValid,     // hdr.x.setValid()
+  kSetInvalid,   // hdr.x.setInvalid()
+  kMarkToDrop,   // mark_to_drop()
+  kRegRead,      // reg.read(lhs, idx)
+  kRegWrite,     // reg.write(idx, value)
+  kCountCall,    // counter.count(idx)
+  kMeterCall,    // meter.execute(lhs, idx)
+  kTransition,   // parser only; uses TransitionInfo
+  kExit,         // exit / return
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// A select case in a parser transition.
+struct SelectCase {
+  enum class Kind { kConst, kDefault, kValueSet };
+  Kind kind = Kind::kDefault;
+  ExprPtr value;      // kConst: matched value (literal)
+  ExprPtr mask;       // kConst: optional &&& mask
+  std::string valueSet;  // kValueSet
+  std::string nextState;
+  SourceLoc loc;
+};
+
+struct TransitionInfo {
+  /// Direct transition when select is absent.
+  std::string nextState;
+  ExprPtr selectExpr;  // null for direct transitions
+  std::vector<SelectCase> cases;
+};
+
+struct Stmt {
+  StmtOp op;
+  SourceLoc loc;
+
+  ExprPtr lhs;   // kAssign target, kExtract/kEmit/kSetValid path, reg.read dst
+  ExprPtr rhs;   // kAssign value, reg.write value, indexes below
+  ExprPtr index;  // register/counter/meter index expression
+
+  // kVarDecl
+  std::string varName;
+  uint32_t varWidth = 0;
+  bool varIsBool = false;
+
+  // kIf
+  ExprPtr cond;
+  std::vector<StmtPtr> thenBody;
+  std::vector<StmtPtr> elseBody;
+
+  // kApply / kActionCall / extern calls: target object name.
+  std::string target;
+  // kActionCall argument expressions.
+  std::vector<ExprPtr> args;
+
+  // kTransition
+  TransitionInfo transition;
+};
+
+// ---------------------------------------------------------------------------
+// Declarations
+// ---------------------------------------------------------------------------
+
+struct HeaderField {
+  std::string name;
+  uint32_t width = 0;  // bool fields get width 1 in headers
+  SourceLoc loc;
+};
+
+struct HeaderTypeDecl {
+  std::string name;
+  std::vector<HeaderField> fields;
+  SourceLoc loc;
+  uint32_t totalWidth() const {
+    uint32_t sum = 0;
+    for (const auto& f : fields) sum += f.width;
+    return sum;
+  }
+};
+
+struct StructField {
+  std::string name;
+  std::string typeName;  // header or struct type; empty for scalar fields
+  uint32_t width = 0;    // scalar fields: bit<N> width (bool fields get 1)
+  bool isBool = false;
+  SourceLoc loc;
+  bool isScalar() const { return typeName.empty(); }
+};
+
+struct StructTypeDecl {
+  std::string name;
+  std::vector<StructField> fields;
+  SourceLoc loc;
+};
+
+struct ConstDecl {
+  std::string name;
+  uint32_t width = 0;
+  ExprPtr value;
+  SourceLoc loc;
+};
+
+struct ActionParam {
+  std::string name;
+  uint32_t width = 0;
+  SourceLoc loc;
+};
+
+struct ActionDecl {
+  std::string name;
+  std::vector<ActionParam> params;
+  std::vector<StmtPtr> body;
+  SourceLoc loc;
+};
+
+enum class MatchKind { kExact, kTernary, kLpm };
+
+struct KeyElement {
+  ExprPtr expr;
+  MatchKind matchKind = MatchKind::kExact;
+  SourceLoc loc;
+};
+
+struct DefaultAction {
+  std::string name = "noop";
+  std::vector<ExprPtr> args;
+};
+
+struct TableDecl {
+  std::string name;
+  std::vector<KeyElement> keys;
+  std::vector<std::string> actionNames;
+  DefaultAction defaultAction;
+  uint32_t size = 1024;
+  /// Optional action profile backing this table ("implementation = ...").
+  std::string actionProfile;
+  SourceLoc loc;
+};
+
+struct RegisterDecl {
+  std::string name;
+  uint32_t width = 0;
+  uint32_t size = 0;
+  SourceLoc loc;
+};
+
+struct CounterDecl {
+  std::string name;
+  uint32_t size = 0;
+  SourceLoc loc;
+};
+
+struct MeterDecl {
+  std::string name;
+  uint32_t size = 0;
+  SourceLoc loc;
+};
+
+struct ActionProfileDecl {
+  std::string name;
+  uint32_t size = 0;
+  SourceLoc loc;
+};
+
+struct ValueSetDecl {
+  std::string name;
+  uint32_t width = 0;
+  uint32_t size = 0;
+  SourceLoc loc;
+};
+
+struct ParserStateDecl {
+  std::string name;
+  std::vector<StmtPtr> body;  // last statement is kTransition
+  SourceLoc loc;
+};
+
+struct ParserDecl {
+  std::string name;
+  std::vector<ValueSetDecl> valueSets;
+  std::vector<ParserStateDecl> states;
+  SourceLoc loc;
+  const ParserStateDecl* findState(const std::string& n) const {
+    for (const auto& s : states) {
+      if (s.name == n) return &s;
+    }
+    return nullptr;
+  }
+};
+
+struct ControlDecl {
+  std::string name;
+  std::vector<ActionDecl> actions;
+  std::vector<TableDecl> tables;
+  std::vector<RegisterDecl> registers;
+  std::vector<CounterDecl> counters;
+  std::vector<MeterDecl> meters;
+  std::vector<ActionProfileDecl> actionProfiles;
+  std::vector<StmtPtr> applyBody;
+  SourceLoc loc;
+
+  const ActionDecl* findAction(const std::string& n) const {
+    for (const auto& a : actions) {
+      if (a.name == n) return &a;
+    }
+    return nullptr;
+  }
+  const TableDecl* findTable(const std::string& n) const {
+    for (const auto& t : tables) {
+      if (t.name == n) return &t;
+    }
+    return nullptr;
+  }
+};
+
+struct DeparserDecl {
+  std::string name;
+  std::vector<StmtPtr> body;  // kEmit statements
+  SourceLoc loc;
+};
+
+struct PipelineDecl {
+  std::string parserName;
+  std::vector<std::string> controlNames;
+  std::string deparserName;
+  SourceLoc loc;
+};
+
+struct Program {
+  std::vector<HeaderTypeDecl> headerTypes;
+  std::vector<StructTypeDecl> structTypes;
+  std::vector<ConstDecl> consts;
+  std::vector<ParserDecl> parsers;
+  std::vector<ControlDecl> controls;
+  std::vector<DeparserDecl> deparsers;
+  PipelineDecl pipeline;
+
+  const HeaderTypeDecl* findHeaderType(const std::string& n) const {
+    for (const auto& h : headerTypes) {
+      if (h.name == n) return &h;
+    }
+    return nullptr;
+  }
+  const StructTypeDecl* findStructType(const std::string& n) const {
+    for (const auto& s : structTypes) {
+      if (s.name == n) return &s;
+    }
+    return nullptr;
+  }
+  const ParserDecl* findParser(const std::string& n) const {
+    for (const auto& p : parsers) {
+      if (p.name == n) return &p;
+    }
+    return nullptr;
+  }
+  const ControlDecl* findControl(const std::string& n) const {
+    for (const auto& c : controls) {
+      if (c.name == n) return &c;
+    }
+    return nullptr;
+  }
+  const DeparserDecl* findDeparser(const std::string& n) const {
+    for (const auto& d : deparsers) {
+      if (d.name == n) return &d;
+    }
+    return nullptr;
+  }
+
+  /// Total statement count, the paper's Table 2 complexity metric.
+  size_t statementCount() const;
+};
+
+}  // namespace flay::p4
+
+#endif  // FLAY_P4_AST_H

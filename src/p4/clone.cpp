@@ -1,0 +1,153 @@
+#include "p4/clone.h"
+
+namespace flay::p4 {
+
+ExprPtr cloneExpr(const Expr& e) {
+  auto c = std::make_unique<Expr>();
+  c->op = e.op;
+  c->loc = e.loc;
+  c->literalText = e.literalText;
+  c->literalWidth = e.literalWidth;
+  c->boolValue = e.boolValue;
+  c->path = e.path;
+  c->unOp = e.unOp;
+  c->binOp = e.binOp;
+  c->sliceHi = e.sliceHi;
+  c->sliceLo = e.sliceLo;
+  c->castWidth = e.castWidth;
+  if (e.a) c->a = cloneExpr(*e.a);
+  if (e.b) c->b = cloneExpr(*e.b);
+  if (e.c) c->c = cloneExpr(*e.c);
+  c->width = e.width;
+  c->isBool = e.isBool;
+  c->pathKind = e.pathKind;
+  c->canonical = e.canonical;
+  c->value = e.value;
+  return c;
+}
+
+std::vector<StmtPtr> cloneStmts(const std::vector<StmtPtr>& stmts) {
+  std::vector<StmtPtr> result;
+  result.reserve(stmts.size());
+  for (const auto& s : stmts) result.push_back(cloneStmt(*s));
+  return result;
+}
+
+StmtPtr cloneStmt(const Stmt& s) {
+  auto c = std::make_unique<Stmt>();
+  c->op = s.op;
+  c->loc = s.loc;
+  if (s.lhs) c->lhs = cloneExpr(*s.lhs);
+  if (s.rhs) c->rhs = cloneExpr(*s.rhs);
+  if (s.index) c->index = cloneExpr(*s.index);
+  c->varName = s.varName;
+  c->varWidth = s.varWidth;
+  c->varIsBool = s.varIsBool;
+  if (s.cond) c->cond = cloneExpr(*s.cond);
+  c->thenBody = cloneStmts(s.thenBody);
+  c->elseBody = cloneStmts(s.elseBody);
+  c->target = s.target;
+  for (const auto& a : s.args) c->args.push_back(cloneExpr(*a));
+  // Transition info.
+  c->transition.nextState = s.transition.nextState;
+  if (s.transition.selectExpr) {
+    c->transition.selectExpr = cloneExpr(*s.transition.selectExpr);
+  }
+  for (const auto& sc : s.transition.cases) {
+    SelectCase cc;
+    cc.kind = sc.kind;
+    if (sc.value) cc.value = cloneExpr(*sc.value);
+    if (sc.mask) cc.mask = cloneExpr(*sc.mask);
+    cc.valueSet = sc.valueSet;
+    cc.nextState = sc.nextState;
+    cc.loc = sc.loc;
+    c->transition.cases.push_back(std::move(cc));
+  }
+  return c;
+}
+
+namespace {
+
+ActionDecl cloneAction(const ActionDecl& a) {
+  ActionDecl c;
+  c.name = a.name;
+  c.params = a.params;
+  c.body = cloneStmts(a.body);
+  c.loc = a.loc;
+  return c;
+}
+
+TableDecl cloneTable(const TableDecl& t) {
+  TableDecl c;
+  c.name = t.name;
+  for (const auto& k : t.keys) {
+    KeyElement kc;
+    kc.expr = cloneExpr(*k.expr);
+    kc.matchKind = k.matchKind;
+    kc.loc = k.loc;
+    c.keys.push_back(std::move(kc));
+  }
+  c.actionNames = t.actionNames;
+  c.defaultAction.name = t.defaultAction.name;
+  for (const auto& arg : t.defaultAction.args) {
+    c.defaultAction.args.push_back(cloneExpr(*arg));
+  }
+  c.size = t.size;
+  c.actionProfile = t.actionProfile;
+  c.loc = t.loc;
+  return c;
+}
+
+}  // namespace
+
+Program cloneProgram(const Program& prog) {
+  Program c;
+  c.headerTypes = prog.headerTypes;
+  c.structTypes = prog.structTypes;
+  for (const auto& k : prog.consts) {
+    ConstDecl kc;
+    kc.name = k.name;
+    kc.width = k.width;
+    kc.value = cloneExpr(*k.value);
+    kc.loc = k.loc;
+    c.consts.push_back(std::move(kc));
+  }
+  for (const auto& p : prog.parsers) {
+    ParserDecl pc;
+    pc.name = p.name;
+    pc.valueSets = p.valueSets;
+    for (const auto& st : p.states) {
+      ParserStateDecl sc;
+      sc.name = st.name;
+      sc.body = cloneStmts(st.body);
+      sc.loc = st.loc;
+      pc.states.push_back(std::move(sc));
+    }
+    pc.loc = p.loc;
+    c.parsers.push_back(std::move(pc));
+  }
+  for (const auto& ctrl : prog.controls) {
+    ControlDecl cc;
+    cc.name = ctrl.name;
+    for (const auto& a : ctrl.actions) cc.actions.push_back(cloneAction(a));
+    for (const auto& t : ctrl.tables) cc.tables.push_back(cloneTable(t));
+    cc.registers = ctrl.registers;
+    cc.counters = ctrl.counters;
+    cc.meters = ctrl.meters;
+    cc.actionProfiles = ctrl.actionProfiles;
+    cc.applyBody = cloneStmts(ctrl.applyBody);
+    cc.loc = ctrl.loc;
+    c.controls.push_back(std::move(cc));
+  }
+  for (const auto& d : prog.deparsers) {
+    DeparserDecl dc;
+    dc.name = d.name;
+    dc.body = cloneStmts(d.body);
+    dc.loc = d.loc;
+    c.deparsers.push_back(std::move(dc));
+  }
+  c.pipeline = prog.pipeline;
+  return c;
+}
+
+}  // namespace flay::p4

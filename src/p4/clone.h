@@ -1,0 +1,18 @@
+#ifndef FLAY_P4_CLONE_H
+#define FLAY_P4_CLONE_H
+
+#include "p4/ast.h"
+
+namespace flay::p4 {
+
+/// Deep copies. Type-checker annotations (widths, resolutions, literal
+/// values) are preserved, so a cloned checked program stays checked as long
+/// as the transformation keeps it well-typed.
+ExprPtr cloneExpr(const Expr& e);
+StmtPtr cloneStmt(const Stmt& s);
+std::vector<StmtPtr> cloneStmts(const std::vector<StmtPtr>& stmts);
+Program cloneProgram(const Program& prog);
+
+}  // namespace flay::p4
+
+#endif  // FLAY_P4_CLONE_H

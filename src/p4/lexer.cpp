@@ -1,0 +1,164 @@
+#include "p4/lexer.h"
+
+#include <cctype>
+
+namespace flay::p4 {
+
+Lexer::Lexer(std::string_view source, DiagnosticEngine& diag)
+    : src_(source), diag_(diag) {}
+
+char Lexer::peek(size_t off) const {
+  return pos_ + off < src_.size() ? src_[pos_ + off] : '\0';
+}
+
+char Lexer::advance() {
+  char c = src_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    col_ = 1;
+  } else {
+    ++col_;
+  }
+  return c;
+}
+
+bool Lexer::match(char expected) {
+  if (peek() != expected) return false;
+  advance();
+  return true;
+}
+
+void Lexer::skipWhitespaceAndComments() {
+  for (;;) {
+    char c = peek();
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance();
+    } else if (c == '/' && peek(1) == '/') {
+      while (peek() != '\n' && peek() != '\0') advance();
+    } else if (c == '/' && peek(1) == '*') {
+      advance();
+      advance();
+      while (!(peek() == '*' && peek(1) == '/')) {
+        if (peek() == '\0') {
+          diag_.error({line_, col_}, "unterminated block comment");
+          return;
+        }
+        advance();
+      }
+      advance();
+      advance();
+    } else {
+      return;
+    }
+  }
+}
+
+Token Lexer::makeToken(TokenKind kind, std::string text) {
+  return {kind, std::move(text), {line_, col_}};
+}
+
+Token Lexer::lexIdentOrKeyword() {
+  SourceLoc loc{line_, col_};
+  std::string text;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_') {
+    text += advance();
+  }
+  return {TokenKind::kIdent, std::move(text), loc};
+}
+
+Token Lexer::lexNumber() {
+  SourceLoc loc{line_, col_};
+  std::string text;
+  // Accept [0-9][0-9a-fA-FxXbBoOwW_]* so widths (8w255) and all bases lex as
+  // one token; the type checker validates the contents.
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_') {
+    text += advance();
+  }
+  return {TokenKind::kIntLit, std::move(text), loc};
+}
+
+std::vector<Token> Lexer::tokenize() {
+  std::vector<Token> tokens;
+  for (;;) {
+    skipWhitespaceAndComments();
+    if (pos_ >= src_.size()) {
+      tokens.push_back(makeToken(TokenKind::kEof, ""));
+      return tokens;
+    }
+    SourceLoc loc{line_, col_};
+    char c = peek();
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      tokens.push_back(lexIdentOrKeyword());
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      tokens.push_back(lexNumber());
+      continue;
+    }
+    advance();
+    auto push = [&](TokenKind k, const char* t) {
+      tokens.push_back({k, t, loc});
+    };
+    switch (c) {
+      case '(': push(TokenKind::kLParen, "("); break;
+      case ')': push(TokenKind::kRParen, ")"); break;
+      case '{': push(TokenKind::kLBrace, "{"); break;
+      case '}': push(TokenKind::kRBrace, "}"); break;
+      case '[': push(TokenKind::kLBracket, "["); break;
+      case ']': push(TokenKind::kRBracket, "]"); break;
+      case ';': push(TokenKind::kSemicolon, ";"); break;
+      case ':': push(TokenKind::kColon, ":"); break;
+      case ',': push(TokenKind::kComma, ","); break;
+      case '.': push(TokenKind::kDot, "."); break;
+      case '~': push(TokenKind::kTilde, "~"); break;
+      case '^': push(TokenKind::kCaret, "^"); break;
+      case '?': push(TokenKind::kQuestion, "?"); break;
+      case '*': push(TokenKind::kStar, "*"); break;
+      case '/': push(TokenKind::kSlash, "/"); break;
+      case '%': push(TokenKind::kPercent, "%"); break;
+      case '-': push(TokenKind::kMinus, "-"); break;
+      case '+':
+        if (match('+')) push(TokenKind::kConcatOp, "++");
+        else push(TokenKind::kPlus, "+");
+        break;
+      case '=':
+        if (match('=')) push(TokenKind::kEqEq, "==");
+        else push(TokenKind::kAssign, "=");
+        break;
+      case '!':
+        if (match('=')) push(TokenKind::kNotEq, "!=");
+        else push(TokenKind::kBang, "!");
+        break;
+      case '<':
+        if (match('<')) push(TokenKind::kShl, "<<");
+        else if (match('=')) push(TokenKind::kLe, "<=");
+        else push(TokenKind::kLAngle, "<");
+        break;
+      case '>':
+        if (match('>')) push(TokenKind::kShr, ">>");
+        else if (match('=')) push(TokenKind::kGe, ">=");
+        else push(TokenKind::kRAngle, ">");
+        break;
+      case '&':
+        if (peek() == '&' && peek(1) == '&') {
+          advance();
+          advance();
+          push(TokenKind::kMask, "&&&");
+        } else if (match('&')) {
+          push(TokenKind::kAndAnd, "&&");
+        } else {
+          push(TokenKind::kAmp, "&");
+        }
+        break;
+      case '|':
+        if (match('|')) push(TokenKind::kOrOr, "||");
+        else push(TokenKind::kPipe, "|");
+        break;
+      default:
+        diag_.error(loc, std::string("unexpected character '") + c + "'");
+        break;
+    }
+  }
+}
+
+}  // namespace flay::p4

@@ -1,0 +1,62 @@
+#ifndef FLAY_P4_LEXER_H
+#define FLAY_P4_LEXER_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/diagnostics.h"
+
+namespace flay::p4 {
+
+enum class TokenKind {
+  kIdent,
+  kIntLit,     // 123, 0xff, 8w255 is split: "8" "w255"? no — lexed whole
+  kLParen, kRParen, kLBrace, kRBrace, kLBracket, kRBracket,
+  kLAngle, kRAngle,       // < >
+  kSemicolon, kColon, kComma, kDot, kAssign,
+  kPlus, kMinus, kStar, kSlash, kPercent,
+  kAmp, kPipe, kCaret, kTilde, kBang, kQuestion,
+  kShl, kShr,             // << >>
+  kEqEq, kNotEq, kLe, kGe,
+  kAndAnd, kOrOr,
+  kMask,                  // &&& (ternary select-case mask)
+  kConcatOp,              // ++
+  kEof,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;
+  SourceLoc loc;
+};
+
+/// Hand-written lexer for P4-lite. Comments (`//`, `/* */`) are skipped.
+/// Integer literals keep their raw text (including P4 width prefixes such as
+/// `8w255`); the type checker parses the value.
+class Lexer {
+ public:
+  Lexer(std::string_view source, DiagnosticEngine& diag);
+
+  /// Lexes the entire input. The final token is always kEof.
+  std::vector<Token> tokenize();
+
+ private:
+  char peek(size_t off = 0) const;
+  char advance();
+  bool match(char expected);
+  void skipWhitespaceAndComments();
+  Token lexIdentOrKeyword();
+  Token lexNumber();
+  Token makeToken(TokenKind kind, std::string text);
+
+  std::string_view src_;
+  size_t pos_ = 0;
+  uint32_t line_ = 1;
+  uint32_t col_ = 1;
+  DiagnosticEngine& diag_;
+};
+
+}  // namespace flay::p4
+
+#endif  // FLAY_P4_LEXER_H

@@ -1,0 +1,289 @@
+#include "p4/printer.h"
+
+namespace flay::p4 {
+
+namespace {
+
+std::string ind(int n) { return std::string(static_cast<size_t>(n) * 2, ' '); }
+
+const char* binOpToken(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd: return "+";
+    case BinOp::kSub: return "-";
+    case BinOp::kMul: return "*";
+    case BinOp::kDiv: return "/";
+    case BinOp::kMod: return "%";
+    case BinOp::kBitAnd: return "&";
+    case BinOp::kBitOr: return "|";
+    case BinOp::kBitXor: return "^";
+    case BinOp::kShl: return "<<";
+    case BinOp::kShr: return ">>";
+    case BinOp::kEq: return "==";
+    case BinOp::kNe: return "!=";
+    case BinOp::kLt: return "<";
+    case BinOp::kLe: return "<=";
+    case BinOp::kGt: return ">";
+    case BinOp::kGe: return ">=";
+    case BinOp::kLAnd: return "&&";
+    case BinOp::kLOr: return "||";
+    case BinOp::kConcat: return "++";
+  }
+  return "?";
+}
+
+std::string pathString(const std::vector<std::string>& path) {
+  std::string s;
+  for (const auto& p : path) {
+    if (!s.empty()) s += '.';
+    s += p;
+  }
+  return s;
+}
+
+std::string typeString(uint32_t width, bool isBool) {
+  return isBool ? "bool" : "bit<" + std::to_string(width) + ">";
+}
+
+}  // namespace
+
+std::string printExpr(const Expr& e) {
+  switch (e.op) {
+    case ExprOp::kIntLit:
+      // Emit with an explicit width when known so round-trips never depend
+      // on inference context.
+      if (e.width > 0) {
+        return std::to_string(e.width) + "w" +
+               (e.value.width() == e.width ? e.value.toHexString()
+                                           : e.literalText);
+      }
+      return e.literalText;
+    case ExprOp::kBoolLit:
+      return e.boolValue ? "true" : "false";
+    case ExprOp::kPath:
+      return pathString(e.path);
+    case ExprOp::kIsValid:
+      return pathString(e.path) + ".isValid()";
+    case ExprOp::kUnary: {
+      const char* op = e.unOp == UnOp::kLNot   ? "!"
+                       : e.unOp == UnOp::kBitNot ? "~"
+                                                  : "-";
+      return std::string(op) + printExpr(*e.a);
+    }
+    case ExprOp::kBinary:
+      return "(" + printExpr(*e.a) + " " + binOpToken(e.binOp) + " " +
+             printExpr(*e.b) + ")";
+    case ExprOp::kTernary:
+      return "(" + printExpr(*e.a) + " ? " + printExpr(*e.b) + " : " +
+             printExpr(*e.c) + ")";
+    case ExprOp::kSlice:
+      return printExpr(*e.a) + "[" + std::to_string(e.sliceHi) + ":" +
+             std::to_string(e.sliceLo) + "]";
+    case ExprOp::kCast:
+      return "(bit<" + std::to_string(e.castWidth) + ">) " + printExpr(*e.a);
+  }
+  return "<?>";
+}
+
+std::string printStmt(const Stmt& s, int indent) {
+  std::string out = ind(indent);
+  switch (s.op) {
+    case StmtOp::kAssign:
+      return out + printExpr(*s.lhs) + " = " + printExpr(*s.rhs) + ";\n";
+    case StmtOp::kVarDecl: {
+      out += typeString(s.varWidth, s.varIsBool) + " " + s.varName;
+      if (s.rhs != nullptr) out += " = " + printExpr(*s.rhs);
+      return out + ";\n";
+    }
+    case StmtOp::kIf: {
+      out += "if (" + printExpr(*s.cond) + ") {\n";
+      for (const auto& inner : s.thenBody) out += printStmt(*inner, indent + 1);
+      out += ind(indent) + "}";
+      if (!s.elseBody.empty()) {
+        out += " else {\n";
+        for (const auto& inner : s.elseBody) {
+          out += printStmt(*inner, indent + 1);
+        }
+        out += ind(indent) + "}";
+      }
+      return out + "\n";
+    }
+    case StmtOp::kApply:
+      return out + s.target + ".apply();\n";
+    case StmtOp::kActionCall: {
+      out += s.target + "(";
+      for (size_t i = 0; i < s.args.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += printExpr(*s.args[i]);
+      }
+      return out + ");\n";
+    }
+    case StmtOp::kExtract:
+      return out + "extract(" + pathString(s.lhs->path) + ");\n";
+    case StmtOp::kEmit:
+      return out + "emit(" + pathString(s.lhs->path) + ");\n";
+    case StmtOp::kSetValid:
+      return out + pathString(s.lhs->path) + ".setValid();\n";
+    case StmtOp::kSetInvalid:
+      return out + pathString(s.lhs->path) + ".setInvalid();\n";
+    case StmtOp::kMarkToDrop:
+      return out + "mark_to_drop();\n";
+    case StmtOp::kRegRead:
+      return out + s.target + ".read(" + printExpr(*s.lhs) + ", " +
+             printExpr(*s.index) + ");\n";
+    case StmtOp::kRegWrite:
+      return out + s.target + ".write(" + printExpr(*s.index) + ", " +
+             printExpr(*s.rhs) + ");\n";
+    case StmtOp::kCountCall:
+      return out + s.target + ".count(" + printExpr(*s.index) + ");\n";
+    case StmtOp::kMeterCall:
+      return out + s.target + ".execute(" + printExpr(*s.lhs) + ", " +
+             printExpr(*s.index) + ");\n";
+    case StmtOp::kExit:
+      return out + "exit;\n";
+    case StmtOp::kTransition: {
+      const TransitionInfo& t = s.transition;
+      if (t.selectExpr == nullptr) {
+        return out + "transition " + t.nextState + ";\n";
+      }
+      out += "transition select(" + printExpr(*t.selectExpr) + ") {\n";
+      for (const auto& c : t.cases) {
+        out += ind(indent + 1);
+        switch (c.kind) {
+          case SelectCase::Kind::kDefault:
+            out += "default";
+            break;
+          case SelectCase::Kind::kValueSet:
+            out += c.valueSet;
+            break;
+          case SelectCase::Kind::kConst:
+            out += printExpr(*c.value);
+            if (c.mask != nullptr) out += " &&& " + printExpr(*c.mask);
+            break;
+        }
+        out += ": " + c.nextState + ";\n";
+      }
+      return out + ind(indent) + "}\n";
+    }
+  }
+  return out + "/* ? */;\n";
+}
+
+namespace {
+
+std::string printTable(const TableDecl& t, int indent) {
+  std::string out = ind(indent) + "table " + t.name + " {\n";
+  if (!t.keys.empty()) {
+    out += ind(indent + 1) + "key = {\n";
+    for (const auto& k : t.keys) {
+      const char* mk = k.matchKind == MatchKind::kExact     ? "exact"
+                       : k.matchKind == MatchKind::kTernary ? "ternary"
+                                                            : "lpm";
+      out += ind(indent + 2) + printExpr(*k.expr) + " : " + mk + ";\n";
+    }
+    out += ind(indent + 1) + "}\n";
+  }
+  out += ind(indent + 1) + "actions = { ";
+  for (const auto& a : t.actionNames) out += a + "; ";
+  out += "}\n";
+  out += ind(indent + 1) + "default_action = " + t.defaultAction.name;
+  if (!t.defaultAction.args.empty()) {
+    out += "(";
+    for (size_t i = 0; i < t.defaultAction.args.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += printExpr(*t.defaultAction.args[i]);
+    }
+    out += ")";
+  }
+  out += ";\n";
+  out += ind(indent + 1) + "size = " + std::to_string(t.size) + ";\n";
+  if (!t.actionProfile.empty()) {
+    out += ind(indent + 1) + "implementation = " + t.actionProfile + ";\n";
+  }
+  return out + ind(indent) + "}\n";
+}
+
+}  // namespace
+
+std::string printProgram(const Program& prog) {
+  std::string out;
+  for (const auto& h : prog.headerTypes) {
+    out += "header " + h.name + " {\n";
+    for (const auto& f : h.fields) {
+      out += ind(1) + "bit<" + std::to_string(f.width) + "> " + f.name + ";\n";
+    }
+    out += "}\n";
+  }
+  for (const auto& s : prog.structTypes) {
+    out += "struct " + s.name + " {\n";
+    for (const auto& f : s.fields) {
+      out += ind(1) +
+             (f.isScalar() ? typeString(f.isBool ? 0 : f.width, f.isBool)
+                           : f.typeName) +
+             " " + f.name + ";\n";
+    }
+    out += "}\n";
+  }
+  for (const auto& c : prog.consts) {
+    out += "const bit<" + std::to_string(c.width) + "> " + c.name + " = " +
+           printExpr(*c.value) + ";\n";
+  }
+  for (const auto& p : prog.parsers) {
+    out += "parser " + p.name + " {\n";
+    for (const auto& vs : p.valueSets) {
+      out += ind(1) + "value_set<bit<" + std::to_string(vs.width) + ">>(" +
+             std::to_string(vs.size) + ") " + vs.name + ";\n";
+    }
+    for (const auto& st : p.states) {
+      out += ind(1) + "state " + st.name + " {\n";
+      for (const auto& s : st.body) out += printStmt(*s, 2);
+      out += ind(1) + "}\n";
+    }
+    out += "}\n";
+  }
+  for (const auto& c : prog.controls) {
+    out += "control " + c.name + " {\n";
+    for (const auto& r : c.registers) {
+      out += ind(1) + "register<bit<" + std::to_string(r.width) + ">>(" +
+             std::to_string(r.size) + ") " + r.name + ";\n";
+    }
+    for (const auto& ctr : c.counters) {
+      out += ind(1) + "counter(" + std::to_string(ctr.size) + ") " +
+             ctr.name + ";\n";
+    }
+    for (const auto& m : c.meters) {
+      out += ind(1) + "meter(" + std::to_string(m.size) + ") " + m.name +
+             ";\n";
+    }
+    for (const auto& ap : c.actionProfiles) {
+      out += ind(1) + "action_profile(" + std::to_string(ap.size) + ") " +
+             ap.name + ";\n";
+    }
+    for (const auto& a : c.actions) {
+      out += ind(1) + "action " + a.name + "(";
+      for (size_t i = 0; i < a.params.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += "bit<" + std::to_string(a.params[i].width) + "> " +
+               a.params[i].name;
+      }
+      out += ") {\n";
+      for (const auto& s : a.body) out += printStmt(*s, 2);
+      out += ind(1) + "}\n";
+    }
+    for (const auto& t : c.tables) out += printTable(t, 1);
+    out += ind(1) + "apply {\n";
+    for (const auto& s : c.applyBody) out += printStmt(*s, 2);
+    out += ind(1) + "}\n";
+    out += "}\n";
+  }
+  for (const auto& d : prog.deparsers) {
+    out += "deparser " + d.name + " {\n";
+    for (const auto& s : d.body) out += printStmt(*s, 1);
+    out += "}\n";
+  }
+  out += "pipeline(" + prog.pipeline.parserName;
+  for (const auto& c : prog.pipeline.controlNames) out += ", " + c;
+  out += ", " + prog.pipeline.deparserName + ");\n";
+  return out;
+}
+
+}  // namespace flay::p4

@@ -1,0 +1,19 @@
+#ifndef FLAY_P4_PRINTER_H
+#define FLAY_P4_PRINTER_H
+
+#include <string>
+
+#include "p4/ast.h"
+
+namespace flay::p4 {
+
+/// Renders AST nodes back to P4-lite source. The output of a checked (or
+/// specializer-produced) program re-parses and re-checks to an equivalent
+/// program — the property the round-trip tests enforce.
+std::string printExpr(const Expr& e);
+std::string printStmt(const Stmt& s, int indent = 0);
+std::string printProgram(const Program& prog);
+
+}  // namespace flay::p4
+
+#endif  // FLAY_P4_PRINTER_H

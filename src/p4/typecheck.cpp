@@ -1,0 +1,835 @@
+#include "p4/typecheck.h"
+
+#include <fstream>
+#include <optional>
+#include <sstream>
+
+#include "p4/parser.h"
+
+namespace flay::p4 {
+
+// ---------------------------------------------------------------------------
+// TypeEnv
+// ---------------------------------------------------------------------------
+
+const FieldInfo* TypeEnv::findField(const std::string& canonical) const {
+  auto it = fieldIndex_.find(canonical);
+  return it == fieldIndex_.end() ? nullptr : &fields_[it->second];
+}
+
+const HeaderInstance* TypeEnv::findHeader(const std::string& canonical) const {
+  auto it = headerIndex_.find(canonical);
+  return it == headerIndex_.end() ? nullptr : &headers_[it->second];
+}
+
+void TypeEnv::addField(FieldInfo f) {
+  fieldIndex_.emplace(f.canonical, fields_.size());
+  fields_.push_back(std::move(f));
+}
+
+void TypeEnv::addHeader(HeaderInstance h) {
+  headerIndex_.emplace(h.canonical, headers_.size());
+  headers_.push_back(std::move(h));
+}
+
+void TypeEnv::addConst(const std::string& name, BitVec value) {
+  consts_.emplace(name, std::move(value));
+}
+
+// ---------------------------------------------------------------------------
+// Checker
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class TypeChecker {
+ public:
+  TypeChecker(Program& prog, DiagnosticEngine& diag)
+      : prog_(prog), diag_(diag) {}
+
+  TypeEnv run() {
+    buildEnv();
+    checkConsts();
+    for (auto& p : prog_.parsers) checkParser(p);
+    for (auto& c : prog_.controls) checkControl(c);
+    for (auto& d : prog_.deparsers) checkDeparser(d);
+    checkPipeline();
+    return std::move(env_);
+  }
+
+ private:
+  /// Lexical scope for locals/action parameters during statement checking.
+  struct Scope {
+    std::unordered_map<std::string, FieldInfo> locals;
+    const ActionDecl* action = nullptr;   // non-null inside action bodies
+    ControlDecl* control = nullptr;       // non-null inside controls
+    ParserDecl* parser = nullptr;         // non-null inside parsers
+  };
+
+  // ----- Environment construction -----------------------------------------
+
+  void buildEnv() {
+    // Standard metadata.
+    env_.addField({"sm.ingress_port", kPortWidth, false, false});
+    env_.addField({"sm.egress_spec", kPortWidth, false, false});
+    env_.addField({"sm.packet_length", 32, false, false});
+
+    flattenStructVar("hdr", "headers");
+    if (prog_.findStructType("metadata") != nullptr) {
+      flattenStructVar("meta", "metadata");
+    }
+  }
+
+  void flattenStructVar(const std::string& root, const std::string& typeName) {
+    const StructTypeDecl* st = prog_.findStructType(typeName);
+    if (st == nullptr) {
+      diag_.error({}, "program must declare struct '" + typeName + "'");
+      return;
+    }
+    flattenStruct(root, *st);
+  }
+
+  void flattenStruct(const std::string& prefix, const StructTypeDecl& st) {
+    for (const auto& f : st.fields) {
+      std::string canonical = prefix + "." + f.name;
+      if (f.isScalar()) {
+        // Scalar metadata field. Bool fields become width-1 vectors so they
+        // can participate in keys and arithmetic like in P4's v1model.
+        env_.addField({canonical, f.width, false, false});
+        continue;
+      }
+      if (const HeaderTypeDecl* h = prog_.findHeaderType(f.typeName)) {
+        HeaderInstance inst;
+        inst.canonical = canonical;
+        inst.typeName = h->name;
+        inst.validityCanonical = canonical + ".$valid";
+        env_.addField({inst.validityCanonical, 1, true, true});
+        for (const auto& hf : h->fields) {
+          std::string fieldCanonical = canonical + "." + hf.name;
+          env_.addField({fieldCanonical, hf.width, false, false});
+          inst.fieldCanonicals.push_back(fieldCanonical);
+        }
+        env_.addHeader(std::move(inst));
+      } else if (const StructTypeDecl* s = prog_.findStructType(f.typeName)) {
+        flattenStruct(canonical, *s);
+      } else {
+        diag_.error(f.loc, "unknown type '" + f.typeName + "' for field '" +
+                               f.name + "'");
+      }
+    }
+  }
+
+  // ----- Constant evaluation ------------------------------------------------
+
+  /// Evaluates an already-checked expression that must be compile-time
+  /// constant (literals, consts, and operators over them).
+  std::optional<BitVec> evalConst(const Expr& e) {
+    switch (e.op) {
+      case ExprOp::kIntLit:
+        return e.value;
+      case ExprOp::kPath:
+        if (e.pathKind == PathKind::kConst) return e.value;
+        return std::nullopt;
+      case ExprOp::kUnary: {
+        auto a = evalConst(*e.a);
+        if (!a) return std::nullopt;
+        switch (e.unOp) {
+          case UnOp::kBitNot: return a->bitNot();
+          case UnOp::kNeg: return a->neg();
+          case UnOp::kLNot: return std::nullopt;  // bool consts not supported
+        }
+        return std::nullopt;
+      }
+      case ExprOp::kBinary: {
+        auto a = evalConst(*e.a);
+        auto b = evalConst(*e.b);
+        if (!a || !b) return std::nullopt;
+        switch (e.binOp) {
+          case BinOp::kAdd: return a->add(*b);
+          case BinOp::kSub: return a->sub(*b);
+          case BinOp::kMul: return a->mul(*b);
+          case BinOp::kDiv: return a->udiv(*b);
+          case BinOp::kMod: return a->urem(*b);
+          case BinOp::kBitAnd: return a->bitAnd(*b);
+          case BinOp::kBitOr: return a->bitOr(*b);
+          case BinOp::kBitXor: return a->bitXor(*b);
+          case BinOp::kShl:
+            return a->shl(static_cast<uint32_t>(b->toUint64()));
+          case BinOp::kShr:
+            return a->lshr(static_cast<uint32_t>(b->toUint64()));
+          case BinOp::kConcat: return a->concat(*b);
+          default: return std::nullopt;
+        }
+      }
+      case ExprOp::kSlice: {
+        auto a = evalConst(*e.a);
+        if (!a) return std::nullopt;
+        return a->slice(e.sliceHi, e.sliceLo);
+      }
+      case ExprOp::kCast: {
+        auto a = evalConst(*e.a);
+        if (!a) return std::nullopt;
+        return a->width() <= e.castWidth ? a->zext(e.castWidth)
+                                         : a->trunc(e.castWidth);
+      }
+      default:
+        return std::nullopt;
+    }
+  }
+
+  void checkConsts() {
+    Scope scope;
+    for (auto& c : prog_.consts) {
+      checkExpr(*c.value, scope, c.width, /*expectBool=*/false);
+      auto v = evalConst(*c.value);
+      if (!v) {
+        diag_.error(c.loc, "const '" + c.name +
+                               "' must have a compile-time constant value");
+        v = BitVec::zero(c.width);
+      }
+      env_.addConst(c.name, *v);
+    }
+  }
+
+  // ----- Expression checking ------------------------------------------------
+
+  /// Checks `e` in `scope`. `expectedWidth` (when > 0) supplies the width
+  /// context for unsized literals; `expectBool` demands a boolean.
+  /// On exit e.width/e.isBool are set.
+  void checkExpr(Expr& e, Scope& scope, uint32_t expectedWidth,
+                 bool expectBool) {
+    switch (e.op) {
+      case ExprOp::kIntLit: {
+        uint32_t w = e.literalWidth.value_or(expectedWidth);
+        if (w == 0) {
+          diag_.error(e.loc, "cannot infer width of literal '" +
+                                 e.literalText + "'; use N w syntax or add "
+                                 "context");
+          w = 32;
+        }
+        try {
+          // Parse at a generous width first to detect overflow.
+          BitVec wide = BitVec::parse(std::max(w * 2, 64u), e.literalText);
+          e.value = wide.trunc(w);
+          if (!e.value.zext(wide.width()).eq(wide)) {
+            diag_.error(e.loc, "literal '" + e.literalText +
+                                   "' does not fit in bit<" +
+                                   std::to_string(w) + ">");
+          }
+        } catch (const std::invalid_argument&) {
+          diag_.error(e.loc, "malformed literal '" + e.literalText + "'");
+          e.value = BitVec::zero(w);
+        }
+        e.width = w;
+        break;
+      }
+      case ExprOp::kBoolLit:
+        e.isBool = true;
+        e.width = 0;
+        break;
+      case ExprOp::kPath:
+        resolvePath(e, scope);
+        break;
+      case ExprOp::kIsValid: {
+        std::string canonical = joinPath(e.path);
+        if (env_.findHeader(canonical) == nullptr) {
+          diag_.error(e.loc, "isValid() target '" + canonical +
+                                 "' is not a header instance");
+        }
+        e.canonical = canonical;
+        e.isBool = true;
+        break;
+      }
+      case ExprOp::kUnary:
+        switch (e.unOp) {
+          case UnOp::kLNot:
+            checkExpr(*e.a, scope, 0, /*expectBool=*/true);
+            e.isBool = true;
+            break;
+          case UnOp::kBitNot:
+          case UnOp::kNeg:
+            checkExpr(*e.a, scope, expectedWidth, false);
+            e.width = e.a->width;
+            break;
+        }
+        break;
+      case ExprOp::kBinary:
+        checkBinary(e, scope, expectedWidth);
+        break;
+      case ExprOp::kTernary:
+        checkExpr(*e.a, scope, 0, /*expectBool=*/true);
+        checkExpr(*e.b, scope, expectedWidth, expectBool);
+        // Propagate the then-arm's width into the else-arm if known.
+        checkExpr(*e.c, scope,
+                  e.b->isBool ? 0 : (e.b->width != 0 ? e.b->width
+                                                     : expectedWidth),
+                  e.b->isBool);
+        if (e.b->isBool != e.c->isBool ||
+            (!e.b->isBool && e.b->width != e.c->width)) {
+          diag_.error(e.loc, "ternary arms have mismatched types");
+        }
+        e.isBool = e.b->isBool;
+        e.width = e.b->width;
+        break;
+      case ExprOp::kSlice:
+        checkExpr(*e.a, scope, 0, false);
+        if (e.a->isBool) {
+          diag_.error(e.loc, "cannot slice a boolean");
+        } else if (e.sliceLo > e.sliceHi || e.sliceHi >= e.a->width) {
+          diag_.error(e.loc, "slice [" + std::to_string(e.sliceHi) + ":" +
+                                 std::to_string(e.sliceLo) +
+                                 "] out of range for bit<" +
+                                 std::to_string(e.a->width) + ">");
+        }
+        e.width = e.sliceHi - e.sliceLo + 1;
+        break;
+      case ExprOp::kCast:
+        checkExpr(*e.a, scope, e.castWidth, false);
+        if (e.a->isBool) diag_.error(e.loc, "cannot cast a boolean");
+        e.width = e.castWidth;
+        break;
+    }
+    if (expectBool && !e.isBool) {
+      diag_.error(e.loc, "expected a boolean expression");
+    }
+    if (!expectBool && e.isBool && expectedWidth > 0) {
+      diag_.error(e.loc, "expected a bit<N> expression, found boolean");
+    }
+  }
+
+  static bool isUnsizedLit(const Expr& e) {
+    return e.op == ExprOp::kIntLit && !e.literalWidth.has_value();
+  }
+
+  void checkBinary(Expr& e, Scope& scope, uint32_t expectedWidth) {
+    switch (e.binOp) {
+      case BinOp::kLAnd:
+      case BinOp::kLOr:
+        checkExpr(*e.a, scope, 0, true);
+        checkExpr(*e.b, scope, 0, true);
+        e.isBool = true;
+        return;
+      case BinOp::kEq:
+      case BinOp::kNe: {
+        // Allow boolean or bit-vector equality; infer literal widths from
+        // the other side.
+        if (isUnsizedLit(*e.a)) {
+          checkExpr(*e.b, scope, 0, false);
+          checkExpr(*e.a, scope, e.b->width, e.b->isBool);
+        } else {
+          checkExpr(*e.a, scope, 0, false);
+          checkExpr(*e.b, scope, e.a->width, e.a->isBool);
+        }
+        if (e.a->isBool != e.b->isBool ||
+            (!e.a->isBool && e.a->width != e.b->width)) {
+          diag_.error(e.loc, "comparison operand types do not match");
+        }
+        e.isBool = true;
+        return;
+      }
+      case BinOp::kLt:
+      case BinOp::kLe:
+      case BinOp::kGt:
+      case BinOp::kGe: {
+        if (isUnsizedLit(*e.a)) {
+          checkExpr(*e.b, scope, 0, false);
+          checkExpr(*e.a, scope, e.b->width, false);
+        } else {
+          checkExpr(*e.a, scope, 0, false);
+          checkExpr(*e.b, scope, e.a->width, false);
+        }
+        if (e.a->width != e.b->width) {
+          diag_.error(e.loc, "comparison operand widths do not match");
+        }
+        e.isBool = true;
+        return;
+      }
+      case BinOp::kShl:
+      case BinOp::kShr: {
+        checkExpr(*e.a, scope, expectedWidth, false);
+        checkExpr(*e.b, scope, 32, false);
+        auto amount = evalConst(*e.b);
+        if (!amount) {
+          diag_.error(e.loc, "shift amounts must be compile-time constants");
+        } else {
+          e.b->value = *amount;
+        }
+        e.width = e.a->width;
+        return;
+      }
+      case BinOp::kConcat:
+        checkExpr(*e.a, scope, 0, false);
+        checkExpr(*e.b, scope, 0, false);
+        if (e.a->width == 0 || e.b->width == 0) {
+          diag_.error(e.loc, "concat operands need explicit widths");
+        }
+        e.width = e.a->width + e.b->width;
+        return;
+      default: {
+        // Arithmetic / bitwise: both sides same width.
+        if (isUnsizedLit(*e.a) && !isUnsizedLit(*e.b)) {
+          checkExpr(*e.b, scope, expectedWidth, false);
+          checkExpr(*e.a, scope, e.b->width, false);
+        } else {
+          checkExpr(*e.a, scope, expectedWidth, false);
+          checkExpr(*e.b, scope, e.a->width != 0 ? e.a->width : expectedWidth,
+                    false);
+        }
+        if (e.a->width != e.b->width) {
+          diag_.error(e.loc, "operand widths do not match (" +
+                                 std::to_string(e.a->width) + " vs " +
+                                 std::to_string(e.b->width) + ")");
+        }
+        e.width = e.a->width;
+        return;
+      }
+    }
+  }
+
+  static std::string joinPath(const std::vector<std::string>& parts) {
+    std::string s;
+    for (const auto& p : parts) {
+      if (!s.empty()) s += '.';
+      s += p;
+    }
+    return s;
+  }
+
+  void resolvePath(Expr& e, Scope& scope) {
+    std::string canonical = joinPath(e.path);
+    // Single-component names: locals, action params, consts.
+    if (e.path.size() == 1) {
+      const std::string& name = e.path[0];
+      auto local = scope.locals.find(name);
+      if (local != scope.locals.end()) {
+        e.pathKind = PathKind::kLocal;
+        e.canonical = name;
+        e.width = local->second.width;
+        e.isBool = local->second.isBool;
+        return;
+      }
+      if (scope.action != nullptr) {
+        for (const auto& p : scope.action->params) {
+          if (p.name == name) {
+            e.pathKind = PathKind::kActionParam;
+            e.canonical = name;
+            e.width = p.width;
+            return;
+          }
+        }
+      }
+      auto cit = env_.consts().find(name);
+      if (cit != env_.consts().end()) {
+        e.pathKind = PathKind::kConst;
+        e.canonical = name;
+        e.value = cit->second;
+        e.width = cit->second.width();
+        return;
+      }
+      diag_.error(e.loc, "unknown name '" + name + "'");
+      e.width = 32;
+      return;
+    }
+    // Dotted paths resolve against the flattened field map.
+    if (const FieldInfo* f = env_.findField(canonical)) {
+      e.pathKind = PathKind::kField;
+      e.canonical = canonical;
+      e.width = f->isBool ? 0 : f->width;
+      e.isBool = f->isBool;
+      return;
+    }
+    diag_.error(e.loc, "unknown field '" + canonical + "'");
+    e.width = 32;
+  }
+
+  // ----- Statement checking -------------------------------------------------
+
+  enum class Ctx { kParserState, kControlApply, kActionBody, kDeparser };
+
+  void checkStmts(std::vector<StmtPtr>& stmts, Scope& scope, Ctx ctx) {
+    for (auto& s : stmts) checkStmt(*s, scope, ctx);
+  }
+
+  void checkStmt(Stmt& s, Scope& scope, Ctx ctx) {
+    switch (s.op) {
+      case StmtOp::kAssign: {
+        checkExpr(*s.lhs, scope, 0, false);
+        if (!isAssignable(*s.lhs)) {
+          diag_.error(s.loc, "left-hand side is not assignable");
+        }
+        checkExpr(*s.rhs, scope, s.lhs->isBool ? 0 : s.lhs->width,
+                  s.lhs->isBool);
+        if (!s.lhs->isBool && s.lhs->width != s.rhs->width) {
+          diag_.error(s.loc, "assignment width mismatch (" +
+                                 std::to_string(s.lhs->width) + " vs " +
+                                 std::to_string(s.rhs->width) + ")");
+        }
+        break;
+      }
+      case StmtOp::kVarDecl: {
+        if (scope.locals.count(s.varName) != 0) {
+          diag_.error(s.loc, "redeclaration of '" + s.varName + "'");
+        }
+        if (s.rhs != nullptr) {
+          checkExpr(*s.rhs, scope, s.varIsBool ? 0 : s.varWidth, s.varIsBool);
+        }
+        scope.locals[s.varName] = {s.varName, s.varIsBool ? 1 : s.varWidth,
+                                   s.varIsBool, false};
+        break;
+      }
+      case StmtOp::kIf:
+        checkExpr(*s.cond, scope, 0, true);
+        checkStmts(s.thenBody, scope, ctx);
+        checkStmts(s.elseBody, scope, ctx);
+        break;
+      case StmtOp::kApply: {
+        if (ctx != Ctx::kControlApply) {
+          diag_.error(s.loc, "table apply is only allowed in apply blocks");
+          break;
+        }
+        if (scope.control->findTable(s.target) == nullptr) {
+          diag_.error(s.loc, "unknown table '" + s.target + "'");
+        }
+        break;
+      }
+      case StmtOp::kActionCall: {
+        if (scope.control == nullptr) {
+          diag_.error(s.loc, "action calls are only allowed in controls");
+          break;
+        }
+        if (isBuiltinNoop(s.target)) break;
+        const ActionDecl* action = scope.control->findAction(s.target);
+        if (action == nullptr) {
+          diag_.error(s.loc, "unknown action '" + s.target + "'");
+          break;
+        }
+        if (s.args.size() != action->params.size()) {
+          diag_.error(s.loc, "action '" + s.target + "' expects " +
+                                 std::to_string(action->params.size()) +
+                                 " arguments");
+          break;
+        }
+        for (size_t i = 0; i < s.args.size(); ++i) {
+          checkExpr(*s.args[i], scope, action->params[i].width, false);
+          if (s.args[i]->width != action->params[i].width) {
+            diag_.error(s.loc, "action argument width mismatch");
+          }
+        }
+        break;
+      }
+      case StmtOp::kExtract: {
+        std::string canonical = joinPath(s.lhs->path);
+        if (env_.findHeader(canonical) == nullptr) {
+          diag_.error(s.loc, "extract target '" + canonical +
+                                 "' is not a header instance");
+        }
+        s.lhs->canonical = canonical;
+        break;
+      }
+      case StmtOp::kEmit:
+      case StmtOp::kSetValid:
+      case StmtOp::kSetInvalid: {
+        std::string canonical = joinPath(s.lhs->path);
+        if (env_.findHeader(canonical) == nullptr) {
+          diag_.error(s.loc, "'" + canonical + "' is not a header instance");
+        }
+        s.lhs->canonical = canonical;
+        break;
+      }
+      case StmtOp::kMarkToDrop:
+        if (ctx == Ctx::kParserState || ctx == Ctx::kDeparser) {
+          diag_.error(s.loc, "mark_to_drop() not allowed here");
+        }
+        break;
+      case StmtOp::kRegRead:
+      case StmtOp::kRegWrite: {
+        const RegisterDecl* reg = findRegister(scope, s.target);
+        if (reg == nullptr) {
+          diag_.error(s.loc, "unknown register '" + s.target + "'");
+          break;
+        }
+        checkExpr(*s.index, scope, 32, false);
+        if (s.op == StmtOp::kRegRead) {
+          checkExpr(*s.lhs, scope, reg->width, false);
+          if (!isAssignable(*s.lhs)) {
+            diag_.error(s.loc, "register read destination not assignable");
+          }
+          if (s.lhs->width != reg->width) {
+            diag_.error(s.loc, "register read width mismatch");
+          }
+        } else {
+          checkExpr(*s.rhs, scope, reg->width, false);
+          if (s.rhs->width != reg->width) {
+            diag_.error(s.loc, "register write width mismatch");
+          }
+        }
+        break;
+      }
+      case StmtOp::kCountCall: {
+        bool known = false;
+        if (scope.control != nullptr) {
+          for (const auto& c : scope.control->counters) {
+            known |= c.name == s.target;
+          }
+        }
+        if (!known) diag_.error(s.loc, "unknown counter '" + s.target + "'");
+        checkExpr(*s.index, scope, 32, false);
+        break;
+      }
+      case StmtOp::kMeterCall: {
+        bool known = false;
+        if (scope.control != nullptr) {
+          for (const auto& m : scope.control->meters) {
+            known |= m.name == s.target;
+          }
+        }
+        if (!known) diag_.error(s.loc, "unknown meter '" + s.target + "'");
+        checkExpr(*s.lhs, scope, 2, false);
+        if (!isAssignable(*s.lhs) || s.lhs->width != 2) {
+          diag_.error(s.loc, "meter result must go to a bit<2> lvalue");
+        }
+        checkExpr(*s.index, scope, 32, false);
+        break;
+      }
+      case StmtOp::kTransition:
+        checkTransition(s, scope);
+        break;
+      case StmtOp::kExit:
+        break;
+    }
+  }
+
+  static bool isAssignable(const Expr& e) {
+    if (e.op == ExprOp::kSlice) return e.a != nullptr && isAssignable(*e.a);
+    return e.op == ExprOp::kPath && (e.pathKind == PathKind::kField ||
+                                     e.pathKind == PathKind::kLocal);
+  }
+
+  const RegisterDecl* findRegister(Scope& scope, const std::string& name) {
+    if (scope.control == nullptr) return nullptr;
+    for (const auto& r : scope.control->registers) {
+      if (r.name == name) return &r;
+    }
+    return nullptr;
+  }
+
+  void checkTransition(Stmt& s, Scope& scope) {
+    ParserDecl* parser = scope.parser;
+    if (parser == nullptr) {
+      diag_.error(s.loc, "transition outside of a parser");
+      return;
+    }
+    auto validState = [parser](const std::string& n) {
+      return n == "accept" || n == "reject" ||
+             parser->findState(n) != nullptr;
+    };
+    if (s.transition.selectExpr == nullptr) {
+      if (!validState(s.transition.nextState)) {
+        diag_.error(s.loc, "unknown parser state '" +
+                               s.transition.nextState + "'");
+      }
+      return;
+    }
+    checkExpr(*s.transition.selectExpr, scope, 0, false);
+    uint32_t selWidth = s.transition.selectExpr->width;
+    for (auto& c : s.transition.cases) {
+      if (!validState(c.nextState)) {
+        diag_.error(c.loc, "unknown parser state '" + c.nextState + "'");
+      }
+      if (c.kind != SelectCase::Kind::kConst) continue;
+      // Reclassify bare identifiers that name value sets.
+      if (c.value->op == ExprOp::kPath && c.value->path.size() == 1) {
+        const std::string& name = c.value->path[0];
+        for (const auto& vs : parser->valueSets) {
+          if (vs.name == name) {
+            c.kind = SelectCase::Kind::kValueSet;
+            c.valueSet = name;
+            if (vs.width != selWidth) {
+              diag_.error(c.loc, "value_set width does not match select");
+            }
+            break;
+          }
+        }
+        if (c.kind == SelectCase::Kind::kValueSet) continue;
+      }
+      checkExpr(*c.value, scope, selWidth, false);
+      auto v = evalConst(*c.value);
+      if (!v) {
+        diag_.error(c.loc, "select case values must be constants");
+      } else {
+        c.value->value = *v;
+      }
+      if (c.mask != nullptr) {
+        checkExpr(*c.mask, scope, selWidth, false);
+        auto m = evalConst(*c.mask);
+        if (!m) {
+          diag_.error(c.loc, "select case masks must be constants");
+        } else {
+          c.mask->value = *m;
+        }
+      }
+    }
+  }
+
+  // ----- Declarations ---------------------------------------------------------
+
+  void checkParser(ParserDecl& parser) {
+    if (parser.findState("start") == nullptr) {
+      diag_.error(parser.loc,
+                  "parser '" + parser.name + "' needs a 'start' state");
+    }
+    for (auto& state : parser.states) {
+      Scope scope;
+      scope.parser = &parser;
+      checkStmts(state.body, scope, Ctx::kParserState);
+      if (state.body.empty() ||
+          state.body.back()->op != StmtOp::kTransition) {
+        diag_.error(state.loc, "state '" + state.name +
+                                   "' must end with a transition");
+      }
+    }
+  }
+
+  void checkControl(ControlDecl& control) {
+    // Action bodies first (their params are in scope).
+    for (auto& action : control.actions) {
+      Scope scope;
+      scope.control = &control;
+      scope.action = &action;
+      checkStmts(action.body, scope, Ctx::kActionBody);
+    }
+    // Tables.
+    for (auto& table : control.tables) {
+      Scope scope;
+      scope.control = &control;
+      for (auto& k : table.keys) {
+        checkExpr(*k.expr, scope, 0, false);
+        if (k.expr->width == 0) {
+          diag_.error(k.loc, "table keys must be bit<N> expressions");
+        }
+      }
+      for (const auto& actionName : table.actionNames) {
+        if (!isKnownAction(control, actionName)) {
+          diag_.error(table.loc, "table '" + table.name +
+                                     "' references unknown action '" +
+                                     actionName + "'");
+        }
+      }
+      checkDefaultAction(control, table, scope);
+      if (!table.actionProfile.empty()) {
+        bool found = false;
+        for (const auto& ap : control.actionProfiles) {
+          found |= ap.name == table.actionProfile;
+        }
+        if (!found) {
+          diag_.error(table.loc, "unknown action profile '" +
+                                     table.actionProfile + "'");
+        }
+      }
+    }
+    // Apply block.
+    Scope scope;
+    scope.control = &control;
+    checkStmts(control.applyBody, scope, Ctx::kControlApply);
+  }
+
+  static bool isBuiltinNoop(const std::string& name) {
+    return name == "noop" || name == "NoAction";
+  }
+
+  bool isKnownAction(const ControlDecl& control, const std::string& name) {
+    return isBuiltinNoop(name) || control.findAction(name) != nullptr;
+  }
+
+  void checkDefaultAction(ControlDecl& control, TableDecl& table,
+                          Scope& scope) {
+    const std::string& name = table.defaultAction.name;
+    if (!isKnownAction(control, name)) {
+      diag_.error(table.loc, "table '" + table.name +
+                                 "' has unknown default action '" + name +
+                                 "'");
+      return;
+    }
+    // The default action must be one of the table's actions (or noop).
+    if (!isBuiltinNoop(name)) {
+      bool listed = false;
+      for (const auto& a : table.actionNames) listed |= a == name;
+      if (!listed) {
+        diag_.error(table.loc, "default action '" + name +
+                                   "' is not in the table's action list");
+      }
+    }
+    const ActionDecl* action = control.findAction(name);
+    size_t expected = action != nullptr ? action->params.size() : 0;
+    if (table.defaultAction.args.size() != expected) {
+      diag_.error(table.loc, "default action '" + name + "' expects " +
+                                 std::to_string(expected) + " arguments");
+      return;
+    }
+    for (size_t i = 0; i < table.defaultAction.args.size(); ++i) {
+      Expr& arg = *table.defaultAction.args[i];
+      checkExpr(arg, scope, action->params[i].width, false);
+      auto v = evalConst(arg);
+      if (!v) {
+        diag_.error(table.loc, "default action arguments must be constants");
+      } else {
+        arg.value = *v;
+      }
+    }
+  }
+
+  void checkDeparser(DeparserDecl& deparser) {
+    Scope scope;
+    checkStmts(deparser.body, scope, Ctx::kDeparser);
+  }
+
+  void checkPipeline() {
+    const PipelineDecl& p = prog_.pipeline;
+    if (p.parserName.empty()) {
+      diag_.error(p.loc, "program is missing a pipeline declaration");
+      return;
+    }
+    if (prog_.findParser(p.parserName) == nullptr) {
+      diag_.error(p.loc, "pipeline parser '" + p.parserName + "' not found");
+    }
+    for (const auto& c : p.controlNames) {
+      if (prog_.findControl(c) == nullptr) {
+        diag_.error(p.loc, "pipeline control '" + c + "' not found");
+      }
+    }
+    if (prog_.findDeparser(p.deparserName) == nullptr) {
+      diag_.error(p.loc,
+                  "pipeline deparser '" + p.deparserName + "' not found");
+    }
+  }
+
+  Program& prog_;
+  DiagnosticEngine& diag_;
+  TypeEnv env_;
+};
+
+}  // namespace
+
+TypeEnv typeCheck(Program& prog, DiagnosticEngine& diag) {
+  return TypeChecker(prog, diag).run();
+}
+
+CheckedProgram loadProgramFromString(std::string_view source) {
+  DiagnosticEngine diag;
+  CheckedProgram result;
+  result.program = parseString(source, diag);
+  diag.throwIfErrors();
+  result.env = typeCheck(result.program, diag);
+  diag.throwIfErrors();
+  return result;
+}
+
+CheckedProgram loadProgramFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw CompileError("cannot open file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return loadProgramFromString(buf.str());
+}
+
+}  // namespace flay::p4

@@ -1,0 +1,80 @@
+#ifndef FLAY_P4_TYPECHECK_H
+#define FLAY_P4_TYPECHECK_H
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "p4/ast.h"
+
+namespace flay::p4 {
+
+/// A flattened scalar location: a header/struct field, a standard-metadata
+/// field, or a header validity bit. Canonical names are dotted paths rooted
+/// at `hdr`, `meta`, or `sm` (e.g. "hdr.eth.dst", "hdr.eth.$valid").
+struct FieldInfo {
+  std::string canonical;
+  uint32_t width = 0;   // 1 for bool-typed fields
+  bool isBool = false;  // true for validity bits and bool fields
+  bool isValidity = false;
+};
+
+/// A header instance inside the flattened `hdr` struct.
+struct HeaderInstance {
+  std::string canonical;  // "hdr.eth"
+  std::string typeName;
+  std::vector<std::string> fieldCanonicals;  // in declaration order
+  std::string validityCanonical;             // "hdr.eth.$valid"
+};
+
+/// Symbol information derived by the type checker, needed by every consumer
+/// of a checked program (interpreter, symbolic executor, resource model).
+class TypeEnv {
+ public:
+  /// All scalar locations in deterministic (declaration) order.
+  const std::vector<FieldInfo>& fields() const { return fields_; }
+  const FieldInfo* findField(const std::string& canonical) const;
+
+  const std::vector<HeaderInstance>& headers() const { return headers_; }
+  const HeaderInstance* findHeader(const std::string& canonical) const;
+
+  const std::unordered_map<std::string, BitVec>& consts() const {
+    return consts_;
+  }
+
+  // Mutators used by the checker.
+  void addField(FieldInfo f);
+  void addHeader(HeaderInstance h);
+  void addConst(const std::string& name, BitVec value);
+
+ private:
+  std::vector<FieldInfo> fields_;
+  std::unordered_map<std::string, size_t> fieldIndex_;
+  std::vector<HeaderInstance> headers_;
+  std::unordered_map<std::string, size_t> headerIndex_;
+  std::unordered_map<std::string, BitVec> consts_;
+};
+
+/// The standard-metadata fields every P4-lite program sees as `sm.*`.
+/// egress_spec == kDropPort (511) marks the packet for drop, matching
+/// v1model conventions.
+inline constexpr uint32_t kDropPort = 511;
+inline constexpr uint32_t kPortWidth = 9;
+
+/// Type checks `prog` in place: annotates every expression with its width
+/// and resolution, evaluates constants, and validates structure (pipeline
+/// wiring, table actions, select cases, extern calls). Returns the TypeEnv.
+/// Errors accumulate in `diag`.
+TypeEnv typeCheck(Program& prog, DiagnosticEngine& diag);
+
+/// Convenience: parse + check, throwing CompileError on any diagnostic.
+struct CheckedProgram {
+  Program program;
+  TypeEnv env;
+};
+CheckedProgram loadProgramFromString(std::string_view source);
+CheckedProgram loadProgramFromFile(const std::string& path);
+
+}  // namespace flay::p4
+
+#endif  // FLAY_P4_TYPECHECK_H

@@ -1,0 +1,223 @@
+#include "runtime/device_config.h"
+
+#include <stdexcept>
+
+namespace flay::runtime {
+
+// ---------------------------------------------------------------------------
+// ValueSetState
+// ---------------------------------------------------------------------------
+
+void ValueSetState::insert(BitVec value, BitVec mask) {
+  if (value.width() != width_ || mask.width() != width_) {
+    throw std::invalid_argument("value_set '" + name_ + "' width mismatch");
+  }
+  if (members_.size() >= size_) {
+    throw std::invalid_argument("value_set '" + name_ + "' is full");
+  }
+  for (const auto& [v, m] : members_) {
+    if (v == value && m == mask) {
+      throw std::invalid_argument("value_set '" + name_ + "' duplicate");
+    }
+  }
+  members_.emplace_back(std::move(value), std::move(mask));
+}
+
+void ValueSetState::insert(BitVec value) {
+  BitVec mask = BitVec::allOnes(value.width());
+  insert(std::move(value), std::move(mask));
+}
+
+void ValueSetState::remove(const BitVec& value, const BitVec& mask) {
+  for (auto it = members_.begin(); it != members_.end(); ++it) {
+    if (it->first == value && it->second == mask) {
+      members_.erase(it);
+      return;
+    }
+  }
+  throw std::invalid_argument("value_set '" + name_ + "' member not found");
+}
+
+bool ValueSetState::matches(const BitVec& v) const {
+  for (const auto& [value, mask] : members_) {
+    if (v.bitAnd(mask) == value.bitAnd(mask)) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// ActionProfileState
+// ---------------------------------------------------------------------------
+
+void ActionProfileState::addMember(Member m) {
+  if (members_.size() >= size_) {
+    throw std::invalid_argument("action profile is full");
+  }
+  if (findMember(m.memberId) != nullptr) {
+    throw std::invalid_argument("duplicate action profile member id");
+  }
+  members_.push_back(std::move(m));
+}
+
+void ActionProfileState::removeMember(uint32_t memberId) {
+  for (auto it = members_.begin(); it != members_.end(); ++it) {
+    if (it->memberId == memberId) {
+      members_.erase(it);
+      return;
+    }
+  }
+  throw std::invalid_argument("action profile member not found");
+}
+
+const ActionProfileState::Member* ActionProfileState::findMember(
+    uint32_t memberId) const {
+  for (const auto& m : members_) {
+    if (m.memberId == memberId) return &m;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Update factories
+// ---------------------------------------------------------------------------
+
+Update Update::insert(std::string table, TableEntry e) {
+  Update u;
+  u.kind = Kind::kInsert;
+  u.target = std::move(table);
+  u.entry = std::move(e);
+  return u;
+}
+
+Update Update::remove(std::string table, uint64_t id) {
+  Update u;
+  u.kind = Kind::kDelete;
+  u.target = std::move(table);
+  u.entry.id = id;
+  return u;
+}
+
+Update Update::modify(std::string table, TableEntry e) {
+  Update u;
+  u.kind = Kind::kModify;
+  u.target = std::move(table);
+  u.entry = std::move(e);
+  return u;
+}
+
+Update Update::setDefault(std::string table, std::string action,
+                          std::vector<BitVec> args) {
+  Update u;
+  u.kind = Kind::kSetDefaultAction;
+  u.target = std::move(table);
+  u.actionName = std::move(action);
+  u.actionArgs = std::move(args);
+  return u;
+}
+
+Update Update::valueSetInsert(std::string vs, BitVec value, BitVec mask) {
+  Update u;
+  u.kind = Kind::kValueSetInsert;
+  u.target = std::move(vs);
+  u.value = std::move(value);
+  u.mask = std::move(mask);
+  return u;
+}
+
+// ---------------------------------------------------------------------------
+// DeviceConfig
+// ---------------------------------------------------------------------------
+
+DeviceConfig::DeviceConfig(const p4::CheckedProgram& checked)
+    : checked_(&checked) {
+  for (const auto& control : checked.program.controls) {
+    for (const auto& table : control.tables) {
+      std::string qualified = control.name + "." + table.name;
+      tables_.emplace(qualified, TableState(control, table));
+    }
+    for (const auto& profile : control.actionProfiles) {
+      profiles_.emplace(control.name + "." + profile.name,
+                        ActionProfileState(profile.size));
+    }
+  }
+  for (const auto& parser : checked.program.parsers) {
+    for (const auto& vs : parser.valueSets) {
+      std::string qualified = parser.name + "." + vs.name;
+      valueSets_.emplace(qualified,
+                         ValueSetState(qualified, vs.width, vs.size));
+    }
+  }
+}
+
+TableState& DeviceConfig::table(const std::string& qualifiedName) {
+  auto it = tables_.find(qualifiedName);
+  if (it == tables_.end()) {
+    throw std::invalid_argument("unknown table '" + qualifiedName + "'");
+  }
+  return it->second;
+}
+
+const TableState& DeviceConfig::table(const std::string& qualifiedName) const {
+  return const_cast<DeviceConfig*>(this)->table(qualifiedName);
+}
+
+ValueSetState& DeviceConfig::valueSet(const std::string& qualifiedName) {
+  auto it = valueSets_.find(qualifiedName);
+  if (it == valueSets_.end()) {
+    throw std::invalid_argument("unknown value_set '" + qualifiedName + "'");
+  }
+  return it->second;
+}
+
+const ValueSetState& DeviceConfig::valueSet(
+    const std::string& qualifiedName) const {
+  return const_cast<DeviceConfig*>(this)->valueSet(qualifiedName);
+}
+
+ActionProfileState& DeviceConfig::actionProfile(
+    const std::string& qualifiedName) {
+  auto it = profiles_.find(qualifiedName);
+  if (it == profiles_.end()) {
+    throw std::invalid_argument("unknown action profile '" + qualifiedName +
+                                "'");
+  }
+  return it->second;
+}
+
+const ActionProfileState& DeviceConfig::actionProfile(
+    const std::string& qualifiedName) const {
+  return const_cast<DeviceConfig*>(this)->actionProfile(qualifiedName);
+}
+
+std::string DeviceConfig::apply(const Update& update) {
+  switch (update.kind) {
+    case Update::Kind::kInsert:
+      table(update.target).insert(update.entry);
+      break;
+    case Update::Kind::kModify:
+      table(update.target).modify(update.entry);
+      break;
+    case Update::Kind::kDelete:
+      table(update.target).remove(update.entry.id);
+      break;
+    case Update::Kind::kSetDefaultAction:
+      table(update.target)
+          .setDefaultAction(update.actionName, update.actionArgs);
+      break;
+    case Update::Kind::kValueSetInsert:
+      valueSet(update.target).insert(update.value, update.mask);
+      break;
+    case Update::Kind::kValueSetDelete:
+      valueSet(update.target).remove(update.value, update.mask);
+      break;
+    case Update::Kind::kProfileAdd:
+      actionProfile(update.target).addMember(update.member);
+      break;
+    case Update::Kind::kProfileRemove:
+      actionProfile(update.target).removeMember(update.member.memberId);
+      break;
+  }
+  return update.target;
+}
+
+}  // namespace flay::runtime

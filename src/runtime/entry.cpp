@@ -1,0 +1,104 @@
+#include "runtime/entry.h"
+
+#include <stdexcept>
+
+namespace flay::runtime {
+
+FieldMatch FieldMatch::exact(BitVec v) {
+  FieldMatch m;
+  m.kind = p4::MatchKind::kExact;
+  m.mask = BitVec::allOnes(v.width());
+  m.value = std::move(v);
+  m.prefixLen = m.value.width();
+  return m;
+}
+
+FieldMatch FieldMatch::ternary(BitVec v, BitVec mk) {
+  if (v.width() != mk.width()) {
+    throw std::invalid_argument("ternary value/mask width mismatch");
+  }
+  FieldMatch m;
+  m.kind = p4::MatchKind::kTernary;
+  m.value = std::move(v);
+  m.mask = std::move(mk);
+  return m;
+}
+
+FieldMatch FieldMatch::lpm(BitVec v, uint32_t prefixLen) {
+  if (prefixLen > v.width()) {
+    throw std::invalid_argument("lpm prefix length exceeds field width");
+  }
+  FieldMatch m;
+  m.kind = p4::MatchKind::kLpm;
+  m.prefixLen = prefixLen;
+  uint32_t w = v.width();
+  m.mask = prefixLen == 0 ? BitVec::zero(w)
+                          : BitVec::allOnes(w).shl(w - prefixLen);
+  m.value = std::move(v);
+  return m;
+}
+
+bool FieldMatch::matches(const BitVec& key) const {
+  return key.bitAnd(mask) == value.bitAnd(mask);
+}
+
+bool FieldMatch::covers(const FieldMatch& other) const {
+  // this covers other iff this.mask is a subset of other.mask and the values
+  // agree on this.mask: every key in other's region then satisfies this.
+  if (mask.bitAnd(other.mask) != mask) return false;
+  return value.bitAnd(mask) == other.value.bitAnd(mask);
+}
+
+std::string FieldMatch::toString() const {
+  switch (kind) {
+    case p4::MatchKind::kExact:
+      return value.toHexString();
+    case p4::MatchKind::kTernary:
+      return value.toHexString() + " &&& " + mask.toHexString();
+    case p4::MatchKind::kLpm:
+      return value.toHexString() + "/" + std::to_string(prefixLen);
+  }
+  return "<?>";
+}
+
+bool TableEntry::covers(const TableEntry& other) const {
+  if (matches.size() != other.matches.size()) return false;
+  for (size_t i = 0; i < matches.size(); ++i) {
+    if (!matches[i].covers(other.matches[i])) return false;
+  }
+  return true;
+}
+
+bool TableEntry::sameMatchSet(const TableEntry& other) const {
+  if (matches.size() != other.matches.size()) return false;
+  for (size_t i = 0; i < matches.size(); ++i) {
+    if (!(matches[i] == other.matches[i])) return false;
+  }
+  return true;
+}
+
+bool TableEntry::matchesKey(const std::vector<BitVec>& key) const {
+  if (key.size() != matches.size()) return false;
+  for (size_t i = 0; i < key.size(); ++i) {
+    if (!matches[i].matches(key[i])) return false;
+  }
+  return true;
+}
+
+std::string TableEntry::toString() const {
+  std::string s = "[";
+  for (size_t i = 0; i < matches.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += matches[i].toString();
+  }
+  s += "] -> " + actionName + "(";
+  for (size_t i = 0; i < actionArgs.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += actionArgs[i].toHexString();
+  }
+  s += ")";
+  if (priority != 0) s += " prio=" + std::to_string(priority);
+  return s;
+}
+
+}  // namespace flay::runtime

@@ -1,0 +1,64 @@
+#ifndef FLAY_RUNTIME_ENTRY_H
+#define FLAY_RUNTIME_ENTRY_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "p4/ast.h"
+#include "support/bitvec.h"
+
+namespace flay::runtime {
+
+/// A match criterion for one key field of a table entry. All three P4-lite
+/// match kinds normalize to a value/mask pair; lpm additionally tracks the
+/// prefix length for longest-prefix tie-breaking.
+struct FieldMatch {
+  p4::MatchKind kind = p4::MatchKind::kExact;
+  BitVec value;
+  BitVec mask;  // exact: all ones; lpm: prefix mask; ternary: arbitrary
+  uint32_t prefixLen = 0;
+
+  static FieldMatch exact(BitVec v);
+  static FieldMatch ternary(BitVec v, BitVec m);
+  static FieldMatch lpm(BitVec v, uint32_t prefixLen);
+
+  /// True if `key` falls inside this criterion.
+  bool matches(const BitVec& key) const;
+  /// True if the mask is all zeroes (matches everything).
+  bool isWildcard() const { return mask.isZero(); }
+  /// True if the mask is all ones (an exact value, whatever the kind).
+  bool isExactValued() const { return mask.isAllOnes(); }
+  /// True if every key matched by `other` is also matched by this.
+  bool covers(const FieldMatch& other) const;
+
+  bool operator==(const FieldMatch& other) const {
+    // Two criteria are equal if they match the same key set.
+    return mask == other.mask &&
+           value.bitAnd(mask) == other.value.bitAnd(other.mask);
+  }
+
+  std::string toString() const;
+};
+
+/// One control-plane table entry.
+struct TableEntry {
+  std::vector<FieldMatch> matches;
+  std::string actionName;
+  std::vector<BitVec> actionArgs;
+  /// Larger wins. Only meaningful for tables with ternary keys.
+  int32_t priority = 0;
+  /// Assigned by TableState on insert.
+  uint64_t id = 0;
+
+  /// True if every key matched by `other` is matched by this entry.
+  bool covers(const TableEntry& other) const;
+  bool sameMatchSet(const TableEntry& other) const;
+  bool matchesKey(const std::vector<BitVec>& key) const;
+
+  std::string toString() const;
+};
+
+}  // namespace flay::runtime
+
+#endif  // FLAY_RUNTIME_ENTRY_H

@@ -1,0 +1,196 @@
+#include "runtime/table_state.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace flay::runtime {
+
+TableState::TableState(const p4::ControlDecl& control,
+                       const p4::TableDecl& decl)
+    : control_(&control), decl_(&decl) {
+  defaultActionName_ = decl.defaultAction.name;
+  for (const auto& arg : decl.defaultAction.args) {
+    defaultActionArgs_.push_back(arg->value);
+  }
+  for (size_t i = 0; i < decl.keys.size(); ++i) {
+    if (decl.keys[i].matchKind == p4::MatchKind::kTernary) hasTernary_ = true;
+    if (decl.keys[i].matchKind == p4::MatchKind::kLpm) {
+      hasLpm_ = true;
+      lpmIndex_ = i;
+    }
+  }
+}
+
+void TableState::validate(const TableEntry& entry) const {
+  if (entry.matches.size() != decl_->keys.size()) {
+    throw std::invalid_argument(
+        qualifiedName() + ": entry has " +
+        std::to_string(entry.matches.size()) + " matches, table has " +
+        std::to_string(decl_->keys.size()) + " keys");
+  }
+  for (size_t i = 0; i < entry.matches.size(); ++i) {
+    const FieldMatch& m = entry.matches[i];
+    const p4::KeyElement& k = decl_->keys[i];
+    if (m.value.width() != k.expr->width) {
+      throw std::invalid_argument(
+          qualifiedName() + ": key " + std::to_string(i) + " width " +
+          std::to_string(m.value.width()) + " does not match bit<" +
+          std::to_string(k.expr->width) + ">");
+    }
+    if (m.kind != k.matchKind) {
+      throw std::invalid_argument(qualifiedName() + ": key " +
+                                  std::to_string(i) + " match kind mismatch");
+    }
+  }
+  // Action must be in the table's action list (or the builtin noop).
+  bool listed = entry.actionName == "noop" || entry.actionName == "NoAction";
+  for (const auto& a : decl_->actionNames) listed |= a == entry.actionName;
+  if (!listed) {
+    throw std::invalid_argument(qualifiedName() + ": action '" +
+                                entry.actionName +
+                                "' is not in the table's action list");
+  }
+  const p4::ActionDecl* action = control_->findAction(entry.actionName);
+  size_t expected = action != nullptr ? action->params.size() : 0;
+  if (entry.actionArgs.size() != expected) {
+    throw std::invalid_argument(qualifiedName() + ": action '" +
+                                entry.actionName + "' expects " +
+                                std::to_string(expected) + " arguments");
+  }
+  if (action != nullptr) {
+    for (size_t i = 0; i < expected; ++i) {
+      if (entry.actionArgs[i].width() != action->params[i].width) {
+        throw std::invalid_argument(qualifiedName() + ": argument " +
+                                    std::to_string(i) + " width mismatch");
+      }
+    }
+  }
+  if (entry.priority != 0 && !hasTernary_) {
+    throw std::invalid_argument(
+        qualifiedName() + ": priorities are only valid with ternary keys");
+  }
+}
+
+uint64_t TableState::insert(TableEntry entry) {
+  validate(entry);
+  if (entries_.size() >= decl_->size) {
+    throw std::invalid_argument(qualifiedName() + ": table is full (size " +
+                                std::to_string(decl_->size) + ")");
+  }
+  for (const auto& e : entries_) {
+    if (e.sameMatchSet(entry) && e.priority == entry.priority) {
+      throw std::invalid_argument(qualifiedName() +
+                                  ": duplicate entry " + entry.toString());
+    }
+  }
+  entry.id = nextId_++;
+  entries_.push_back(std::move(entry));
+  return entries_.back().id;
+}
+
+void TableState::modify(TableEntry entry) {
+  validate(entry);
+  for (auto& e : entries_) {
+    if (e.id == entry.id) {
+      e = std::move(entry);
+      return;
+    }
+  }
+  throw std::invalid_argument(qualifiedName() + ": no entry with id " +
+                              std::to_string(entry.id));
+}
+
+void TableState::remove(uint64_t id) {
+  auto it = std::find_if(entries_.begin(), entries_.end(),
+                         [id](const TableEntry& e) { return e.id == id; });
+  if (it == entries_.end()) {
+    throw std::invalid_argument(qualifiedName() + ": no entry with id " +
+                                std::to_string(id));
+  }
+  entries_.erase(it);
+}
+
+void TableState::clear() { entries_.clear(); }
+
+void TableState::setDefaultAction(std::string actionName,
+                                  std::vector<BitVec> args) {
+  TableEntry probe;
+  probe.actionName = actionName;
+  probe.actionArgs = args;
+  // Reuse entry validation for the action part by faking the key matches.
+  for (const auto& k : decl_->keys) {
+    FieldMatch m;
+    m.kind = k.matchKind;
+    m.value = BitVec::zero(k.expr->width);
+    m.mask = k.matchKind == p4::MatchKind::kExact
+                 ? BitVec::allOnes(k.expr->width)
+                 : BitVec::zero(k.expr->width);
+    probe.matches.push_back(std::move(m));
+  }
+  validate(probe);
+  defaultActionName_ = std::move(actionName);
+  defaultActionArgs_ = std::move(args);
+}
+
+bool TableState::precedes(const TableEntry& a, const TableEntry& b) const {
+  if (hasTernary_) {
+    if (a.priority != b.priority) return a.priority > b.priority;
+    return a.id < b.id;  // deterministic tie-break: older first
+  }
+  if (hasLpm_) {
+    uint32_t pa = a.matches[lpmIndex_].prefixLen;
+    uint32_t pb = b.matches[lpmIndex_].prefixLen;
+    if (pa != pb) return pa > pb;  // longest prefix first
+    return a.id < b.id;
+  }
+  return a.id < b.id;
+}
+
+std::vector<const TableEntry*> TableState::normalizedEntries() const {
+  std::vector<const TableEntry*> sorted;
+  sorted.reserve(entries_.size());
+  for (const auto& e : entries_) sorted.push_back(&e);
+  std::sort(sorted.begin(), sorted.end(),
+            [this](const TableEntry* a, const TableEntry* b) {
+              return precedes(*a, *b);
+            });
+  // Drop entries whose whole match region is covered by a single earlier
+  // entry: they can never be the winning match. (Covering by a union of
+  // earlier entries is not detected; that is an optimization, not a
+  // soundness requirement.)
+  std::vector<const TableEntry*> result;
+  for (const TableEntry* e : sorted) {
+    bool eclipsed = false;
+    for (const TableEntry* winner : result) {
+      if (winner->covers(*e)) {
+        eclipsed = true;
+        break;
+      }
+    }
+    if (!eclipsed) result.push_back(e);
+  }
+  return result;
+}
+
+const TableEntry* TableState::lookup(const std::vector<BitVec>& key) const {
+  const TableEntry* best = nullptr;
+  for (const auto& e : entries_) {
+    if (!e.matchesKey(key)) continue;
+    if (best == nullptr || precedes(e, *best)) best = &e;
+  }
+  return best;
+}
+
+std::vector<std::string> TableState::reachableActions() const {
+  std::vector<std::string> result;
+  auto add = [&result](const std::string& name) {
+    if (std::find(result.begin(), result.end(), name) == result.end()) {
+      result.push_back(name);
+    }
+  };
+  for (const TableEntry* e : normalizedEntries()) add(e->actionName);
+  add(defaultActionName_);
+  return result;
+}
+
+}  // namespace flay::runtime

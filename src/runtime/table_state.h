@@ -1,0 +1,83 @@
+#ifndef FLAY_RUNTIME_TABLE_STATE_H
+#define FLAY_RUNTIME_TABLE_STATE_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "runtime/entry.h"
+
+namespace flay::runtime {
+
+/// Runtime state of one match-action table: the installed entries plus an
+/// optional default-action override. Implements the control-plane semantics
+/// the paper's §4.1 assigns to the device specification: inserts are
+/// validated against the table schema, duplicates are rejected, and the
+/// normalized view omits entries eclipsed by higher-precedence ones.
+class TableState {
+ public:
+  /// `control` and `decl` outlive this object (they belong to the Program).
+  TableState(const p4::ControlDecl& control, const p4::TableDecl& decl);
+
+  const p4::TableDecl& decl() const { return *decl_; }
+  const p4::ControlDecl& control() const { return *control_; }
+  std::string qualifiedName() const {
+    return control_->name + "." + decl_->name;
+  }
+
+  /// Validates and installs; returns the assigned entry id.
+  /// Throws std::invalid_argument on schema violations or duplicates.
+  uint64_t insert(TableEntry entry);
+  /// Replaces the entry with `entry.id`; throws if absent.
+  void modify(TableEntry entry);
+  /// Removes by id; throws if absent.
+  void remove(uint64_t id);
+  void clear();
+
+  /// Overrides the default action; pass the declaration default to reset.
+  void setDefaultAction(std::string actionName, std::vector<BitVec> args);
+  const std::string& defaultActionName() const { return defaultActionName_; }
+  const std::vector<BitVec>& defaultActionArgs() const {
+    return defaultActionArgs_;
+  }
+
+  const std::vector<TableEntry>& entries() const { return entries_; }
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// True if the table has at least one ternary key (priority semantics).
+  bool usesPriority() const { return hasTernary_; }
+
+  /// Entries in match precedence order (highest first), with entries whose
+  /// match region is fully covered by earlier entries omitted — they can
+  /// never win a lookup and therefore don't affect program semantics.
+  std::vector<const TableEntry*> normalizedEntries() const;
+
+  /// Data-plane lookup: highest-precedence matching entry, or nullptr
+  /// (default action applies).
+  const TableEntry* lookup(const std::vector<BitVec>& key) const;
+
+  /// The set of action names that can actually execute given the current
+  /// entries (installed actions plus the default action). Drives the
+  /// unused-action removal specialization of Fig. 3.
+  std::vector<std::string> reachableActions() const;
+
+ private:
+  void validate(const TableEntry& entry) const;
+  /// Precedence comparator: true if a should be tried before b.
+  bool precedes(const TableEntry& a, const TableEntry& b) const;
+
+  const p4::ControlDecl* control_;
+  const p4::TableDecl* decl_;
+  std::vector<TableEntry> entries_;
+  std::string defaultActionName_;
+  std::vector<BitVec> defaultActionArgs_;
+  bool hasTernary_ = false;
+  bool hasLpm_ = false;
+  size_t lpmIndex_ = 0;  // index of the lpm key, if hasLpm_
+  uint64_t nextId_ = 1;
+};
+
+}  // namespace flay::runtime
+
+#endif  // FLAY_RUNTIME_TABLE_STATE_H

@@ -1,0 +1,342 @@
+#include "sat/solver.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace flay::sat {
+
+uint32_t Solver::newVar() {
+  uint32_t v = numVars();
+  assigns_.push_back(kUndef);
+  model_.push_back(kUndef);
+  levels_.push_back(0);
+  reasons_.push_back(-1);
+  varActivity_.push_back(0.0);
+  seen_.push_back(0);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  return v;
+}
+
+bool Solver::addClause(std::span<const Lit> lits) {
+  if (unsat_) return false;
+  assert(trailLimits_.empty() && "clauses must be added at decision level 0");
+  // Normalize: drop duplicate and false literals, detect tautologies and
+  // already-satisfied clauses.
+  std::vector<Lit> out;
+  out.reserve(lits.size());
+  for (Lit l : lits) {
+    assert(l.var() < numVars());
+    if (value(l) == 1) return true;  // satisfied at level 0
+    if (value(l) == 0) continue;     // falsified at level 0: drop
+    bool dup = false;
+    for (Lit o : out) {
+      if (o == l) dup = true;
+      if (o == ~l) return true;  // tautology
+    }
+    if (!dup) out.push_back(l);
+  }
+  if (out.empty()) {
+    unsat_ = true;
+    return false;
+  }
+  if (out.size() == 1) {
+    enqueue(out[0], -1);
+    if (propagate() != -1) {
+      unsat_ = true;
+      return false;
+    }
+    return true;
+  }
+  clauses_.push_back({std::move(out), false, 0.0});
+  attachClause(static_cast<uint32_t>(clauses_.size() - 1));
+  return true;
+}
+
+void Solver::attachClause(uint32_t idx) {
+  const Clause& c = clauses_[idx];
+  assert(c.lits.size() >= 2);
+  watches_[(~c.lits[0]).code].push_back({idx, c.lits[1]});
+  watches_[(~c.lits[1]).code].push_back({idx, c.lits[0]});
+}
+
+void Solver::enqueue(Lit l, int32_t reasonClause) {
+  assert(value(l) == kUndef);
+  assigns_[l.var()] = l.negated() ? 0 : 1;
+  levels_[l.var()] = static_cast<uint32_t>(trailLimits_.size());
+  reasons_[l.var()] = reasonClause;
+  trail_.push_back(l);
+}
+
+int32_t Solver::propagate() {
+  while (propagateHead_ < trail_.size()) {
+    Lit p = trail_[propagateHead_++];
+    ++propagations_;
+    std::vector<Watcher>& ws = watches_[p.code];
+    size_t keep = 0;
+    for (size_t i = 0; i < ws.size(); ++i) {
+      Watcher w = ws[i];
+      // Fast path: blocker already satisfied.
+      if (value(w.blocker) == 1) {
+        ws[keep++] = w;
+        continue;
+      }
+      Clause& c = clauses_[w.clauseIdx];
+      // Ensure the falsified literal ~p is at position 1.
+      Lit falseLit = ~p;
+      if (c.lits[0] == falseLit) std::swap(c.lits[0], c.lits[1]);
+      assert(c.lits[1] == falseLit);
+      if (value(c.lits[0]) == 1) {
+        ws[keep++] = {w.clauseIdx, c.lits[0]};
+        continue;
+      }
+      // Look for a new literal to watch.
+      bool foundWatch = false;
+      for (size_t k = 2; k < c.lits.size(); ++k) {
+        if (value(c.lits[k]) != 0) {
+          std::swap(c.lits[1], c.lits[k]);
+          watches_[(~c.lits[1]).code].push_back({w.clauseIdx, c.lits[0]});
+          foundWatch = true;
+          break;
+        }
+      }
+      if (foundWatch) continue;
+      // Clause is unit or conflicting.
+      ws[keep++] = w;
+      if (value(c.lits[0]) == 0) {
+        // Conflict: keep remaining watchers and report.
+        for (size_t j = i + 1; j < ws.size(); ++j) ws[keep++] = ws[j];
+        ws.resize(keep);
+        propagateHead_ = trail_.size();
+        return static_cast<int32_t>(w.clauseIdx);
+      }
+      enqueue(c.lits[0], static_cast<int32_t>(w.clauseIdx));
+    }
+    ws.resize(keep);
+  }
+  return -1;
+}
+
+void Solver::analyze(int32_t conflictIdx, std::vector<Lit>& outLearned,
+                     uint32_t& outBtLevel) {
+  outLearned.clear();
+  outLearned.push_back(Lit{0});  // placeholder for the asserting literal
+  uint32_t curLevel = static_cast<uint32_t>(trailLimits_.size());
+  int pathCount = 0;
+  Lit p{0};
+  size_t trailIdx = trail_.size();
+  int32_t reasonIdx = conflictIdx;
+  bool first = true;
+
+  do {
+    assert(reasonIdx != -1);
+    Clause& c = clauses_[reasonIdx];
+    if (c.learned) bumpClause(static_cast<uint32_t>(reasonIdx));
+    size_t start = first ? 0 : 1;
+    first = false;
+    for (size_t i = start; i < c.lits.size(); ++i) {
+      Lit q = c.lits[i];
+      if (seen_[q.var()] || levels_[q.var()] == 0) continue;
+      seen_[q.var()] = 1;
+      bumpVar(q.var());
+      if (levels_[q.var()] == curLevel) {
+        ++pathCount;
+      } else {
+        outLearned.push_back(q);
+      }
+    }
+    // Walk the trail backwards to the next marked literal.
+    while (!seen_[trail_[trailIdx - 1].var()]) --trailIdx;
+    --trailIdx;
+    p = trail_[trailIdx];
+    seen_[p.var()] = 0;
+    reasonIdx = reasons_[p.var()];
+    --pathCount;
+  } while (pathCount > 0);
+  outLearned[0] = ~p;
+
+  // Compute backtrack level (second-highest level in the clause).
+  outBtLevel = 0;
+  if (outLearned.size() > 1) {
+    size_t maxIdx = 1;
+    for (size_t i = 2; i < outLearned.size(); ++i) {
+      if (levels_[outLearned[i].var()] > levels_[outLearned[maxIdx].var()]) {
+        maxIdx = i;
+      }
+    }
+    std::swap(outLearned[1], outLearned[maxIdx]);
+    outBtLevel = levels_[outLearned[1].var()];
+  }
+  for (Lit l : outLearned) seen_[l.var()] = 0;
+}
+
+void Solver::backtrack(uint32_t level) {
+  if (trailLimits_.size() <= level) return;
+  uint32_t bound = trailLimits_[level];
+  for (size_t i = trail_.size(); i-- > bound;) {
+    uint32_t v = trail_[i].var();
+    assigns_[v] = kUndef;
+    reasons_[v] = -1;
+  }
+  trail_.resize(bound);
+  trailLimits_.resize(level);
+  propagateHead_ = trail_.size();
+}
+
+Lit Solver::pickBranchLit() {
+  uint32_t best = UINT32_MAX;
+  double bestAct = -1.0;
+  for (uint32_t v = 0; v < numVars(); ++v) {
+    if (assigns_[v] == kUndef && varActivity_[v] > bestAct) {
+      bestAct = varActivity_[v];
+      best = v;
+    }
+  }
+  if (best == UINT32_MAX) return Lit{UINT32_MAX};
+  // Phase saving: prefer the last model value if we have one.
+  bool negate = model_[best] != 1;
+  return Lit::make(best, negate);
+}
+
+void Solver::bumpVar(uint32_t v) {
+  varActivity_[v] += varActivityInc_;
+  if (varActivity_[v] > 1e100) {
+    for (auto& a : varActivity_) a *= 1e-100;
+    varActivityInc_ *= 1e-100;
+  }
+}
+
+void Solver::bumpClause(uint32_t idx) {
+  clauses_[idx].activity += clauseActivityInc_;
+  if (clauses_[idx].activity > 1e20) {
+    for (auto& c : clauses_) {
+      if (c.learned) c.activity *= 1e-20;
+    }
+    clauseActivityInc_ *= 1e-20;
+  }
+}
+
+void Solver::decayActivities() {
+  varActivityInc_ /= 0.95;
+  clauseActivityInc_ /= 0.999;
+}
+
+uint64_t Solver::luby(uint64_t i) {
+  // Luby sequence (1-indexed): 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+  assert(i >= 1);
+  uint64_t k = 1;
+  while ((1ull << (k + 1)) - 1 <= i) ++k;
+  while (i != (1ull << k) - 1) {
+    i -= (1ull << k) - 1;
+    k = 1;
+    while ((1ull << (k + 1)) - 1 <= i) ++k;
+  }
+  return 1ull << (k - 1);
+}
+
+void Solver::reduceLearned() {
+  // Remove the least active half of the learned clauses that are not
+  // currently reasons. Rebuild watches afterwards.
+  std::vector<uint32_t> learned;
+  for (uint32_t i = 0; i < clauses_.size(); ++i) {
+    if (clauses_[i].learned) learned.push_back(i);
+  }
+  if (learned.size() < 64) return;
+  std::sort(learned.begin(), learned.end(), [this](uint32_t a, uint32_t b) {
+    return clauses_[a].activity < clauses_[b].activity;
+  });
+  std::vector<bool> locked(clauses_.size(), false);
+  for (Lit l : trail_) {
+    if (reasons_[l.var()] >= 0) locked[reasons_[l.var()]] = true;
+  }
+  std::vector<bool> remove(clauses_.size(), false);
+  for (size_t i = 0; i < learned.size() / 2; ++i) {
+    if (!locked[learned[i]] && clauses_[learned[i]].lits.size() > 2) {
+      remove[learned[i]] = true;
+    }
+  }
+  // Compact clause storage and remap indices.
+  std::vector<int32_t> remap(clauses_.size(), -1);
+  std::vector<Clause> kept;
+  kept.reserve(clauses_.size());
+  for (uint32_t i = 0; i < clauses_.size(); ++i) {
+    if (!remove[i]) {
+      remap[i] = static_cast<int32_t>(kept.size());
+      kept.push_back(std::move(clauses_[i]));
+    }
+  }
+  clauses_ = std::move(kept);
+  for (auto& r : reasons_) {
+    if (r >= 0) r = remap[r];
+  }
+  for (auto& ws : watches_) ws.clear();
+  for (uint32_t i = 0; i < clauses_.size(); ++i) attachClause(i);
+}
+
+Result Solver::solve(std::span<const Lit> assumptions) {
+  if (unsat_) return Result::kUnsat;
+  backtrack(0);
+  uint64_t restartNum = 0;
+  uint64_t conflictBudget = 100 * luby(restartNum + 1);
+  uint64_t conflictsThisRestart = 0;
+
+  for (;;) {
+    int32_t conflict = propagate();
+    if (conflict != -1) {
+      ++conflicts_;
+      ++conflictsThisRestart;
+      if (trailLimits_.empty()) return Result::kUnsat;
+      std::vector<Lit> learned;
+      uint32_t btLevel = 0;
+      analyze(conflict, learned, btLevel);
+      // Backtracking below an assumption level is fine: the assumption is
+      // re-applied by the main loop and reported unsat there if falsified.
+      backtrack(btLevel);
+      if (learned.size() == 1) {
+        if (value(learned[0]) == 0) return Result::kUnsat;
+        if (value(learned[0]) == kUndef) enqueue(learned[0], -1);
+      } else {
+        clauses_.push_back({std::move(learned), true, 0.0});
+        uint32_t idx = static_cast<uint32_t>(clauses_.size() - 1);
+        attachClause(idx);
+        bumpClause(idx);
+        enqueue(clauses_[idx].lits[0], static_cast<int32_t>(idx));
+      }
+      decayActivities();
+      continue;
+    }
+    if (conflictsThisRestart >= conflictBudget) {
+      // Restart: drop to the assumption boundary.
+      backtrack(0);
+      ++restartNum;
+      conflictBudget = 100 * luby(restartNum + 1);
+      conflictsThisRestart = 0;
+      if (conflicts_ % 2048 == 0) reduceLearned();
+      continue;
+    }
+    // Apply pending assumptions, one decision level each.
+    if (trailLimits_.size() < assumptions.size()) {
+      Lit a = assumptions[trailLimits_.size()];
+      if (value(a) == 0) {
+        backtrack(0);
+        return Result::kUnsat;
+      }
+      trailLimits_.push_back(static_cast<uint32_t>(trail_.size()));
+      if (value(a) == kUndef) enqueue(a, -1);
+      continue;
+    }
+    Lit next = pickBranchLit();
+    if (next.code == UINT32_MAX) {
+      // All variables assigned: model found.
+      model_ = assigns_;
+      backtrack(0);
+      return Result::kSat;
+    }
+    ++decisions_;
+    trailLimits_.push_back(static_cast<uint32_t>(trail_.size()));
+    enqueue(next, -1);
+  }
+}
+
+}  // namespace flay::sat

@@ -1,0 +1,113 @@
+#ifndef FLAY_SAT_SOLVER_H
+#define FLAY_SAT_SOLVER_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace flay::sat {
+
+/// A literal: variable index with sign. Encoded as 2*var + (negated ? 1 : 0).
+struct Lit {
+  uint32_t code = 0;
+
+  static Lit make(uint32_t var, bool negated) {
+    return Lit{2 * var + (negated ? 1u : 0u)};
+  }
+  uint32_t var() const { return code >> 1; }
+  bool negated() const { return code & 1; }
+  Lit operator~() const { return Lit{code ^ 1}; }
+  bool operator==(const Lit&) const = default;
+};
+
+enum class Result { kSat, kUnsat };
+
+/// Conflict-driven clause-learning SAT solver: two-watched-literal
+/// propagation, VSIDS branching, 1-UIP clause learning, Luby restarts, and
+/// learned-clause reduction. Small but complete — the engine behind the
+/// bit-vector queries Flay asks instead of Z3.
+class Solver {
+ public:
+  /// Creates a fresh variable and returns its index.
+  uint32_t newVar();
+  uint32_t numVars() const { return static_cast<uint32_t>(assigns_.size()); }
+
+  /// Adds a clause (disjunction of literals). An empty clause makes the
+  /// instance trivially unsatisfiable. Returns false if the instance is
+  /// already known to be unsat.
+  bool addClause(std::span<const Lit> lits);
+  bool addClause(std::initializer_list<Lit> lits) {
+    return addClause(std::span<const Lit>(lits.begin(), lits.size()));
+  }
+  bool addUnit(Lit l) { return addClause({l}); }
+
+  /// Solves under optional assumptions. Can be called repeatedly; learned
+  /// clauses persist between calls.
+  Result solve(std::span<const Lit> assumptions = {});
+
+  /// Value of variable `v` in the model of the last kSat answer.
+  bool modelValue(uint32_t v) const { return model_[v] == 1; }
+
+  // Statistics, exposed for benchmarks and tests.
+  uint64_t numConflicts() const { return conflicts_; }
+  uint64_t numDecisions() const { return decisions_; }
+  uint64_t numPropagations() const { return propagations_; }
+
+ private:
+  static constexpr int8_t kUndef = -1;
+
+  struct Clause {
+    std::vector<Lit> lits;
+    bool learned = false;
+    double activity = 0.0;
+  };
+
+  struct Watcher {
+    uint32_t clauseIdx;
+    Lit blocker;
+  };
+
+  int8_t value(Lit l) const {
+    int8_t v = assigns_[l.var()];
+    if (v == kUndef) return kUndef;
+    return l.negated() ? static_cast<int8_t>(1 - v) : v;
+  }
+
+  void enqueue(Lit l, int32_t reasonClause);
+  /// Returns the index of a conflicting clause, or -1.
+  int32_t propagate();
+  void analyze(int32_t conflictIdx, std::vector<Lit>& outLearned,
+               uint32_t& outBtLevel);
+  void backtrack(uint32_t level);
+  void attachClause(uint32_t idx);
+  Lit pickBranchLit();
+  void bumpVar(uint32_t v);
+  void bumpClause(uint32_t idx);
+  void decayActivities();
+  void reduceLearned();
+  static uint64_t luby(uint64_t i);
+
+  std::vector<Clause> clauses_;
+  std::vector<std::vector<Watcher>> watches_;  // indexed by Lit code
+  std::vector<int8_t> assigns_;                // var -> 0/1/kUndef
+  std::vector<int8_t> model_;
+  std::vector<uint32_t> levels_;       // var -> decision level
+  std::vector<int32_t> reasons_;       // var -> clause idx or -1
+  std::vector<Lit> trail_;
+  std::vector<uint32_t> trailLimits_;  // decision-level boundaries in trail_
+  size_t propagateHead_ = 0;
+
+  std::vector<double> varActivity_;
+  double varActivityInc_ = 1.0;
+  double clauseActivityInc_ = 1.0;
+  std::vector<uint8_t> seen_;  // scratch for analyze()
+  bool unsat_ = false;
+
+  uint64_t conflicts_ = 0;
+  uint64_t decisions_ = 0;
+  uint64_t propagations_ = 0;
+};
+
+}  // namespace flay::sat
+
+#endif  // FLAY_SAT_SOLVER_H

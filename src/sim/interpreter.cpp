@@ -1,0 +1,434 @@
+#include "sim/interpreter.h"
+
+#include <stdexcept>
+
+namespace flay::sim {
+
+using p4::Expr;
+using p4::ExprOp;
+using p4::PathKind;
+using p4::Stmt;
+using p4::StmtOp;
+
+Interpreter::Interpreter(const p4::CheckedProgram& checked,
+                         const runtime::DeviceConfig& config,
+                         DataPlaneState& state)
+    : checked_(checked), config_(config), state_(state) {}
+
+void Interpreter::initStore(const Packet& packet) {
+  store_.clear();
+  for (const auto& f : checked_.env.fields()) {
+    if (f.isBool) {
+      store_[f.canonical] = Value::makeBool(false);
+    } else {
+      store_[f.canonical] = Value::makeBv(BitVec::zero(f.width));
+    }
+  }
+  store_["sm.ingress_port"] =
+      Value::makeBv(BitVec(p4::kPortWidth, packet.ingressPort));
+  store_["sm.packet_length"] =
+      Value::makeBv(BitVec(32, packet.bytes.size()));
+}
+
+ExecResult Interpreter::process(const Packet& packet) {
+  ++packetsProcessed_;
+  initStore(packet);
+
+  ExecResult result;
+  const p4::Program& prog = checked_.program;
+
+  const p4::ParserDecl* parser = prog.findParser(prog.pipeline.parserName);
+  if (parser == nullptr) throw std::logic_error("pipeline parser missing");
+  BitReader reader(packet.bytes);
+  result.parserAccepted = runParser(*parser, reader);
+
+  if (result.parserAccepted) {
+    for (const auto& name : prog.pipeline.controlNames) {
+      const p4::ControlDecl* control = prog.findControl(name);
+      if (control == nullptr) throw std::logic_error("pipeline control missing");
+      runControl(*control);
+    }
+    const BitVec& egress = store_.at("sm.egress_spec").bv;
+    result.dropped = egress.toUint64() == p4::kDropPort;
+    result.egressPort = static_cast<uint32_t>(egress.toUint64());
+    if (!result.dropped) {
+      const p4::DeparserDecl* deparser =
+          prog.findDeparser(prog.pipeline.deparserName);
+      if (deparser == nullptr) throw std::logic_error("deparser missing");
+      BitWriter writer;
+      runDeparser(*deparser, writer);
+      result.outputBytes = writer.finish();
+    }
+  } else {
+    result.dropped = true;
+  }
+
+  for (const auto& [name, v] : store_) {
+    result.fields.emplace(name,
+                          v.isBool ? BitVec(1, v.b ? 1 : 0) : v.bv);
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Parser execution
+// ---------------------------------------------------------------------------
+
+bool Interpreter::runParser(const p4::ParserDecl& parser, BitReader& reader) {
+  // Loop bound: header stacks do not exist in P4-lite, so any program that
+  // revisits this many states is cycling.
+  constexpr int kMaxTransitions = 256;
+  const p4::ParserStateDecl* state = parser.findState("start");
+  if (state == nullptr) throw std::logic_error("parser has no start state");
+
+  Frame frame;
+  frame.parser = &parser;
+  for (int step = 0; step < kMaxTransitions; ++step) {
+    std::string next;
+    for (const auto& stmt : state->body) {
+      if (stmt->op == StmtOp::kExtract) {
+        const p4::HeaderInstance* hdr =
+            checked_.env.findHeader(stmt->lhs->canonical);
+        if (hdr == nullptr) throw std::logic_error("extract of non-header");
+        for (const auto& fieldName : hdr->fieldCanonicals) {
+          const p4::FieldInfo* info = checked_.env.findField(fieldName);
+          BitVec v;
+          if (!reader.read(info->width, v)) return false;  // reject: too short
+          store_[fieldName] = Value::makeBv(std::move(v));
+        }
+        store_[hdr->validityCanonical] = Value::makeBool(true);
+      } else if (stmt->op == StmtOp::kTransition) {
+        next = execTransition(stmt->transition, frame);
+      } else {
+        if (execStmt(*stmt, frame) == Flow::kExit) return true;
+      }
+    }
+    if (next == "accept") return true;
+    if (next == "reject") return false;
+    state = parser.findState(next);
+    if (state == nullptr) throw std::logic_error("unknown parser state");
+  }
+  throw std::runtime_error("parser exceeded transition budget (cycle?)");
+}
+
+std::string Interpreter::execTransition(const p4::TransitionInfo& t,
+                                        Frame& frame) {
+  if (t.selectExpr == nullptr) return t.nextState;
+  BitVec key = evalBv(*t.selectExpr, frame);
+  for (const auto& c : t.cases) {
+    switch (c.kind) {
+      case p4::SelectCase::Kind::kDefault:
+        return c.nextState;
+      case p4::SelectCase::Kind::kConst: {
+        BitVec mask = c.mask != nullptr ? c.mask->value
+                                        : BitVec::allOnes(key.width());
+        if (key.bitAnd(mask) == c.value->value.bitAnd(mask)) {
+          return c.nextState;
+        }
+        break;
+      }
+      case p4::SelectCase::Kind::kValueSet: {
+        const auto& vs =
+            config_.valueSet(frame.parser->name + "." + c.valueSet);
+        if (vs.matches(key)) return c.nextState;
+        break;
+      }
+    }
+  }
+  // No case matched and no default: P4 semantics reject the packet.
+  return "reject";
+}
+
+// ---------------------------------------------------------------------------
+// Control execution
+// ---------------------------------------------------------------------------
+
+void Interpreter::runControl(const p4::ControlDecl& control) {
+  Frame frame;
+  frame.control = &control;
+  execStmts(control.applyBody, frame);
+}
+
+Interpreter::Flow Interpreter::execStmts(const std::vector<p4::StmtPtr>& stmts,
+                                         Frame& frame) {
+  for (const auto& s : stmts) {
+    if (execStmt(*s, frame) == Flow::kExit) return Flow::kExit;
+  }
+  return Flow::kContinue;
+}
+
+Interpreter::Flow Interpreter::execStmt(const Stmt& stmt, Frame& frame) {
+  switch (stmt.op) {
+    case StmtOp::kAssign:
+      assign(*stmt.lhs, eval(*stmt.rhs, frame), frame);
+      return Flow::kContinue;
+    case StmtOp::kVarDecl: {
+      Value v = stmt.varIsBool ? Value::makeBool(false)
+                               : Value::makeBv(BitVec::zero(stmt.varWidth));
+      if (stmt.rhs != nullptr) v = eval(*stmt.rhs, frame);
+      frame.locals[stmt.varName] = std::move(v);
+      return Flow::kContinue;
+    }
+    case StmtOp::kIf:
+      return evalBool(*stmt.cond, frame) ? execStmts(stmt.thenBody, frame)
+                                         : execStmts(stmt.elseBody, frame);
+    case StmtOp::kApply:
+      execApply(stmt, frame);
+      return Flow::kContinue;
+    case StmtOp::kActionCall: {
+      std::vector<BitVec> args;
+      args.reserve(stmt.args.size());
+      for (const auto& a : stmt.args) args.push_back(evalBv(*a, frame));
+      execAction(*frame.control, stmt.target, args, frame);
+      return Flow::kContinue;
+    }
+    case StmtOp::kMarkToDrop:
+      store_["sm.egress_spec"] =
+          Value::makeBv(BitVec(p4::kPortWidth, p4::kDropPort));
+      return Flow::kContinue;
+    case StmtOp::kSetValid:
+      store_[stmt.lhs->canonical + ".$valid"] = Value::makeBool(true);
+      return Flow::kContinue;
+    case StmtOp::kSetInvalid:
+      store_[stmt.lhs->canonical + ".$valid"] = Value::makeBool(false);
+      return Flow::kContinue;
+    case StmtOp::kRegRead: {
+      std::string qualified = frame.control->name + "." + stmt.target;
+      uint64_t idx = evalBv(*stmt.index, frame).toUint64();
+      assign(*stmt.lhs, Value::makeBv(state_.registerRead(qualified, idx)),
+             frame);
+      return Flow::kContinue;
+    }
+    case StmtOp::kRegWrite: {
+      std::string qualified = frame.control->name + "." + stmt.target;
+      uint64_t idx = evalBv(*stmt.index, frame).toUint64();
+      state_.registerWrite(qualified, idx, evalBv(*stmt.rhs, frame));
+      return Flow::kContinue;
+    }
+    case StmtOp::kCountCall: {
+      std::string qualified = frame.control->name + "." + stmt.target;
+      state_.counterIncrement(qualified,
+                              evalBv(*stmt.index, frame).toUint64());
+      return Flow::kContinue;
+    }
+    case StmtOp::kMeterCall: {
+      std::string qualified = frame.control->name + "." + stmt.target;
+      uint32_t color = state_.meterExecute(
+          qualified, evalBv(*stmt.index, frame).toUint64());
+      assign(*stmt.lhs, Value::makeBv(BitVec(2, color)), frame);
+      return Flow::kContinue;
+    }
+    case StmtOp::kEmit: {
+      // Handled by runDeparser; reaching here means a malformed program.
+      throw std::logic_error("emit outside deparser");
+    }
+    case StmtOp::kExtract:
+      throw std::logic_error("extract outside parser");
+    case StmtOp::kTransition:
+      throw std::logic_error("transition outside parser");
+    case StmtOp::kExit:
+      return Flow::kExit;
+  }
+  return Flow::kContinue;
+}
+
+void Interpreter::execApply(const Stmt& stmt, Frame& frame) {
+  std::string qualified = frame.control->name + "." + stmt.target;
+  const runtime::TableState& table = config_.table(qualified);
+
+  std::vector<BitVec> key;
+  key.reserve(table.decl().keys.size());
+  for (const auto& k : table.decl().keys) {
+    key.push_back(evalBv(*k.expr, frame));
+  }
+  const runtime::TableEntry* hit = table.lookup(key);
+  if (hit != nullptr) {
+    execAction(*frame.control, hit->actionName, hit->actionArgs, frame);
+  } else {
+    execAction(*frame.control, table.defaultActionName(),
+               table.defaultActionArgs(), frame);
+  }
+}
+
+void Interpreter::execAction(const p4::ControlDecl& control,
+                             const std::string& name,
+                             const std::vector<BitVec>& args, Frame& outer) {
+  if (name == "noop" || name == "NoAction") return;
+  const p4::ActionDecl* action = control.findAction(name);
+  if (action == nullptr) {
+    throw std::logic_error("unknown action '" + name + "'");
+  }
+  Frame frame;
+  frame.control = &control;
+  frame.parser = outer.parser;
+  for (size_t i = 0; i < action->params.size(); ++i) {
+    frame.params[action->params[i].name] = Value::makeBv(args[i]);
+  }
+  execStmts(action->body, frame);
+}
+
+// ---------------------------------------------------------------------------
+// Deparser
+// ---------------------------------------------------------------------------
+
+void Interpreter::runDeparser(const p4::DeparserDecl& deparser,
+                              BitWriter& writer) {
+  for (const auto& stmt : deparser.body) {
+    if (stmt->op != StmtOp::kEmit) {
+      throw std::logic_error("deparsers may only contain emit statements");
+    }
+    const p4::HeaderInstance* hdr =
+        checked_.env.findHeader(stmt->lhs->canonical);
+    if (hdr == nullptr) throw std::logic_error("emit of non-header");
+    if (!store_.at(hdr->validityCanonical).b) continue;
+    for (const auto& fieldName : hdr->fieldCanonicals) {
+      writer.write(store_.at(fieldName).bv);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Expression evaluation
+// ---------------------------------------------------------------------------
+
+Interpreter::Value& Interpreter::lookupMutable(const std::string& canonical,
+                                               PathKind kind, Frame& frame) {
+  switch (kind) {
+    case PathKind::kField:
+      return store_.at(canonical);
+    case PathKind::kLocal: {
+      auto it = frame.locals.find(canonical);
+      if (it == frame.locals.end()) {
+        throw std::logic_error("use of undeclared local '" + canonical + "'");
+      }
+      return it->second;
+    }
+    case PathKind::kActionParam: {
+      auto it = frame.params.find(canonical);
+      if (it == frame.params.end()) {
+        throw std::logic_error("unbound action parameter '" + canonical + "'");
+      }
+      return it->second;
+    }
+    default:
+      throw std::logic_error("not an lvalue: " + canonical);
+  }
+}
+
+Interpreter::Value Interpreter::eval(const Expr& e, Frame& frame) {
+  switch (e.op) {
+    case ExprOp::kIntLit:
+      return Value::makeBv(e.value);
+    case ExprOp::kBoolLit:
+      return Value::makeBool(e.boolValue);
+    case ExprOp::kPath:
+      if (e.pathKind == PathKind::kConst) return Value::makeBv(e.value);
+      return lookupMutable(e.canonical, e.pathKind, frame);
+    case ExprOp::kIsValid:
+      return Value::makeBool(store_.at(e.canonical + ".$valid").b);
+    case ExprOp::kUnary:
+      switch (e.unOp) {
+        case p4::UnOp::kLNot:
+          return Value::makeBool(!evalBool(*e.a, frame));
+        case p4::UnOp::kBitNot:
+          return Value::makeBv(evalBv(*e.a, frame).bitNot());
+        case p4::UnOp::kNeg:
+          return Value::makeBv(evalBv(*e.a, frame).neg());
+      }
+      break;
+    case ExprOp::kBinary: {
+      using p4::BinOp;
+      switch (e.binOp) {
+        case BinOp::kLAnd:
+          return Value::makeBool(evalBool(*e.a, frame) &&
+                                 evalBool(*e.b, frame));
+        case BinOp::kLOr:
+          return Value::makeBool(evalBool(*e.a, frame) ||
+                                 evalBool(*e.b, frame));
+        case BinOp::kEq:
+        case BinOp::kNe: {
+          bool eq;
+          if (e.a->isBool) {
+            eq = evalBool(*e.a, frame) == evalBool(*e.b, frame);
+          } else {
+            eq = evalBv(*e.a, frame) == evalBv(*e.b, frame);
+          }
+          return Value::makeBool(e.binOp == BinOp::kEq ? eq : !eq);
+        }
+        default:
+          break;
+      }
+      BitVec a = evalBv(*e.a, frame);
+      switch (e.binOp) {
+        case BinOp::kShl:
+          return Value::makeBv(
+              a.shl(static_cast<uint32_t>(e.b->value.toUint64())));
+        case BinOp::kShr:
+          return Value::makeBv(
+              a.lshr(static_cast<uint32_t>(e.b->value.toUint64())));
+        default:
+          break;
+      }
+      BitVec b = evalBv(*e.b, frame);
+      switch (e.binOp) {
+        case BinOp::kAdd: return Value::makeBv(a.add(b));
+        case BinOp::kSub: return Value::makeBv(a.sub(b));
+        case BinOp::kMul: return Value::makeBv(a.mul(b));
+        case BinOp::kDiv: return Value::makeBv(a.udiv(b));
+        case BinOp::kMod: return Value::makeBv(a.urem(b));
+        case BinOp::kBitAnd: return Value::makeBv(a.bitAnd(b));
+        case BinOp::kBitOr: return Value::makeBv(a.bitOr(b));
+        case BinOp::kBitXor: return Value::makeBv(a.bitXor(b));
+        case BinOp::kLt: return Value::makeBool(a.ult(b));
+        case BinOp::kLe: return Value::makeBool(a.ule(b));
+        case BinOp::kGt: return Value::makeBool(b.ult(a));
+        case BinOp::kGe: return Value::makeBool(b.ule(a));
+        case BinOp::kConcat: return Value::makeBv(a.concat(b));
+        default:
+          throw std::logic_error("unhandled binary operator");
+      }
+    }
+    case ExprOp::kTernary:
+      return evalBool(*e.a, frame) ? eval(*e.b, frame) : eval(*e.c, frame);
+    case ExprOp::kSlice:
+      return Value::makeBv(evalBv(*e.a, frame).slice(e.sliceHi, e.sliceLo));
+    case ExprOp::kCast: {
+      BitVec v = evalBv(*e.a, frame);
+      return Value::makeBv(v.width() <= e.castWidth ? v.zext(e.castWidth)
+                                                    : v.trunc(e.castWidth));
+    }
+  }
+  throw std::logic_error("unhandled expression");
+}
+
+BitVec Interpreter::evalBv(const Expr& e, Frame& frame) {
+  Value v = eval(e, frame);
+  if (v.isBool) throw std::logic_error("expected bit<N>, got bool");
+  return std::move(v.bv);
+}
+
+bool Interpreter::evalBool(const Expr& e, Frame& frame) {
+  Value v = eval(e, frame);
+  if (!v.isBool) throw std::logic_error("expected bool, got bit<N>");
+  return v.b;
+}
+
+void Interpreter::assign(const Expr& lhs, Value v, Frame& frame) {
+  if (lhs.op == ExprOp::kSlice) {
+    // Read-modify-write the sliced range.
+    Value& target =
+        lookupMutable(lhs.a->canonical, lhs.a->pathKind, frame);
+    BitVec cur = target.bv;
+    uint32_t w = cur.width();
+    BitVec mask = BitVec::allOnes(lhs.sliceHi - lhs.sliceLo + 1)
+                      .zext(w)
+                      .shl(lhs.sliceLo);
+    BitVec shifted = v.bv.zext(w).shl(lhs.sliceLo);
+    target.bv = cur.bitAnd(mask.bitNot()).bitOr(shifted.bitAnd(mask));
+    return;
+  }
+  Value& target = lookupMutable(lhs.canonical, lhs.pathKind, frame);
+  target = std::move(v);
+}
+
+}  // namespace flay::sim

@@ -1,0 +1,92 @@
+#ifndef FLAY_SIM_INTERPRETER_H
+#define FLAY_SIM_INTERPRETER_H
+
+#include <map>
+#include <string>
+#include <variant>
+
+#include "runtime/device_config.h"
+#include "sim/packet.h"
+#include "sim/state.h"
+
+namespace flay::sim {
+
+/// Outcome of pushing one packet through the pipeline.
+struct ExecResult {
+  bool parserAccepted = true;
+  bool dropped = false;
+  uint32_t egressPort = 0;
+  std::vector<uint8_t> outputBytes;
+  /// Snapshot of every scalar location after the pipeline ran. Keys are
+  /// canonical field names; validity bits appear as 0/1 width-1 vectors.
+  std::map<std::string, BitVec> fields;
+
+  const BitVec& field(const std::string& canonical) const {
+    return fields.at(canonical);
+  }
+};
+
+/// A BMv2-style software switch: interprets a checked P4-lite program on
+/// concrete packets under a control-plane configuration. Used directly as
+/// the execution substrate and by Flay's differential tests (original vs
+/// specialized program must forward identically).
+class Interpreter {
+ public:
+  /// All three references must outlive the interpreter.
+  Interpreter(const p4::CheckedProgram& checked,
+              const runtime::DeviceConfig& config, DataPlaneState& state);
+
+  ExecResult process(const Packet& packet);
+
+  /// Number of packets processed (for throughput accounting).
+  uint64_t packetsProcessed() const { return packetsProcessed_; }
+
+ private:
+  struct Value {
+    bool isBool = false;
+    bool b = false;
+    BitVec bv;
+    static Value makeBool(bool v) { return {true, v, {}}; }
+    static Value makeBv(BitVec v) { return {false, false, std::move(v)}; }
+  };
+
+  /// Execution environment: flattened fields plus scoped locals/params.
+  struct Frame {
+    std::map<std::string, Value> locals;   // apply-block locals
+    std::map<std::string, Value> params;   // action parameters
+    const p4::ControlDecl* control = nullptr;
+    const p4::ParserDecl* parser = nullptr;
+  };
+
+  enum class Flow { kContinue, kExit };
+
+  void initStore(const Packet& packet);
+  bool runParser(const p4::ParserDecl& parser, BitReader& reader);
+  void runControl(const p4::ControlDecl& control);
+  void runDeparser(const p4::DeparserDecl& deparser, BitWriter& writer);
+
+  Flow execStmts(const std::vector<p4::StmtPtr>& stmts, Frame& frame);
+  Flow execStmt(const p4::Stmt& stmt, Frame& frame);
+  void execApply(const p4::Stmt& stmt, Frame& frame);
+  void execAction(const p4::ControlDecl& control, const std::string& name,
+                  const std::vector<BitVec>& args, Frame& outer);
+  /// Returns the next state name, or "accept"/"reject".
+  std::string execTransition(const p4::TransitionInfo& t, Frame& frame);
+
+  Value eval(const p4::Expr& e, Frame& frame);
+  BitVec evalBv(const p4::Expr& e, Frame& frame);
+  bool evalBool(const p4::Expr& e, Frame& frame);
+  void assign(const p4::Expr& lhs, Value v, Frame& frame);
+  Value& lookupMutable(const std::string& canonical, p4::PathKind kind,
+                       Frame& frame);
+
+  const p4::CheckedProgram& checked_;
+  const runtime::DeviceConfig& config_;
+  DataPlaneState& state_;
+  std::map<std::string, Value> store_;  // canonical field -> value
+  uint64_t packetsProcessed_ = 0;
+};
+
+}  // namespace flay::sim
+
+#endif  // FLAY_SIM_INTERPRETER_H

@@ -1,0 +1,33 @@
+#include "sim/packet.h"
+
+namespace flay::sim {
+
+bool BitReader::read(uint32_t width, BitVec& out) {
+  if (bitsRemaining() < width) return false;
+  BitVec v = BitVec::zero(width);
+  for (uint32_t i = 0; i < width; ++i) {
+    size_t pos = bitPos_ + i;
+    bool bit = ((*bytes_)[pos / 8] >> (7 - pos % 8)) & 1;
+    if (bit) {
+      // Network order: the first bit read is the value's MSB.
+      v = v.bitOr(BitVec::one(width).shl(width - 1 - i));
+    }
+  }
+  bitPos_ += width;
+  out = std::move(v);
+  return true;
+}
+
+void BitWriter::write(const BitVec& value) {
+  for (uint32_t i = value.width(); i-- > 0;) {
+    size_t pos = bitPos_++;
+    if (pos / 8 >= bytes_.size()) bytes_.push_back(0);
+    if (value.bit(i)) {
+      bytes_[pos / 8] |= static_cast<uint8_t>(1u << (7 - pos % 8));
+    }
+  }
+}
+
+std::vector<uint8_t> BitWriter::finish() { return std::move(bytes_); }
+
+}  // namespace flay::sim

@@ -1,0 +1,53 @@
+#ifndef FLAY_SIM_PACKET_H
+#define FLAY_SIM_PACKET_H
+
+#include <cstdint>
+#include <vector>
+
+#include "support/bitvec.h"
+
+namespace flay::sim {
+
+/// A raw packet entering or leaving the simulated switch.
+struct Packet {
+  std::vector<uint8_t> bytes;
+  uint32_t ingressPort = 0;
+};
+
+/// MSB-first bit cursor over a byte buffer, the extraction order P4 parsers
+/// use on the wire.
+class BitReader {
+ public:
+  explicit BitReader(const std::vector<uint8_t>& bytes) : bytes_(&bytes) {}
+
+  /// Reads `width` bits into a BitVec; returns false if the buffer is
+  /// exhausted (partial reads consume nothing).
+  bool read(uint32_t width, BitVec& out);
+
+  size_t bitPosition() const { return bitPos_; }
+  size_t bitsRemaining() const {
+    size_t total = bytes_->size() * 8;
+    return bitPos_ >= total ? 0 : total - bitPos_;
+  }
+
+ private:
+  const std::vector<uint8_t>* bytes_;
+  size_t bitPos_ = 0;
+};
+
+/// MSB-first bit appender used by the deparser.
+class BitWriter {
+ public:
+  void write(const BitVec& value);
+  /// Pads the final partial byte with zeroes and returns the buffer.
+  std::vector<uint8_t> finish();
+  size_t bitCount() const { return bitPos_; }
+
+ private:
+  std::vector<uint8_t> bytes_;
+  size_t bitPos_ = 0;
+};
+
+}  // namespace flay::sim
+
+#endif  // FLAY_SIM_PACKET_H

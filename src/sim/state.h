@@ -1,0 +1,50 @@
+#ifndef FLAY_SIM_STATE_H
+#define FLAY_SIM_STATE_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "p4/typecheck.h"
+#include "support/bitvec.h"
+
+namespace flay::sim {
+
+/// Mutable data-plane state that persists across packets: register arrays,
+/// counters, and meter configurations. Keyed by qualified extern name
+/// ("Ingress.flow_bytes").
+class DataPlaneState {
+ public:
+  explicit DataPlaneState(const p4::CheckedProgram& checked);
+
+  BitVec registerRead(const std::string& qualified, uint64_t index) const;
+  void registerWrite(const std::string& qualified, uint64_t index,
+                     const BitVec& value);
+
+  void counterIncrement(const std::string& qualified, uint64_t index);
+  uint64_t counterValue(const std::string& qualified, uint64_t index) const;
+
+  /// Meters are modeled as a configured color per index (0 = green by
+  /// default); tests and workloads set colors to exercise meter branches.
+  uint32_t meterExecute(const std::string& qualified, uint64_t index) const;
+  void meterSetColor(const std::string& qualified, uint64_t index,
+                     uint32_t color);
+
+  void reset();
+
+ private:
+  struct RegisterArray {
+    uint32_t width = 0;
+    std::vector<BitVec> cells;
+  };
+  const RegisterArray& reg(const std::string& qualified) const;
+
+  std::map<std::string, RegisterArray> registers_;
+  std::map<std::string, std::vector<uint64_t>> counters_;
+  std::map<std::string, std::vector<uint32_t>> meters_;
+};
+
+}  // namespace flay::sim
+
+#endif  // FLAY_SIM_STATE_H

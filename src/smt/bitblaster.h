@@ -1,0 +1,68 @@
+#ifndef FLAY_SMT_BITBLASTER_H
+#define FLAY_SMT_BITBLASTER_H
+
+#include <unordered_map>
+#include <vector>
+
+#include "expr/arena.h"
+#include "sat/solver.h"
+
+namespace flay::smt {
+
+/// Tseitin-encodes QF_BV expressions into CNF over a sat::Solver. Bit-vector
+/// nodes become vectors of literals (LSB first); boolean nodes become single
+/// literals. Hash-consing in the arena means shared subexpressions are
+/// encoded exactly once.
+class BitBlaster {
+ public:
+  BitBlaster(const expr::ExprArena& arena, sat::Solver& solver);
+
+  /// Literal equisatisfiable with the boolean expression `e`.
+  sat::Lit blastBool(expr::ExprRef e);
+
+  /// Bits (LSB first) of the bit-vector expression `e`.
+  const std::vector<sat::Lit>& blastBv(expr::ExprRef e);
+
+  /// Reads the value of a bit-vector expression out of the solver model
+  /// after a kSat answer. The expression must have been blasted.
+  BitVec bvModelValue(expr::ExprRef e) const;
+  bool boolModelValue(expr::ExprRef e) const;
+
+  sat::Lit trueLit() const { return trueLit_; }
+
+ private:
+  sat::Lit freshLit();
+  sat::Lit constLit(bool value) const { return value ? trueLit_ : ~trueLit_; }
+  sat::Lit mkAnd(sat::Lit a, sat::Lit b);
+  sat::Lit mkOr(sat::Lit a, sat::Lit b);
+  sat::Lit mkXor(sat::Lit a, sat::Lit b);
+  sat::Lit mkXnor(sat::Lit a, sat::Lit b) { return ~mkXor(a, b); }
+  /// c = s ? a : b
+  sat::Lit mkMux(sat::Lit s, sat::Lit a, sat::Lit b);
+  sat::Lit mkAndReduce(const std::vector<sat::Lit>& lits);
+  sat::Lit mkOrReduce(const std::vector<sat::Lit>& lits);
+
+  std::vector<sat::Lit> addBits(const std::vector<sat::Lit>& a,
+                                const std::vector<sat::Lit>& b,
+                                sat::Lit carryIn);
+  std::vector<sat::Lit> negBits(const std::vector<sat::Lit>& a);
+  std::vector<sat::Lit> mulBits(const std::vector<sat::Lit>& a,
+                                const std::vector<sat::Lit>& b);
+  /// Restoring division; returns {quotient, remainder}.
+  std::pair<std::vector<sat::Lit>, std::vector<sat::Lit>> divremBits(
+      const std::vector<sat::Lit>& a, const std::vector<sat::Lit>& b);
+  sat::Lit ultBits(const std::vector<sat::Lit>& a,
+                   const std::vector<sat::Lit>& b);
+  sat::Lit eqBits(const std::vector<sat::Lit>& a,
+                  const std::vector<sat::Lit>& b);
+
+  const expr::ExprArena& arena_;
+  sat::Solver& solver_;
+  sat::Lit trueLit_;
+  std::unordered_map<uint32_t, std::vector<sat::Lit>> bvMemo_;
+  std::unordered_map<uint32_t, sat::Lit> boolMemo_;
+};
+
+}  // namespace flay::smt
+
+#endif  // FLAY_SMT_BITBLASTER_H

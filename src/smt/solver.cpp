@@ -1,0 +1,96 @@
+#include "smt/solver.h"
+
+#include <array>
+
+namespace flay::smt {
+
+using expr::ExprRef;
+
+SmtSolver::SmtSolver(const expr::ExprArena& arena)
+    : arena_(arena),
+      sat_(std::make_unique<sat::Solver>()),
+      blaster_(std::make_unique<BitBlaster>(arena, *sat_)) {}
+
+SmtSolver::~SmtSolver() = default;
+
+void SmtSolver::assertExpr(ExprRef boolExpr) {
+  sat::Lit l = blaster_->blastBool(boolExpr);
+  sat_->addUnit(l);
+}
+
+CheckResult SmtSolver::check() {
+  return sat_->solve() == sat::Result::kSat ? CheckResult::kSat
+                                            : CheckResult::kUnsat;
+}
+
+BitVec SmtSolver::modelValue(ExprRef var) {
+  // Blasting a variable outside any assertion just allocates fresh bits; the
+  // model then reports whatever the solver assigned (default zero-ish).
+  blaster_->blastBv(var);
+  return blaster_->bvModelValue(var);
+}
+
+bool SmtSolver::modelValueBool(ExprRef var) {
+  blaster_->blastBool(var);
+  return blaster_->boolModelValue(var);
+}
+
+uint64_t SmtSolver::numConflicts() const { return sat_->numConflicts(); }
+
+bool isSatisfiable(const expr::ExprArena& arena, ExprRef boolExpr) {
+  // The arena folds constants eagerly, so test the trivial cases first.
+  if (arena.isTrue(boolExpr)) return true;
+  if (arena.isFalse(boolExpr)) return false;
+  SmtSolver solver(arena);
+  solver.assertExpr(boolExpr);
+  return solver.check() == CheckResult::kSat;
+}
+
+bool isValid(const expr::ExprArena& arena, ExprRef boolExpr) {
+  if (arena.isTrue(boolExpr)) return true;
+  if (arena.isFalse(boolExpr)) return false;
+  // valid(e) <=> unsat(!e). Asserting the blasted literal negated encodes !e
+  // without needing a mutable arena.
+  sat::Solver sat;
+  BitBlaster blaster(arena, sat);
+  sat::Lit l = blaster.blastBool(boolExpr);
+  sat.addUnit(~l);
+  return sat.solve() == sat::Result::kUnsat;
+}
+
+bool areEquivalent(expr::ExprArena& arena, ExprRef a, ExprRef b) {
+  if (a == b) return true;  // hash-consing: structural equality is identity
+  if (arena.width(a) != arena.width(b)) return false;
+  ExprRef same = arena.eq(a, b);
+  return isValid(arena, same);
+}
+
+std::optional<ExprRef> constantValue(expr::ExprArena& arena, ExprRef e) {
+  if (arena.isConst(e)) return e;
+  // Find one model value v, then check whether e == v is valid.
+  sat::Solver sat;
+  BitBlaster blaster(arena, sat);
+  ExprRef candidate;
+  if (arena.isBool(e)) {
+    sat::Lit l = blaster.blastBool(e);
+    // Try e == true first.
+    bool canBeTrue = sat.solve(std::array{l}) == sat::Result::kSat;
+    bool canBeFalse = sat.solve(std::array{~l}) == sat::Result::kSat;
+    if (canBeTrue && canBeFalse) return std::nullopt;
+    candidate = arena.boolConst(canBeTrue);
+    return candidate;
+  }
+  blaster.blastBv(e);
+  if (sat.solve() != sat::Result::kSat) {
+    // Unreachable in a consistent encoding, but be conservative.
+    return std::nullopt;
+  }
+  BitVec v = blaster.bvModelValue(e);
+  candidate = arena.bvConst(v);
+  // e can differ from v iff (e == v) is not valid.
+  ExprRef eqV = arena.eq(e, candidate);
+  if (isValid(arena, eqV)) return candidate;
+  return std::nullopt;
+}
+
+}  // namespace flay::smt

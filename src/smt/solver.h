@@ -1,0 +1,61 @@
+#ifndef FLAY_SMT_SOLVER_H
+#define FLAY_SMT_SOLVER_H
+
+#include <memory>
+#include <optional>
+
+#include "expr/arena.h"
+#include "sat/solver.h"
+#include "smt/bitblaster.h"
+
+namespace flay::smt {
+
+enum class CheckResult { kSat, kUnsat };
+
+/// QF_BV satisfiability facade: assert boolean expressions, check, read back
+/// a model. One instance owns one SAT solver; assertions accumulate.
+/// This is the drop-in replacement for the Z3 queries Flay issues.
+class SmtSolver {
+ public:
+  explicit SmtSolver(const expr::ExprArena& arena);
+  ~SmtSolver();
+
+  SmtSolver(const SmtSolver&) = delete;
+  SmtSolver& operator=(const SmtSolver&) = delete;
+
+  void assertExpr(expr::ExprRef boolExpr);
+  CheckResult check();
+
+  /// Model value of a bit-vector variable after a kSat check. Variables that
+  /// never appeared in an assertion get value zero.
+  BitVec modelValue(expr::ExprRef var);
+  bool modelValueBool(expr::ExprRef var);
+
+  uint64_t numConflicts() const;
+
+ private:
+  const expr::ExprArena& arena_;
+  std::unique_ptr<sat::Solver> sat_;
+  std::unique_ptr<BitBlaster> blaster_;
+};
+
+/// True iff `boolExpr` is satisfiable (some packet/config makes it true).
+bool isSatisfiable(const expr::ExprArena& arena, expr::ExprRef boolExpr);
+
+/// True iff `boolExpr` holds for every assignment.
+bool isValid(const expr::ExprArena& arena, expr::ExprRef boolExpr);
+
+/// True iff `a` and `b` agree on every assignment. Because the arena
+/// hash-conses, `a == b` is checked first and the solver only runs on
+/// structurally different expressions.
+bool areEquivalent(expr::ExprArena& arena, expr::ExprRef a, expr::ExprRef b);
+
+/// If `e` evaluates to the same value under every assignment, returns that
+/// value as a constant expression; otherwise returns nullopt. This is Flay's
+/// "can we replace this program variable with a constant?" query.
+std::optional<expr::ExprRef> constantValue(expr::ExprArena& arena,
+                                           expr::ExprRef e);
+
+}  // namespace flay::smt
+
+#endif  // FLAY_SMT_SOLVER_H

@@ -1,0 +1,316 @@
+#include "support/bitvec.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace flay {
+
+BitVec::BitVec(uint32_t width, uint64_t value) : width_(width) {
+  words_.assign(numWords(), 0);
+  if (!words_.empty()) words_[0] = value;
+  clamp();
+}
+
+BitVec BitVec::allOnes(uint32_t width) {
+  BitVec v(width, 0);
+  for (auto& w : v.words_) w = ~uint64_t{0};
+  v.clamp();
+  return v;
+}
+
+void BitVec::clamp() {
+  if (width_ == 0 || words_.empty()) return;
+  uint32_t topBits = width_ % kWordBits;
+  if (topBits != 0) words_.back() &= (~uint64_t{0}) >> (kWordBits - topBits);
+}
+
+void BitVec::checkSameWidth(const BitVec& o) const {
+  if (width_ != o.width_) {
+    throw std::invalid_argument("BitVec width mismatch: " +
+                                std::to_string(width_) + " vs " +
+                                std::to_string(o.width_));
+  }
+}
+
+BitVec BitVec::parse(uint32_t width, std::string_view text) {
+  uint32_t base = 10;
+  if (text.size() >= 2 && text[0] == '0') {
+    char c = text[1];
+    if (c == 'x' || c == 'X') { base = 16; text.remove_prefix(2); }
+    else if (c == 'b' || c == 'B') { base = 2; text.remove_prefix(2); }
+    else if (c == 'o' || c == 'O') { base = 8; text.remove_prefix(2); }
+  }
+  BitVec result(width, 0);
+  BitVec baseVal(width, base);
+  for (char c : text) {
+    if (c == '_') continue;
+    uint32_t digit;
+    if (c >= '0' && c <= '9') digit = static_cast<uint32_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') digit = static_cast<uint32_t>(c - 'a') + 10;
+    else if (c >= 'A' && c <= 'F') digit = static_cast<uint32_t>(c - 'A') + 10;
+    else throw std::invalid_argument("bad digit in bit-vector literal");
+    if (digit >= base) throw std::invalid_argument("digit out of range for base");
+    result = result.mul(baseVal).add(BitVec(width, digit));
+  }
+  return result;
+}
+
+bool BitVec::isZero() const {
+  return std::all_of(words_.begin(), words_.end(),
+                     [](uint64_t w) { return w == 0; });
+}
+
+bool BitVec::isAllOnes() const { return *this == allOnes(width_); }
+
+bool BitVec::fitsUint64() const {
+  for (size_t i = 1; i < words_.size(); ++i) {
+    if (words_[i] != 0) return false;
+  }
+  return true;
+}
+
+uint64_t BitVec::toUint64() const { return words_.empty() ? 0 : words_[0]; }
+
+bool BitVec::bit(uint32_t i) const {
+  assert(i < width_);
+  return (words_[i / kWordBits] >> (i % kWordBits)) & 1;
+}
+
+uint32_t BitVec::countOnes() const {
+  uint32_t n = 0;
+  for (uint64_t w : words_) n += static_cast<uint32_t>(__builtin_popcountll(w));
+  return n;
+}
+
+uint32_t BitVec::leadingOnes() const {
+  uint32_t n = 0;
+  for (uint32_t i = width_; i > 0; --i) {
+    if (!bit(i - 1)) break;
+    ++n;
+  }
+  return n;
+}
+
+bool BitVec::isPrefixMask() const {
+  uint32_t ones = leadingOnes();
+  // All remaining bits must be zero.
+  return countOnes() == ones;
+}
+
+BitVec BitVec::add(const BitVec& o) const {
+  checkSameWidth(o);
+  BitVec r(width_, 0);
+  uint64_t carry = 0;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    unsigned __int128 s = static_cast<unsigned __int128>(words_[i]) +
+                          o.words_[i] + carry;
+    r.words_[i] = static_cast<uint64_t>(s);
+    carry = static_cast<uint64_t>(s >> kWordBits);
+  }
+  r.clamp();
+  return r;
+}
+
+BitVec BitVec::sub(const BitVec& o) const { return add(o.neg()); }
+
+BitVec BitVec::neg() const { return bitNot().add(BitVec(width_, width_ ? 1 : 0)); }
+
+BitVec BitVec::mul(const BitVec& o) const {
+  checkSameWidth(o);
+  BitVec r(width_, 0);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if (words_[i] == 0) continue;
+    uint64_t carry = 0;
+    for (size_t j = 0; i + j < r.words_.size(); ++j) {
+      unsigned __int128 cur = static_cast<unsigned __int128>(words_[i]) *
+                                  o.words_[j] +
+                              r.words_[i + j] + carry;
+      r.words_[i + j] = static_cast<uint64_t>(cur);
+      carry = static_cast<uint64_t>(cur >> kWordBits);
+    }
+  }
+  r.clamp();
+  return r;
+}
+
+BitVec BitVec::udiv(const BitVec& o) const {
+  checkSameWidth(o);
+  if (o.isZero()) return allOnes(width_);
+  // Schoolbook restoring division over bits; widths are small in practice.
+  BitVec quotient(width_, 0);
+  BitVec remainder(width_, 0);
+  for (uint32_t i = width_; i > 0; --i) {
+    remainder = remainder.shl(1);
+    if (bit(i - 1)) remainder.words_[0] |= 1;
+    if (o.ule(remainder)) {
+      remainder = remainder.sub(o);
+      quotient.words_[(i - 1) / kWordBits] |= uint64_t{1} << ((i - 1) % kWordBits);
+    }
+  }
+  return quotient;
+}
+
+BitVec BitVec::urem(const BitVec& o) const {
+  checkSameWidth(o);
+  if (o.isZero()) return *this;
+  return sub(udiv(o).mul(o));
+}
+
+BitVec BitVec::bitAnd(const BitVec& o) const {
+  checkSameWidth(o);
+  BitVec r = *this;
+  for (size_t i = 0; i < r.words_.size(); ++i) r.words_[i] &= o.words_[i];
+  return r;
+}
+
+BitVec BitVec::bitOr(const BitVec& o) const {
+  checkSameWidth(o);
+  BitVec r = *this;
+  for (size_t i = 0; i < r.words_.size(); ++i) r.words_[i] |= o.words_[i];
+  return r;
+}
+
+BitVec BitVec::bitXor(const BitVec& o) const {
+  checkSameWidth(o);
+  BitVec r = *this;
+  for (size_t i = 0; i < r.words_.size(); ++i) r.words_[i] ^= o.words_[i];
+  return r;
+}
+
+BitVec BitVec::bitNot() const {
+  BitVec r = *this;
+  for (auto& w : r.words_) w = ~w;
+  r.clamp();
+  return r;
+}
+
+BitVec BitVec::shl(uint32_t amount) const {
+  if (amount >= width_) return zero(width_);
+  BitVec r(width_, 0);
+  uint32_t wordShift = amount / kWordBits;
+  uint32_t bitShift = amount % kWordBits;
+  for (size_t i = words_.size(); i-- > wordShift;) {
+    uint64_t v = words_[i - wordShift] << bitShift;
+    if (bitShift != 0 && i > wordShift) {
+      v |= words_[i - wordShift - 1] >> (kWordBits - bitShift);
+    }
+    r.words_[i] = v;
+  }
+  r.clamp();
+  return r;
+}
+
+BitVec BitVec::lshr(uint32_t amount) const {
+  if (amount >= width_) return zero(width_);
+  BitVec r(width_, 0);
+  uint32_t wordShift = amount / kWordBits;
+  uint32_t bitShift = amount % kWordBits;
+  for (size_t i = 0; i + wordShift < words_.size(); ++i) {
+    uint64_t v = words_[i + wordShift] >> bitShift;
+    if (bitShift != 0 && i + wordShift + 1 < words_.size()) {
+      v |= words_[i + wordShift + 1] << (kWordBits - bitShift);
+    }
+    r.words_[i] = v;
+  }
+  return r;
+}
+
+bool BitVec::eq(const BitVec& o) const {
+  checkSameWidth(o);
+  return words_ == o.words_;
+}
+
+bool BitVec::ult(const BitVec& o) const {
+  checkSameWidth(o);
+  for (size_t i = words_.size(); i-- > 0;) {
+    if (words_[i] != o.words_[i]) return words_[i] < o.words_[i];
+  }
+  return false;
+}
+
+bool BitVec::ule(const BitVec& o) const { return !o.ult(*this); }
+
+BitVec BitVec::slice(uint32_t hi, uint32_t lo) const {
+  assert(hi < width_ && lo <= hi);
+  return lshr(lo).trunc(hi - lo + 1);
+}
+
+BitVec BitVec::zext(uint32_t newWidth) const {
+  assert(newWidth >= width_);
+  BitVec r(newWidth, 0);
+  std::copy(words_.begin(), words_.end(), r.words_.begin());
+  return r;
+}
+
+BitVec BitVec::trunc(uint32_t newWidth) const {
+  assert(newWidth <= width_);
+  BitVec r(newWidth, 0);
+  std::copy_n(words_.begin(), r.words_.size(), r.words_.begin());
+  r.clamp();
+  return r;
+}
+
+BitVec BitVec::concat(const BitVec& low) const {
+  BitVec hi = zext(width_ + low.width_).shl(low.width_);
+  return hi.bitOr(low.zext(width_ + low.width_));
+}
+
+std::string BitVec::toHexString() const {
+  uint32_t digits = std::max<uint32_t>(1, (width_ + 3) / 4);
+  std::string s = "0x";
+  s.reserve(2 + digits);
+  static const char* kHex = "0123456789abcdef";
+  for (uint32_t i = digits; i-- > 0;) {
+    uint32_t bitPos = i * 4;
+    uint64_t nibble = 0;
+    if (bitPos < width_) {
+      nibble = (words_[bitPos / kWordBits] >> (bitPos % kWordBits)) & 0xF;
+      // A nibble straddling a word boundary pulls bits from the next word.
+      uint32_t inWord = bitPos % kWordBits;
+      if (inWord > kWordBits - 4 && bitPos / kWordBits + 1 < words_.size()) {
+        nibble |= (words_[bitPos / kWordBits + 1] << (kWordBits - inWord)) & 0xF;
+      }
+    }
+    s += kHex[nibble];
+  }
+  return s;
+}
+
+std::string BitVec::toDecimalString() const {
+  if (isZero()) return "0";
+  // Repeated division by 10 over a word copy.
+  std::vector<uint64_t> w = words_;
+  std::string digits;
+  auto nonZero = [&w] {
+    return std::any_of(w.begin(), w.end(), [](uint64_t x) { return x != 0; });
+  };
+  while (nonZero()) {
+    uint64_t rem = 0;
+    for (size_t i = w.size(); i-- > 0;) {
+      unsigned __int128 cur = (static_cast<unsigned __int128>(rem) << 64) | w[i];
+      w[i] = static_cast<uint64_t>(cur / 10);
+      rem = static_cast<uint64_t>(cur % 10);
+    }
+    digits += static_cast<char>('0' + rem);
+  }
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+bool BitVec::operator==(const BitVec& o) const {
+  return width_ == o.width_ && words_ == o.words_;
+}
+
+size_t BitVec::hash() const {
+  size_t h = 1469598103934665603ull;
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(width_);
+  for (uint64_t w : words_) mix(w);
+  return h;
+}
+
+}  // namespace flay

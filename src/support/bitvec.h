@@ -1,0 +1,103 @@
+#ifndef FLAY_SUPPORT_BITVEC_H
+#define FLAY_SUPPORT_BITVEC_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace flay {
+
+/// Arbitrary-width unsigned bit-vector value with two's-complement
+/// wrap-around arithmetic, matching P4 `bit<N>` semantics. Values are kept
+/// canonical: bits above `width()` are always zero. Width 0 is permitted and
+/// denotes the empty bit string (useful for fold identities).
+class BitVec {
+ public:
+  BitVec() = default;
+
+  /// Value `value` truncated to `width` bits.
+  BitVec(uint32_t width, uint64_t value);
+
+  static BitVec zero(uint32_t width) { return BitVec(width, 0); }
+  static BitVec one(uint32_t width) { return BitVec(width, 1); }
+  static BitVec allOnes(uint32_t width);
+
+  /// Parses "123", "0x1f", "0b101", or "0o17"; returns the value truncated
+  /// to `width` bits. Underscores are permitted as digit separators.
+  static BitVec parse(uint32_t width, std::string_view text);
+
+  uint32_t width() const { return width_; }
+  bool isZero() const;
+  bool isAllOnes() const;
+  /// True if the value fits in a uint64_t.
+  bool fitsUint64() const;
+  /// Low 64 bits of the value.
+  uint64_t toUint64() const;
+  /// Bit `i` (0 = least significant). `i` must be < width().
+  bool bit(uint32_t i) const;
+  uint32_t countOnes() const;
+  /// Number of contiguous one bits starting from the MSB (prefix length of
+  /// an LPM-style mask). Returns width() for an all-ones value.
+  uint32_t leadingOnes() const;
+  /// True if the value has the form 1...10...0 (a valid LPM prefix mask).
+  bool isPrefixMask() const;
+
+  // Arithmetic (mod 2^width). Operands must have equal width.
+  BitVec add(const BitVec& o) const;
+  BitVec sub(const BitVec& o) const;
+  BitVec mul(const BitVec& o) const;
+  /// Unsigned division; division by zero yields all-ones (SMT-LIB choice).
+  BitVec udiv(const BitVec& o) const;
+  /// Unsigned remainder; remainder by zero yields the dividend.
+  BitVec urem(const BitVec& o) const;
+  BitVec neg() const;
+
+  // Bitwise. Operands must have equal width.
+  BitVec bitAnd(const BitVec& o) const;
+  BitVec bitOr(const BitVec& o) const;
+  BitVec bitXor(const BitVec& o) const;
+  BitVec bitNot() const;
+
+  /// Logical shifts; shift amounts >= width yield zero.
+  BitVec shl(uint32_t amount) const;
+  BitVec lshr(uint32_t amount) const;
+
+  // Comparisons (unsigned). Operands must have equal width.
+  bool eq(const BitVec& o) const;
+  bool ult(const BitVec& o) const;
+  bool ule(const BitVec& o) const;
+
+  // Width changes.
+  /// Bits hi..lo inclusive; hi < width(), lo <= hi.
+  BitVec slice(uint32_t hi, uint32_t lo) const;
+  BitVec zext(uint32_t newWidth) const;
+  BitVec trunc(uint32_t newWidth) const;
+  /// `this` becomes the high bits: result = this ++ low.
+  BitVec concat(const BitVec& low) const;
+
+  /// Lowercase hex with 0x prefix, zero-padded to ceil(width/4) digits.
+  std::string toHexString() const;
+  /// Decimal rendering (exact, arbitrary width).
+  std::string toDecimalString() const;
+
+  bool operator==(const BitVec& o) const;
+  bool operator!=(const BitVec& o) const { return !(*this == o); }
+
+  /// FNV-1a style hash over width and words.
+  size_t hash() const;
+
+ private:
+  static constexpr uint32_t kWordBits = 64;
+  uint32_t numWords() const { return (width_ + kWordBits - 1) / kWordBits; }
+  /// Zeroes bits above width_ in the top word.
+  void clamp();
+  void checkSameWidth(const BitVec& o) const;
+
+  uint32_t width_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace flay
+
+#endif  // FLAY_SUPPORT_BITVEC_H

@@ -1,0 +1,85 @@
+#ifndef FLAY_SUPPORT_DIAGNOSTICS_H
+#define FLAY_SUPPORT_DIAGNOSTICS_H
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace flay {
+
+/// Position within a source file, 1-based. Line 0 means "unknown".
+struct SourceLoc {
+  uint32_t line = 0;
+  uint32_t column = 0;
+
+  std::string toString() const {
+    if (line == 0) return "<unknown>";
+    return std::to_string(line) + ":" + std::to_string(column);
+  }
+};
+
+enum class Severity { kWarning, kError };
+
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  SourceLoc loc;
+  std::string message;
+
+  std::string toString() const {
+    std::string s = loc.toString();
+    s += severity == Severity::kError ? ": error: " : ": warning: ";
+    s += message;
+    return s;
+  }
+};
+
+/// Thrown for unrecoverable front-end failures (parse/type errors when the
+/// caller asked for throw-on-error behaviour).
+class CompileError : public std::runtime_error {
+ public:
+  explicit CompileError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Collects diagnostics during a front-end pass. Errors are recorded rather
+/// than thrown so a pass can report several problems at once; callers check
+/// hasErrors() at phase boundaries.
+class DiagnosticEngine {
+ public:
+  void error(SourceLoc loc, std::string message) {
+    diags_.push_back({Severity::kError, loc, std::move(message)});
+  }
+  void warning(SourceLoc loc, std::string message) {
+    diags_.push_back({Severity::kWarning, loc, std::move(message)});
+  }
+
+  bool hasErrors() const {
+    for (const auto& d : diags_) {
+      if (d.severity == Severity::kError) return true;
+    }
+    return false;
+  }
+
+  const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+
+  /// All diagnostics joined with newlines, for error messages and logs.
+  std::string summary() const {
+    std::string s;
+    for (const auto& d : diags_) {
+      if (!s.empty()) s += '\n';
+      s += d.toString();
+    }
+    return s;
+  }
+
+  /// Throws CompileError if any error has been recorded.
+  void throwIfErrors() const {
+    if (hasErrors()) throw CompileError(summary());
+  }
+
+ private:
+  std::vector<Diagnostic> diags_;
+};
+
+}  // namespace flay
+
+#endif  // FLAY_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,203 @@
+#include "tofino/compiler.h"
+
+#include <algorithm>
+#include <random>
+
+namespace flay::tofino {
+
+namespace {
+
+/// Dependency kinds between units, RMT-style.
+enum class Dep : uint8_t {
+  kNone,
+  kAction,  // write/write or read-after-write within actions: >= stage
+  kMatch,   // earlier unit writes a field the later one matches/reads:
+            // strictly later stage
+};
+
+struct DepGraph {
+  // dep[i][j] for i < j: constraint of unit j on unit i.
+  std::vector<std::vector<Dep>> dep;
+};
+
+bool intersects(const std::set<std::string>& a,
+                const std::set<std::string>& b) {
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia == *ib) return true;
+    if (*ia < *ib) ++ia;
+    else ++ib;
+  }
+  return false;
+}
+
+DepGraph buildDeps(const std::vector<Unit>& units) {
+  DepGraph g;
+  size_t n = units.size();
+  g.dep.assign(n, std::vector<Dep>(n, Dep::kNone));
+  for (size_t j = 0; j < n; ++j) {
+    for (size_t i = 0; i < j; ++i) {
+      Dep d = Dep::kNone;
+      // RAW: i writes what j reads -> j must match strictly later.
+      if (intersects(units[i].writes, units[j].reads)) d = Dep::kMatch;
+      // WAW / WAR: ordering within the same stage is fine on RMT (actions
+      // execute at stage end in order), but keep them ordered.
+      else if (intersects(units[i].writes, units[j].writes) ||
+               intersects(units[i].reads, units[j].writes)) {
+        d = Dep::kAction;
+      }
+      g.dep[i][j] = d;
+    }
+    // Control dependency: gateway predicate must resolve before the body.
+    for (size_t gw : units[j].controlDeps) {
+      g.dep[gw][j] = Dep::kMatch;
+    }
+  }
+  return g;
+}
+
+struct Placement {
+  bool ok = false;
+  std::vector<uint32_t> stageOf;  // unit -> stage (1-based)
+  uint32_t stages = 0;
+};
+
+struct StageLoad {
+  uint32_t sram = 0;
+  uint32_t tcam = 0;
+  uint32_t alu = 0;
+  uint32_t tables = 0;
+};
+
+/// Greedy placement honoring dependencies and per-stage resources, visiting
+/// units in `order` (a permutation respecting program order constraints is
+/// not required: stage lower bounds enforce correctness).
+Placement greedyPlace(const std::vector<Unit>& units, const DepGraph& deps,
+                      const PipelineModel& model,
+                      const std::vector<size_t>& order) {
+  Placement p;
+  p.stageOf.assign(units.size(), 0);
+  std::vector<StageLoad> load(model.numStages + 1);
+
+  for (size_t idx : order) {
+    const Unit& u = units[idx];
+    uint32_t minStage = 1;
+    for (size_t i = 0; i < units.size(); ++i) {
+      if (p.stageOf[i] == 0) continue;
+      Dep d = i < idx ? deps.dep[i][idx] : deps.dep[idx][i];
+      if (d == Dep::kNone) continue;
+      if (i < idx) {
+        // i precedes idx.
+        uint32_t bound = d == Dep::kMatch ? p.stageOf[i] + 1 : p.stageOf[i];
+        minStage = std::max(minStage, bound);
+      } else {
+        // idx precedes i, but i was placed first: idx must come no later.
+        // Greedy fallback: allow equality for action deps, earlier for
+        // match deps; if impossible the attempt fails below.
+        uint32_t cap = d == Dep::kMatch ? p.stageOf[i] - 1 : p.stageOf[i];
+        if (minStage > cap) {
+          // contradiction; force failure by requiring an absurd stage
+          minStage = model.numStages + 1;
+        }
+      }
+    }
+    bool placed = false;
+    for (uint32_t s = minStage; s <= model.numStages; ++s) {
+      // Re-check caps from successors already placed.
+      bool capOk = true;
+      for (size_t i = idx + 1; i < units.size(); ++i) {
+        if (p.stageOf[i] == 0) continue;
+        Dep d = deps.dep[idx][i];
+        if (d == Dep::kMatch && s >= p.stageOf[i]) capOk = false;
+        if (d == Dep::kAction && s > p.stageOf[i]) capOk = false;
+      }
+      if (!capOk) continue;
+      StageLoad& l = load[s];
+      uint32_t tableSlots = u.kind == Unit::Kind::kAlu ? 0 : 1;
+      if (l.sram + u.sramBlocks > model.sramBlocksPerStage) continue;
+      if (l.tcam + u.tcamBlocks > model.tcamBlocksPerStage) continue;
+      if (l.alu + u.aluOps > model.aluPerStage) continue;
+      if (l.tables + tableSlots > model.logicalTablesPerStage) continue;
+      l.sram += u.sramBlocks;
+      l.tcam += u.tcamBlocks;
+      l.alu += u.aluOps;
+      l.tables += tableSlots;
+      p.stageOf[idx] = s;
+      p.stages = std::max(p.stages, s);
+      placed = true;
+      break;
+    }
+    if (!placed) return p;  // ok stays false
+  }
+  p.ok = true;
+  return p;
+}
+
+}  // namespace
+
+CompileResult PipelineCompiler::place(
+    const ProgramRequirements& requirements) const {
+  auto start = std::chrono::steady_clock::now();
+  CompileResult result;
+
+  if (requirements.phvBits > model_.phvBits) {
+    result.error = "PHV overflow: program needs " +
+                   std::to_string(requirements.phvBits) + " bits, model has " +
+                   std::to_string(model_.phvBits);
+    result.phvBitsUsed = requirements.phvBits;
+    result.compileTime = std::chrono::duration_cast<std::chrono::microseconds>(
+        std::chrono::steady_clock::now() - start);
+    return result;
+  }
+
+  const std::vector<Unit>& units = requirements.units;
+  DepGraph deps = buildDeps(units);
+
+  std::vector<size_t> order(units.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  // Randomized-restart search: program order first, then shuffled orders;
+  // keep the fewest-stages feasible placement. The iteration budget makes
+  // compile time scale with program size, like a production device
+  // compiler's optimization passes.
+  std::mt19937_64 rng(options_.seed);
+  Placement best;
+  for (uint32_t iter = 0; iter < options_.searchIterations; ++iter) {
+    Placement p = greedyPlace(units, deps, model_, order);
+    if (p.ok && (!best.ok || p.stages < best.stages)) best = p;
+    std::shuffle(order.begin(), order.end(), rng);
+  }
+
+  result.compileTime = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - start);
+  result.phvBitsUsed = requirements.phvBits;
+  if (!best.ok) {
+    result.error = "placement failed: pipeline resources exhausted";
+    return result;
+  }
+  result.fits = true;
+  result.stagesUsed = best.stages;
+  result.stageAssignment.assign(best.stages, {});
+  for (size_t i = 0; i < units.size(); ++i) {
+    result.stageAssignment[best.stageOf[i] - 1].push_back(units[i].name);
+    result.sramBlocksUsed += units[i].sramBlocks;
+    result.tcamBlocksUsed += units[i].tcamBlocks;
+    result.aluOpsUsed += units[i].aluOps;
+    if (units[i].kind != Unit::Kind::kAlu) ++result.logicalTables;
+  }
+  return result;
+}
+
+CompileResult PipelineCompiler::compile(
+    const p4::CheckedProgram& checked) const {
+  auto start = std::chrono::steady_clock::now();
+  ProgramRequirements requirements = computeRequirements(checked, model_);
+  CompileResult result = place(requirements);
+  // Attribute requirement extraction to the compile as well.
+  result.compileTime = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - start);
+  return result;
+}
+
+}  // namespace flay::tofino

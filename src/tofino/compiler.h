@@ -1,0 +1,63 @@
+#ifndef FLAY_TOFINO_COMPILER_H
+#define FLAY_TOFINO_COMPILER_H
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "tofino/requirements.h"
+
+namespace flay::tofino {
+
+/// Result of placing a program onto the pipeline.
+struct CompileResult {
+  bool fits = false;
+  std::string error;
+
+  uint32_t stagesUsed = 0;
+  uint32_t sramBlocksUsed = 0;
+  uint32_t tcamBlocksUsed = 0;
+  uint32_t aluOpsUsed = 0;
+  uint32_t phvBitsUsed = 0;
+  uint32_t logicalTables = 0;
+
+  /// Unit names per stage (index 0 = stage 1).
+  std::vector<std::vector<std::string>> stageAssignment;
+
+  /// Wall-clock time of the whole compile, including the placement search —
+  /// the quantity Tables 1 and 2 report.
+  std::chrono::microseconds compileTime{0};
+};
+
+struct CompilerOptions {
+  /// Randomized-restart budget for the placement search. The search is the
+  /// dominant cost, so compile time scales with program size times this,
+  /// mimicking the heavyweight optimization passes of production device
+  /// compilers (bf-p4c). Deterministic for a fixed seed.
+  uint32_t searchIterations = 400;
+  uint64_t seed = 0xF1A7;
+};
+
+/// A monolithic whole-program device compiler for the RMT pipeline model:
+/// dependency analysis + greedy stage placement wrapped in a randomized
+/// restart search that minimizes stage count. This is the "device-specific
+/// compiler" of Fig. 2 that Flay invokes only when semantics changed.
+class PipelineCompiler {
+ public:
+  explicit PipelineCompiler(PipelineModel model = {}, CompilerOptions options = {})
+      : model_(model), options_(options) {}
+
+  CompileResult compile(const p4::CheckedProgram& checked) const;
+  /// Lower-level entry point when requirements are precomputed.
+  CompileResult place(const ProgramRequirements& requirements) const;
+
+  const PipelineModel& model() const { return model_; }
+
+ private:
+  PipelineModel model_;
+  CompilerOptions options_;
+};
+
+}  // namespace flay::tofino
+
+#endif  // FLAY_TOFINO_COMPILER_H

@@ -1,0 +1,200 @@
+#include "tofino/incremental.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace flay::tofino {
+
+namespace {
+
+bool intersects(const std::set<std::string>& a,
+                const std::set<std::string>& b) {
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia == *ib) return true;
+    if (*ia < *ib) ++ia;
+    else ++ib;
+  }
+  return false;
+}
+
+}  // namespace
+
+CompileResult IncrementalPipelineCompiler::fullCompile(
+    const p4::CheckedProgram& checked) {
+  CompileResult result = full_.compile(checked);
+  baseline_.clear();
+  if (result.fits) {
+    for (size_t s = 0; s < result.stageAssignment.size(); ++s) {
+      for (const auto& name : result.stageAssignment[s]) {
+        baseline_[name] = static_cast<uint32_t>(s + 1);
+      }
+    }
+  }
+  lastReplaced_ = 0;
+  lastFullFallback_ = false;
+  return result;
+}
+
+CompileResult IncrementalPipelineCompiler::incrementalCompile(
+    const p4::CheckedProgram& checked, const std::set<std::string>& changed) {
+  auto start = std::chrono::steady_clock::now();
+  lastFullFallback_ = false;
+  if (baseline_.empty()) {
+    CompileResult r = fullCompile(checked);
+    lastFullFallback_ = true;  // set after fullCompile resets the flags
+    return r;
+  }
+
+  ProgramRequirements req = computeRequirements(checked, model_);
+  CompileResult result;
+  result.phvBitsUsed = req.phvBits;
+  if (req.phvBits > model_.phvBits) {
+    result.error = "PHV overflow";
+    return result;
+  }
+
+  // Partition units: pinned (unchanged, present in baseline) vs movable.
+  const size_t n = req.units.size();
+  std::set<size_t> movableSet;
+  for (size_t i = 0; i < n; ++i) {
+    const Unit& u = req.units[i];
+    if (baseline_.count(u.name) == 0 || changed.count(u.name) != 0) {
+      movableSet.insert(i);
+    }
+  }
+
+  struct Load {
+    uint32_t sram = 0, tcam = 0, alu = 0, tables = 0;
+  };
+
+  // Dependency classification between unit i (earlier in program order when
+  // i < j) and j.
+  auto depBounds = [&](size_t idx, size_t j, const std::vector<uint32_t>& st,
+                       uint32_t& minStage, uint32_t& maxStage) {
+    const Unit& u = req.units[idx];
+    const Unit& other = req.units[j];
+    bool jBefore = j < idx;
+    bool matchDep = jBefore ? intersects(other.writes, u.reads)
+                            : intersects(u.writes, other.reads);
+    bool actionDep = intersects(other.writes, u.writes) ||
+                     (jBefore ? intersects(other.reads, u.writes)
+                              : intersects(u.reads, other.writes));
+    for (size_t gw : u.controlDeps) {
+      if (gw == j && jBefore) matchDep = true;
+    }
+    for (size_t gw : other.controlDeps) {
+      if (gw == idx && !jBefore) matchDep = true;
+    }
+    if (jBefore) {
+      if (matchDep) minStage = std::max(minStage, st[j] + 1);
+      else if (actionDep) minStage = std::max(minStage, st[j]);
+    } else {
+      if (matchDep) maxStage = std::min(maxStage, st[j] - 1);
+      else if (actionDep) maxStage = std::min(maxStage, st[j]);
+    }
+  };
+
+  // Attempt placement against the pinned skeleton. When a movable unit
+  // cannot be placed, unpin every pinned unit that constrains it and retry:
+  // the re-placed region grows until the change fits (constraint-driven
+  // unpinning) or everything is movable.
+  std::vector<uint32_t> stageOf;
+  constexpr int kMaxRetries = 12;
+  bool ok = false;
+  for (int attempt = 0; attempt < kMaxRetries && !ok; ++attempt) {
+    stageOf.assign(n, 0);
+    std::vector<Load> load(model_.numStages + 1);
+    for (size_t i = 0; i < n; ++i) {
+      if (movableSet.count(i) != 0) continue;
+      stageOf[i] = baseline_.at(req.units[i].name);
+      Load& l = load[stageOf[i]];
+      l.sram += req.units[i].sramBlocks;
+      l.tcam += req.units[i].tcamBlocks;
+      l.alu += req.units[i].aluOps;
+      l.tables += req.units[i].kind == Unit::Kind::kAlu ? 0 : 1;
+    }
+    ok = true;
+    for (size_t idx : movableSet) {
+      const Unit& u = req.units[idx];
+      uint32_t minStage = 1;
+      uint32_t maxStage = model_.numStages;
+      for (size_t j = 0; j < n; ++j) {
+        if (j != idx && stageOf[j] != 0) {
+          depBounds(idx, j, stageOf, minStage, maxStage);
+        }
+      }
+      bool placed = false;
+      for (uint32_t s = minStage; s <= maxStage && s <= model_.numStages;
+           ++s) {
+        Load& l = load[s];
+        uint32_t slots = u.kind == Unit::Kind::kAlu ? 0 : 1;
+        if (l.sram + u.sramBlocks > model_.sramBlocksPerStage) continue;
+        if (l.tcam + u.tcamBlocks > model_.tcamBlocksPerStage) continue;
+        if (l.alu + u.aluOps > model_.aluPerStage) continue;
+        if (l.tables + slots > model_.logicalTablesPerStage) continue;
+        l.sram += u.sramBlocks;
+        l.tcam += u.tcamBlocks;
+        l.alu += u.aluOps;
+        l.tables += slots;
+        stageOf[idx] = s;
+        placed = true;
+        break;
+      }
+      if (placed) continue;
+      // Unpin the neighbours that constrain this unit and retry.
+      ok = false;
+      size_t before = movableSet.size();
+      for (size_t j = 0; j < n; ++j) {
+        if (j == idx || movableSet.count(j) != 0) continue;
+        const Unit& other = req.units[j];
+        bool related = intersects(other.writes, u.reads) ||
+                       intersects(u.writes, other.reads) ||
+                       intersects(other.writes, u.writes) ||
+                       intersects(other.reads, u.writes) ||
+                       intersects(u.reads, other.writes);
+        for (size_t gw : u.controlDeps) related |= gw == j;
+        for (size_t gw : other.controlDeps) related |= gw == idx;
+        if (related) movableSet.insert(j);
+      }
+      if (movableSet.size() == before) {
+        // Nothing left to unpin: give up on incrementality.
+        attempt = kMaxRetries;
+      }
+      break;
+    }
+  }
+  lastReplaced_ = movableSet.size();
+
+  if (!ok) {
+    // Constraints broke beyond local repair: monolithic fallback.
+    CompileResult fullResult = fullCompile(checked);
+    lastFullFallback_ = true;
+    fullResult.compileTime =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start);
+    return fullResult;
+  }
+
+  result.fits = true;
+  uint32_t stages = 0;
+  for (size_t i = 0; i < n; ++i) stages = std::max(stages, stageOf[i]);
+  result.stagesUsed = stages;
+  result.stageAssignment.assign(stages, {});
+  for (size_t i = 0; i < n; ++i) {
+    result.stageAssignment[stageOf[i] - 1].push_back(req.units[i].name);
+    result.sramBlocksUsed += req.units[i].sramBlocks;
+    result.tcamBlocksUsed += req.units[i].tcamBlocks;
+    result.aluOpsUsed += req.units[i].aluOps;
+    if (req.units[i].kind != Unit::Kind::kAlu) ++result.logicalTables;
+  }
+  // Refresh the baseline to the new placement.
+  baseline_.clear();
+  for (size_t i = 0; i < n; ++i) baseline_[req.units[i].name] = stageOf[i];
+  result.compileTime = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - start);
+  return result;
+}
+
+}  // namespace flay::tofino

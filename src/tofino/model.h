@@ -1,0 +1,44 @@
+#ifndef FLAY_TOFINO_MODEL_H
+#define FLAY_TOFINO_MODEL_H
+
+#include <cstdint>
+
+namespace flay::tofino {
+
+/// Resource parameters of an RMT-style match-action pipeline, defaulted to
+/// Tofino-2-like values (public figures; the real device is proprietary).
+/// The absolute numbers matter less than the *relative* pressure they put on
+/// placement — the paper's §4.2 result is a stage-count delta.
+struct PipelineModel {
+  uint32_t numStages = 20;
+
+  // Per-stage memory.
+  uint32_t sramBlocksPerStage = 80;
+  uint32_t sramBlockBits = 128 * 1024;  // 16 KB blocks
+  uint32_t tcamBlocksPerStage = 48;
+  uint32_t tcamBlockWidth = 44;   // bits of match per block
+  uint32_t tcamBlockDepth = 512;  // entries per block
+
+  // Per-stage compute.
+  uint32_t aluPerStage = 48;          // action units (field writes)
+  uint32_t logicalTablesPerStage = 16;  // incl. gateways
+
+  // Whole-pipeline packet header vector budget.
+  uint32_t phvBits = 4096;
+
+  /// A smaller profile for stress tests and crossover experiments.
+  static PipelineModel small() {
+    PipelineModel m;
+    m.numStages = 12;
+    m.sramBlocksPerStage = 32;
+    m.tcamBlocksPerStage = 8;
+    m.aluPerStage = 16;
+    m.logicalTablesPerStage = 8;
+    m.phvBits = 2048;
+    return m;
+  }
+};
+
+}  // namespace flay::tofino
+
+#endif  // FLAY_TOFINO_MODEL_H

@@ -1,0 +1,252 @@
+#include "tofino/requirements.h"
+
+namespace flay::tofino {
+
+using p4::Expr;
+using p4::ExprOp;
+using p4::Stmt;
+using p4::StmtOp;
+
+namespace {
+
+/// Collects canonical field names read by an expression. Locals/params are
+/// intra-stage wires, not PHV fields, and are skipped.
+void collectReads(const Expr& e, std::set<std::string>& out) {
+  if (e.op == ExprOp::kPath && e.pathKind == p4::PathKind::kField) {
+    out.insert(e.canonical);
+  }
+  if (e.op == ExprOp::kIsValid) out.insert(e.canonical + ".$valid");
+  if (e.a) collectReads(*e.a, out);
+  if (e.b) collectReads(*e.b, out);
+  if (e.c) collectReads(*e.c, out);
+}
+
+class RequirementsBuilder {
+ public:
+  RequirementsBuilder(const p4::CheckedProgram& checked,
+                      const PipelineModel& model)
+      : checked_(checked), model_(model) {}
+
+  ProgramRequirements build() {
+    const p4::Program& prog = checked_.program;
+    for (const auto& name : prog.pipeline.controlNames) {
+      const p4::ControlDecl* control = prog.findControl(name);
+      control_ = control;
+      walkStmts(control->applyBody, /*enclosingGateways=*/{});
+      flushAluBundle({});
+    }
+    computePhv();
+    const p4::ParserDecl* parser = prog.findParser(prog.pipeline.parserName);
+    if (parser != nullptr) {
+      result_.parserStates = static_cast<uint32_t>(parser->states.size());
+    }
+    return std::move(result_);
+  }
+
+ private:
+  void walkStmts(const std::vector<p4::StmtPtr>& stmts,
+                 std::vector<size_t> enclosingGateways) {
+    for (const auto& s : stmts) walkStmt(*s, enclosingGateways);
+  }
+
+  void walkStmt(const Stmt& stmt, std::vector<size_t> enclosingGateways) {
+    switch (stmt.op) {
+      case StmtOp::kApply: {
+        flushAluBundle(enclosingGateways);
+        addTableUnit(*control_->findTable(stmt.target), enclosingGateways);
+        return;
+      }
+      case StmtOp::kIf: {
+        flushAluBundle(enclosingGateways);
+        size_t gw = addGatewayUnit(stmt, enclosingGateways);
+        auto inner = enclosingGateways;
+        inner.push_back(gw);
+        walkStmts(stmt.thenBody, inner);
+        flushAluBundle(inner);
+        walkStmts(stmt.elseBody, inner);
+        flushAluBundle(inner);
+        return;
+      }
+      case StmtOp::kAssign:
+        pendingAlu_.push_back(&stmt);
+        return;
+      case StmtOp::kActionCall: {
+        // Direct action calls contribute their body's ALU work.
+        const p4::ActionDecl* action = control_->findAction(stmt.target);
+        if (action != nullptr) {
+          for (const auto& s : action->body) {
+            if (s->op == StmtOp::kAssign || s->op == StmtOp::kMarkToDrop) {
+              pendingAlu_.push_back(s.get());
+            }
+          }
+        }
+        return;
+      }
+      case StmtOp::kMarkToDrop:
+      case StmtOp::kRegRead:
+      case StmtOp::kRegWrite:
+      case StmtOp::kCountCall:
+      case StmtOp::kMeterCall:
+      case StmtOp::kSetValid:
+      case StmtOp::kSetInvalid:
+        pendingAlu_.push_back(&stmt);
+        return;
+      case StmtOp::kVarDecl:
+        if (stmt.rhs != nullptr) pendingAlu_.push_back(&stmt);
+        return;
+      case StmtOp::kExit:
+        return;
+      default:
+        return;
+    }
+  }
+
+  /// Consecutive top-level scalar operations bundle into one ALU unit.
+  void flushAluBundle(const std::vector<size_t>& enclosingGateways) {
+    if (pendingAlu_.empty()) return;
+    Unit u;
+    u.kind = Unit::Kind::kAlu;
+    u.name = control_->name + ".alu@" +
+             std::to_string(pendingAlu_.front()->loc.line);
+    for (const Stmt* s : pendingAlu_) {
+      ++u.aluOps;
+      if (s->rhs) collectReads(*s->rhs, u.reads);
+      if (s->index) collectReads(*s->index, u.reads);
+      if (s->cond) collectReads(*s->cond, u.reads);
+      if (s->lhs != nullptr) {
+        const Expr* target =
+            s->lhs->op == ExprOp::kSlice ? s->lhs->a.get() : s->lhs.get();
+        if (target->pathKind == p4::PathKind::kField) {
+          u.writes.insert(target->canonical);
+          if (s->lhs->op == ExprOp::kSlice) u.reads.insert(target->canonical);
+        }
+        if (s->op == StmtOp::kSetValid || s->op == StmtOp::kSetInvalid) {
+          u.writes.insert(s->lhs->canonical + ".$valid");
+        }
+        if (s->op == StmtOp::kRegRead || s->op == StmtOp::kMeterCall) {
+          // Destination of the read.
+          if (target->pathKind == p4::PathKind::kField) {
+            u.writes.insert(target->canonical);
+          }
+        }
+      }
+      if (s->op == StmtOp::kMarkToDrop) u.writes.insert("sm.egress_spec");
+    }
+    u.controlDeps = enclosingGateways;
+    pendingAlu_.clear();
+    result_.units.push_back(std::move(u));
+  }
+
+  size_t addGatewayUnit(const Stmt& stmt,
+                        const std::vector<size_t>& enclosingGateways) {
+    Unit u;
+    u.kind = Unit::Kind::kGateway;
+    u.name = control_->name + ".if@" + std::to_string(stmt.loc.line);
+    collectReads(*stmt.cond, u.reads);
+    u.controlDeps = enclosingGateways;
+    result_.units.push_back(std::move(u));
+    return result_.units.size() - 1;
+  }
+
+  void addTableUnit(const p4::TableDecl& table,
+                    const std::vector<size_t>& enclosingGateways) {
+    Unit u;
+    u.kind = Unit::Kind::kTable;
+    u.name = control_->name + "." + table.name;
+    u.entries = table.size;
+    for (const auto& k : table.keys) {
+      u.keyBits += k.expr->width;
+      collectReads(*k.expr, u.reads);
+      // Ternary keys need TCAM; lpm compiles to SRAM-based algorithmic LPM
+      // (the ALPM route production compilers take for large route tables).
+      u.needsTcam |= k.matchKind == p4::MatchKind::kTernary;
+    }
+    uint32_t actionDataBits = 0;
+    for (const auto& actionName : table.actionNames) {
+      const p4::ActionDecl* action = control_->findAction(actionName);
+      if (action == nullptr) continue;
+      uint32_t paramBits = 0;
+      for (const auto& p : action->params) paramBits += p.width;
+      actionDataBits = std::max(actionDataBits, paramBits);
+      for (const auto& s : action->body) collectActionEffects(*s, u);
+    }
+    // SRAM demand: entry storage (key for exact tables + action data +
+    // ~16b overhead per entry), plus action-data storage for TCAM tables.
+    uint32_t bitsPerEntry = actionDataBits + 16;
+    if (!u.needsTcam) bitsPerEntry += u.keyBits;
+    uint64_t sramBits = static_cast<uint64_t>(bitsPerEntry) * u.entries;
+    u.sramBlocks = static_cast<uint32_t>(
+        (sramBits + model_.sramBlockBits - 1) / model_.sramBlockBits);
+    if (u.needsTcam) {
+      uint32_t wide =
+          (u.keyBits + model_.tcamBlockWidth - 1) / model_.tcamBlockWidth;
+      uint32_t deep =
+          (u.entries + model_.tcamBlockDepth - 1) / model_.tcamBlockDepth;
+      u.tcamBlocks = std::max(1u, wide * deep);
+    }
+    u.controlDeps = enclosingGateways;
+    result_.units.push_back(std::move(u));
+  }
+
+  void collectActionEffects(const Stmt& s, Unit& u) {
+    ++u.aluOps;
+    if (s.rhs) collectReads(*s.rhs, u.reads);
+    if (s.cond) collectReads(*s.cond, u.reads);
+    if (s.lhs != nullptr) {
+      const Expr* target =
+          s.lhs->op == ExprOp::kSlice ? s.lhs->a.get() : s.lhs.get();
+      if (target->pathKind == p4::PathKind::kField) {
+        u.writes.insert(target->canonical);
+      }
+    }
+    if (s.op == StmtOp::kMarkToDrop) u.writes.insert("sm.egress_spec");
+    for (const auto& inner : s.thenBody) collectActionEffects(*inner, u);
+    for (const auto& inner : s.elseBody) collectActionEffects(*inner, u);
+  }
+
+  /// PHV demand: every field any unit touches plus extracted headers.
+  void computePhv() {
+    std::set<std::string> touched;
+    for (const auto& u : result_.units) {
+      touched.insert(u.reads.begin(), u.reads.end());
+      touched.insert(u.writes.begin(), u.writes.end());
+    }
+    // Extracted/emitted headers occupy PHV whether or not controls read
+    // them — that is exactly the waste parser-tail pruning recovers (§3).
+    const p4::Program& prog = checked_.program;
+    const p4::ParserDecl* parser = prog.findParser(prog.pipeline.parserName);
+    if (parser != nullptr) {
+      for (const auto& st : parser->states) {
+        for (const auto& s : st.body) {
+          if (s->op == StmtOp::kExtract) {
+            const p4::HeaderInstance* h =
+                checked_.env.findHeader(s->lhs->canonical);
+            for (const auto& f : h->fieldCanonicals) touched.insert(f);
+            touched.insert(h->validityCanonical);
+          }
+        }
+      }
+    }
+    uint32_t bits = 0;
+    for (const auto& name : touched) {
+      const p4::FieldInfo* f = checked_.env.findField(name);
+      if (f != nullptr) bits += f->isBool ? 1 : f->width;
+    }
+    result_.phvBits = bits;
+  }
+
+  const p4::CheckedProgram& checked_;
+  const PipelineModel& model_;
+  ProgramRequirements result_;
+  const p4::ControlDecl* control_ = nullptr;
+  std::vector<const Stmt*> pendingAlu_;
+};
+
+}  // namespace
+
+ProgramRequirements computeRequirements(const p4::CheckedProgram& checked,
+                                        const PipelineModel& model) {
+  return RequirementsBuilder(checked, model).build();
+}
+
+}  // namespace flay::tofino

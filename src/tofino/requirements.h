@@ -1,0 +1,57 @@
+#ifndef FLAY_TOFINO_REQUIREMENTS_H
+#define FLAY_TOFINO_REQUIREMENTS_H
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "p4/typecheck.h"
+#include "tofino/model.h"
+
+namespace flay::tofino {
+
+/// One placeable unit of the pipeline: a match-action table, a gateway (an
+/// if-condition compiled to a predicate table), or a standalone ALU bundle
+/// (top-level assignments / extern ops between tables).
+struct Unit {
+  enum class Kind { kTable, kGateway, kAlu };
+  Kind kind = Kind::kTable;
+  std::string name;  // qualified: "Ingress.fwd", "Ingress.if@12", ...
+
+  // Memory demand.
+  bool needsTcam = false;
+  uint32_t keyBits = 0;
+  uint32_t entries = 0;
+  uint32_t sramBlocks = 0;
+  uint32_t tcamBlocks = 0;
+
+  // Compute demand.
+  uint32_t aluOps = 0;
+
+  // Data dependencies (canonical field names).
+  std::set<std::string> reads;
+  std::set<std::string> writes;
+
+  // Control dependency: unit indices that must be placed strictly earlier
+  // (enclosing gateways).
+  std::vector<size_t> controlDeps;
+};
+
+/// Everything the placement compiler needs about a program.
+struct ProgramRequirements {
+  std::vector<Unit> units;  // in program order
+  /// PHV demand: bits of every header/metadata field the program touches,
+  /// plus one bit per header validity flag.
+  uint32_t phvBits = 0;
+  /// Parser state count (contributes fixed overhead, reported not placed).
+  uint32_t parserStates = 0;
+};
+
+/// Extracts placement requirements from a checked program under a resource
+/// model (block geometry determines block counts).
+ProgramRequirements computeRequirements(const p4::CheckedProgram& checked,
+                                        const PipelineModel& model);
+
+}  // namespace flay::tofino
+
+#endif  // FLAY_TOFINO_REQUIREMENTS_H

@@ -1,0 +1,227 @@
+#include "support/bitvec.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace flay {
+namespace {
+
+TEST(BitVec, ConstructionTruncates) {
+  BitVec v(8, 0x1FF);
+  EXPECT_EQ(v.toUint64(), 0xFFu);
+  EXPECT_EQ(v.width(), 8u);
+}
+
+TEST(BitVec, ZeroWidth) {
+  BitVec v(0, 0);
+  EXPECT_TRUE(v.isZero());
+  EXPECT_EQ(v.width(), 0u);
+  EXPECT_EQ(v, BitVec::zero(0));
+}
+
+TEST(BitVec, AllOnes) {
+  EXPECT_EQ(BitVec::allOnes(8).toUint64(), 0xFFu);
+  EXPECT_EQ(BitVec::allOnes(64).toUint64(), ~uint64_t{0});
+  BitVec wide = BitVec::allOnes(100);
+  EXPECT_TRUE(wide.isAllOnes());
+  EXPECT_EQ(wide.countOnes(), 100u);
+}
+
+TEST(BitVec, ParseBases) {
+  EXPECT_EQ(BitVec::parse(16, "255").toUint64(), 255u);
+  EXPECT_EQ(BitVec::parse(16, "0xff").toUint64(), 255u);
+  EXPECT_EQ(BitVec::parse(16, "0xFF").toUint64(), 255u);
+  EXPECT_EQ(BitVec::parse(16, "0b1010").toUint64(), 10u);
+  EXPECT_EQ(BitVec::parse(16, "0o17").toUint64(), 15u);
+  EXPECT_EQ(BitVec::parse(32, "1_000_000").toUint64(), 1000000u);
+}
+
+TEST(BitVec, ParseWideHex) {
+  BitVec v = BitVec::parse(128, "0xDEADBEEF00112233445566778899AABB");
+  EXPECT_EQ(v.toHexString(), "0xdeadbeef00112233445566778899aabb");
+}
+
+TEST(BitVec, ParseRejectsBadDigits) {
+  EXPECT_THROW(BitVec::parse(8, "12z"), std::invalid_argument);
+  EXPECT_THROW(BitVec::parse(8, "0b12"), std::invalid_argument);
+}
+
+TEST(BitVec, AddWraps) {
+  BitVec a(8, 0xFF);
+  EXPECT_EQ(a.add(BitVec(8, 1)).toUint64(), 0u);
+  EXPECT_EQ(a.add(BitVec(8, 2)).toUint64(), 1u);
+}
+
+TEST(BitVec, AddCarriesAcrossWords) {
+  BitVec a = BitVec::allOnes(65);
+  BitVec r = a.add(BitVec(65, 1));
+  EXPECT_TRUE(r.isZero());
+  BitVec b(65, ~uint64_t{0});
+  BitVec r2 = b.add(BitVec(65, 1));
+  EXPECT_TRUE(r2.bit(64));
+  EXPECT_EQ(r2.countOnes(), 1u);
+}
+
+TEST(BitVec, SubAndNeg) {
+  BitVec a(8, 5);
+  EXPECT_EQ(a.sub(BitVec(8, 7)).toUint64(), 0xFEu);  // -2 mod 256
+  EXPECT_EQ(a.neg().toUint64(), 251u);
+  EXPECT_EQ(BitVec::zero(8).neg().toUint64(), 0u);
+}
+
+TEST(BitVec, MulWide) {
+  BitVec a(128, ~uint64_t{0});
+  BitVec r = a.mul(a);  // (2^64-1)^2 = 2^128 - 2^65 + 1
+  EXPECT_EQ(r.slice(63, 0).toUint64(), 1u);
+  BitVec hi = r.slice(127, 64);
+  EXPECT_EQ(hi.toUint64(), ~uint64_t{0} - 1);
+}
+
+TEST(BitVec, DivisionBasics) {
+  EXPECT_EQ(BitVec(16, 100).udiv(BitVec(16, 7)).toUint64(), 14u);
+  EXPECT_EQ(BitVec(16, 100).urem(BitVec(16, 7)).toUint64(), 2u);
+  // Division by zero: SMT-LIB semantics.
+  EXPECT_TRUE(BitVec(16, 100).udiv(BitVec(16, 0)).isAllOnes());
+  EXPECT_EQ(BitVec(16, 100).urem(BitVec(16, 0)).toUint64(), 100u);
+}
+
+TEST(BitVec, DivModIdentity) {
+  std::mt19937_64 rng(42);
+  for (int i = 0; i < 200; ++i) {
+    uint32_t w = 1 + static_cast<uint32_t>(rng() % 64);
+    BitVec a(w, rng());
+    BitVec b(w, rng());
+    if (b.isZero()) continue;
+    BitVec q = a.udiv(b);
+    BitVec r = a.urem(b);
+    EXPECT_TRUE(r.ult(b));
+    EXPECT_EQ(q.mul(b).add(r), a) << "width " << w;
+  }
+}
+
+TEST(BitVec, Shifts) {
+  BitVec a(8, 0b1011);
+  EXPECT_EQ(a.shl(2).toUint64(), 0b101100u);
+  EXPECT_EQ(a.lshr(1).toUint64(), 0b101u);
+  EXPECT_TRUE(a.shl(8).isZero());
+  EXPECT_TRUE(a.lshr(8).isZero());
+  EXPECT_TRUE(a.shl(200).isZero());
+}
+
+TEST(BitVec, ShiftsAcrossWords) {
+  BitVec one = BitVec::one(128);
+  BitVec shifted = one.shl(100);
+  EXPECT_TRUE(shifted.bit(100));
+  EXPECT_EQ(shifted.countOnes(), 1u);
+  EXPECT_EQ(shifted.lshr(100), one);
+}
+
+TEST(BitVec, Comparisons) {
+  BitVec a(16, 100);
+  BitVec b(16, 200);
+  EXPECT_TRUE(a.ult(b));
+  EXPECT_FALSE(b.ult(a));
+  EXPECT_FALSE(a.ult(a));
+  EXPECT_TRUE(a.ule(a));
+  EXPECT_TRUE(a.ule(b));
+}
+
+TEST(BitVec, WidthMismatchThrows) {
+  EXPECT_THROW(BitVec(8, 1).add(BitVec(16, 1)), std::invalid_argument);
+  EXPECT_THROW(BitVec(8, 1).ult(BitVec(9, 1)), std::invalid_argument);
+}
+
+TEST(BitVec, SliceZextTrunc) {
+  BitVec v(16, 0xABCD);
+  EXPECT_EQ(v.slice(7, 0).toUint64(), 0xCDu);
+  EXPECT_EQ(v.slice(15, 8).toUint64(), 0xABu);
+  EXPECT_EQ(v.slice(11, 4).toUint64(), 0xBCu);
+  EXPECT_EQ(v.zext(32).toUint64(), 0xABCDu);
+  EXPECT_EQ(v.zext(32).width(), 32u);
+  EXPECT_EQ(v.trunc(8).toUint64(), 0xCDu);
+}
+
+TEST(BitVec, Concat) {
+  BitVec hi(8, 0xAB);
+  BitVec lo(8, 0xCD);
+  BitVec c = hi.concat(lo);
+  EXPECT_EQ(c.width(), 16u);
+  EXPECT_EQ(c.toUint64(), 0xABCDu);
+  // Concat then slice recovers the parts.
+  EXPECT_EQ(c.slice(15, 8), hi);
+  EXPECT_EQ(c.slice(7, 0), lo);
+}
+
+TEST(BitVec, PrefixMasks) {
+  EXPECT_TRUE(BitVec::parse(8, "0b11110000").isPrefixMask());
+  EXPECT_TRUE(BitVec::allOnes(8).isPrefixMask());
+  EXPECT_TRUE(BitVec::zero(8).isPrefixMask());
+  EXPECT_FALSE(BitVec::parse(8, "0b11010000").isPrefixMask());
+  EXPECT_EQ(BitVec::parse(8, "0b11110000").leadingOnes(), 4u);
+  EXPECT_EQ(BitVec::parse(32, "0xFFFFFF00").leadingOnes(), 24u);
+}
+
+TEST(BitVec, HexStringPadding) {
+  EXPECT_EQ(BitVec(4, 0xA).toHexString(), "0xa");
+  EXPECT_EQ(BitVec(16, 0xA).toHexString(), "0x000a");
+  EXPECT_EQ(BitVec(9, 0x1FF).toHexString(), "0x1ff");
+}
+
+TEST(BitVec, DecimalString) {
+  EXPECT_EQ(BitVec(8, 0).toDecimalString(), "0");
+  EXPECT_EQ(BitVec(32, 123456789).toDecimalString(), "123456789");
+  // 2^100
+  BitVec big = BitVec::one(101).shl(100);
+  EXPECT_EQ(big.toDecimalString(), "1267650600228229401496703205376");
+}
+
+TEST(BitVec, HashAndEquality) {
+  BitVec a(32, 7);
+  BitVec b(32, 7);
+  BitVec c(33, 7);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+  EXPECT_NE(a, c);  // differing width
+}
+
+// Property sweep: algebraic identities across widths.
+class BitVecWidthTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(BitVecWidthTest, AlgebraicIdentities) {
+  uint32_t w = GetParam();
+  std::mt19937_64 rng(w * 7919 + 1);
+  for (int i = 0; i < 50; ++i) {
+    BitVec a(w, rng());
+    BitVec b(w, rng());
+    EXPECT_EQ(a.add(b), b.add(a));
+    EXPECT_EQ(a.add(b).sub(b), a);
+    EXPECT_EQ(a.bitXor(a), BitVec::zero(w));
+    EXPECT_EQ(a.bitAnd(a.bitNot()), BitVec::zero(w));
+    EXPECT_EQ(a.bitOr(a.bitNot()), BitVec::allOnes(w));
+    EXPECT_EQ(a.bitNot().bitNot(), a);
+    EXPECT_EQ(a.neg().neg(), a);
+    EXPECT_EQ(a.sub(b), a.add(b.neg()));
+    // De Morgan.
+    EXPECT_EQ(a.bitAnd(b).bitNot(), a.bitNot().bitOr(b.bitNot()));
+  }
+}
+
+TEST_P(BitVecWidthTest, ShiftMulEquivalence) {
+  uint32_t w = GetParam();
+  std::mt19937_64 rng(w * 104729 + 3);
+  for (int i = 0; i < 20; ++i) {
+    BitVec a(w, rng());
+    for (uint32_t sh = 0; sh < std::min(w, 8u); ++sh) {
+      BitVec powerOfTwo = BitVec::one(w).shl(sh);
+      EXPECT_EQ(a.shl(sh), a.mul(powerOfTwo)) << "w=" << w << " sh=" << sh;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BitVecWidthTest,
+                         ::testing::Values(1u, 7u, 8u, 9u, 16u, 32u, 48u, 63u,
+                                           64u, 65u, 100u, 128u, 256u));
+
+}  // namespace
+}  // namespace flay

@@ -1,0 +1,190 @@
+#include "classifier/classifier.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+namespace flay::classifier {
+namespace {
+
+Rule exactRule(uint32_t width, uint64_t value, uint32_t action) {
+  return {BitVec(width, value), BitVec::allOnes(width), 0, action};
+}
+
+Rule prefixRule(uint32_t width, uint64_t value, uint32_t plen,
+                uint32_t action) {
+  BitVec mask =
+      plen == 0 ? BitVec::zero(width) : BitVec::allOnes(width).shl(width - plen);
+  return {BitVec(width, value), mask, static_cast<int32_t>(plen), action};
+}
+
+Rule maskRule(uint32_t width, uint64_t value, uint64_t mask, int32_t priority,
+              uint32_t action) {
+  return {BitVec(width, value), BitVec(width, mask), priority, action};
+}
+
+TEST(TcamClassifier, PriorityOrderedMatch) {
+  std::vector<Rule> rules = {
+      maskRule(8, 0x00, 0x00, 1, 100),   // wildcard, low priority
+      maskRule(8, 0xA0, 0xF0, 10, 200),  // high nibble A, high priority
+  };
+  auto c = makeTcam(rules, 8);
+  EXPECT_EQ(c->classify(BitVec(8, 0xAB)).value(), 200u);
+  EXPECT_EQ(c->classify(BitVec(8, 0x1B)).value(), 100u);
+  EXPECT_EQ(c->name(), "tcam");
+}
+
+TEST(TcamClassifier, MissWithoutWildcard) {
+  auto c = makeTcam({maskRule(8, 0xA0, 0xF0, 1, 7)}, 8);
+  EXPECT_FALSE(c->classify(BitVec(8, 0x10)).has_value());
+}
+
+TEST(ExactHash, MatchesAndMisses) {
+  auto c = makeExactHash({exactRule(16, 80, 1), exactRule(16, 443, 2)}, 16);
+  EXPECT_EQ(c->classify(BitVec(16, 80)).value(), 1u);
+  EXPECT_EQ(c->classify(BitVec(16, 443)).value(), 2u);
+  EXPECT_FALSE(c->classify(BitVec(16, 8080)).has_value());
+}
+
+TEST(ExactHash, RejectsMaskedRules) {
+  EXPECT_THROW(makeExactHash({maskRule(8, 1, 0xF0, 0, 1)}, 8),
+               std::invalid_argument);
+}
+
+TEST(LpmTrie, LongestPrefixWins) {
+  std::vector<Rule> rules = {
+      prefixRule(32, 0x0A000000, 8, 1),
+      prefixRule(32, 0x0A010000, 16, 2),
+      prefixRule(32, 0x0A010100, 24, 3),
+  };
+  auto c = makeLpmTrie(rules, 32);
+  EXPECT_EQ(c->classify(BitVec(32, 0x0A010101)).value(), 3u);
+  EXPECT_EQ(c->classify(BitVec(32, 0x0A010201)).value(), 2u);
+  EXPECT_EQ(c->classify(BitVec(32, 0x0A990201)).value(), 1u);
+  EXPECT_FALSE(c->classify(BitVec(32, 0x0B000000)).has_value());
+}
+
+TEST(LpmTrie, DefaultRouteMatchesEverything) {
+  auto c = makeLpmTrie({prefixRule(32, 0, 0, 42)}, 32);
+  EXPECT_EQ(c->classify(BitVec(32, 0xDEADBEEF)).value(), 42u);
+}
+
+TEST(LpmTrie, RejectsNonPrefixMasks) {
+  EXPECT_THROW(makeLpmTrie({maskRule(32, 1, 0x00FF00FF, 0, 1)}, 32),
+               std::invalid_argument);
+}
+
+TEST(Stcam, GroupsByMaskAndMatches) {
+  std::vector<Rule> rules = {
+      maskRule(16, 0x1200, 0xFF00, 5, 1),
+      maskRule(16, 0x3400, 0xFF00, 5, 2),
+      maskRule(16, 0x0011, 0x00FF, 9, 3),
+  };
+  auto c = makeStcam(rules, 16, 4);
+  EXPECT_EQ(c->classify(BitVec(16, 0x12AB)).value(), 1u);
+  EXPECT_EQ(c->classify(BitVec(16, 0x34CD)).value(), 2u);
+  // 0x1211 matches both 0x12xx (prio 5) and xx11 (prio 9): higher wins.
+  EXPECT_EQ(c->classify(BitVec(16, 0x1211)).value(), 3u);
+  EXPECT_FALSE(c->classify(BitVec(16, 0x9999)).has_value());
+}
+
+TEST(Stcam, RejectsTooManyMasks) {
+  std::vector<Rule> rules;
+  for (uint64_t i = 1; i <= 9; ++i) {
+    rules.push_back(maskRule(16, 0, i, 0, 1));
+  }
+  EXPECT_THROW(makeStcam(rules, 16, 8), std::invalid_argument);
+}
+
+TEST(Chooser, PicksStructureByRuleShape) {
+  EXPECT_EQ(chooseClassifier({exactRule(16, 1, 1)}, 16)->name(), "exact-hash");
+  // Route-table shape: many distinct prefix lengths (too many masks for an
+  // STCAM), all prefixes -> the trie is the admissible SRAM structure.
+  std::vector<Rule> routes;
+  for (uint32_t plen = 9; plen <= 28; ++plen) {
+    for (uint64_t i = 0; i < 8; ++i) {
+      routes.push_back(prefixRule(
+          32, (0x0A000000 | (i << (32 - plen))) & 0xFFFFFFFF, plen,
+          static_cast<uint32_t>(plen * 8 + i)));
+    }
+  }
+  EXPECT_EQ(chooseClassifier(routes, 32, 8)->name(), "lpm-trie");
+  std::vector<Rule> fewMasks = {maskRule(16, 0x1200, 0xFF00, 1, 1),
+                                maskRule(16, 0x0034, 0x00FF, 2, 2)};
+  EXPECT_EQ(chooseClassifier(fewMasks, 16)->name(), "stcam");
+  std::vector<Rule> manyMasks;
+  for (uint64_t i = 1; i <= 20; ++i) {
+    manyMasks.push_back(maskRule(16, 0, i * 3, 0, 1));
+  }
+  EXPECT_EQ(chooseClassifier(manyMasks, 16)->name(), "tcam");
+}
+
+TEST(Chooser, ExactRulesAreMuchCheaperThanTcam) {
+  std::vector<Rule> rules;
+  std::mt19937_64 rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    rules.push_back(exactRule(32, rng(), static_cast<uint32_t>(i)));
+  }
+  auto tcam = makeTcam(rules, 32);
+  auto chosen = chooseClassifier(rules, 32);
+  EXPECT_EQ(chosen->name(), "exact-hash");
+  EXPECT_LT(chosen->costUnits(), tcam->costUnits() / 2)
+      << "specializing away the TCAM must cut cost by >2x";
+}
+
+// Property: every structure agrees with the reference TCAM on random keys
+// whenever the rule set is representable.
+class ClassifierAgreementTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ClassifierAgreementTest, StructuresAgreeWithTcam) {
+  std::mt19937_64 rng(GetParam() * 7919);
+  const uint32_t width = 16;
+
+  // Prefix rules (valid for trie, stcam if few masks, tcam).
+  std::vector<Rule> rules;
+  std::set<uint64_t> usedPrefix;
+  for (int i = 0; i < 30; ++i) {
+    uint32_t plen = static_cast<uint32_t>(rng() % (width + 1));
+    uint64_t value = rng() & 0xFFFF;
+    Rule r = prefixRule(width, value, plen, static_cast<uint32_t>(rng() % 100));
+    // LPM semantics: priority = prefix length; skip duplicate regions so
+    // the winner is unambiguous across structures.
+    uint64_t sig = (static_cast<uint64_t>(plen) << 16) |
+                   r.value.bitAnd(r.mask).toUint64();
+    if (!usedPrefix.insert(sig).second) continue;
+    rules.push_back(r);
+  }
+  auto tcam = makeTcam(rules, width);
+  auto trie = makeLpmTrie(rules, width);
+  auto chosen = chooseClassifier(rules, width, 32);
+  for (int i = 0; i < 500; ++i) {
+    BitVec key(width, rng());
+    auto a = tcam->classify(key);
+    auto b = trie->classify(key);
+    auto c = chosen->classify(key);
+    ASSERT_EQ(a.has_value(), b.has_value());
+    ASSERT_EQ(a.has_value(), c.has_value());
+    if (a.has_value()) {
+      ASSERT_EQ(*a, *b) << key.toHexString();
+      ASSERT_EQ(*a, *c) << key.toHexString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClassifierAgreementTest,
+                         ::testing::Range(1, 11));
+
+TEST(MemoryAccounting, TrieGrowsWithRulesTcamGrowsFaster) {
+  std::vector<Rule> rules;
+  for (int i = 0; i < 100; ++i) {
+    rules.push_back(prefixRule(32, static_cast<uint64_t>(i) << 24, 8, 1));
+  }
+  auto trie = makeLpmTrie(rules, 32);
+  auto tcam = makeTcam(rules, 32);
+  EXPECT_GT(trie->memoryBits(), 0u);
+  EXPECT_GT(tcam->costUnits(), trie->costUnits());
+}
+
+}  // namespace
+}  // namespace flay::classifier

@@ -1,0 +1,201 @@
+// Engine-level tests: verdict semantics for every update kind, binding
+// resolution, and batch/sequential consistency.
+
+#include <gtest/gtest.h>
+
+#include "expr/printer.h"
+#include "flay/engine.h"
+#include "net/fuzzer.h"
+
+namespace flay::flay {
+namespace {
+
+using runtime::FieldMatch;
+using runtime::TableEntry;
+using runtime::Update;
+
+const char* kProgram = R"(
+header h_t { bit<8> a; bit<8> b; }
+struct headers { h_t h; }
+parser P { state start { extract(hdr.h); transition accept; } }
+control C {
+  action set_a(bit<8> v) { hdr.h.a = v; }
+  action set_b(bit<8> v) { hdr.h.b = v; }
+  action drop_pkt() { mark_to_drop(); }
+  table t {
+    key = { hdr.h.a : ternary; }
+    actions = { set_a; set_b; drop_pkt; noop; }
+    default_action = noop;
+    size = 256;
+  }
+  apply { t.apply(); sm.egress_spec = 1; }
+}
+deparser D { emit(hdr.h); }
+pipeline(P, C, D);
+)";
+
+TableEntry ternary(uint64_t v, uint64_t m, const char* action, uint64_t arg,
+                   int32_t prio) {
+  TableEntry e;
+  e.matches.push_back(FieldMatch::ternary(BitVec(8, v), BitVec(8, m)));
+  e.actionName = action;
+  if (std::string(action) != "drop_pkt" && std::string(action) != "noop") {
+    e.actionArgs.push_back(BitVec(8, arg));
+  }
+  e.priority = prio;
+  return e;
+}
+
+class EngineTest : public ::testing::Test {
+ protected:
+  EngineTest() : checked(p4::loadProgramFromString(kProgram)) {}
+  p4::CheckedProgram checked;
+};
+
+TEST_F(EngineTest, DeleteRestoresEmptyTableDecision) {
+  FlayService service(checked);
+  auto v1 = service.applyUpdate(
+      Update::insert("C.t", ternary(1, 0xFF, "set_a", 9, 1)));
+  EXPECT_TRUE(v1.needsRecompilation);  // empty -> live
+
+  uint64_t id = service.config().table("C.t").entries()[0].id;
+  auto v2 = service.applyUpdate(Update::remove("C.t", id));
+  EXPECT_TRUE(v2.needsRecompilation);  // live -> empty again
+
+  // The hit point is back to constant false.
+  const TableInfo& info = service.analysis().table("C.t");
+  EXPECT_TRUE(service.arena().isFalse(service.specialized(info.hitPoint)));
+}
+
+TEST_F(EngineTest, ModifyChangingActionTriggersRecompile) {
+  FlayService service(checked);
+  service.applyUpdate(Update::insert("C.t", ternary(1, 0xFF, "set_a", 9, 1)));
+  uint64_t id = service.config().table("C.t").entries()[0].id;
+
+  // Modify to a *different action*: reachable-action set changes.
+  TableEntry modified = ternary(1, 0xFF, "drop_pkt", 0, 1);
+  modified.id = id;
+  auto verdict = service.applyUpdate(Update::modify("C.t", modified));
+  EXPECT_TRUE(verdict.needsRecompilation);
+}
+
+TEST_F(EngineTest, ModifyChangingOnlyArgumentForwards) {
+  FlayService service(checked);
+  service.applyUpdate(Update::insert("C.t", ternary(1, 0xFF, "set_a", 9, 1)));
+  service.applyUpdate(Update::insert("C.t", ternary(2, 0xFF, "set_a", 7, 2)));
+  uint64_t id = service.config().table("C.t").entries()[0].id;
+
+  // Same action, same key, new argument value: the expressions change but
+  // the implementation stays general for that action.
+  TableEntry modified = ternary(1, 0xFF, "set_a", 42, 1);
+  modified.id = id;
+  auto verdict = service.applyUpdate(Update::modify("C.t", modified));
+  EXPECT_TRUE(verdict.expressionsChanged);
+  EXPECT_FALSE(verdict.needsRecompilation);
+}
+
+TEST_F(EngineTest, SingleAlwaysMatchingEntryArgChangeIsSemantic) {
+  // With ONE always-matching entry, the action argument is a propagated
+  // constant (Fig. 3 B); changing it flips the constant -> recompile.
+  FlayService service(checked);
+  service.applyUpdate(Update::insert("C.t", ternary(0, 0, "set_a", 9, 1)));
+  uint64_t id = service.config().table("C.t").entries()[0].id;
+  TableEntry modified = ternary(0, 0, "set_a", 10, 1);
+  modified.id = id;
+  auto verdict = service.applyUpdate(Update::modify("C.t", modified));
+  EXPECT_TRUE(verdict.needsRecompilation)
+      << "an inlined constant changed value: the inlined body must change";
+}
+
+TEST_F(EngineTest, DefaultActionChangeTriggersRecompile) {
+  FlayService service(checked);
+  // Miss-path behaviour changes from noop to drop: recompile.
+  auto verdict = service.applyUpdate(Update::setDefault("C.t", "drop_pkt", {}));
+  EXPECT_TRUE(verdict.needsRecompilation);
+  // Setting it to the same thing again: nothing changes.
+  auto verdict2 = service.applyUpdate(Update::setDefault("C.t", "drop_pkt", {}));
+  EXPECT_FALSE(verdict2.expressionsChanged);
+}
+
+TEST_F(EngineTest, MalformedUpdateThrowsAndLeavesStateIntact) {
+  FlayService service(checked);
+  TableEntry bad;
+  bad.matches.push_back(FieldMatch::exact(BitVec(8, 1)));  // wrong kind
+  bad.actionName = "set_a";
+  bad.actionArgs.push_back(BitVec(8, 1));
+  EXPECT_THROW(service.applyUpdate(Update::insert("C.t", bad)),
+               std::invalid_argument);
+  EXPECT_TRUE(service.config().table("C.t").empty());
+  // Engine still fully functional afterwards.
+  auto v = service.applyUpdate(
+      Update::insert("C.t", ternary(1, 0xFF, "set_a", 1, 1)));
+  EXPECT_TRUE(v.needsRecompilation);
+}
+
+TEST_F(EngineTest, BatchEqualsSequentialSpecialization) {
+  // Property: the final specialized state after applyBatch(u1..uN) equals
+  // the state after applying u1..uN one at a time.
+  std::vector<Update> updates;
+  updates.push_back(Update::insert("C.t", ternary(0x10, 0xF0, "set_a", 1, 5)));
+  updates.push_back(Update::insert("C.t", ternary(0x20, 0xF0, "set_b", 2, 4)));
+  updates.push_back(Update::insert("C.t", ternary(0, 0, "drop_pkt", 0, 1)));
+  updates.push_back(Update::setDefault("C.t", "drop_pkt", {}));
+
+  FlayService batched(checked);
+  batched.applyBatch(updates);
+  FlayService sequential(checked);
+  for (const auto& u : updates) sequential.applyUpdate(u);
+
+  // Compare every specialized annotation by rendered form (the services
+  // own distinct arenas, so refs are not comparable directly).
+  const auto& pa = batched.analysis().annotations.points();
+  const auto& pb = sequential.analysis().annotations.points();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(expr::toString(batched.arena(), pa[i].specialized),
+              expr::toString(sequential.arena(), pb[i].specialized))
+        << pa[i].label;
+  }
+}
+
+TEST_F(EngineTest, ResolveSymbolReflectsBindings) {
+  FlayService service(checked);
+  const TableInfo& info = service.analysis().table("C.t");
+  // Empty table: hit bound to false.
+  EXPECT_TRUE(service.arena().isFalse(service.resolveSymbol(info.hitSymbol)));
+  // Param symbol bound to zero placeholder constant.
+  auto it = info.paramSymbols.find("set_a.v");
+  ASSERT_NE(it, info.paramSymbols.end());
+  EXPECT_TRUE(service.arena().isConst(service.resolveSymbol(it->second)));
+
+  // Over-approximated: symbols become free again.
+  FlayOptions options;
+  options.encoder.overapproxThreshold = 1;
+  FlayService approx(checked, options);
+  net::EntryFuzzer fuzzer(3);
+  auto entries = fuzzer.uniqueEntries(approx.config().table("C.t"), 3);
+  std::vector<Update> batch;
+  for (auto& e : entries) batch.push_back(Update::insert("C.t", e));
+  approx.applyBatch(batch);
+  const TableInfo& infoB = approx.analysis().table("C.t");
+  EXPECT_EQ(approx.resolveSymbol(infoB.hitSymbol), infoB.hitSymbol);
+}
+
+TEST_F(EngineTest, TaintAblationGivesSameVerdicts) {
+  FlayOptions noTaint;
+  noTaint.useTaintMap = false;
+  FlayService a(checked);
+  FlayService b(checked, noTaint);
+  for (const auto& u :
+       {Update::insert("C.t", ternary(0x10, 0xF0, "set_a", 1, 5)),
+        Update::insert("C.t", ternary(0x22, 0xFF, "set_a", 2, 4)),
+        Update::setDefault("C.t", "drop_pkt", {})}) {
+    auto va = a.applyUpdate(u);
+    auto vb = b.applyUpdate(u);
+    EXPECT_EQ(va.needsRecompilation, vb.needsRecompilation);
+    EXPECT_EQ(va.expressionsChanged, vb.expressionsChanged);
+  }
+}
+
+}  // namespace
+}  // namespace flay::flay

@@ -1,0 +1,154 @@
+#include "tofino/incremental.h"
+
+#include <gtest/gtest.h>
+
+#include "flay/specializer.h"
+#include "net/workloads.h"
+
+namespace flay::tofino {
+namespace {
+
+namespace core = ::flay::flay;
+
+p4::CheckedProgram loadScion() {
+  return p4::loadProgramFromFile(net::programPath("scion"));
+}
+
+CompilerOptions fastOptions() {
+  CompilerOptions o;
+  o.searchIterations = 50;
+  return o;
+}
+
+/// Validates that a placement respects every match dependency (writer
+/// strictly before reader) and per-stage resource limits.
+void expectValidPlacement(const p4::CheckedProgram& checked,
+                          const CompileResult& result,
+                          const PipelineModel& model) {
+  ASSERT_TRUE(result.fits) << result.error;
+  ProgramRequirements req = computeRequirements(checked, model);
+  std::map<std::string, uint32_t> stageOf;
+  for (size_t s = 0; s < result.stageAssignment.size(); ++s) {
+    for (const auto& name : result.stageAssignment[s]) {
+      stageOf[name] = static_cast<uint32_t>(s + 1);
+    }
+  }
+  ASSERT_EQ(stageOf.size(), req.units.size());
+  // Dependencies.
+  for (size_t j = 0; j < req.units.size(); ++j) {
+    for (size_t i = 0; i < j; ++i) {
+      const Unit& a = req.units[i];
+      const Unit& b = req.units[j];
+      bool matchDep = false;
+      for (const auto& w : a.writes) matchDep |= b.reads.count(w) != 0;
+      for (size_t gw : b.controlDeps) matchDep |= gw == i;
+      if (matchDep) {
+        EXPECT_LT(stageOf.at(a.name), stageOf.at(b.name))
+            << a.name << " must precede " << b.name;
+      }
+    }
+  }
+  // Resources.
+  std::vector<uint32_t> sram(result.stagesUsed + 1, 0);
+  std::vector<uint32_t> tcam(result.stagesUsed + 1, 0);
+  std::vector<uint32_t> alu(result.stagesUsed + 1, 0);
+  for (const Unit& u : req.units) {
+    uint32_t s = stageOf.at(u.name);
+    sram[s] += u.sramBlocks;
+    tcam[s] += u.tcamBlocks;
+    alu[s] += u.aluOps;
+  }
+  for (uint32_t s = 1; s <= result.stagesUsed; ++s) {
+    EXPECT_LE(sram[s], model.sramBlocksPerStage) << "stage " << s;
+    EXPECT_LE(tcam[s], model.tcamBlocksPerStage) << "stage " << s;
+    EXPECT_LE(alu[s], model.aluPerStage) << "stage " << s;
+  }
+}
+
+TEST(IncrementalCompile, NoChangeKeepsPlacement) {
+  auto checked = loadScion();
+  IncrementalPipelineCompiler compiler(PipelineModel{}, fastOptions());
+  CompileResult base = compiler.fullCompile(checked);
+  ASSERT_TRUE(base.fits);
+  CompileResult inc = compiler.incrementalCompile(checked, {});
+  ASSERT_TRUE(inc.fits);
+  EXPECT_EQ(inc.stagesUsed, base.stagesUsed);
+  EXPECT_EQ(compiler.lastReplacedUnits(), 0u);
+  EXPECT_FALSE(compiler.lastFellBackToFull());
+}
+
+TEST(IncrementalCompile, SingleComponentChangeIsLocal) {
+  auto checked = loadScion();
+  IncrementalPipelineCompiler compiler(PipelineModel{}, fastOptions());
+  ASSERT_TRUE(compiler.fullCompile(checked).fits);
+  CompileResult inc =
+      compiler.incrementalCompile(checked, {"ScionIngress.mac_verify"});
+  ASSERT_TRUE(inc.fits);
+  EXPECT_EQ(compiler.lastReplacedUnits(), 1u);
+  expectValidPlacement(checked, inc, PipelineModel{});
+}
+
+TEST(IncrementalCompile, RespecializedProgramReplacesNewUnits) {
+  auto checked = loadScion();
+  IncrementalPipelineCompiler compiler(PipelineModel{}, fastOptions());
+
+  // Baseline: IPv4-only specialized program (no v6 units).
+  core::FlayService service(checked);
+  for (const auto& u : net::scionCommonConfig()) service.applyUpdate(u);
+  for (const auto& u : net::scionV4Config(8)) service.applyUpdate(u);
+  auto v4 = core::Specializer(service).specialize();
+  p4::CheckedProgram v4Checked = core::recheck(std::move(v4.program));
+  CompileResult base = compiler.fullCompile(v4Checked);
+  ASSERT_TRUE(base.fits);
+
+  // Enable v6, respecialize: the v6 units come back and must be placed.
+  auto verdict = service.applyBatch(net::scionV6Config(4));
+  ASSERT_TRUE(verdict.needsRecompilation);
+  auto v6 = core::Specializer(service).specialize();
+  p4::CheckedProgram v6Checked = core::recheck(std::move(v6.program));
+  CompileResult inc =
+      compiler.incrementalCompile(v6Checked, verdict.changedComponents);
+  ASSERT_TRUE(inc.fits) << inc.error;
+  EXPECT_GE(compiler.lastReplacedUnits(), 15u);  // the v6 chain
+  expectValidPlacement(v6Checked, inc, PipelineModel{});
+  EXPECT_EQ(inc.stagesUsed, 20u);  // back at max, like the monolithic result
+}
+
+TEST(IncrementalCompile, PlacementStaysValidAcrossUpdateSequence) {
+  auto checked = loadScion();
+  IncrementalPipelineCompiler compiler(PipelineModel{}, fastOptions());
+  ASSERT_TRUE(compiler.fullCompile(checked).fits);
+  // A sequence of single-table changes; every intermediate placement must
+  // remain dependency- and resource-valid.
+  for (const char* component :
+       {"ScionIngress.v4_t05", "ScionIngress.path_accept",
+        "ScionIngress.v6_t10", "ScionIngress.iface_lookup"}) {
+    CompileResult inc = compiler.incrementalCompile(checked, {component});
+    expectValidPlacement(checked, inc, PipelineModel{});
+  }
+}
+
+TEST(IncrementalCompile, FirstCallWithoutBaselineFallsBack) {
+  auto checked = loadScion();
+  IncrementalPipelineCompiler compiler(PipelineModel{}, fastOptions());
+  CompileResult inc = compiler.incrementalCompile(checked, {"x"});
+  EXPECT_TRUE(inc.fits);
+  EXPECT_TRUE(compiler.lastFellBackToFull());
+}
+
+TEST(IncrementalCompile, IncrementalIsFasterThanMonolithic) {
+  auto checked = loadScion();
+  CompilerOptions heavy;
+  heavy.searchIterations = 1000;
+  IncrementalPipelineCompiler compiler(PipelineModel{}, heavy);
+  CompileResult base = compiler.fullCompile(checked);
+  ASSERT_TRUE(base.fits);
+  CompileResult inc =
+      compiler.incrementalCompile(checked, {"ScionIngress.v4_t03"});
+  ASSERT_TRUE(inc.fits);
+  EXPECT_LT(inc.compileTime.count(), base.compileTime.count() / 5)
+      << "re-placing one unit must be much cheaper than a full compile";
+}
+
+}  // namespace
+}  // namespace flay::tofino

@@ -1,0 +1,170 @@
+// Multi-control pipelines: parser -> ingress -> egress -> deparser, in the
+// interpreter, the symbolic executor, the specializer, and the resource
+// model.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "flay/specializer.h"
+#include "net/headers.h"
+#include "net/workloads.h"
+#include "sim/interpreter.h"
+#include "tofino/compiler.h"
+
+namespace flay {
+namespace {
+
+namespace core = ::flay::flay;
+
+const char* kTwoStageProgram = R"(
+header h_t { bit<8> a; bit<8> b; }
+struct headers { h_t h; }
+struct metadata { bit<8> mark; }
+parser P { state start { extract(hdr.h); transition accept; } }
+control IngressC {
+  action set_mark(bit<8> m) { meta.mark = m; }
+  table classify {
+    key = { hdr.h.a : exact; }
+    actions = { set_mark; noop; }
+    default_action = noop;
+  }
+  apply {
+    classify.apply();
+    sm.egress_spec = 2;
+  }
+}
+control EgressC {
+  action rewrite(bit<8> v) { hdr.h.b = v; }
+  action drop_pkt() { mark_to_drop(); }
+  table emark {
+    key = { meta.mark : exact; }
+    actions = { rewrite; drop_pkt; noop; }
+    default_action = noop;
+  }
+  apply { emark.apply(); }
+}
+deparser D { emit(hdr.h); }
+pipeline(P, IngressC, EgressC, D);
+)";
+
+runtime::TableEntry exact8(uint64_t key, const char* action,
+                           std::vector<BitVec> args) {
+  runtime::TableEntry e;
+  e.matches.push_back(runtime::FieldMatch::exact(BitVec(8, key)));
+  e.actionName = action;
+  e.actionArgs = std::move(args);
+  return e;
+}
+
+TEST(MultiControl, InterpreterChainsControls) {
+  auto checked = p4::loadProgramFromString(kTwoStageProgram);
+  runtime::DeviceConfig config(checked);
+  config.table("IngressC.classify")
+      .insert(exact8(7, "set_mark", {BitVec(8, 1)}));
+  config.table("EgressC.emark").insert(exact8(1, "rewrite", {BitVec(8, 0x99)}));
+  sim::DataPlaneState state(checked);
+  sim::Interpreter interp(checked, config, state);
+
+  sim::Packet hit{{7, 0}, 0};
+  sim::ExecResult r = interp.process(hit);
+  EXPECT_FALSE(r.dropped);
+  EXPECT_EQ(r.field("hdr.h.b").toUint64(), 0x99u);
+
+  sim::Packet miss{{8, 0}, 0};
+  EXPECT_EQ(interp.process(miss).field("hdr.h.b").toUint64(), 0u);
+}
+
+TEST(MultiControl, MetadataFlowsBetweenControlsInAnalysis) {
+  auto checked = p4::loadProgramFromString(kTwoStageProgram);
+  core::FlayService service(checked);
+  // emark keys on meta.mark, which classify's action writes: an update to
+  // classify must re-specialize emark's hit condition (the dependency
+  // closure of chained tables).
+  const core::TableInfo& emark = service.analysis().table("EgressC.emark");
+  service.applyUpdate(runtime::Update::insert(
+      "EgressC.emark", exact8(1, "rewrite", {BitVec(8, 0x99)})));
+  // With classify empty, meta.mark is constant 0: emark can never hit.
+  EXPECT_TRUE(
+      service.arena().isFalse(service.specialized(emark.hitPoint)));
+
+  auto verdict = service.applyUpdate(runtime::Update::insert(
+      "IngressC.classify", exact8(7, "set_mark", {BitVec(8, 1)})));
+  // The classify update flips emark's hit from constant-false to a packet
+  // condition: both the expression and the decision change downstream.
+  EXPECT_TRUE(verdict.expressionsChanged);
+  bool emarkChanged = false;
+  for (uint32_t id : verdict.changedPoints) {
+    emarkChanged |= id == emark.hitPoint;
+  }
+  EXPECT_TRUE(emarkChanged)
+      << "cross-control dependency closure must reach emark";
+  EXPECT_FALSE(
+      service.arena().isFalse(service.specialized(emark.hitPoint)));
+}
+
+TEST(MultiControl, SpecializerRemovesEmptyTablesInBothControls) {
+  auto checked = p4::loadProgramFromString(kTwoStageProgram);
+  core::FlayService service(checked);
+  auto result = core::Specializer(service).specialize();
+  EXPECT_EQ(result.stats.removedTables, 2u);
+  EXPECT_TRUE(result.program.controls[0].tables.empty());
+  EXPECT_TRUE(result.program.controls[1].tables.empty());
+}
+
+TEST(MultiControl, DifferentialAcrossControls) {
+  auto checked = p4::loadProgramFromString(kTwoStageProgram);
+  core::FlayService service(checked);
+  service.applyUpdate(runtime::Update::insert(
+      "IngressC.classify", exact8(7, "set_mark", {BitVec(8, 1)})));
+  service.applyUpdate(runtime::Update::insert(
+      "EgressC.emark", exact8(1, "drop_pkt", {})));
+
+  auto result = core::Specializer(service).specialize();
+  p4::CheckedProgram specialized = core::recheck(std::move(result.program));
+  runtime::DeviceConfig migrated =
+      core::migrateConfig(specialized, service.config());
+  sim::DataPlaneState s1(checked), s2(specialized);
+  sim::Interpreter orig(checked, service.config(), s1);
+  sim::Interpreter spec(specialized, migrated, s2);
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 200; ++i) {
+    sim::Packet p{{static_cast<uint8_t>(rng()), static_cast<uint8_t>(rng())},
+                  0};
+    sim::ExecResult a = orig.process(p);
+    sim::ExecResult b = spec.process(p);
+    ASSERT_EQ(a.dropped, b.dropped) << i;
+    if (!a.dropped) ASSERT_EQ(a.outputBytes, b.outputBytes) << i;
+  }
+}
+
+TEST(MultiControl, CrossControlDependencyForcesLaterStage) {
+  auto checked = p4::loadProgramFromString(kTwoStageProgram);
+  tofino::PipelineCompiler compiler;
+  tofino::CompileResult r = compiler.compile(checked);
+  ASSERT_TRUE(r.fits);
+  // emark reads meta.mark written by classify: strictly later stage.
+  uint32_t classifyStage = 0, emarkStage = 0;
+  for (size_t s = 0; s < r.stageAssignment.size(); ++s) {
+    for (const auto& name : r.stageAssignment[s]) {
+      if (name == "IngressC.classify") classifyStage = s + 1;
+      if (name == "EgressC.emark") emarkStage = s + 1;
+    }
+  }
+  EXPECT_GT(emarkStage, classifyStage);
+}
+
+TEST(MultiControl, SwitchProgramHasWorkingEgress) {
+  auto checked = p4::loadProgramFromFile(net::programPath("switch"));
+  ASSERT_EQ(checked.program.pipeline.controlNames.size(), 2u);
+  core::FlayService service(checked);
+  // Egress tables are configurable.
+  EXPECT_TRUE(service.config().hasTable("SwitchEgress.egress_acl"));
+  EXPECT_TRUE(service.config().hasTable("SwitchEgress.egress_vlan"));
+  // Both egress tables specialize away when empty.
+  auto result = core::Specializer(service).specialize();
+  EXPECT_TRUE(result.program.controls[1].tables.empty());
+}
+
+}  // namespace
+}  // namespace flay

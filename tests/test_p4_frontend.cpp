@@ -1,0 +1,402 @@
+#include <gtest/gtest.h>
+
+#include "p4/parser.h"
+#include "p4/typecheck.h"
+
+namespace flay::p4 {
+namespace {
+
+constexpr const char* kBasicProgram = R"(
+// A small L2/L3 pipeline exercising most of P4-lite.
+header eth_t { bit<48> dst; bit<48> src; bit<16> type; }
+header ipv4_t {
+  bit<4> version; bit<4> ihl; bit<8> tos; bit<16> len;
+  bit<16> id; bit<3> flags; bit<13> frag;
+  bit<8> ttl; bit<8> proto; bit<16> csum;
+  bit<32> src; bit<32> dst;
+}
+struct headers { eth_t eth; ipv4_t ipv4; }
+struct metadata { bit<16> hash; bool seen; }
+
+const bit<16> TYPE_IPV4 = 0x800;
+
+parser MyParser {
+  value_set<bit<16>>(4) tpids;
+  state start {
+    extract(hdr.eth);
+    transition select(hdr.eth.type) {
+      TYPE_IPV4: parse_ipv4;
+      0x86DD &&& 0xFFFF: accept;
+      tpids: accept;
+      default: accept;
+    }
+  }
+  state parse_ipv4 {
+    extract(hdr.ipv4);
+    transition accept;
+  }
+}
+
+control Ingress {
+  register<bit<32>>(1024) flow_bytes;
+  counter(256) port_pkts;
+  meter(64) rate_m;
+  action set_port(bit<9> port) { sm.egress_spec = port; }
+  action drop_pkt() { mark_to_drop(); }
+  action rewrite(bit<48> mac, bit<9> port) {
+    hdr.eth.src = mac;
+    sm.egress_spec = port;
+  }
+  table smac {
+    key = { hdr.eth.src : exact; }
+    actions = { noop; drop_pkt; }
+    default_action = noop;
+    size = 512;
+  }
+  table fwd {
+    key = { hdr.ipv4.dst : lpm; }
+    actions = { set_port; rewrite; drop_pkt; noop; }
+    default_action = drop_pkt;
+    size = 2048;
+  }
+  table acl {
+    key = { hdr.ipv4.src : ternary; hdr.ipv4.dst : ternary; hdr.ipv4.proto : ternary; }
+    actions = { drop_pkt; noop; }
+    default_action = noop;
+  }
+  apply {
+    smac.apply();
+    if (hdr.ipv4.isValid()) {
+      bit<32> tmp = 0;
+      flow_bytes.read(tmp, (bit<32>) hdr.ipv4.src);
+      tmp = tmp + (bit<32>) hdr.ipv4.len;
+      flow_bytes.write((bit<32>) hdr.ipv4.src, tmp);
+      fwd.apply();
+      acl.apply();
+      if (hdr.ipv4.ttl == 0) {
+        mark_to_drop();
+      } else {
+        hdr.ipv4.ttl = hdr.ipv4.ttl - 1;
+      }
+      bit<2> color = 0;
+      rate_m.execute(color, (bit<32>) hdr.ipv4.proto);
+      if (color == 2) { mark_to_drop(); }
+    }
+    port_pkts.count((bit<32>) sm.ingress_port);
+  }
+}
+
+deparser MyDeparser {
+  emit(hdr.eth);
+  emit(hdr.ipv4);
+}
+
+pipeline(MyParser, Ingress, MyDeparser);
+)";
+
+TEST(P4Frontend, ParsesAndChecksBasicProgram) {
+  CheckedProgram cp = loadProgramFromString(kBasicProgram);
+  const Program& prog = cp.program;
+  EXPECT_EQ(prog.headerTypes.size(), 2u);
+  EXPECT_EQ(prog.structTypes.size(), 2u);
+  EXPECT_EQ(prog.parsers.size(), 1u);
+  EXPECT_EQ(prog.controls.size(), 1u);
+  EXPECT_EQ(prog.deparsers.size(), 1u);
+  EXPECT_EQ(prog.pipeline.parserName, "MyParser");
+  EXPECT_EQ(prog.pipeline.controlNames,
+            std::vector<std::string>{"Ingress"});
+
+  const ControlDecl& ing = prog.controls[0];
+  EXPECT_EQ(ing.actions.size(), 3u);
+  EXPECT_EQ(ing.tables.size(), 3u);
+  EXPECT_EQ(ing.registers.size(), 1u);
+  EXPECT_EQ(ing.counters.size(), 1u);
+  EXPECT_EQ(ing.meters.size(), 1u);
+  EXPECT_GT(prog.statementCount(), 20u);
+}
+
+TEST(P4Frontend, TypeEnvFlattensFields) {
+  CheckedProgram cp = loadProgramFromString(kBasicProgram);
+  const TypeEnv& env = cp.env;
+
+  const FieldInfo* dst = env.findField("hdr.eth.dst");
+  ASSERT_NE(dst, nullptr);
+  EXPECT_EQ(dst->width, 48u);
+
+  const FieldInfo* valid = env.findField("hdr.ipv4.$valid");
+  ASSERT_NE(valid, nullptr);
+  EXPECT_TRUE(valid->isValidity);
+  EXPECT_TRUE(valid->isBool);
+
+  const FieldInfo* metaHash = env.findField("meta.hash");
+  ASSERT_NE(metaHash, nullptr);
+  EXPECT_EQ(metaHash->width, 16u);
+  const FieldInfo* metaSeen = env.findField("meta.seen");
+  ASSERT_NE(metaSeen, nullptr);
+  EXPECT_FALSE(metaSeen->isBool) << "struct bool fields are width-1 vectors";
+
+  const FieldInfo* egress = env.findField("sm.egress_spec");
+  ASSERT_NE(egress, nullptr);
+  EXPECT_EQ(egress->width, kPortWidth);
+
+  const HeaderInstance* ipv4 = env.findHeader("hdr.ipv4");
+  ASSERT_NE(ipv4, nullptr);
+  EXPECT_EQ(ipv4->typeName, "ipv4_t");
+  EXPECT_EQ(ipv4->fieldCanonicals.size(), 12u);
+
+  EXPECT_EQ(env.consts().at("TYPE_IPV4").toUint64(), 0x800u);
+}
+
+TEST(P4Frontend, LiteralWidthInference) {
+  CheckedProgram cp = loadProgramFromString(kBasicProgram);
+  // Select-case constant got the select expression's width.
+  const ParserDecl& parser = cp.program.parsers[0];
+  const ParserStateDecl* start = parser.findState("start");
+  ASSERT_NE(start, nullptr);
+  const Stmt& transition = *start->body.back();
+  ASSERT_EQ(transition.op, StmtOp::kTransition);
+  const SelectCase& c0 = transition.transition.cases[0];
+  EXPECT_EQ(c0.value->value.width(), 16u);
+  EXPECT_EQ(c0.value->value.toUint64(), 0x800u);
+  const SelectCase& vsCase = transition.transition.cases[2];
+  EXPECT_EQ(vsCase.kind, SelectCase::Kind::kValueSet);
+  EXPECT_EQ(vsCase.valueSet, "tpids");
+}
+
+TEST(P4Frontend, ExplicitWidthLiterals) {
+  CheckedProgram cp = loadProgramFromString(R"(
+header h_t { bit<8> f; }
+struct headers { h_t h; }
+parser P { state start { transition accept; } }
+control C {
+  apply {
+    bit<16> x = 16w0xABCD;
+    bit<9> y = 9w256;
+    x = x + 1;
+  }
+}
+deparser D { }
+pipeline(P, C, D);
+)");
+  EXPECT_EQ(cp.program.controls[0].applyBody.size(), 3u);
+}
+
+TEST(P4Frontend, RejectsLiteralOverflow) {
+  EXPECT_THROW(loadProgramFromString(R"(
+header h_t { bit<8> f; }
+struct headers { h_t h; }
+parser P { state start { transition accept; } }
+control C { apply { hdr.h.f = 256; } }
+deparser D { }
+pipeline(P, C, D);
+)"),
+               CompileError);
+}
+
+TEST(P4Frontend, RejectsUnknownField) {
+  EXPECT_THROW(loadProgramFromString(R"(
+header h_t { bit<8> f; }
+struct headers { h_t h; }
+parser P { state start { transition accept; } }
+control C { apply { hdr.h.nope = 1; } }
+deparser D { }
+pipeline(P, C, D);
+)"),
+               CompileError);
+}
+
+TEST(P4Frontend, RejectsWidthMismatch) {
+  EXPECT_THROW(loadProgramFromString(R"(
+header h_t { bit<8> f; bit<16> g; }
+struct headers { h_t h; }
+parser P { state start { transition accept; } }
+control C { apply { hdr.h.f = hdr.h.g; } }
+deparser D { }
+pipeline(P, C, D);
+)"),
+               CompileError);
+}
+
+TEST(P4Frontend, RejectsUnknownTableAction) {
+  EXPECT_THROW(loadProgramFromString(R"(
+header h_t { bit<8> f; }
+struct headers { h_t h; }
+parser P { state start { transition accept; } }
+control C {
+  table t { key = { hdr.h.f : exact; } actions = { ghost; } }
+  apply { t.apply(); }
+}
+deparser D { }
+pipeline(P, C, D);
+)"),
+               CompileError);
+}
+
+TEST(P4Frontend, RejectsDefaultActionNotInList) {
+  EXPECT_THROW(loadProgramFromString(R"(
+header h_t { bit<8> f; }
+struct headers { h_t h; }
+parser P { state start { transition accept; } }
+control C {
+  action a() { }
+  action b() { }
+  table t { key = { hdr.h.f : exact; } actions = { a; } default_action = b; }
+  apply { t.apply(); }
+}
+deparser D { }
+pipeline(P, C, D);
+)"),
+               CompileError);
+}
+
+TEST(P4Frontend, RejectsMissingStartState) {
+  EXPECT_THROW(loadProgramFromString(R"(
+header h_t { bit<8> f; }
+struct headers { h_t h; }
+parser P { state other { transition accept; } }
+control C { apply { } }
+deparser D { }
+pipeline(P, C, D);
+)"),
+               CompileError);
+}
+
+TEST(P4Frontend, RejectsMissingTransition) {
+  EXPECT_THROW(loadProgramFromString(R"(
+header h_t { bit<8> f; }
+struct headers { h_t h; }
+parser P { state start { extract(hdr.h); } }
+control C { apply { } }
+deparser D { }
+pipeline(P, C, D);
+)"),
+               CompileError);
+}
+
+TEST(P4Frontend, RejectsBadPipelineReference) {
+  EXPECT_THROW(loadProgramFromString(R"(
+header h_t { bit<8> f; }
+struct headers { h_t h; }
+parser P { state start { transition accept; } }
+control C { apply { } }
+deparser D { }
+pipeline(P, Ghost, D);
+)"),
+               CompileError);
+}
+
+TEST(P4Frontend, RejectsNonConstantShift) {
+  EXPECT_THROW(loadProgramFromString(R"(
+header h_t { bit<8> f; bit<8> g; }
+struct headers { h_t h; }
+parser P { state start { transition accept; } }
+control C { apply { hdr.h.f = hdr.h.f << hdr.h.g; } }
+deparser D { }
+pipeline(P, C, D);
+)"),
+               CompileError);
+}
+
+TEST(P4Frontend, SlicesAndConcat) {
+  CheckedProgram cp = loadProgramFromString(R"(
+header h_t { bit<16> f; bit<8> g; }
+struct headers { h_t h; }
+parser P { state start { transition accept; } }
+control C {
+  apply {
+    hdr.h.g = hdr.h.f[15:8];
+    hdr.h.f = hdr.h.g ++ hdr.h.g;
+    hdr.h.f[7:0] = 0xFF;
+  }
+}
+deparser D { }
+pipeline(P, C, D);
+)");
+  const auto& body = cp.program.controls[0].applyBody;
+  ASSERT_EQ(body.size(), 3u);
+  EXPECT_EQ(body[0]->rhs->width, 8u);
+  EXPECT_EQ(body[1]->rhs->width, 16u);
+  EXPECT_EQ(body[2]->lhs->op, ExprOp::kSlice);
+}
+
+TEST(P4Frontend, TernaryAndComparisons) {
+  CheckedProgram cp = loadProgramFromString(R"(
+header h_t { bit<8> f; bit<8> g; }
+struct headers { h_t h; }
+parser P { state start { transition accept; } }
+control C {
+  apply {
+    hdr.h.f = hdr.h.g > 10 ? 8w1 : 8w2;
+    bool both = hdr.h.f == 1 && hdr.h.g != 2;
+    if (both || hdr.h.f <= hdr.h.g) { hdr.h.f = 0; }
+  }
+}
+deparser D { }
+pipeline(P, C, D);
+)");
+  EXPECT_EQ(cp.program.controls[0].applyBody.size(), 3u);
+}
+
+TEST(P4Frontend, ParserRecoversAndReportsMultipleErrors) {
+  DiagnosticEngine diag;
+  parseString(R"(
+header h_t { bit<8> f; }
+struct headers { h_t h; }
+bogus toplevel;
+parser P { state start { transition accept; } }
+another bogus;
+)",
+              diag);
+  int errors = 0;
+  for (const auto& d : diag.diagnostics()) {
+    errors += d.severity == Severity::kError ? 1 : 0;
+  }
+  EXPECT_GE(errors, 2);
+}
+
+TEST(P4Frontend, CommentsAreSkipped) {
+  CheckedProgram cp = loadProgramFromString(R"(
+// line comment
+/* block
+   comment */
+header h_t { bit<8> f; /* inline */ }
+struct headers { h_t h; }
+parser P { state start { transition accept; } }
+control C { apply { } }
+deparser D { }
+pipeline(P, C, D); // trailing
+)");
+  EXPECT_EQ(cp.program.headerTypes[0].fields.size(), 1u);
+}
+
+TEST(P4Frontend, ActionProfileParsed) {
+  CheckedProgram cp = loadProgramFromString(R"(
+header h_t { bit<8> f; }
+struct headers { h_t h; }
+parser P { state start { transition accept; } }
+control C {
+  action_profile(16) prof;
+  action set(bit<8> v) { hdr.h.f = v; }
+  table t {
+    key = { hdr.h.f : exact; }
+    actions = { set; noop; }
+    implementation = prof;
+  }
+  apply { t.apply(); }
+}
+deparser D { }
+pipeline(P, C, D);
+)");
+  EXPECT_EQ(cp.program.controls[0].tables[0].actionProfile, "prof");
+  EXPECT_EQ(cp.program.controls[0].actionProfiles[0].size, 16u);
+}
+
+TEST(P4Frontend, HeaderTotalWidth) {
+  CheckedProgram cp = loadProgramFromString(kBasicProgram);
+  const HeaderTypeDecl* ipv4 = cp.program.findHeaderType("ipv4_t");
+  ASSERT_NE(ipv4, nullptr);
+  EXPECT_EQ(ipv4->totalWidth(), 160u);
+}
+
+}  // namespace
+}  // namespace flay::p4

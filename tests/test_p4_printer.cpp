@@ -1,0 +1,116 @@
+#include "p4/printer.h"
+
+#include <gtest/gtest.h>
+
+#include "net/workloads.h"
+#include "p4/clone.h"
+#include "p4/typecheck.h"
+
+namespace flay::p4 {
+namespace {
+
+/// Round trip: print -> reparse -> recheck must preserve program structure.
+void expectRoundTrips(const CheckedProgram& original) {
+  std::string source = printProgram(original.program);
+  CheckedProgram reparsed;
+  try {
+    reparsed = loadProgramFromString(source);
+  } catch (const CompileError& e) {
+    FAIL() << "printed program failed to re-check: " << e.what()
+           << "\n--- source ---\n"
+           << source;
+  }
+  EXPECT_EQ(reparsed.program.statementCount(),
+            original.program.statementCount());
+  EXPECT_EQ(reparsed.program.headerTypes.size(),
+            original.program.headerTypes.size());
+  EXPECT_EQ(reparsed.program.controls.size(),
+            original.program.controls.size());
+  for (size_t i = 0; i < original.program.controls.size(); ++i) {
+    EXPECT_EQ(reparsed.program.controls[i].tables.size(),
+              original.program.controls[i].tables.size());
+    EXPECT_EQ(reparsed.program.controls[i].actions.size(),
+              original.program.controls[i].actions.size());
+  }
+  EXPECT_EQ(reparsed.env.fields().size(), original.env.fields().size());
+  // Idempotence: printing the reparsed program gives identical text.
+  EXPECT_EQ(printProgram(reparsed.program), source);
+}
+
+class PrinterRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PrinterRoundTrip, SuiteProgramsRoundTrip) {
+  expectRoundTrips(loadProgramFromFile(net::programPath(GetParam())));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPrograms, PrinterRoundTrip,
+                         ::testing::Values("scion", "switch", "middleblock",
+                                           "dash", "beaucoup", "accturbo",
+                                           "dta"));
+
+TEST(Printer, ExprForms) {
+  CheckedProgram cp = loadProgramFromString(R"(
+header h_t { bit<16> a; bit<16> b; }
+struct headers { h_t h; }
+parser P { state start { extract(hdr.h); transition accept; } }
+control C {
+  apply {
+    hdr.h.a = (hdr.h.b + 16w3) * 16w2;
+    hdr.h.a = hdr.h.b[7:0] ++ hdr.h.b[15:8];
+    hdr.h.a = hdr.h.b > 5 ? 16w1 : 16w0;
+    hdr.h.a = (bit<16>) hdr.h.b[7:0];
+    hdr.h.b = ~hdr.h.a & 16w0xFF;
+    if (!(hdr.h.a == 1) && hdr.h.b != 2) { exit; }
+  }
+}
+deparser D { emit(hdr.h); }
+pipeline(P, C, D);
+)");
+  std::string source = printProgram(cp.program);
+  EXPECT_NE(source.find("[7:0]"), std::string::npos);
+  EXPECT_NE(source.find("++"), std::string::npos);
+  EXPECT_NE(source.find("(bit<16>)"), std::string::npos);
+  expectRoundTrips(cp);
+}
+
+TEST(Printer, SpecializedProgramsPrint) {
+  // The specializer's synthesized literals must print re-parseably.
+  CheckedProgram cp = loadProgramFromString(R"(
+header h_t { bit<8> a; }
+struct headers { h_t h; }
+parser P { state start { extract(hdr.h); transition accept; } }
+control C {
+  action set_a(bit<8> v) { hdr.h.a = v; }
+  table t {
+    key = { hdr.h.a : exact; }
+    actions = { set_a; noop; }
+    default_action = set_a(42);
+  }
+  apply { t.apply(); }
+}
+deparser D { emit(hdr.h); }
+pipeline(P, C, D);
+)");
+  expectRoundTrips(cp);
+}
+
+TEST(Clone, DeepCopyIsIndependent) {
+  CheckedProgram cp = loadProgramFromString(R"(
+header h_t { bit<8> a; }
+struct headers { h_t h; }
+parser P { state start { extract(hdr.h); transition accept; } }
+control C { apply { hdr.h.a = 1; } }
+deparser D { emit(hdr.h); }
+pipeline(P, C, D);
+)");
+  Program clone = cloneProgram(cp.program);
+  // Mutating the clone must not affect the original.
+  clone.controls[0].applyBody.clear();
+  EXPECT_EQ(cp.program.controls[0].applyBody.size(), 1u);
+  // And the clone prints identically before mutation.
+  Program clone2 = cloneProgram(cp.program);
+  EXPECT_EQ(printProgram(clone2), printProgram(cp.program));
+}
+
+}  // namespace
+}  // namespace flay::p4

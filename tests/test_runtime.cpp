@@ -1,0 +1,282 @@
+#include <gtest/gtest.h>
+
+#include "net/fuzzer.h"
+#include "p4/typecheck.h"
+#include "runtime/device_config.h"
+
+namespace flay::runtime {
+namespace {
+
+const char* kProgram = R"(
+header h_t { bit<8> a; bit<8> b; bit<32> ip; }
+struct headers { h_t h; }
+parser P { state start { extract(hdr.h); transition accept; } }
+control C {
+  action set_a(bit<8> v) { hdr.h.a = v; }
+  action drop_pkt() { mark_to_drop(); }
+  table exact_t {
+    key = { hdr.h.a : exact; }
+    actions = { set_a; drop_pkt; noop; }
+    default_action = noop;
+    size = 16;
+  }
+  table ternary_t {
+    key = { hdr.h.a : ternary; hdr.h.b : ternary; }
+    actions = { set_a; noop; }
+    default_action = noop;
+  }
+  table lpm_t {
+    key = { hdr.h.ip : lpm; }
+    actions = { set_a; noop; }
+    default_action = noop;
+  }
+  apply { exact_t.apply(); ternary_t.apply(); lpm_t.apply(); }
+}
+deparser D { emit(hdr.h); }
+pipeline(P, C, D);
+)";
+
+class RuntimeTest : public ::testing::Test {
+ protected:
+  RuntimeTest()
+      : checked(p4::loadProgramFromString(kProgram)), config(checked) {}
+  p4::CheckedProgram checked;
+  DeviceConfig config;
+
+  TableEntry exactEntry(uint64_t key, const std::string& action,
+                        std::vector<BitVec> args = {}) {
+    TableEntry e;
+    e.matches.push_back(FieldMatch::exact(BitVec(8, key)));
+    e.actionName = action;
+    e.actionArgs = std::move(args);
+    return e;
+  }
+};
+
+TEST_F(RuntimeTest, ConfigEnumeratesTables) {
+  EXPECT_TRUE(config.hasTable("C.exact_t"));
+  EXPECT_TRUE(config.hasTable("C.ternary_t"));
+  EXPECT_TRUE(config.hasTable("C.lpm_t"));
+  EXPECT_FALSE(config.hasTable("C.ghost"));
+  EXPECT_EQ(config.tables().size(), 3u);
+}
+
+TEST_F(RuntimeTest, InsertLookupRemove) {
+  TableState& t = config.table("C.exact_t");
+  uint64_t id = t.insert(exactEntry(7, "set_a", {BitVec(8, 99)}));
+  EXPECT_EQ(t.size(), 1u);
+  const TableEntry* hit = t.lookup({BitVec(8, 7)});
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->actionName, "set_a");
+  EXPECT_EQ(hit->actionArgs[0].toUint64(), 99u);
+  EXPECT_EQ(t.lookup({BitVec(8, 8)}), nullptr);
+  t.remove(id);
+  EXPECT_TRUE(t.empty());
+}
+
+TEST_F(RuntimeTest, RejectsSchemaViolations) {
+  TableState& t = config.table("C.exact_t");
+  // Wrong width.
+  TableEntry wrongWidth;
+  wrongWidth.matches.push_back(FieldMatch::exact(BitVec(16, 7)));
+  wrongWidth.actionName = "noop";
+  EXPECT_THROW(t.insert(wrongWidth), std::invalid_argument);
+  // Wrong match kind.
+  TableEntry wrongKind;
+  wrongKind.matches.push_back(
+      FieldMatch::ternary(BitVec(8, 7), BitVec(8, 0xFF)));
+  wrongKind.actionName = "noop";
+  EXPECT_THROW(t.insert(wrongKind), std::invalid_argument);
+  // Unknown action.
+  EXPECT_THROW(t.insert(exactEntry(1, "ghost")), std::invalid_argument);
+  // Wrong arity.
+  EXPECT_THROW(t.insert(exactEntry(1, "set_a")), std::invalid_argument);
+  // Priority on non-ternary table.
+  TableEntry prio = exactEntry(1, "noop");
+  prio.priority = 5;
+  EXPECT_THROW(t.insert(prio), std::invalid_argument);
+  // Duplicates.
+  t.insert(exactEntry(1, "noop"));
+  EXPECT_THROW(t.insert(exactEntry(1, "noop")), std::invalid_argument);
+}
+
+TEST_F(RuntimeTest, TableCapacityEnforced) {
+  TableState& t = config.table("C.exact_t");
+  for (uint64_t i = 0; i < 16; ++i) t.insert(exactEntry(i, "noop"));
+  EXPECT_THROW(t.insert(exactEntry(16, "noop")), std::invalid_argument);
+}
+
+TEST_F(RuntimeTest, TernaryPriorityWins) {
+  TableState& t = config.table("C.ternary_t");
+  TableEntry low;
+  low.matches.push_back(FieldMatch::ternary(BitVec(8, 0), BitVec(8, 0)));
+  low.matches.push_back(FieldMatch::ternary(BitVec(8, 0), BitVec(8, 0)));
+  low.actionName = "noop";
+  low.priority = 1;
+  t.insert(low);
+
+  TableEntry high;
+  high.matches.push_back(
+      FieldMatch::ternary(BitVec(8, 0xA0), BitVec(8, 0xF0)));
+  high.matches.push_back(FieldMatch::ternary(BitVec(8, 0), BitVec(8, 0)));
+  high.actionName = "set_a";
+  high.actionArgs.push_back(BitVec(8, 1));
+  high.priority = 10;
+  t.insert(high);
+
+  const TableEntry* hit = t.lookup({BitVec(8, 0xAB), BitVec(8, 3)});
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->actionName, "set_a");
+  // Key outside the high-priority region falls to the wildcard.
+  hit = t.lookup({BitVec(8, 0x10), BitVec(8, 3)});
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->actionName, "noop");
+}
+
+TEST_F(RuntimeTest, LongestPrefixWins) {
+  TableState& t = config.table("C.lpm_t");
+  TableEntry p8;
+  p8.matches.push_back(FieldMatch::lpm(BitVec(32, 0x0A000000), 8));
+  p8.actionName = "set_a";
+  p8.actionArgs.push_back(BitVec(8, 8));
+  t.insert(p8);
+  TableEntry p24;
+  p24.matches.push_back(FieldMatch::lpm(BitVec(32, 0x0A010200), 24));
+  p24.actionName = "set_a";
+  p24.actionArgs.push_back(BitVec(8, 24));
+  t.insert(p24);
+
+  const TableEntry* hit = t.lookup({BitVec(32, 0x0A010203)});
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->actionArgs[0].toUint64(), 24u);
+  hit = t.lookup({BitVec(32, 0x0AFF0001)});
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->actionArgs[0].toUint64(), 8u);
+  EXPECT_EQ(t.lookup({BitVec(32, 0x0B000000)}), nullptr);
+}
+
+TEST_F(RuntimeTest, NormalizedEntriesDropEclipsed) {
+  TableState& t = config.table("C.ternary_t");
+  // High-priority wildcard eclipses everything below.
+  TableEntry wildcard;
+  wildcard.matches.push_back(FieldMatch::ternary(BitVec(8, 0), BitVec(8, 0)));
+  wildcard.matches.push_back(FieldMatch::ternary(BitVec(8, 0), BitVec(8, 0)));
+  wildcard.actionName = "set_a";
+  wildcard.actionArgs.push_back(BitVec(8, 1));
+  wildcard.priority = 100;
+  t.insert(wildcard);
+
+  TableEntry eclipsed;
+  eclipsed.matches.push_back(
+      FieldMatch::ternary(BitVec(8, 5), BitVec(8, 0xFF)));
+  eclipsed.matches.push_back(
+      FieldMatch::ternary(BitVec(8, 6), BitVec(8, 0xFF)));
+  eclipsed.actionName = "noop";
+  eclipsed.priority = 1;
+  t.insert(eclipsed);
+
+  auto normalized = t.normalizedEntries();
+  ASSERT_EQ(normalized.size(), 1u);
+  EXPECT_EQ(normalized[0]->actionName, "set_a");
+  // reachableActions reflects only the visible entries + default.
+  auto actions = t.reachableActions();
+  EXPECT_EQ(actions.size(), 2u);  // set_a, noop(default)
+}
+
+TEST_F(RuntimeTest, EclipsedByNarrowerEntryIsKept) {
+  TableState& t = config.table("C.ternary_t");
+  TableEntry narrow;
+  narrow.matches.push_back(FieldMatch::ternary(BitVec(8, 5), BitVec(8, 0xFF)));
+  narrow.matches.push_back(FieldMatch::ternary(BitVec(8, 0), BitVec(8, 0)));
+  narrow.actionName = "noop";
+  narrow.priority = 100;
+  t.insert(narrow);
+  TableEntry wide;
+  wide.matches.push_back(FieldMatch::ternary(BitVec(8, 0), BitVec(8, 0)));
+  wide.matches.push_back(FieldMatch::ternary(BitVec(8, 0), BitVec(8, 0)));
+  wide.actionName = "set_a";
+  wide.actionArgs.push_back(BitVec(8, 1));
+  wide.priority = 1;
+  t.insert(wide);
+  // The wide entry is NOT eclipsed (it matches keys the narrow one doesn't).
+  EXPECT_EQ(t.normalizedEntries().size(), 2u);
+}
+
+TEST_F(RuntimeTest, DefaultActionOverride) {
+  TableState& t = config.table("C.exact_t");
+  EXPECT_EQ(t.defaultActionName(), "noop");
+  t.setDefaultAction("drop_pkt", {});
+  EXPECT_EQ(t.defaultActionName(), "drop_pkt");
+  EXPECT_THROW(t.setDefaultAction("ghost", {}), std::invalid_argument);
+  EXPECT_THROW(t.setDefaultAction("set_a", {}), std::invalid_argument);
+  t.setDefaultAction("set_a", {BitVec(8, 3)});
+  EXPECT_EQ(t.defaultActionArgs()[0].toUint64(), 3u);
+}
+
+TEST_F(RuntimeTest, UpdatesThroughDeviceConfig) {
+  Update ins = Update::insert("C.exact_t", exactEntry(5, "noop"));
+  EXPECT_EQ(config.apply(ins), "C.exact_t");
+  EXPECT_EQ(config.table("C.exact_t").size(), 1u);
+
+  uint64_t id = config.table("C.exact_t").entries()[0].id;
+  Update del = Update::remove("C.exact_t", id);
+  config.apply(del);
+  EXPECT_TRUE(config.table("C.exact_t").empty());
+
+  Update bad = Update::insert("C.ghost", exactEntry(5, "noop"));
+  EXPECT_THROW(config.apply(bad), std::invalid_argument);
+}
+
+TEST_F(RuntimeTest, FieldMatchCovers) {
+  auto exact5 = FieldMatch::exact(BitVec(8, 5));
+  auto wildcard = FieldMatch::ternary(BitVec(8, 0), BitVec(8, 0));
+  auto highNibble = FieldMatch::ternary(BitVec(8, 0x50), BitVec(8, 0xF0));
+  EXPECT_TRUE(wildcard.covers(exact5));
+  EXPECT_FALSE(exact5.covers(wildcard));
+  EXPECT_TRUE(wildcard.covers(highNibble));
+  EXPECT_TRUE(highNibble.covers(FieldMatch::exact(BitVec(8, 0x5A))));
+  EXPECT_FALSE(highNibble.covers(exact5));
+  EXPECT_TRUE(exact5.covers(exact5));
+}
+
+TEST_F(RuntimeTest, FuzzerGeneratesValidUniqueEntries) {
+  net::EntryFuzzer fuzzer(1234);
+  TableState& t = config.table("C.ternary_t");
+  auto entries = fuzzer.uniqueEntries(t, 200);
+  EXPECT_EQ(entries.size(), 200u);
+  size_t inserted = 0;
+  for (auto& e : entries) {
+    t.insert(std::move(e));
+    ++inserted;
+  }
+  EXPECT_EQ(t.size(), inserted);
+}
+
+TEST_F(RuntimeTest, FuzzerRespectsExclusions) {
+  net::EntryFuzzer fuzzer(99);
+  TableState& t = config.table("C.exact_t");
+  auto entries = fuzzer.uniqueEntries(t, 10, {"drop_pkt", "set_a"});
+  for (const auto& e : entries) EXPECT_EQ(e.actionName, "noop");
+}
+
+TEST_F(RuntimeTest, FuzzerRejectsTinyKeyspace) {
+  net::EntryFuzzer fuzzer(7);
+  TableState& t = config.table("C.exact_t");
+  EXPECT_THROW(fuzzer.uniqueEntries(t, 10000), std::invalid_argument);
+}
+
+TEST_F(RuntimeTest, ValueSetStateMatching) {
+  ValueSetState vs("test", 16, 4);
+  EXPECT_TRUE(vs.empty());
+  vs.insert(BitVec(16, 0x8100));
+  vs.insert(BitVec(16, 0x9000), BitVec(16, 0xF000));
+  EXPECT_TRUE(vs.matches(BitVec(16, 0x8100)));
+  EXPECT_FALSE(vs.matches(BitVec(16, 0x8101)));
+  EXPECT_TRUE(vs.matches(BitVec(16, 0x9ABC)));
+  EXPECT_THROW(vs.insert(BitVec(8, 1)), std::invalid_argument);
+  vs.remove(BitVec(16, 0x8100), BitVec::allOnes(16));
+  EXPECT_FALSE(vs.matches(BitVec(16, 0x8100)));
+}
+
+}  // namespace
+}  // namespace flay::runtime

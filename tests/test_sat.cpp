@@ -1,0 +1,212 @@
+#include "sat/solver.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+namespace flay::sat {
+namespace {
+
+Lit pos(uint32_t v) { return Lit::make(v, false); }
+Lit neg(uint32_t v) { return Lit::make(v, true); }
+
+TEST(SatSolver, EmptyInstanceIsSat) {
+  Solver s;
+  EXPECT_EQ(s.solve(), Result::kSat);
+}
+
+TEST(SatSolver, SingleUnit) {
+  Solver s;
+  uint32_t a = s.newVar();
+  s.addUnit(pos(a));
+  EXPECT_EQ(s.solve(), Result::kSat);
+  EXPECT_TRUE(s.modelValue(a));
+}
+
+TEST(SatSolver, ContradictoryUnitsAreUnsat) {
+  Solver s;
+  uint32_t a = s.newVar();
+  s.addUnit(pos(a));
+  EXPECT_FALSE(s.addUnit(neg(a)));
+  EXPECT_EQ(s.solve(), Result::kUnsat);
+}
+
+TEST(SatSolver, SimpleImplicationChain) {
+  Solver s;
+  uint32_t a = s.newVar(), b = s.newVar(), c = s.newVar();
+  s.addClause({neg(a), pos(b)});  // a -> b
+  s.addClause({neg(b), pos(c)});  // b -> c
+  s.addUnit(pos(a));
+  EXPECT_EQ(s.solve(), Result::kSat);
+  EXPECT_TRUE(s.modelValue(a));
+  EXPECT_TRUE(s.modelValue(b));
+  EXPECT_TRUE(s.modelValue(c));
+}
+
+TEST(SatSolver, PigeonHole3Into2IsUnsat) {
+  // 3 pigeons, 2 holes: x[p][h] = pigeon p in hole h.
+  Solver s;
+  uint32_t x[3][2];
+  for (auto& row : x) {
+    for (auto& v : row) v = s.newVar();
+  }
+  // Each pigeon in some hole.
+  for (int p = 0; p < 3; ++p) s.addClause({pos(x[p][0]), pos(x[p][1])});
+  // No two pigeons share a hole.
+  for (int h = 0; h < 2; ++h) {
+    for (int p1 = 0; p1 < 3; ++p1) {
+      for (int p2 = p1 + 1; p2 < 3; ++p2) {
+        s.addClause({neg(x[p1][h]), neg(x[p2][h])});
+      }
+    }
+  }
+  EXPECT_EQ(s.solve(), Result::kUnsat);
+}
+
+TEST(SatSolver, PigeonHole5Into4IsUnsat) {
+  constexpr int P = 5, H = 4;
+  Solver s;
+  uint32_t x[P][H];
+  for (auto& row : x) {
+    for (auto& v : row) v = s.newVar();
+  }
+  for (int p = 0; p < P; ++p) {
+    std::vector<Lit> c;
+    for (int h = 0; h < H; ++h) c.push_back(pos(x[p][h]));
+    s.addClause(c);
+  }
+  for (int h = 0; h < H; ++h) {
+    for (int p1 = 0; p1 < P; ++p1) {
+      for (int p2 = p1 + 1; p2 < P; ++p2) {
+        s.addClause({neg(x[p1][h]), neg(x[p2][h])});
+      }
+    }
+  }
+  EXPECT_EQ(s.solve(), Result::kUnsat);
+  EXPECT_GT(s.numConflicts(), 0u);
+}
+
+TEST(SatSolver, XorChainSat) {
+  // x0 ^ x1 = 1, x1 ^ x2 = 1, ..., parity constraints encoded as CNF.
+  Solver s;
+  constexpr int N = 20;
+  std::vector<uint32_t> v;
+  for (int i = 0; i < N; ++i) v.push_back(s.newVar());
+  for (int i = 0; i + 1 < N; ++i) {
+    // xi ^ xi+1 = 1  <=>  (xi | xi+1) & (~xi | ~xi+1)
+    s.addClause({pos(v[i]), pos(v[i + 1])});
+    s.addClause({neg(v[i]), neg(v[i + 1])});
+  }
+  s.addUnit(pos(v[0]));
+  EXPECT_EQ(s.solve(), Result::kSat);
+  for (int i = 0; i < N; ++i) EXPECT_EQ(s.modelValue(v[i]), i % 2 == 0);
+}
+
+TEST(SatSolver, TautologyAndDuplicateLiteralsHandled) {
+  Solver s;
+  uint32_t a = s.newVar(), b = s.newVar();
+  s.addClause({pos(a), neg(a)});          // tautology: ignored
+  s.addClause({pos(b), pos(b), pos(b)});  // dedupes to unit
+  EXPECT_EQ(s.solve(), Result::kSat);
+  EXPECT_TRUE(s.modelValue(b));
+}
+
+TEST(SatSolver, AssumptionsSatAndUnsat) {
+  Solver s;
+  uint32_t a = s.newVar(), b = s.newVar();
+  s.addClause({neg(a), pos(b)});  // a -> b
+  std::vector<Lit> assume1 = {pos(a)};
+  EXPECT_EQ(s.solve(assume1), Result::kSat);
+  EXPECT_TRUE(s.modelValue(b));
+  // Assuming a and !b contradicts a -> b.
+  std::vector<Lit> assume2 = {pos(a), neg(b)};
+  EXPECT_EQ(s.solve(assume2), Result::kUnsat);
+  // Solver remains usable afterwards.
+  EXPECT_EQ(s.solve(), Result::kSat);
+}
+
+TEST(SatSolver, IncrementalClauseAddition) {
+  Solver s;
+  uint32_t a = s.newVar(), b = s.newVar();
+  s.addClause({pos(a), pos(b)});
+  EXPECT_EQ(s.solve(), Result::kSat);
+  s.addUnit(neg(a));
+  EXPECT_EQ(s.solve(), Result::kSat);
+  EXPECT_TRUE(s.modelValue(b));
+  s.addUnit(neg(b));
+  EXPECT_EQ(s.solve(), Result::kUnsat);
+}
+
+// Reference DPLL-free checker: verify a model satisfies all clauses.
+bool satisfies(const std::vector<std::vector<Lit>>& clauses, const Solver& s) {
+  for (const auto& c : clauses) {
+    bool ok = false;
+    for (Lit l : c) {
+      bool val = s.modelValue(l.var());
+      if (l.negated()) val = !val;
+      if (val) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) return false;
+  }
+  return true;
+}
+
+// Brute-force satisfiability for <= 20 vars.
+bool bruteForceSat(uint32_t numVars, const std::vector<std::vector<Lit>>& cs) {
+  for (uint64_t m = 0; m < (1ull << numVars); ++m) {
+    bool ok = true;
+    for (const auto& c : cs) {
+      bool clauseOk = false;
+      for (Lit l : c) {
+        bool val = (m >> l.var()) & 1;
+        if (l.negated()) val = !val;
+        if (val) {
+          clauseOk = true;
+          break;
+        }
+      }
+      if (!clauseOk) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return true;
+  }
+  return false;
+}
+
+// Property test: random 3-SAT near the phase transition, cross-checked
+// against brute force. Seeds parameterize instance generation.
+class Random3SatTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(Random3SatTest, AgreesWithBruteForce) {
+  std::mt19937_64 rng(GetParam() * 7919);
+  constexpr uint32_t kVars = 12;
+  const uint32_t kClauses = 12 * 4;  // ratio ~4.0: mixed sat/unsat
+  Solver s;
+  for (uint32_t i = 0; i < kVars; ++i) s.newVar();
+  std::vector<std::vector<Lit>> clauses;
+  for (uint32_t i = 0; i < kClauses; ++i) {
+    std::vector<Lit> c;
+    for (int k = 0; k < 3; ++k) {
+      c.push_back(Lit::make(rng() % kVars, rng() % 2 == 0));
+    }
+    clauses.push_back(c);
+    s.addClause(c);
+  }
+  bool expected = bruteForceSat(kVars, clauses);
+  Result got = s.solve();
+  EXPECT_EQ(got == Result::kSat, expected);
+  if (got == Result::kSat) {
+    EXPECT_TRUE(satisfies(clauses, s));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Random3SatTest, ::testing::Range(1, 31));
+
+}  // namespace
+}  // namespace flay::sat

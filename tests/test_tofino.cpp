@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "p4/typecheck.h"
+#include "tofino/compiler.h"
+
+namespace flay::tofino {
+namespace {
+
+p4::CheckedProgram chainProgram(int chainLength) {
+  // N tables where table i matches on what table i-1 wrote: the critical
+  // path must equal N.
+  std::string src = R"(
+header h_t { bit<8> a; }
+struct headers { h_t h; }
+struct metadata { bit<16> link; }
+parser P { state start { extract(hdr.h); transition accept; } }
+control C {
+  action hop(bit<16> v) { meta.link = v; }
+)";
+  for (int i = 0; i < chainLength; ++i) {
+    src += "  table t" + std::to_string(i) + " { key = { meta.link : exact; } "
+           "actions = { hop; noop; } default_action = noop; size = 16; }\n";
+  }
+  src += "  apply {\n";
+  for (int i = 0; i < chainLength; ++i) {
+    src += "    t" + std::to_string(i) + ".apply();\n";
+  }
+  src += "  }\n}\ndeparser D { emit(hdr.h); }\npipeline(P, C, D);\n";
+  return p4::loadProgramFromString(src);
+}
+
+TEST(TofinoCompiler, ChainLengthSetsStageCount) {
+  for (int n : {1, 4, 10, 20}) {
+    auto checked = chainProgram(n);
+    PipelineCompiler compiler;
+    CompileResult r = compiler.compile(checked);
+    ASSERT_TRUE(r.fits) << r.error;
+    EXPECT_EQ(r.stagesUsed, static_cast<uint32_t>(n)) << "chain " << n;
+  }
+}
+
+TEST(TofinoCompiler, TooLongChainFailsToFit) {
+  auto checked = chainProgram(21);  // model has 20 stages
+  PipelineCompiler compiler;
+  CompileResult r = compiler.compile(checked);
+  EXPECT_FALSE(r.fits);
+  EXPECT_NE(r.error.find("placement failed"), std::string::npos);
+}
+
+p4::CheckedProgram independentTablesProgram(int count, int entries) {
+  // Independent tables with no mutual dependencies: stage count is driven
+  // purely by per-stage resource limits.
+  std::string src = R"(
+header h_t { bit<32> a; bit<32> b; }
+struct headers { h_t h; }
+struct metadata {
+)";
+  for (int i = 0; i < count; ++i) {
+    src += "  bit<16> m" + std::to_string(i) + ";\n";
+  }
+  src += R"(}
+parser P { state start { extract(hdr.h); transition accept; } }
+control C {
+)";
+  for (int i = 0; i < count; ++i) {
+    std::string n = std::to_string(i);
+    src += "  action a" + n + "(bit<16> v) { meta.m" + n + " = v; }\n";
+    src += "  table t" + n + " { key = { hdr.h.a : ternary; } actions = { a" +
+           n + "; noop; } default_action = noop; size = " +
+           std::to_string(entries) + "; }\n";
+  }
+  src += "  apply {\n";
+  for (int i = 0; i < count; ++i) {
+    src += "    t" + std::to_string(i) + ".apply();\n";
+  }
+  src += "  }\n}\ndeparser D { emit(hdr.h); }\npipeline(P, C, D);\n";
+  return p4::loadProgramFromString(src);
+}
+
+TEST(TofinoCompiler, ResourcePressureSpillsAcrossStages) {
+  // Each ternary table needs 8 TCAM blocks (32b key, 4096 entries);
+  // 48 per stage => 6 tables per stage. 18 tables => >= 3 stages.
+  auto checked = independentTablesProgram(18, 4096);
+  PipelineCompiler compiler;
+  CompileResult r = compiler.compile(checked);
+  ASSERT_TRUE(r.fits) << r.error;
+  EXPECT_GE(r.stagesUsed, 3u);
+  EXPECT_GT(r.tcamBlocksUsed, 48u);
+}
+
+TEST(TofinoCompiler, PhvOverflowIsReported) {
+  std::string src = R"(
+header big_t {
+)";
+  // 40 fields x 128b = 5120 bits > 4096 PHV budget.
+  for (int i = 0; i < 40; ++i) {
+    src += "  bit<128> f" + std::to_string(i) + ";\n";
+  }
+  src += R"(}
+struct headers { big_t big; }
+parser P { state start { extract(hdr.big); transition accept; } }
+control C { apply { sm.egress_spec = (bit<9>) hdr.big.f0; } }
+deparser D { emit(hdr.big); }
+pipeline(P, C, D);
+)";
+  auto checked = p4::loadProgramFromString(src);
+  PipelineCompiler compiler;
+  CompileResult r = compiler.compile(checked);
+  EXPECT_FALSE(r.fits);
+  EXPECT_NE(r.error.find("PHV"), std::string::npos);
+}
+
+TEST(TofinoCompiler, GatewayAddsDependencyLevel) {
+  auto checked = p4::loadProgramFromString(R"(
+header h_t { bit<8> a; }
+struct headers { h_t h; }
+struct metadata { bit<16> link; }
+parser P { state start { extract(hdr.h); transition accept; } }
+control C {
+  action hop(bit<16> v) { meta.link = v; }
+  table t0 { key = { meta.link : exact; } actions = { hop; noop; } default_action = noop; }
+  apply {
+    if (hdr.h.a == 1) {
+      t0.apply();
+    }
+  }
+}
+deparser D { emit(hdr.h); }
+pipeline(P, C, D);
+)");
+  PipelineCompiler compiler;
+  CompileResult r = compiler.compile(checked);
+  ASSERT_TRUE(r.fits);
+  // Gateway in stage 1, table strictly after it.
+  EXPECT_EQ(r.stagesUsed, 2u);
+}
+
+TEST(TofinoCompiler, CompileTimeScalesWithProgramSize) {
+  auto small = chainProgram(2);
+  auto large = independentTablesProgram(40, 1024);
+  CompilerOptions opts;
+  opts.searchIterations = 100;
+  PipelineCompiler compiler(PipelineModel{}, opts);
+  auto rSmall = compiler.compile(small);
+  auto rLarge = compiler.compile(large);
+  ASSERT_TRUE(rSmall.fits);
+  ASSERT_TRUE(rLarge.fits);
+  EXPECT_GT(rLarge.compileTime.count(), rSmall.compileTime.count());
+}
+
+TEST(TofinoCompiler, DeterministicForFixedSeed) {
+  auto checked = independentTablesProgram(12, 2048);
+  PipelineCompiler a;
+  PipelineCompiler b;
+  auto ra = a.compile(checked);
+  auto rb = b.compile(checked);
+  EXPECT_EQ(ra.stagesUsed, rb.stagesUsed);
+  EXPECT_EQ(ra.stageAssignment, rb.stageAssignment);
+}
+
+TEST(TofinoRequirements, ExtractsTableDemand) {
+  auto checked = p4::loadProgramFromString(R"(
+header h_t { bit<32> a; bit<16> b; }
+struct headers { h_t h; }
+parser P { state start { extract(hdr.h); transition accept; } }
+control C {
+  action set_b(bit<16> v) { hdr.h.b = v; }
+  table exact_t { key = { hdr.h.a : exact; } actions = { set_b; noop; } default_action = noop; size = 1024; }
+  table tern_t { key = { hdr.h.a : ternary; hdr.h.b : ternary; } actions = { set_b; noop; } default_action = noop; size = 512; }
+  apply { exact_t.apply(); tern_t.apply(); }
+}
+deparser D { emit(hdr.h); }
+pipeline(P, C, D);
+)");
+  ProgramRequirements req = computeRequirements(checked, PipelineModel{});
+  ASSERT_EQ(req.units.size(), 2u);
+  const Unit& exact = req.units[0];
+  EXPECT_FALSE(exact.needsTcam);
+  EXPECT_EQ(exact.keyBits, 32u);
+  EXPECT_GT(exact.sramBlocks, 0u);
+  EXPECT_EQ(exact.tcamBlocks, 0u);
+  EXPECT_TRUE(exact.reads.count("hdr.h.a") == 1);
+  EXPECT_TRUE(exact.writes.count("hdr.h.b") == 1);
+  const Unit& tern = req.units[1];
+  EXPECT_TRUE(tern.needsTcam);
+  EXPECT_EQ(tern.keyBits, 48u);
+  EXPECT_GE(tern.tcamBlocks, 2u);  // 48b key = 2 blocks wide
+  // PHV covers both fields + validity.
+  EXPECT_EQ(req.phvBits, 32u + 16u + 1u);
+}
+
+}  // namespace
+}  // namespace flay::tofino

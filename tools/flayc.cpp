@@ -1,0 +1,184 @@
+// flayc — command-line driver for the Flay toolchain.
+//
+//   flayc check      <prog.p4l>    parse + type-check, print stats
+//   flayc print      <prog.p4l>    normalized P4-lite source to stdout
+//   flayc analyze    <prog.p4l>    data-plane analysis summary
+//   flayc compile    <prog.p4l>    RMT placement report (stage map)
+//   flayc specialize <prog.p4l>    specialize against the empty config and
+//                                  print the specialized source
+//
+// Options:
+//   --skip-parser       analyze without symbolic parser execution
+//   --iterations N      placement search budget (default 400)
+//   --config NAME       canned config: scion-v4 | scion-v4v6 (scion.p4l)
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "flay/specializer.h"
+#include "net/workloads.h"
+#include "p4/printer.h"
+#include "tofino/compiler.h"
+
+namespace p4 = flay::p4;
+namespace net = flay::net;
+namespace tofino = flay::tofino;
+namespace core = flay::flay;
+
+namespace {
+
+struct Options {
+  std::string command;
+  std::string file;
+  bool skipParser = false;
+  uint32_t iterations = 400;
+  std::string config;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: flayc <check|print|analyze|compile|specialize> "
+               "<prog.p4l> [--skip-parser] [--iterations N] [--config NAME]\n");
+  return 2;
+}
+
+void applyCannedConfig(core::FlayService& service, const std::string& name) {
+  if (name == "scion-v4" || name == "scion-v4v6") {
+    for (const auto& u : net::scionCommonConfig()) service.applyUpdate(u);
+    for (const auto& u : net::scionV4Config(16)) service.applyUpdate(u);
+    if (name == "scion-v4v6") {
+      service.applyBatch(net::scionV6Config(8));
+    }
+    return;
+  }
+  if (!name.empty()) {
+    std::fprintf(stderr, "unknown --config '%s' (try scion-v4)\n",
+                 name.c_str());
+  }
+}
+
+int cmdCheck(const p4::CheckedProgram& checked) {
+  const p4::Program& prog = checked.program;
+  std::printf("ok: %zu statements, %zu headers, %zu parsers, %zu controls\n",
+              prog.statementCount(), prog.headerTypes.size(),
+              prog.parsers.size(), prog.controls.size());
+  size_t tables = 0, actions = 0;
+  for (const auto& c : prog.controls) {
+    tables += c.tables.size();
+    actions += c.actions.size();
+  }
+  std::printf("    %zu tables, %zu actions, %zu scalar locations\n", tables,
+              actions, checked.env.fields().size());
+  return 0;
+}
+
+int cmdAnalyze(const p4::CheckedProgram& checked, const Options& opts) {
+  core::FlayOptions foptions;
+  foptions.analysis.analyzeParser = !opts.skipParser;
+  core::FlayService service(checked, foptions);
+  applyCannedConfig(service, opts.config);
+  const auto& analysis = service.analysis();
+  std::printf("data-plane analysis: %.2f ms (+%.2f ms preprocessing)\n",
+              service.dataPlaneAnalysisTime().count() / 1000.0,
+              service.preprocessTime().count() / 1000.0);
+  std::printf("program points: %zu\n", analysis.annotations.points().size());
+  std::printf("tables: %zu, value-set uses: %zu\n", analysis.tables.size(),
+              analysis.valueSetUses.size());
+  std::printf("taint map:\n");
+  for (const auto& [object, points] : analysis.annotations.taintMap()) {
+    std::printf("  %-40s -> %zu points\n", object.c_str(), points.size());
+  }
+  return 0;
+}
+
+int cmdCompile(const p4::CheckedProgram& checked, const Options& opts) {
+  tofino::CompilerOptions copts;
+  copts.searchIterations = opts.iterations;
+  tofino::PipelineCompiler compiler(tofino::PipelineModel{}, copts);
+  tofino::CompileResult r = compiler.compile(checked);
+  if (!r.fits) {
+    std::printf("compile FAILED: %s\n", r.error.c_str());
+    return 1;
+  }
+  std::printf("fits: %u stages, tcam=%u sram=%u alu=%u phv=%u (%.1f ms)\n",
+              r.stagesUsed, r.tcamBlocksUsed, r.sramBlocksUsed, r.aluOpsUsed,
+              r.phvBitsUsed, r.compileTime.count() / 1000.0);
+  for (size_t s = 0; s < r.stageAssignment.size(); ++s) {
+    std::printf("  stage %2zu:", s + 1);
+    for (const auto& name : r.stageAssignment[s]) {
+      std::printf(" %s", name.c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int cmdSpecialize(const p4::CheckedProgram& checked, const Options& opts) {
+  core::FlayOptions foptions;
+  foptions.analysis.analyzeParser = !opts.skipParser;
+  core::FlayService service(checked, foptions);
+  applyCannedConfig(service, opts.config);
+  auto result = core::Specializer(service).specialize();
+  std::fprintf(stderr,
+               "// specialization: %zu tables removed, %zu inlined, "
+               "%zu actions removed, %zu keys tightened,\n"
+               "// %zu branches eliminated, %zu constants propagated, "
+               "%zu select cases removed\n",
+               result.stats.removedTables, result.stats.inlinedTables,
+               result.stats.removedActions, result.stats.convertedKeys,
+               result.stats.eliminatedBranches,
+               result.stats.propagatedConstants,
+               result.stats.removedSelectCases);
+  for (const auto& h : result.stats.prunableHeaders) {
+    std::fprintf(stderr, "// parser-tail pruning candidate: %s\n", h.c_str());
+  }
+  for (const auto& h : result.stats.deadHeaders) {
+    std::fprintf(stderr, "// dead header (PHV/checksum reclaimable): %s\n",
+                 h.c_str());
+  }
+  std::printf("%s", p4::printProgram(result.program).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--skip-parser") {
+      opts.skipParser = true;
+    } else if (arg == "--iterations" && i + 1 < argc) {
+      opts.iterations = static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--config" && i + 1 < argc) {
+      opts.config = argv[++i];
+    } else if (opts.command.empty()) {
+      opts.command = arg;
+    } else if (opts.file.empty()) {
+      opts.file = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (opts.command.empty() || opts.file.empty()) return usage();
+
+  try {
+    p4::CheckedProgram checked = p4::loadProgramFromFile(opts.file);
+    if (opts.command == "check") return cmdCheck(checked);
+    if (opts.command == "print") {
+      std::printf("%s", p4::printProgram(checked.program).c_str());
+      return 0;
+    }
+    if (opts.command == "analyze") return cmdAnalyze(checked, opts);
+    if (opts.command == "compile") return cmdCompile(checked, opts);
+    if (opts.command == "specialize") return cmdSpecialize(checked, opts);
+    return usage();
+  } catch (const flay::CompileError& e) {
+    std::fprintf(stderr, "error:\n%s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
