@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_incremental_compile.dir/bench_ablation_incremental_compile.cpp.o"
+  "CMakeFiles/bench_ablation_incremental_compile.dir/bench_ablation_incremental_compile.cpp.o.d"
+  "bench_ablation_incremental_compile"
+  "bench_ablation_incremental_compile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_incremental_compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

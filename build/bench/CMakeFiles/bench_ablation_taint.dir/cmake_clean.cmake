@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_taint.dir/bench_ablation_taint.cpp.o"
+  "CMakeFiles/bench_ablation_taint.dir/bench_ablation_taint.cpp.o.d"
+  "bench_ablation_taint"
+  "bench_ablation_taint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_taint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

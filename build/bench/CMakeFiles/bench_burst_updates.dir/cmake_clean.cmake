@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_burst_updates.dir/bench_burst_updates.cpp.o"
+  "CMakeFiles/bench_burst_updates.dir/bench_burst_updates.cpp.o.d"
+  "bench_burst_updates"
+  "bench_burst_updates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_burst_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

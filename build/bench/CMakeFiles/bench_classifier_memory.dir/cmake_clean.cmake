@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_classifier_memory.dir/bench_classifier_memory.cpp.o"
+  "CMakeFiles/bench_classifier_memory.dir/bench_classifier_memory.cpp.o.d"
+  "bench_classifier_memory"
+  "bench_classifier_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_classifier_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

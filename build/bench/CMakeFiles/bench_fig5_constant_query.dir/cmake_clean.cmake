@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_constant_query.dir/bench_fig5_constant_query.cpp.o"
+  "CMakeFiles/bench_fig5_constant_query.dir/bench_fig5_constant_query.cpp.o.d"
+  "bench_fig5_constant_query"
+  "bench_fig5_constant_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_constant_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

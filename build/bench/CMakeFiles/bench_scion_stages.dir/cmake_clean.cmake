@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scion_stages.dir/bench_scion_stages.cpp.o"
+  "CMakeFiles/bench_scion_stages.dir/bench_scion_stages.cpp.o.d"
+  "bench_scion_stages"
+  "bench_scion_stages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scion_stages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table1_compile_times.cpp" "bench/CMakeFiles/bench_table1_compile_times.dir/bench_table1_compile_times.cpp.o" "gcc" "bench/CMakeFiles/bench_table1_compile_times.dir/bench_table1_compile_times.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/flay/CMakeFiles/flay_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/flay_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tofino/CMakeFiles/flay_tofino.dir/DependInfo.cmake"
+  "/root/repo/build/src/classifier/CMakeFiles/flay_classifier.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/flay_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/flay_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/flay_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/flay_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/flay_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/p4/CMakeFiles/flay_p4.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/flay_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acl_burst.dir/acl_burst.cpp.o"
+  "CMakeFiles/acl_burst.dir/acl_burst.cpp.o.d"
+  "acl_burst"
+  "acl_burst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acl_burst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classifier_tuning.dir/classifier_tuning.cpp.o"
+  "CMakeFiles/classifier_tuning.dir/classifier_tuning.cpp.o.d"
+  "classifier_tuning"
+  "classifier_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classifier_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

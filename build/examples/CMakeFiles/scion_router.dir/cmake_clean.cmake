@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scion_router.dir/scion_router.cpp.o"
+  "CMakeFiles/scion_router.dir/scion_router.cpp.o.d"
+  "scion_router"
+  "scion_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scion_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("expr")
+subdirs("sat")
+subdirs("smt")
+subdirs("p4")
+subdirs("runtime")
+subdirs("sim")
+subdirs("tofino")
+subdirs("classifier")
+subdirs("net")
+subdirs("flay")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flay_classifier.dir/classifier.cpp.o"
+  "CMakeFiles/flay_classifier.dir/classifier.cpp.o.d"
+  "libflay_classifier.a"
+  "libflay_classifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flay_classifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/expr/analysis.cpp" "src/expr/CMakeFiles/flay_expr.dir/analysis.cpp.o" "gcc" "src/expr/CMakeFiles/flay_expr.dir/analysis.cpp.o.d"
+  "/root/repo/src/expr/arena.cpp" "src/expr/CMakeFiles/flay_expr.dir/arena.cpp.o" "gcc" "src/expr/CMakeFiles/flay_expr.dir/arena.cpp.o.d"
+  "/root/repo/src/expr/eval.cpp" "src/expr/CMakeFiles/flay_expr.dir/eval.cpp.o" "gcc" "src/expr/CMakeFiles/flay_expr.dir/eval.cpp.o.d"
+  "/root/repo/src/expr/printer.cpp" "src/expr/CMakeFiles/flay_expr.dir/printer.cpp.o" "gcc" "src/expr/CMakeFiles/flay_expr.dir/printer.cpp.o.d"
+  "/root/repo/src/expr/substitute.cpp" "src/expr/CMakeFiles/flay_expr.dir/substitute.cpp.o" "gcc" "src/expr/CMakeFiles/flay_expr.dir/substitute.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/flay_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flay_expr.dir/analysis.cpp.o"
+  "CMakeFiles/flay_expr.dir/analysis.cpp.o.d"
+  "CMakeFiles/flay_expr.dir/arena.cpp.o"
+  "CMakeFiles/flay_expr.dir/arena.cpp.o.d"
+  "CMakeFiles/flay_expr.dir/eval.cpp.o"
+  "CMakeFiles/flay_expr.dir/eval.cpp.o.d"
+  "CMakeFiles/flay_expr.dir/printer.cpp.o"
+  "CMakeFiles/flay_expr.dir/printer.cpp.o.d"
+  "CMakeFiles/flay_expr.dir/substitute.cpp.o"
+  "CMakeFiles/flay_expr.dir/substitute.cpp.o.d"
+  "libflay_expr.a"
+  "libflay_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flay_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

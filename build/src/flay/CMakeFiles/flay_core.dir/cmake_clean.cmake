@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flay_core.dir/encoder.cpp.o"
+  "CMakeFiles/flay_core.dir/encoder.cpp.o.d"
+  "CMakeFiles/flay_core.dir/engine.cpp.o"
+  "CMakeFiles/flay_core.dir/engine.cpp.o.d"
+  "CMakeFiles/flay_core.dir/specializer.cpp.o"
+  "CMakeFiles/flay_core.dir/specializer.cpp.o.d"
+  "CMakeFiles/flay_core.dir/symbolic_executor.cpp.o"
+  "CMakeFiles/flay_core.dir/symbolic_executor.cpp.o.d"
+  "libflay_core.a"
+  "libflay_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flay_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

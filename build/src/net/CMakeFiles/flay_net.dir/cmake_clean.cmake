@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flay_net.dir/fuzzer.cpp.o"
+  "CMakeFiles/flay_net.dir/fuzzer.cpp.o.d"
+  "CMakeFiles/flay_net.dir/headers.cpp.o"
+  "CMakeFiles/flay_net.dir/headers.cpp.o.d"
+  "CMakeFiles/flay_net.dir/trace.cpp.o"
+  "CMakeFiles/flay_net.dir/trace.cpp.o.d"
+  "CMakeFiles/flay_net.dir/workloads.cpp.o"
+  "CMakeFiles/flay_net.dir/workloads.cpp.o.d"
+  "libflay_net.a"
+  "libflay_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flay_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

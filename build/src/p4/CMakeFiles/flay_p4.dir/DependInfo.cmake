@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/p4/ast.cpp" "src/p4/CMakeFiles/flay_p4.dir/ast.cpp.o" "gcc" "src/p4/CMakeFiles/flay_p4.dir/ast.cpp.o.d"
+  "/root/repo/src/p4/clone.cpp" "src/p4/CMakeFiles/flay_p4.dir/clone.cpp.o" "gcc" "src/p4/CMakeFiles/flay_p4.dir/clone.cpp.o.d"
+  "/root/repo/src/p4/lexer.cpp" "src/p4/CMakeFiles/flay_p4.dir/lexer.cpp.o" "gcc" "src/p4/CMakeFiles/flay_p4.dir/lexer.cpp.o.d"
+  "/root/repo/src/p4/parser.cpp" "src/p4/CMakeFiles/flay_p4.dir/parser.cpp.o" "gcc" "src/p4/CMakeFiles/flay_p4.dir/parser.cpp.o.d"
+  "/root/repo/src/p4/printer.cpp" "src/p4/CMakeFiles/flay_p4.dir/printer.cpp.o" "gcc" "src/p4/CMakeFiles/flay_p4.dir/printer.cpp.o.d"
+  "/root/repo/src/p4/typecheck.cpp" "src/p4/CMakeFiles/flay_p4.dir/typecheck.cpp.o" "gcc" "src/p4/CMakeFiles/flay_p4.dir/typecheck.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/flay_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

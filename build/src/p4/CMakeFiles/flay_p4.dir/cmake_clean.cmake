@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flay_p4.dir/ast.cpp.o"
+  "CMakeFiles/flay_p4.dir/ast.cpp.o.d"
+  "CMakeFiles/flay_p4.dir/clone.cpp.o"
+  "CMakeFiles/flay_p4.dir/clone.cpp.o.d"
+  "CMakeFiles/flay_p4.dir/lexer.cpp.o"
+  "CMakeFiles/flay_p4.dir/lexer.cpp.o.d"
+  "CMakeFiles/flay_p4.dir/parser.cpp.o"
+  "CMakeFiles/flay_p4.dir/parser.cpp.o.d"
+  "CMakeFiles/flay_p4.dir/printer.cpp.o"
+  "CMakeFiles/flay_p4.dir/printer.cpp.o.d"
+  "CMakeFiles/flay_p4.dir/typecheck.cpp.o"
+  "CMakeFiles/flay_p4.dir/typecheck.cpp.o.d"
+  "libflay_p4.a"
+  "libflay_p4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flay_p4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/device_config.cpp" "src/runtime/CMakeFiles/flay_runtime.dir/device_config.cpp.o" "gcc" "src/runtime/CMakeFiles/flay_runtime.dir/device_config.cpp.o.d"
+  "/root/repo/src/runtime/entry.cpp" "src/runtime/CMakeFiles/flay_runtime.dir/entry.cpp.o" "gcc" "src/runtime/CMakeFiles/flay_runtime.dir/entry.cpp.o.d"
+  "/root/repo/src/runtime/table_state.cpp" "src/runtime/CMakeFiles/flay_runtime.dir/table_state.cpp.o" "gcc" "src/runtime/CMakeFiles/flay_runtime.dir/table_state.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/p4/CMakeFiles/flay_p4.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/flay_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

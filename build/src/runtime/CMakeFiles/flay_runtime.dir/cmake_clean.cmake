@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flay_runtime.dir/device_config.cpp.o"
+  "CMakeFiles/flay_runtime.dir/device_config.cpp.o.d"
+  "CMakeFiles/flay_runtime.dir/entry.cpp.o"
+  "CMakeFiles/flay_runtime.dir/entry.cpp.o.d"
+  "CMakeFiles/flay_runtime.dir/table_state.cpp.o"
+  "CMakeFiles/flay_runtime.dir/table_state.cpp.o.d"
+  "libflay_runtime.a"
+  "libflay_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flay_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flay_sat.dir/solver.cpp.o"
+  "CMakeFiles/flay_sat.dir/solver.cpp.o.d"
+  "libflay_sat.a"
+  "libflay_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flay_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/interpreter.cpp" "src/sim/CMakeFiles/flay_sim.dir/interpreter.cpp.o" "gcc" "src/sim/CMakeFiles/flay_sim.dir/interpreter.cpp.o.d"
+  "/root/repo/src/sim/packet.cpp" "src/sim/CMakeFiles/flay_sim.dir/packet.cpp.o" "gcc" "src/sim/CMakeFiles/flay_sim.dir/packet.cpp.o.d"
+  "/root/repo/src/sim/state.cpp" "src/sim/CMakeFiles/flay_sim.dir/state.cpp.o" "gcc" "src/sim/CMakeFiles/flay_sim.dir/state.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/flay_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/p4/CMakeFiles/flay_p4.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/flay_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flay_sim.dir/interpreter.cpp.o"
+  "CMakeFiles/flay_sim.dir/interpreter.cpp.o.d"
+  "CMakeFiles/flay_sim.dir/packet.cpp.o"
+  "CMakeFiles/flay_sim.dir/packet.cpp.o.d"
+  "CMakeFiles/flay_sim.dir/state.cpp.o"
+  "CMakeFiles/flay_sim.dir/state.cpp.o.d"
+  "libflay_sim.a"
+  "libflay_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flay_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/smt/bitblaster.cpp" "src/smt/CMakeFiles/flay_smt.dir/bitblaster.cpp.o" "gcc" "src/smt/CMakeFiles/flay_smt.dir/bitblaster.cpp.o.d"
+  "/root/repo/src/smt/solver.cpp" "src/smt/CMakeFiles/flay_smt.dir/solver.cpp.o" "gcc" "src/smt/CMakeFiles/flay_smt.dir/solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/expr/CMakeFiles/flay_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/flay_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/flay_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

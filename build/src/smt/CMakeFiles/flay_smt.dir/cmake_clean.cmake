@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flay_smt.dir/bitblaster.cpp.o"
+  "CMakeFiles/flay_smt.dir/bitblaster.cpp.o.d"
+  "CMakeFiles/flay_smt.dir/solver.cpp.o"
+  "CMakeFiles/flay_smt.dir/solver.cpp.o.d"
+  "libflay_smt.a"
+  "libflay_smt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flay_smt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

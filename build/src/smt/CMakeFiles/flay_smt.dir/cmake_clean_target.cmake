@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libflay_smt.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flay_support.dir/bitvec.cpp.o"
+  "CMakeFiles/flay_support.dir/bitvec.cpp.o.d"
+  "libflay_support.a"
+  "libflay_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flay_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

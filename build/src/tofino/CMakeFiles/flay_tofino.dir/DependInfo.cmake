@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tofino/compiler.cpp" "src/tofino/CMakeFiles/flay_tofino.dir/compiler.cpp.o" "gcc" "src/tofino/CMakeFiles/flay_tofino.dir/compiler.cpp.o.d"
+  "/root/repo/src/tofino/incremental.cpp" "src/tofino/CMakeFiles/flay_tofino.dir/incremental.cpp.o" "gcc" "src/tofino/CMakeFiles/flay_tofino.dir/incremental.cpp.o.d"
+  "/root/repo/src/tofino/requirements.cpp" "src/tofino/CMakeFiles/flay_tofino.dir/requirements.cpp.o" "gcc" "src/tofino/CMakeFiles/flay_tofino.dir/requirements.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/p4/CMakeFiles/flay_p4.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/flay_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flay_tofino.dir/compiler.cpp.o"
+  "CMakeFiles/flay_tofino.dir/compiler.cpp.o.d"
+  "CMakeFiles/flay_tofino.dir/incremental.cpp.o"
+  "CMakeFiles/flay_tofino.dir/incremental.cpp.o.d"
+  "CMakeFiles/flay_tofino.dir/requirements.cpp.o"
+  "CMakeFiles/flay_tofino.dir/requirements.cpp.o.d"
+  "libflay_tofino.a"
+  "libflay_tofino.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flay_tofino.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

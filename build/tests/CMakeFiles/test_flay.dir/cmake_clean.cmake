@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flay.dir/test_flay.cpp.o"
+  "CMakeFiles/test_flay.dir/test_flay.cpp.o.d"
+  "test_flay"
+  "test_flay.pdb"
+  "test_flay[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multicontrol.dir/test_multicontrol.cpp.o"
+  "CMakeFiles/test_multicontrol.dir/test_multicontrol.cpp.o.d"
+  "test_multicontrol"
+  "test_multicontrol.pdb"
+  "test_multicontrol[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multicontrol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

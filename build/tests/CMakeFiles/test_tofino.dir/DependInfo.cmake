@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_tofino.cpp" "tests/CMakeFiles/test_tofino.dir/test_tofino.cpp.o" "gcc" "tests/CMakeFiles/test_tofino.dir/test_tofino.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tofino/CMakeFiles/flay_tofino.dir/DependInfo.cmake"
+  "/root/repo/build/src/p4/CMakeFiles/flay_p4.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/flay_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

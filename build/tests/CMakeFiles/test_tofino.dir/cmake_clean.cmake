@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tofino.dir/test_tofino.cpp.o"
+  "CMakeFiles/test_tofino.dir/test_tofino.cpp.o.d"
+  "test_tofino"
+  "test_tofino.pdb"
+  "test_tofino[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tofino.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_bitvec[1]_include.cmake")
+include("/root/repo/build/tests/test_expr[1]_include.cmake")
+include("/root/repo/build/tests/test_sat[1]_include.cmake")
+include("/root/repo/build/tests/test_smt[1]_include.cmake")
+include("/root/repo/build/tests/test_p4_frontend[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_flay[1]_include.cmake")
+include("/root/repo/build/tests/test_tofino[1]_include.cmake")
+include("/root/repo/build/tests/test_classifier[1]_include.cmake")
+include("/root/repo/build/tests/test_programs[1]_include.cmake")
+include("/root/repo/build/tests/test_p4_printer[1]_include.cmake")
+include("/root/repo/build/tests/test_incremental_compile[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_multicontrol[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flayc.dir/flayc.cpp.o"
+  "CMakeFiles/flayc.dir/flayc.cpp.o.d"
+  "flayc"
+  "flayc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flayc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
