@@ -12,6 +12,7 @@
 
 #include "flay/specializer.h"
 #include "net/workloads.h"
+#include "obs/bench_report.h"
 #include "tofino/incremental.h"
 
 namespace p4 = flay::p4;
@@ -66,5 +67,18 @@ int main() {
   std::printf(
       "\nShape check: recompiling only the changed tables is far cheaper\n"
       "than the monolithic device compile — the paper's §6 outlook.\n");
+
+  flay::obs::writeBenchReport(
+      "ablation_incremental_compile",
+      {{"baseline_full_ms", base.compileTime.count() / 1000.0},
+       {"monolithic_ms", whole.compileTime.count() / 1000.0},
+       {"incremental_ms", inc.compileTime.count() / 1000.0},
+       {"units_replaced",
+        static_cast<double>(compiler.lastReplacedUnits())},
+       {"fell_back_to_full", compiler.lastFellBackToFull() ? 1.0 : 0.0},
+       {"speedup", inc.compileTime.count() > 0
+                       ? static_cast<double>(whole.compileTime.count()) /
+                             inc.compileTime.count()
+                       : 0.0}});
   return 0;
 }

@@ -11,6 +11,7 @@
 #include "flay/engine.h"
 #include "net/fuzzer.h"
 #include "net/workloads.h"
+#include "obs/bench_report.h"
 
 namespace p4 = flay::p4;
 namespace net = flay::net;
@@ -52,15 +53,21 @@ int main() {
       "Ablation: per-update analysis cost, taint map vs full re-evaluation\n");
   std::printf("%-12s %10s %16s %16s %8s\n", "Program", "Updates",
               "With taint", "Without taint", "Speedup");
+  std::vector<std::pair<std::string, double>> metrics;
   for (const char* program : {"scion", "switch", "dash"}) {
     const size_t updates = 200;
     double with = runStream(program, true, updates);
     double without = runStream(program, false, updates);
     std::printf("%-12s %10zu %14.1fms %14.1fms %7.1fx\n", program, updates,
                 with, without, without / with);
+    std::string prefix = program;
+    metrics.emplace_back(prefix + ".with_taint_ms", with);
+    metrics.emplace_back(prefix + ".without_taint_ms", without);
+    metrics.emplace_back(prefix + ".speedup", without / with);
   }
   std::printf(
       "\nShape check: taint lookup keeps per-update work proportional to the\n"
       "touched component, not to program size.\n");
+  flay::obs::writeBenchReport("ablation_taint", metrics);
   return 0;
 }

@@ -8,6 +8,7 @@
 
 #include "flay/engine.h"
 #include "net/workloads.h"
+#include "obs/bench_report.h"
 
 int main() {
   namespace p4 = flay::p4;
@@ -66,5 +67,15 @@ using flay::BitVec;
   std::printf(
       "\n\nShape check: the route burst completes well under a second and\n"
       "forwards without recompilation; the IPv6 batch demands it.\n");
+
+  flay::obs::writeBenchReport(
+      "burst_updates",
+      {{"burst_size", static_cast<double>(burst.size())},
+       {"burst_wall_ms", wallMs},
+       {"burst_analysis_ms", verdict.analysisTime.count() / 1000.0},
+       {"burst_recompile", verdict.needsRecompilation ? 1.0 : 0.0},
+       {"single_update_ms", v1.analysisTime.count() / 1000.0},
+       {"v6_batch_analysis_ms", v6.analysisTime.count() / 1000.0},
+       {"v6_batch_recompile", v6.needsRecompilation ? 1.0 : 0.0}});
   return 0;
 }

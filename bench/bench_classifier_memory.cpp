@@ -9,6 +9,7 @@
 #include <set>
 
 #include "classifier/classifier.h"
+#include "obs/bench_report.h"
 
 namespace {
 
@@ -74,6 +75,7 @@ int main() {
   std::printf("%-10s %12s %14s %14s %10s\n", "Shape", "TCAM cost",
               "Chosen", "Chosen cost", "Saving");
 
+  std::vector<std::pair<std::string, double>> metrics;
   for (int shape = 0; shape < 4; ++shape) {
     auto rules = makeRules(shape, 1024, rng);
     auto tcam = makeTcam(rules, 32);
@@ -85,6 +87,12 @@ int main() {
                 static_cast<unsigned long long>(tcam->costUnits()),
                 chosen->name().c_str(),
                 static_cast<unsigned long long>(chosen->costUnits()), saving);
+    std::string prefix = shapeNames[shape];
+    metrics.emplace_back(prefix + ".tcam_cost",
+                         static_cast<double>(tcam->costUnits()));
+    metrics.emplace_back(prefix + ".chosen_cost",
+                         static_cast<double>(chosen->costUnits()));
+    metrics.emplace_back(prefix + ".saving_pct", saving);
   }
 
   // Sweep: how the saving scales with rule count for the exact case.
@@ -101,5 +109,6 @@ int main() {
   std::printf(
       "\nShape check: specialization replaces the TCAM whenever the config's\n"
       "mask diversity allows, cutting cost by multiples.\n");
+  flay::obs::writeBenchReport("classifier_memory", metrics);
   return 0;
 }

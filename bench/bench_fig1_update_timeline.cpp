@@ -15,6 +15,7 @@
 #include "flay/engine.h"
 #include "net/trace.h"
 #include "net/workloads.h"
+#include "obs/bench_report.h"
 
 namespace p4 = flay::p4;
 namespace net = flay::net;
@@ -63,6 +64,7 @@ int main() {
 
   std::printf("%-10s %10s %14s %12s %12s %14s\n", "Class", "Updates",
               "Rate", "Mean", "Max", "Recompiles");
+  std::vector<std::pair<std::string, double>> metrics;
   for (const auto& [cls, s] : stats) {
     std::printf("%-10s %10zu %10.2f/min %10.3fms %10.3fms %8zu (%.1f%%)\n",
                 net::updateClassName(cls), s.updates,
@@ -70,11 +72,20 @@ int main() {
                 s.updates ? s.totalMs / s.updates : 0.0, s.maxMs,
                 s.recompiles,
                 s.updates ? 100.0 * s.recompiles / s.updates : 0.0);
+    std::string prefix = net::updateClassName(cls);
+    metrics.emplace_back(prefix + ".updates",
+                         static_cast<double>(s.updates));
+    metrics.emplace_back(prefix + ".mean_ms",
+                         s.updates ? s.totalMs / s.updates : 0.0);
+    metrics.emplace_back(prefix + ".max_ms", s.maxMs);
+    metrics.emplace_back(prefix + ".recompiles",
+                         static_cast<double>(s.recompiles));
   }
 
   std::printf(
       "\nShape check (Fig. 1/2): routing dominates the update rate yet almost\n"
       "never needs recompilation once the tables are in their general form;\n"
       "the rare policy-class changes are where recompiles concentrate.\n");
+  flay::obs::writeBenchReport("fig1_update_timeline", metrics);
   return 0;
 }

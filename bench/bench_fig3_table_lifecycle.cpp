@@ -14,6 +14,7 @@
 #include <cstdio>
 
 #include "flay/specializer.h"
+#include "obs/bench_report.h"
 #include "tofino/compiler.h"
 
 namespace {
@@ -126,5 +127,12 @@ int main() {
   std::printf(
       "\nShape check: (1)->(4) need recompilation with shrinking/growing\n"
       "resources; (5) is forwarded without recompilation.\n");
+
+  flay::obs::writeBenchReport(
+      "fig3_table_lifecycle",
+      {{"step2_recompile", v2.needsRecompilation ? 1.0 : 0.0},
+       {"step3_recompile", v3.needsRecompilation ? 1.0 : 0.0},
+       {"step4_recompile", v4.needsRecompilation ? 1.0 : 0.0},
+       {"step5_recompile", v5.needsRecompilation ? 1.0 : 0.0}});
   return 0;
 }

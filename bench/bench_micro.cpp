@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "expr/substitute.h"
+#include "obs/bench_report.h"
 #include "flay/engine.h"
 #include "net/fuzzer.h"
 #include "net/headers.h"
@@ -171,4 +172,13 @@ BENCHMARK(BM_FlayUpdateAnalysis)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() so the run can end with the registry snapshot
+// (SMT/SAT counters accumulated across all the iterations above).
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  flay::obs::writeBenchReport("micro", {});
+  return 0;
+}

@@ -9,6 +9,7 @@
 
 #include "flay/specializer.h"
 #include "net/workloads.h"
+#include "obs/bench_report.h"
 #include "tofino/compiler.h"
 
 int main() {
@@ -58,5 +59,14 @@ using flay::BitVec;
   std::printf(
       "\nShape check: max stages -> ~20%% fewer -> max stages again,\n"
       "with Flay correctly demanding recompilation for the IPv6 batch.\n");
+
+  flay::obs::writeBenchReport(
+      "scion_stages",
+      {{"baseline_stages", static_cast<double>(baseline.stagesUsed)},
+       {"v4_specialized_stages", static_cast<double>(v4Compiled.stagesUsed)},
+       {"v6_enabled_stages", static_cast<double>(v6Compiled.stagesUsed)},
+       {"v4_tables_removed",
+        static_cast<double>(v4Result.stats.removedTables)},
+       {"v6_batch_recompile", verdict.needsRecompilation ? 1.0 : 0.0}});
   return 0;
 }

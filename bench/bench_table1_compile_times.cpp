@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "net/workloads.h"
+#include "obs/bench_report.h"
 #include "tofino/compiler.h"
 
 namespace {
@@ -42,6 +43,7 @@ namespace tofino = flay::tofino;
   std::printf("%-12s %12s %12s %8s\n", "Program", "Statements", "Compile",
               "Stages");
 
+  std::vector<std::pair<std::string, double>> metrics;
   for (const char* name :
        {"switch", "scion", "beaucoup", "accturbo", "dta"}) {
     p4::CheckedProgram checked =
@@ -54,9 +56,15 @@ namespace tofino = flay::tofino;
     std::printf("%-12s %12zu %10.1fms %8u\n", name,
                 checked.program.statementCount(),
                 result.compileTime.count() / 1000.0, result.stagesUsed);
+    std::string prefix = name;
+    metrics.emplace_back(prefix + ".compile_ms",
+                         result.compileTime.count() / 1000.0);
+    metrics.emplace_back(prefix + ".stages",
+                         static_cast<double>(result.stagesUsed));
   }
   std::printf(
       "\nShape check: compile times are 1000x+ the per-update analysis times\n"
       "reported by bench_table2_analysis_times (paper: 22-106s vs 5-90ms).\n");
+  flay::obs::writeBenchReport("table1_compile_times", metrics);
   return 0;
 }

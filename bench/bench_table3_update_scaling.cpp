@@ -18,6 +18,7 @@
 
 #include "flay/engine.h"
 #include "net/workloads.h"
+#include "obs/bench_report.h"
 
 namespace {
 
@@ -59,6 +60,7 @@ int main() {
       "(middleblock pre-ingress ACL)\n");
   std::printf("%10s %14s %26s\n", "Installed", "Precise",
               "Overapprox (threshold 100)");
+  std::vector<std::pair<std::string, double>> metrics;
   for (size_t n : {1u, 10u, 100u, 1000u, 10000u}) {
     // Precise: threshold beyond reach. Overapprox: paper threshold of 100.
     double precise = probeMs(n, 1u << 30);
@@ -68,8 +70,12 @@ int main() {
     } else {
       std::printf("%10zu %12.2fms %25s\n", n, precise, "-");
     }
+    std::string suffix = std::to_string(n);
+    metrics.emplace_back("precise_ms." + suffix, precise);
+    if (over >= 0) metrics.emplace_back("overapprox_ms." + suffix, over);
   }
   std::printf(
       "\nShape check: precise grows superlinearly; overapprox stays flat.\n");
+  flay::obs::writeBenchReport("table3_update_scaling", metrics);
   return 0;
 }

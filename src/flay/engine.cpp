@@ -5,10 +5,46 @@
 #include "expr/analysis.h"
 
 #include "expr/substitute.h"
+#include "obs/obs.h"
 
 namespace flay::flay {
 
 using expr::ExprRef;
+
+namespace {
+
+/// Global handles for the update-hot-path telemetry, resolved once. The
+/// registry guarantees handle stability, so caching references here keeps
+/// the per-update cost to atomic increments.
+struct EngineObs {
+  obs::Registry& reg = obs::Registry::global();
+  obs::Counter& updates = reg.counter("flay.updates");
+  obs::Counter& batches = reg.counter("flay.batches");
+  obs::Counter& taintedPoints = reg.counter("flay.tainted_points");
+  obs::Counter& recompileVerdicts = reg.counter("flay.recompile_verdicts");
+  obs::Counter& exprChangeVerdicts = reg.counter("flay.expr_change_verdicts");
+  obs::Counter& overapproximations = reg.counter("flay.overapproximations");
+  obs::Histogram& configApplyUs = reg.histogram("flay.config_apply_us");
+  obs::Histogram& analyzeUs = reg.histogram("flay.analyze_us");
+  obs::Histogram& closureUs = reg.histogram("flay.closure_us");
+  obs::Histogram& encodeUs = reg.histogram("flay.encode_us");
+  obs::Histogram& digestUs = reg.histogram("flay.digest_us");
+  obs::Histogram& substituteUs = reg.histogram("flay.substitute_us");
+
+  static EngineObs& get() {
+    static EngineObs instance;
+    return instance;
+  }
+};
+
+uint64_t microsSince(std::chrono::steady_clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+}  // namespace
 
 FlayService::FlayService(const p4::CheckedProgram& checked, FlayOptions options)
     : checked_(checked),
@@ -180,7 +216,11 @@ std::string FlayService::tableDigest(const std::string& qualified) const {
   auto normalized = table.normalizedEntries();
   for (size_t k = 0; k < table.decl().keys.size(); ++k) {
     if (table.decl().keys[k].matchKind == p4::MatchKind::kExact) continue;
-    bool allExact = !normalized.empty();
+    // Vacuously exactable when empty — no entry forces a masked encoding —
+    // matching the over-approximation branch above, so the digest never
+    // takes a spurious "masked" detour on the empty -> first-entry
+    // transition of the Fig. 3 lifecycle.
+    bool allExact = true;
     for (const runtime::TableEntry* e : normalized) {
       allExact &= e->matches[k].isExactValued();
     }
@@ -190,18 +230,30 @@ std::string FlayService::tableDigest(const std::string& qualified) const {
 }
 
 UpdateVerdict FlayService::analyzeObjects(const std::set<std::string>& objects) {
+  EngineObs& eobs = EngineObs::get();
+  obs::ScopedTimer analyzeTimer(eobs.analyzeUs, "flay.analyze");
   auto start = std::chrono::steady_clock::now();
   UpdateVerdict verdict;
+  uint64_t tableDigestUs = 0;
+  uint64_t pointDigestUs = 0;
 
   // Re-encode the updated objects plus every object whose encoding depends
   // on them, upstream first.
-  std::vector<std::string> closure = dependencyClosure(objects);
+  std::vector<std::string> closure;
+  {
+    obs::ScopedTimer t(eobs.closureUs, "flay.closure");
+    closure = dependencyClosure(objects);
+  }
+  uint64_t encodeUs = 0;
   for (const auto& object : closure) {
+    auto encodeStart = std::chrono::steady_clock::now();
     bool over = false;
     rebindObject(object, &over);
     verdict.overapproximated |= over;
+    encodeUs += microsSince(encodeStart);
     // Structural change check (Fig. 3 C->D: match-kind shape, action sets).
     if (config_->hasTable(object)) {
+      auto digestStart = std::chrono::steady_clock::now();
       std::string digest = tableDigest(object);
       auto [it, inserted] = tableDigests_.try_emplace(object, digest);
       if (!inserted && it->second != digest) {
@@ -209,9 +261,12 @@ UpdateVerdict FlayService::analyzeObjects(const std::set<std::string>& objects) 
         verdict.changedComponents.insert(object);
         it->second = std::move(digest);
       }
+      tableDigestUs += microsSince(digestStart);
     }
   }
+  eobs.encodeUs.record(encodeUs);
 
+  auto substituteStart = std::chrono::steady_clock::now();
   // One substitution over the full current assignment; the shared memo makes
   // repeated subtrees across points cheap.
   expr::Substitution subst(*arena_);
@@ -237,6 +292,7 @@ UpdateVerdict FlayService::analyzeObjects(const std::set<std::string>& objects) 
       affected.insert(p.id);
     }
   }
+  eobs.taintedPoints.add(affected.size());
   if (pointDigests_.size() < analysis_.annotations.points().size()) {
     pointDigests_.resize(analysis_.annotations.points().size());
   }
@@ -248,28 +304,60 @@ UpdateVerdict FlayService::analyzeObjects(const std::set<std::string>& objects) 
     verdict.changedPoints.push_back(id);
     // The recompile decision: did the point's *verdict* (constant vs
     // general) flip, not merely its expression?
+    auto digestStart = std::chrono::steady_clock::now();
     std::string digest = pointDigest(specialized);
     if (digest != pointDigests_[id]) {
       pointDigests_[id] = std::move(digest);
       verdict.needsRecompilation = true;
       verdict.changedComponents.insert(p.component);
     }
+    pointDigestUs += microsSince(digestStart);
   }
+  uint64_t substituteUs = microsSince(substituteStart);
+  eobs.substituteUs.record(substituteUs > pointDigestUs
+                               ? substituteUs - pointDigestUs
+                               : 0);
+  eobs.digestUs.record(tableDigestUs + pointDigestUs);
   verdict.expressionsChanged = !verdict.changedPoints.empty();
+  if (verdict.expressionsChanged) eobs.exprChangeVerdicts.add(1);
+  if (verdict.needsRecompilation) eobs.recompileVerdicts.add(1);
+  if (verdict.overapproximated) eobs.overapproximations.add(1);
   verdict.analysisTime = std::chrono::duration_cast<std::chrono::microseconds>(
       std::chrono::steady_clock::now() - start);
   return verdict;
 }
 
 UpdateVerdict FlayService::applyUpdate(const runtime::Update& update) {
-  std::string object = config_->apply(update);
+  EngineObs& eobs = EngineObs::get();
+  std::string object;
+  {
+    obs::ScopedTimer t(eobs.configApplyUs, "flay.config_apply");
+    object = config_->apply(update);
+  }
+  eobs.updates.add(1);
   return analyzeObjects({object});
 }
 
 UpdateVerdict FlayService::applyBatch(
     const std::vector<runtime::Update>& updates) {
+  EngineObs& eobs = EngineObs::get();
+  eobs.batches.add(1);
   std::set<std::string> objects;
-  for (const auto& u : updates) objects.insert(config_->apply(u));
+  auto applyStart = std::chrono::steady_clock::now();
+  for (const auto& u : updates) {
+    try {
+      objects.insert(config_->apply(u));
+      eobs.updates.add(1);
+    } catch (...) {
+      eobs.configApplyUs.record(microsSince(applyStart));
+      // Updates before the malformed one are already installed in the
+      // config; re-analyze that prefix before surfacing the error so the
+      // annotations never get out of sync with the installed state.
+      if (!objects.empty()) analyzeObjects(objects);
+      throw;
+    }
+  }
+  eobs.configApplyUs.record(microsSince(applyStart));
   return analyzeObjects(objects);
 }
 

@@ -1,0 +1,43 @@
+#include "obs/bench_report.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/obs.h"
+
+namespace flay::obs {
+
+void writeBenchReport(
+    const std::string& benchName,
+    const std::vector<std::pair<std::string, double>>& metrics) {
+  Snapshot snap = Registry::global().snapshot();
+  std::string stats = snap.toJson();  // {"counters":{...},"histograms":{...}}
+  std::string doc = "{\"schema\":\"flay-bench-stats-v1\",\"bench\":\"" +
+                    benchName + "\",\"metrics\":{";
+  bool first = true;
+  for (const auto& [name, value] : metrics) {
+    if (!first) doc += ',';
+    first = false;
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", value);
+    doc += "\"" + name + "\":" + buf;
+  }
+  // Splice the snapshot's two top-level members into this document.
+  doc += "}," + stats.substr(1);
+
+  std::printf("\nBENCH_JSON %s\n", doc.c_str());
+
+  const char* dir = std::getenv("FLAY_BENCH_OUT_DIR");
+  std::string path = (dir != nullptr && dir[0] != '\0')
+                         ? std::string(dir) + "/BENCH_" + benchName + ".json"
+                         : "BENCH_" + benchName + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "%s\n", doc.c_str());
+  std::fclose(f);
+}
+
+}  // namespace flay::obs

@@ -1,0 +1,23 @@
+#ifndef FLAY_OBS_BENCH_REPORT_H
+#define FLAY_OBS_BENCH_REPORT_H
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace flay::obs {
+
+/// Emits a bench's machine-readable stats block: prints one
+/// `BENCH_JSON {...}` line to stdout and writes the same document to
+/// `BENCH_<name>.json` in $FLAY_BENCH_OUT_DIR (default: the current working
+/// directory). The document merges the bench's headline metrics with the
+/// global registry snapshot:
+///   {"schema":"flay-bench-stats-v1","bench":<name>,
+///    "metrics":{...},"counters":{...},"histograms":{...}}
+void writeBenchReport(
+    const std::string& benchName,
+    const std::vector<std::pair<std::string, double>>& metrics);
+
+}  // namespace flay::obs
+
+#endif  // FLAY_OBS_BENCH_REPORT_H

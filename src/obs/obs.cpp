@@ -1,0 +1,268 @@
+#include "obs/obs.h"
+
+#include <bit>
+#include <cinttypes>
+
+namespace flay::obs {
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+uint32_t Histogram::bucketFor(uint64_t value) {
+  if (value < 8) return static_cast<uint32_t>(value);
+  uint32_t msb = 63 - static_cast<uint32_t>(std::countl_zero(value));
+  uint32_t sub = static_cast<uint32_t>((value >> (msb - 2)) & 0x3);
+  return 8 + (msb - 3) * 4 + sub;
+}
+
+uint64_t Histogram::bucketMid(uint32_t bucket) {
+  if (bucket < 8) return bucket;
+  uint32_t msb = 3 + (bucket - 8) / 4;
+  uint32_t sub = (bucket - 8) % 4;
+  uint64_t low = (uint64_t{1} << msb) + (static_cast<uint64_t>(sub) << (msb - 2));
+  return low + (uint64_t{1} << (msb - 2)) / 2;
+}
+
+void Histogram::record(uint64_t value) {
+  buckets_[bucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  uint64_t prev = min_.load(std::memory_order_relaxed);
+  while (value < prev &&
+         !min_.compare_exchange_weak(prev, value, std::memory_order_relaxed)) {
+  }
+  prev = max_.load(std::memory_order_relaxed);
+  while (value > prev &&
+         !max_.compare_exchange_weak(prev, value, std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t Histogram::min() const {
+  uint64_t m = min_.load(std::memory_order_relaxed);
+  return m == UINT64_MAX ? 0 : m;
+}
+
+uint64_t Histogram::quantile(double q) const {
+  uint64_t n = count();
+  if (n == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the q-th sample, 1-based.
+  uint64_t target = static_cast<uint64_t>(q * static_cast<double>(n - 1)) + 1;
+  uint64_t seen = 0;
+  for (uint32_t b = 0; b < kNumBuckets; ++b) {
+    seen += buckets_[b].load(std::memory_order_relaxed);
+    if (seen >= target) {
+      // Exact buckets report their exact value; clamp to observed extremes so
+      // single-bucket distributions report sensible numbers.
+      uint64_t mid = bucketMid(b);
+      if (mid < min()) mid = min();
+      if (mid > max()) mid = max();
+      return mid;
+    }
+  }
+  return max();
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot serialization
+
+namespace {
+
+void appendJsonString(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string Snapshot::toJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out += ',';
+    first = false;
+    appendJsonString(out, name);
+    out += ':' + std::to_string(value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) out += ',';
+    first = false;
+    appendJsonString(out, name);
+    out += ":{\"count\":" + std::to_string(h.count) +
+           ",\"sum\":" + std::to_string(h.sum) +
+           ",\"min\":" + std::to_string(h.min) +
+           ",\"max\":" + std::to_string(h.max) +
+           ",\"p50\":" + std::to_string(h.p50) +
+           ",\"p95\":" + std::to_string(h.p95) +
+           ",\"p99\":" + std::to_string(h.p99) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::string Snapshot::toText() const {
+  std::string out;
+  char line[256];
+  if (!counters.empty()) out += "counters:\n";
+  for (const auto& [name, value] : counters) {
+    std::snprintf(line, sizeof line, "  %-40s %12" PRIu64 "\n", name.c_str(),
+                  value);
+    out += line;
+  }
+  if (!histograms.empty()) {
+    out +=
+        "histograms (us):\n"
+        "  name                                            count     "
+        "p50     p95     p99     max\n";
+  }
+  for (const auto& [name, h] : histograms) {
+    std::snprintf(line, sizeof line,
+                  "  %-40s %12" PRIu64 " %7" PRIu64 " %7" PRIu64 " %7" PRIu64
+                  " %7" PRIu64 "\n",
+                  name.c_str(), h.count, h.p50, h.p95, h.p99, h.max);
+    out += line;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+Registry::Registry() : origin_(std::chrono::steady_clock::now()) {}
+
+Registry& Registry::global() {
+  // Leaked on purpose: timers and cached counter references in other
+  // translation units may still fire during static destruction.
+  static Registry* instance = new Registry();
+  return *instance;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+Snapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramStats s;
+    s.count = h->count();
+    s.sum = h->sum();
+    s.min = h->min();
+    s.max = h->max();
+    s.p50 = h->quantile(0.50);
+    s.p95 = h->quantile(0.95);
+    s.p99 = h->quantile(0.99);
+    snap.histograms.emplace_back(name, s);
+  }
+  return snap;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+bool Registry::openTrace(const std::string& path) {
+  closeTrace();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::lock_guard<std::mutex> lock(traceMu_);
+  traceFile_.store(f, std::memory_order_release);
+  return true;
+}
+
+void Registry::closeTrace() {
+  std::lock_guard<std::mutex> lock(traceMu_);
+  std::FILE* f = traceFile_.exchange(nullptr, std::memory_order_acq_rel);
+  if (f != nullptr) std::fclose(f);
+}
+
+void Registry::traceEvent(const char* name, uint64_t startUs, uint64_t durUs) {
+  std::lock_guard<std::mutex> lock(traceMu_);
+  std::FILE* f = traceFile_.load(std::memory_order_acquire);
+  if (f == nullptr) return;
+  std::fprintf(f,
+               "{\"name\":\"%s\",\"ts\":%" PRIu64 ",\"dur\":%" PRIu64 "}\n",
+               name, startUs, durUs);
+}
+
+uint64_t Registry::nowMicros() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - origin_)
+          .count());
+}
+
+// ---------------------------------------------------------------------------
+// ScopedTimer
+
+uint64_t ScopedTimer::elapsedMicros() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start_)
+          .count());
+}
+
+ScopedTimer::~ScopedTimer() {
+  uint64_t us = elapsedMicros();
+  hist_->record(us);
+  if (traceName_ != nullptr) {
+    Registry& reg = Registry::global();
+    if (reg.tracingEnabled()) {
+      uint64_t end = reg.nowMicros();
+      reg.traceEvent(traceName_, end >= us ? end - us : 0, us);
+    }
+  }
+}
+
+}  // namespace flay::obs

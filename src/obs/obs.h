@@ -1,0 +1,148 @@
+#ifndef FLAY_OBS_OBS_H
+#define FLAY_OBS_OBS_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace flay::obs {
+
+/// Named monotonic counter. add() is a relaxed atomic increment; callers on
+/// hot paths cache the reference returned by Registry::counter() instead of
+/// looking it up per event.
+class Counter {
+ public:
+  void add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Log-bucketed histogram for latency-like values (microseconds by
+/// convention). Values below 8 get exact buckets; above that, each power of
+/// two is split into 4 linear sub-buckets, bounding the relative quantile
+/// error at ~12.5% while covering the full uint64 range in 256 buckets.
+class Histogram {
+ public:
+  static constexpr uint32_t kNumBuckets = 256;
+
+  void record(uint64_t value);
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Smallest/largest recorded value (0 when empty).
+  uint64_t min() const;
+  uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  /// Quantile estimate for q in [0, 1], as the midpoint of the bucket
+  /// containing the q-th sample. Returns 0 when empty.
+  uint64_t quantile(double q) const;
+  void reset();
+
+  static uint32_t bucketFor(uint64_t value);
+  /// Representative (midpoint) value of a bucket, inverse of bucketFor.
+  static uint64_t bucketMid(uint32_t bucket);
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
+};
+
+/// Point-in-time view of one histogram, with the quantiles pre-extracted.
+struct HistogramStats {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = 0;
+  uint64_t max = 0;
+  uint64_t p50 = 0;
+  uint64_t p95 = 0;
+  uint64_t p99 = 0;
+};
+
+/// Point-in-time view of the whole registry. Serializable as JSON:
+///   {"counters":{"name":N,...},
+///    "histograms":{"name":{"count":..,"sum":..,"min":..,"max":..,
+///                          "p50":..,"p95":..,"p99":..},...}}
+struct Snapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, HistogramStats>> histograms;
+
+  std::string toJson() const;
+  /// Human-readable table (counters first, then histograms).
+  std::string toText() const;
+};
+
+/// Process-global registry of counters and histograms plus an optional JSONL
+/// trace-event sink. Handles returned by counter()/histogram() stay valid for
+/// the process lifetime; reset() zeroes values but never invalidates handles.
+class Registry {
+ public:
+  /// The process-global instance (leaked intentionally so handles cached in
+  /// static storage never dangle during shutdown).
+  static Registry& global();
+
+  Counter& counter(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  Snapshot snapshot() const;
+  std::string toJson() const { return snapshot().toJson(); }
+  void reset();
+
+  /// Opens a JSONL trace sink; every ScopedTimer then appends one
+  /// {"name":...,"ts":...,"dur":...} line (timestamps in microseconds since
+  /// registry creation). Returns false if the file cannot be opened.
+  bool openTrace(const std::string& path);
+  void closeTrace();
+  bool tracingEnabled() const {
+    return traceFile_.load(std::memory_order_acquire) != nullptr;
+  }
+  void traceEvent(const char* name, uint64_t startUs, uint64_t durUs);
+
+  /// Microseconds since registry creation (the trace timebase).
+  uint64_t nowMicros() const;
+
+ private:
+  Registry();
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::atomic<std::FILE*> traceFile_{nullptr};
+  std::mutex traceMu_;
+  std::chrono::steady_clock::time_point origin_;
+};
+
+/// RAII scoped timer: records the elapsed microseconds into a histogram on
+/// destruction and, when tracing is on, appends a trace event. `traceName`
+/// must outlive the timer (string literals in practice).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& hist, const char* traceName = nullptr)
+      : hist_(&hist),
+        traceName_(traceName),
+        start_(std::chrono::steady_clock::now()) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer();
+
+  uint64_t elapsedMicros() const;
+
+ private:
+  Histogram* hist_;
+  const char* traceName_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace flay::obs
+
+#endif  // FLAY_OBS_OBS_H

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/obs.h"
+
 namespace flay::runtime {
 
 // ---------------------------------------------------------------------------
@@ -189,7 +191,48 @@ const ActionProfileState& DeviceConfig::actionProfile(
   return const_cast<DeviceConfig*>(this)->actionProfile(qualifiedName);
 }
 
+namespace {
+
+/// Per-kind update counters. A rejected (throwing) update is counted under
+/// runtime.rejected_updates instead of its kind — only installed state is
+/// interesting for the update-mix telemetry.
+obs::Counter& updateKindCounter(Update::Kind kind) {
+  obs::Registry& reg = obs::Registry::global();
+  switch (kind) {
+    case Update::Kind::kInsert:
+      return reg.counter("runtime.inserts");
+    case Update::Kind::kModify:
+      return reg.counter("runtime.modifies");
+    case Update::Kind::kDelete:
+      return reg.counter("runtime.deletes");
+    case Update::Kind::kSetDefaultAction:
+      return reg.counter("runtime.default_action_sets");
+    case Update::Kind::kValueSetInsert:
+      return reg.counter("runtime.value_set_inserts");
+    case Update::Kind::kValueSetDelete:
+      return reg.counter("runtime.value_set_deletes");
+    case Update::Kind::kProfileAdd:
+      return reg.counter("runtime.profile_adds");
+    case Update::Kind::kProfileRemove:
+      return reg.counter("runtime.profile_removes");
+  }
+  return reg.counter("runtime.unknown_updates");
+}
+
+}  // namespace
+
 std::string DeviceConfig::apply(const Update& update) {
+  try {
+    applyChecked(update);
+  } catch (...) {
+    obs::Registry::global().counter("runtime.rejected_updates").add(1);
+    throw;
+  }
+  updateKindCounter(update.kind).add(1);
+  return update.target;
+}
+
+void DeviceConfig::applyChecked(const Update& update) {
   switch (update.kind) {
     case Update::Kind::kInsert:
       table(update.target).insert(update.entry);
@@ -217,7 +260,6 @@ std::string DeviceConfig::apply(const Update& update) {
       actionProfile(update.target).removeMember(update.member.memberId);
       break;
   }
-  return update.target;
 }
 
 }  // namespace flay::runtime

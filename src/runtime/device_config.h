@@ -132,6 +132,8 @@ class DeviceConfig {
   const p4::CheckedProgram& checkedProgram() const { return *checked_; }
 
  private:
+  void applyChecked(const Update& update);
+
   const p4::CheckedProgram* checked_;
   std::map<std::string, TableState> tables_;
   std::map<std::string, ValueSetState> valueSets_;

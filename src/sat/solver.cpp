@@ -4,7 +4,67 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/obs.h"
+
 namespace flay::sat {
+
+namespace {
+
+/// Global handles for solver telemetry, resolved once. Counters are flushed
+/// as deltas at the end of each solve() call so the hot loop touches only the
+/// solver's local fields.
+struct SatObs {
+  obs::Counter& queries = obs::Registry::global().counter("sat.queries");
+  obs::Counter& conflicts = obs::Registry::global().counter("sat.conflicts");
+  obs::Counter& decisions = obs::Registry::global().counter("sat.decisions");
+  obs::Counter& propagations =
+      obs::Registry::global().counter("sat.propagations");
+  obs::Counter& restarts = obs::Registry::global().counter("sat.restarts");
+  obs::Counter& learned = obs::Registry::global().counter("sat.learned_clauses");
+  obs::Counter& reduces = obs::Registry::global().counter("sat.reduce_runs");
+  obs::Histogram& solveUs = obs::Registry::global().histogram("sat.solve_us");
+  obs::Histogram& learnedDb =
+      obs::Registry::global().histogram("sat.learned_db_size");
+
+  static SatObs& get() {
+    static SatObs instance;
+    return instance;
+  }
+};
+
+/// RAII flush of the per-query statistic deltas into the registry.
+class StatsFlusher {
+ public:
+  explicit StatsFlusher(const Solver& solver)
+      : solver_(solver),
+        timer_(SatObs::get().solveUs, "sat.solve"),
+        conflicts0_(solver.numConflicts()),
+        decisions0_(solver.numDecisions()),
+        propagations0_(solver.numPropagations()),
+        restarts0_(solver.numRestarts()),
+        reduces0_(solver.numReduceRuns()) {}
+
+  ~StatsFlusher() {
+    SatObs& o = SatObs::get();
+    o.queries.add(1);
+    o.conflicts.add(solver_.numConflicts() - conflicts0_);
+    o.decisions.add(solver_.numDecisions() - decisions0_);
+    o.propagations.add(solver_.numPropagations() - propagations0_);
+    o.restarts.add(solver_.numRestarts() - restarts0_);
+    o.reduces.add(solver_.numReduceRuns() - reduces0_);
+    // Conflicts and learned clauses track each other 1:1 modulo reductions;
+    // the DB-size histogram is what shows reduction keeping growth bounded.
+    o.learned.add(solver_.numConflicts() - conflicts0_);
+    o.learnedDb.record(solver_.numLearnedClauses());
+  }
+
+ private:
+  const Solver& solver_;
+  obs::ScopedTimer timer_;
+  uint64_t conflicts0_, decisions0_, propagations0_, restarts0_, reduces0_;
+};
+
+}  // namespace
 
 uint32_t Solver::newVar() {
   uint32_t v = numVars();
@@ -276,6 +336,7 @@ void Solver::reduceLearned() {
 
 Result Solver::solve(std::span<const Lit> assumptions) {
   if (unsat_) return Result::kUnsat;
+  StatsFlusher stats(*this);
   backtrack(0);
   uint64_t restartNum = 0;
   uint64_t conflictBudget = 100 * luby(restartNum + 1);
@@ -310,9 +371,17 @@ Result Solver::solve(std::span<const Lit> assumptions) {
       // Restart: drop to the assumption boundary.
       backtrack(0);
       ++restartNum;
+      ++restarts_;
       conflictBudget = 100 * luby(restartNum + 1);
       conflictsThisRestart = 0;
-      if (conflicts_ % 2048 == 0) reduceLearned();
+      // Reduce the learned-clause DB on a conflict-count schedule. (Checking
+      // `conflicts_ % 2048 == 0` here almost never fired — restarts rarely
+      // land exactly on a multiple — letting the DB grow without bound.)
+      if (conflicts_ >= nextReduce_) {
+        reduceLearned();
+        ++reduces_;
+        nextReduce_ = conflicts_ + kReduceInterval;
+      }
       continue;
     }
     // Apply pending assumptions, one decision level each.

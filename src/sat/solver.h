@@ -52,9 +52,19 @@ class Solver {
   uint64_t numConflicts() const { return conflicts_; }
   uint64_t numDecisions() const { return decisions_; }
   uint64_t numPropagations() const { return propagations_; }
+  uint64_t numRestarts() const { return restarts_; }
+  uint64_t numReduceRuns() const { return reduces_; }
+  /// Learned clauses currently in the database (shrinks on reduction).
+  uint64_t numLearnedClauses() const {
+    uint64_t n = 0;
+    for (const Clause& c : clauses_) n += c.learned ? 1 : 0;
+    return n;
+  }
 
  private:
   static constexpr int8_t kUndef = -1;
+  /// Learned-clause DB reduction runs every this many conflicts.
+  static constexpr uint64_t kReduceInterval = 2048;
 
   struct Clause {
     std::vector<Lit> lits;
@@ -106,6 +116,9 @@ class Solver {
   uint64_t conflicts_ = 0;
   uint64_t decisions_ = 0;
   uint64_t propagations_ = 0;
+  uint64_t restarts_ = 0;
+  uint64_t reduces_ = 0;
+  uint64_t nextReduce_ = kReduceInterval;
 };
 
 }  // namespace flay::sat

@@ -2,9 +2,34 @@
 
 #include <array>
 
+#include "obs/obs.h"
+
 namespace flay::smt {
 
 using expr::ExprRef;
+
+namespace {
+
+/// Telemetry for the queries Flay issues instead of Z3 calls. The SAT layer
+/// below reports its own conflict/propagation counters; these count at the
+/// query granularity of §3's analysis.
+struct SmtObs {
+  obs::Registry& reg = obs::Registry::global();
+  obs::Counter& checks = reg.counter("smt.checks");
+  obs::Counter& satResults = reg.counter("smt.sat_results");
+  obs::Counter& unsatResults = reg.counter("smt.unsat_results");
+  obs::Counter& validQueries = reg.counter("smt.valid_queries");
+  obs::Counter& constantQueries = reg.counter("smt.constant_queries");
+  obs::Counter& foldedQueries = reg.counter("smt.folded_queries");
+  obs::Histogram& checkUs = reg.histogram("smt.check_us");
+
+  static SmtObs& get() {
+    static SmtObs instance;
+    return instance;
+  }
+};
+
+}  // namespace
 
 SmtSolver::SmtSolver(const expr::ExprArena& arena)
     : arena_(arena),
@@ -19,8 +44,13 @@ void SmtSolver::assertExpr(ExprRef boolExpr) {
 }
 
 CheckResult SmtSolver::check() {
-  return sat_->solve() == sat::Result::kSat ? CheckResult::kSat
-                                            : CheckResult::kUnsat;
+  SmtObs& o = SmtObs::get();
+  obs::ScopedTimer t(o.checkUs, "smt.check");
+  o.checks.add(1);
+  CheckResult r = sat_->solve() == sat::Result::kSat ? CheckResult::kSat
+                                                     : CheckResult::kUnsat;
+  (r == CheckResult::kSat ? o.satResults : o.unsatResults).add(1);
+  return r;
 }
 
 BitVec SmtSolver::modelValue(ExprRef var) {
@@ -47,8 +77,13 @@ bool isSatisfiable(const expr::ExprArena& arena, ExprRef boolExpr) {
 }
 
 bool isValid(const expr::ExprArena& arena, ExprRef boolExpr) {
-  if (arena.isTrue(boolExpr)) return true;
-  if (arena.isFalse(boolExpr)) return false;
+  SmtObs& o = SmtObs::get();
+  if (arena.isTrue(boolExpr) || arena.isFalse(boolExpr)) {
+    o.foldedQueries.add(1);
+    return arena.isTrue(boolExpr);
+  }
+  o.validQueries.add(1);
+  obs::ScopedTimer t(o.checkUs, "smt.valid");
   // valid(e) <=> unsat(!e). Asserting the blasted literal negated encodes !e
   // without needing a mutable arena.
   sat::Solver sat;
@@ -66,7 +101,13 @@ bool areEquivalent(expr::ExprArena& arena, ExprRef a, ExprRef b) {
 }
 
 std::optional<ExprRef> constantValue(expr::ExprArena& arena, ExprRef e) {
-  if (arena.isConst(e)) return e;
+  SmtObs& o = SmtObs::get();
+  if (arena.isConst(e)) {
+    o.foldedQueries.add(1);
+    return e;
+  }
+  o.constantQueries.add(1);
+  obs::ScopedTimer timer(o.checkUs, "smt.constant");
   // Find one model value v, then check whether e == v is valid.
   sat::Solver sat;
   BitBlaster blaster(arena, sat);

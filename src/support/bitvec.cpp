@@ -43,6 +43,7 @@ BitVec BitVec::parse(uint32_t width, std::string_view text) {
   }
   BitVec result(width, 0);
   BitVec baseVal(width, base);
+  bool anyDigit = false;
   for (char c : text) {
     if (c == '_') continue;
     uint32_t digit;
@@ -52,6 +53,10 @@ BitVec BitVec::parse(uint32_t width, std::string_view text) {
     else throw std::invalid_argument("bad digit in bit-vector literal");
     if (digit >= base) throw std::invalid_argument("digit out of range for base");
     result = result.mul(baseVal).add(BitVec(width, digit));
+    anyDigit = true;
+  }
+  if (!anyDigit) {
+    throw std::invalid_argument("bit-vector literal has no digits");
   }
   return result;
 }

@@ -3,9 +3,27 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/obs.h"
+
 namespace flay::tofino {
 
 namespace {
+
+/// Telemetry for the §6 prototype: how much of the pipeline each
+/// semantics-changing update actually forces the device compiler to touch.
+struct IncrementalObs {
+  obs::Registry& reg = obs::Registry::global();
+  obs::Counter& compiles = reg.counter("tofino.incremental_compiles");
+  obs::Counter& fullFallbacks = reg.counter("tofino.full_fallbacks");
+  obs::Counter& unitsReplaced = reg.counter("tofino.units_replaced");
+  obs::Histogram& compileUs = reg.histogram("tofino.incremental_us");
+  obs::Histogram& stagesTouched = reg.histogram("tofino.stages_touched");
+
+  static IncrementalObs& get() {
+    static IncrementalObs instance;
+    return instance;
+  }
+};
 
 bool intersects(const std::set<std::string>& a,
                 const std::set<std::string>& b) {
@@ -39,11 +57,15 @@ CompileResult IncrementalPipelineCompiler::fullCompile(
 
 CompileResult IncrementalPipelineCompiler::incrementalCompile(
     const p4::CheckedProgram& checked, const std::set<std::string>& changed) {
+  IncrementalObs& iobs = IncrementalObs::get();
+  obs::ScopedTimer compileTimer(iobs.compileUs, "tofino.incremental");
+  iobs.compiles.add(1);
   auto start = std::chrono::steady_clock::now();
   lastFullFallback_ = false;
   if (baseline_.empty()) {
     CompileResult r = fullCompile(checked);
     lastFullFallback_ = true;  // set after fullCompile resets the flags
+    iobs.fullFallbacks.add(1);
     return r;
   }
 
@@ -166,16 +188,24 @@ CompileResult IncrementalPipelineCompiler::incrementalCompile(
     }
   }
   lastReplaced_ = movableSet.size();
+  iobs.unitsReplaced.add(movableSet.size());
 
   if (!ok) {
     // Constraints broke beyond local repair: monolithic fallback.
     CompileResult fullResult = fullCompile(checked);
     lastFullFallback_ = true;
+    iobs.fullFallbacks.add(1);
     fullResult.compileTime =
         std::chrono::duration_cast<std::chrono::microseconds>(
             std::chrono::steady_clock::now() - start);
     return fullResult;
   }
+
+  // How localized was the change: distinct stages that received a re-placed
+  // unit (the incrementality claim is that this stays small).
+  std::set<uint32_t> touched;
+  for (size_t idx : movableSet) touched.insert(stageOf[idx]);
+  iobs.stagesTouched.record(touched.size());
 
   result.fits = true;
   uint32_t stages = 0;

@@ -47,6 +47,21 @@ TEST(BitVec, ParseRejectsBadDigits) {
   EXPECT_THROW(BitVec::parse(8, "0b12"), std::invalid_argument);
 }
 
+TEST(BitVec, ParseRejectsDigitlessLiterals) {
+  // Previously these silently parsed as 0.
+  EXPECT_THROW(BitVec::parse(8, ""), std::invalid_argument);
+  EXPECT_THROW(BitVec::parse(8, "0x"), std::invalid_argument);
+  EXPECT_THROW(BitVec::parse(8, "0X"), std::invalid_argument);
+  EXPECT_THROW(BitVec::parse(8, "0b"), std::invalid_argument);
+  EXPECT_THROW(BitVec::parse(8, "0o"), std::invalid_argument);
+  EXPECT_THROW(BitVec::parse(8, "_"), std::invalid_argument);
+  EXPECT_THROW(BitVec::parse(8, "0x__"), std::invalid_argument);
+  // A lone zero and underscore-separated digits still parse.
+  EXPECT_EQ(BitVec::parse(8, "0").toUint64(), 0u);
+  EXPECT_EQ(BitVec::parse(8, "0x0").toUint64(), 0u);
+  EXPECT_EQ(BitVec::parse(8, "0_1").toUint64(), 1u);
+}
+
 TEST(BitVec, AddWraps) {
   BitVec a(8, 0xFF);
   EXPECT_EQ(a.add(BitVec(8, 1)).toUint64(), 0u);

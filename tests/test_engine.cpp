@@ -132,6 +132,96 @@ TEST_F(EngineTest, MalformedUpdateThrowsAndLeavesStateIntact) {
   EXPECT_TRUE(v.needsRecompilation);
 }
 
+TEST_F(EngineTest, BatchWithMalformedUpdateAnalyzesAppliedPrefix) {
+  // Regression: applyBatch used to install updates 0..k-1 and then throw on
+  // a malformed update k WITHOUT re-analyzing, leaving the annotations
+  // describing a config that no longer exists.
+  FlayService service(checked);
+  std::vector<Update> batch;
+  batch.push_back(Update::insert("C.t", ternary(1, 0xFF, "set_a", 9, 1)));
+  TableEntry bad;
+  bad.matches.push_back(FieldMatch::exact(BitVec(8, 1)));  // wrong match kind
+  bad.actionName = "set_a";
+  bad.actionArgs.push_back(BitVec(8, 1));
+  batch.push_back(Update::insert("C.t", bad));
+  batch.push_back(Update::insert("C.t", ternary(2, 0xFF, "set_b", 7, 2)));
+
+  EXPECT_THROW(service.applyBatch(batch), std::invalid_argument);
+
+  // The prefix before the malformed update is installed...
+  ASSERT_EQ(service.config().table("C.t").size(), 1u);
+  // ...and the annotations reflect it: the hit point must no longer be the
+  // constant false of the empty table.
+  const TableInfo& info = service.analysis().table("C.t");
+  EXPECT_FALSE(service.arena().isFalse(service.specialized(info.hitPoint)));
+
+  // The service must match a clean service that only ever saw the prefix.
+  FlayService reference(checked);
+  reference.applyUpdate(batch[0]);
+  const auto& pa = service.analysis().annotations.points();
+  const auto& pb = reference.analysis().annotations.points();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(expr::toString(service.arena(), pa[i].specialized),
+              expr::toString(reference.arena(), pb[i].specialized))
+        << pa[i].label;
+  }
+}
+
+TEST_F(EngineTest, EmptyBatchWithOnlyMalformedUpdateThrowsCleanly) {
+  FlayService service(checked);
+  TableEntry bad;
+  bad.matches.push_back(FieldMatch::exact(BitVec(8, 1)));
+  bad.actionName = "set_a";
+  bad.actionArgs.push_back(BitVec(8, 1));
+  EXPECT_THROW(service.applyBatch({Update::insert("C.t", bad)}),
+               std::invalid_argument);
+  EXPECT_TRUE(service.config().table("C.t").empty());
+  const TableInfo& info = service.analysis().table("C.t");
+  EXPECT_TRUE(service.arena().isFalse(service.specialized(info.hitPoint)));
+}
+
+TEST_F(EngineTest, EmptyToFirstEntryLifecycle) {
+  // Fig. 3 lifecycle around the empty state, using an argument-less action
+  // so the verdicts isolate the table digest (no param constants involved).
+  FlayService service(checked);
+  const TableInfo& info = service.analysis().table("C.t");
+  EXPECT_TRUE(service.arena().isFalse(service.specialized(info.hitPoint)));
+
+  // Empty -> first exact-valued entry: semantics change (the hit condition
+  // stops being constant false) and must recompile exactly because of that,
+  // landing directly in the exact-encodable state.
+  auto v1 = service.applyUpdate(
+      Update::insert("C.t", ternary(3, 0xFF, "drop_pkt", 0, 1)));
+  EXPECT_TRUE(v1.needsRecompilation);
+  EXPECT_EQ(v1.changedComponents.count("C.t"), 1u);
+
+  // Second exact-valued entry with the same action: the hit expression
+  // changes but the implementation shape does not — no recompile. This pins
+  // that the empty state did not leave a stale "masked" digest behind.
+  auto v2 = service.applyUpdate(
+      Update::insert("C.t", ternary(4, 0xFF, "drop_pkt", 0, 2)));
+  EXPECT_TRUE(v2.expressionsChanged);
+  EXPECT_FALSE(v2.needsRecompilation);
+
+  // A genuinely masked entry changes the key shape: recompile (B -> C).
+  auto v3 = service.applyUpdate(
+      Update::insert("C.t", ternary(0x10, 0xF0, "drop_pkt", 0, 3)));
+  EXPECT_TRUE(v3.needsRecompilation);
+
+  // Deleting everything returns to the empty-table implementation.
+  std::vector<uint64_t> ids;
+  for (const auto& e : service.config().table("C.t").entries()) {
+    ids.push_back(e.id);
+  }
+  UpdateVerdict last;
+  for (uint64_t id : ids) {
+    last = service.applyUpdate(Update::remove("C.t", id));
+  }
+  EXPECT_TRUE(last.needsRecompilation);
+  EXPECT_TRUE(service.arena().isFalse(service.specialized(info.hitPoint)));
+}
+
 TEST_F(EngineTest, BatchEqualsSequentialSpecialization) {
   // Property: the final specialized state after applyBatch(u1..uN) equals
   // the state after applying u1..uN one at a time.

@@ -1,0 +1,200 @@
+// Unit tests for the observability subsystem: counters, log-bucketed
+// histograms (bucket math and quantile error bounds), the global registry,
+// scoped timers, and the JSONL trace sink.
+
+#include "obs/obs.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace obs = flay::obs;
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  obs::Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Histogram, BucketForIsMonotoneAndInBounds) {
+  uint32_t prev = 0;
+  for (uint64_t v : std::vector<uint64_t>{0, 1, 7, 8, 9, 100, 1000,
+                                          uint64_t{1} << 20,
+                                          uint64_t{1} << 40, UINT64_MAX}) {
+    uint32_t b = obs::Histogram::bucketFor(v);
+    ASSERT_LT(b, obs::Histogram::kNumBuckets) << "value " << v;
+    ASSERT_GE(b, prev) << "value " << v;
+    prev = b;
+  }
+}
+
+TEST(Histogram, SmallValuesGetExactBuckets) {
+  for (uint64_t v = 0; v < 8; ++v) {
+    EXPECT_EQ(obs::Histogram::bucketFor(v), v);
+    EXPECT_EQ(obs::Histogram::bucketMid(static_cast<uint32_t>(v)), v);
+  }
+}
+
+TEST(Histogram, BucketMidStaysWithinRelativeError) {
+  // The midpoint of a value's bucket must be within the bucket's ~12.5%
+  // relative width for the log-bucketed range.
+  for (uint64_t v = 8; v < (1ull << 34); v = v * 3 / 2 + 1) {
+    uint32_t b = obs::Histogram::bucketFor(v);
+    uint64_t mid = obs::Histogram::bucketMid(b);
+    double rel = mid > v ? static_cast<double>(mid - v) / v
+                         : static_cast<double>(v - mid) / v;
+    EXPECT_LE(rel, 0.15) << "value " << v << " mid " << mid;
+  }
+}
+
+TEST(Histogram, TracksCountSumMinMax) {
+  obs::Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);  // empty convention
+  EXPECT_EQ(h.max(), 0u);
+  h.record(10);
+  h.record(200);
+  h.record(3);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 213u);
+  EXPECT_EQ(h.min(), 3u);
+  EXPECT_EQ(h.max(), 200u);
+}
+
+TEST(Histogram, QuantilesOfUniformRange) {
+  obs::Histogram h;
+  for (uint64_t v = 1; v <= 1000; ++v) h.record(v);
+  // p50 of 1..1000 is ~500; the bucketed estimate must land within the
+  // bucket error bound (~12.5%) plus slack.
+  uint64_t p50 = h.quantile(0.50);
+  uint64_t p95 = h.quantile(0.95);
+  uint64_t p99 = h.quantile(0.99);
+  EXPECT_NEAR(static_cast<double>(p50), 500.0, 90.0);
+  EXPECT_NEAR(static_cast<double>(p95), 950.0, 150.0);
+  EXPECT_NEAR(static_cast<double>(p99), 990.0, 150.0);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  // The low extreme clamps to the observed min; the high extreme lands in
+  // the max's bucket (midpoint estimate).
+  EXPECT_EQ(h.quantile(0.0), 1u);
+  EXPECT_NEAR(static_cast<double>(h.quantile(1.0)), 1000.0, 130.0);
+}
+
+TEST(Histogram, QuantileOfSingleValue) {
+  obs::Histogram h;
+  h.record(77);
+  EXPECT_EQ(h.quantile(0.5), 77u);
+  EXPECT_EQ(h.quantile(0.99), 77u);
+}
+
+TEST(Registry, ReturnsSameHandleForSameName) {
+  obs::Registry& reg = obs::Registry::global();
+  obs::Counter& a = reg.counter("test.obs.same_handle");
+  obs::Counter& b = reg.counter("test.obs.same_handle");
+  EXPECT_EQ(&a, &b);
+  obs::Histogram& ha = reg.histogram("test.obs.same_hist");
+  obs::Histogram& hb = reg.histogram("test.obs.same_hist");
+  EXPECT_EQ(&ha, &hb);
+}
+
+TEST(Registry, ResetZeroesButKeepsHandles) {
+  obs::Registry& reg = obs::Registry::global();
+  obs::Counter& c = reg.counter("test.obs.reset_keep");
+  c.add(5);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);
+  c.add(2);
+  EXPECT_EQ(reg.counter("test.obs.reset_keep").value(), 2u);
+}
+
+TEST(Registry, SnapshotContainsRegisteredNames) {
+  obs::Registry& reg = obs::Registry::global();
+  reg.counter("test.obs.snap_counter").add(3);
+  reg.histogram("test.obs.snap_hist").record(12);
+  obs::Snapshot snap = reg.snapshot();
+  bool haveCounter = false, haveHist = false;
+  for (const auto& [name, value] : snap.counters) {
+    if (name == "test.obs.snap_counter") {
+      haveCounter = true;
+      EXPECT_GE(value, 3u);
+    }
+  }
+  for (const auto& [name, stats] : snap.histograms) {
+    if (name == "test.obs.snap_hist") {
+      haveHist = true;
+      EXPECT_GE(stats.count, 1u);
+    }
+  }
+  EXPECT_TRUE(haveCounter);
+  EXPECT_TRUE(haveHist);
+}
+
+TEST(Registry, JsonIsWellFormedish) {
+  obs::Registry& reg = obs::Registry::global();
+  reg.counter("test.obs.json\"quote").add(1);
+  std::string json = reg.toJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  // The quote in the name must be escaped.
+  EXPECT_NE(json.find("json\\\"quote"), std::string::npos);
+}
+
+TEST(Registry, CountersAreThreadSafe) {
+  obs::Counter& c = obs::Registry::global().counter("test.obs.mt");
+  c.reset();
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&c] {
+      for (int i = 0; i < 10000; ++i) c.add(1);
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c.value(), 40000u);
+}
+
+TEST(ScopedTimer, RecordsIntoHistogram) {
+  obs::Histogram h;
+  {
+    obs::ScopedTimer t(h);
+  }
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(Trace, EmitsJsonlEvents) {
+  obs::Registry& reg = obs::Registry::global();
+  std::string path = ::testing::TempDir() + "obs_trace_test.jsonl";
+  ASSERT_TRUE(reg.openTrace(path));
+  EXPECT_TRUE(reg.tracingEnabled());
+  obs::Histogram h;
+  {
+    obs::ScopedTimer t(h, "test.trace_event");
+  }
+  reg.closeTrace();
+  EXPECT_FALSE(reg.tracingEnabled());
+
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char line[512] = {0};
+  ASSERT_NE(std::fgets(line, sizeof line, f), nullptr);
+  std::fclose(f);
+  std::remove(path.c_str());
+  std::string event = line;
+  EXPECT_NE(event.find("\"name\":\"test.trace_event\""), std::string::npos);
+  EXPECT_NE(event.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(event.find("\"dur\":"), std::string::npos);
+}
+
+TEST(Trace, OpenFailsForBadPath) {
+  EXPECT_FALSE(
+      obs::Registry::global().openTrace("/nonexistent-dir/trace.jsonl"));
+  EXPECT_FALSE(obs::Registry::global().tracingEnabled());
+}

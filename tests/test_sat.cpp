@@ -5,6 +5,8 @@
 #include <random>
 #include <vector>
 
+#include "obs/obs.h"
+
 namespace flay::sat {
 namespace {
 
@@ -207,6 +209,46 @@ TEST_P(Random3SatTest, AgreesWithBruteForce) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, Random3SatTest, ::testing::Range(1, 31));
+
+// Regression: the learned-clause DB must stay bounded on a hard query.
+// Reduction used to be gated on `conflicts % 2048 == 0` holding exactly at a
+// restart boundary, which almost never fires, so the DB grew one clause per
+// conflict for the whole run.
+TEST(SatSolver, LearnedDbStaysBoundedOnHardInstance) {
+  // Pigeonhole PH(9,8): unsat and reliably expensive for CDCL — tens of
+  // thousands of conflicts, far past several reduction deadlines.
+  constexpr int P = 9, H = 8;
+  Solver s;
+  uint32_t x[P][H];
+  for (auto& row : x) {
+    for (auto& v : row) v = s.newVar();
+  }
+  for (int p = 0; p < P; ++p) {
+    std::vector<Lit> c;
+    for (int h = 0; h < H; ++h) c.push_back(pos(x[p][h]));
+    s.addClause(c);
+  }
+  for (int h = 0; h < H; ++h) {
+    for (int p1 = 0; p1 < P; ++p1) {
+      for (int p2 = p1 + 1; p2 < P; ++p2) {
+        s.addClause({neg(x[p1][h]), neg(x[p2][h])});
+      }
+    }
+  }
+  uint64_t reduceRuns0 =
+      obs::Registry::global().counter("sat.reduce_runs").value();
+  EXPECT_EQ(s.solve(), Result::kUnsat);
+  ASSERT_GT(s.numConflicts(), 8192u) << "instance no longer hard enough to "
+                                        "exercise the reduction schedule";
+  EXPECT_GE(s.numReduceRuns(), 2u);
+  // Bounded: at most ~2 reduction intervals of clauses survive at any time,
+  // plus reason-locked and binary clauses that reduction must keep.
+  EXPECT_LE(s.numLearnedClauses(), 3 * 2048u);
+  EXPECT_LT(s.numLearnedClauses(), s.numConflicts() / 2);
+  // The reduction runs are visible through the observability registry too.
+  EXPECT_GT(obs::Registry::global().counter("sat.reduce_runs").value(),
+            reduceRuns0);
+}
 
 }  // namespace
 }  // namespace flay::sat

@@ -6,18 +6,28 @@
 //   flayc compile    <prog.p4l>    RMT placement report (stage map)
 //   flayc specialize <prog.p4l>    specialize against the empty config and
 //                                  print the specialized source
+//   flayc fuzz       <prog.p4l>    apply a fuzzed control-plane update run
+//                                  and report the verdict mix
 //
 // Options:
 //   --skip-parser       analyze without symbolic parser execution
 //   --iterations N      placement search budget (default 400)
 //   --config NAME       canned config: scion-v4 | scion-v4v6 (scion.p4l)
+//   --updates N         fuzz: number of updates to apply (default 100)
+//   --seed S            fuzz: RNG seed (default 42)
+//   --stats[=json]      print the observability registry (counters and
+//                       per-phase latency histograms) before exiting
+//   --trace-out FILE    append one JSONL trace event per timed phase
 
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "flay/specializer.h"
+#include "net/fuzzer.h"
 #include "net/workloads.h"
+#include "obs/obs.h"
 #include "p4/printer.h"
 #include "tofino/compiler.h"
 
@@ -25,6 +35,8 @@ namespace p4 = flay::p4;
 namespace net = flay::net;
 namespace tofino = flay::tofino;
 namespace core = flay::flay;
+namespace runtime = flay::runtime;
+namespace obs = flay::obs;
 
 namespace {
 
@@ -34,12 +46,19 @@ struct Options {
   bool skipParser = false;
   uint32_t iterations = 400;
   std::string config;
+  size_t updates = 100;
+  uint64_t seed = 42;
+  bool stats = false;
+  bool statsJson = false;
+  std::string traceOut;
 };
 
 int usage() {
   std::fprintf(stderr,
-               "usage: flayc <check|print|analyze|compile|specialize> "
-               "<prog.p4l> [--skip-parser] [--iterations N] [--config NAME]\n");
+               "usage: flayc <check|print|analyze|compile|specialize|fuzz> "
+               "<prog.p4l> [--skip-parser] [--iterations N] [--config NAME]\n"
+               "             [--updates N] [--seed S] [--stats[=json]] "
+               "[--trace-out FILE]\n");
   return 2;
 }
 
@@ -141,6 +160,96 @@ int cmdSpecialize(const p4::CheckedProgram& checked, const Options& opts) {
   return 0;
 }
 
+int cmdFuzz(const p4::CheckedProgram& checked, const Options& opts) {
+  core::FlayOptions foptions;
+  foptions.analysis.analyzeParser = !opts.skipParser;
+  core::FlayService service(checked, foptions);
+  applyCannedConfig(service, opts.config);
+
+  const auto& tables = service.analysis().tables;
+  if (tables.empty()) {
+    std::fprintf(stderr, "fuzz: program has no tables\n");
+    return 1;
+  }
+
+  // Pre-generate a pool of schema-valid entries per table (tables whose key
+  // space is too small for the requested count are skipped), then apply them
+  // round-robin. Every 8th update deletes a previously installed entry so
+  // the run also exercises the delete path.
+  net::EntryFuzzer fuzzer(opts.seed);
+  struct Pool {
+    std::string table;
+    std::vector<runtime::TableEntry> entries;
+    size_t next = 0;
+  };
+  std::vector<Pool> pools;
+  size_t perTable = opts.updates / tables.size() + 1;
+  for (const auto& info : tables) {
+    Pool pool;
+    pool.table = info.qualified;
+    try {
+      pool.entries =
+          fuzzer.uniqueEntries(service.config().table(info.qualified), perTable);
+    } catch (const std::exception&) {
+      continue;  // schema admits too few distinct keys at this count
+    }
+    pools.push_back(std::move(pool));
+  }
+  if (pools.empty()) {
+    std::fprintf(stderr, "fuzz: no table schema admits %zu entries\n",
+                 perTable);
+    return 1;
+  }
+
+  size_t applied = 0, inserts = 0, deletes = 0, rejected = 0;
+  size_t exprChanges = 0, recompiles = 0;
+  std::vector<std::pair<std::string, uint64_t>> installed;
+  while (applied < opts.updates) {
+    bool progress = false;
+    for (Pool& pool : pools) {
+      if (applied >= opts.updates) break;
+      core::UpdateVerdict verdict;
+      if (applied % 8 == 7 && !installed.empty()) {
+        auto [table, id] = installed.back();
+        installed.pop_back();
+        verdict = service.applyUpdate(runtime::Update::remove(table, id));
+        ++deletes;
+      } else {
+        if (pool.next >= pool.entries.size()) continue;
+        runtime::TableEntry entry = pool.entries[pool.next++];
+        try {
+          verdict =
+              service.applyUpdate(runtime::Update::insert(pool.table, entry));
+        } catch (const std::invalid_argument&) {
+          ++rejected;  // e.g. duplicate of a canned-config entry
+          progress = true;
+          continue;
+        }
+        installed.emplace_back(pool.table,
+                               service.config()
+                                   .table(pool.table)
+                                   .entries()
+                                   .back()
+                                   .id);
+        ++inserts;
+      }
+      ++applied;
+      progress = true;
+      if (verdict.expressionsChanged) ++exprChanges;
+      if (verdict.needsRecompilation) ++recompiles;
+    }
+    if (!progress) break;
+  }
+
+  std::printf("fuzz run: %zu updates applied (%zu inserts, %zu deletes, "
+              "%zu rejected) across %zu tables\n",
+              applied, inserts, deletes, rejected, pools.size());
+  std::printf("  expression-changing:  %zu\n", exprChanges);
+  std::printf("  recompile-requiring:  %zu\n", recompiles);
+  std::printf("  semantics-preserving: %zu\n", applied - recompiles);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -153,6 +262,17 @@ int main(int argc, char** argv) {
       opts.iterations = static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
     } else if (arg == "--config" && i + 1 < argc) {
       opts.config = argv[++i];
+    } else if (arg == "--updates" && i + 1 < argc) {
+      opts.updates = std::strtoul(argv[++i], nullptr, 10);
+    } else if (arg == "--seed" && i + 1 < argc) {
+      opts.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--stats") {
+      opts.stats = true;
+    } else if (arg == "--stats=json") {
+      opts.stats = true;
+      opts.statsJson = true;
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      opts.traceOut = argv[++i];
     } else if (opts.command.empty()) {
       opts.command = arg;
     } else if (opts.file.empty()) {
@@ -163,22 +283,49 @@ int main(int argc, char** argv) {
   }
   if (opts.command.empty() || opts.file.empty()) return usage();
 
+  if (!opts.traceOut.empty() &&
+      !obs::Registry::global().openTrace(opts.traceOut)) {
+    std::fprintf(stderr, "cannot open trace file '%s'\n",
+                 opts.traceOut.c_str());
+    return 1;
+  }
+
+  int rc;
   try {
     p4::CheckedProgram checked = p4::loadProgramFromFile(opts.file);
-    if (opts.command == "check") return cmdCheck(checked);
-    if (opts.command == "print") {
+    if (opts.command == "check") {
+      rc = cmdCheck(checked);
+    } else if (opts.command == "print") {
       std::printf("%s", p4::printProgram(checked.program).c_str());
-      return 0;
+      rc = 0;
+    } else if (opts.command == "analyze") {
+      rc = cmdAnalyze(checked, opts);
+    } else if (opts.command == "compile") {
+      rc = cmdCompile(checked, opts);
+    } else if (opts.command == "specialize") {
+      rc = cmdSpecialize(checked, opts);
+    } else if (opts.command == "fuzz") {
+      rc = cmdFuzz(checked, opts);
+    } else {
+      return usage();
     }
-    if (opts.command == "analyze") return cmdAnalyze(checked, opts);
-    if (opts.command == "compile") return cmdCompile(checked, opts);
-    if (opts.command == "specialize") return cmdSpecialize(checked, opts);
-    return usage();
   } catch (const flay::CompileError& e) {
     std::fprintf(stderr, "error:\n%s\n", e.what());
+    obs::Registry::global().closeTrace();
     return 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
+    obs::Registry::global().closeTrace();
     return 1;
   }
+
+  if (opts.stats) {
+    if (opts.statsJson) {
+      std::printf("%s\n", obs::Registry::global().toJson().c_str());
+    } else {
+      std::printf("%s", obs::Registry::global().snapshot().toText().c_str());
+    }
+  }
+  obs::Registry::global().closeTrace();
+  return rc;
 }
