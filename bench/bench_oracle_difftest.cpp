@@ -1,0 +1,63 @@
+// Differential-oracle throughput: how much equivalence checking one
+// nightly budget buys. Runs the oracle on middleblock and switch at a fixed
+// seed and reports updates/packets checked per second plus the oracle.*
+// counters (probe/respecialize/run histograms land in the registry snapshot
+// merged into the flay-bench-stats-v1 report).
+
+#include <chrono>
+#include <cstdio>
+
+#include "net/workloads.h"
+#include "obs/bench_report.h"
+#include "oracle/oracle.h"
+#include "p4/typecheck.h"
+
+int main() {
+  namespace p4 = flay::p4;
+  namespace net = flay::net;
+  namespace oracle = flay::oracle;
+
+  std::printf("differential oracle throughput\n\n");
+
+  std::vector<std::pair<std::string, double>> metrics;
+  double totalSeconds = 0;
+  for (const char* name : {"middleblock", "switch"}) {
+    p4::CheckedProgram checked =
+        p4::loadProgramFromFile(net::programPath(name));
+    oracle::OracleOptions options;
+    options.updates = 120;
+    options.packets = 32;
+    options.seed = 1;
+    options.shrink = false;
+
+    auto t0 = std::chrono::steady_clock::now();
+    oracle::OracleReport report =
+        oracle::DifferentialOracle(checked, options).run();
+    double seconds = std::chrono::duration_cast<std::chrono::microseconds>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count() /
+                     1e6;
+    totalSeconds += seconds;
+
+    std::printf("%-12s %4zu updates, %6zu packets compared in %6.2f s "
+                "(%6.0f pkt/s)  %s\n",
+                name, report.updatesApplied, report.packetsCompared, seconds,
+                report.packetsCompared / seconds,
+                report.equivalent ? "equivalent" : "DIVERGED");
+    metrics.emplace_back(std::string(name) + "_updates_applied",
+                         static_cast<double>(report.updatesApplied));
+    metrics.emplace_back(std::string(name) + "_packets_compared",
+                         static_cast<double>(report.packetsCompared));
+    metrics.emplace_back(std::string(name) + "_preserving_checks",
+                         static_cast<double>(report.preservingChecks));
+    metrics.emplace_back(std::string(name) + "_respecializations",
+                         static_cast<double>(report.respecializations));
+    metrics.emplace_back(std::string(name) + "_seconds", seconds);
+    metrics.emplace_back(std::string(name) + "_equivalent",
+                         report.equivalent ? 1.0 : 0.0);
+  }
+  metrics.emplace_back("total_seconds", totalSeconds);
+
+  flay::obs::writeBenchReport("oracle_difftest", metrics);
+  return 0;
+}

@@ -231,7 +231,9 @@ ExprRef ExprArena::extract(ExprRef a, uint32_t hi, uint32_t lo) {
   assert(hi < width(a) && lo <= hi);
   if (lo == 0 && hi == width(a) - 1) return a;
   if (isConst(a)) return bvConst(constValue(a).slice(hi, lo));
-  const ExprNode& n = node(a);
+  // By value: the recursive extract/zext calls below can intern and
+  // reallocate nodes_, which would dangle a reference held across them.
+  const ExprNode n = node(a);
   // extract of extract composes.
   if (n.kind == ExprKind::kExtract) {
     return extract(ExprRef{n.a}, n.c + hi, n.c + lo);
@@ -284,13 +286,15 @@ ExprRef ExprArena::eq(ExprRef a, ExprRef b) {
   // reachable arm away. This is the rewrite that collapses table-selector
   // chains after control-plane substitution.
   if (isConst(b) && node(a).kind == ExprKind::kIte) {
-    const ExprNode& n = node(a);
+    // By value: the recursive eq/ite calls intern and may reallocate nodes_,
+    // so a reference into the arena must not live across them.
+    const ExprNode n = node(a);
     if (isConst(ExprRef{n.b}) || isConst(ExprRef{n.c})) {
       return ite(ExprRef{n.a}, eq(ExprRef{n.b}, b), eq(ExprRef{n.c}, b));
     }
   }
   if (isConst(a) && node(b).kind == ExprKind::kIte) {
-    const ExprNode& n = node(b);
+    const ExprNode n = node(b);  // by value, as above
     if (isConst(ExprRef{n.b}) || isConst(ExprRef{n.c})) {
       return ite(ExprRef{n.a}, eq(a, ExprRef{n.b}), eq(a, ExprRef{n.c}));
     }

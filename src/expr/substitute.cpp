@@ -46,7 +46,9 @@ ExprRef Substitution::apply(ExprRef root) {
       stack.pop_back();
       continue;
     }
-    const ExprNode& n = arena_.node(ExprRef{id});
+    // By value: rebuild() interns through the arena, which may reallocate
+    // the node vector while this binding is still live.
+    const ExprNode n = arena_.node(ExprRef{id});
     if (n.kind == ExprKind::kVar || n.kind == ExprKind::kBoolVar) {
       auto it = bindings_.find(id);
       memo_.emplace(id, it != bindings_.end() ? it->second : ExprRef{id});

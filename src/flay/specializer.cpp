@@ -299,6 +299,18 @@ class Specializer::Impl {
       }
       table.actionNames = std::move(keptActions);
 
+      // The declared default action must track the *runtime* default: a
+      // set-default update may have re-pointed it, and the pruning above
+      // keeps only runtime-reachable actions, so a stale declared default
+      // would not re-check. (Found by the differential oracle: middleblock
+      // seed 5 re-points ipv4_route's default off drop_pkt, drop_pkt gets
+      // pruned, and the specialized program failed to type-check.)
+      table.defaultAction.name = state.defaultActionName();
+      table.defaultAction.args.clear();
+      for (const BitVec& arg : state.defaultActionArgs()) {
+        table.defaultAction.args.push_back(makeLiteral(arg));
+      }
+
       // Match-kind tightening (Fig. 3 B: a ternary key whose entries all
       // carry full masks is effectively exact; frees TCAM).
       auto normalized = state.normalizedEntries();
@@ -438,7 +450,8 @@ p4::CheckedProgram recheck(p4::Program program) {
 }
 
 runtime::DeviceConfig migrateConfig(const p4::CheckedProgram& specialized,
-                                    const runtime::DeviceConfig& original) {
+                                    const runtime::DeviceConfig& original,
+                                    const MigrationTestHooks* hooks) {
   runtime::DeviceConfig config(specialized);
   for (const auto& [name, newTable] : config.tables()) {
     if (!original.hasTable(name)) continue;
@@ -497,6 +510,14 @@ runtime::DeviceConfig migrateConfig(const p4::CheckedProgram& specialized,
     if (!config.hasValueSet(name)) continue;
     for (const auto& [value, mask] : vs.members()) {
       config.valueSet(name).insert(value, mask);
+    }
+  }
+  if (hooks != nullptr && hooks->dropOneEntry) {
+    for (const auto& [name, table] : config.tables()) {
+      if (!table.empty()) {
+        config.table(name).remove(table.entries().back().id);
+        break;
+      }
     }
   }
   return config;

@@ -66,11 +66,20 @@ class Specializer {
 /// checker as a safety net against specializer bugs).
 p4::CheckedProgram recheck(p4::Program program);
 
+/// Fault-injection hooks for migrateConfig, used by the differential oracle
+/// to prove it catches real specializer bugs: dropping one substituted entry
+/// models the classic "specializer forgot an installed entry" defect.
+struct MigrationTestHooks {
+  /// Silently drop the last migrated entry of the first non-empty table.
+  bool dropOneEntry = false;
+};
+
 /// Builds a DeviceConfig for the specialized program carrying over the
 /// original entries, converting match kinds where the specializer tightened
-/// keys and dropping entries of removed tables.
+/// keys and dropping entries of removed tables. `hooks` is for tests only.
 runtime::DeviceConfig migrateConfig(const p4::CheckedProgram& specialized,
-                                    const runtime::DeviceConfig& original);
+                                    const runtime::DeviceConfig& original,
+                                    const MigrationTestHooks* hooks = nullptr);
 
 }  // namespace flay::flay
 

@@ -97,4 +97,303 @@ std::vector<runtime::TableEntry> EntryFuzzer::uniqueEntries(
   return result;
 }
 
+// ---------------------------------------------------------------------------
+// PacketFuzzer
+// ---------------------------------------------------------------------------
+
+PacketFuzzer::PacketFuzzer(const p4::CheckedProgram& checked,
+                           const runtime::DeviceConfig& config, uint64_t seed)
+    : checked_(checked), config_(config), entropy_(seed), rng_(seed ^ 0x9E3779B97F4A7C15ull) {}
+
+void PacketFuzzer::appendBits(const BitVec& v) {
+  for (uint32_t i = v.width(); i-- > 0;) {
+    if (bitPos_ % 8 == 0) bytes_.push_back(0);
+    if (v.bit(i)) {
+      bytes_.back() |= static_cast<uint8_t>(1u << (7 - bitPos_ % 8));
+    }
+    ++bitPos_;
+  }
+}
+
+void PacketFuzzer::overwriteBits(const FieldSite& site, const BitVec& v) {
+  for (uint32_t i = 0; i < site.width; ++i) {
+    size_t pos = site.bitOffset + i;
+    uint8_t mask = static_cast<uint8_t>(1u << (7 - pos % 8));
+    if (v.bit(site.width - 1 - i)) {
+      bytes_[pos / 8] |= mask;
+    } else {
+      bytes_[pos / 8] &= static_cast<uint8_t>(~mask);
+    }
+  }
+}
+
+BitVec PacketFuzzer::steerSelectValue(const p4::ParserDecl& parser,
+                                      const p4::TransitionInfo& t,
+                                      uint32_t width) {
+  // Options: each steerable case plus one "random value" slot, so the
+  // default/reject paths keep coverage too.
+  std::vector<const p4::SelectCase*> steerable;
+  for (const auto& c : t.cases) {
+    if (c.kind == p4::SelectCase::Kind::kConst) {
+      steerable.push_back(&c);
+    } else if (c.kind == p4::SelectCase::Kind::kValueSet &&
+               config_.hasValueSet(parser.name + "." + c.valueSet) &&
+               !config_.valueSet(parser.name + "." + c.valueSet).empty()) {
+      steerable.push_back(&c);
+    }
+  }
+  size_t pick = rng_() % (steerable.size() + 1);
+  if (pick == steerable.size()) return entropy_.randomValue(width);
+  const p4::SelectCase& c = *steerable[pick];
+  BitVec value = BitVec::zero(width);
+  BitVec mask = BitVec::allOnes(width);
+  if (c.kind == p4::SelectCase::Kind::kConst) {
+    value = c.value->value;
+    if (c.mask != nullptr) mask = c.mask->value;
+  } else {
+    const auto& vs = config_.valueSet(parser.name + "." + c.valueSet);
+    const auto& member = vs.members()[rng_() % vs.members().size()];
+    value = member.first;
+    mask = member.second;
+  }
+  // Bits under the mask come from the case; the rest are random.
+  return value.bitAnd(mask).bitOr(
+      entropy_.randomValue(width).bitAnd(mask.bitNot()));
+}
+
+std::string PacketFuzzer::resolveTransition(const p4::ParserDecl& parser,
+                                            const p4::TransitionInfo& t,
+                                            const BitVec& key) const {
+  for (const auto& c : t.cases) {
+    switch (c.kind) {
+      case p4::SelectCase::Kind::kDefault:
+        return c.nextState;
+      case p4::SelectCase::Kind::kConst: {
+        BitVec mask = c.mask != nullptr ? c.mask->value
+                                        : BitVec::allOnes(key.width());
+        if (key.bitAnd(mask) == c.value->value.bitAnd(mask)) {
+          return c.nextState;
+        }
+        break;
+      }
+      case p4::SelectCase::Kind::kValueSet: {
+        const std::string qualified = parser.name + "." + c.valueSet;
+        if (config_.hasValueSet(qualified) &&
+            config_.valueSet(qualified).matches(key)) {
+          return c.nextState;
+        }
+        break;
+      }
+    }
+  }
+  return "reject";
+}
+
+void PacketFuzzer::steerTableKeys() {
+  // Pick one random installed entry whose key fields live in the packet and
+  // overwrite those fields with match-compatible bits.
+  std::vector<std::pair<const runtime::TableState*, const runtime::TableEntry*>>
+      candidates;
+  for (const auto& [name, table] : config_.tables()) {
+    for (const auto& e : table.entries()) {
+      bool steerable = false;
+      const auto& keys = table.decl().keys;
+      for (const auto& k : keys) {
+        steerable |= k.expr->op == p4::ExprOp::kPath &&
+                     fieldSites_.count(k.expr->canonical) != 0;
+      }
+      if (steerable) candidates.emplace_back(&table, &e);
+    }
+  }
+  if (candidates.empty() || rng_() % 4 == 0) return;
+  auto [table, entry] = candidates[rng_() % candidates.size()];
+  const auto& keys = table->decl().keys;
+  for (size_t k = 0; k < keys.size() && k < entry->matches.size(); ++k) {
+    if (keys[k].expr->op != p4::ExprOp::kPath) continue;
+    auto site = fieldSites_.find(keys[k].expr->canonical);
+    if (site == fieldSites_.end()) continue;
+    const runtime::FieldMatch& m = entry->matches[k];
+    BitVec v = m.value.bitAnd(m.mask).bitOr(
+        entropy_.randomValue(m.mask.width()).bitAnd(m.mask.bitNot()));
+    overwriteBits(site->second, v);
+  }
+}
+
+sim::Packet PacketFuzzer::randomPacket() {
+  bytes_.clear();
+  bitPos_ = 0;
+  fieldSites_.clear();
+  fieldValues_.clear();
+
+  const p4::Program& prog = checked_.program;
+  const p4::ParserDecl* parser = prog.findParser(prog.pipeline.parserName);
+  if (parser == nullptr) throw std::logic_error("pipeline parser missing");
+
+  constexpr int kMaxTransitions = 64;
+  const p4::ParserStateDecl* state = parser->findState("start");
+  for (int step = 0; state != nullptr && step < kMaxTransitions; ++step) {
+    std::string next = "accept";
+    for (const auto& stmt : state->body) {
+      if (stmt->op == p4::StmtOp::kExtract) {
+        const p4::HeaderInstance* hdr =
+            checked_.env.findHeader(stmt->lhs->canonical);
+        if (hdr == nullptr) throw std::logic_error("extract of non-header");
+        for (const auto& fieldName : hdr->fieldCanonicals) {
+          const p4::FieldInfo* info = checked_.env.findField(fieldName);
+          BitVec v = entropy_.randomValue(info->width);
+          fieldSites_[fieldName] = {bitPos_, info->width};
+          fieldValues_[fieldName] = v;
+          appendBits(v);
+        }
+      } else if (stmt->op == p4::StmtOp::kTransition) {
+        const p4::TransitionInfo& t = stmt->transition;
+        if (t.selectExpr == nullptr) {
+          next = t.nextState;
+          break;
+        }
+        // Steer the scrutinee when it is a plain extracted field; then
+        // resolve the transition the way the interpreter will, so the walk
+        // keeps appending the headers the parser will actually consume.
+        BitVec key;
+        if (t.selectExpr->op == p4::ExprOp::kPath &&
+            fieldSites_.count(t.selectExpr->canonical) != 0) {
+          key = steerSelectValue(*parser, t, t.selectExpr->width);
+          overwriteBits(fieldSites_[t.selectExpr->canonical], key);
+          fieldValues_[t.selectExpr->canonical] = key;
+        } else if (t.selectExpr->op == p4::ExprOp::kPath &&
+                   fieldValues_.count(t.selectExpr->canonical) != 0) {
+          key = fieldValues_[t.selectExpr->canonical];
+        } else {
+          // Scrutinee is a computed expression: no steering, walk ends here
+          // (the appended bytes still form a plausible packet).
+          next = "accept";
+          break;
+        }
+        next = resolveTransition(*parser, t, key);
+        break;
+      }
+      // Non-extract parser statements don't consume wire bytes.
+    }
+    if (next == "accept" || next == "reject") break;
+    state = parser->findState(next);
+  }
+
+  steerTableKeys();
+
+  // Occasional trailing payload / truncation to exercise boundary paths.
+  if (rng_() % 4 == 0) {
+    size_t extra = 1 + rng_() % 8;
+    for (size_t i = 0; i < extra; ++i) appendBits(BitVec(8, rng_() & 0xFF));
+  }
+  if (rng_() % 16 == 0 && !bytes_.empty()) {
+    bytes_.resize(rng_() % bytes_.size());
+  }
+
+  sim::Packet p;
+  p.bytes = bytes_;
+  p.ingressPort = static_cast<uint32_t>(rng_() % 16);
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// Update-sequence fuzzing
+// ---------------------------------------------------------------------------
+
+std::vector<runtime::Update> fuzzUpdateSequence(
+    const p4::CheckedProgram& checked, size_t count, uint64_t seed) {
+  runtime::DeviceConfig scratch(checked);
+  EntryFuzzer fuzzer(seed);
+  std::mt19937_64 rng(seed ^ 0xC2B2AE3D27D4EB4Full);
+
+  std::vector<std::string> tables;
+  for (const auto& [name, t] : scratch.tables()) tables.push_back(name);
+  std::vector<std::string> valueSets;
+  for (const auto& [name, vs] : scratch.valueSets()) valueSets.push_back(name);
+  if (tables.empty()) return {};
+
+  struct Installed {
+    std::string table;
+    runtime::TableEntry entry;  // with the id a full replay assigns
+  };
+  std::vector<Installed> installed;
+  std::vector<runtime::Update> script;
+  script.reserve(count);
+
+  size_t attempts = 0;
+  while (script.size() < count && attempts++ < count * 20) {
+    uint64_t roll = rng() % 100;
+    try {
+      if (roll < 60 || installed.empty()) {
+        // Insert into a random table.
+        const std::string& name = tables[rng() % tables.size()];
+        runtime::TableState& table = scratch.table(name);
+        runtime::TableEntry e = fuzzer.uniqueEntries(table, 1).at(0);
+        // Fresh priorities so successive single-entry draws stay unique.
+        if (table.usesPriority()) {
+          e.priority = static_cast<int32_t>(1 + rng() % 100000);
+        }
+        uint64_t id = table.insert(e);
+        e.id = id;
+        installed.push_back({name, e});
+        runtime::TableEntry forScript = e;
+        forScript.id = 0;  // ids are assigned by the replaying config
+        script.push_back(runtime::Update::insert(name, std::move(forScript)));
+      } else if (roll < 75) {
+        // Delete a previously installed entry.
+        size_t pick = rng() % installed.size();
+        Installed victim = installed[pick];
+        scratch.table(victim.table).remove(victim.entry.id);
+        installed.erase(installed.begin() + static_cast<long>(pick));
+        script.push_back(
+            runtime::Update::remove(victim.table, victim.entry.id));
+      } else if (roll < 85) {
+        // Modify: keep the match set, redraw action arguments.
+        size_t pick = rng() % installed.size();
+        Installed& victim = installed[pick];
+        runtime::TableEntry e = victim.entry;
+        const p4::ActionDecl* action =
+            scratch.table(victim.table).control().findAction(e.actionName);
+        e.actionArgs.clear();
+        if (action != nullptr) {
+          for (const auto& p : action->params) {
+            e.actionArgs.push_back(fuzzer.randomValue(p.width));
+          }
+        }
+        scratch.table(victim.table).modify(e);
+        victim.entry = e;
+        script.push_back(runtime::Update::modify(victim.table, std::move(e)));
+      } else if (roll < 93 || valueSets.empty()) {
+        // Override the default action of a random table.
+        const std::string& name = tables[rng() % tables.size()];
+        runtime::TableState& table = scratch.table(name);
+        const auto& actionNames = table.decl().actionNames;
+        if (actionNames.empty()) continue;
+        const std::string& actionName =
+            actionNames[rng() % actionNames.size()];
+        std::vector<BitVec> args;
+        if (const p4::ActionDecl* action =
+                table.control().findAction(actionName)) {
+          for (const auto& p : action->params) {
+            args.push_back(fuzzer.randomValue(p.width));
+          }
+        }
+        table.setDefaultAction(actionName, args);
+        script.push_back(runtime::Update::setDefault(name, actionName, args));
+      } else {
+        // Populate a value set (lights up pruned parser paths).
+        const std::string& name = valueSets[rng() % valueSets.size()];
+        uint32_t w = scratch.valueSet(name).width();
+        BitVec value = fuzzer.randomValue(w);
+        BitVec mask =
+            rng() % 2 == 0 ? BitVec::allOnes(w) : fuzzer.randomMask(w);
+        scratch.valueSet(name).insert(value, mask);
+        script.push_back(runtime::Update::valueSetInsert(name, value, mask));
+      }
+    } catch (const std::invalid_argument&) {
+      continue;  // duplicate entry / tiny keyspace: redraw
+    }
+  }
+  return script;
+}
+
 }  // namespace flay::net

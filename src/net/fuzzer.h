@@ -1,12 +1,15 @@
 #ifndef FLAY_NET_FUZZER_H
 #define FLAY_NET_FUZZER_H
 
+#include <map>
 #include <random>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "runtime/device_config.h"
 #include "runtime/table_state.h"
+#include "sim/packet.h"
 
 namespace flay::net {
 
@@ -35,6 +38,64 @@ class EntryFuzzer {
  private:
   std::mt19937_64 rng_;
 };
+
+/// Parser- and entry-aware packet generator, the p4testgen-style input half
+/// of the differential oracle. Walks the program's parser state machine to
+/// build wire-format packets that reach deep parser states (select cases are
+/// steered onto their matched constants / value-set members), then biases
+/// header fields used as table keys toward installed entry match values so
+/// the match-action pipeline exercises real hits, not just misses.
+class PacketFuzzer {
+ public:
+  /// Both references must outlive the fuzzer; `config` is consulted live, so
+  /// packets generated after an update can steer onto the new entries.
+  PacketFuzzer(const p4::CheckedProgram& checked,
+               const runtime::DeviceConfig& config, uint64_t seed);
+
+  sim::Packet randomPacket();
+
+ private:
+  /// Bit range a field occupies in the packet being built.
+  struct FieldSite {
+    size_t bitOffset = 0;
+    uint32_t width = 0;
+  };
+
+  void appendBits(const BitVec& v);
+  void overwriteBits(const FieldSite& site, const BitVec& v);
+  /// Picks a value for a select scrutinee: one of the case constants (with
+  /// random bits under the case mask's complement), a value-set member, or a
+  /// fully random value for the default path.
+  BitVec steerSelectValue(const p4::ParserDecl& parser,
+                          const p4::TransitionInfo& t, uint32_t width);
+  /// Mirrors the interpreter's case matching to find the taken next state.
+  std::string resolveTransition(const p4::ParserDecl& parser,
+                                const p4::TransitionInfo& t,
+                                const BitVec& key) const;
+  void steerTableKeys();
+
+  const p4::CheckedProgram& checked_;
+  const runtime::DeviceConfig& config_;
+  EntryFuzzer entropy_;
+  std::mt19937_64 rng_;
+
+  // Per-packet build state.
+  std::vector<uint8_t> bytes_;
+  size_t bitPos_ = 0;
+  std::map<std::string, FieldSite> fieldSites_;  // canonical -> bit range
+  std::map<std::string, BitVec> fieldValues_;    // canonical -> chosen value
+};
+
+/// Generates a deterministic, self-consistent control-plane update sequence
+/// for `checked`: a mix of inserts, deletes and modifies of previously
+/// installed entries, default-action overrides, and value-set inserts.
+/// Every update in the returned script applies cleanly when the whole script
+/// is replayed in order against an initially-empty config (deletes/modifies
+/// reference ids that a full in-order replay assigns); replaying a subset
+/// may make individual updates unappliable, which replayers should treat as
+/// rejected-and-skipped so shrinking stays deterministic.
+std::vector<runtime::Update> fuzzUpdateSequence(
+    const p4::CheckedProgram& checked, size_t count, uint64_t seed);
 
 }  // namespace flay::net
 

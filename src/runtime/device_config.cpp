@@ -126,6 +126,39 @@ Update Update::valueSetInsert(std::string vs, BitVec value, BitVec mask) {
   return u;
 }
 
+std::string Update::toString() const {
+  switch (kind) {
+    case Kind::kInsert:
+      return "insert " + target + " " + entry.toString();
+    case Kind::kModify:
+      return "modify " + target + " id=" + std::to_string(entry.id) + " " +
+             entry.toString();
+    case Kind::kDelete:
+      return "delete " + target + " id=" + std::to_string(entry.id);
+    case Kind::kSetDefaultAction: {
+      std::string s = "set-default " + target + " " + actionName + "(";
+      for (size_t i = 0; i < actionArgs.size(); ++i) {
+        if (i > 0) s += ", ";
+        s += actionArgs[i].toHexString();
+      }
+      return s + ")";
+    }
+    case Kind::kValueSetInsert:
+      return "vs-insert " + target + " " + value.toHexString() + " &&& " +
+             mask.toHexString();
+    case Kind::kValueSetDelete:
+      return "vs-delete " + target + " " + value.toHexString() + " &&& " +
+             mask.toHexString();
+    case Kind::kProfileAdd:
+      return "profile-add " + target + " member=" +
+             std::to_string(member.memberId) + " " + member.actionName;
+    case Kind::kProfileRemove:
+      return "profile-remove " + target + " member=" +
+             std::to_string(member.memberId);
+  }
+  return "unknown-update";
+}
+
 // ---------------------------------------------------------------------------
 // DeviceConfig
 // ---------------------------------------------------------------------------

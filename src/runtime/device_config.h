@@ -87,6 +87,10 @@ struct Update {
   static Update setDefault(std::string table, std::string action,
                            std::vector<BitVec> args);
   static Update valueSetInsert(std::string vs, BitVec value, BitVec mask);
+
+  /// One-line human-readable rendering ("insert Ingress.fwd [..] -> act(..)"),
+  /// used by the oracle's divergence reports.
+  std::string toString() const;
 };
 
 /// The full control-plane configuration of one device/program: every table,

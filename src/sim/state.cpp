@@ -86,6 +86,33 @@ void DataPlaneState::meterSetColor(const std::string& qualified,
   if (index < it->second.size()) it->second[index] = color & 3;
 }
 
+std::map<std::string, std::string> DataPlaneState::externSnapshot() const {
+  std::map<std::string, std::string> snap;
+  for (const auto& [name, arr] : registers_) {
+    for (size_t i = 0; i < arr.cells.size(); ++i) {
+      if (!arr.cells[i].isZero()) {
+        snap[name + "[" + std::to_string(i) + "]"] =
+            arr.cells[i].toHexString();
+      }
+    }
+  }
+  for (const auto& [name, cells] : counters_) {
+    for (size_t i = 0; i < cells.size(); ++i) {
+      if (cells[i] != 0) {
+        snap[name + "[" + std::to_string(i) + "]"] = std::to_string(cells[i]);
+      }
+    }
+  }
+  for (const auto& [name, cells] : meters_) {
+    for (size_t i = 0; i < cells.size(); ++i) {
+      if (cells[i] != 0) {
+        snap[name + "[" + std::to_string(i) + "]"] = std::to_string(cells[i]);
+      }
+    }
+  }
+  return snap;
+}
+
 void DataPlaneState::reset() {
   for (auto& [name, arr] : registers_) {
     for (auto& c : arr.cells) c = BitVec::zero(arr.width);

@@ -33,6 +33,13 @@ class DataPlaneState {
 
   void reset();
 
+  /// Sparse rendering of every extern cell that differs from its initial
+  /// value ("Ingress.flow_bytes[5]" -> "0x2a"). Two states over different
+  /// (but behaviourally equivalent) programs compare equal exactly when all
+  /// their non-default cells agree — the extern half of the oracle's
+  /// divergence check.
+  std::map<std::string, std::string> externSnapshot() const;
+
  private:
   struct RegisterArray {
     uint32_t width = 0;

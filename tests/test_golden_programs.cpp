@@ -1,0 +1,76 @@
+// Golden corpus: the normalized rendering of every bundled program is
+// pinned to a checked-in .golden file, so any parser/typechecker/printer
+// change that alters how the corpus is understood shows up as a readable
+// text diff in review instead of a silent behavior change.
+//
+// Regenerate after an intentional change with:
+//   FLAY_UPDATE_GOLDEN=1 ./test_golden_programs
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "net/workloads.h"
+#include "p4/printer.h"
+#include "p4/typecheck.h"
+
+namespace flay::p4 {
+namespace {
+
+std::string goldenPath(const std::string& name) {
+  return std::string(FLAY_GOLDEN_DIR) + "/" + name + ".golden";
+}
+
+std::string readFileOrEmpty(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return "";
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+class GoldenProgramTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(GoldenProgramTest, ParseTypecheckPrintMatchesGolden) {
+  const std::string name = GetParam();
+  CheckedProgram checked = loadProgramFromFile(net::programPath(name));
+  std::string printed = printProgram(checked.program);
+
+  if (std::getenv("FLAY_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(goldenPath(name), std::ios::binary);
+    ASSERT_TRUE(out) << "cannot write " << goldenPath(name);
+    out << printed;
+    GTEST_SKIP() << "regenerated " << goldenPath(name);
+  }
+
+  std::string expected = readFileOrEmpty(goldenPath(name));
+  ASSERT_FALSE(expected.empty())
+      << "missing golden file " << goldenPath(name)
+      << " — regenerate with FLAY_UPDATE_GOLDEN=1";
+  EXPECT_EQ(printed, expected)
+      << "normalized rendering of '" << name
+      << "' drifted from its golden file; if intentional, regenerate with "
+         "FLAY_UPDATE_GOLDEN=1";
+}
+
+// The golden rendering must itself be a fixpoint: reparsing and reprinting
+// it yields the same text, so goldens stay stable under repeated passes.
+TEST_P(GoldenProgramTest, GoldenRenderingIsAFixpoint) {
+  CheckedProgram checked = loadProgramFromFile(net::programPath(GetParam()));
+  std::string printed = printProgram(checked.program);
+  CheckedProgram reparsed = loadProgramFromString(printed);
+  EXPECT_EQ(printProgram(reparsed.program), printed);
+  EXPECT_EQ(reparsed.program.statementCount(),
+            checked.program.statementCount());
+  EXPECT_EQ(reparsed.env.fields().size(), checked.env.fields().size());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPrograms, GoldenProgramTest,
+                         ::testing::Values("scion", "switch", "middleblock",
+                                           "dash", "beaucoup", "accturbo",
+                                           "dta"));
+
+}  // namespace
+}  // namespace flay::p4

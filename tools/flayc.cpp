@@ -6,21 +6,38 @@
 //   flayc compile    <prog.p4l>    RMT placement report (stage map)
 //   flayc specialize <prog.p4l>    specialize against the empty config and
 //                                  print the specialized source
-//   flayc fuzz       <prog.p4l>    apply a fuzzed control-plane update run
-//                                  and report the verdict mix
+//   flayc fuzz       <prog.p4l>    apply a fuzzed control-plane update run,
+//                                  report the verdict mix, and verify the
+//                                  incremental analysis against a scratch
+//                                  respecialization (non-zero exit on drift)
+//   flayc difftest   <prog.p4l>    differential oracle: replay a fuzzed
+//                                  update script, checking after every update
+//                                  that the specialized program forwards
+//                                  packets identically to the original; on
+//                                  divergence, shrink and print a replayable
+//                                  reproducer (non-zero exit)
 //
 // Options:
 //   --skip-parser       analyze without symbolic parser execution
 //   --iterations N      placement search budget (default 400)
 //   --config NAME       canned config: scion-v4 | scion-v4v6 (scion.p4l)
-//   --updates N         fuzz: number of updates to apply (default 100)
-//   --seed S            fuzz: RNG seed (default 42)
+//   --updates N         fuzz/difftest: number of updates (default 100)
+//   --seed S            fuzz/difftest: RNG seed (default 42)
+//   --packets M         difftest: probe packets per equivalence check (32)
+//   --shrink/--no-shrink  difftest: minimize counterexamples (default on)
+//   --replay-updates L  difftest: replay only script indices "3,17,42"
+//                       ("none" = no updates, probe the initial config only)
+//   --packet-hex HEX    difftest: probe with exactly this packet
+//   --ingress-port P    difftest: ingress port for --packet-hex (default 0)
+//   --sabotage MODE     difftest: inject a specializer fault (drop-entry)
+//                       to prove the oracle catches it
 //   --stats[=json]      print the observability registry (counters and
 //                       per-phase latency histograms) before exiting
 //   --trace-out FILE    append one JSONL trace event per timed phase
 
 #include <cstdio>
 #include <cstring>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -28,6 +45,7 @@
 #include "net/fuzzer.h"
 #include "net/workloads.h"
 #include "obs/obs.h"
+#include "oracle/oracle.h"
 #include "p4/printer.h"
 #include "tofino/compiler.h"
 
@@ -37,6 +55,7 @@ namespace tofino = flay::tofino;
 namespace core = flay::flay;
 namespace runtime = flay::runtime;
 namespace obs = flay::obs;
+namespace oracle = flay::oracle;
 
 namespace {
 
@@ -48,18 +67,64 @@ struct Options {
   std::string config;
   size_t updates = 100;
   uint64_t seed = 42;
+  size_t packets = 32;
+  bool shrink = true;
+  bool replayUpdatesSet = false;
+  std::vector<size_t> replayUpdates;
+  std::vector<uint8_t> packetHex;
+  uint32_t ingressPort = 0;
+  std::string sabotage;
   bool stats = false;
   bool statsJson = false;
   std::string traceOut;
 };
 
 int usage() {
-  std::fprintf(stderr,
-               "usage: flayc <check|print|analyze|compile|specialize|fuzz> "
-               "<prog.p4l> [--skip-parser] [--iterations N] [--config NAME]\n"
-               "             [--updates N] [--seed S] [--stats[=json]] "
-               "[--trace-out FILE]\n");
+  std::fprintf(
+      stderr,
+      "usage: flayc <check|print|analyze|compile|specialize|fuzz|difftest> "
+      "<prog.p4l> [--skip-parser] [--iterations N] [--config NAME]\n"
+      "             [--updates N] [--seed S] [--packets M] [--no-shrink]\n"
+      "             [--replay-updates i,j,k|none] [--packet-hex HEX] "
+      "[--ingress-port P]\n"
+      "             [--sabotage drop-entry] [--stats[=json]] "
+      "[--trace-out FILE]\n");
   return 2;
+}
+
+/// "3,17,42" -> {3,17,42}; "none" -> {} (distinct from unset via the flag).
+std::vector<size_t> parseIndexList(const std::string& s) {
+  std::vector<size_t> out;
+  if (s == "none") return out;
+  size_t pos = 0;
+  while (pos < s.size()) {
+    size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    out.push_back(std::strtoul(s.substr(pos, comma - pos).c_str(), nullptr, 10));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+std::vector<uint8_t> parseHexBytes(const std::string& s) {
+  std::vector<uint8_t> out;
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  for (size_t i = 0; i + 1 < s.size(); i += 2) {
+    int hi = nibble(s[i]), lo = nibble(s[i + 1]);
+    if (hi < 0 || lo < 0) {
+      throw std::invalid_argument("bad hex in --packet-hex");
+    }
+    out.push_back(static_cast<uint8_t>(hi << 4 | lo));
+  }
+  if (s.size() % 2 != 0) {
+    throw std::invalid_argument("--packet-hex needs an even digit count");
+  }
+  return out;
 }
 
 void applyCannedConfig(core::FlayService& service, const std::string& name) {
@@ -247,7 +312,73 @@ int cmdFuzz(const p4::CheckedProgram& checked, const Options& opts) {
   std::printf("  expression-changing:  %zu\n", exprChanges);
   std::printf("  recompile-requiring:  %zu\n", recompiles);
   std::printf("  semantics-preserving: %zu\n", applied - recompiles);
+
+  // Turn the stats run into a pass/fail check: the incremental analysis of
+  // the whole run must agree with a from-scratch respecialization.
+  oracle::ConsistencyReport consistency =
+      oracle::checkIncrementalConsistency(service);
+  if (!consistency.consistent) {
+    std::fprintf(stderr,
+                 "fuzz: INCREMENTAL DRIFT — %zu program point(s) disagree "
+                 "with a from-scratch respecialization:",
+                 consistency.mismatchedPoints.size());
+    for (uint32_t p : consistency.mismatchedPoints) {
+      std::fprintf(stderr, " %u", p);
+    }
+    std::fprintf(stderr, "\n  reproduce: flayc fuzz %s --updates %zu --seed "
+                 "%llu\n", opts.file.c_str(), opts.updates,
+                 static_cast<unsigned long long>(opts.seed));
+    return 1;
+  }
+  std::printf("  incremental-vs-scratch: consistent (%zu points)\n",
+              service.analysis().annotations.points().size());
   return 0;
+}
+
+int cmdDifftest(const p4::CheckedProgram& checked, const Options& opts) {
+  oracle::OracleOptions ooptions;
+  ooptions.updates = opts.updates;
+  ooptions.packets = opts.packets;
+  ooptions.seed = opts.seed;
+  ooptions.shrink = opts.shrink;
+  ooptions.flayOptions.analysis.analyzeParser = !opts.skipParser;
+  if (opts.replayUpdatesSet) ooptions.replayUpdates = opts.replayUpdates;
+  ooptions.probePacketOverride = opts.packetHex;
+  ooptions.probeIngressPort = opts.ingressPort;
+  if (opts.sabotage == "drop-entry") {
+    ooptions.sabotage = oracle::OracleOptions::Sabotage::kDropMigratedEntry;
+  } else if (!opts.sabotage.empty()) {
+    std::fprintf(stderr, "unknown --sabotage '%s' (try drop-entry)\n",
+                 opts.sabotage.c_str());
+    return 2;
+  }
+
+  oracle::DifferentialOracle diff(checked, ooptions, opts.file);
+  oracle::OracleReport report = diff.run();
+
+  std::printf("difftest: %zu/%zu updates applied (%zu rejected), "
+              "%zu packets compared\n",
+              report.updatesApplied, diff.script().size(),
+              report.updatesRejected, report.packetsCompared);
+  std::printf("  semantics-preserving checks: %zu\n", report.preservingChecks);
+  std::printf("  full respecializations:      %zu\n",
+              report.respecializations);
+  if (report.equivalent) {
+    std::printf("  equivalent: original and specialized programs agree\n");
+    return 0;
+  }
+
+  std::fprintf(stderr, "difftest: NOT EQUIVALENT\n%s\n",
+               report.divergence->describe().c_str());
+  if (!report.shrunkUpdates.empty() || !report.shrunkPacketBytes.empty()) {
+    std::fprintf(stderr, "shrunk to %zu update(s)%s\n",
+                 report.shrunkUpdates.size(),
+                 report.shrunkPacketBytes.empty()
+                     ? ""
+                     : " and a fixed probe packet");
+  }
+  std::fprintf(stderr, "reproduce: %s\n", report.reproCommand.c_str());
+  return 1;
 }
 
 }  // namespace
@@ -266,6 +397,22 @@ int main(int argc, char** argv) {
       opts.updates = std::strtoul(argv[++i], nullptr, 10);
     } else if (arg == "--seed" && i + 1 < argc) {
       opts.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--packets" && i + 1 < argc) {
+      opts.packets = std::strtoul(argv[++i], nullptr, 10);
+    } else if (arg == "--shrink") {
+      opts.shrink = true;
+    } else if (arg == "--no-shrink") {
+      opts.shrink = false;
+    } else if (arg == "--replay-updates" && i + 1 < argc) {
+      opts.replayUpdatesSet = true;
+      opts.replayUpdates = parseIndexList(argv[++i]);
+    } else if (arg == "--packet-hex" && i + 1 < argc) {
+      opts.packetHex = parseHexBytes(argv[++i]);
+    } else if (arg == "--ingress-port" && i + 1 < argc) {
+      opts.ingressPort =
+          static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--sabotage" && i + 1 < argc) {
+      opts.sabotage = argv[++i];
     } else if (arg == "--stats") {
       opts.stats = true;
     } else if (arg == "--stats=json") {
@@ -306,6 +453,8 @@ int main(int argc, char** argv) {
       rc = cmdSpecialize(checked, opts);
     } else if (opts.command == "fuzz") {
       rc = cmdFuzz(checked, opts);
+    } else if (opts.command == "difftest") {
+      rc = cmdDifftest(checked, opts);
     } else {
       return usage();
     }
