@@ -1,0 +1,507 @@
+#include "controller/controller.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <initializer_list>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+
+#include "expr/printer.h"
+#include "obs/obs.h"
+
+namespace flay::controller {
+
+namespace {
+
+struct ControllerObs {
+  obs::Registry& reg = obs::Registry::global();
+  obs::Counter& applied = reg.counter("controller.applied_updates");
+  obs::Counter& retries = reg.counter("controller.retries");
+  obs::Counter& rollbacks = reg.counter("controller.rollbacks");
+  obs::Counter& degradations = reg.counter("controller.degradations");
+  obs::Counter& recoveries = reg.counter("controller.degradation_recoveries");
+  obs::Counter& recoveryAttempts = reg.counter("controller.recovery_attempts");
+  obs::Counter& replayed = reg.counter("controller.replayed_updates");
+  obs::Counter& forwarded = reg.counter("controller.forwarded_updates");
+  obs::Counter& queued = reg.counter("controller.queued_updates");
+  obs::Counter& recompiles = reg.counter("controller.recompiles");
+  obs::Counter& installsOk = reg.counter("controller.installs_ok");
+  obs::Histogram& backoffUs = reg.histogram("controller.backoff_us");
+  obs::Histogram& recoverUs = reg.histogram("controller.recover_us");
+
+  static ControllerObs& get() {
+    static ControllerObs instance;
+    return instance;
+  }
+};
+
+void ensureDir(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    throw std::runtime_error("cannot create state dir '" + dir + "'");
+  }
+}
+
+std::string checkpointFileName(uint64_t seq) {
+  std::string digits = std::to_string(seq);
+  while (digits.size() < 8) digits = "0" + digits;
+  return "checkpoint-" + digits + ".ckpt";
+}
+
+/// Renders an expression in a process-independent canonical form. The
+/// arena's smart constructors order commutative operands by interning id
+/// (arena.cpp), and interning ids depend on construction history — a
+/// recovered service that re-encoded its tables from a checkpoint holds
+/// semantically identical but structurally permuted and/or chains. For the
+/// digest, flatten those chains and sort operands by their own rendering so
+/// equal formulas hash equally on both sides of a crash boundary.
+class CanonicalRenderer {
+ public:
+  explicit CanonicalRenderer(const expr::ExprArena& arena) : arena_(arena) {}
+
+  const std::string& render(expr::ExprRef r) {
+    auto it = memo_.find(r.id);
+    if (it != memo_.end()) return it->second;
+    std::string s = r.valid() ? renderNode(r) : "<null>";
+    return memo_.emplace(r.id, std::move(s)).first->second;
+  }
+
+ private:
+  void flatten(expr::ExprRef r, expr::ExprKind kind,
+               std::vector<std::string>* out) {
+    const expr::ExprNode& n = arena_.node(r);
+    if (n.kind != kind) {
+      out->push_back(render(r));
+      return;
+    }
+    flatten(expr::ExprRef{n.a}, kind, out);
+    flatten(expr::ExprRef{n.b}, kind, out);
+  }
+
+  std::string nary(const char* op, std::initializer_list<expr::ExprRef> kids) {
+    std::string out = "(";
+    out += op;
+    for (expr::ExprRef k : kids) {
+      out += ' ';
+      out += render(k);
+    }
+    out += ')';
+    return out;
+  }
+
+  std::string renderNode(expr::ExprRef r) {
+    const expr::ExprNode& n = arena_.node(r);
+    using K = expr::ExprKind;
+    expr::ExprRef a{n.a}, b{n.b}, c{n.c};
+    switch (n.kind) {
+      case K::kBvConst:
+        return arena_.constValue(r).toHexString();
+      case K::kBoolConst:
+        return n.a != 0 ? "true" : "false";
+      case K::kVar:
+      case K::kBoolVar:
+        return arena_.symbolInfo(n.a).name;
+      case K::kBAnd:
+      case K::kBOr: {
+        std::vector<std::string> ops;
+        flatten(r, n.kind, &ops);
+        std::sort(ops.begin(), ops.end());
+        std::string out = n.kind == K::kBAnd ? "(and" : "(or";
+        for (const std::string& o : ops) {
+          out += ' ';
+          out += o;
+        }
+        out += ')';
+        return out;
+      }
+      case K::kAdd: return nary("add", {a, b});
+      case K::kSub: return nary("sub", {a, b});
+      case K::kMul: return nary("mul", {a, b});
+      case K::kUDiv: return nary("udiv", {a, b});
+      case K::kURem: return nary("urem", {a, b});
+      case K::kAnd: return nary("bvand", {a, b});
+      case K::kOr: return nary("bvor", {a, b});
+      case K::kXor: return nary("bvxor", {a, b});
+      case K::kConcat: return nary("concat", {a, b});
+      case K::kNot: return nary("bvnot", {a});
+      case K::kNeg: return nary("neg", {a});
+      case K::kShl:
+        return "(shl " + render(a) + " " + std::to_string(n.b) + ")";
+      case K::kLShr:
+        return "(lshr " + render(a) + " " + std::to_string(n.b) + ")";
+      case K::kExtract:
+        return "(extract " + render(a) + " " + std::to_string(n.b) + " " +
+               std::to_string(n.c) + ")";
+      case K::kZExt:
+        return "(zext " + render(a) + " " + std::to_string(n.width) + ")";
+      case K::kEq: {
+        // eq is commutative too; the arena does not id-order its operands,
+        // but encoder and substitution construction order can still differ
+        // across a recovery, so normalize here as well.
+        std::string sa = render(a), sb = render(b);
+        if (sb < sa) std::swap(sa, sb);
+        return "(eq " + sa + " " + sb + ")";
+      }
+      case K::kUlt: return nary("ult", {a, b});
+      case K::kUle: return nary("ule", {a, b});
+      case K::kBNot: return nary("not", {a});
+      case K::kIte: return nary("ite", {a, b, c});
+    }
+    return "<bad>";
+  }
+
+  const expr::ExprArena& arena_;
+  std::unordered_map<uint32_t, std::string> memo_;
+};
+
+/// FNV-1a over the pieces fed by stateDigest().
+struct Fnv {
+  uint64_t h = 1469598103934665603ull;
+  void mix(std::string_view s) {
+    for (char c : s) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ull;
+    }
+    h ^= 0xff;  // field separator
+    h *= 1099511628211ull;
+  }
+  std::string hex() const {
+    static const char* digits = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 0; i < 16; ++i) out[i] = digits[(h >> (60 - 4 * i)) & 0xf];
+    return out;
+  }
+};
+
+}  // namespace
+
+FaultTolerantController::FaultTolerantController(
+    const p4::CheckedProgram& checked, Device* device, ControllerOptions options)
+    : checked_(checked),
+      device_(device),
+      options_(std::move(options)),
+      service_(std::make_unique<flay::FlayService>(checked, options_.flay)),
+      jitterRng_(options_.seed) {
+  if (!options_.stateDir.empty()) {
+    ensureDir(options_.stateDir);
+    journal_ = std::make_unique<Journal>(options_.stateDir + "/journal.jsonl");
+    recoverFromJournal();
+    journal_->open();
+  }
+  if (device_ != nullptr && options_.installInitialProgram) {
+    size_t retries = 0;
+    if (!recompileAndInstall(&retries)) {
+      // Device keeps its boot-time program (the original, empty config).
+      enterDegraded(runtime::DeviceConfig(checked_), {});
+    }
+  }
+}
+
+void FaultTolerantController::recoverFromJournal() {
+  obs::ScopedTimer timer(ControllerObs::get().recoverUs, "controller.recover");
+  std::vector<JournalRecord> records = Journal::load(journal_->path());
+  if (records.empty()) return;
+
+  // Newest intact checkpoint wins; a torn checkpoint file falls back to the
+  // previous marker (the journal tail from there is still complete).
+  size_t baseIndex = 0;  // replay starts after this record index
+  uint64_t baseSeq = 0;
+  for (size_t i = records.size(); i-- > 0;) {
+    if (records[i].type != JournalRecord::Type::kCheckpoint) continue;
+    try {
+      uint64_t ckptSeq = 0;
+      runtime::DeviceConfig config = Checkpoint::load(
+          options_.stateDir + "/" + records[i].file, checked_, &ckptSeq);
+      service_->adoptConfig(std::move(config));
+      baseIndex = i + 1;
+      baseSeq = ckptSeq;
+      break;
+    } catch (const std::exception&) {
+      continue;  // torn or missing checkpoint: try an older one
+    }
+  }
+  (void)baseSeq;
+
+  // Replay committed transaction groups; a group without its commit record
+  // (crash mid-apply, or an aborted batch) is skipped — that is the
+  // transactional contract. Update text is kept raw until the commit record
+  // is seen: the journal is written ahead of validation, so an aborted group
+  // may carry text that does not parse against the program — it must not be
+  // able to poison recovery.
+  std::vector<std::string> pendingTexts;
+  bool inGroup = false;
+  for (size_t i = baseIndex; i < records.size(); ++i) {
+    const JournalRecord& rec = records[i];
+    switch (rec.type) {
+      case JournalRecord::Type::kBegin:
+        inGroup = true;
+        pendingTexts.clear();
+        break;
+      case JournalRecord::Type::kUpdate:
+        if (inGroup) pendingTexts.push_back(rec.text);
+        break;
+      case JournalRecord::Type::kCommit:
+        if (inGroup && !pendingTexts.empty()) {
+          std::vector<runtime::Update> pending;
+          pending.reserve(pendingTexts.size());
+          for (const std::string& text : pendingTexts) {
+            pending.push_back(runtime::Update::fromString(checked_, text));
+          }
+          service_->applyBatch(pending);
+          replayedUpdates_ += pending.size();
+          committedUpdates_ += pending.size();
+          sinceCheckpoint_ += pending.size();
+          ControllerObs::get().replayed.add(pending.size());
+        }
+        pendingTexts.clear();
+        inGroup = false;
+        break;
+      case JournalRecord::Type::kAbort:
+        pendingTexts.clear();
+        inGroup = false;
+        break;
+      case JournalRecord::Type::kCheckpoint:
+        break;
+    }
+  }
+}
+
+ApplyResult FaultTolerantController::apply(const runtime::Update& update) {
+  return applyBatch({update});
+}
+
+ApplyResult FaultTolerantController::applyBatch(
+    const std::vector<runtime::Update>& updates) {
+  ApplyResult result;
+  if (updates.empty()) {
+    result.degraded = degraded_;
+    result.deviceCurrent = !degraded_;
+    return result;
+  }
+  ControllerObs& cobs = ControllerObs::get();
+
+  // Write-ahead: the intent is durable before any state changes, and the
+  // commit marker only lands after the in-memory apply succeeded, so
+  // recovery replays exactly the acknowledged transactions.
+  if (journal_ != nullptr) {
+    journal_->appendBegin(updates.size());
+    for (const auto& u : updates) journal_->appendUpdate(u);
+  }
+
+  flay::ServiceSnapshot snap = service_->snapshot();
+  try {
+    result.verdict = service_->applyBatch(updates);
+  } catch (...) {
+    // Strong exception guarantee: the k-th update failing rolls back the
+    // k-1 already-applied ones, and the journal records the abort so the
+    // group never replays.
+    service_->restore(snap);
+    if (journal_ != nullptr) journal_->appendAbort();
+    cobs.rollbacks.add(1);
+    throw;
+  }
+  if (journal_ != nullptr) journal_->appendCommit();
+  committedUpdates_ += updates.size();
+  sinceCheckpoint_ += updates.size();
+  cobs.applied.add(updates.size());
+
+  if (device_ != nullptr) {
+    if (!degraded_) {
+      if (result.verdict.needsRecompilation) {
+        if (recompileAndInstall(&result.retries)) {
+          result.deviceCurrent = true;
+        } else {
+          // Pin the last good program; the device keeps forwarding with it.
+          // snap.config is the device-visible state: everything before this
+          // batch had reached the device.
+          enterDegraded(std::move(snap.config), updates);
+        }
+      } else {
+        // Semantics-preserving: the entries are representable on the running
+        // program and flow straight through.
+        result.deviceCurrent = true;
+        cobs.forwarded.add(updates.size());
+      }
+    } else {
+      // Degraded: forward the batch only if it stays semantics-preserving
+      // for the *pinned* program and touches nothing with queued updates
+      // (forwarding around the queue would reorder same-object updates).
+      bool conflictsWithQueue = false;
+      for (const auto& u : updates) {
+        conflictsWithQueue |= queuedTargets_.count(u.target) != 0;
+      }
+      bool forwarded = false;
+      if (!conflictsWithQueue) {
+        flay::ServiceSnapshot dvSnap = deviceView_->snapshot();
+        flay::UpdateVerdict dv = deviceView_->applyBatch(updates);
+        if (dv.needsRecompilation) {
+          deviceView_->restore(dvSnap);  // device cannot represent it
+        } else {
+          forwarded = true;
+          cobs.forwarded.add(updates.size());
+        }
+      }
+      if (!forwarded) queueUpdates(updates);
+      result.deviceCurrent = forwarded;
+
+      sinceRecoverAttempt_ += updates.size();
+      if (options_.tryRecoverEvery != 0 &&
+          sinceRecoverAttempt_ >= options_.tryRecoverEvery) {
+        sinceRecoverAttempt_ = 0;
+        tryRecover();
+      }
+    }
+  } else {
+    result.deviceCurrent = true;
+  }
+
+  result.degraded = degraded_;
+  maybeCheckpoint();
+  return result;
+}
+
+bool FaultTolerantController::recompileAndInstall(size_t* retries) {
+  ControllerObs& cobs = ControllerObs::get();
+  cobs.recompiles.add(1);
+  flay::Specializer specializer(*service_, options_.specializer);
+  flay::SpecializationResult specialized = specializer.specialize();
+  auto checked = std::make_unique<p4::CheckedProgram>(
+      flay::recheck(std::move(specialized.program)));
+
+  for (uint32_t attempt = 0; attempt <= options_.maxInstallRetries; ++attempt) {
+    if (attempt > 0) {
+      *retries += 1;
+      cobs.retries.add(1);
+      uint64_t delay = backoffMicros(attempt);
+      cobs.backoffUs.record(delay);
+      if (options_.sleepOnBackoff) {
+        std::this_thread::sleep_for(std::chrono::microseconds(delay));
+      }
+    }
+    tofino::CompileResult compiled = device_->compileProgram(*checked);
+    if (!compiled.fits) continue;
+    InstallResult installed = device_->installProgram(*checked);
+    if (!installed.ok) continue;
+    pinned_ = std::move(checked);
+    cobs.installsOk.add(1);
+    return true;
+  }
+  return false;
+}
+
+void FaultTolerantController::enterDegraded(
+    runtime::DeviceConfig deviceCfg,
+    const std::vector<runtime::Update>& updates) {
+  ControllerObs::get().degradations.add(1);
+  degraded_ = true;
+  sinceRecoverAttempt_ = 0;
+  if (deviceView_ == nullptr) {
+    deviceView_ =
+        std::make_unique<flay::FlayService>(checked_, options_.flay);
+  }
+  deviceView_->adoptConfig(std::move(deviceCfg));
+  queueUpdates(updates);
+}
+
+void FaultTolerantController::queueUpdates(
+    const std::vector<runtime::Update>& updates) {
+  ControllerObs::get().queued.add(updates.size());
+  for (const auto& u : updates) {
+    queuedTargets_.insert(u.target);
+    queued_.push_back(u);
+  }
+}
+
+bool FaultTolerantController::tryRecover() {
+  if (!degraded_) return true;
+  if (device_ == nullptr) return false;
+  ControllerObs& cobs = ControllerObs::get();
+  cobs.recoveryAttempts.add(1);
+  size_t retries = 0;
+  if (!recompileAndInstall(&retries)) return false;
+  // The freshly installed program was specialized against the full current
+  // state, so the migrated config subsumes every queued update — the
+  // backlog is cleared, not replayed.
+  degraded_ = false;
+  queued_.clear();
+  queuedTargets_.clear();
+  cobs.recoveries.add(1);
+  return true;
+}
+
+const runtime::DeviceConfig& FaultTolerantController::deviceConfig() const {
+  if (degraded_ && deviceView_ != nullptr) return deviceView_->config();
+  return service_->config();
+}
+
+const p4::CheckedProgram& FaultTolerantController::deviceProgram() const {
+  return pinned_ != nullptr ? *pinned_ : checked_;
+}
+
+void FaultTolerantController::checkpointNow() {
+  if (journal_ == nullptr) return;
+  std::string file = checkpointFileName(journal_->lastSeq());
+  Checkpoint::write(options_.stateDir + "/" + file, service_->config(),
+                    journal_->lastSeq());
+  journal_->appendCheckpoint(file);
+  sinceCheckpoint_ = 0;
+}
+
+void FaultTolerantController::maybeCheckpoint() {
+  if (journal_ == nullptr || options_.checkpointEvery == 0) return;
+  if (sinceCheckpoint_ >= options_.checkpointEvery) checkpointNow();
+}
+
+uint64_t FaultTolerantController::backoffMicros(uint32_t attempt) {
+  uint64_t base = options_.backoffBaseMicros == 0 ? 1 : options_.backoffBaseMicros;
+  uint64_t exp = attempt >= 63 ? options_.backoffMaxMicros
+                               : base << (attempt - 1);
+  uint64_t capped = std::min(exp, options_.backoffMaxMicros);
+  std::uniform_int_distribution<uint64_t> jitter(0, base - 1);
+  return capped + jitter(jitterRng_);
+}
+
+std::string FaultTolerantController::stateDigest() const {
+  Fnv fnv;
+  const runtime::DeviceConfig& config = service_->config();
+  for (const auto& [name, table] : config.tables()) {
+    fnv.mix(name);
+    for (const runtime::TableEntry& e : table.entries()) {
+      fnv.mix(std::to_string(e.id));
+      fnv.mix(e.toString());
+    }
+    fnv.mix(table.defaultActionName());
+    for (const auto& a : table.defaultActionArgs()) fnv.mix(a.toHexString());
+    fnv.mix(std::to_string(table.nextId()));
+  }
+  for (const auto& [name, vs] : config.valueSets()) {
+    fnv.mix(name);
+    for (const auto& [value, mask] : vs.members()) {
+      fnv.mix(value.toHexString());
+      fnv.mix(mask.toHexString());
+    }
+  }
+  for (const auto& [name, prof] : config.actionProfiles()) {
+    fnv.mix(name);
+    for (const auto& m : prof.members()) {
+      fnv.mix(std::to_string(m.memberId));
+      fnv.mix(m.actionName);
+      for (const auto& a : m.args) fnv.mix(a.toHexString());
+    }
+  }
+  // Specialized expressions are rendered canonically (commutative chains
+  // flattened and content-sorted): arena ids and the arena's id-ordered
+  // operand placement both depend on construction history, which a crash
+  // recovery does not share with the run it replaces.
+  const expr::ExprArena& arena =
+      const_cast<flay::FlayService&>(*service_).arena();
+  CanonicalRenderer renderer(arena);
+  for (const auto& p : service_->analysis().annotations.points()) {
+    fnv.mix(renderer.render(p.specialized));
+  }
+  return fnv.hex();
+}
+
+}  // namespace flay::controller

@@ -1,0 +1,152 @@
+#ifndef FLAY_CONTROLLER_CONTROLLER_H
+#define FLAY_CONTROLLER_CONTROLLER_H
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "controller/device.h"
+#include "controller/wal.h"
+#include "flay/engine.h"
+#include "flay/specializer.h"
+
+namespace flay::controller {
+
+struct ControllerOptions {
+  /// Directory for the write-ahead journal and checkpoints; "" disables
+  /// persistence (the controller is then purely in-memory).
+  std::string stateDir;
+  /// Committed updates between checkpoints (0 = only on checkpointNow()).
+  size_t checkpointEvery = 64;
+  /// Install/compile attempts beyond the first before giving up and
+  /// degrading.
+  uint32_t maxInstallRetries = 4;
+  /// Exponential backoff between attempts: min(base << attempt, max) plus
+  /// jitter in [0, base). Recorded in controller.backoff_us; only actually
+  /// slept when sleepOnBackoff (tests keep the schedule observable without
+  /// paying it in wall-clock).
+  uint64_t backoffBaseMicros = 200;
+  uint64_t backoffMaxMicros = 50000;
+  bool sleepOnBackoff = false;
+  /// While degraded, a recovery (re-specialize + compile + install) is
+  /// attempted automatically after this many committed updates (0 = only
+  /// on explicit tryRecover()).
+  size_t tryRecoverEvery = 8;
+  /// Compile-and-install the current program at construction time (and
+  /// after crash recovery). Disable for pure journal/replay use.
+  bool installInitialProgram = true;
+  /// Jitter seed.
+  uint64_t seed = 1;
+  flay::FlayOptions flay;
+  flay::SpecializerOptions specializer;
+};
+
+struct ApplyResult {
+  flay::UpdateVerdict verdict;
+  /// The device kept up with this update: either the entries flowed to the
+  /// running program, or a recompiled program was installed.
+  bool deviceCurrent = false;
+  /// Controller is in degraded mode after this update (device pinned to the
+  /// last good program; this or earlier updates are queued).
+  bool degraded = false;
+  /// Install/compile retries spent on this update.
+  size_t retries = 0;
+};
+
+/// Fault-tolerant wrapper around flay::FlayService implementing the paper's
+/// Fig. 2 control loop with the robustness the paper assumes but does not
+/// spell out:
+///
+///  - Transactional batches: every apply is bracketed by a copy-on-write
+///    ServiceSnapshot; a mid-batch failure restores the exact pre-batch
+///    analysis state (strong exception guarantee).
+///  - Write-ahead journal + checkpoints: committed updates survive SIGKILL;
+///    a restarted controller recovers to the last committed state by
+///    loading the newest intact checkpoint and replaying the journal tail.
+///  - Device retry/backoff + graceful degradation: failed compiles/installs
+///    are retried with exponential backoff; when retries exhaust, the
+///    device stays pinned to the last good specialized program and the
+///    controller keeps forwarding updates that are semantics-preserving
+///    *for the pinned program*, queueing the rest until recovery succeeds.
+///
+/// The degradation invariant the differential oracle checks: at all times
+/// the device runs a (program, config) pair packet-equivalent to the
+/// original program under the device-visible config.
+class FaultTolerantController {
+ public:
+  /// `device` may be null (no device interaction: analysis + WAL only).
+  /// If options.stateDir holds a journal from a previous run, the
+  /// constructor performs crash recovery before accepting new updates.
+  FaultTolerantController(const p4::CheckedProgram& checked, Device* device,
+                          ControllerOptions options = {});
+
+  ApplyResult apply(const runtime::Update& update);
+  ApplyResult applyBatch(const std::vector<runtime::Update>& updates);
+
+  bool degraded() const { return degraded_; }
+  size_t queuedUpdates() const { return queued_.size(); }
+  /// Attempts to leave degraded mode by re-specializing against the full
+  /// current state and installing the result. True if healthy afterwards.
+  bool tryRecover();
+
+  /// The authoritative analysis state (every committed update applied).
+  const flay::FlayService& service() const { return *service_; }
+  flay::FlayService& service() { return *service_; }
+
+  /// The device-visible control-plane state: equals service().config() when
+  /// healthy, lags behind it while degraded.
+  const runtime::DeviceConfig& deviceConfig() const;
+  /// The program the device is running: the last successfully installed
+  /// specialized program, or the original when none was installed yet.
+  const p4::CheckedProgram& deviceProgram() const;
+
+  /// Committed updates replayed from the journal during construction.
+  uint64_t replayedUpdates() const { return replayedUpdates_; }
+  uint64_t committedUpdates() const { return committedUpdates_; }
+
+  /// Forces a checkpoint of the current committed state.
+  void checkpointNow();
+
+  /// Process-independent digest of the full controller-visible state
+  /// (config including entry ids and allocator positions, plus every
+  /// specialized program-point expression). Two controllers with equal
+  /// digests are in observably identical states — the crashtest compares
+  /// this across kill/recover boundaries.
+  std::string stateDigest() const;
+
+ private:
+  void recoverFromJournal();
+  /// Specialize + compile + install with retry/backoff. Updates pinned_ on
+  /// success. Returns success; fills *retries.
+  bool recompileAndInstall(size_t* retries);
+  void enterDegraded(runtime::DeviceConfig deviceCfg,
+                     const std::vector<runtime::Update>& updates);
+  void queueUpdates(const std::vector<runtime::Update>& updates);
+  uint64_t backoffMicros(uint32_t attempt);
+  void maybeCheckpoint();
+
+  const p4::CheckedProgram& checked_;
+  Device* device_;
+  ControllerOptions options_;
+  std::unique_ptr<flay::FlayService> service_;
+  std::unique_ptr<Journal> journal_;
+  /// Last good specialized program on the device; null = original program.
+  std::unique_ptr<p4::CheckedProgram> pinned_;
+  /// Device's view of the analysis while degraded: tracks exactly the
+  /// updates forwarded to the pinned program, so its verdicts decide
+  /// forwardability. Lazily built on first degradation.
+  std::unique_ptr<flay::FlayService> deviceView_;
+  bool degraded_ = false;
+  std::vector<runtime::Update> queued_;
+  std::set<std::string> queuedTargets_;
+  std::mt19937_64 jitterRng_;
+  uint64_t replayedUpdates_ = 0;
+  uint64_t committedUpdates_ = 0;
+  size_t sinceCheckpoint_ = 0;
+  size_t sinceRecoverAttempt_ = 0;
+};
+
+}  // namespace flay::controller
+
+#endif  // FLAY_CONTROLLER_CONTROLLER_H

@@ -1,0 +1,78 @@
+#include "controller/device.h"
+
+#include "obs/obs.h"
+
+namespace flay::controller {
+
+namespace {
+
+struct DeviceObs {
+  obs::Registry& reg = obs::Registry::global();
+  obs::Counter& compiles = reg.counter("controller.device_compiles");
+  obs::Counter& compileRejects = reg.counter("controller.compile_rejects");
+  obs::Counter& installs = reg.counter("controller.device_installs");
+  obs::Counter& installFailures = reg.counter("controller.install_failures");
+  obs::Histogram& installUs = reg.histogram("controller.install_us");
+
+  static DeviceObs& get() {
+    static DeviceObs instance;
+    return instance;
+  }
+};
+
+}  // namespace
+
+tofino::CompileResult SimulatedDevice::compileProgram(
+    const p4::CheckedProgram& checked) {
+  DeviceObs& dobs = DeviceObs::get();
+  dobs.compiles.add(1);
+  uint64_t attempt = ++compileAttempts_;
+  bool inject = attempt <= plan_.rejectFirstCompiles;
+  if (!inject && plan_.compileRejectProbability > 0.0) {
+    std::uniform_real_distribution<double> coin(0.0, 1.0);
+    inject = coin(rng_) < plan_.compileRejectProbability;
+  }
+  if (inject) {
+    ++injectedCompileRejects_;
+    dobs.compileRejects.add(1);
+    tofino::CompileResult rejected;
+    rejected.fits = false;
+    rejected.error = "injected: program rejected by device compiler (attempt " +
+                     std::to_string(attempt) + ")";
+    return rejected;
+  }
+  tofino::CompileResult result = compiler_.compile(checked);
+  if (!result.fits) dobs.compileRejects.add(1);
+  return result;
+}
+
+InstallResult SimulatedDevice::installProgram(const p4::CheckedProgram&) {
+  DeviceObs& dobs = DeviceObs::get();
+  dobs.installs.add(1);
+  uint64_t attempt = ++installAttempts_;
+  InstallResult result;
+  result.latencyMicros = plan_.slowInstallMicros;
+  dobs.installUs.record(result.latencyMicros);
+  bool inject = attempt <= plan_.failFirstInstalls;
+  if (plan_.outageLength != 0 && attempt >= plan_.outageStart &&
+      attempt < plan_.outageStart + plan_.outageLength) {
+    inject = true;
+  }
+  if (!inject && plan_.installFailProbability > 0.0) {
+    std::uniform_real_distribution<double> coin(0.0, 1.0);
+    inject = coin(rng_) < plan_.installFailProbability;
+  }
+  if (inject) {
+    ++injectedInstallFailures_;
+    dobs.installFailures.add(1);
+    result.ok = false;
+    result.transient = true;
+    result.error = "injected: transient install failure (attempt " +
+                   std::to_string(attempt) + ")";
+    return result;
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace flay::controller

@@ -1,0 +1,70 @@
+#ifndef FLAY_CONTROLLER_DEVICE_H
+#define FLAY_CONTROLLER_DEVICE_H
+
+#include <cstdint>
+#include <random>
+#include <string>
+
+#include "controller/fault_plan.h"
+#include "p4/typecheck.h"
+#include "tofino/compiler.h"
+
+namespace flay::controller {
+
+/// Outcome of pushing a program to the device.
+struct InstallResult {
+  bool ok = false;
+  /// A transient failure is worth retrying (driver hiccup, session drop);
+  /// a non-transient one (program does not fit) is not.
+  bool transient = false;
+  std::string error;
+  /// Simulated install latency (from FaultPlan::slowInstallMicros).
+  uint64_t latencyMicros = 0;
+};
+
+/// The controller's view of a device: compile a program for its pipeline,
+/// install a compiled program. Entry-level updates flow outside this
+/// interface (they are always representable on the running program when the
+/// controller's verdict says so), matching the paper's Fig. 2 split between
+/// "update device configuration" and "compile + deploy".
+class Device {
+ public:
+  virtual ~Device() = default;
+  /// Places `checked` onto the pipeline; !fits means rejection.
+  virtual tofino::CompileResult compileProgram(
+      const p4::CheckedProgram& checked) = 0;
+  /// Installs the previously compiled program.
+  virtual InstallResult installProgram(const p4::CheckedProgram& checked) = 0;
+};
+
+/// A device backed by the repo's RMT pipeline compiler, with FaultPlan-driven
+/// fault injection layered on top. Deterministic for a fixed plan seed.
+class SimulatedDevice : public Device {
+ public:
+  explicit SimulatedDevice(FaultPlan plan = {},
+                           tofino::PipelineModel model = {},
+                           tofino::CompilerOptions options = {})
+      : plan_(plan), compiler_(model, options), rng_(plan.seed) {}
+
+  tofino::CompileResult compileProgram(
+      const p4::CheckedProgram& checked) override;
+  InstallResult installProgram(const p4::CheckedProgram& checked) override;
+
+  uint64_t compileAttempts() const { return compileAttempts_; }
+  uint64_t installAttempts() const { return installAttempts_; }
+  uint64_t injectedCompileRejects() const { return injectedCompileRejects_; }
+  uint64_t injectedInstallFailures() const { return injectedInstallFailures_; }
+
+ private:
+  FaultPlan plan_;
+  tofino::PipelineCompiler compiler_;
+  std::mt19937_64 rng_;
+  uint64_t compileAttempts_ = 0;
+  uint64_t installAttempts_ = 0;
+  uint64_t injectedCompileRejects_ = 0;
+  uint64_t injectedInstallFailures_ = 0;
+};
+
+}  // namespace flay::controller
+
+#endif  // FLAY_CONTROLLER_DEVICE_H

@@ -1,0 +1,132 @@
+#include "controller/fault_plan.h"
+
+#include <stdexcept>
+
+namespace flay::controller {
+
+namespace {
+
+[[noreturn]] void badSpec(std::string_view spec, const std::string& why) {
+  throw std::invalid_argument("bad fault plan '" + std::string(spec) +
+                              "': " + why);
+}
+
+uint64_t parseUint(std::string_view spec, std::string_view digits) {
+  if (digits.empty()) badSpec(spec, "expected a number");
+  uint64_t v = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') badSpec(spec, "bad number '" + std::string(digits) + "'");
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return v;
+}
+
+double parseProbability(std::string_view spec, std::string_view text) {
+  size_t dot = text.find('.');
+  if (dot == std::string_view::npos) {
+    uint64_t v = parseUint(spec, text);
+    if (v > 1) badSpec(spec, "probability must be in [0,1]");
+    return static_cast<double>(v);
+  }
+  double whole = static_cast<double>(parseUint(spec, text.substr(0, dot)));
+  std::string_view frac = text.substr(dot + 1);
+  double scale = 1.0;
+  double fracValue = 0.0;
+  for (char c : frac) {
+    if (c < '0' || c > '9') badSpec(spec, "bad probability");
+    scale /= 10.0;
+    fracValue += (c - '0') * scale;
+  }
+  double p = whole + fracValue;
+  if (p > 1.0) badSpec(spec, "probability must be in [0,1]");
+  return p;
+}
+
+std::string renderProbability(double p) {
+  // Two decimal places suffice for plan specs; trim a trailing zero.
+  auto d = static_cast<uint32_t>(p * 100.0 + 0.5);
+  std::string s = std::to_string(d / 100) + "." + std::to_string((d / 10) % 10);
+  if (d % 10 != 0) s += std::to_string(d % 10);
+  return s;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(std::string_view spec) {
+  FaultPlan plan;
+  std::string_view rest = spec;
+  while (!rest.empty()) {
+    size_t comma = rest.find(',');
+    std::string_view item =
+        comma == std::string_view::npos ? rest : rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(comma + 1);
+    if (item.empty()) continue;
+    size_t eq = item.find('=');
+    if (eq == std::string_view::npos) badSpec(spec, "expected key=value");
+    std::string_view key = item.substr(0, eq);
+    std::string_view value = item.substr(eq + 1);
+    if (key == "reject-first") {
+      plan.rejectFirstCompiles = static_cast<uint32_t>(parseUint(spec, value));
+    } else if (key == "reject-p") {
+      plan.compileRejectProbability = parseProbability(spec, value);
+    } else if (key == "fail-first") {
+      plan.failFirstInstalls = static_cast<uint32_t>(parseUint(spec, value));
+    } else if (key == "flaky") {
+      plan.installFailProbability = parseProbability(spec, value);
+    } else if (key == "outage") {
+      size_t plus = value.find('+');
+      if (plus == std::string_view::npos) badSpec(spec, "outage=start+length");
+      plan.outageStart = static_cast<uint32_t>(parseUint(spec, value.substr(0, plus)));
+      plan.outageLength =
+          static_cast<uint32_t>(parseUint(spec, value.substr(plus + 1)));
+    } else if (key == "slow") {
+      plan.slowInstallMicros = parseUint(spec, value);
+    } else if (key == "seed") {
+      plan.seed = parseUint(spec, value);
+    } else {
+      badSpec(spec, "unknown key '" + std::string(key) + "'");
+    }
+  }
+  return plan;
+}
+
+std::string FaultPlan::toString() const {
+  std::string s;
+  auto add = [&s](const std::string& item) {
+    if (!s.empty()) s += ",";
+    s += item;
+  };
+  if (rejectFirstCompiles != 0) {
+    add("reject-first=" + std::to_string(rejectFirstCompiles));
+  }
+  if (compileRejectProbability > 0.0) {
+    add("reject-p=" + renderProbability(compileRejectProbability));
+  }
+  if (failFirstInstalls != 0) {
+    add("fail-first=" + std::to_string(failFirstInstalls));
+  }
+  if (installFailProbability > 0.0) {
+    add("flaky=" + renderProbability(installFailProbability));
+  }
+  if (outageLength != 0) {
+    add("outage=" + std::to_string(outageStart) + "+" +
+        std::to_string(outageLength));
+  }
+  if (slowInstallMicros != 0) add("slow=" + std::to_string(slowInstallMicros));
+  if (seed != 1) add("seed=" + std::to_string(seed));
+  return s.empty() ? "none" : s;
+}
+
+std::vector<std::pair<std::string, FaultPlan>> FaultPlan::builtinPlans() {
+  std::vector<std::pair<std::string, FaultPlan>> plans;
+  plans.emplace_back("none", FaultPlan{});
+  plans.emplace_back("transient", FaultPlan::parse("fail-first=2"));
+  plans.emplace_back("flaky", FaultPlan::parse("flaky=0.3"));
+  plans.emplace_back("reject-compile", FaultPlan::parse("reject-first=1"));
+  plans.emplace_back("outage", FaultPlan::parse("outage=2+100"));
+  plans.emplace_back("slow", FaultPlan::parse("slow=500"));
+  return plans;
+}
+
+}  // namespace flay::controller

@@ -1,0 +1,85 @@
+#ifndef FLAY_CONTROLLER_WAL_H
+#define FLAY_CONTROLLER_WAL_H
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "runtime/device_config.h"
+
+namespace flay::controller {
+
+/// One journal record. The journal is JSONL: one JSON object per line,
+/// e.g. {"seq":4,"type":"update","text":"insert Ingress.fwd [...] -> fwd(...)"}.
+struct JournalRecord {
+  enum class Type { kBegin, kUpdate, kCommit, kAbort, kCheckpoint };
+  Type type = Type::kUpdate;
+  uint64_t seq = 0;
+  std::string text;  // kUpdate: Update::toString wire text
+  size_t n = 0;      // kBegin: updates in the transaction
+  std::string file;  // kCheckpoint: checkpoint file name (relative to dir)
+};
+
+/// Append-only write-ahead journal with transactional group markers. Every
+/// applied group is bracketed begin/commit; a group missing its commit (the
+/// process died mid-apply, or the apply aborted) is skipped on replay, which
+/// is exactly the transactional contract: recovery lands on the last
+/// committed state. Each append is flushed and fsync'd before returning, so
+/// a committed record survives SIGKILL.
+class Journal {
+ public:
+  explicit Journal(std::string path) : path_(std::move(path)) {}
+  ~Journal();
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Opens for appending, continuing the sequence after any existing tail.
+  void open();
+  void close();
+  bool isOpen() const { return file_ != nullptr; }
+
+  uint64_t appendBegin(size_t n);
+  uint64_t appendUpdate(const runtime::Update& update);
+  uint64_t appendCommit();
+  uint64_t appendAbort();
+  uint64_t appendCheckpoint(const std::string& checkpointFile);
+
+  uint64_t lastSeq() const { return seq_; }
+  const std::string& path() const { return path_; }
+
+  /// Loads every parseable record. Torn-tail tolerant: reading stops at the
+  /// first malformed or truncated line (an append cut short by a crash) —
+  /// everything before it is intact because appends are sequential.
+  static std::vector<JournalRecord> load(const std::string& path);
+
+ private:
+  uint64_t append(const std::string& body);
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  uint64_t seq_ = 0;
+};
+
+/// Point-in-time snapshot of a DeviceConfig, written atomically (temp file +
+/// rename) with an explicit end marker so a torn checkpoint is detectable
+/// and recovery falls back to an older one. Entries are stored with their
+/// ids and each table's next-id allocator state, so updates journaled after
+/// the checkpoint replay against the exact same id sequence they originally
+/// saw.
+struct Checkpoint {
+  /// Sequence number of the last journal record covered by this checkpoint.
+  uint64_t seq = 0;
+
+  static void write(const std::string& path,
+                    const runtime::DeviceConfig& config, uint64_t seq);
+  /// Loads into a fresh config for `checked`; throws std::runtime_error on a
+  /// missing/torn/malformed file.
+  static runtime::DeviceConfig load(const std::string& path,
+                                    const p4::CheckedProgram& checked,
+                                    uint64_t* seq);
+};
+
+}  // namespace flay::controller
+
+#endif  // FLAY_CONTROLLER_WAL_H

@@ -1,6 +1,7 @@
 #include "flay/engine.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "expr/analysis.h"
 
@@ -67,6 +68,19 @@ void FlayService::buildObjectDependencies() {
   // must be re-encoded whenever that object changes (chained tables: a key
   // on a metadata field written by an upstream table's action). Same for
   // value-set uses whose select expression depends on tables.
+  //
+  // Value sets come first in the re-encoding order: they live in the
+  // parser, so a table's key expression can embed a value-set use symbol
+  // but never the reverse. Encoding a table before the value set it
+  // mentions is rebound bakes the stale (or, on a full rebind from empty
+  // bindings, unresolved) symbol into the stored table binding — the one
+  // substitution pass per annotation never revisits it.
+  for (const auto& use : analysis_.valueSetUses) {
+    if (std::find(objectOrder_.begin(), objectOrder_.end(), use.qualified) ==
+        objectOrder_.end()) {
+      objectOrder_.push_back(use.qualified);
+    }
+  }
   for (const auto& info : analysis_.tables) {
     objectOrder_.push_back(info.qualified);
     std::set<std::string> owners;
@@ -359,6 +373,35 @@ UpdateVerdict FlayService::applyBatch(
   }
   eobs.configApplyUs.record(microsSince(applyStart));
   return analyzeObjects(objects);
+}
+
+ServiceSnapshot FlayService::snapshot() const {
+  ServiceSnapshot snap{*config_, bindings_, pointDigests_, tableDigests_, {}};
+  const auto& points = analysis_.annotations.points();
+  snap.specialized.reserve(points.size());
+  for (const auto& p : points) snap.specialized.push_back(p.specialized);
+  return snap;
+}
+
+void FlayService::restore(const ServiceSnapshot& snap) {
+  *config_ = snap.config;
+  bindings_ = snap.bindings;
+  pointDigests_ = snap.pointDigests;
+  tableDigests_ = snap.tableDigests;
+  auto& points = analysis_.annotations.points();
+  for (size_t i = 0; i < points.size() && i < snap.specialized.size(); ++i) {
+    points[i].specialized = snap.specialized[i];
+  }
+}
+
+void FlayService::adoptConfig(runtime::DeviceConfig config) {
+  if (&config.checkedProgram() != &checked_) {
+    throw std::invalid_argument(
+        "adoptConfig: config was built against a different program");
+  }
+  *config_ = std::move(config);
+  bindings_.clear();
+  respecializeAll();
 }
 
 expr::ExprRef FlayService::resolveSymbol(expr::ExprRef symbolExpr) const {

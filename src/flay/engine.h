@@ -46,6 +46,22 @@ struct UpdateVerdict {
   bool overapproximated = false;
 };
 
+/// Opaque value-copy of everything applyUpdate()/applyBatch() mutate: the
+/// device config, the control-plane assignment, the per-point specialized
+/// expressions, and the change-detection digests. ExprRefs point into the
+/// owning service's arena — which is append-only hash-consing, so they stay
+/// valid across later updates — meaning a snapshot is only usable with the
+/// service that produced it. This is the transactional-rollback primitive
+/// of the fault-tolerant controller.
+struct ServiceSnapshot {
+  runtime::DeviceConfig config;
+  std::map<uint32_t, expr::ExprRef> bindings;
+  std::vector<std::string> pointDigests;
+  std::map<std::string, std::string> tableDigests;
+  /// analysis_.annotations.point(id).specialized, indexed by point id.
+  std::vector<expr::ExprRef> specialized;
+};
+
 /// The Flay service: owns the device's control-plane state, runs the
 /// one-time data-plane analysis, and processes control-plane updates
 /// incrementally through taint lookup + substitution + O(1) change checks.
@@ -69,6 +85,17 @@ class FlayService {
   /// Re-specializes every annotation from the current config (used once at
   /// startup and after a semantics-changing batch has been recompiled).
   void respecializeAll();
+
+  /// Captures the current update-visible state for later restore().
+  ServiceSnapshot snapshot() const;
+  /// Restores exactly the state captured by snapshot(), undoing every
+  /// update applied in between. The snapshot must have been produced by
+  /// this service (its ExprRefs index this service's arena).
+  void restore(const ServiceSnapshot& snap);
+  /// Replaces the managed config wholesale and re-derives the analysis
+  /// from it (crash recovery: checkpoint load + journal replay). `config`
+  /// must be built against the same checked program.
+  void adoptConfig(runtime::DeviceConfig config);
 
   const AnalysisResult& analysis() const { return analysis_; }
   expr::ExprArena& arena() { return *arena_; }

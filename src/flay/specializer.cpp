@@ -3,6 +3,7 @@
 #include <unordered_map>
 
 #include "expr/analysis.h"
+#include "obs/obs.h"
 #include "smt/solver.h"
 
 namespace flay::flay {
@@ -110,7 +111,7 @@ class Specializer::Impl {
     if (options_.solverDagLimit > 0 &&
         expr::dagSize(arena, specialized) <= options_.solverDagLimit) {
       ++stats_.solverQueries;
-      auto c = smt::constantValue(arena, specialized);
+      auto c = budgetedConstantValue(arena, specialized);
       if (c.has_value()) {
         return arena.isTrue(*c) ? Tri::kTrue : Tri::kFalse;
       }
@@ -126,10 +127,25 @@ class Specializer::Impl {
     if (options_.solverDagLimit > 0 && !arena.isBool(specialized) &&
         expr::dagSize(arena, specialized) <= options_.solverDagLimit) {
       ++stats_.solverQueries;
-      auto c = smt::constantValue(arena, specialized);
+      auto c = budgetedConstantValue(arena, specialized);
       if (c.has_value()) return arena.constValue(*c);
     }
     return std::nullopt;
+  }
+
+  /// constantValue under the fail-safe conflict deadline. A timeout is the
+  /// degradation-aware path the controller's counters track: the answer is
+  /// "unknown", the caller keeps the general implementation.
+  std::optional<ExprRef> budgetedConstantValue(expr::ExprArena& arena,
+                                               ExprRef specialized) {
+    bool timedOut = false;
+    auto c = smt::constantValueWithin(arena, specialized,
+                                      options_.solverConflictBudget, &timedOut);
+    if (timedOut) {
+      ++stats_.solverTimeouts;
+      obs::Registry::global().counter("controller.solver_timeouts").add(1);
+    }
+    return c;
   }
 
   /// Rewrites a statement list; orig and clone run in lockstep.

@@ -17,6 +17,10 @@ struct SpecializationStats {
   size_t propagatedConstants = 0; // RHS replaced with literals
   size_t removedSelectCases = 0;  // unreachable parser select cases
   size_t solverQueries = 0;       // SMT constant/executability queries asked
+  /// Queries whose fail-safe conflict budget expired before an answer. Each
+  /// falls back to the conservative non-constant verdict (general
+  /// implementation kept — never a fold on "unknown").
+  size_t solverTimeouts = 0;
   /// Headers never read by any control: parser-tail pruning candidates
   /// (reported, not applied, so packet bytes round-trip unchanged).
   std::vector<std::string> prunableHeaders;
@@ -36,6 +40,12 @@ struct SpecializerOptions {
   /// Ask the SMT solver about conditions/values the rewriting constructors
   /// could not fold, up to this DAG size (0 disables solver queries).
   size_t solverDagLimit = 512;
+  /// Fail-safe deadline per solver query, in SAT conflicts (0 = unlimited).
+  /// An expired query yields "unknown", which the specializer maps to its
+  /// conservative verdict: the point keeps the general implementation, so a
+  /// solver blowup can degrade specialization quality but never correctness
+  /// or liveness of the update pipeline.
+  uint64_t solverConflictBudget = 20000;
 };
 
 struct SpecializationResult {

@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "controller/controller.h"
+#include "controller/device.h"
 #include "obs/obs.h"
 #include "sim/interpreter.h"
 #include "sim/state.h"
@@ -88,7 +90,9 @@ void DifferentialOracle::migrate(flay::FlayService& service,
 }
 
 std::optional<Divergence> DifferentialOracle::probe(
-    flay::FlayService& service, const SpecializedSide& side, size_t updateStep,
+    const runtime::DeviceConfig& origConfig,
+    const p4::CheckedProgram& specChecked,
+    const runtime::DeviceConfig& specConfig, size_t updateStep,
     const sim::Packet* packetOverride, OracleReport* report) {
   obs::Registry& reg = obs::Registry::global();
   obs::ScopedTimer timer(reg.histogram("oracle.probe_us"), "oracle.probe");
@@ -97,11 +101,11 @@ std::optional<Divergence> DifferentialOracle::probe(
   // register/counter history across update steps, or a divergence would
   // depend on the probe history rather than the update script.
   sim::DataPlaneState origState(checked_);
-  sim::DataPlaneState specState(*side.checked);
-  sim::Interpreter original(checked_, service.config(), origState);
-  sim::Interpreter specialized(*side.checked, *side.config, specState);
+  sim::DataPlaneState specState(specChecked);
+  sim::Interpreter original(checked_, origConfig, origState);
+  sim::Interpreter specialized(specChecked, specConfig, specState);
 
-  net::PacketFuzzer fuzzer(checked_, service.config(),
+  net::PacketFuzzer fuzzer(checked_, origConfig,
                            mixSeed(options_.seed, updateStep));
   size_t count = packetOverride != nullptr ? 1 : options_.packets;
 
@@ -187,13 +191,17 @@ std::optional<Divergence> DifferentialOracle::replay(
     OracleReport* report) {
   obs::Registry& reg = obs::Registry::global();
   reg.counter("oracle.replays").add(1);
+  if (options_.faultPlan.has_value()) {
+    return replayWithFaults(subset, packetOverride, report);
+  }
 
   flay::FlayService service(checked_, options_.flayOptions);
   SpecializedSide side = respecialize(service);
   if (report != nullptr) ++report->respecializations;
 
   // Step 0: the initial specialization of the empty starting config.
-  if (auto d = probe(service, side, 0, packetOverride, report)) {
+  if (auto d = probe(service.config(), *side.checked, *side.config, 0,
+                     packetOverride, report)) {
     d->subsetPos = SIZE_MAX;
     return d;
   }
@@ -229,7 +237,8 @@ std::optional<Divergence> DifferentialOracle::replay(
       reg.counter("oracle.preserving_checks").add(1);
     }
 
-    if (auto d = probe(service, side, applied, packetOverride, report)) {
+    if (auto d = probe(service.config(), *side.checked, *side.config, applied,
+                       packetOverride, report)) {
       d->afterPreservingUpdate = !verdict.needsRecompilation;
       d->lastUpdate = update.toString();
       d->subsetPos = pos;
@@ -237,6 +246,75 @@ std::optional<Divergence> DifferentialOracle::replay(
     }
   }
   return std::nullopt;
+}
+
+std::optional<Divergence> DifferentialOracle::replayWithFaults(
+    const std::vector<size_t>& subset, const sim::Packet* packetOverride,
+    OracleReport* report) {
+  obs::Registry& reg = obs::Registry::global();
+  reg.counter("oracle.fault_replays").add(1);
+
+  // Fresh controller + device per replay: the fault plan's RNG restarts, so
+  // shrunk subsets replay the exact same fault schedule.
+  tofino::CompilerOptions compilerOptions;
+  compilerOptions.searchIterations = options_.faultCompileIterations;
+  controller::SimulatedDevice device(*options_.faultPlan, {}, compilerOptions);
+  controller::ControllerOptions copts;
+  copts.flay = options_.flayOptions;
+  copts.specializer = options_.specializerOptions;
+  copts.seed = options_.seed;
+  controller::FaultTolerantController ctl(checked_, &device, copts);
+
+  // The device side is whatever the controller actually got installed —
+  // pinned program + device-visible config — not what a fault-free run
+  // would have. migrateConfig is pure, so recomputing it per probe step
+  // tracks every forwarded update.
+  auto probeDevice = [&](size_t step) -> std::optional<Divergence> {
+    runtime::DeviceConfig migrated =
+        flay::migrateConfig(ctl.deviceProgram(), ctl.deviceConfig());
+    if (report != nullptr && ctl.degraded()) ++report->degradedSteps;
+    return probe(ctl.deviceConfig(), ctl.deviceProgram(), migrated, step,
+                 packetOverride, report);
+  };
+
+  if (auto d = probeDevice(0)) {
+    d->subsetPos = SIZE_MAX;
+    return d;
+  }
+
+  size_t applied = 0;
+  for (size_t pos = 0; pos < subset.size(); ++pos) {
+    const runtime::Update& update = script_.at(subset[pos]);
+    controller::ApplyResult result;
+    try {
+      result = ctl.apply(update);
+    } catch (const std::invalid_argument&) {
+      if (report != nullptr) ++report->updatesRejected;
+      reg.counter("oracle.updates_rejected").add(1);
+      continue;
+    }
+    ++applied;
+    if (report != nullptr) {
+      ++report->updatesApplied;
+      report->faultRetries += result.retries;
+      if (!result.verdict.needsRecompilation) ++report->preservingChecks;
+    }
+    reg.counter("oracle.updates_applied").add(1);
+
+    if (auto d = probeDevice(applied)) {
+      d->afterPreservingUpdate = !result.verdict.needsRecompilation;
+      d->lastUpdate = update.toString();
+      d->subsetPos = pos;
+      return d;
+    }
+  }
+
+  // End of script: pull the controller out of degradation if the fault
+  // window has passed, and check the recovered device once more.
+  for (int attempt = 0; ctl.degraded() && attempt < 3; ++attempt) {
+    if (ctl.tryRecover()) break;
+  }
+  return probeDevice(applied + 1);
 }
 
 OracleReport DifferentialOracle::run() {
@@ -394,6 +472,9 @@ std::string DifferentialOracle::buildReproCommand(
      << " --packets " << options_.packets << " --seed " << options_.seed;
   if (options_.sabotage == OracleOptions::Sabotage::kDropMigratedEntry) {
     os << " --sabotage drop-entry";
+  }
+  if (options_.faultPlan.has_value()) {
+    os << " --fault-plan " << options_.faultPlan->toString();
   }
   os << " --replay-updates ";
   if (report.shrunkUpdates.empty()) {

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "controller/fault_plan.h"
 #include "flay/engine.h"
 #include "flay/specializer.h"
 #include "net/fuzzer.h"
@@ -40,7 +41,19 @@ struct OracleOptions {
   std::vector<uint8_t> probePacketOverride;
   uint32_t probeIngressPort = 0;
 
+  /// When set, the replay drives a FaultTolerantController backed by a
+  /// SimulatedDevice injecting this plan's faults (retries, degradation,
+  /// recovery) instead of a bare FlayService. Probes then assert the
+  /// degradation invariant: the device's (program, config) pair stays
+  /// packet-equivalent to the original program under the device-visible
+  /// config, across every retry, pin, and recovery the plan provokes.
+  std::optional<controller::FaultPlan> faultPlan;
+  /// Placement-search budget for the fault-mode device compiler (kept small
+  /// because the oracle compiles on every recompile verdict).
+  uint32_t faultCompileIterations = 8;
+
   flay::FlayOptions flayOptions;
+  flay::SpecializerOptions specializerOptions;
 };
 
 /// First observed behavioral difference between the original program and its
@@ -78,6 +91,11 @@ struct OracleReport {
   size_t packetsCompared = 0;
   size_t preservingChecks = 0;   // probes after semantics-preserving verdicts
   size_t respecializations = 0;  // forced full respecializations
+  /// Fault mode only: probe steps taken while the controller was degraded
+  /// (device pinned to the last good program), and install/compile retries
+  /// the fault plan provoked.
+  size_t degradedSteps = 0;
+  size_t faultRetries = 0;
   std::optional<Divergence> divergence;
 
   // Filled by the shrinker when a divergence was found and shrinking is on.
@@ -120,15 +138,25 @@ class DifferentialOracle {
 
   /// Replays `subset` (indices into script_) from a fresh service; returns
   /// the first divergence, or nullopt when equivalent. `packetOverride`
-  /// replaces every probe workload with one fixed packet.
+  /// replaces every probe workload with one fixed packet. Dispatches to
+  /// replayWithFaults() when options_.faultPlan is set.
   std::optional<Divergence> replay(const std::vector<size_t>& subset,
                                    const sim::Packet* packetOverride,
                                    OracleReport* report);
+  /// Fault-mode replay: same script, but through a FaultTolerantController
+  /// with an injected-fault device; probes compare the original program
+  /// under the device-visible config against the device's pinned program.
+  std::optional<Divergence> replayWithFaults(const std::vector<size_t>& subset,
+                                             const sim::Packet* packetOverride,
+                                             OracleReport* report);
 
   SpecializedSide respecialize(flay::FlayService& service);
   void migrate(flay::FlayService& service, SpecializedSide& side);
-  std::optional<Divergence> probe(flay::FlayService& service,
-                                  const SpecializedSide& side,
+  /// Compares the original program under `origConfig` against `specChecked`
+  /// under `specConfig` on a fuzzed (or overridden) probe workload.
+  std::optional<Divergence> probe(const runtime::DeviceConfig& origConfig,
+                                  const p4::CheckedProgram& specChecked,
+                                  const runtime::DeviceConfig& specConfig,
                                   size_t updateStep,
                                   const sim::Packet* packetOverride,
                                   OracleReport* report);

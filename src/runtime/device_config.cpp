@@ -1,6 +1,7 @@
 #include "runtime/device_config.h"
 
 #include <stdexcept>
+#include <tuple>
 
 #include "obs/obs.h"
 
@@ -149,14 +150,301 @@ std::string Update::toString() const {
     case Kind::kValueSetDelete:
       return "vs-delete " + target + " " + value.toHexString() + " &&& " +
              mask.toHexString();
-    case Kind::kProfileAdd:
-      return "profile-add " + target + " member=" +
-             std::to_string(member.memberId) + " " + member.actionName;
+    case Kind::kProfileAdd: {
+      std::string s = "profile-add " + target + " member=" +
+                      std::to_string(member.memberId) + " " +
+                      member.actionName + "(";
+      for (size_t i = 0; i < member.args.size(); ++i) {
+        if (i > 0) s += ", ";
+        s += member.args[i].toHexString();
+      }
+      return s + ")";
+    }
     case Kind::kProfileRemove:
       return "profile-remove " + target + " member=" +
              std::to_string(member.memberId);
   }
   return "unknown-update";
+}
+
+// ---------------------------------------------------------------------------
+// Update::fromString — schema-directed inverse of toString
+// ---------------------------------------------------------------------------
+
+namespace {
+
+[[noreturn]] void badUpdate(std::string_view text, const std::string& why) {
+  throw std::invalid_argument("cannot parse update '" + std::string(text) +
+                              "': " + why);
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && s.front() == ' ') s.remove_prefix(1);
+  while (!s.empty() && s.back() == ' ') s.remove_suffix(1);
+  return s;
+}
+
+/// Consumes and returns the next space-delimited word.
+std::string_view takeWord(std::string_view& s) {
+  s = trim(s);
+  size_t sp = s.find(' ');
+  std::string_view word = sp == std::string_view::npos ? s : s.substr(0, sp);
+  s.remove_prefix(sp == std::string_view::npos ? s.size() : sp + 1);
+  return word;
+}
+
+/// Splits "a, b, c" on top-level commas (the rendered lists never nest).
+std::vector<std::string_view> splitList(std::string_view s) {
+  std::vector<std::string_view> out;
+  s = trim(s);
+  if (s.empty()) return out;
+  size_t pos = 0;
+  while (pos <= s.size()) {
+    size_t comma = s.find(',', pos);
+    if (comma == std::string_view::npos) comma = s.size();
+    out.push_back(trim(s.substr(pos, comma - pos)));
+    pos = comma + 1;
+    if (comma == s.size()) break;
+  }
+  return out;
+}
+
+uint64_t parseUint(std::string_view orig, std::string_view digits) {
+  if (digits.empty()) badUpdate(orig, "expected a number");
+  uint64_t v = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') {
+      badUpdate(orig, "bad number '" + std::string(digits) + "'");
+    }
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return v;
+}
+
+struct TableSchema {
+  const p4::ControlDecl* control = nullptr;
+  const p4::TableDecl* decl = nullptr;
+};
+
+TableSchema findTable(const p4::CheckedProgram& checked,
+                      std::string_view target, std::string_view orig) {
+  size_t dot = target.find('.');
+  if (dot == std::string_view::npos) badUpdate(orig, "unqualified target");
+  std::string control(target.substr(0, dot));
+  std::string table(target.substr(dot + 1));
+  for (const auto& c : checked.program.controls) {
+    if (c.name != control) continue;
+    if (const p4::TableDecl* t = c.findTable(table)) return {&c, t};
+  }
+  badUpdate(orig, "unknown table '" + std::string(target) + "'");
+}
+
+const p4::ValueSetDecl* findValueSet(const p4::CheckedProgram& checked,
+                                     std::string_view target,
+                                     std::string_view orig) {
+  size_t dot = target.find('.');
+  if (dot == std::string_view::npos) badUpdate(orig, "unqualified target");
+  std::string parser(target.substr(0, dot));
+  std::string vs(target.substr(dot + 1));
+  for (const auto& p : checked.program.parsers) {
+    if (p.name != parser) continue;
+    for (const auto& v : p.valueSets) {
+      if (v.name == vs) return &v;
+    }
+  }
+  badUpdate(orig, "unknown value_set '" + std::string(target) + "'");
+}
+
+const p4::ControlDecl* findControlByPrefix(const p4::CheckedProgram& checked,
+                                           std::string_view target,
+                                           std::string_view orig) {
+  size_t dot = target.find('.');
+  if (dot == std::string_view::npos) badUpdate(orig, "unqualified target");
+  std::string control(target.substr(0, dot));
+  for (const auto& c : checked.program.controls) {
+    if (c.name == control) return &c;
+  }
+  badUpdate(orig, "unknown control '" + std::string(control) + "'");
+}
+
+/// Parses "act(0x01, 0x02)" against the control's action declaration; the
+/// builtin noop/NoAction take no arguments.
+void parseActionCall(const p4::ControlDecl& control, std::string_view call,
+                     std::string_view orig, std::string* actionName,
+                     std::vector<BitVec>* args) {
+  call = trim(call);
+  size_t open = call.find('(');
+  if (open == std::string_view::npos || call.back() != ')') {
+    badUpdate(orig, "expected action(args)");
+  }
+  *actionName = std::string(trim(call.substr(0, open)));
+  std::vector<std::string_view> argText =
+      splitList(call.substr(open + 1, call.size() - open - 2));
+  const p4::ActionDecl* decl = control.findAction(*actionName);
+  size_t expected = decl != nullptr ? decl->params.size() : 0;
+  if (argText.size() != expected) {
+    badUpdate(orig, "action '" + *actionName + "' expects " +
+                        std::to_string(expected) + " arguments, got " +
+                        std::to_string(argText.size()));
+  }
+  args->clear();
+  for (size_t i = 0; i < argText.size(); ++i) {
+    args->push_back(BitVec::parse(decl->params[i].width, argText[i]));
+  }
+}
+
+/// Parses "[m0, m1, ...] -> act(args)[ prio=P]" against the table schema.
+TableEntry parseEntryBody(const TableSchema& schema, std::string_view body,
+                          std::string_view orig) {
+  body = trim(body);
+  if (body.empty() || body.front() != '[') badUpdate(orig, "expected '['");
+  size_t close = body.find(']');
+  if (close == std::string_view::npos) badUpdate(orig, "unterminated '['");
+  std::vector<std::string_view> matchText =
+      splitList(body.substr(1, close - 1));
+  if (matchText.size() != schema.decl->keys.size()) {
+    badUpdate(orig, "entry has " + std::to_string(matchText.size()) +
+                        " matches, table has " +
+                        std::to_string(schema.decl->keys.size()) + " keys");
+  }
+  TableEntry entry;
+  for (size_t i = 0; i < matchText.size(); ++i) {
+    const p4::KeyElement& key = schema.decl->keys[i];
+    uint32_t width = key.expr->width;
+    std::string_view m = matchText[i];
+    switch (key.matchKind) {
+      case p4::MatchKind::kExact:
+        entry.matches.push_back(FieldMatch::exact(BitVec::parse(width, m)));
+        break;
+      case p4::MatchKind::kTernary: {
+        size_t amp = m.find(" &&& ");
+        if (amp == std::string_view::npos) {
+          badUpdate(orig, "ternary key needs 'value &&& mask'");
+        }
+        entry.matches.push_back(
+            FieldMatch::ternary(BitVec::parse(width, trim(m.substr(0, amp))),
+                                BitVec::parse(width, trim(m.substr(amp + 5)))));
+        break;
+      }
+      case p4::MatchKind::kLpm: {
+        size_t slash = m.rfind('/');
+        if (slash == std::string_view::npos) {
+          badUpdate(orig, "lpm key needs 'value/prefixLen'");
+        }
+        uint64_t len = parseUint(orig, m.substr(slash + 1));
+        entry.matches.push_back(
+            FieldMatch::lpm(BitVec::parse(width, trim(m.substr(0, slash))),
+                            static_cast<uint32_t>(len)));
+        break;
+      }
+    }
+  }
+  std::string_view rest = trim(body.substr(close + 1));
+  if (rest.substr(0, 2) != "->") badUpdate(orig, "expected '->'");
+  rest = trim(rest.substr(2));
+  // Optional trailing " prio=P" (P may be negative).
+  size_t prio = rest.rfind(" prio=");
+  if (prio != std::string_view::npos && rest.find(')', prio) == std::string_view::npos) {
+    std::string_view p = rest.substr(prio + 6);
+    bool negative = !p.empty() && p.front() == '-';
+    if (negative) p.remove_prefix(1);
+    int64_t v = static_cast<int64_t>(parseUint(orig, p));
+    entry.priority = static_cast<int32_t>(negative ? -v : v);
+    rest = trim(rest.substr(0, prio));
+  }
+  parseActionCall(*schema.control, rest, orig, &entry.actionName,
+                  &entry.actionArgs);
+  return entry;
+}
+
+/// Parses "key=N" returning N.
+uint64_t parseKeyedUint(std::string_view& s, std::string_view key,
+                        std::string_view orig) {
+  std::string_view word = takeWord(s);
+  if (word.substr(0, key.size()) != key || word.size() <= key.size() ||
+      word[key.size()] != '=') {
+    badUpdate(orig, "expected '" + std::string(key) + "=N'");
+  }
+  return parseUint(orig, word.substr(key.size() + 1));
+}
+
+std::pair<BitVec, BitVec> parseValueMask(uint32_t width, std::string_view s,
+                                         std::string_view orig) {
+  size_t amp = s.find(" &&& ");
+  if (amp == std::string_view::npos) {
+    badUpdate(orig, "expected 'value &&& mask'");
+  }
+  return {BitVec::parse(width, trim(s.substr(0, amp))),
+          BitVec::parse(width, trim(s.substr(amp + 5)))};
+}
+
+}  // namespace
+
+Update Update::fromString(const p4::CheckedProgram& checked,
+                          std::string_view text) {
+  std::string_view orig = text;
+  std::string_view s = trim(text);
+  std::string_view kind = takeWord(s);
+  std::string target(takeWord(s));
+  if (target.empty()) badUpdate(orig, "missing target");
+
+  if (kind == "insert" || kind == "modify") {
+    TableSchema schema = findTable(checked, target, orig);
+    Update u;
+    u.kind = kind == "insert" ? Kind::kInsert : Kind::kModify;
+    u.target = std::move(target);
+    uint64_t id = 0;
+    if (u.kind == Kind::kModify) id = parseKeyedUint(s, "id", orig);
+    u.entry = parseEntryBody(schema, s, orig);
+    u.entry.id = id;
+    return u;
+  }
+  if (kind == "delete") {
+    Update u;
+    u.kind = Kind::kDelete;
+    // Existence check only: ids need no schema, but an unknown table should
+    // fail here, not at replay time.
+    findTable(checked, target, orig);
+    u.target = std::move(target);
+    u.entry.id = parseKeyedUint(s, "id", orig);
+    return u;
+  }
+  if (kind == "set-default") {
+    TableSchema schema = findTable(checked, target, orig);
+    Update u;
+    u.kind = Kind::kSetDefaultAction;
+    u.target = std::move(target);
+    parseActionCall(*schema.control, s, orig, &u.actionName, &u.actionArgs);
+    return u;
+  }
+  if (kind == "vs-insert" || kind == "vs-delete") {
+    const p4::ValueSetDecl* vs = findValueSet(checked, target, orig);
+    Update u;
+    u.kind = kind == "vs-insert" ? Kind::kValueSetInsert : Kind::kValueSetDelete;
+    u.target = std::move(target);
+    std::tie(u.value, u.mask) = parseValueMask(vs->width, trim(s), orig);
+    return u;
+  }
+  if (kind == "profile-add") {
+    const p4::ControlDecl* control = findControlByPrefix(checked, target, orig);
+    Update u;
+    u.kind = Kind::kProfileAdd;
+    u.target = std::move(target);
+    u.member.memberId =
+        static_cast<uint32_t>(parseKeyedUint(s, "member", orig));
+    parseActionCall(*control, s, orig, &u.member.actionName, &u.member.args);
+    return u;
+  }
+  if (kind == "profile-remove") {
+    Update u;
+    u.kind = Kind::kProfileRemove;
+    findControlByPrefix(checked, target, orig);
+    u.target = std::move(target);
+    u.member.memberId =
+        static_cast<uint32_t>(parseKeyedUint(s, "member", orig));
+    return u;
+  }
+  badUpdate(orig, "unknown update kind '" + std::string(kind) + "'");
 }
 
 // ---------------------------------------------------------------------------

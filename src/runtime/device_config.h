@@ -4,6 +4,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "p4/typecheck.h"
@@ -89,8 +90,20 @@ struct Update {
   static Update valueSetInsert(std::string vs, BitVec value, BitVec mask);
 
   /// One-line human-readable rendering ("insert Ingress.fwd [..] -> act(..)"),
-  /// used by the oracle's divergence reports.
+  /// used by the oracle's divergence reports and as the wire format of the
+  /// controller's write-ahead journal.
   std::string toString() const;
+
+  /// Parses the exact toString() rendering back into an Update. The text
+  /// carries no bit widths, so parsing is schema-directed: `checked` supplies
+  /// key widths, match kinds, and action-parameter widths (the same way
+  /// P4Runtime messages are only decodable against a pipeline's P4Info).
+  /// Round-trip law: fromString(p, u.toString()).toString() == u.toString()
+  /// for every update well-formed against `p` — the property crash recovery
+  /// replays depend on. Throws std::invalid_argument on malformed text or
+  /// unknown objects/actions.
+  static Update fromString(const p4::CheckedProgram& checked,
+                           std::string_view text);
 };
 
 /// The full control-plane configuration of one device/program: every table,

@@ -88,6 +88,30 @@ uint64_t TableState::insert(TableEntry entry) {
   return entries_.back().id;
 }
 
+void TableState::restoreEntry(TableEntry entry) {
+  validate(entry);
+  if (entry.id == 0) {
+    throw std::invalid_argument(qualifiedName() +
+                                ": restoreEntry needs an explicit id");
+  }
+  if (entries_.size() >= decl_->size) {
+    throw std::invalid_argument(qualifiedName() + ": table is full (size " +
+                                std::to_string(decl_->size) + ")");
+  }
+  for (const auto& e : entries_) {
+    if (e.id == entry.id) {
+      throw std::invalid_argument(qualifiedName() + ": duplicate restored id " +
+                                  std::to_string(entry.id));
+    }
+    if (e.sameMatchSet(entry) && e.priority == entry.priority) {
+      throw std::invalid_argument(qualifiedName() + ": duplicate entry " +
+                                  entry.toString());
+    }
+  }
+  if (entry.id >= nextId_) nextId_ = entry.id + 1;
+  entries_.push_back(std::move(entry));
+}
+
 void TableState::modify(TableEntry entry) {
   validate(entry);
   for (auto& e : entries_) {

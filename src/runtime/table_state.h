@@ -28,6 +28,13 @@ class TableState {
   /// Validates and installs; returns the assigned entry id.
   /// Throws std::invalid_argument on schema violations or duplicates.
   uint64_t insert(TableEntry entry);
+  /// Checkpoint-restore insert: installs `entry` keeping its original
+  /// (non-zero) id and bumps the id allocator past it, so updates journaled
+  /// after the checkpoint replay against the exact same id sequence.
+  void restoreEntry(TableEntry entry);
+  /// Next id insert() would assign; restored verbatim from checkpoints.
+  uint64_t nextId() const { return nextId_; }
+  void setNextId(uint64_t id) { nextId_ = id; }
   /// Replaces the entry with `entry.id`; throws if absent.
   void modify(TableEntry entry);
   /// Removes by id; throws if absent.

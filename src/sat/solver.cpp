@@ -341,12 +341,21 @@ Result Solver::solve(std::span<const Lit> assumptions) {
   uint64_t restartNum = 0;
   uint64_t conflictBudget = 100 * luby(restartNum + 1);
   uint64_t conflictsThisRestart = 0;
+  const uint64_t conflictsAtEntry = conflicts_;
 
   for (;;) {
     int32_t conflict = propagate();
     if (conflict != -1) {
       ++conflicts_;
       ++conflictsThisRestart;
+      if (conflictBudget_ != 0 &&
+          conflicts_ - conflictsAtEntry >= conflictBudget_) {
+        // Deadline hit: surrender the search but keep everything learned so
+        // far. The partial trail is rolled back so the instance stays usable.
+        ++budgetExhaustions_;
+        backtrack(0);
+        return Result::kUnknown;
+      }
       if (trailLimits_.empty()) return Result::kUnsat;
       std::vector<Lit> learned;
       uint32_t btLevel = 0;

@@ -20,7 +20,10 @@ struct Lit {
   bool operator==(const Lit&) const = default;
 };
 
-enum class Result { kSat, kUnsat };
+/// kUnknown is only returned when a per-solve conflict budget (see
+/// setConflictBudget) was exhausted before the search settled; callers must
+/// treat it conservatively (neither sat nor unsat is proven).
+enum class Result { kSat, kUnsat, kUnknown };
 
 /// Conflict-driven clause-learning SAT solver: two-watched-literal
 /// propagation, VSIDS branching, 1-UIP clause learning, Luby restarts, and
@@ -44,6 +47,17 @@ class Solver {
   /// Solves under optional assumptions. Can be called repeatedly; learned
   /// clauses persist between calls.
   Result solve(std::span<const Lit> assumptions = {});
+
+  /// Fail-safe deadline: each subsequent solve() call may spend at most this
+  /// many conflicts before giving up with Result::kUnknown (0 = unlimited).
+  /// Learned clauses from the partial search persist, so a retried query
+  /// resumes stronger rather than from scratch.
+  void setConflictBudget(uint64_t maxConflictsPerSolve) {
+    conflictBudget_ = maxConflictsPerSolve;
+  }
+  uint64_t conflictBudget() const { return conflictBudget_; }
+  /// Number of solve() calls that ran out of budget.
+  uint64_t numBudgetExhaustions() const { return budgetExhaustions_; }
 
   /// Value of variable `v` in the model of the last kSat answer.
   bool modelValue(uint32_t v) const { return model_[v] == 1; }
@@ -119,6 +133,8 @@ class Solver {
   uint64_t restarts_ = 0;
   uint64_t reduces_ = 0;
   uint64_t nextReduce_ = kReduceInterval;
+  uint64_t conflictBudget_ = 0;  // per-solve() cap; 0 = unlimited
+  uint64_t budgetExhaustions_ = 0;
 };
 
 }  // namespace flay::sat

@@ -18,6 +18,7 @@ struct SmtObs {
   obs::Counter& checks = reg.counter("smt.checks");
   obs::Counter& satResults = reg.counter("smt.sat_results");
   obs::Counter& unsatResults = reg.counter("smt.unsat_results");
+  obs::Counter& unknownResults = reg.counter("smt.unknown_results");
   obs::Counter& validQueries = reg.counter("smt.valid_queries");
   obs::Counter& constantQueries = reg.counter("smt.constant_queries");
   obs::Counter& foldedQueries = reg.counter("smt.folded_queries");
@@ -47,10 +48,22 @@ CheckResult SmtSolver::check() {
   SmtObs& o = SmtObs::get();
   obs::ScopedTimer t(o.checkUs, "smt.check");
   o.checks.add(1);
-  CheckResult r = sat_->solve() == sat::Result::kSat ? CheckResult::kSat
-                                                     : CheckResult::kUnsat;
-  (r == CheckResult::kSat ? o.satResults : o.unsatResults).add(1);
-  return r;
+  switch (sat_->solve()) {
+    case sat::Result::kSat:
+      o.satResults.add(1);
+      return CheckResult::kSat;
+    case sat::Result::kUnsat:
+      o.unsatResults.add(1);
+      return CheckResult::kUnsat;
+    case sat::Result::kUnknown:
+      break;
+  }
+  o.unknownResults.add(1);
+  return CheckResult::kUnknown;
+}
+
+void SmtSolver::setConflictBudget(uint64_t maxConflictsPerCheck) {
+  sat_->setConflictBudget(maxConflictsPerCheck);
 }
 
 BitVec SmtSolver::modelValue(ExprRef var) {
@@ -67,16 +80,28 @@ bool SmtSolver::modelValueBool(ExprRef var) {
 
 uint64_t SmtSolver::numConflicts() const { return sat_->numConflicts(); }
 
-bool isSatisfiable(const expr::ExprArena& arena, ExprRef boolExpr) {
+std::optional<bool> isSatisfiableWithin(const expr::ExprArena& arena,
+                                        ExprRef boolExpr,
+                                        uint64_t maxConflicts) {
   // The arena folds constants eagerly, so test the trivial cases first.
   if (arena.isTrue(boolExpr)) return true;
   if (arena.isFalse(boolExpr)) return false;
   SmtSolver solver(arena);
+  solver.setConflictBudget(maxConflicts);
   solver.assertExpr(boolExpr);
-  return solver.check() == CheckResult::kSat;
+  switch (solver.check()) {
+    case CheckResult::kSat:
+      return true;
+    case CheckResult::kUnsat:
+      return false;
+    case CheckResult::kUnknown:
+      break;
+  }
+  return std::nullopt;
 }
 
-bool isValid(const expr::ExprArena& arena, ExprRef boolExpr) {
+std::optional<bool> isValidWithin(const expr::ExprArena& arena,
+                                  ExprRef boolExpr, uint64_t maxConflicts) {
   SmtObs& o = SmtObs::get();
   if (arena.isTrue(boolExpr) || arena.isFalse(boolExpr)) {
     o.foldedQueries.add(1);
@@ -87,10 +112,28 @@ bool isValid(const expr::ExprArena& arena, ExprRef boolExpr) {
   // valid(e) <=> unsat(!e). Asserting the blasted literal negated encodes !e
   // without needing a mutable arena.
   sat::Solver sat;
+  sat.setConflictBudget(maxConflicts);
   BitBlaster blaster(arena, sat);
   sat::Lit l = blaster.blastBool(boolExpr);
   sat.addUnit(~l);
-  return sat.solve() == sat::Result::kUnsat;
+  switch (sat.solve()) {
+    case sat::Result::kUnsat:
+      return true;
+    case sat::Result::kSat:
+      return false;
+    case sat::Result::kUnknown:
+      break;
+  }
+  o.unknownResults.add(1);
+  return std::nullopt;
+}
+
+bool isSatisfiable(const expr::ExprArena& arena, ExprRef boolExpr) {
+  return *isSatisfiableWithin(arena, boolExpr, 0);
+}
+
+bool isValid(const expr::ExprArena& arena, ExprRef boolExpr) {
+  return *isValidWithin(arena, boolExpr, 0);
 }
 
 bool areEquivalent(expr::ExprArena& arena, ExprRef a, ExprRef b) {
@@ -100,8 +143,16 @@ bool areEquivalent(expr::ExprArena& arena, ExprRef a, ExprRef b) {
   return isValid(arena, same);
 }
 
-std::optional<ExprRef> constantValue(expr::ExprArena& arena, ExprRef e) {
+std::optional<ExprRef> constantValueWithin(expr::ExprArena& arena, ExprRef e,
+                                           uint64_t maxConflicts,
+                                           bool* timedOut) {
   SmtObs& o = SmtObs::get();
+  if (timedOut != nullptr) *timedOut = false;
+  auto expired = [&]() -> std::optional<ExprRef> {
+    if (timedOut != nullptr) *timedOut = true;
+    o.unknownResults.add(1);
+    return std::nullopt;
+  };
   if (arena.isConst(e)) {
     o.foldedQueries.add(1);
     return e;
@@ -110,19 +161,26 @@ std::optional<ExprRef> constantValue(expr::ExprArena& arena, ExprRef e) {
   obs::ScopedTimer timer(o.checkUs, "smt.constant");
   // Find one model value v, then check whether e == v is valid.
   sat::Solver sat;
+  sat.setConflictBudget(maxConflicts);
   BitBlaster blaster(arena, sat);
   ExprRef candidate;
   if (arena.isBool(e)) {
     sat::Lit l = blaster.blastBool(e);
     // Try e == true first.
-    bool canBeTrue = sat.solve(std::array{l}) == sat::Result::kSat;
-    bool canBeFalse = sat.solve(std::array{~l}) == sat::Result::kSat;
+    sat::Result asTrue = sat.solve(std::array{l});
+    if (asTrue == sat::Result::kUnknown) return expired();
+    sat::Result asFalse = sat.solve(std::array{~l});
+    if (asFalse == sat::Result::kUnknown) return expired();
+    bool canBeTrue = asTrue == sat::Result::kSat;
+    bool canBeFalse = asFalse == sat::Result::kSat;
     if (canBeTrue && canBeFalse) return std::nullopt;
     candidate = arena.boolConst(canBeTrue);
     return candidate;
   }
   blaster.blastBv(e);
-  if (sat.solve() != sat::Result::kSat) {
+  sat::Result modelRun = sat.solve();
+  if (modelRun == sat::Result::kUnknown) return expired();
+  if (modelRun != sat::Result::kSat) {
     // Unreachable in a consistent encoding, but be conservative.
     return std::nullopt;
   }
@@ -130,8 +188,14 @@ std::optional<ExprRef> constantValue(expr::ExprArena& arena, ExprRef e) {
   candidate = arena.bvConst(v);
   // e can differ from v iff (e == v) is not valid.
   ExprRef eqV = arena.eq(e, candidate);
-  if (isValid(arena, eqV)) return candidate;
+  std::optional<bool> valid = isValidWithin(arena, eqV, maxConflicts);
+  if (!valid.has_value()) return expired();
+  if (*valid) return candidate;
   return std::nullopt;
+}
+
+std::optional<ExprRef> constantValue(expr::ExprArena& arena, ExprRef e) {
+  return constantValueWithin(arena, e, 0, nullptr);
 }
 
 }  // namespace flay::smt

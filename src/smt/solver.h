@@ -10,7 +10,11 @@
 
 namespace flay::smt {
 
-enum class CheckResult { kSat, kUnsat };
+/// kUnknown surfaces a SAT-level conflict-budget exhaustion (fail-safe solver
+/// deadline). Callers must treat it conservatively: a specialization decision
+/// gated on an unknown query must take the general (recompile) path, never
+/// the constant-fold fast path.
+enum class CheckResult { kSat, kUnsat, kUnknown };
 
 /// QF_BV satisfiability facade: assert boolean expressions, check, read back
 /// a model. One instance owns one SAT solver; assertions accumulate.
@@ -25,6 +29,11 @@ class SmtSolver {
 
   void assertExpr(expr::ExprRef boolExpr);
   CheckResult check();
+
+  /// Fail-safe deadline forwarded to the underlying SAT solver: each check()
+  /// may spend at most this many conflicts (0 = unlimited) before returning
+  /// CheckResult::kUnknown.
+  void setConflictBudget(uint64_t maxConflictsPerCheck);
 
   /// Model value of a bit-vector variable after a kSat check. Variables that
   /// never appeared in an assertion get value zero.
@@ -45,6 +54,17 @@ bool isSatisfiable(const expr::ExprArena& arena, expr::ExprRef boolExpr);
 /// True iff `boolExpr` holds for every assignment.
 bool isValid(const expr::ExprArena& arena, expr::ExprRef boolExpr);
 
+/// Budgeted variants: each underlying SAT query may spend at most
+/// `maxConflicts` conflicts (0 = unlimited). nullopt means the deadline
+/// expired with neither answer proven — the caller must fall back to its
+/// conservative path.
+std::optional<bool> isSatisfiableWithin(const expr::ExprArena& arena,
+                                        expr::ExprRef boolExpr,
+                                        uint64_t maxConflicts);
+std::optional<bool> isValidWithin(const expr::ExprArena& arena,
+                                  expr::ExprRef boolExpr,
+                                  uint64_t maxConflicts);
+
 /// True iff `a` and `b` agree on every assignment. Because the arena
 /// hash-conses, `a == b` is checked first and the solver only runs on
 /// structurally different expressions.
@@ -55,6 +75,15 @@ bool areEquivalent(expr::ExprArena& arena, expr::ExprRef a, expr::ExprRef b);
 /// "can we replace this program variable with a constant?" query.
 std::optional<expr::ExprRef> constantValue(expr::ExprArena& arena,
                                            expr::ExprRef e);
+
+/// Budgeted constantValue: nullopt either means "provably not constant" or,
+/// when `*timedOut` is set, "the deadline expired before the question was
+/// settled". Both map to the same conservative caller behavior (keep the
+/// general implementation); the flag exists for telemetry and tests.
+std::optional<expr::ExprRef> constantValueWithin(expr::ExprArena& arena,
+                                                 expr::ExprRef e,
+                                                 uint64_t maxConflicts,
+                                                 bool* timedOut = nullptr);
 
 }  // namespace flay::smt
 

@@ -1,0 +1,85 @@
+#!/bin/sh
+# CLI contract smoke test for flayc.
+#
+#   cli_smoke.sh <path-to-flayc> <programs-dir>
+#
+# Checks the strict argument-handling contract (unknown flags, missing
+# values, malformed values, and bad fault plans all exit 2 with exactly one
+# diagnostic line on stderr) and then smoke-runs the fault-tolerance
+# commands end to end at a tiny budget.
+set -u
+
+FLAYC=$1
+PROGRAMS=$2
+PROG=$PROGRAMS/middleblock.p4l
+failures=0
+
+note() { printf '%s\n' "$*"; }
+fail() { note "FAIL: $*"; failures=$((failures + 1)); }
+
+# expect_arg_error <description> -- <args...>
+# The command must exit 2 and print exactly one line to stderr.
+expect_arg_error() {
+  desc=$1; shift; shift
+  err=$("$FLAYC" "$@" 2>&1 >/dev/null)
+  rc=$?
+  if [ "$rc" -ne 2 ]; then
+    fail "$desc: expected exit 2, got $rc"
+    return
+  fi
+  lines=$(printf '%s\n' "$err" | wc -l)
+  if [ "$lines" -ne 1 ]; then
+    fail "$desc: expected a one-line diagnostic, got $lines lines: $err"
+    return
+  fi
+  note "ok: $desc ($err)"
+}
+
+expect_ok() {
+  desc=$1; shift; shift
+  if ! "$FLAYC" "$@" >/dev/null 2>&1; then
+    fail "$desc: expected success, got exit $?"
+    return
+  fi
+  note "ok: $desc"
+}
+
+# --- strict argument handling -------------------------------------------------
+expect_arg_error "unknown flag rejected" \
+  -- difftest "$PROG" --no-such-flag
+expect_arg_error "unknown flag rejected even after valid ones" \
+  -- difftest "$PROG" --updates 5 --frobnicate
+expect_arg_error "missing value for --updates" \
+  -- difftest "$PROG" --updates
+expect_arg_error "missing value for --state-dir" \
+  -- crashtest "$PROG" --state-dir
+expect_arg_error "non-numeric --kill-points" \
+  -- crashtest "$PROG" --kill-points many
+expect_arg_error "malformed --replay-updates" \
+  -- difftest "$PROG" --replay-updates 1,x,3
+expect_arg_error "unknown fault plan key" \
+  -- difftest "$PROG" --fault-plan bogus-key=3
+expect_arg_error "extra positional argument" \
+  -- difftest "$PROG" extra.p4l
+
+# Usage (no command / unknown command) also exits 2, but multi-line.
+"$FLAYC" >/dev/null 2>&1
+[ $? -eq 2 ] || fail "bare invocation: expected exit 2"
+"$FLAYC" frobnicate "$PROG" >/dev/null 2>&1
+[ $? -eq 2 ] || fail "unknown command: expected exit 2"
+
+# --- fault-tolerance smoke ----------------------------------------------------
+expect_ok "difftest with a named fault plan" \
+  -- difftest "$PROG" --updates 10 --packets 4 --seed 1 --fault-plan flaky
+expect_ok "difftest with a custom fault spec" \
+  -- difftest "$PROG" --updates 10 --packets 4 --seed 1 \
+     --fault-plan fail-first=1,seed=3
+expect_ok "crashtest round-trips with a torn tail" \
+  -- crashtest "$PROG" --updates 10 --kill-points 3 --checkpoint-every 4 \
+     --seed 1 --torn-tail
+
+if [ "$failures" -ne 0 ]; then
+  note "$failures check(s) failed"
+  exit 1
+fi
+note "all CLI smoke checks passed"

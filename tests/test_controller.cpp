@@ -1,0 +1,464 @@
+#include "controller/controller.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "controller/device.h"
+#include "controller/fault_plan.h"
+#include "net/fuzzer.h"
+#include "net/workloads.h"
+#include "obs/obs.h"
+#include "oracle/oracle.h"
+#include "p4/typecheck.h"
+#include "sat/solver.h"
+#include "smt/solver.h"
+
+namespace flay::controller {
+namespace {
+
+namespace fs = std::filesystem;
+
+p4::CheckedProgram load(const char* name) {
+  return p4::loadProgramFromFile(net::programPath(name));
+}
+
+/// Fresh state directory per test; removed on scope exit.
+class StateDir {
+ public:
+  explicit StateDir(const char* tag) {
+    path_ = fs::temp_directory_path() /
+            (std::string("flay-test-") + tag + "-" +
+             std::to_string(::getpid()));
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~StateDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  std::string str() const { return path_.string(); }
+
+ private:
+  fs::path path_;
+};
+
+/// Fuzzed scripts are generated against the *initial* config, so a replayed
+/// update can become inapplicable (duplicate id, deleted target). The
+/// controller surfaces that as std::invalid_argument after rolling back;
+/// every driver in this file skips those exactly like flayc crashtest does.
+size_t applyScript(FaultTolerantController& c,
+                   const std::vector<runtime::Update>& script, size_t count) {
+  size_t applied = 0;
+  for (size_t i = 0; i < count && i < script.size(); ++i) {
+    try {
+      c.apply(script[i]);
+      ++applied;
+    } catch (const std::invalid_argument&) {
+    }
+  }
+  return applied;
+}
+
+uint64_t counterValue(const char* name) {
+  return obs::Registry::global().counter(name).value();
+}
+
+// ---------------------------------------------------------------------------
+// Update wire format: the journal's round-trip law.
+// ---------------------------------------------------------------------------
+
+// Property test over fuzzed scripts: fromString(p, u.toString()) reproduces
+// the exact rendering for every update kind the fuzzer emits, across
+// programs and seeds. This is the law crash recovery replays depend on.
+TEST(UpdateWireFormat, FuzzedRoundTripAcrossProgramsAndSeeds) {
+  for (const char* name : {"middleblock", "switch", "scion", "dash"}) {
+    p4::CheckedProgram checked = load(name);
+    for (uint64_t seed : {1u, 2u, 3u}) {
+      auto script = net::fuzzUpdateSequence(checked, 60, seed);
+      ASSERT_FALSE(script.empty()) << name;
+      for (const auto& u : script) {
+        std::string wire = u.toString();
+        runtime::Update parsed = runtime::Update::fromString(checked, wire);
+        EXPECT_EQ(parsed.toString(), wire) << name << " seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(UpdateWireFormat, MalformedTextThrows) {
+  p4::CheckedProgram checked = load("middleblock");
+  auto script = net::fuzzUpdateSequence(checked, 1, 1);
+  ASSERT_FALSE(script.empty());
+  std::string good = script[0].toString();
+
+  EXPECT_THROW(runtime::Update::fromString(checked, ""),
+               std::invalid_argument);
+  EXPECT_THROW(runtime::Update::fromString(checked, "frobnicate x y"),
+               std::invalid_argument);
+  // Truncation mid-record (the torn-tail shape a crash can leave).
+  EXPECT_THROW(
+      runtime::Update::fromString(checked, good.substr(0, good.size() / 2)),
+      std::invalid_argument);
+  // Structurally fine, but the object does not exist in this program.
+  EXPECT_THROW(
+      runtime::Update::fromString(checked, "insert No.Such.Table [] -> x()"),
+      std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Transactional batches.
+// ---------------------------------------------------------------------------
+
+// Regression for the PR 1 applyBatch fix: when the k-th update of a batch
+// throws, the engine must leave the already-applied prefix fully analyzed
+// (annotations in sync with the installed config), not half-updated.
+TEST(TransactionalBatch, EngineMidBatchThrowKeepsPrefixAnalyzed) {
+  p4::CheckedProgram checked = load("middleblock");
+  flay::FlayService svc(checked);
+  auto script = net::fuzzUpdateSequence(checked, 4, 11);
+  ASSERT_GE(script.size(), 1u);
+
+  runtime::Update poison =
+      runtime::Update::insert("No.Such.Table", runtime::TableEntry{});
+  EXPECT_THROW(svc.applyBatch({script[0], poison}), std::invalid_argument);
+
+  // The prefix really landed...
+  flay::FlayService reference(checked);
+  reference.applyUpdate(script[0]);
+  // ...and the incremental annotations match a from-scratch analysis of the
+  // installed state (the property PR 1's fix restored).
+  oracle::ConsistencyReport rep = oracle::checkIncrementalConsistency(svc);
+  EXPECT_TRUE(rep.consistent) << rep.mismatchedPoints.size()
+                              << " points out of sync after mid-batch throw";
+}
+
+// The controller layers the strong exception guarantee on top: a failed
+// batch rolls back even the successfully applied prefix, the journal records
+// the abort, and a post-crash recovery agrees with the rolled-back state.
+TEST(TransactionalBatch, ControllerRollsBackFailedBatchAndAbortsJournal) {
+  StateDir dir("rollback");
+  p4::CheckedProgram checked = load("middleblock");
+  auto script = net::fuzzUpdateSequence(checked, 10, 3);
+  ASSERT_GE(script.size(), 3u);
+
+  ControllerOptions opts;
+  opts.stateDir = dir.str();
+  std::string before;
+  uint64_t committed = 0;
+  {
+    FaultTolerantController ctrl(checked, nullptr, opts);
+    applyScript(ctrl, script, 2);
+    before = ctrl.stateDigest();
+    committed = ctrl.committedUpdates();
+
+    uint64_t rollbacksBefore = counterValue("controller.rollbacks");
+    runtime::Update poison =
+        runtime::Update::insert("No.Such.Table", runtime::TableEntry{});
+    EXPECT_THROW(ctrl.applyBatch({script[2], poison}), std::invalid_argument);
+
+    EXPECT_EQ(ctrl.stateDigest(), before) << "failed batch left state behind";
+    EXPECT_EQ(ctrl.committedUpdates(), committed);
+    EXPECT_EQ(counterValue("controller.rollbacks"), rollbacksBefore + 1);
+  }
+  // The aborted group must not replay — and the poison update's text inside
+  // it (journaled ahead of validation) must not poison recovery either.
+  FaultTolerantController recovered(checked, nullptr, opts);
+  EXPECT_EQ(recovered.stateDigest(), before);
+  EXPECT_EQ(recovered.replayedUpdates(), committed);
+}
+
+// ---------------------------------------------------------------------------
+// Write-ahead journal + crash recovery.
+// ---------------------------------------------------------------------------
+
+// Kill-at-any-point: for every prefix length k, a controller recovered from
+// the journal (checkpoints included) matches the uninterrupted run's digest
+// exactly. This is the unit-sized version of `flayc crashtest`.
+TEST(CrashRecovery, RecoversToExactDigestAtEveryKillPoint) {
+  p4::CheckedProgram checked = load("middleblock");
+  const size_t kUpdates = 12;
+  auto script = net::fuzzUpdateSequence(checked, kUpdates, 5);
+
+  // Reference digests from one uninterrupted run.
+  std::vector<std::string> reference;
+  {
+    StateDir dir("crash-ref");
+    ControllerOptions opts;
+    opts.stateDir = dir.str();
+    FaultTolerantController ctrl(checked, nullptr, opts);
+    reference.push_back(ctrl.stateDigest());
+    for (size_t i = 0; i < script.size(); ++i) {
+      try {
+        ctrl.apply(script[i]);
+      } catch (const std::invalid_argument&) {
+      }
+      reference.push_back(ctrl.stateDigest());
+    }
+  }
+
+  // Small checkpoint interval so kill points land before, on, and after
+  // checkpoint boundaries.
+  for (size_t k = 1; k <= script.size(); ++k) {
+    StateDir dir("crash-kill");
+    ControllerOptions opts;
+    opts.stateDir = dir.str();
+    opts.checkpointEvery = 4;
+    {
+      FaultTolerantController ctrl(checked, nullptr, opts);
+      for (size_t i = 0; i < k; ++i) {
+        try {
+          ctrl.apply(script[i]);
+        } catch (const std::invalid_argument&) {
+        }
+      }
+      // Destructor without any shutdown flush = SIGKILL equivalent: every
+      // record was fsync'd at commit time.
+    }
+    FaultTolerantController recovered(checked, nullptr, opts);
+    EXPECT_EQ(recovered.stateDigest(), reference[k]) << "kill point " << k;
+  }
+}
+
+// A torn tail (partial record from a crash mid-write) must not poison
+// recovery: the committed prefix still replays.
+TEST(CrashRecovery, TornJournalTailIsIgnored) {
+  StateDir dir("torn");
+  p4::CheckedProgram checked = load("middleblock");
+  auto script = net::fuzzUpdateSequence(checked, 6, 9);
+
+  ControllerOptions opts;
+  opts.stateDir = dir.str();
+  std::string digest;
+  {
+    FaultTolerantController ctrl(checked, nullptr, opts);
+    applyScript(ctrl, script, script.size());
+    digest = ctrl.stateDigest();
+  }
+  {
+    std::FILE* f =
+        std::fopen((dir.str() + "/journal.jsonl").c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    std::fputs("{\"seq\":999999,\"type\":\"upd", f);  // no newline: torn
+    std::fclose(f);
+  }
+  FaultTolerantController recovered(checked, nullptr, opts);
+  EXPECT_EQ(recovered.stateDigest(), digest);
+}
+
+TEST(CrashRecovery, CheckpointBoundsReplayWork) {
+  StateDir dir("ckpt");
+  p4::CheckedProgram checked = load("middleblock");
+  auto script = net::fuzzUpdateSequence(checked, 10, 7);
+
+  ControllerOptions opts;
+  opts.stateDir = dir.str();
+  opts.checkpointEvery = 0;  // only explicit checkpoints
+  std::string digest;
+  size_t applied = 0;
+  {
+    FaultTolerantController ctrl(checked, nullptr, opts);
+    applied = applyScript(ctrl, script, script.size());
+    ctrl.checkpointNow();
+    digest = ctrl.stateDigest();
+  }
+  FaultTolerantController recovered(checked, nullptr, opts);
+  EXPECT_EQ(recovered.stateDigest(), digest);
+  // Everything before the checkpoint came from the snapshot, not replay.
+  EXPECT_EQ(recovered.replayedUpdates(), 0u) << "applied " << applied;
+}
+
+// ---------------------------------------------------------------------------
+// Device retry/backoff + graceful degradation.
+// ---------------------------------------------------------------------------
+
+// Transient install failures are absorbed by bounded retry: the device ends
+// up current and the retry counter proves the path fired.
+TEST(DeviceFaults, TransientInstallFailuresAreRetried) {
+  p4::CheckedProgram checked = load("middleblock");
+  FaultPlan plan;
+  plan.failFirstInstalls = 2;
+  SimulatedDevice device(plan);
+
+  uint64_t retriesBefore = counterValue("controller.retries");
+  ControllerOptions opts;
+  opts.maxInstallRetries = 4;
+  FaultTolerantController ctrl(checked, &device, opts);
+
+  EXPECT_FALSE(ctrl.degraded());
+  EXPECT_EQ(device.injectedInstallFailures(), 2u);
+  EXPECT_GE(device.installAttempts(), 3u);
+  EXPECT_GE(counterValue("controller.retries"), retriesBefore + 2);
+}
+
+// A sustained outage exhausts the retry budget: the controller degrades
+// (device pinned to the last good program), queues what it cannot forward,
+// and recovers once the outage ends — all visible in the counters.
+TEST(DeviceFaults, OutageDegradesThenRecovers) {
+  p4::CheckedProgram checked = load("middleblock");
+  FaultPlan plan;
+  plan.outageStart = 2;  // initial install (attempt 1) succeeds
+  plan.outageLength = 8;
+  SimulatedDevice device(plan);
+
+  ControllerOptions opts;
+  opts.maxInstallRetries = 1;
+  opts.tryRecoverEvery = 0;  // recovery only when the test asks
+  FaultTolerantController ctrl(checked, &device, opts);
+  ASSERT_FALSE(ctrl.degraded());
+
+  uint64_t degradationsBefore = counterValue("controller.degradations");
+  uint64_t recoveriesBefore =
+      counterValue("controller.degradation_recoveries");
+
+  auto script = net::fuzzUpdateSequence(checked, 40, 13);
+  size_t i = 0;
+  for (; i < script.size() && !ctrl.degraded(); ++i) {
+    try {
+      ctrl.apply(script[i]);
+    } catch (const std::invalid_argument&) {
+    }
+  }
+  ASSERT_TRUE(ctrl.degraded())
+      << "script never forced a recompile during the outage";
+  EXPECT_EQ(counterValue("controller.degradations"), degradationsBefore + 1);
+
+  // While degraded, updates keep committing to the authoritative analysis;
+  // non-forwardable ones queue for the pinned program.
+  size_t before = ctrl.committedUpdates();
+  for (; i < script.size(); ++i) {
+    try {
+      ctrl.apply(script[i]);
+    } catch (const std::invalid_argument&) {
+    }
+  }
+  EXPECT_GT(ctrl.committedUpdates(), before);
+
+  // Burn through the outage window, then recovery must succeed and drain
+  // the queue.
+  bool healthy = false;
+  for (int attempt = 0; attempt < 16 && !healthy; ++attempt) {
+    healthy = ctrl.tryRecover();
+  }
+  EXPECT_TRUE(healthy);
+  EXPECT_FALSE(ctrl.degraded());
+  EXPECT_EQ(ctrl.queuedUpdates(), 0u);
+  EXPECT_GE(counterValue("controller.degradation_recoveries"),
+            recoveriesBefore + 1);
+}
+
+// The backoff schedule is exponential with jitter and capped; recorded even
+// when sleepOnBackoff is off so tests never pay it in wall-clock.
+TEST(DeviceFaults, BackoffScheduleIsRecordedWithoutSleeping) {
+  p4::CheckedProgram checked = load("middleblock");
+  FaultPlan plan;
+  plan.failFirstInstalls = 3;
+  SimulatedDevice device(plan);
+
+  obs::Histogram& backoff =
+      obs::Registry::global().histogram("controller.backoff_us");
+  backoff.reset();  // other tests' controllers record here too
+
+  ControllerOptions opts;
+  opts.maxInstallRetries = 4;
+  opts.backoffBaseMicros = 100;
+  opts.backoffMaxMicros = 250;
+  opts.sleepOnBackoff = false;
+  FaultTolerantController ctrl(checked, &device, opts);
+
+  EXPECT_FALSE(ctrl.degraded());
+  EXPECT_GE(backoff.count(), 3u);
+  // Cap + jitter bound: every recorded backoff is < max + base.
+  EXPECT_LT(backoff.max(), 250u + 100u);
+}
+
+// ---------------------------------------------------------------------------
+// Fail-safe solver deadlines.
+// ---------------------------------------------------------------------------
+
+/// Pigeonhole principle PHP(pigeons, holes): unsatisfiable for
+/// pigeons > holes, and famously expensive for CDCL — guaranteed to burn
+/// more than one conflict, which is all the budget tests need.
+void addPigeonhole(sat::Solver& s, uint32_t pigeons, uint32_t holes) {
+  std::vector<std::vector<uint32_t>> x(pigeons);
+  for (uint32_t p = 0; p < pigeons; ++p) {
+    for (uint32_t h = 0; h < holes; ++h) x[p].push_back(s.newVar());
+  }
+  for (uint32_t p = 0; p < pigeons; ++p) {
+    std::vector<sat::Lit> clause;
+    for (uint32_t h = 0; h < holes; ++h) {
+      clause.push_back(sat::Lit::make(x[p][h], false));
+    }
+    s.addClause(clause);
+  }
+  for (uint32_t h = 0; h < holes; ++h) {
+    for (uint32_t p1 = 0; p1 < pigeons; ++p1) {
+      for (uint32_t p2 = p1 + 1; p2 < pigeons; ++p2) {
+        s.addClause({sat::Lit::make(x[p1][h], true),
+                     sat::Lit::make(x[p2][h], true)});
+      }
+    }
+  }
+}
+
+TEST(SolverDeadline, SatBudgetExhaustionReturnsUnknown) {
+  sat::Solver s;
+  addPigeonhole(s, 6, 5);
+  s.setConflictBudget(1);
+  EXPECT_EQ(s.solve(), sat::Result::kUnknown);
+  EXPECT_EQ(s.numBudgetExhaustions(), 1u);
+
+  // Lifting the deadline settles the instance (and learned clauses from the
+  // budgeted attempt were kept, never discarded).
+  s.setConflictBudget(0);
+  EXPECT_EQ(s.solve(), sat::Result::kUnsat);
+  EXPECT_EQ(s.numBudgetExhaustions(), 1u);
+}
+
+TEST(SolverDeadline, SmtBudgetedConstantValueReportsTimeout) {
+  expr::ExprArena arena;
+  // x*x + x == x*(x+1) is valid but structurally distinct (the arena's
+  // hash-consing cannot fold it), and proving it after bit-blasting a
+  // 12-bit multiplier needs real search; one conflict is never enough.
+  expr::ExprRef x = arena.var("x", 12, expr::SymbolClass::kDataPlane);
+  expr::ExprRef one = arena.bvConst(12, 1);
+  expr::ExprRef lhs = arena.add(arena.mul(x, x), x);
+  expr::ExprRef rhs = arena.mul(x, arena.add(x, one));
+  expr::ExprRef identity = arena.eq(lhs, rhs);
+
+  bool timedOut = false;
+  auto c = smt::constantValueWithin(arena, identity, 1, &timedOut);
+  EXPECT_TRUE(timedOut);
+  EXPECT_FALSE(c.has_value()) << "deadline expiry must read as non-constant";
+}
+
+// The specializer's use of the deadline is fail-safe: a starved solver can
+// only lose specializations, never produce a program that fails to recheck.
+// (The conservative fallback on kUnknown keeps the general implementation.)
+TEST(SolverDeadline, StarvedSpecializerStaysConservative) {
+  p4::CheckedProgram checked = load("middleblock");
+
+  flay::FlayService svc(checked);
+  flay::SpecializerOptions starved;
+  starved.solverConflictBudget = 1;
+  flay::Specializer specializer(svc, starved);
+  flay::SpecializationResult result = specializer.specialize();
+  EXPECT_NO_THROW(flay::recheck(std::move(result.program)));
+
+  flay::FlayService svc2(checked);
+  flay::SpecializerOptions unlimited;
+  unlimited.solverConflictBudget = 0;
+  flay::Specializer full(svc2, unlimited);
+  flay::SpecializationResult fullResult = full.specialize();
+  // Degraded quality is allowed; extra changes are not.
+  EXPECT_LE(result.stats.totalChanges(), fullResult.stats.totalChanges());
+}
+
+}  // namespace
+}  // namespace flay::controller

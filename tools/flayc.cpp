@@ -16,6 +16,13 @@
 //                                  packets identically to the original; on
 //                                  divergence, shrink and print a replayable
 //                                  reproducer (non-zero exit)
+//   flayc crashtest  <prog.p4l>    crash-recovery check: apply a fuzzed
+//                                  update run through the fault-tolerant
+//                                  controller, simulate SIGKILL at random
+//                                  points, recover from the write-ahead
+//                                  journal, and require the recovered state
+//                                  digest to match an uninterrupted run
+//                                  (non-zero exit on any mismatch)
 //
 // Options:
 //   --skip-parser       analyze without symbolic parser execution
@@ -31,16 +38,36 @@
 //   --ingress-port P    difftest: ingress port for --packet-hex (default 0)
 //   --sabotage MODE     difftest: inject a specializer fault (drop-entry)
 //                       to prove the oracle catches it
+//   --fault-plan P      difftest: drive a fault-tolerant controller against
+//                       a device injecting the named built-in plan (none,
+//                       transient, flaky, reject-compile, outage, slow) or a
+//                       spec like "fail-first=2,seed=7"; the oracle then
+//                       checks the degradation invariant
+//   --kill-points K     crashtest: number of simulated-SIGKILL positions (20)
+//   --checkpoint-every C  crashtest: updates between checkpoints (16)
+//   --state-dir DIR     crashtest: journal/checkpoint directory (default: a
+//                       fresh directory under the current one, removed after)
+//   --torn-tail         crashtest: append a torn half-record to the journal
+//                       before recovery (simulates a write cut by the crash)
 //   --stats[=json]      print the observability registry (counters and
 //                       per-phase latency histograms) before exiting
 //   --trace-out FILE    append one JSONL trace event per timed phase
+//
+// Argument errors (unknown flags, flags missing their value, malformed
+// values) print a one-line error and exit 2.
+
+#include <dirent.h>
+#include <unistd.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <random>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "controller/controller.h"
 #include "flay/specializer.h"
 #include "net/fuzzer.h"
 #include "net/workloads.h"
@@ -56,6 +83,7 @@ namespace core = flay::flay;
 namespace runtime = flay::runtime;
 namespace obs = flay::obs;
 namespace oracle = flay::oracle;
+namespace ctrl = flay::controller;
 
 namespace {
 
@@ -74,6 +102,11 @@ struct Options {
   std::vector<uint8_t> packetHex;
   uint32_t ingressPort = 0;
   std::string sabotage;
+  std::string faultPlan;
+  size_t killPoints = 20;
+  size_t checkpointEvery = 16;
+  std::string stateDir;
+  bool tornTail = false;
   bool stats = false;
   bool statsJson = false;
   std::string traceOut;
@@ -82,14 +115,23 @@ struct Options {
 int usage() {
   std::fprintf(
       stderr,
-      "usage: flayc <check|print|analyze|compile|specialize|fuzz|difftest> "
+      "usage: flayc "
+      "<check|print|analyze|compile|specialize|fuzz|difftest|crashtest> "
       "<prog.p4l> [--skip-parser] [--iterations N] [--config NAME]\n"
       "             [--updates N] [--seed S] [--packets M] [--no-shrink]\n"
       "             [--replay-updates i,j,k|none] [--packet-hex HEX] "
       "[--ingress-port P]\n"
-      "             [--sabotage drop-entry] [--stats[=json]] "
-      "[--trace-out FILE]\n");
+      "             [--sabotage drop-entry] [--fault-plan P]\n"
+      "             [--kill-points K] [--checkpoint-every C] "
+      "[--state-dir DIR] [--torn-tail]\n"
+      "             [--stats[=json]] [--trace-out FILE]\n");
   return 2;
+}
+
+/// Argument errors are caught at parse time: one line to stderr, exit 2.
+[[noreturn]] void argError(const std::string& message) {
+  std::fprintf(stderr, "flayc: %s\n", message.c_str());
+  std::exit(2);
 }
 
 /// "3,17,42" -> {3,17,42}; "none" -> {} (distinct from unset via the flag).
@@ -97,11 +139,18 @@ std::vector<size_t> parseIndexList(const std::string& s) {
   std::vector<size_t> out;
   if (s == "none") return out;
   size_t pos = 0;
-  while (pos < s.size()) {
+  while (pos <= s.size()) {
     size_t comma = s.find(',', pos);
     if (comma == std::string::npos) comma = s.size();
-    out.push_back(std::strtoul(s.substr(pos, comma - pos).c_str(), nullptr, 10));
+    std::string item = s.substr(pos, comma - pos);
+    if (item.empty() ||
+        item.find_first_not_of("0123456789") != std::string::npos) {
+      argError("bad index '" + item + "' in --replay-updates (want i,j,k or "
+               "none)");
+    }
+    out.push_back(std::strtoul(item.c_str(), nullptr, 10));
     pos = comma + 1;
+    if (comma == s.size()) break;
   }
   return out;
 }
@@ -114,17 +163,22 @@ std::vector<uint8_t> parseHexBytes(const std::string& s) {
     if (c >= 'A' && c <= 'F') return c - 'A' + 10;
     return -1;
   };
+  if (s.empty() || s.size() % 2 != 0) {
+    argError("--packet-hex needs a non-empty even digit count");
+  }
   for (size_t i = 0; i + 1 < s.size(); i += 2) {
     int hi = nibble(s[i]), lo = nibble(s[i + 1]);
-    if (hi < 0 || lo < 0) {
-      throw std::invalid_argument("bad hex in --packet-hex");
-    }
+    if (hi < 0 || lo < 0) argError("bad hex digit in --packet-hex");
     out.push_back(static_cast<uint8_t>(hi << 4 | lo));
   }
-  if (s.size() % 2 != 0) {
-    throw std::invalid_argument("--packet-hex needs an even digit count");
-  }
   return out;
+}
+
+uint64_t parseNumber(const std::string& s, const char* flag) {
+  if (s.empty() || s.find_first_not_of("0123456789") != std::string::npos) {
+    argError(std::string("bad number '") + s + "' for " + flag);
+  }
+  return std::strtoull(s.c_str(), nullptr, 10);
 }
 
 void applyCannedConfig(core::FlayService& service, const std::string& name) {
@@ -352,6 +406,23 @@ int cmdDifftest(const p4::CheckedProgram& checked, const Options& opts) {
                  opts.sabotage.c_str());
     return 2;
   }
+  if (!opts.faultPlan.empty()) {
+    bool named = false;
+    for (const auto& [name, plan] : ctrl::FaultPlan::builtinPlans()) {
+      if (name == opts.faultPlan) {
+        ooptions.faultPlan = plan;
+        named = true;
+        break;
+      }
+    }
+    if (!named) {
+      try {
+        ooptions.faultPlan = ctrl::FaultPlan::parse(opts.faultPlan);
+      } catch (const std::invalid_argument& e) {
+        argError(e.what());
+      }
+    }
+  }
 
   oracle::DifferentialOracle diff(checked, ooptions, opts.file);
   oracle::OracleReport report = diff.run();
@@ -363,6 +434,11 @@ int cmdDifftest(const p4::CheckedProgram& checked, const Options& opts) {
   std::printf("  semantics-preserving checks: %zu\n", report.preservingChecks);
   std::printf("  full respecializations:      %zu\n",
               report.respecializations);
+  if (ooptions.faultPlan.has_value()) {
+    std::printf("  fault plan '%s': %zu retries, %zu degraded probe step(s)\n",
+                ooptions.faultPlan->toString().c_str(), report.faultRetries,
+                report.degradedSteps);
+  }
   if (report.equivalent) {
     std::printf("  equivalent: original and specialized programs agree\n");
     return 0;
@@ -381,51 +457,187 @@ int cmdDifftest(const p4::CheckedProgram& checked, const Options& opts) {
   return 1;
 }
 
+/// Removes journal/checkpoint files this tool creates in `dir` (and nothing
+/// else — a user-supplied --state-dir may contain unrelated files).
+void clearStateDir(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return;
+  while (dirent* e = ::readdir(d)) {
+    std::string name = e->d_name;
+    if (name == "journal.jsonl" || name.rfind("checkpoint-", 0) == 0) {
+      ::unlink((dir + "/" + name).c_str());
+    }
+  }
+  ::closedir(d);
+}
+
+int cmdCrashtest(const p4::CheckedProgram& checked, const Options& opts) {
+  std::string dir = opts.stateDir;
+  const bool ownDir = dir.empty();
+  if (ownDir) dir = "flayc-crashtest-" + std::to_string(::getpid());
+
+  ctrl::ControllerOptions copts;
+  copts.stateDir = dir;
+  copts.checkpointEvery = opts.checkpointEvery;
+  copts.flay.analysis.analyzeParser = !opts.skipParser;
+
+  std::vector<runtime::Update> script =
+      net::fuzzUpdateSequence(checked, opts.updates, opts.seed);
+
+  // An update the engine rejects (e.g. a subset-replay artifact) leaves the
+  // transaction aborted and the state unchanged on both sides of a crash.
+  auto applyOne = [](ctrl::FaultTolerantController& ctl,
+                     const runtime::Update& u) {
+    try {
+      ctl.apply(u);
+    } catch (const std::invalid_argument&) {
+    }
+  };
+
+  // Reference pass: one uninterrupted run, recording the state digest after
+  // every transaction. reference[k] = digest with the first k updates applied.
+  clearStateDir(dir);
+  std::vector<std::string> reference;
+  reference.reserve(script.size() + 1);
+  {
+    ctrl::FaultTolerantController ref(checked, nullptr, copts);
+    reference.push_back(ref.stateDigest());
+    for (const auto& u : script) {
+      applyOne(ref, u);
+      reference.push_back(ref.stateDigest());
+    }
+  }
+
+  std::mt19937_64 rng(opts.seed ^ 0xC7A57ull);
+  size_t mismatches = 0;
+  uint64_t replayedTotal = 0;
+  for (size_t point = 0; point < opts.killPoints; ++point) {
+    size_t k = script.empty() ? 0 : 1 + rng() % script.size();
+    clearStateDir(dir);
+    {
+      ctrl::FaultTolerantController run(checked, nullptr, copts);
+      for (size_t j = 0; j < k; ++j) applyOne(run, script[j]);
+      // The controller is dropped here with no shutdown work — the moral
+      // equivalent of SIGKILL. Durability must come entirely from the
+      // per-record journal fsyncs and any checkpoints already on disk.
+    }
+    if (opts.tornTail) {
+      // Simulate a write cut mid-record by the crash: recovery must treat
+      // the torn tail as never-happened, not refuse to start.
+      std::FILE* f = std::fopen((dir + "/journal.jsonl").c_str(), "ab");
+      if (f != nullptr) {
+        std::fputs("{\"seq\":999999,\"type\":\"upd", f);
+        std::fclose(f);
+      }
+    }
+    ctrl::FaultTolerantController recovered(checked, nullptr, copts);
+    replayedTotal += recovered.replayedUpdates();
+    if (recovered.stateDigest() != reference[k]) {
+      ++mismatches;
+      std::fprintf(stderr,
+                   "crashtest: MISMATCH after kill at update %zu: recovered "
+                   "state differs from the uninterrupted run\n",
+                   k);
+      continue;
+    }
+    // A recovered controller must also accept the rest of the script
+    // identically — recovery may not corrupt the id allocators or the
+    // incremental analysis state it resumes from.
+    for (size_t j = k; j < script.size(); ++j) applyOne(recovered, script[j]);
+    if (recovered.stateDigest() != reference.back()) {
+      ++mismatches;
+      std::fprintf(stderr,
+                   "crashtest: MISMATCH finishing the script after recovery "
+                   "at update %zu\n",
+                   k);
+    }
+  }
+  if (ownDir) {
+    clearStateDir(dir);
+    ::rmdir(dir.c_str());
+  }
+
+  std::printf("crashtest: %zu kill point(s) over %zu updates "
+              "(checkpoint every %zu, %s tail), %llu updates replayed from "
+              "the journal in total\n",
+              opts.killPoints, script.size(), opts.checkpointEvery,
+              opts.tornTail ? "torn" : "clean",
+              static_cast<unsigned long long>(replayedTotal));
+  if (mismatches != 0) {
+    std::fprintf(stderr, "crashtest: FAILED — %zu mismatch(es)\n", mismatches);
+    return 1;
+  }
+  std::printf("  recovered state digest matched the uninterrupted run at "
+              "every kill point\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Options opts;
+  // Strict parsing: a flag missing its value or an unknown flag is a
+  // one-line diagnostic and exit 2 — never silently absorbed as a
+  // positional argument.
+  auto value = [&](int* i, const std::string& flag) -> std::string {
+    if (*i + 1 >= argc) argError("missing value for " + flag);
+    return argv[++*i];
+  };
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--skip-parser") {
       opts.skipParser = true;
-    } else if (arg == "--iterations" && i + 1 < argc) {
-      opts.iterations = static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
-    } else if (arg == "--config" && i + 1 < argc) {
-      opts.config = argv[++i];
-    } else if (arg == "--updates" && i + 1 < argc) {
-      opts.updates = std::strtoul(argv[++i], nullptr, 10);
-    } else if (arg == "--seed" && i + 1 < argc) {
-      opts.seed = std::strtoull(argv[++i], nullptr, 10);
-    } else if (arg == "--packets" && i + 1 < argc) {
-      opts.packets = std::strtoul(argv[++i], nullptr, 10);
+    } else if (arg == "--iterations") {
+      opts.iterations =
+          static_cast<uint32_t>(parseNumber(value(&i, arg), "--iterations"));
+    } else if (arg == "--config") {
+      opts.config = value(&i, arg);
+    } else if (arg == "--updates") {
+      opts.updates = parseNumber(value(&i, arg), "--updates");
+    } else if (arg == "--seed") {
+      opts.seed = parseNumber(value(&i, arg), "--seed");
+    } else if (arg == "--packets") {
+      opts.packets = parseNumber(value(&i, arg), "--packets");
     } else if (arg == "--shrink") {
       opts.shrink = true;
     } else if (arg == "--no-shrink") {
       opts.shrink = false;
-    } else if (arg == "--replay-updates" && i + 1 < argc) {
+    } else if (arg == "--replay-updates") {
       opts.replayUpdatesSet = true;
-      opts.replayUpdates = parseIndexList(argv[++i]);
-    } else if (arg == "--packet-hex" && i + 1 < argc) {
-      opts.packetHex = parseHexBytes(argv[++i]);
-    } else if (arg == "--ingress-port" && i + 1 < argc) {
+      opts.replayUpdates = parseIndexList(value(&i, arg));
+    } else if (arg == "--packet-hex") {
+      opts.packetHex = parseHexBytes(value(&i, arg));
+    } else if (arg == "--ingress-port") {
       opts.ingressPort =
-          static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
-    } else if (arg == "--sabotage" && i + 1 < argc) {
-      opts.sabotage = argv[++i];
+          static_cast<uint32_t>(parseNumber(value(&i, arg), "--ingress-port"));
+    } else if (arg == "--sabotage") {
+      opts.sabotage = value(&i, arg);
+    } else if (arg == "--fault-plan") {
+      opts.faultPlan = value(&i, arg);
+    } else if (arg == "--kill-points") {
+      opts.killPoints = parseNumber(value(&i, arg), "--kill-points");
+    } else if (arg == "--checkpoint-every") {
+      opts.checkpointEvery =
+          parseNumber(value(&i, arg), "--checkpoint-every");
+    } else if (arg == "--state-dir") {
+      opts.stateDir = value(&i, arg);
+    } else if (arg == "--torn-tail") {
+      opts.tornTail = true;
     } else if (arg == "--stats") {
       opts.stats = true;
     } else if (arg == "--stats=json") {
       opts.stats = true;
       opts.statsJson = true;
-    } else if (arg == "--trace-out" && i + 1 < argc) {
-      opts.traceOut = argv[++i];
+    } else if (arg == "--trace-out") {
+      opts.traceOut = value(&i, arg);
+    } else if (arg.size() >= 2 && arg[0] == '-' && arg[1] == '-') {
+      argError("unknown flag '" + arg + "'");
     } else if (opts.command.empty()) {
       opts.command = arg;
     } else if (opts.file.empty()) {
       opts.file = arg;
     } else {
-      return usage();
+      argError("unexpected argument '" + arg + "'");
     }
   }
   if (opts.command.empty() || opts.file.empty()) return usage();
@@ -455,6 +667,8 @@ int main(int argc, char** argv) {
       rc = cmdFuzz(checked, opts);
     } else if (opts.command == "difftest") {
       rc = cmdDifftest(checked, opts);
+    } else if (opts.command == "crashtest") {
+      rc = cmdCrashtest(checked, opts);
     } else {
       return usage();
     }
