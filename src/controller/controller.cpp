@@ -4,11 +4,10 @@
 #include <unistd.h>
 
 #include <algorithm>
-#include <initializer_list>
 #include <stdexcept>
 #include <thread>
-#include <unordered_map>
 
+#include "expr/canonical.h"
 #include "expr/printer.h"
 #include "obs/obs.h"
 
@@ -50,130 +49,12 @@ std::string checkpointFileName(uint64_t seq) {
   return "checkpoint-" + digits + ".ckpt";
 }
 
-/// Renders an expression in a process-independent canonical form. The
-/// arena's smart constructors order commutative operands by interning id
-/// (arena.cpp), and interning ids depend on construction history — a
-/// recovered service that re-encoded its tables from a checkpoint holds
-/// semantically identical but structurally permuted and/or chains. For the
-/// digest, flatten those chains and sort operands by their own rendering so
-/// equal formulas hash equally on both sides of a crash boundary.
-class CanonicalRenderer {
- public:
-  explicit CanonicalRenderer(const expr::ExprArena& arena) : arena_(arena) {}
-
-  const std::string& render(expr::ExprRef r) {
-    auto it = memo_.find(r.id);
-    if (it != memo_.end()) return it->second;
-    std::string s = r.valid() ? renderNode(r) : "<null>";
-    return memo_.emplace(r.id, std::move(s)).first->second;
-  }
-
- private:
-  void flatten(expr::ExprRef r, expr::ExprKind kind,
-               std::vector<std::string>* out) {
-    const expr::ExprNode& n = arena_.node(r);
-    if (n.kind != kind) {
-      out->push_back(render(r));
-      return;
-    }
-    flatten(expr::ExprRef{n.a}, kind, out);
-    flatten(expr::ExprRef{n.b}, kind, out);
-  }
-
-  std::string nary(const char* op, std::initializer_list<expr::ExprRef> kids) {
-    std::string out = "(";
-    out += op;
-    for (expr::ExprRef k : kids) {
-      out += ' ';
-      out += render(k);
-    }
-    out += ')';
-    return out;
-  }
-
-  std::string renderNode(expr::ExprRef r) {
-    const expr::ExprNode& n = arena_.node(r);
-    using K = expr::ExprKind;
-    expr::ExprRef a{n.a}, b{n.b}, c{n.c};
-    switch (n.kind) {
-      case K::kBvConst:
-        return arena_.constValue(r).toHexString();
-      case K::kBoolConst:
-        return n.a != 0 ? "true" : "false";
-      case K::kVar:
-      case K::kBoolVar:
-        return arena_.symbolInfo(n.a).name;
-      case K::kBAnd:
-      case K::kBOr: {
-        std::vector<std::string> ops;
-        flatten(r, n.kind, &ops);
-        std::sort(ops.begin(), ops.end());
-        std::string out = n.kind == K::kBAnd ? "(and" : "(or";
-        for (const std::string& o : ops) {
-          out += ' ';
-          out += o;
-        }
-        out += ')';
-        return out;
-      }
-      case K::kAdd: return nary("add", {a, b});
-      case K::kSub: return nary("sub", {a, b});
-      case K::kMul: return nary("mul", {a, b});
-      case K::kUDiv: return nary("udiv", {a, b});
-      case K::kURem: return nary("urem", {a, b});
-      case K::kAnd: return nary("bvand", {a, b});
-      case K::kOr: return nary("bvor", {a, b});
-      case K::kXor: return nary("bvxor", {a, b});
-      case K::kConcat: return nary("concat", {a, b});
-      case K::kNot: return nary("bvnot", {a});
-      case K::kNeg: return nary("neg", {a});
-      case K::kShl:
-        return "(shl " + render(a) + " " + std::to_string(n.b) + ")";
-      case K::kLShr:
-        return "(lshr " + render(a) + " " + std::to_string(n.b) + ")";
-      case K::kExtract:
-        return "(extract " + render(a) + " " + std::to_string(n.b) + " " +
-               std::to_string(n.c) + ")";
-      case K::kZExt:
-        return "(zext " + render(a) + " " + std::to_string(n.width) + ")";
-      case K::kEq: {
-        // eq is commutative too; the arena does not id-order its operands,
-        // but encoder and substitution construction order can still differ
-        // across a recovery, so normalize here as well.
-        std::string sa = render(a), sb = render(b);
-        if (sb < sa) std::swap(sa, sb);
-        return "(eq " + sa + " " + sb + ")";
-      }
-      case K::kUlt: return nary("ult", {a, b});
-      case K::kUle: return nary("ule", {a, b});
-      case K::kBNot: return nary("not", {a});
-      case K::kIte: return nary("ite", {a, b, c});
-    }
-    return "<bad>";
-  }
-
-  const expr::ExprArena& arena_;
-  std::unordered_map<uint32_t, std::string> memo_;
-};
-
-/// FNV-1a over the pieces fed by stateDigest().
-struct Fnv {
-  uint64_t h = 1469598103934665603ull;
-  void mix(std::string_view s) {
-    for (char c : s) {
-      h ^= static_cast<unsigned char>(c);
-      h *= 1099511628211ull;
-    }
-    h ^= 0xff;  // field separator
-    h *= 1099511628211ull;
-  }
-  std::string hex() const {
-    static const char* digits = "0123456789abcdef";
-    std::string out(16, '0');
-    for (int i = 0; i < 16; ++i) out[i] = digits[(h >> (60 - 4 * i)) & 0xf];
-    return out;
-  }
-};
+// stateDigest() renders specialized expressions with the shared
+// expr::CanonicalRenderer (expr/canonical.h): equal formulas must hash
+// equally on both sides of a crash boundary, and the verdict cache of the
+// semantics-check engine keys on the same canonical form.
+using expr::CanonicalRenderer;
+using expr::Fnv;
 
 }  // namespace
 

@@ -27,10 +27,32 @@ ExprArena::ExprArena() {
 ExprRef ExprArena::intern(ExprNode n) {
   auto [it, inserted] = internMap_.try_emplace(n, 0);
   if (inserted) {
+#ifdef FLAY_EXPR_POISON_REALLOC
+    // Hardening build mode: move node storage on EVERY intern, so any
+    // `const ExprNode&` held across a smart constructor dangles immediately
+    // and ASan reports the use-after-free at its first dereference instead
+    // of whenever a capacity doubling happens to land there.
+    {
+      std::vector<ExprNode> moved;
+      moved.reserve(nodes_.size() + 1);
+      moved.assign(nodes_.begin(), nodes_.end());
+      nodes_.swap(moved);
+      ++nodeGeneration_;
+    }
+#else
+    if (nodes_.size() == nodes_.capacity()) ++nodeGeneration_;
+#endif
     nodes_.push_back(n);
     it->second = static_cast<uint32_t>(nodes_.size() - 1);
   }
   return ExprRef{it->second};
+}
+
+const ExprNode& PinnedNode::get() const {
+  assert(fresh() &&
+         "ExprNode reference held across an intern that reallocated node "
+         "storage — copy the node or call refresh() after constructing");
+  return arena_.node(ref_);
 }
 
 uint32_t ExprArena::symbol(std::string_view name, uint32_t width,

@@ -121,7 +121,17 @@ class ExprArena {
   ExprRef ite(ExprRef cond, ExprRef thenE, ExprRef elseE);
 
   // --- Inspection ----------------------------------------------------------
+  /// WARNING: the returned reference points into the arena's node storage
+  /// and is invalidated by any later interning that reallocates (any smart
+  /// constructor may intern). Copy the node, or re-fetch after constructing
+  /// — holding the reference across construction is the PR 2 use-after-free
+  /// class. PinnedNode (below) asserts this discipline in debug builds, and
+  /// the FLAY_EXPR_POISON_REALLOC build mode makes every intern reallocate
+  /// so ASan catches violations deterministically.
   const ExprNode& node(ExprRef r) const { return nodes_[r.id]; }
+  /// Incremented whenever node storage reallocates (i.e. whenever
+  /// references previously returned by node() become dangling).
+  uint64_t nodeGeneration() const { return nodeGeneration_; }
   uint32_t width(ExprRef r) const { return nodes_[r.id].width; }
   bool isBool(ExprRef r) const { return nodes_[r.id].width == 0; }
   bool isConst(ExprRef r) const {
@@ -155,6 +165,34 @@ class ExprArena {
   std::unordered_map<size_t, std::vector<uint32_t>> constPoolIndex_;
   std::vector<Symbol> symbols_;
   std::unordered_map<std::string, uint32_t> symbolIndex_;
+  uint64_t nodeGeneration_ = 0;
+};
+
+/// Debug guard for code that wants node data across calls that may intern:
+/// records the arena's node generation at construction and asserts on every
+/// access that no reallocation has happened since — exactly the condition
+/// under which a raw `const ExprNode&` from node() would now dangle. Access
+/// re-fetches through the arena, so the guard itself is always safe; the
+/// assert is what surfaces the latent use-after-free in debug builds (and
+/// on every intern under FLAY_EXPR_POISON_REALLOC).
+class PinnedNode {
+ public:
+  PinnedNode(const ExprArena& arena, ExprRef ref)
+      : arena_(arena), ref_(ref), generation_(arena.nodeGeneration()) {}
+
+  const ExprNode& operator*() const { return get(); }
+  const ExprNode* operator->() const { return &get(); }
+  /// True until the arena reallocates node storage.
+  bool fresh() const { return arena_.nodeGeneration() == generation_; }
+  /// Re-arms the guard after an intentional interning.
+  void refresh() { generation_ = arena_.nodeGeneration(); }
+
+ private:
+  const ExprNode& get() const;
+
+  const ExprArena& arena_;
+  ExprRef ref_;
+  uint64_t generation_;
 };
 
 }  // namespace flay::expr

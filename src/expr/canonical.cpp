@@ -1,0 +1,98 @@
+#include "expr/canonical.h"
+
+#include <algorithm>
+
+namespace flay::expr {
+
+const std::string& CanonicalRenderer::render(ExprRef r) {
+  auto it = memo_.find(r.id);
+  if (it != memo_.end()) return it->second;
+  std::string s = r.valid() ? renderNode(r) : "<null>";
+  return memo_.emplace(r.id, std::move(s)).first->second;
+}
+
+void CanonicalRenderer::flatten(ExprRef r, ExprKind kind,
+                                std::vector<std::string>* out) {
+  const ExprNode& n = arena_.node(r);
+  if (n.kind != kind) {
+    out->push_back(render(r));
+    return;
+  }
+  flatten(ExprRef{n.a}, kind, out);
+  flatten(ExprRef{n.b}, kind, out);
+}
+
+std::string CanonicalRenderer::nary(const char* op,
+                                    std::initializer_list<ExprRef> kids) {
+  std::string out = "(";
+  out += op;
+  for (ExprRef k : kids) {
+    out += ' ';
+    out += render(k);
+  }
+  out += ')';
+  return out;
+}
+
+std::string CanonicalRenderer::renderNode(ExprRef r) {
+  const ExprNode& n = arena_.node(r);
+  using K = ExprKind;
+  ExprRef a{n.a}, b{n.b}, c{n.c};
+  switch (n.kind) {
+    case K::kBvConst:
+      return arena_.constValue(r).toHexString();
+    case K::kBoolConst:
+      return n.a != 0 ? "true" : "false";
+    case K::kVar:
+    case K::kBoolVar:
+      return arena_.symbolInfo(n.a).name;
+    case K::kBAnd:
+    case K::kBOr: {
+      std::vector<std::string> ops;
+      flatten(r, n.kind, &ops);
+      std::sort(ops.begin(), ops.end());
+      std::string out = n.kind == K::kBAnd ? "(and" : "(or";
+      for (const std::string& o : ops) {
+        out += ' ';
+        out += o;
+      }
+      out += ')';
+      return out;
+    }
+    case K::kAdd: return nary("add", {a, b});
+    case K::kSub: return nary("sub", {a, b});
+    case K::kMul: return nary("mul", {a, b});
+    case K::kUDiv: return nary("udiv", {a, b});
+    case K::kURem: return nary("urem", {a, b});
+    case K::kAnd: return nary("bvand", {a, b});
+    case K::kOr: return nary("bvor", {a, b});
+    case K::kXor: return nary("bvxor", {a, b});
+    case K::kConcat: return nary("concat", {a, b});
+    case K::kNot: return nary("bvnot", {a});
+    case K::kNeg: return nary("neg", {a});
+    case K::kShl:
+      return "(shl " + render(a) + " " + std::to_string(n.b) + ")";
+    case K::kLShr:
+      return "(lshr " + render(a) + " " + std::to_string(n.b) + ")";
+    case K::kExtract:
+      return "(extract " + render(a) + " " + std::to_string(n.b) + " " +
+             std::to_string(n.c) + ")";
+    case K::kZExt:
+      return "(zext " + render(a) + " " + std::to_string(n.width) + ")";
+    case K::kEq: {
+      // eq is commutative too; the arena does not id-order its operands,
+      // but encoder and substitution construction order can still differ
+      // across a recovery, so normalize here as well.
+      std::string sa = render(a), sb = render(b);
+      if (sb < sa) std::swap(sa, sb);
+      return "(eq " + sa + " " + sb + ")";
+    }
+    case K::kUlt: return nary("ult", {a, b});
+    case K::kUle: return nary("ule", {a, b});
+    case K::kBNot: return nary("not", {a});
+    case K::kIte: return nary("ite", {a, b, c});
+  }
+  return "<bad>";
+}
+
+}  // namespace flay::expr

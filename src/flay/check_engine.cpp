@@ -1,0 +1,210 @@
+#include "flay/check_engine.h"
+
+#include <span>
+#include <functional>
+#include <unordered_set>
+#include <utility>
+
+#include "expr/analysis.h"
+#include "obs/obs.h"
+
+namespace flay::flay {
+
+using expr::ExprRef;
+
+namespace {
+
+struct EngineObs {
+  obs::Registry& reg = obs::Registry::global();
+  obs::Counter& prefetchBatches = reg.counter("parallel.prefetch_batches");
+  obs::Counter& prefetchQueries = reg.counter("parallel.prefetch_queries");
+  obs::Counter& syncProbes = reg.counter("parallel.sync_probes");
+  obs::Histogram& prefetchUs = reg.histogram("parallel.prefetch_us");
+
+  static EngineObs& get() {
+    static EngineObs instance;
+    return instance;
+  }
+};
+
+CachedVerdict toCached(const smt::ConstantProbe& probe, bool isBool) {
+  CachedVerdict v;
+  if (!probe.constant) {
+    v.kind = CachedVerdict::Kind::kNotConstant;
+  } else if (isBool) {
+    v.kind = CachedVerdict::Kind::kBoolConst;
+    v.boolValue = probe.boolValue;
+  } else {
+    v.kind = CachedVerdict::Kind::kBvConst;
+    v.value = probe.value;
+  }
+  return v;
+}
+
+smt::ConstantProbe toProbe(const CachedVerdict& v) {
+  smt::ConstantProbe probe;
+  switch (v.kind) {
+    case CachedVerdict::Kind::kBoolConst:
+      probe.constant = true;
+      probe.boolValue = v.boolValue;
+      break;
+    case CachedVerdict::Kind::kBvConst:
+      probe.constant = true;
+      probe.value = v.value;
+      break;
+    case CachedVerdict::Kind::kNotConstant:
+      probe.notConstant = true;
+      break;
+  }
+  return probe;
+}
+
+}  // namespace
+
+CheckEngine::CheckEngine(const expr::ExprArena& arena)
+    : arena_(arena), renderer_(arena) {}
+
+CheckEngine::~CheckEngine() = default;
+
+void CheckEngine::configure(const CheckEngineOptions& options) {
+  if (pool_ != nullptr && options.jobs != options_.jobs) pool_.reset();
+  options_ = options;
+}
+
+bool CheckEngine::withinDagLimit(ExprRef e) const {
+  return options_.solverDagLimit > 0 &&
+         expr::dagSize(arena_, e) <= options_.solverDagLimit;
+}
+
+void CheckEngine::prefetch(const std::vector<CheckQuery>& queries) {
+  prefetched_.clear();
+  if (queries.empty()) return;
+  EngineObs& o = EngineObs::get();
+  o.prefetchBatches.add(1);
+  obs::ScopedTimer timer(o.prefetchUs, "parallel.prefetch");
+
+  // Keep only the checks the verdict path would actually send to the solver:
+  // folded constants and over-limit DAGs settle (or stay unknown) without a
+  // probe, and hash-consing makes duplicates exact id matches.
+  struct Pending {
+    uint32_t id;
+    ExprRef expr;
+    const std::string* scope;
+    const std::string* rendering;  // null when the cache is off
+  };
+  std::vector<Pending> pending;
+  std::unordered_set<uint32_t> seen;
+  for (const CheckQuery& q : queries) {
+    if (!q.expr.valid() || arena_.isConst(q.expr)) continue;
+    if (!withinDagLimit(q.expr)) continue;
+    if (!seen.insert(q.expr.id).second) continue;
+    const std::string* rendering = nullptr;
+    if (options_.useVerdictCache) {
+      rendering = &renderer_.render(q.expr);
+      if (auto hit = cache_.lookup(*rendering)) {
+        prefetched_[q.expr.id] = {toProbe(*hit), /*fromCache=*/true};
+        continue;
+      }
+    }
+    pending.push_back({q.expr.id, q.expr, &q.scope, rendering});
+  }
+  o.prefetchQueries.add(pending.size());
+  if (pending.empty()) return;
+
+  // Probe concurrently. Workers write disjoint slots; the arena is only
+  // read (probeConstant never interns), so no synchronization is needed
+  // beyond the pool's completion barrier.
+  std::vector<smt::ConstantProbe> probes(pending.size());
+  if (options_.jobs <= 1 || pending.size() == 1) {
+    for (size_t i = 0; i < pending.size(); ++i) {
+      probes[i] =
+          smt::probeConstant(arena_, pending[i].expr,
+                             options_.solverConflictBudget);
+    }
+  } else {
+    if (pool_ == nullptr) {
+      pool_ = std::make_unique<support::ThreadPool>(options_.jobs - 1);
+    }
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(pending.size());
+    for (size_t i = 0; i < pending.size(); ++i) {
+      tasks.push_back([this, &pending, &probes, i] {
+        probes[i] =
+            smt::probeConstant(arena_, pending[i].expr,
+                               options_.solverConflictBudget);
+      });
+    }
+    pool_->run(std::move(tasks));
+  }
+
+  for (size_t i = 0; i < pending.size(); ++i) {
+    const Pending& p = pending[i];
+    prefetched_[p.id] = {probes[i], /*fromCache=*/false};
+    if (options_.useVerdictCache && !probes[i].timedOut) {
+      cache_.insert(*p.rendering, toCached(probes[i], arena_.isBool(p.expr)),
+                    std::span<const std::string>(p.scope, 1));
+    }
+  }
+}
+
+smt::ConstantProbe CheckEngine::settle(ExprRef e, const std::string& scope,
+                                       CheckOutcome* outcome) {
+  if (outcome != nullptr) outcome->solverQueried = true;
+  auto staged = prefetched_.find(e.id);
+  if (staged != prefetched_.end()) {
+    if (outcome != nullptr) {
+      outcome->timedOut = staged->second.probe.timedOut;
+      outcome->cacheHit = staged->second.fromCache;
+    }
+    return staged->second.probe;
+  }
+  const std::string* rendering = nullptr;
+  if (options_.useVerdictCache) {
+    rendering = &renderer_.render(e);
+    if (auto hit = cache_.lookup(*rendering)) {
+      if (outcome != nullptr) outcome->cacheHit = true;
+      return toProbe(*hit);
+    }
+  }
+  EngineObs::get().syncProbes.add(1);
+  smt::ConstantProbe probe =
+      smt::probeConstant(arena_, e, options_.solverConflictBudget);
+  if (outcome != nullptr) outcome->timedOut = probe.timedOut;
+  if (options_.useVerdictCache && !probe.timedOut) {
+    cache_.insert(*rendering, toCached(probe, arena_.isBool(e)),
+                  std::span<const std::string>(&scope, 1));
+  }
+  return probe;
+}
+
+TriVerdict CheckEngine::boolVerdict(ExprRef specialized,
+                                    const std::string& scope,
+                                    CheckOutcome* outcome) {
+  if (arena_.isTrue(specialized)) return TriVerdict::kTrue;
+  if (arena_.isFalse(specialized)) return TriVerdict::kFalse;
+  if (!withinDagLimit(specialized)) return TriVerdict::kUnknown;
+  smt::ConstantProbe probe = settle(specialized, scope, outcome);
+  if (probe.constant) {
+    return probe.boolValue ? TriVerdict::kTrue : TriVerdict::kFalse;
+  }
+  return TriVerdict::kUnknown;
+}
+
+std::optional<BitVec> CheckEngine::constVerdict(ExprRef specialized,
+                                               const std::string& scope,
+                                               CheckOutcome* outcome) {
+  if (arena_.isBool(specialized)) return std::nullopt;
+  if (arena_.isConst(specialized)) return arena_.constValue(specialized);
+  if (!withinDagLimit(specialized)) return std::nullopt;
+  smt::ConstantProbe probe = settle(specialized, scope, outcome);
+  if (probe.constant) return probe.value;
+  return std::nullopt;
+}
+
+void CheckEngine::invalidateScope(const std::string& scope) {
+  cache_.invalidateScope(scope);
+}
+
+void CheckEngine::clearCache() { cache_.clear(); }
+
+}  // namespace flay::flay

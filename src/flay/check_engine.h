@@ -1,0 +1,130 @@
+#ifndef FLAY_FLAY_CHECK_ENGINE_H
+#define FLAY_FLAY_CHECK_ENGINE_H
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "expr/arena.h"
+#include "expr/canonical.h"
+#include "flay/verdict_cache.h"
+#include "smt/solver.h"
+#include "support/thread_pool.h"
+
+namespace flay::flay {
+
+/// True constant / false constant / unknown for a specialized boolean.
+enum class TriVerdict { kTrue, kFalse, kUnknown };
+
+struct CheckEngineOptions {
+  /// Worker threads for prefetch(): jobs-1 pool workers plus the calling
+  /// thread probe concurrently. 1 = fully serial (no pool is created).
+  size_t jobs = 1;
+  /// Serve repeated semantics checks from the canonical-digest cache.
+  bool useVerdictCache = true;
+  /// Ask the solver only about expressions up to this DAG size (0 disables
+  /// solver queries entirely, like SpecializerOptions::solverDagLimit).
+  size_t solverDagLimit = 512;
+  /// Fail-safe deadline per underlying SAT call, in conflicts (0 = none).
+  uint64_t solverConflictBudget = 20000;
+};
+
+/// How a verdict was obtained, for the caller's stats.
+struct CheckOutcome {
+  /// The check went past constant folding: a solver query ran, or the cache
+  /// answered in its place. Mirrors what SpecializationStats::solverQueries
+  /// counted before the engine existed.
+  bool solverQueried = false;
+  /// The conflict budget expired with the question unsettled. Never cached.
+  bool timedOut = false;
+  /// The verdict came from the cache (possibly via an earlier prefetch).
+  bool cacheHit = false;
+};
+
+/// One semantics check to warm up ahead of the rewrite pass. `scope` tags
+/// the cache entry for per-component invalidation (usually the program
+/// point's component).
+struct CheckQuery {
+  expr::ExprRef expr;
+  std::string scope;
+};
+
+/// The semantics-check engine: answers the specializer's "is this
+/// specialized expression a constant?" questions through, in order, arena
+/// constant folding, a canonical-digest verdict cache, and budgeted
+/// constantness probes (smt::probeConstant). prefetch() runs the probes of
+/// a whole batch concurrently on a thread pool — safe because probes only
+/// read the (immutable once interned) arena and never intern nodes.
+///
+/// Determinism: every probe uses a fresh solver with the same conflict
+/// budget, so a verdict is a pure function of the expression — identical
+/// across jobs settings, cache on/off, and prefetch vs lazy evaluation.
+/// Timeouts are deterministic for the same reason, and are never cached.
+class CheckEngine {
+ public:
+  explicit CheckEngine(const expr::ExprArena& arena);
+  ~CheckEngine();
+
+  CheckEngine(const CheckEngine&) = delete;
+  CheckEngine& operator=(const CheckEngine&) = delete;
+
+  /// Applies new options. Changing `jobs` tears down the pool (it is
+  /// re-created lazily at the next parallel prefetch). The cache is kept:
+  /// verdicts are facts, so entries stay correct across reconfiguration.
+  void configure(const CheckEngineOptions& options);
+  const CheckEngineOptions& options() const { return options_; }
+
+  /// Settles a batch of checks ahead of time: folded/oversized/duplicate
+  /// queries are filtered, cache hits are collected, and the remaining
+  /// probes run concurrently across `jobs` threads. Results are staged for
+  /// the following boolVerdict()/constVerdict() calls and inserted into the
+  /// verdict cache. A new prefetch() discards the previous staging.
+  void prefetch(const std::vector<CheckQuery>& queries);
+
+  /// Verdict for a specialized boolean expression. kUnknown covers
+  /// not-constant, over-budget (timeout), and over-DAG-limit alike: the
+  /// caller keeps the general implementation.
+  TriVerdict boolVerdict(expr::ExprRef specialized, const std::string& scope,
+                         CheckOutcome* outcome = nullptr);
+
+  /// Constant value of a specialized bit-vector expression, or nullopt when
+  /// it is not (provably) constant. Boolean-sorted expressions always return
+  /// nullopt, mirroring the specializer's historical constVerdict.
+  std::optional<BitVec> constVerdict(expr::ExprRef specialized,
+                                     const std::string& scope,
+                                     CheckOutcome* outcome = nullptr);
+
+  /// Drops cached verdicts recorded under `scope` (memory hygiene when a
+  /// component respecializes; correctness never depends on this).
+  void invalidateScope(const std::string& scope);
+  void clearCache();
+
+  VerdictCache& cache() { return cache_; }
+
+ private:
+  struct Prefetched {
+    smt::ConstantProbe probe;
+    bool fromCache = false;
+  };
+
+  /// Core path for an expression that folding could not settle and that is
+  /// within the DAG limit: staged prefetch result, then cache, then a
+  /// synchronous probe.
+  smt::ConstantProbe settle(expr::ExprRef e, const std::string& scope,
+                            CheckOutcome* outcome);
+  bool withinDagLimit(expr::ExprRef e) const;
+
+  const expr::ExprArena& arena_;
+  expr::CanonicalRenderer renderer_;
+  VerdictCache cache_;
+  CheckEngineOptions options_;
+  std::unique_ptr<support::ThreadPool> pool_;
+  /// Expr id -> staged result from the last prefetch().
+  std::unordered_map<uint32_t, Prefetched> prefetched_;
+};
+
+}  // namespace flay::flay
+
+#endif  // FLAY_FLAY_CHECK_ENGINE_H

@@ -56,6 +56,7 @@ FlayService::FlayService(const p4::CheckedProgram& checked, FlayOptions options)
   config_ = std::make_unique<runtime::DeviceConfig>(checked_);
   encoder_ = std::make_unique<ControlPlaneEncoder>(*arena_, analysis_,
                                                    options_.encoder);
+  checkEngine_ = std::make_unique<CheckEngine>(*arena_);
   buildObjectDependencies();
   auto start = std::chrono::steady_clock::now();
   respecializeAll();
@@ -331,6 +332,19 @@ UpdateVerdict FlayService::analyzeObjects(const std::set<std::string>& objects) 
   eobs.substituteUs.record(substituteUs > pointDigestUs
                                ? substituteUs - pointDigestUs
                                : 0);
+  // Memory hygiene for the verdict cache: points of these components now
+  // carry different specialized expressions, so the verdicts recorded under
+  // them describe formulas no live point references anymore. (Correctness
+  // never depends on this — a verdict is a pure fact about its rendering.)
+  {
+    std::set<std::string> respecialized;
+    for (uint32_t id : verdict.changedPoints) {
+      respecialized.insert(analysis_.annotations.point(id).component);
+    }
+    for (const auto& component : respecialized) {
+      checkEngine_->invalidateScope(component);
+    }
+  }
   eobs.digestUs.record(tableDigestUs + pointDigestUs);
   verdict.expressionsChanged = !verdict.changedPoints.empty();
   if (verdict.expressionsChanged) eobs.exprChangeVerdicts.add(1);

@@ -5,6 +5,7 @@
 #include <memory>
 #include <set>
 
+#include "flay/check_engine.h"
 #include "flay/encoder.h"
 #include "flay/symbolic_executor.h"
 #include "runtime/device_config.h"
@@ -101,6 +102,13 @@ class FlayService {
   expr::ExprArena& arena() { return *arena_; }
   const p4::CheckedProgram& checkedProgram() const { return checked_; }
 
+  /// The semantics-check engine the specializer asks for verdicts. Owned
+  /// here so its verdict cache and canonical-rendering memo live across
+  /// specializer runs (that persistence is where cache hits come from);
+  /// analyzeObjects() invalidates the scopes of components whose
+  /// specialized expressions changed.
+  CheckEngine& checkEngine() { return *checkEngine_; }
+
   /// Current specialized expression of a program point.
   expr::ExprRef specialized(uint32_t pointId) const {
     return analysis_.annotations.point(pointId).specialized;
@@ -141,6 +149,7 @@ class FlayService {
   AnalysisResult analysis_;
   std::unique_ptr<runtime::DeviceConfig> config_;
   std::unique_ptr<ControlPlaneEncoder> encoder_;
+  std::unique_ptr<CheckEngine> checkEngine_;
   /// Current control-plane assignment: symbol id -> value (absent = free).
   /// Values are fully resolved: they contain no placeholders that have
   /// bindings themselves.

@@ -4,7 +4,6 @@
 
 #include "expr/analysis.h"
 #include "obs/obs.h"
-#include "smt/solver.h"
 
 namespace flay::flay {
 
@@ -71,7 +70,14 @@ void substituteParamsInStmts(
 class Specializer::Impl {
  public:
   Impl(FlayService& service, const SpecializerOptions& options)
-      : service_(service), options_(options) {}
+      : service_(service), options_(options), engine_(service.checkEngine()) {
+    CheckEngineOptions eopts;
+    eopts.jobs = options_.jobs;
+    eopts.useVerdictCache = options_.useVerdictCache;
+    eopts.solverDagLimit = options_.solverDagLimit;
+    eopts.solverConflictBudget = options_.solverConflictBudget;
+    engine_.configure(eopts);
+  }
 
   SpecializationResult specialize() {
     const p4::Program& orig = service_.checkedProgram().program;
@@ -81,6 +87,7 @@ class Specializer::Impl {
     for (const auto& p : service_.analysis().annotations.points()) {
       if (p.astNode != nullptr) pointByNode_[p.astNode] = p.id;
     }
+    prefetchChecks();
 
     for (size_t c = 0; c < orig.controls.size(); ++c) {
       currentControl_ = &orig.controls[c];
@@ -99,53 +106,66 @@ class Specializer::Impl {
   }
 
  private:
-  /// True constant / false constant / unknown for a specialized boolean.
-  enum class Tri { kTrue, kFalse, kUnknown };
+  using Tri = TriVerdict;
 
-  Tri boolVerdict(ExprRef specialized) {
-    expr::ExprArena& arena = service_.arena();
-    if (arena.isTrue(specialized)) return Tri::kTrue;
-    if (arena.isFalse(specialized)) return Tri::kFalse;
-    // Folding could not settle it; ask the solver for semantic constancy
-    // (e.g. `x == x + 0` shapes folding may miss) within a size budget.
-    if (options_.solverDagLimit > 0 &&
-        expr::dagSize(arena, specialized) <= options_.solverDagLimit) {
-      ++stats_.solverQueries;
-      auto c = budgetedConstantValue(arena, specialized);
-      if (c.has_value()) {
-        return arena.isTrue(*c) ? Tri::kTrue : Tri::kFalse;
+  /// Queues every semantics check the rewrite pass will ask — the
+  /// specialized conditions of if/assign/table-hit/select-case points — so
+  /// the engine can run the underlying probes concurrently and the rewrite
+  /// pass is served from staged results. The filters mirror the ask sites
+  /// exactly: only points the rewriter can act on are worth probing.
+  void prefetchChecks() {
+    std::vector<CheckQuery> queries;
+    for (const auto& p : service_.analysis().annotations.points()) {
+      switch (p.kind) {
+        case PointKind::kIfCondition:
+        case PointKind::kSelectCase:
+          if (p.astNode == nullptr) continue;  // not reachable via rewrite
+          break;
+        case PointKind::kAssignedValue: {
+          if (p.astNode == nullptr) continue;
+          const Stmt* s = static_cast<const Stmt*>(p.astNode);
+          if (s->lhs != nullptr && s->lhs->op == ExprOp::kSlice) continue;
+          break;
+        }
+        case PointKind::kTableHit:
+          break;  // every apply statement asks its table's hit point
+        default:
+          continue;  // action index / accept / final: arena-only checks
       }
+      queries.push_back({p.specialized, p.component});
     }
-    return Tri::kUnknown;
+    engine_.prefetch(queries);
   }
 
-  std::optional<BitVec> constVerdict(ExprRef specialized) {
-    expr::ExprArena& arena = service_.arena();
-    if (arena.isConst(specialized) && !arena.isBool(specialized)) {
-      return arena.constValue(specialized);
-    }
-    if (options_.solverDagLimit > 0 && !arena.isBool(specialized) &&
-        expr::dagSize(arena, specialized) <= options_.solverDagLimit) {
-      ++stats_.solverQueries;
-      auto c = budgetedConstantValue(arena, specialized);
-      if (c.has_value()) return arena.constValue(*c);
-    }
-    return std::nullopt;
+  const std::string& scopeOf(uint32_t pointId) const {
+    return service_.analysis().annotations.point(pointId).component;
   }
 
-  /// constantValue under the fail-safe conflict deadline. A timeout is the
-  /// degradation-aware path the controller's counters track: the answer is
-  /// "unknown", the caller keeps the general implementation.
-  std::optional<ExprRef> budgetedConstantValue(expr::ExprArena& arena,
-                                               ExprRef specialized) {
-    bool timedOut = false;
-    auto c = smt::constantValueWithin(arena, specialized,
-                                      options_.solverConflictBudget, &timedOut);
-    if (timedOut) {
+  Tri boolVerdict(ExprRef specialized, const std::string& scope) {
+    CheckOutcome outcome;
+    Tri v = engine_.boolVerdict(specialized, scope, &outcome);
+    noteOutcome(outcome);
+    return v;
+  }
+
+  std::optional<BitVec> constVerdict(ExprRef specialized,
+                                     const std::string& scope) {
+    CheckOutcome outcome;
+    auto v = engine_.constVerdict(specialized, scope, &outcome);
+    noteOutcome(outcome);
+    return v;
+  }
+
+  /// Folds a check's outcome into the run's stats, preserving what the
+  /// pre-engine specializer counted: solverQueries for every check that went
+  /// past folding (even when the cache answered), solverTimeouts for expired
+  /// conflict budgets (the degradation-aware path the controller tracks).
+  void noteOutcome(const CheckOutcome& outcome) {
+    if (outcome.solverQueried) ++stats_.solverQueries;
+    if (outcome.timedOut) {
       ++stats_.solverTimeouts;
       obs::Registry::global().counter("controller.solver_timeouts").add(1);
     }
-    return c;
   }
 
   /// Rewrites a statement list; orig and clone run in lockstep.
@@ -165,7 +185,8 @@ class Specializer::Impl {
         auto it = pointByNode_.find(&orig);
         Tri verdict = it == pointByNode_.end()
                           ? Tri::kUnknown
-                          : boolVerdict(service_.specialized(it->second));
+                          : boolVerdict(service_.specialized(it->second),
+                                        scopeOf(it->second));
         if (verdict == Tri::kTrue) {
           ++stats_.eliminatedBranches;
           auto rewritten = rewriteStmts(orig.thenBody, clone->thenBody);
@@ -189,13 +210,13 @@ class Specializer::Impl {
           ExprRef specialized = service_.specialized(it->second);
           expr::ExprArena& arena = service_.arena();
           if (arena.isBool(specialized)) {
-            Tri v = boolVerdict(specialized);
+            Tri v = boolVerdict(specialized, scopeOf(it->second));
             if (v != Tri::kUnknown && orig.rhs->op != ExprOp::kBoolLit) {
               ++stats_.propagatedConstants;
               clone->rhs = makeBoolLiteral(v == Tri::kTrue);
             }
           } else {
-            auto v = constVerdict(specialized);
+            auto v = constVerdict(specialized, scopeOf(it->second));
             if (v.has_value() && orig.rhs->op != ExprOp::kIntLit) {
               ++stats_.propagatedConstants;
               clone->rhs = makeLiteral(*v);
@@ -222,7 +243,8 @@ class Specializer::Impl {
     const runtime::TableState& table = service_.config().table(qualified);
     expr::ExprArena& arena = service_.arena();
 
-    Tri hit = boolVerdict(service_.specialized(info.hitPoint));
+    Tri hit = boolVerdict(service_.specialized(info.hitPoint),
+                          scopeOf(info.hitPoint));
     if (hit == Tri::kFalse) {
       // The table can never hit: inline the default action (§3, Fig. 3 A).
       ++stats_.removedTables;
@@ -364,7 +386,8 @@ class Specializer::Impl {
         const p4::SelectCase& c = last.transition.cases[i];
         auto it = pointByNode_.find(&c);
         if (it != pointByNode_.end()) {
-          Tri v = boolVerdict(service_.specialized(it->second));
+          Tri v = boolVerdict(service_.specialized(it->second),
+                              scopeOf(it->second));
           if (v == Tri::kFalse) {
             ++stats_.removedSelectCases;
             continue;  // unreachable case (e.g. empty value set)
@@ -442,6 +465,7 @@ class Specializer::Impl {
 
   FlayService& service_;
   SpecializerOptions options_;
+  CheckEngine& engine_;
   SpecializationStats stats_;
   std::unordered_map<const void*, uint32_t> pointByNode_;
   std::set<std::string> removedTables_;

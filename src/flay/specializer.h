@@ -46,6 +46,15 @@ struct SpecializerOptions {
   /// solver blowup can degrade specialization quality but never correctness
   /// or liveness of the update pipeline.
   uint64_t solverConflictBudget = 20000;
+  /// Threads for the semantics-check prefetch: the independent constantness
+  /// probes of one specialization run execute concurrently across this many
+  /// threads (1 = serial). Verdicts are deterministic regardless (each probe
+  /// uses a fresh solver with a fixed conflict budget).
+  size_t jobs = 1;
+  /// Serve repeated semantics checks from the service's canonical-digest
+  /// verdict cache. Off = every check re-probes (for A/B testing; verdicts
+  /// are identical either way).
+  bool useVerdictCache = true;
 };
 
 struct SpecializationResult {

@@ -573,7 +573,10 @@ class Executor {
         using p4::BinOp;
         ExprRef a = evalSym(*e.a, state, params);
         if (e.binOp == BinOp::kShl || e.binOp == BinOp::kShr) {
-          uint32_t amount = static_cast<uint32_t>(e.b->value.toUint64());
+          // Clamp instead of narrowing: amounts >= the operand width (or
+          // beyond 2^32) must fold to zero per SMT-LIB, matching the
+          // interpreter and the bit blaster.
+          uint32_t amount = clampShiftAmount(e.b->value, arena_.width(a));
           return e.binOp == BinOp::kShl ? arena_.shl(a, amount)
                                         : arena_.lshr(a, amount);
         }

@@ -1,0 +1,123 @@
+#include "flay/verdict_cache.h"
+
+#include <algorithm>
+
+#include "expr/canonical.h"
+#include "obs/obs.h"
+
+namespace flay::flay {
+
+namespace {
+
+struct CacheObs {
+  obs::Registry& reg = obs::Registry::global();
+  obs::Counter& hits = reg.counter("cache.hits");
+  obs::Counter& misses = reg.counter("cache.misses");
+  obs::Counter& inserts = reg.counter("cache.inserts");
+  obs::Counter& invalidatedEntries = reg.counter("cache.invalidated_entries");
+  obs::Counter& evictions = reg.counter("cache.evictions");
+  obs::Counter& digestCollisions = reg.counter("cache.digest_collisions");
+
+  static CacheObs& get() {
+    static CacheObs instance;
+    return instance;
+  }
+};
+
+}  // namespace
+
+VerdictCache::VerdictCache(size_t maxEntries)
+    : maxEntries_(maxEntries == 0 ? 1 : maxEntries) {}
+
+uint64_t VerdictCache::digestOf(std::string_view rendering) {
+  expr::Fnv fnv;
+  fnv.mix(rendering);
+  return fnv.h;
+}
+
+std::optional<CachedVerdict> VerdictCache::lookup(std::string_view rendering) {
+  CacheObs& o = CacheObs::get();
+  uint64_t digest = digestOf(rendering);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = buckets_.find(digest);
+  if (it != buckets_.end()) {
+    for (const Entry& e : it->second) {
+      if (e.rendering == rendering) {
+        o.hits.add(1);
+        return e.verdict;
+      }
+    }
+    // Same 64-bit digest, different formula: by construction this serves a
+    // miss, never a cross-talk verdict.
+    o.digestCollisions.add(1);
+  }
+  o.misses.add(1);
+  return std::nullopt;
+}
+
+void VerdictCache::insert(std::string_view rendering, CachedVerdict verdict,
+                          std::span<const std::string> scopes) {
+  CacheObs& o = CacheObs::get();
+  uint64_t digest = digestOf(rendering);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_ >= maxEntries_) {
+    // Bounded memory beats recency bookkeeping on this hot path: a full
+    // cache is dropped wholesale and rebuilt by the very next check pass.
+    o.evictions.add(entries_);
+    buckets_.clear();
+    scopeIndex_.clear();
+    entries_ = 0;
+  }
+  std::vector<Entry>& bucket = buckets_[digest];
+  for (const Entry& e : bucket) {
+    if (e.rendering == rendering) return;  // first verdict wins
+  }
+  Entry entry;
+  entry.rendering = std::string(rendering);
+  entry.verdict = std::move(verdict);
+  entry.scopes.assign(scopes.begin(), scopes.end());
+  for (const std::string& s : entry.scopes) {
+    scopeIndex_[s].emplace_back(digest, entry.rendering);
+  }
+  bucket.push_back(std::move(entry));
+  ++entries_;
+  o.inserts.add(1);
+}
+
+void VerdictCache::dropLocked(uint64_t digest, std::string_view rendering) {
+  auto it = buckets_.find(digest);
+  if (it == buckets_.end()) return;
+  std::vector<Entry>& bucket = it->second;
+  for (size_t i = 0; i < bucket.size(); ++i) {
+    if (bucket[i].rendering != rendering) continue;
+    bucket.erase(bucket.begin() + static_cast<ptrdiff_t>(i));
+    --entries_;
+    CacheObs::get().invalidatedEntries.add(1);
+    break;
+  }
+  if (bucket.empty()) buckets_.erase(it);
+}
+
+void VerdictCache::invalidateScope(const std::string& scope) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = scopeIndex_.find(scope);
+  if (it == scopeIndex_.end()) return;
+  for (const auto& [digest, rendering] : it->second) {
+    dropLocked(digest, rendering);
+  }
+  scopeIndex_.erase(it);
+}
+
+void VerdictCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  buckets_.clear();
+  scopeIndex_.clear();
+  entries_ = 0;
+}
+
+size_t VerdictCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_;
+}
+
+}  // namespace flay::flay

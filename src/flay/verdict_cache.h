@@ -1,0 +1,86 @@
+#ifndef FLAY_FLAY_VERDICT_CACHE_H
+#define FLAY_FLAY_VERDICT_CACHE_H
+
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "support/bitvec.h"
+
+namespace flay::flay {
+
+/// A settled semantics-check verdict: the specialized expression is a proven
+/// boolean constant, a proven bit-vector constant, or provably not constant.
+/// Timeouts are deliberately not representable — an expired conflict budget
+/// is a statement about the solver deadline, not about the expression, and
+/// must be re-asked rather than remembered.
+struct CachedVerdict {
+  enum class Kind { kBoolConst, kBvConst, kNotConstant };
+  Kind kind = Kind::kNotConstant;
+  bool boolValue = false;  // kBoolConst
+  BitVec value;            // kBvConst
+};
+
+/// Cache of semantics-check verdicts keyed by the canonical-digest of the
+/// specialized condition (expr::CanonicalRenderer rendering, hashed with
+/// expr::Fnv). A verdict is a pure fact about the rendered formula — the
+/// control-plane config is already substituted into it — so an entry can
+/// never go semantically stale: respecializing a table produces a different
+/// rendering, which simply misses. Scope-tagged invalidation exists for
+/// memory hygiene: when a table respecializes, the verdicts recorded under
+/// its component tag describe formulas no live program point references
+/// anymore, so they are dropped eagerly instead of waiting for eviction.
+///
+/// Collision resistance: entries are bucketed by the 64-bit digest but carry
+/// the full canonical rendering, which is compared on every hit. A digest
+/// collision between distinct formulas therefore degrades to a miss (counted
+/// in cache.digest_collisions) — it can never serve the wrong verdict.
+///
+/// All methods are thread-safe; the parallel check engine inserts from
+/// worker threads while the coordinating thread looks up.
+class VerdictCache {
+ public:
+  explicit VerdictCache(size_t maxEntries = kDefaultMaxEntries);
+
+  std::optional<CachedVerdict> lookup(std::string_view rendering);
+  /// Records a settled verdict under every scope in `scopes` (typically the
+  /// owning component of the program point that asked). Re-inserting an
+  /// existing rendering refreshes nothing — first verdict wins; verdicts are
+  /// facts, so both are identical anyway.
+  void insert(std::string_view rendering, CachedVerdict verdict,
+              std::span<const std::string> scopes);
+  /// Drops every entry recorded under `scope`.
+  void invalidateScope(const std::string& scope);
+  void clear();
+
+  size_t size() const;
+
+  static constexpr size_t kDefaultMaxEntries = 1 << 16;
+
+ private:
+  struct Entry {
+    std::string rendering;
+    CachedVerdict verdict;
+    std::vector<std::string> scopes;
+  };
+
+  static uint64_t digestOf(std::string_view rendering);
+  void dropLocked(uint64_t digest, std::string_view rendering);
+
+  mutable std::mutex mu_;
+  size_t maxEntries_;
+  size_t entries_ = 0;
+  /// digest -> entries whose rendering hashes to it (collision chain).
+  std::unordered_map<uint64_t, std::vector<Entry>> buckets_;
+  /// scope -> (digest, rendering) pairs recorded under it.
+  std::unordered_map<std::string, std::vector<std::pair<uint64_t, std::string>>>
+      scopeIndex_;
+};
+
+}  // namespace flay::flay
+
+#endif  // FLAY_FLAY_VERDICT_CACHE_H

@@ -47,6 +47,11 @@ uint64_t Histogram::quantile(double q) const {
   if (n == 0) return 0;
   if (q < 0.0) q = 0.0;
   if (q > 1.0) q = 1.0;
+  // The extremes are tracked exactly — answer them without bucket rounding.
+  // (A two-bucket histogram would otherwise report q=0 as the first bucket's
+  // midpoint, which can exceed the true minimum.)
+  if (q == 0.0) return min();
+  if (q == 1.0) return max();
   // Rank of the q-th sample, 1-based.
   uint64_t target = static_cast<uint64_t>(q * static_cast<double>(n - 1)) + 1;
   uint64_t seen = 0;

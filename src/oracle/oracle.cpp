@@ -72,7 +72,8 @@ DifferentialOracle::SpecializedSide DifferentialOracle::respecialize(
   reg.counter("oracle.respecializations").add(1);
 
   SpecializedSide side;
-  flay::SpecializationResult result = flay::Specializer(service).specialize();
+  flay::SpecializationResult result =
+      flay::Specializer(service, options_.specializerOptions).specialize();
   side.checked = std::make_unique<p4::CheckedProgram>(
       flay::recheck(std::move(result.program)));
   migrate(service, side);

@@ -360,12 +360,15 @@ Interpreter::Value Interpreter::eval(const Expr& e, Frame& frame) {
       }
       BitVec a = evalBv(*e.a, frame);
       switch (e.binOp) {
+        // Shift amounts are clamped, not narrowed: an amount >= the operand
+        // width (or beyond 2^32) must yield zero per SMT-LIB, matching the
+        // symbolic executor and the bit blaster.
         case BinOp::kShl:
           return Value::makeBv(
-              a.shl(static_cast<uint32_t>(e.b->value.toUint64())));
+              a.shl(clampShiftAmount(e.b->value, a.width())));
         case BinOp::kShr:
           return Value::makeBv(
-              a.lshr(static_cast<uint32_t>(e.b->value.toUint64())));
+              a.lshr(clampShiftAmount(e.b->value, a.width())));
         default:
           break;
       }

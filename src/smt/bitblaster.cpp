@@ -150,6 +150,15 @@ Lit BitBlaster::eqBits(const std::vector<Lit>& a, const std::vector<Lit>& b) {
   return acc;
 }
 
+Lit BitBlaster::eqConst(ExprRef e, const BitVec& value) {
+  const std::vector<Lit>& bits = blastBv(e);
+  Lit acc = constLit(true);
+  for (size_t i = 0; i < bits.size(); ++i) {
+    acc = mkAnd(acc, value.bit(static_cast<uint32_t>(i)) ? bits[i] : ~bits[i]);
+  }
+  return acc;
+}
+
 const std::vector<Lit>& BitBlaster::blastBv(ExprRef e) {
   assert(!arena_.isBool(e) && "blastBv needs a bit-vector expression");
   auto it = bvMemo_.find(e.id);

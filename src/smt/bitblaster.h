@@ -28,6 +28,12 @@ class BitBlaster {
   BitVec bvModelValue(expr::ExprRef e) const;
   bool boolModelValue(expr::ExprRef e) const;
 
+  /// Literal equisatisfiable with `e == value`, built directly at the CNF
+  /// level. This is the arena-free alternative to interning an eq node:
+  /// constantness probes on worker threads compare against candidate model
+  /// values without ever mutating the (shared, not thread-safe) arena.
+  sat::Lit eqConst(expr::ExprRef e, const BitVec& value);
+
   sat::Lit trueLit() const { return trueLit_; }
 
  private:

@@ -198,4 +198,69 @@ std::optional<ExprRef> constantValue(expr::ExprArena& arena, ExprRef e) {
   return constantValueWithin(arena, e, 0, nullptr);
 }
 
+ConstantProbe probeConstant(const expr::ExprArena& arena, ExprRef e,
+                            uint64_t maxConflicts) {
+  SmtObs& o = SmtObs::get();
+  ConstantProbe probe;
+  if (arena.isConst(e)) {
+    o.foldedQueries.add(1);
+    probe.constant = true;
+    if (arena.isBool(e)) {
+      probe.boolValue = arena.isTrue(e);
+    } else {
+      probe.value = arena.constValue(e);
+    }
+    return probe;
+  }
+  o.constantQueries.add(1);
+  obs::ScopedTimer timer(o.checkUs, "smt.probe_constant");
+  sat::Solver sat;
+  sat.setConflictBudget(maxConflicts);
+  BitBlaster blaster(arena, sat);
+  auto expired = [&probe, &o] {
+    probe.timedOut = true;
+    o.unknownResults.add(1);
+    return probe;
+  };
+  if (arena.isBool(e)) {
+    sat::Lit l = blaster.blastBool(e);
+    sat::Result asTrue = sat.solve(std::array{l});
+    if (asTrue == sat::Result::kUnknown) return expired();
+    sat::Result asFalse = sat.solve(std::array{~l});
+    if (asFalse == sat::Result::kUnknown) return expired();
+    bool canBeTrue = asTrue == sat::Result::kSat;
+    bool canBeFalse = asFalse == sat::Result::kSat;
+    if (canBeTrue && canBeFalse) {
+      probe.notConstant = true;
+    } else {
+      probe.constant = true;
+      probe.boolValue = canBeTrue;
+    }
+    return probe;
+  }
+  // Encode e before the model run: the solve must range over its bits for
+  // bvModelValue to read a candidate out of the model.
+  blaster.blastBv(e);
+  sat::Result modelRun = sat.solve();
+  if (modelRun == sat::Result::kUnknown) return expired();
+  if (modelRun != sat::Result::kSat) {
+    // Unreachable in a consistent encoding, but be conservative.
+    probe.notConstant = true;
+    return probe;
+  }
+  BitVec v = blaster.bvModelValue(e);
+  // e is constant iff no model disagrees with v. Reusing the solver keeps
+  // the Tseitin encoding (and its learned clauses) for the second call.
+  sat::Lit same = blaster.eqConst(e, v);
+  sat::Result differs = sat.solve(std::array{~same});
+  if (differs == sat::Result::kUnknown) return expired();
+  if (differs == sat::Result::kSat) {
+    probe.notConstant = true;
+  } else {
+    probe.constant = true;
+    probe.value = std::move(v);
+  }
+  return probe;
+}
+
 }  // namespace flay::smt

@@ -85,6 +85,30 @@ std::optional<expr::ExprRef> constantValueWithin(expr::ExprArena& arena,
                                                  uint64_t maxConflicts,
                                                  bool* timedOut = nullptr);
 
+/// Outcome of probeConstant(). At most one of `constant`/`notConstant`/
+/// `timedOut` interesting states holds: constant carries the proven value
+/// (boolValue for boolean sorts, value otherwise); notConstant means two
+/// differing models were exhibited; timedOut means the conflict budget
+/// expired with the question unsettled (callers treat it like notConstant,
+/// conservatively, but must not cache it).
+struct ConstantProbe {
+  bool constant = false;
+  bool notConstant = false;
+  bool timedOut = false;
+  bool boolValue = false;
+  BitVec value;
+};
+
+/// Arena-const variant of constantValueWithin: proves or refutes the
+/// constantness of `e` without interning any node. The candidate-equality
+/// check is asserted at the SAT level (BitBlaster::eqConst) instead of via
+/// arena.eq, so many probes may run concurrently over one immutable arena —
+/// the foundation of the parallel semantics-check engine. Each probe builds
+/// its own solver; `maxConflicts` (0 = unlimited) bounds every underlying
+/// SAT call separately, like constantValueWithin.
+ConstantProbe probeConstant(const expr::ExprArena& arena, expr::ExprRef e,
+                            uint64_t maxConflicts);
+
 }  // namespace flay::smt
 
 #endif  // FLAY_SMT_SOLVER_H

@@ -307,6 +307,12 @@ bool BitVec::operator==(const BitVec& o) const {
   return width_ == o.width_ && words_ == o.words_;
 }
 
+uint32_t clampShiftAmount(const BitVec& amount, uint32_t width) {
+  if (!amount.fitsUint64()) return width;
+  uint64_t a = amount.toUint64();
+  return a >= width ? width : static_cast<uint32_t>(a);
+}
+
 size_t BitVec::hash() const {
   size_t h = 1469598103934665603ull;
   auto mix = [&h](uint64_t v) {

@@ -98,6 +98,14 @@ class BitVec {
   std::vector<uint64_t> words_;
 };
 
+/// Shift amount of a dynamic (BitVec-valued) shift, clamped for SMT-LIB
+/// semantics: any amount at or beyond `width` shifts every bit out, so it
+/// collapses to `width` (which BitVec::shl/lshr and the expression arena map
+/// to the zero result). Frontends must use this instead of a narrowing cast:
+/// an amount of 2^32 cast to uint32_t wraps to 0 — "no shift", the opposite
+/// of the SMT-LIB answer the solver computes.
+uint32_t clampShiftAmount(const BitVec& amount, uint32_t width);
+
 }  // namespace flay
 
 #endif  // FLAY_SUPPORT_BITVEC_H

@@ -1,0 +1,68 @@
+#include "support/thread_pool.h"
+
+namespace flay::support {
+
+ThreadPool::ThreadPool(size_t threads) {
+  if (threads == 0) threads = 1;
+  workers_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::workerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (stopping_ && queue_.empty()) return;
+    drainQueue(lock);
+  }
+}
+
+void ThreadPool::drainQueue(std::unique_lock<std::mutex>& lock) {
+  while (!queue_.empty()) {
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    lock.lock();
+    if (error != nullptr && firstError_ == nullptr) firstError_ = error;
+    finishTask(lock);
+  }
+}
+
+void ThreadPool::finishTask(std::unique_lock<std::mutex>&) {
+  if (--pending_ == 0) done_.notify_all();
+}
+
+void ThreadPool::run(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  pending_ += tasks.size();
+  for (auto& t : tasks) queue_.push_back(std::move(t));
+  wake_.notify_all();
+  // The caller helps drain: a jobs=N engine gets N-way parallelism from
+  // N-1 workers plus this thread, and a pool is never idle-blocked on its
+  // own submitter.
+  drainQueue(lock);
+  done_.wait(lock, [this] { return pending_ == 0; });
+  std::exception_ptr error = firstError_;
+  firstError_ = nullptr;
+  if (error != nullptr) std::rethrow_exception(error);
+}
+
+}  // namespace flay::support

@@ -1,0 +1,59 @@
+#ifndef FLAY_SUPPORT_THREAD_POOL_H
+#define FLAY_SUPPORT_THREAD_POOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace flay::support {
+
+/// Fixed pool of worker threads for batch fan-out. The intended shape is the
+/// parallel semantics-check engine: the caller collects a batch of
+/// independent, read-only tasks (each SAT query bit-blasts into its own
+/// solver over an immutable arena snapshot), runs them with run(), and only
+/// then resumes mutating shared state. run() is a barrier — it returns once
+/// every task of the batch has finished — so callers never need per-task
+/// futures or shutdown coordination.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least 1). Workers idle on a condition
+  /// variable between batches.
+  explicit ThreadPool(size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t size() const { return workers_.size(); }
+
+  /// Runs every task, using the calling thread as an extra worker, and
+  /// blocks until all of them completed. If any task threw, the first
+  /// exception (in completion order) is rethrown here after the batch has
+  /// fully drained — tasks are never abandoned mid-batch.
+  void run(std::vector<std::function<void()>> tasks);
+
+ private:
+  void workerLoop();
+  /// Pops and runs queued tasks until the queue is empty. Shared between
+  /// workers and the run() caller.
+  void drainQueue(std::unique_lock<std::mutex>& lock);
+  void finishTask(std::unique_lock<std::mutex>& lock);
+
+  std::mutex mu_;
+  std::condition_variable wake_;   // workers: new tasks or shutdown
+  std::condition_variable done_;   // run(): batch completion
+  std::deque<std::function<void()>> queue_;
+  size_t pending_ = 0;  // queued + currently running tasks
+  std::exception_ptr firstError_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace flay::support
+
+#endif  // FLAY_SUPPORT_THREAD_POOL_H

@@ -1,0 +1,61 @@
+#!/bin/sh
+# Cache/parallel equivalence test for the semantics-check engine.
+#
+#   cache_equiv.sh <path-to-flayc> <programs-dir>
+#
+# The engine's contract is that a verdict is a pure function of the
+# specialized expression: the same program and update trace must print
+# byte-identical output whatever the --jobs count and whether the verdict
+# cache is on. This runs `flayc fuzz` (whose final "specialization verdicts"
+# line summarizes every engine verdict of a full specialize) and `flayc
+# specialize` under all four settings and diffs the complete stdout.
+set -u
+
+FLAYC=$1
+PROGRAMS=$2
+TMP=${TMPDIR:-/tmp}/cache_equiv.$$
+mkdir -p "$TMP"
+trap 'rm -rf "$TMP"' EXIT
+
+failures=0
+note() { printf '%s\n' "$*"; }
+fail() { note "FAIL: $*"; failures=$((failures + 1)); }
+
+# compare <label> -- <subcommand args...>
+# Runs the command under jobs=1/cache, jobs=4/cache, jobs=1/no-cache,
+# jobs=4/no-cache and requires identical stdout.
+compare() {
+  label=$1; shift; shift
+  "$FLAYC" "$@" >"$TMP/ref.out" 2>&1 || {
+    fail "$label: baseline run failed"
+    return
+  }
+  for variant in "--jobs 4" "--no-verdict-cache" "--jobs 4 --no-verdict-cache"; do
+    # shellcheck disable=SC2086
+    "$FLAYC" "$@" $variant >"$TMP/var.out" 2>&1 || {
+      fail "$label ($variant): run failed"
+      continue
+    }
+    if ! cmp -s "$TMP/ref.out" "$TMP/var.out"; then
+      fail "$label: output differs with $variant"
+      diff "$TMP/ref.out" "$TMP/var.out" | head -20
+    else
+      note "ok: $label identical with $variant"
+    fi
+  done
+}
+
+for prog in middleblock switch; do
+  compare "fuzz $prog" \
+    -- fuzz "$PROGRAMS/$prog.p4l" --updates 60 --seed 1
+  compare "specialize $prog" \
+    -- specialize "$PROGRAMS/$prog.p4l"
+done
+compare "fuzz scion" \
+  -- fuzz "$PROGRAMS/scion.p4l" --updates 40 --seed 2
+
+if [ "$failures" -ne 0 ]; then
+  note "$failures check(s) failed"
+  exit 1
+fi
+note "all cache/parallel equivalence checks passed"

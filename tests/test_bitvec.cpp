@@ -238,5 +238,42 @@ INSTANTIATE_TEST_SUITE_P(Widths, BitVecWidthTest,
                          ::testing::Values(1u, 7u, 8u, 9u, 16u, 32u, 48u, 63u,
                                            64u, 65u, 100u, 128u, 256u));
 
+// clampShiftAmount maps a dynamic (BitVec-valued) shift amount to the
+// uint32_t the arena/interpreter shifts by, with SMT-LIB semantics: any
+// amount >= width collapses to `width` (shift everything out), never to a
+// wrapped small amount.
+TEST(ClampShiftAmount, InRangeAmountsPassThrough) {
+  EXPECT_EQ(clampShiftAmount(BitVec(8, 0), 8), 0u);
+  EXPECT_EQ(clampShiftAmount(BitVec(8, 3), 8), 3u);
+  EXPECT_EQ(clampShiftAmount(BitVec(8, 7), 8), 7u);
+  // Non-power-of-two width.
+  EXPECT_EQ(clampShiftAmount(BitVec(8, 12), 13), 12u);
+}
+
+TEST(ClampShiftAmount, AtOrBeyondWidthCollapsesToWidth) {
+  EXPECT_EQ(clampShiftAmount(BitVec(8, 8), 8), 8u);
+  EXPECT_EQ(clampShiftAmount(BitVec(8, 9), 8), 8u);
+  EXPECT_EQ(clampShiftAmount(BitVec(8, 255), 8), 8u);
+  EXPECT_EQ(clampShiftAmount(BitVec(16, 13), 13), 13u);
+  EXPECT_EQ(clampShiftAmount(BitVec(64, 1000), 33), 33u);
+}
+
+TEST(ClampShiftAmount, HugeAmountsDoNotWrap) {
+  // 2^32 narrows to 0 under a naive uint32_t cast — "no shift", the exact
+  // opposite of the SMT-LIB answer. The clamp must return `width`.
+  EXPECT_EQ(clampShiftAmount(BitVec(64, uint64_t{1} << 32), 8), 8u);
+  EXPECT_EQ(clampShiftAmount(BitVec(64, (uint64_t{1} << 32) + 3), 32), 32u);
+  // Amounts too wide for uint64 at all.
+  BitVec huge = BitVec::one(128).shl(100);
+  EXPECT_FALSE(huge.fitsUint64());
+  EXPECT_EQ(clampShiftAmount(huge, 8), 8u);
+  EXPECT_EQ(clampShiftAmount(huge, 64), 64u);
+}
+
+TEST(ClampShiftAmount, WideBitVecThatStillFitsUint64) {
+  // A 128-bit amount whose value is small must pass through unclamped.
+  EXPECT_EQ(clampShiftAmount(BitVec(128, 5), 8), 5u);
+}
+
 }  // namespace
 }  // namespace flay

@@ -1,0 +1,364 @@
+// Tests for the parallel semantics-check engine and its canonical-digest
+// verdict cache: cache semantics (first-wins, scope invalidation, collision
+// behavior), thread-pool plumbing, verdict parity across jobs/cache
+// settings, and cache invalidation when components respecialize.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+
+#include "expr/analysis.h"
+#include "expr/canonical.h"
+#include "flay/check_engine.h"
+#include "flay/engine.h"
+#include "flay/specializer.h"
+#include "p4/printer.h"
+#include "support/thread_pool.h"
+
+namespace flay::flay {
+namespace {
+
+using runtime::FieldMatch;
+using runtime::TableEntry;
+using runtime::Update;
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+
+TEST(ThreadPool, RunsEveryTask) {
+  support::ThreadPool pool(3);
+  std::atomic<int> hits{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 100; ++i) {
+    tasks.push_back([&hits] { hits.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.run(std::move(tasks));
+  EXPECT_EQ(hits.load(), 100);
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  support::ThreadPool pool(2);
+  std::atomic<int> hits{0};
+  for (int batch = 0; batch < 5; ++batch) {
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 10; ++i) {
+      tasks.push_back([&hits] { hits.fetch_add(1); });
+    }
+    pool.run(std::move(tasks));
+  }
+  EXPECT_EQ(hits.load(), 50);
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  support::ThreadPool pool(2);
+  std::atomic<int> hits{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 8; ++i) {
+    tasks.push_back([&hits, i] {
+      if (i == 3) throw std::runtime_error("boom");
+      hits.fetch_add(1);
+    });
+  }
+  EXPECT_THROW(pool.run(std::move(tasks)), std::runtime_error);
+  // The batch drains fully even when one task throws.
+  EXPECT_EQ(hits.load(), 7);
+}
+
+TEST(ThreadPool, ZeroThreadsStillWorks) {
+  support::ThreadPool pool(0);  // clamped to one worker
+  std::atomic<int> hits{0};
+  std::vector<std::function<void()>> tasks{[&hits] { hits.fetch_add(1); }};
+  pool.run(std::move(tasks));
+  EXPECT_EQ(hits.load(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// VerdictCache
+
+CachedVerdict boolVerdictOf(bool v) {
+  CachedVerdict c;
+  c.kind = CachedVerdict::Kind::kBoolConst;
+  c.boolValue = v;
+  return c;
+}
+
+std::vector<std::string> scopes(std::initializer_list<const char*> names) {
+  return std::vector<std::string>(names.begin(), names.end());
+}
+
+TEST(VerdictCache, InsertLookupRoundTrip) {
+  VerdictCache cache;
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.lookup("(and a b)").has_value());
+
+  auto tagged = scopes({"C.t"});
+  cache.insert("(and a b)", boolVerdictOf(true), tagged);
+  EXPECT_EQ(cache.size(), 1u);
+  auto hit = cache.lookup("(and a b)");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->kind, CachedVerdict::Kind::kBoolConst);
+  EXPECT_TRUE(hit->boolValue);
+  EXPECT_FALSE(cache.lookup("(and a c)").has_value());
+}
+
+TEST(VerdictCache, FirstVerdictWins) {
+  VerdictCache cache;
+  auto tagged = scopes({"C.t"});
+  cache.insert("k", boolVerdictOf(true), tagged);
+  cache.insert("k", boolVerdictOf(false), tagged);  // ignored
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_TRUE(cache.lookup("k")->boolValue);
+}
+
+TEST(VerdictCache, ScopeInvalidationDropsOnlyThatScope) {
+  VerdictCache cache;
+  auto t1 = scopes({"C.t1"});
+  auto t2 = scopes({"C.t2"});
+  auto both = scopes({"C.t1", "C.t2"});
+  cache.insert("a", boolVerdictOf(true), t1);
+  cache.insert("b", boolVerdictOf(true), t2);
+  cache.insert("c", boolVerdictOf(true), both);
+  EXPECT_EQ(cache.size(), 3u);
+
+  cache.invalidateScope("C.t1");
+  EXPECT_FALSE(cache.lookup("a").has_value());
+  EXPECT_TRUE(cache.lookup("b").has_value());
+  EXPECT_FALSE(cache.lookup("c").has_value());  // tagged with t1 too
+  EXPECT_EQ(cache.size(), 1u);
+
+  // Invalidating again (or an unknown scope) is a no-op.
+  cache.invalidateScope("C.t1");
+  cache.invalidateScope("C.never");
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(VerdictCache, BvVerdictCarriesValue) {
+  VerdictCache cache;
+  CachedVerdict v;
+  v.kind = CachedVerdict::Kind::kBvConst;
+  v.value = BitVec(32, 0xDEAD);
+  auto tagged = scopes({"C.t"});
+  cache.insert("bv", v, tagged);
+  auto hit = cache.lookup("bv");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->kind, CachedVerdict::Kind::kBvConst);
+  EXPECT_EQ(hit->value.toUint64(), 0xDEADu);
+}
+
+// Collision-resistance smoke test: the cache is keyed by a 64-bit digest,
+// but entries carry their full rendering and compare it on lookup — so even
+// adversarially similar renderings (one character apart, the classic FNV
+// weak spot) can never serve each other's verdicts.
+TEST(VerdictCache, NearIdenticalRenderingsNeverCrossTalk) {
+  VerdictCache cache;
+  auto tagged = scopes({"C.t"});
+  constexpr int kEntries = 2000;
+  for (int i = 0; i < kEntries; ++i) {
+    CachedVerdict v;
+    v.kind = CachedVerdict::Kind::kBvConst;
+    v.value = BitVec(32, static_cast<uint64_t>(i));
+    cache.insert("(eq x #x" + std::to_string(i) + ")", v, tagged);
+  }
+  EXPECT_EQ(cache.size(), static_cast<size_t>(kEntries));
+  for (int i = 0; i < kEntries; ++i) {
+    auto hit = cache.lookup("(eq x #x" + std::to_string(i) + ")");
+    ASSERT_TRUE(hit.has_value()) << i;
+    EXPECT_EQ(hit->value.toUint64(), static_cast<uint64_t>(i)) << i;
+  }
+  EXPECT_FALSE(cache.lookup("(eq x #x" + std::to_string(kEntries) + ")")
+                   .has_value());
+}
+
+TEST(VerdictCache, OverflowEvictsWholesaleAndKeepsWorking) {
+  VerdictCache cache(/*maxEntries=*/4);
+  auto tagged = scopes({"C.t"});
+  for (int i = 0; i < 10; ++i) {
+    cache.insert("r" + std::to_string(i), boolVerdictOf(true), tagged);
+  }
+  EXPECT_LE(cache.size(), 4u);
+  // The most recent insert always lands.
+  EXPECT_TRUE(cache.lookup("r9").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// CheckEngine through a FlayService
+
+const char* kProgram = R"(
+header h_t { bit<8> a; bit<8> b; }
+struct headers { h_t h; }
+parser P { state start { extract(hdr.h); transition accept; } }
+control C {
+  action set_a(bit<8> v) { hdr.h.a = v; }
+  action set_b(bit<8> v) { hdr.h.b = v; }
+  action drop_pkt() { mark_to_drop(); }
+  table t1 {
+    key = { hdr.h.a : ternary; }
+    actions = { set_a; drop_pkt; noop; }
+    default_action = noop;
+    size = 256;
+  }
+  table t2 {
+    key = { hdr.h.b : exact; }
+    actions = { set_b; noop; }
+    default_action = noop;
+    size = 256;
+  }
+  apply {
+    t1.apply();
+    t2.apply();
+    if (hdr.h.a == 3) { sm.egress_spec = 2; } else { sm.egress_spec = 1; }
+  }
+}
+deparser D { emit(hdr.h); }
+pipeline(P, C, D);
+)";
+
+TableEntry ternaryEntry(uint64_t v, uint64_t m, const char* action,
+                        uint64_t arg, int32_t prio) {
+  TableEntry e;
+  e.matches.push_back(FieldMatch::ternary(BitVec(8, v), BitVec(8, m)));
+  e.actionName = action;
+  if (std::string(action) == "set_a") e.actionArgs.push_back(BitVec(8, arg));
+  e.priority = prio;
+  return e;
+}
+
+TableEntry exactEntry(uint64_t v, uint64_t arg) {
+  TableEntry e;
+  e.matches.push_back(FieldMatch::exact(BitVec(8, v)));
+  e.actionName = "set_b";
+  e.actionArgs.push_back(BitVec(8, arg));
+  return e;
+}
+
+class CheckEngineTest : public ::testing::Test {
+ protected:
+  CheckEngineTest() : checked(p4::loadProgramFromString(kProgram)) {}
+
+  void populate(FlayService& service) {
+    service.applyUpdate(
+        Update::insert("C.t1", ternaryEntry(1, 0xFF, "set_a", 9, 1)));
+    service.applyUpdate(
+        Update::insert("C.t1", ternaryEntry(2, 0xFF, "set_a", 7, 1)));
+    service.applyUpdate(Update::insert("C.t2", exactEntry(4, 11)));
+  }
+
+  SpecializationResult specializeWith(FlayService& service, size_t jobs,
+                                      bool cache) {
+    SpecializerOptions sopts;
+    sopts.jobs = jobs;
+    sopts.useVerdictCache = cache;
+    return Specializer(service, sopts).specialize();
+  }
+
+  p4::CheckedProgram checked;
+};
+
+// The acceptance property of the whole PR: the specialized program and every
+// stat derived from verdicts are identical whatever the jobs count and
+// whether the cache is on.
+TEST_F(CheckEngineTest, VerdictsIdenticalAcrossJobsAndCacheSettings) {
+  std::string reference;
+  SpecializationStats refStats;
+  struct Setting {
+    size_t jobs;
+    bool cache;
+  };
+  for (Setting s : {Setting{1, true}, Setting{1, false}, Setting{4, true},
+                    Setting{4, false}}) {
+    FlayService service(checked);
+    populate(service);
+    SpecializationResult result = specializeWith(service, s.jobs, s.cache);
+    std::string printed = p4::printProgram(result.program);
+    if (reference.empty()) {
+      reference = printed;
+      refStats = result.stats;
+      continue;
+    }
+    EXPECT_EQ(printed, reference) << "jobs=" << s.jobs << " cache=" << s.cache;
+    EXPECT_EQ(result.stats.totalChanges(), refStats.totalChanges());
+    EXPECT_EQ(result.stats.solverQueries, refStats.solverQueries);
+    EXPECT_EQ(result.stats.solverTimeouts, refStats.solverTimeouts);
+  }
+}
+
+// A second specialize of unchanged state is served from the cache: same
+// verdicts, and the engine's staged/cached path answers without new probes.
+TEST_F(CheckEngineTest, RepeatSpecializeHitsCache) {
+  FlayService service(checked);
+  populate(service);
+  SpecializationResult first = specializeWith(service, 1, true);
+  size_t cachedAfterFirst = service.checkEngine().cache().size();
+  EXPECT_GT(cachedAfterFirst, 0u);
+
+  SpecializationResult second = specializeWith(service, 1, true);
+  EXPECT_EQ(p4::printProgram(first.program), p4::printProgram(second.program));
+  // No new formulas appeared, so the cache did not grow.
+  EXPECT_EQ(service.checkEngine().cache().size(), cachedAfterFirst);
+}
+
+// Respecializing a component invalidates its cache entries (memory hygiene:
+// the old formulas are unreachable), while other components' entries stay.
+TEST_F(CheckEngineTest, UpdateInvalidatesChangedComponentEntries) {
+  FlayService service(checked);
+  populate(service);
+  specializeWith(service, 1, true);
+  VerdictCache& cache = service.checkEngine().cache();
+  size_t before = cache.size();
+  ASSERT_GT(before, 0u);
+
+  // Change t1's config: its points respecialize, its scope is invalidated.
+  service.applyUpdate(
+      Update::insert("C.t1", ternaryEntry(3, 0xFF, "drop_pkt", 0, 2)));
+  EXPECT_LT(cache.size(), before);
+
+  // The next specialize still answers correctly and repopulates.
+  SpecializationResult after = specializeWith(service, 1, true);
+  EXPECT_EQ(after.stats.solverTimeouts, 0u);
+}
+
+// Direct prefetch API: staging the whole annotation set and then asking
+// verdicts gives the same answers as asking cold, and marks them as queried.
+TEST_F(CheckEngineTest, PrefetchedVerdictsMatchLazyOnes) {
+  FlayService parallel(checked);
+  populate(parallel);
+  FlayService lazy(checked);
+  populate(lazy);
+
+  CheckEngineOptions eopts;
+  eopts.jobs = 4;
+  parallel.checkEngine().configure(eopts);
+
+  std::vector<CheckQuery> queries;
+  for (const auto& p : parallel.analysis().annotations.points()) {
+    queries.push_back({p.specialized, p.component});
+  }
+  parallel.checkEngine().prefetch(queries);
+
+  // Compare every boolean point's verdict against the serial engine.
+  for (const auto& p : parallel.analysis().annotations.points()) {
+    if (!parallel.arena().isBool(p.specialized)) continue;
+    TriVerdict staged =
+        parallel.checkEngine().boolVerdict(p.specialized, p.component);
+    const auto& lp = lazy.analysis().annotations.point(p.id);
+    TriVerdict cold = lazy.checkEngine().boolVerdict(lp.specialized,
+                                                     lp.component);
+    EXPECT_EQ(static_cast<int>(staged), static_cast<int>(cold))
+        << "point " << p.id << " (" << p.label << ")";
+  }
+}
+
+// Disabling the cache via configure means repeated checks re-probe but still
+// agree; the cache object stays untouched.
+TEST_F(CheckEngineTest, CacheOffLeavesCacheEmpty)
+{
+  FlayService service(checked);
+  populate(service);
+  specializeWith(service, 1, false);
+  EXPECT_EQ(service.checkEngine().cache().size(), 0u);
+}
+
+}  // namespace
+}  // namespace flay::flay

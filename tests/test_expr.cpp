@@ -381,5 +381,50 @@ TEST_P(FoldSoundnessTest, RandomExprsEvaluateConsistently) {
 INSTANTIATE_TEST_SUITE_P(Seeds, FoldSoundnessTest,
                          ::testing::Range(1, 11));
 
+// ---------------------------------------------------------------------------
+// Node-storage reallocation tracking: the arena bumps nodeGeneration()
+// whenever intern() moves node storage, i.e. whenever `const ExprNode&`
+// references previously returned by node() become dangling (the PR 2
+// use-after-free class). PinnedNode turns that into a checkable guard.
+
+TEST_F(ExprTest, NodeGenerationAdvancesOnReallocation) {
+  uint64_t start = arena.nodeGeneration();
+  // Interning many distinct nodes must cross at least one capacity boundary
+  // (under FLAY_EXPR_POISON_REALLOC it advances on every single intern).
+  for (uint64_t i = 0; i < 4096; ++i) bv(32, i);
+  EXPECT_GT(arena.nodeGeneration(), start);
+}
+
+TEST_F(ExprTest, NodeGenerationStableWithoutInterning) {
+  ExprRef a = arena.add(dp("x"), bv(32, 5));
+  uint64_t gen = arena.nodeGeneration();
+  // Re-interning existing nodes appends nothing, so no reallocation.
+  ExprRef b = arena.add(dp("x"), bv(32, 5));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(arena.nodeGeneration(), gen);
+}
+
+TEST_F(ExprTest, PinnedNodeDetectsReallocationAndRefreshes) {
+  ExprRef a = arena.add(dp("x"), bv(32, 5));
+  PinnedNode pin(arena, a);
+  ASSERT_TRUE(pin.fresh());
+  const ExprNode copy = *pin;  // safe: copies while fresh
+
+  // Force at least one reallocation.
+  uint64_t before = arena.nodeGeneration();
+  for (uint64_t i = 0; i < 4096 && arena.nodeGeneration() == before; ++i) {
+    bv(32, 1000000 + i);
+  }
+  ASSERT_GT(arena.nodeGeneration(), before);
+  EXPECT_FALSE(pin.fresh());
+
+  // After refresh() the pin is valid again and re-fetches the same node
+  // data: hash-consed nodes are immutable even though storage moved.
+  pin.refresh();
+  ASSERT_TRUE(pin.fresh());
+  EXPECT_EQ(*pin, copy);
+  EXPECT_EQ(pin->kind, copy.kind);
+}
+
 }  // namespace
 }  // namespace flay::expr

@@ -198,3 +198,41 @@ TEST(Trace, OpenFailsForBadPath) {
       obs::Registry::global().openTrace("/nonexistent-dir/trace.jsonl"));
   EXPECT_FALSE(obs::Registry::global().tracingEnabled());
 }
+
+// Adversarial quantile cases: the extremes are tracked exactly and must be
+// answered exactly, regardless of bucket rounding. 896 is chosen because its
+// log-bucket [896, 1024) has midpoint 960 — strictly between 896 and any
+// larger co-recorded value — so a midpoint-based q=0/q=1 answer is visibly
+// wrong.
+TEST(Histogram, QuantileExtremesExactForSingleBucket) {
+  obs::Histogram h;
+  h.record(896);
+  h.record(1000);  // same bucket as 896
+  EXPECT_EQ(h.quantile(0.0), 896u);
+  EXPECT_EQ(h.quantile(1.0), 1000u);
+  uint64_t mid = h.quantile(0.5);
+  EXPECT_GE(mid, 896u);
+  EXPECT_LE(mid, 1000u);
+}
+
+TEST(Histogram, QuantileExtremesExactForTwoBuckets) {
+  obs::Histogram h;
+  h.record(896);
+  h.record(5000);
+  EXPECT_EQ(h.quantile(0.0), 896u);
+  EXPECT_EQ(h.quantile(1.0), 5000u);
+  // Out-of-range q clamps to the same exact extremes.
+  EXPECT_EQ(h.quantile(-1.0), 896u);
+  EXPECT_EQ(h.quantile(2.0), 5000u);
+  uint64_t mid = h.quantile(0.5);
+  EXPECT_GE(mid, 896u);
+  EXPECT_LE(mid, 5000u);
+}
+
+TEST(Histogram, QuantileSingleSampleIsThatSample) {
+  obs::Histogram h;
+  h.record(896);
+  EXPECT_EQ(h.quantile(0.0), 896u);
+  EXPECT_EQ(h.quantile(0.5), 896u);
+  EXPECT_EQ(h.quantile(1.0), 896u);
+}

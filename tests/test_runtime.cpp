@@ -278,5 +278,92 @@ TEST_F(RuntimeTest, ValueSetStateMatching) {
   EXPECT_FALSE(vs.matches(BitVec(16, 0x8100)));
 }
 
+// ---------------------------------------------------------------------------
+// Deterministic tie-breaking. lookup() and normalizedEntries() share one
+// comparator (TableState::precedes); these tests pin the tie-break rules —
+// equal precedence resolves to the lowest entry id (oldest insert) — so a
+// future "optimization" that diverges the two paths, or makes the winner
+// depend on container order, fails loudly.
+
+TEST_F(RuntimeTest, TernaryEqualPriorityTieBreaksByInsertOrder) {
+  TableState& t = config.table("C.ternary_t");
+  // Two overlapping entries at the same priority: a catch-all and a more
+  // specific one. The key below matches both; only the id decides.
+  TableEntry catchAll;
+  catchAll.matches.push_back(FieldMatch::ternary(BitVec(8, 0), BitVec(8, 0)));
+  catchAll.matches.push_back(FieldMatch::ternary(BitVec(8, 0), BitVec(8, 0)));
+  catchAll.actionName = "set_a";
+  catchAll.actionArgs.push_back(BitVec(8, 1));
+  catchAll.priority = 7;
+  TableEntry specific;
+  specific.matches.push_back(
+      FieldMatch::ternary(BitVec(8, 0x55), BitVec(8, 0xFF)));
+  specific.matches.push_back(FieldMatch::ternary(BitVec(8, 0), BitVec(8, 0)));
+  specific.actionName = "set_a";
+  specific.actionArgs.push_back(BitVec(8, 2));
+  specific.priority = 7;
+
+  uint64_t first = t.insert(catchAll);
+  uint64_t second = t.insert(specific);
+  ASSERT_LT(first, second);
+
+  const TableEntry* hit = t.lookup({BitVec(8, 0x55), BitVec(8, 0xAA)});
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->id, first) << "equal priority must resolve to the oldest id";
+  EXPECT_EQ(hit->actionArgs[0].toUint64(), 1u);
+
+  // normalizedEntries() shares the comparator: the winner sorts first.
+  auto sorted = t.normalizedEntries();
+  ASSERT_FALSE(sorted.empty());
+  EXPECT_EQ(sorted.front()->id, first);
+
+  // Higher priority still beats an older entry.
+  TableEntry urgent = specific;
+  urgent.matches[0] = FieldMatch::ternary(BitVec(8, 0x55), BitVec(8, 0xFF));
+  urgent.actionArgs[0] = BitVec(8, 3);
+  urgent.priority = 9;
+  uint64_t third = t.insert(urgent);
+  const TableEntry* hit2 = t.lookup({BitVec(8, 0x55), BitVec(8, 0xAA)});
+  ASSERT_NE(hit2, nullptr);
+  EXPECT_EQ(hit2->id, third);
+}
+
+TEST_F(RuntimeTest, LpmEqualPrefixLenOrdersByInsertOrder) {
+  TableState& t = config.table("C.lpm_t");
+  auto entry = [](uint64_t net, uint32_t prefixLen, uint64_t arg) {
+    TableEntry e;
+    e.matches.push_back(FieldMatch::lpm(BitVec(32, net), prefixLen));
+    e.actionName = "set_a";
+    e.actionArgs.push_back(BitVec(8, arg));
+    return e;
+  };
+  // Sibling /8 routes: equal prefix length, disjoint — the normalized order
+  // between them is pinned to insert order (lowest id first), so the
+  // specialized program is stable across runs and container orders.
+  uint64_t second = 0, first = 0;
+  first = t.insert(entry(0x0B000000, 8, 2));   // 11/8 inserted first
+  second = t.insert(entry(0x0A000000, 8, 1));  // 10/8 inserted second
+  ASSERT_LT(first, second);
+
+  auto sorted = t.normalizedEntries();
+  ASSERT_EQ(sorted.size(), 2u);
+  EXPECT_EQ(sorted[0]->id, first);
+  EXPECT_EQ(sorted[1]->id, second);
+
+  // Lookup picks the (unique) matching entry either way.
+  const TableEntry* hit = t.lookup({BitVec(32, 0x0A00002A)});
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->id, second);
+
+  // A longer prefix beats an older shorter one, id notwithstanding.
+  uint64_t third = t.insert(entry(0x0A000000, 16, 3));  // 10.0/16
+  const TableEntry* hit2 = t.lookup({BitVec(32, 0x0A00002A)});
+  ASSERT_NE(hit2, nullptr);
+  EXPECT_EQ(hit2->id, third);
+  auto resorted = t.normalizedEntries();
+  ASSERT_FALSE(resorted.empty());
+  EXPECT_EQ(resorted.front()->id, third) << "longest prefix sorts first";
+}
+
 }  // namespace
 }  // namespace flay::runtime

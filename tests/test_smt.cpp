@@ -275,5 +275,99 @@ TEST_P(SmtBruteForceTest, AgreesWithEnumeration) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SmtBruteForceTest, ::testing::Range(1, 41));
 
+// ---------------------------------------------------------------------------
+// probeConstant: the arena-const probe behind the parallel check engine.
+
+TEST_F(SmtTest, ProbeConstantProvesSemanticBvConstant) {
+  // (x * 2) % 2 is always 0, but only the solver can see it.
+  ExprRef e = arena.urem(arena.mul(x(), bv(8, 2)), bv(8, 2));
+  ASSERT_FALSE(arena.isConst(e)) << "folder got smarter; pick a harder expr";
+  ConstantProbe p = probeConstant(arena, e, 0);
+  EXPECT_TRUE(p.constant);
+  EXPECT_FALSE(p.notConstant);
+  EXPECT_FALSE(p.timedOut);
+  EXPECT_EQ(p.value.toUint64(), 0u);
+}
+
+TEST_F(SmtTest, ProbeConstantProvesSemanticBoolConstant) {
+  // x % 8 < 8 is valid.
+  ExprRef e = arena.ult(arena.urem(x(), bv(8, 8)), bv(8, 8));
+  ASSERT_FALSE(arena.isConst(e));
+  ConstantProbe p = probeConstant(arena, e, 0);
+  EXPECT_TRUE(p.constant);
+  EXPECT_TRUE(p.boolValue);
+
+  // x % 8 >= 8 is unsat.
+  ExprRef f = arena.ule(bv(8, 8), arena.urem(x(), bv(8, 8)));
+  ConstantProbe q = probeConstant(arena, f, 0);
+  EXPECT_TRUE(q.constant);
+  EXPECT_FALSE(q.boolValue);
+}
+
+TEST_F(SmtTest, ProbeConstantRefutesNonConstants) {
+  ConstantProbe p = probeConstant(arena, arena.eq(x(), bv(8, 3)), 0);
+  EXPECT_TRUE(p.notConstant);
+  EXPECT_FALSE(p.constant);
+  ConstantProbe q = probeConstant(arena, arena.add(x(), bv(8, 1)), 0);
+  EXPECT_TRUE(q.notConstant);
+  EXPECT_FALSE(q.constant);
+}
+
+TEST_F(SmtTest, ProbeConstantAgreesWithConstantValueWithin) {
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 30; ++i) {
+    // Random mask/compare shapes over one variable: some constant, some not.
+    ExprRef e = arena.bvAnd(arena.bvOr(x(), bv(8, rng() & 0xFF)),
+                            bv(8, rng() & 0xFF));
+    ConstantProbe p = probeConstant(arena, e, 0);
+    std::optional<expr::ExprRef> c = constantValueWithin(arena, e, 0);
+    EXPECT_EQ(p.constant, c.has_value()) << "i=" << i;
+    if (p.constant && c.has_value()) {
+      EXPECT_EQ(p.value, arena.constValue(*c)) << "i=" << i;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Shift semantics: the concrete evaluator and the bit-blasted solver must
+// agree for every shift amount, including amounts at and beyond the width.
+
+class ShiftAgreementTest : public SmtTest,
+                           public ::testing::WithParamInterface<uint32_t> {};
+
+TEST_P(ShiftAgreementTest, EvalAndSolverAgreeOnClampedShifts) {
+  const uint32_t w = GetParam();
+  std::mt19937_64 rng(w * 31337 + 1);
+  ExprRef var = arena.var("s", w, SymbolClass::kDataPlane);
+  std::vector<BitVec> amounts = {
+      BitVec(64, 0), BitVec(64, 1), BitVec(64, w - 1), BitVec(64, w),
+      BitVec(64, w + 1), BitVec(64, 64), BitVec(64, uint64_t{1} << 32),
+      BitVec::one(128).shl(100)};
+  for (const BitVec& amountBv : amounts) {
+    uint32_t amount = clampShiftAmount(amountBv, w);
+    for (bool left : {true, false}) {
+      ExprRef shifted = left ? arena.shl(var, amount) : arena.lshr(var, amount);
+      BitVec val(w, rng());
+      BitVec direct = left ? val.shl(amount) : val.lshr(amount);
+
+      // Concrete evaluator.
+      expr::Evaluator ev(arena);
+      ev.bindVar(var, val);
+      EXPECT_EQ(ev.evaluateBv(shifted), direct)
+          << "w=" << w << " amount=" << amount << " left=" << left;
+
+      // Solver: under s == val, shifted != direct must be unsat.
+      SmtSolver solver(arena);
+      solver.assertExpr(arena.eq(var, arena.bvConst(val)));
+      solver.assertExpr(arena.neq(shifted, arena.bvConst(direct)));
+      EXPECT_EQ(solver.check(), CheckResult::kUnsat)
+          << "w=" << w << " amount=" << amount << " left=" << left;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ShiftAgreementTest,
+                         ::testing::Values(7u, 8u, 13u, 33u));
+
 }  // namespace
 }  // namespace flay::smt

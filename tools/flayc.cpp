@@ -43,6 +43,11 @@
 //                       transient, flaky, reject-compile, outage, slow) or a
 //                       spec like "fail-first=2,seed=7"; the oracle then
 //                       checks the degradation invariant
+//   --jobs N            specialize/fuzz/difftest/crashtest: run the
+//                       semantics-check probes of each specialization on N
+//                       threads (default 1; verdicts are identical at any N)
+//   --no-verdict-cache  disable the canonical-digest verdict cache (A/B
+//                       switch; verdicts are identical either way)
 //   --kill-points K     crashtest: number of simulated-SIGKILL positions (20)
 //   --checkpoint-every C  crashtest: updates between checkpoints (16)
 //   --state-dir DIR     crashtest: journal/checkpoint directory (default: a
@@ -103,6 +108,8 @@ struct Options {
   uint32_t ingressPort = 0;
   std::string sabotage;
   std::string faultPlan;
+  size_t jobs = 1;
+  bool verdictCache = true;
   size_t killPoints = 20;
   size_t checkpointEvery = 16;
   std::string stateDir;
@@ -122,6 +129,7 @@ int usage() {
       "             [--replay-updates i,j,k|none] [--packet-hex HEX] "
       "[--ingress-port P]\n"
       "             [--sabotage drop-entry] [--fault-plan P]\n"
+      "             [--jobs N] [--no-verdict-cache]\n"
       "             [--kill-points K] [--checkpoint-every C] "
       "[--state-dir DIR] [--torn-tail]\n"
       "             [--stats[=json]] [--trace-out FILE]\n");
@@ -179,6 +187,13 @@ uint64_t parseNumber(const std::string& s, const char* flag) {
     argError(std::string("bad number '") + s + "' for " + flag);
   }
   return std::strtoull(s.c_str(), nullptr, 10);
+}
+
+core::SpecializerOptions specializerOptions(const Options& opts) {
+  core::SpecializerOptions sopts;
+  sopts.jobs = opts.jobs;
+  sopts.useVerdictCache = opts.verdictCache;
+  return sopts;
 }
 
 void applyCannedConfig(core::FlayService& service, const std::string& name) {
@@ -257,7 +272,7 @@ int cmdSpecialize(const p4::CheckedProgram& checked, const Options& opts) {
   foptions.analysis.analyzeParser = !opts.skipParser;
   core::FlayService service(checked, foptions);
   applyCannedConfig(service, opts.config);
-  auto result = core::Specializer(service).specialize();
+  auto result = core::Specializer(service, specializerOptions(opts)).specialize();
   std::fprintf(stderr,
                "// specialization: %zu tables removed, %zu inlined, "
                "%zu actions removed, %zu keys tightened,\n"
@@ -386,6 +401,18 @@ int cmdFuzz(const p4::CheckedProgram& checked, const Options& opts) {
   }
   std::printf("  incremental-vs-scratch: consistent (%zu points)\n",
               service.analysis().annotations.points().size());
+
+  // Specialize the fuzzed state through the semantics-check engine so
+  // --jobs / --no-verdict-cache are exercised end-to-end. The verdict line
+  // is what cache-equivalence checks compare across settings: every number
+  // is a pure function of the fuzzed config, independent of thread count
+  // and cache state.
+  auto result =
+      core::Specializer(service, specializerOptions(opts)).specialize();
+  std::printf("  specialization verdicts: %zu changes, %zu solver queries, "
+              "%zu timeouts\n",
+              result.stats.totalChanges(), result.stats.solverQueries,
+              result.stats.solverTimeouts);
   return 0;
 }
 
@@ -399,6 +426,7 @@ int cmdDifftest(const p4::CheckedProgram& checked, const Options& opts) {
   if (opts.replayUpdatesSet) ooptions.replayUpdates = opts.replayUpdates;
   ooptions.probePacketOverride = opts.packetHex;
   ooptions.probeIngressPort = opts.ingressPort;
+  ooptions.specializerOptions = specializerOptions(opts);
   if (opts.sabotage == "drop-entry") {
     ooptions.sabotage = oracle::OracleOptions::Sabotage::kDropMigratedEntry;
   } else if (!opts.sabotage.empty()) {
@@ -480,6 +508,7 @@ int cmdCrashtest(const p4::CheckedProgram& checked, const Options& opts) {
   copts.stateDir = dir;
   copts.checkpointEvery = opts.checkpointEvery;
   copts.flay.analysis.analyzeParser = !opts.skipParser;
+  copts.specializer = specializerOptions(opts);
 
   std::vector<runtime::Update> script =
       net::fuzzUpdateSequence(checked, opts.updates, opts.seed);
@@ -614,6 +643,11 @@ int main(int argc, char** argv) {
       opts.sabotage = value(&i, arg);
     } else if (arg == "--fault-plan") {
       opts.faultPlan = value(&i, arg);
+    } else if (arg == "--jobs") {
+      opts.jobs = parseNumber(value(&i, arg), "--jobs");
+      if (opts.jobs == 0) argError("--jobs needs at least 1");
+    } else if (arg == "--no-verdict-cache") {
+      opts.verdictCache = false;
     } else if (arg == "--kill-points") {
       opts.killPoints = parseNumber(value(&i, arg), "--kill-points");
     } else if (arg == "--checkpoint-every") {
