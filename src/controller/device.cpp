@@ -1,5 +1,8 @@
 #include "controller/device.h"
 
+#include <chrono>
+#include <thread>
+
 #include "obs/obs.h"
 
 namespace flay::controller {
@@ -53,6 +56,13 @@ InstallResult SimulatedDevice::installProgram(const p4::CheckedProgram&) {
   InstallResult result;
   result.latencyMicros = plan_.slowInstallMicros;
   dobs.installUs.record(result.latencyMicros);
+  if (plan_.slowInstallMicros != 0) {
+    // The install is an RPC to the switch driver: the caller is blocked for
+    // its duration. Sleeping (instead of merely reporting the latency) is
+    // what lets fleet-level concurrency measurably hide slow devices.
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(plan_.slowInstallMicros));
+  }
   bool inject = attempt <= plan_.failFirstInstalls;
   if (plan_.outageLength != 0 && attempt >= plan_.outageStart &&
       attempt < plan_.outageStart + plan_.outageLength) {

@@ -18,7 +18,10 @@ struct InstallResult {
   /// a non-transient one (program does not fit) is not.
   bool transient = false;
   std::string error;
-  /// Simulated install latency (from FaultPlan::slowInstallMicros).
+  /// Install latency (from FaultPlan::slowInstallMicros). The simulated
+  /// device really blocks for this long — installs model an RPC to the
+  /// switch driver, so a slow device occupies its caller, not just a
+  /// counter. Concurrent drains (fleet::FleetController) overlap them.
   uint64_t latencyMicros = 0;
 };
 

@@ -61,8 +61,18 @@ smt::ConstantProbe toProbe(const CachedVerdict& v) {
 
 }  // namespace
 
-CheckEngine::CheckEngine(const expr::ExprArena& arena)
-    : arena_(arena), renderer_(arena) {}
+CheckEngine::CheckEngine(const expr::ExprArena& arena,
+                         std::shared_ptr<VerdictCache> sharedCache,
+                         std::string scopePrefix)
+    : arena_(arena),
+      renderer_(arena),
+      cache_(sharedCache != nullptr ? std::move(sharedCache)
+                                    : std::make_shared<VerdictCache>()),
+      scopePrefix_(std::move(scopePrefix)) {}
+
+std::string CheckEngine::scoped(const std::string& scope) const {
+  return scopePrefix_.empty() ? scope : scopePrefix_ + scope;
+}
 
 CheckEngine::~CheckEngine() = default;
 
@@ -89,7 +99,7 @@ void CheckEngine::prefetch(const std::vector<CheckQuery>& queries) {
   struct Pending {
     uint32_t id;
     ExprRef expr;
-    const std::string* scope;
+    std::string scope;             // scope-prefixed cache tag
     const std::string* rendering;  // null when the cache is off
   };
   std::vector<Pending> pending;
@@ -101,12 +111,12 @@ void CheckEngine::prefetch(const std::vector<CheckQuery>& queries) {
     const std::string* rendering = nullptr;
     if (options_.useVerdictCache) {
       rendering = &renderer_.render(q.expr);
-      if (auto hit = cache_.lookup(*rendering)) {
+      if (auto hit = cache_->lookup(*rendering)) {
         prefetched_[q.expr.id] = {toProbe(*hit), /*fromCache=*/true};
         continue;
       }
     }
-    pending.push_back({q.expr.id, q.expr, &q.scope, rendering});
+    pending.push_back({q.expr.id, q.expr, scoped(q.scope), rendering});
   }
   o.prefetchQueries.add(pending.size());
   if (pending.empty()) return;
@@ -141,8 +151,8 @@ void CheckEngine::prefetch(const std::vector<CheckQuery>& queries) {
     const Pending& p = pending[i];
     prefetched_[p.id] = {probes[i], /*fromCache=*/false};
     if (options_.useVerdictCache && !probes[i].timedOut) {
-      cache_.insert(*p.rendering, toCached(probes[i], arena_.isBool(p.expr)),
-                    std::span<const std::string>(p.scope, 1));
+      cache_->insert(*p.rendering, toCached(probes[i], arena_.isBool(p.expr)),
+                     std::span<const std::string>(&p.scope, 1));
     }
   }
 }
@@ -161,7 +171,7 @@ smt::ConstantProbe CheckEngine::settle(ExprRef e, const std::string& scope,
   const std::string* rendering = nullptr;
   if (options_.useVerdictCache) {
     rendering = &renderer_.render(e);
-    if (auto hit = cache_.lookup(*rendering)) {
+    if (auto hit = cache_->lookup(*rendering)) {
       if (outcome != nullptr) outcome->cacheHit = true;
       return toProbe(*hit);
     }
@@ -171,8 +181,9 @@ smt::ConstantProbe CheckEngine::settle(ExprRef e, const std::string& scope,
       smt::probeConstant(arena_, e, options_.solverConflictBudget);
   if (outcome != nullptr) outcome->timedOut = probe.timedOut;
   if (options_.useVerdictCache && !probe.timedOut) {
-    cache_.insert(*rendering, toCached(probe, arena_.isBool(e)),
-                  std::span<const std::string>(&scope, 1));
+    std::string tag = scoped(scope);
+    cache_->insert(*rendering, toCached(probe, arena_.isBool(e)),
+                   std::span<const std::string>(&tag, 1));
   }
   return probe;
 }
@@ -202,9 +213,9 @@ std::optional<BitVec> CheckEngine::constVerdict(ExprRef specialized,
 }
 
 void CheckEngine::invalidateScope(const std::string& scope) {
-  cache_.invalidateScope(scope);
+  cache_->invalidateScope(scoped(scope));
 }
 
-void CheckEngine::clearCache() { cache_.clear(); }
+void CheckEngine::clearCache() { cache_->clear(); }
 
 }  // namespace flay::flay

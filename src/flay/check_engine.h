@@ -64,7 +64,17 @@ struct CheckQuery {
 /// Timeouts are deterministic for the same reason, and are never cached.
 class CheckEngine {
  public:
-  explicit CheckEngine(const expr::ExprArena& arena);
+  /// `sharedCache` lets multiple engines (one per FlayService, e.g. across a
+  /// device fleet) pool their verdicts: canonical renderings are
+  /// construction-history independent, so identical programs produce
+  /// identical cache keys whatever arena they were interned into, and a
+  /// verdict is a pure fact about its rendering — sharing can never serve a
+  /// wrong answer. Null = this engine owns a private cache. `scopePrefix` is
+  /// prepended to every scope tag recorded in the cache (e.g. "dev3/"), so
+  /// scope invalidation stays per-instance even on a shared cache.
+  explicit CheckEngine(const expr::ExprArena& arena,
+                       std::shared_ptr<VerdictCache> sharedCache = nullptr,
+                       std::string scopePrefix = "");
   ~CheckEngine();
 
   CheckEngine(const CheckEngine&) = delete;
@@ -101,7 +111,7 @@ class CheckEngine {
   void invalidateScope(const std::string& scope);
   void clearCache();
 
-  VerdictCache& cache() { return cache_; }
+  VerdictCache& cache() { return *cache_; }
 
  private:
   struct Prefetched {
@@ -115,10 +125,13 @@ class CheckEngine {
   smt::ConstantProbe settle(expr::ExprRef e, const std::string& scope,
                             CheckOutcome* outcome);
   bool withinDagLimit(expr::ExprRef e) const;
+  /// The cache scope tag for a component scope: scopePrefix_ + scope.
+  std::string scoped(const std::string& scope) const;
 
   const expr::ExprArena& arena_;
   expr::CanonicalRenderer renderer_;
-  VerdictCache cache_;
+  std::shared_ptr<VerdictCache> cache_;
+  std::string scopePrefix_;
   CheckEngineOptions options_;
   std::unique_ptr<support::ThreadPool> pool_;
   /// Expr id -> staged result from the last prefetch().

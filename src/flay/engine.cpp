@@ -56,7 +56,8 @@ FlayService::FlayService(const p4::CheckedProgram& checked, FlayOptions options)
   config_ = std::make_unique<runtime::DeviceConfig>(checked_);
   encoder_ = std::make_unique<ControlPlaneEncoder>(*arena_, analysis_,
                                                    options_.encoder);
-  checkEngine_ = std::make_unique<CheckEngine>(*arena_);
+  checkEngine_ = std::make_unique<CheckEngine>(
+      *arena_, options_.sharedVerdictCache, options_.verdictScopePrefix);
   buildObjectDependencies();
   auto start = std::chrono::steady_clock::now();
   respecializeAll();

@@ -19,6 +19,18 @@ struct FlayOptions {
   /// point instead of only the tainted ones. Quantifies the incrementality
   /// claim of §2 (see bench_ablation_taint).
   bool useTaintMap = true;
+  /// When set, this service's check engine records and serves semantics-check
+  /// verdicts from this cache instead of a private one. Safe to share across
+  /// services — even ones analyzing different programs — because a verdict is
+  /// a pure fact about the canonical rendering it is keyed on; the payoff is
+  /// a fleet of devices running identical programs, where one device's solver
+  /// probes warm every other device's checks. Null = private cache.
+  std::shared_ptr<VerdictCache> sharedVerdictCache;
+  /// Prefix for the scope tags this service records in the verdict cache
+  /// (e.g. "dev3/"), keeping scope invalidation per-instance when the cache
+  /// is shared: entries recorded by other instances are never touched by
+  /// this service's invalidations.
+  std::string verdictScopePrefix;
 };
 
 /// Verdict for one control-plane update (or batch), mirroring Fig. 2: the

@@ -1,0 +1,140 @@
+#ifndef FLAY_FLEET_FLEET_H
+#define FLAY_FLEET_FLEET_H
+
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "controller/controller.h"
+#include "controller/device.h"
+#include "controller/fault_plan.h"
+#include "flay/verdict_cache.h"
+#include "support/thread_pool.h"
+
+namespace flay::fleet {
+
+struct FleetOptions {
+  /// Number of managed devices. Each gets a name ("dev0".."devN-1"), its own
+  /// SimulatedDevice + FaultTolerantController + FlayService, and — when
+  /// stateDirRoot is set — its own journal/checkpoint directory underneath.
+  size_t devices = 4;
+  /// Concurrent device drains: jobs-1 pool workers plus the draining thread.
+  /// 1 = fully serial (no pool is created). Updates within one device are
+  /// always applied in order regardless.
+  size_t jobs = 1;
+  /// Per-device work-queue capacity; enqueue() to a full queue drops the
+  /// update (counted in fleet.updates_dropped) instead of blocking, so a
+  /// degraded or crashed device can never apply backpressure to the whole
+  /// fleet. 0 = unbounded.
+  size_t queueCapacity = 0;
+  /// Root directory for per-device persistence ("" = in-memory only). A
+  /// restart over the same root replays every device's journal — each
+  /// device recovers to its last committed state independently.
+  std::string stateDirRoot;
+  /// Share one thread-safe verdict cache across every device's check engine.
+  /// Identical programs render identical canonical formulas, so the first
+  /// device to specialize pays the solver probes and the rest hit. Scope
+  /// tags are prefixed with "<device>/" so invalidation stays per-instance.
+  bool sharedVerdictCache = true;
+  /// Fault-plan template: device i runs it with seed = faultPlan.seed + i,
+  /// so faults land at different points per device (deterministically).
+  controller::FaultPlan faultPlan;
+  /// When false, controllers run without a device (analysis + WAL only; no
+  /// compiles or installs). Crash-recovery tests use this shape.
+  bool attachDevices = true;
+  /// Base per-device controller options. stateDir and seed are overwritten
+  /// per device; flay.sharedVerdictCache/verdictScopePrefix are overwritten
+  /// according to `sharedVerdictCache`.
+  controller::ControllerOptions controller;
+  tofino::PipelineModel deviceModel;
+  tofino::CompilerOptions deviceCompiler;
+};
+
+/// Point-in-time status of one fleet member.
+struct DeviceStatus {
+  std::string name;
+  bool degraded = false;
+  /// A non-update exception escaped this device's apply loop; its queue was
+  /// abandoned and it no longer accepts work (the rest of the fleet is
+  /// unaffected).
+  bool failed = false;
+  uint64_t applied = 0;
+  uint64_t rejected = 0;
+  uint64_t dropped = 0;
+  uint64_t retries = 0;
+  uint64_t replayed = 0;  // journal replay during construction
+  size_t queued = 0;
+};
+
+/// Control plane for a fleet of N devices: one FaultTolerantController per
+/// device, per-device FIFO work queues, and a shared support::ThreadPool
+/// that drains the queues concurrently — updates are serialized within a
+/// device while devices proceed independently. A single thread-safe
+/// flay::VerdictCache is (optionally) shared across every device's
+/// semantics-check engine, so a fleet running identical programs pays each
+/// solver probe once fleet-wide instead of once per device.
+///
+/// Threading contract: enqueue() is safe from any thread; drain() runs the
+/// queues to empty and must not be called concurrently with itself.
+/// Construction and journal recovery also fan out across the pool (each
+/// device's controller, initial install, and replay are independent).
+class FleetController {
+ public:
+  FleetController(const p4::CheckedProgram& checked, FleetOptions options = {});
+  ~FleetController();
+
+  FleetController(const FleetController&) = delete;
+  FleetController& operator=(const FleetController&) = delete;
+
+  size_t deviceCount() const { return members_.size(); }
+  const std::string& deviceName(size_t device) const;
+
+  /// Appends an update to `device`'s queue. False (and the update is
+  /// dropped + counted) when the queue is at capacity or the device failed.
+  bool enqueue(size_t device, const runtime::Update& update);
+  /// Enqueues the update on every device; returns how many accepted it.
+  size_t broadcast(const runtime::Update& update);
+
+  /// Processes every queue to empty. Devices drain concurrently over the
+  /// shared pool (jobs-way); within a device, updates apply strictly in
+  /// enqueue order. Engine-rejected updates (std::invalid_argument) are
+  /// counted and skipped; any other exception marks the device failed and
+  /// abandons its remaining queue without disturbing the fleet.
+  void drain();
+
+  DeviceStatus status(size_t device) const;
+  size_t degradedDevices() const;
+  size_t failedDevices() const;
+
+  /// Process-independent digest of one device's committed state (see
+  /// FaultTolerantController::stateDigest).
+  std::string stateDigest(size_t device) const;
+  /// Digest over every device's digest, in device order: two fleets with
+  /// equal fleet digests are member-by-member in identical states.
+  std::string fleetDigest() const;
+
+  /// Forces a checkpoint on every device (bounds journal replay on the next
+  /// restart — the fleet-wide snapshot).
+  void checkpointAll();
+
+  controller::FaultTolerantController& controller(size_t device);
+  const std::shared_ptr<flay::VerdictCache>& sharedCache() const {
+    return cache_;
+  }
+
+ private:
+  struct Member;
+
+  void drainMember(Member& m);
+
+  FleetOptions options_;
+  std::shared_ptr<flay::VerdictCache> cache_;  // null when not shared
+  std::unique_ptr<support::ThreadPool> pool_;  // null when jobs <= 1
+  std::vector<std::unique_ptr<Member>> members_;
+};
+
+}  // namespace flay::fleet
+
+#endif  // FLAY_FLEET_FLEET_H

@@ -1,6 +1,17 @@
 #include "support/thread_pool.h"
 
+#include <stdexcept>
+
 namespace flay::support {
+
+namespace {
+
+/// The pool whose drainQueue() this thread is currently inside, if any.
+/// Tracks reentrancy for workers AND for run() callers helping to drain;
+/// saved/restored so nesting across distinct pools keeps working.
+thread_local const ThreadPool* currentlyDraining = nullptr;
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t threads) {
   if (threads == 0) threads = 1;
@@ -33,12 +44,15 @@ void ThreadPool::drainQueue(std::unique_lock<std::mutex>& lock) {
     std::function<void()> task = std::move(queue_.front());
     queue_.pop_front();
     lock.unlock();
+    const ThreadPool* outer = currentlyDraining;
+    currentlyDraining = this;
     std::exception_ptr error;
     try {
       task();
     } catch (...) {
       error = std::current_exception();
     }
+    currentlyDraining = outer;
     lock.lock();
     if (error != nullptr && firstError_ == nullptr) firstError_ = error;
     finishTask(lock);
@@ -51,6 +65,14 @@ void ThreadPool::finishTask(std::unique_lock<std::mutex>&) {
 
 void ThreadPool::run(std::vector<std::function<void()>> tasks) {
   if (tasks.empty()) return;
+  if (currentlyDraining == this) {
+    // A task of this pool waiting on done_ could never observe pending_
+    // reach zero: its own task is part of the count. This holds whether the
+    // task runs on a worker or on a run() caller helping to drain — fail
+    // fast instead of deadlocking.
+    throw std::logic_error(
+        "ThreadPool::run is not reentrant from inside one of its own tasks");
+  }
   std::unique_lock<std::mutex> lock(mu_);
   pending_ += tasks.size();
   for (auto& t : tasks) queue_.push_back(std::move(t));

@@ -34,7 +34,14 @@ class ThreadPool {
   /// Runs every task, using the calling thread as an extra worker, and
   /// blocks until all of them completed. If any task threw, the first
   /// exception (in completion order) is rethrown here after the batch has
-  /// fully drained — tasks are never abandoned mid-batch.
+  /// fully drained — tasks are never abandoned mid-batch. An empty batch
+  /// returns immediately. run() is NOT reentrant: calling it from inside a
+  /// task of this pool — whether the task runs on a worker thread or on the
+  /// run() caller helping to drain — would deadlock the batch-completion
+  /// barrier on that task's own unfinished count, so it is rejected with
+  /// std::logic_error instead, which run() then surfaces to the outer caller
+  /// through the usual first-exception rethrow. Nested run() on a
+  /// *different* pool is fine.
   void run(std::vector<std::function<void()>> tasks);
 
  private:

@@ -45,7 +45,7 @@ compare() {
   done
 }
 
-for prog in middleblock switch; do
+for prog in middleblock switch dash beaucoup; do
   compare "fuzz $prog" \
     -- fuzz "$PROGRAMS/$prog.p4l" --updates 60 --seed 1
   compare "specialize $prog" \

@@ -61,6 +61,16 @@ expect_arg_error "unknown fault plan key" \
   -- difftest "$PROG" --fault-plan bogus-key=3
 expect_arg_error "extra positional argument" \
   -- difftest "$PROG" extra.p4l
+expect_arg_error "missing value for --devices" \
+  -- fleet "$PROG" --devices
+expect_arg_error "non-numeric --devices" \
+  -- fleet "$PROG" --devices lots
+expect_arg_error "zero --devices rejected" \
+  -- fleet "$PROG" --devices 0
+expect_arg_error "non-numeric --queue-cap" \
+  -- fleet "$PROG" --queue-cap big
+expect_arg_error "bad fault plan on fleet" \
+  -- fleet "$PROG" --fault-plan bogus-key=3
 
 # Usage (no command / unknown command) also exits 2, but multi-line.
 "$FLAYC" >/dev/null 2>&1
@@ -77,6 +87,12 @@ expect_ok "difftest with a custom fault spec" \
 expect_ok "crashtest round-trips with a torn tail" \
   -- crashtest "$PROG" --updates 10 --kill-points 3 --checkpoint-every 4 \
      --seed 1 --torn-tail
+expect_ok "fleet drains a faulty 3-device fleet to identical digests" \
+  -- fleet "$PROG" --devices 3 --updates 10 --jobs 2 --seed 1 \
+     --fault-plan flaky
+expect_ok "fleet with per-device caches and a queue cap" \
+  -- fleet "$PROG" --devices 2 --updates 10 --seed 1 --queue-cap 4 \
+     --no-shared-cache
 
 if [ "$failures" -ne 0 ]; then
   note "$failures check(s) failed"

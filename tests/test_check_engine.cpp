@@ -6,8 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <random>
 #include <stdexcept>
 #include <string>
+#include <thread>
 
 #include "expr/analysis.h"
 #include "expr/canonical.h"
@@ -72,6 +74,51 @@ TEST(ThreadPool, ZeroThreadsStillWorks) {
   std::vector<std::function<void()>> tasks{[&hits] { hits.fetch_add(1); }};
   pool.run(std::move(tasks));
   EXPECT_EQ(hits.load(), 1);
+}
+
+TEST(ThreadPool, EmptyBatchReturnsImmediately) {
+  support::ThreadPool pool(2);
+  pool.run({});
+  // Still usable afterwards.
+  std::atomic<int> hits{0};
+  pool.run({[&hits] { hits.fetch_add(1); }});
+  EXPECT_EQ(hits.load(), 1);
+}
+
+// A worker waiting for its own batch to finish could never observe the
+// pending count reach zero — its own task is part of it. run() rejects the
+// reentrant call instead of deadlocking, and the rejection surfaces through
+// the outer run() like any other task exception.
+TEST(ThreadPool, NestedRunOnSamePoolIsRejected) {
+  support::ThreadPool pool(2);
+  std::atomic<bool> threw{false};
+  std::vector<std::function<void()>> tasks{[&pool, &threw] {
+    std::vector<std::function<void()>> inner{[] {}};
+    try {
+      pool.run(std::move(inner));
+    } catch (const std::logic_error&) {
+      threw = true;
+      throw;
+    }
+  }};
+  EXPECT_THROW(pool.run(std::move(tasks)), std::logic_error);
+  EXPECT_TRUE(threw.load());
+}
+
+// Nesting across *distinct* pools is fine (and load-bearing: fleet drain
+// tasks run controllers whose check engines own their own pools).
+TEST(ThreadPool, NestedRunOnDifferentPoolWorks) {
+  support::ThreadPool outer(2);
+  support::ThreadPool inner(2);
+  std::atomic<int> hits{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 4; ++i) {
+    tasks.push_back([&inner, &hits] {
+      inner.run({[&hits] { hits.fetch_add(1); }});
+    });
+  }
+  outer.run(std::move(tasks));
+  EXPECT_EQ(hits.load(), 4);
 }
 
 // ---------------------------------------------------------------------------
@@ -169,6 +216,60 @@ TEST(VerdictCache, NearIdenticalRenderingsNeverCrossTalk) {
   }
   EXPECT_FALSE(cache.lookup("(eq x #x" + std::to_string(kEntries) + ")")
                    .has_value());
+}
+
+// Thread-safety hammer: concurrent inserts, lookups, and scope
+// invalidations over overlapping keys and scopes (this runs under TSan in
+// CI). The semantic invariant a data race would break: a hit can only ever
+// return the verdict some thread inserted for exactly that rendering —
+// here, the bitvector value is a pure function of the key.
+TEST(VerdictCache, ConcurrentHammerKeepsVerdictsConsistent) {
+  VerdictCache cache;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 3000;
+  constexpr int kKeys = 64;
+  auto keyOf = [](int k) { return "(eq x #x" + std::to_string(k) + ")"; };
+  auto valueOf = [](int k) {
+    CachedVerdict v;
+    v.kind = CachedVerdict::Kind::kBvConst;
+    v.value = BitVec(32, static_cast<uint64_t>(k));
+    return v;
+  };
+  std::atomic<int> wrongHits{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::mt19937 rng(1000 + t);
+      for (int i = 0; i < kIters; ++i) {
+        int k = static_cast<int>(rng() % kKeys);
+        switch (rng() % 4) {
+          case 0:
+          case 1: {
+            auto hit = cache.lookup(keyOf(k));
+            if (hit.has_value() &&
+                hit->value.toUint64() != static_cast<uint64_t>(k)) {
+              wrongHits.fetch_add(1);
+            }
+            break;
+          }
+          case 2:
+            cache.insert(keyOf(k), valueOf(k),
+                         std::vector<std::string>{"s" + std::to_string(k % 8)});
+            break;
+          default:
+            cache.invalidateScope("s" + std::to_string(k % 8));
+            break;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(wrongHits.load(), 0);
+  // The cache is still coherent afterwards.
+  cache.insert("post-hammer", boolVerdictOf(true), scopes({"s0"}));
+  EXPECT_TRUE(cache.lookup("post-hammer").has_value());
+  cache.invalidateScope("s0");
+  EXPECT_FALSE(cache.lookup("post-hammer").has_value());
 }
 
 TEST(VerdictCache, OverflowEvictsWholesaleAndKeepsWorking) {

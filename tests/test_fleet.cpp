@@ -1,0 +1,269 @@
+// Tests for the multi-device fleet controller: broadcast/drain convergence,
+// per-device fault isolation (bounded queues, degraded members), the shared
+// verdict cache, and fleet-wide crash recovery — every device's journal
+// replays independently and lands on the digest of an uninterrupted run.
+
+#include "fleet/fleet.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/fuzzer.h"
+#include "net/workloads.h"
+#include "obs/obs.h"
+
+namespace flay::fleet {
+namespace {
+
+namespace fs = std::filesystem;
+
+p4::CheckedProgram load(const char* name) {
+  return p4::loadProgramFromFile(net::programPath(name));
+}
+
+/// Fresh state directory per test; removed on scope exit.
+class StateDir {
+ public:
+  explicit StateDir(const char* tag) {
+    path_ = fs::temp_directory_path() /
+            (std::string("flay-fleet-") + tag + "-" +
+             std::to_string(::getpid()));
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~StateDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  std::string str() const { return path_.string(); }
+
+ private:
+  fs::path path_;
+};
+
+TEST(Fleet, BroadcastDrainConvergesEveryDevice) {
+  p4::CheckedProgram checked = load("middleblock");
+  auto script = net::fuzzUpdateSequence(checked, 16, /*seed=*/1);
+
+  FleetOptions opts;
+  opts.devices = 4;
+  opts.jobs = 2;
+  FleetController fc(checked, opts);
+  ASSERT_EQ(fc.deviceCount(), 4u);
+  EXPECT_EQ(fc.deviceName(0), "dev0");
+  EXPECT_EQ(fc.deviceName(3), "dev3");
+
+  for (const auto& u : script) {
+    EXPECT_EQ(fc.broadcast(u), 4u);
+  }
+  fc.drain();
+
+  std::string first = fc.stateDigest(0);
+  for (size_t i = 0; i < fc.deviceCount(); ++i) {
+    DeviceStatus s = fc.status(i);
+    EXPECT_EQ(s.applied, script.size()) << s.name;
+    EXPECT_EQ(s.rejected, 0u) << s.name;
+    EXPECT_EQ(s.dropped, 0u) << s.name;
+    EXPECT_EQ(s.queued, 0u) << s.name;
+    EXPECT_FALSE(s.failed) << s.name;
+    EXPECT_EQ(fc.stateDigest(i), first) << s.name;
+  }
+  EXPECT_EQ(fc.failedDevices(), 0u);
+}
+
+// Identical broadcast streams must converge to identical committed state no
+// matter what faults each device injects along the way — the controller's
+// state digest tracks the committed updates, not the install mishaps.
+TEST(Fleet, FaultyDevicesStillConverge) {
+  p4::CheckedProgram checked = load("middleblock");
+  auto script = net::fuzzUpdateSequence(checked, 16, /*seed=*/2);
+
+  FleetOptions opts;
+  opts.devices = 4;
+  opts.jobs = 2;
+  opts.faultPlan = controller::FaultPlan::parse("fail-first=2,flaky=0.2");
+  FleetController fc(checked, opts);
+  for (const auto& u : script) fc.broadcast(u);
+  fc.drain();
+
+  EXPECT_EQ(fc.failedDevices(), 0u);
+  std::string first = fc.stateDigest(0);
+  for (size_t i = 1; i < fc.deviceCount(); ++i) {
+    EXPECT_EQ(fc.stateDigest(i), first) << fc.deviceName(i);
+  }
+}
+
+TEST(Fleet, BoundedQueueDropsInsteadOfBlocking) {
+  p4::CheckedProgram checked = load("middleblock");
+  auto script = net::fuzzUpdateSequence(checked, 10, /*seed=*/3);
+
+  FleetOptions opts;
+  opts.devices = 2;
+  opts.queueCapacity = 4;
+  FleetController fc(checked, opts);
+  size_t accepted = 0;
+  for (const auto& u : script) accepted += fc.broadcast(u);
+  // Capacity 4 per device: the first 4 broadcasts land everywhere, the
+  // remaining 6 are dropped everywhere (and counted), never blocking.
+  EXPECT_EQ(accepted, 2u * 4u);
+  fc.drain();
+  for (size_t i = 0; i < fc.deviceCount(); ++i) {
+    DeviceStatus s = fc.status(i);
+    EXPECT_EQ(s.applied, 4u) << s.name;
+    EXPECT_EQ(s.dropped, 6u) << s.name;
+    EXPECT_FALSE(s.failed) << s.name;
+  }
+}
+
+// A device stuck in a sustained install outage degrades (pinning its last
+// good program) but must keep committing updates and must not hold up the
+// rest of the fleet.
+TEST(Fleet, DegradedDeviceDoesNotStallTheFleet) {
+  p4::CheckedProgram checked = load("middleblock");
+  auto script = net::fuzzUpdateSequence(checked, 16, /*seed=*/4);
+
+  FleetOptions opts;
+  opts.devices = 3;
+  opts.jobs = 2;
+  opts.faultPlan = controller::FaultPlan::parse("outage=1+1000");
+  opts.controller.maxInstallRetries = 1;
+  opts.controller.sleepOnBackoff = false;
+  FleetController fc(checked, opts);
+  for (const auto& u : script) fc.broadcast(u);
+  fc.drain();
+
+  EXPECT_GE(fc.degradedDevices(), 1u);
+  EXPECT_EQ(fc.failedDevices(), 0u);
+  obs::Registry& reg = obs::Registry::global();
+  EXPECT_EQ(reg.counter("fleet.degraded_devices").value(),
+            fc.degradedDevices());
+  std::string first = fc.stateDigest(0);
+  for (size_t i = 0; i < fc.deviceCount(); ++i) {
+    DeviceStatus s = fc.status(i);
+    EXPECT_EQ(s.applied, script.size()) << s.name;
+    EXPECT_EQ(s.queued, 0u) << s.name;
+    EXPECT_EQ(fc.stateDigest(i), first) << s.name;
+  }
+}
+
+TEST(Fleet, SharedCacheIsExposedAndOptional) {
+  p4::CheckedProgram checked = load("middleblock");
+  auto script = net::fuzzUpdateSequence(checked, 8, /*seed=*/5);
+
+  FleetOptions shared;
+  shared.devices = 2;
+  FleetController withCache(checked, shared);
+  ASSERT_NE(withCache.sharedCache(), nullptr);
+  for (const auto& u : script) withCache.broadcast(u);
+  withCache.drain();
+  EXPECT_GT(withCache.sharedCache()->size(), 0u);
+
+  FleetOptions priv = shared;
+  priv.sharedVerdictCache = false;
+  FleetController withoutCache(checked, priv);
+  EXPECT_EQ(withoutCache.sharedCache(), nullptr);
+  for (const auto& u : script) withoutCache.broadcast(u);
+  withoutCache.drain();
+
+  // The cache is an accelerator, never a semantic input.
+  EXPECT_EQ(withCache.fleetDigest(), withoutCache.fleetDigest());
+}
+
+TEST(Fleet, StatusOfUnknownDeviceThrows) {
+  p4::CheckedProgram checked = load("middleblock");
+  FleetOptions opts;
+  opts.devices = 1;
+  FleetController fc(checked, opts);
+  EXPECT_THROW(fc.status(7), std::out_of_range);
+  EXPECT_THROW(fc.stateDigest(7), std::out_of_range);
+}
+
+// The fleet-wide crash-recovery acceptance check: kill a 5-device fleet in
+// the middle of a broadcast stream (destruction with no shutdown work),
+// restart over the same state root, finish the stream, and require every
+// device digest — and the fleet digest — to match an uninterrupted run.
+TEST(Fleet, KillMidStreamRecoversEveryDeviceJournal) {
+  p4::CheckedProgram checked = load("middleblock");
+  auto script = net::fuzzUpdateSequence(checked, 20, /*seed=*/6);
+  const size_t kill = script.size() / 2;
+
+  FleetOptions opts;
+  opts.devices = 5;
+  opts.jobs = 2;
+  opts.controller.checkpointEvery = 4;
+
+  // Reference: one uninterrupted run (in-memory; journals are irrelevant).
+  std::string wantFleet;
+  std::vector<std::string> wantDevice;
+  {
+    FleetController ref(checked, opts);
+    for (const auto& u : script) ref.broadcast(u);
+    ref.drain();
+    wantFleet = ref.fleetDigest();
+    for (size_t i = 0; i < ref.deviceCount(); ++i) {
+      wantDevice.push_back(ref.stateDigest(i));
+    }
+  }
+
+  StateDir root("kill");
+  FleetOptions durable = opts;
+  durable.stateDirRoot = root.str();
+  {
+    FleetController fc(checked, durable);
+    for (size_t j = 0; j < kill; ++j) fc.broadcast(script[j]);
+    fc.drain();
+    // Destroyed here with updates still to come and no checkpoint call —
+    // the moral equivalent of SIGKILL mid-stream. Durability must come from
+    // the per-record journal fsyncs alone.
+  }
+  FleetController recovered(checked, durable);
+  uint64_t replayed = 0;
+  for (size_t i = 0; i < recovered.deviceCount(); ++i) {
+    replayed += recovered.status(i).replayed;
+  }
+  EXPECT_GT(replayed, 0u);
+  for (size_t j = kill; j < script.size(); ++j) recovered.broadcast(script[j]);
+  recovered.drain();
+
+  ASSERT_EQ(recovered.deviceCount(), wantDevice.size());
+  for (size_t i = 0; i < recovered.deviceCount(); ++i) {
+    EXPECT_EQ(recovered.stateDigest(i), wantDevice[i])
+        << recovered.deviceName(i);
+  }
+  EXPECT_EQ(recovered.fleetDigest(), wantFleet);
+}
+
+// checkpointAll bounds the replay: after a checkpoint, a restart replays
+// only the updates committed since.
+TEST(Fleet, CheckpointAllBoundsReplay) {
+  p4::CheckedProgram checked = load("middleblock");
+  auto script = net::fuzzUpdateSequence(checked, 12, /*seed=*/7);
+
+  StateDir root("ckpt");
+  FleetOptions opts;
+  opts.devices = 2;
+  opts.stateDirRoot = root.str();
+  opts.controller.checkpointEvery = 1000;  // only explicit checkpoints
+  std::string want;
+  {
+    FleetController fc(checked, opts);
+    for (const auto& u : script) fc.broadcast(u);
+    fc.drain();
+    fc.checkpointAll();
+    want = fc.fleetDigest();
+  }
+  FleetController recovered(checked, opts);
+  for (size_t i = 0; i < recovered.deviceCount(); ++i) {
+    EXPECT_EQ(recovered.status(i).replayed, 0u) << recovered.deviceName(i);
+  }
+  EXPECT_EQ(recovered.fleetDigest(), want);
+}
+
+}  // namespace
+}  // namespace flay::fleet

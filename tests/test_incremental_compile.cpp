@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <random>
+#include <sstream>
+
 #include "flay/specializer.h"
 #include "net/workloads.h"
+#include "p4/typecheck.h"
 
 namespace flay::tofino {
 namespace {
@@ -134,6 +138,213 @@ TEST(IncrementalCompile, FirstCallWithoutBaselineFallsBack) {
   CompileResult inc = compiler.incrementalCompile(checked, {"x"});
   EXPECT_TRUE(inc.fits);
   EXPECT_TRUE(compiler.lastFellBackToFull());
+}
+
+// ---------------------------------------------------------------------------
+// Property-based coverage: randomized programs × random changed sets.
+// ---------------------------------------------------------------------------
+
+/// Generates a random but valid P4-lite program: `numTables` tables in one
+/// control, each with an action writing its own metadata field, and keys
+/// drawn either from header fields (exact/ternary/lpm) or from an *earlier*
+/// table's metadata field (exact) — the latter creates random write→read
+/// dependency chains that constrain stage placement.
+/// With `dense` set, every table leads with a ternary header key and sizes
+/// skew large: on PipelineModel::small() (8 TCAM blocks per stage — one
+/// 4096-entry ternary table fills a stage) such programs straddle the
+/// feasibility boundary, so the sweep exercises does-not-fit programs and
+/// pinning failures, not just roomy placements.
+std::string randomProgram(std::mt19937& rng, size_t numTables,
+                          bool dense = false) {
+  static const char* kKinds[] = {"exact", "ternary", "lpm"};
+  static const int kSizes[] = {64, 256, 1024, 4096};
+  static const int kDenseSizes[] = {1024, 4096, 4096, 4096};
+  std::ostringstream out;
+  out << "header h_t { bit<16> f0; bit<16> f1; bit<16> f2; bit<16> f3; }\n"
+      << "struct headers { h_t h; }\n"
+      << "struct metadata {";
+  for (size_t i = 0; i < numTables; ++i) out << " bit<16> m" << i << ";";
+  out << " }\n"
+      << "parser GenParser {\n"
+      << "  state start { extract(hdr.h); transition accept; }\n"
+      << "}\n"
+      << "control Ing {\n";
+  for (size_t i = 0; i < numTables; ++i) {
+    out << "  action set_m" << i << "(bit<16> p) { meta.m" << i << " = p; }\n"
+        << "  table t" << i << " {\n    key = {";
+    // Dense tables stay at exactly two 16-bit keys: 32 match bits fit one
+    // 44-bit TCAM block width, so pressure comes from entry depth, not from
+    // unplaceable double-wide tables.
+    size_t numKeys = dense ? 2 : 1 + rng() % 2;
+    for (size_t k = 0; k < numKeys; ++k) {
+      if (dense && k == 0) {
+        out << " hdr.h.f" << rng() % 4 << " : ternary;";
+      } else if (i > 0 && rng() % 2 == 0) {
+        out << " meta.m" << rng() % i << " : exact;";
+      } else {
+        out << " hdr.h.f" << rng() % 4 << " : " << kKinds[rng() % 3] << ";";
+      }
+    }
+    out << " }\n    actions = { set_m" << i << "; noop; }\n"
+        << "    default_action = noop;\n"
+        << "    size = " << (dense ? kDenseSizes : kSizes)[rng() % 4]
+        << ";\n  }\n";
+  }
+  out << "  apply {\n";
+  for (size_t i = 0; i < numTables; ++i) {
+    out << "    t" << i << ".apply();\n";
+  }
+  out << "    sm.egress_spec = 1;\n  }\n}\n"
+      << "deparser GenDeparser { emit(hdr.h); }\n"
+      << "pipeline(GenParser, Ing, GenDeparser);\n";
+  return out.str();
+}
+
+std::map<std::string, uint32_t> stageMap(const CompileResult& r) {
+  std::map<std::string, uint32_t> m;
+  for (size_t s = 0; s < r.stageAssignment.size(); ++s) {
+    for (const auto& name : r.stageAssignment[s]) {
+      m[name] = static_cast<uint32_t>(s + 1);
+    }
+  }
+  return m;
+}
+
+std::set<std::string> randomChangedSet(std::mt19937& rng, size_t numTables) {
+  std::set<std::string> changed;
+  size_t count = rng() % (numTables + 1);
+  for (size_t i = 0; i < count; ++i) {
+    changed.insert("Ing.t" + std::to_string(rng() % numTables));
+  }
+  return changed;
+}
+
+struct PropertyOutcome {
+  bool programFits = false;
+  size_t fallbacks = 0;  // full-compile fallbacks across the rounds
+};
+
+/// Core property check, shared across models: for random changed sets,
+/// incremental must agree with a fresh full compile on `fits`, every fitting
+/// placement must be dependency- and resource-valid, an empty change set is
+/// a no-op, and — when the compiler did not fall back and did not have to
+/// grow the movable set (constraint-driven unpinning) — every unit outside
+/// the changed set keeps its exact baseline stage.
+void checkIncrementalProperties(const p4::CheckedProgram& checked,
+                                const PipelineModel& model, std::mt19937& rng,
+                                size_t numTables, PropertyOutcome& outcome) {
+  IncrementalPipelineCompiler inc(model, fastOptions());
+  IncrementalPipelineCompiler ref(model, fastOptions());
+  CompileResult base = inc.fullCompile(checked);
+  CompileResult full = ref.fullCompile(checked);
+  ASSERT_EQ(base.fits, full.fits)
+      << "two full compiles disagree: " << base.error << " / " << full.error;
+  if (!base.fits) {
+    // No feasible baseline: incremental has nothing to pin against and must
+    // take the monolithic fallback, agreeing that the program does not fit.
+    CompileResult r = inc.incrementalCompile(checked, {"Ing.t0"});
+    EXPECT_FALSE(r.fits);
+    EXPECT_TRUE(inc.lastFellBackToFull());
+    ++outcome.fallbacks;
+    return;
+  }
+  outcome.programFits = true;
+  expectValidPlacement(checked, base, model);
+  auto baseline = stageMap(base);
+  for (int round = 0; round < 3; ++round) {
+    std::set<std::string> changed = randomChangedSet(rng, numTables);
+    CompileResult r = inc.incrementalCompile(checked, changed);
+    EXPECT_EQ(r.fits, full.fits) << "incremental lost a program full fits";
+    ASSERT_TRUE(r.fits) << r.error;
+    expectValidPlacement(checked, r, model);
+    auto placed = stageMap(r);
+    ASSERT_EQ(placed.size(), baseline.size());
+    if (changed.empty()) {
+      EXPECT_FALSE(inc.lastFellBackToFull());
+      EXPECT_EQ(inc.lastReplacedUnits(), 0u);
+    }
+    if (inc.lastFellBackToFull()) ++outcome.fallbacks;
+    if (!inc.lastFellBackToFull()) {
+      size_t moved = 0;
+      for (const auto& [name, stage] : placed) {
+        if (stage != baseline.at(name)) ++moved;
+      }
+      EXPECT_LE(moved, inc.lastReplacedUnits())
+          << "more units moved than were re-placed";
+      size_t changedPresent = 0;
+      for (const auto& name : changed) changedPresent += baseline.count(name);
+      if (inc.lastReplacedUnits() == changedPresent) {
+        for (const auto& [name, stage] : placed) {
+          if (changed.count(name) == 0) {
+            EXPECT_EQ(stage, baseline.at(name)) << name << " moved while pinned";
+          }
+        }
+      }
+    }
+    // Later rounds pin against the placement the compiler just produced.
+    baseline = placed;
+  }
+}
+
+TEST(IncrementalCompile, PropertyRandomProgramsAgreeWithFull) {
+  for (uint32_t seed = 1; seed <= 10; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    std::mt19937 rng(seed);
+    size_t numTables = 4 + rng() % 7;
+    p4::CheckedProgram checked =
+        p4::loadProgramFromString(randomProgram(rng, numTables));
+    PropertyOutcome outcome;
+    checkIncrementalProperties(checked, PipelineModel{}, rng, numTables,
+                               outcome);
+    // The roomy default model must fit every generated program.
+    EXPECT_TRUE(outcome.programFits);
+  }
+}
+
+TEST(IncrementalCompile, PropertyRandomProgramsOnSmallModel) {
+  // The small model's tight TCAM/table budgets make some generated programs
+  // infeasible and make pinning fail more often, exercising the unpin-retry
+  // and full-fallback paths that the roomy default model rarely reaches.
+  for (uint32_t seed = 1; seed <= 12; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    std::mt19937 rng(seed ^ 0x5eed);
+    size_t numTables = 4 + rng() % 7;
+    p4::CheckedProgram checked =
+        p4::loadProgramFromString(randomProgram(rng, numTables));
+    PropertyOutcome outcome;
+    checkIncrementalProperties(checked, PipelineModel::small(), rng,
+                               numTables, outcome);
+    EXPECT_TRUE(outcome.programFits);
+  }
+}
+
+TEST(IncrementalCompile, PropertyDenseProgramsHitInfeasibilityAndFallback) {
+  // Dense generated programs on the small model straddle the feasibility
+  // boundary: one 4096-entry ternary table fills a stage's TCAM, so the
+  // sweep must include both programs that do not fit at all (incremental
+  // agrees via fallback) and fitting programs whose changes the compiler
+  // still handles with a valid placement.
+  size_t fitting = 0;
+  size_t infeasible = 0;
+  size_t fallbacks = 0;
+  for (uint32_t seed = 1; seed <= 12; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    std::mt19937 rng(seed * 977u);
+    size_t numTables = 10 + rng() % 7;
+    p4::CheckedProgram checked = p4::loadProgramFromString(
+        randomProgram(rng, numTables, /*dense=*/true));
+    PropertyOutcome outcome;
+    checkIncrementalProperties(checked, PipelineModel::small(), rng,
+                               numTables, outcome);
+    fitting += outcome.programFits;
+    infeasible += !outcome.programFits;
+    fallbacks += outcome.fallbacks;
+  }
+  // Fixed seeds and a deterministic compiler: the sweep is reproducible, so
+  // both sides of the boundary must stay represented.
+  EXPECT_GT(fitting, 0u);
+  EXPECT_GT(infeasible, 0u);
+  EXPECT_GT(fallbacks, 0u);
 }
 
 TEST(IncrementalCompile, IncrementalIsFasterThanMonolithic) {

@@ -23,6 +23,14 @@
 //                                  journal, and require the recovered state
 //                                  digest to match an uninterrupted run
 //                                  (non-zero exit on any mismatch)
+//   flayc fleet      <prog.p4l>    drive a fleet of N simulated devices:
+//                                  broadcast a fuzzed update stream to every
+//                                  device, drain the per-device queues
+//                                  concurrently over a shared thread pool
+//                                  with one verdict cache across all
+//                                  services, and require every device to end
+//                                  in the identical state (non-zero exit on
+//                                  divergence or a failed device)
 //
 // Options:
 //   --skip-parser       analyze without symbolic parser execution
@@ -49,9 +57,16 @@
 //   --no-verdict-cache  disable the canonical-digest verdict cache (A/B
 //                       switch; verdicts are identical either way)
 //   --kill-points K     crashtest: number of simulated-SIGKILL positions (20)
-//   --checkpoint-every C  crashtest: updates between checkpoints (16)
+//   --checkpoint-every C  crashtest/fleet: updates between checkpoints (16)
 //   --state-dir DIR     crashtest: journal/checkpoint directory (default: a
 //                       fresh directory under the current one, removed after)
+//                       fleet: per-device journal root (default: in-memory)
+//   --devices N         fleet: number of managed devices (default 4)
+//   --queue-cap Q       fleet: per-device work-queue capacity; updates
+//                       enqueued beyond it are dropped, never blocking the
+//                       rest of the fleet (default 0 = unbounded)
+//   --no-shared-cache   fleet: give every device a private verdict cache
+//                       instead of the fleet-wide shared one (A/B switch)
 //   --torn-tail         crashtest: append a torn half-record to the journal
 //                       before recovery (simulates a write cut by the crash)
 //   --stats[=json]      print the observability registry (counters and
@@ -64,6 +79,7 @@
 #include <dirent.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -74,6 +90,7 @@
 
 #include "controller/controller.h"
 #include "flay/specializer.h"
+#include "fleet/fleet.h"
 #include "net/fuzzer.h"
 #include "net/workloads.h"
 #include "obs/obs.h"
@@ -89,6 +106,7 @@ namespace runtime = flay::runtime;
 namespace obs = flay::obs;
 namespace oracle = flay::oracle;
 namespace ctrl = flay::controller;
+namespace fleet = flay::fleet;
 
 namespace {
 
@@ -113,6 +131,9 @@ struct Options {
   size_t killPoints = 20;
   size_t checkpointEvery = 16;
   std::string stateDir;
+  size_t devices = 4;
+  size_t queueCap = 0;
+  bool sharedCache = true;
   bool tornTail = false;
   bool stats = false;
   bool statsJson = false;
@@ -123,7 +144,7 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: flayc "
-      "<check|print|analyze|compile|specialize|fuzz|difftest|crashtest> "
+      "<check|print|analyze|compile|specialize|fuzz|difftest|crashtest|fleet> "
       "<prog.p4l> [--skip-parser] [--iterations N] [--config NAME]\n"
       "             [--updates N] [--seed S] [--packets M] [--no-shrink]\n"
       "             [--replay-updates i,j,k|none] [--packet-hex HEX] "
@@ -132,6 +153,7 @@ int usage() {
       "             [--jobs N] [--no-verdict-cache]\n"
       "             [--kill-points K] [--checkpoint-every C] "
       "[--state-dir DIR] [--torn-tail]\n"
+      "             [--devices N] [--queue-cap Q] [--no-shared-cache]\n"
       "             [--stats[=json]] [--trace-out FILE]\n");
   return 2;
 }
@@ -187,6 +209,19 @@ uint64_t parseNumber(const std::string& s, const char* flag) {
     argError(std::string("bad number '") + s + "' for " + flag);
   }
   return std::strtoull(s.c_str(), nullptr, 10);
+}
+
+/// A built-in plan name (none, transient, flaky, ...) or a "key=value,..."
+/// spec; a malformed spec is an argument error (one line, exit 2).
+ctrl::FaultPlan parseFaultPlan(const std::string& spec) {
+  for (const auto& [name, plan] : ctrl::FaultPlan::builtinPlans()) {
+    if (name == spec) return plan;
+  }
+  try {
+    return ctrl::FaultPlan::parse(spec);
+  } catch (const std::invalid_argument& e) {
+    argError(e.what());
+  }
 }
 
 core::SpecializerOptions specializerOptions(const Options& opts) {
@@ -435,21 +470,7 @@ int cmdDifftest(const p4::CheckedProgram& checked, const Options& opts) {
     return 2;
   }
   if (!opts.faultPlan.empty()) {
-    bool named = false;
-    for (const auto& [name, plan] : ctrl::FaultPlan::builtinPlans()) {
-      if (name == opts.faultPlan) {
-        ooptions.faultPlan = plan;
-        named = true;
-        break;
-      }
-    }
-    if (!named) {
-      try {
-        ooptions.faultPlan = ctrl::FaultPlan::parse(opts.faultPlan);
-      } catch (const std::invalid_argument& e) {
-        argError(e.what());
-      }
-    }
+    ooptions.faultPlan = parseFaultPlan(opts.faultPlan);
   }
 
   oracle::DifferentialOracle diff(checked, ooptions, opts.file);
@@ -601,6 +622,97 @@ int cmdCrashtest(const p4::CheckedProgram& checked, const Options& opts) {
   return 0;
 }
 
+int cmdFleet(const p4::CheckedProgram& checked, const Options& opts) {
+  fleet::FleetOptions fopts;
+  fopts.devices = opts.devices;
+  fopts.jobs = opts.jobs;
+  fopts.queueCapacity = opts.queueCap;
+  fopts.sharedVerdictCache = opts.sharedCache;
+  fopts.stateDirRoot = opts.stateDir;
+  if (!opts.faultPlan.empty()) fopts.faultPlan = parseFaultPlan(opts.faultPlan);
+  fopts.controller.checkpointEvery = opts.checkpointEvery;
+  fopts.controller.seed = opts.seed;
+  fopts.controller.flay.analysis.analyzeParser = !opts.skipParser;
+  // --jobs means fleet-level concurrency here; each device's own
+  // semantics-check engine stays single-threaded so N draining devices
+  // don't oversubscribe the machine N*jobs ways.
+  fopts.controller.specializer.useVerdictCache = opts.verdictCache;
+  fopts.controller.specializer.jobs = 1;
+  fopts.deviceCompiler.searchIterations = opts.iterations;
+
+  std::vector<runtime::Update> script =
+      net::fuzzUpdateSequence(checked, opts.updates, opts.seed);
+
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point t0 = Clock::now();
+  fleet::FleetController fc(checked, fopts);
+  Clock::time_point t1 = Clock::now();
+  for (const auto& u : script) fc.broadcast(u);
+  fc.drain();
+  Clock::time_point t2 = Clock::now();
+
+  auto seconds = [](Clock::duration d) {
+    return std::chrono::duration<double>(d).count();
+  };
+  std::printf("fleet: %zu device(s), %zu update(s) broadcast, jobs=%zu, "
+              "shared-cache=%s\n",
+              fc.deviceCount(), script.size(), opts.jobs,
+              opts.sharedCache ? "on" : "off");
+  uint64_t applied = 0, rejected = 0, dropped = 0;
+  for (size_t i = 0; i < fc.deviceCount(); ++i) {
+    fleet::DeviceStatus s = fc.status(i);
+    applied += s.applied;
+    rejected += s.rejected;
+    dropped += s.dropped;
+    std::printf("  %s: applied=%llu rejected=%llu dropped=%llu retries=%llu "
+                "replayed=%llu%s%s\n",
+                s.name.c_str(), static_cast<unsigned long long>(s.applied),
+                static_cast<unsigned long long>(s.rejected),
+                static_cast<unsigned long long>(s.dropped),
+                static_cast<unsigned long long>(s.retries),
+                static_cast<unsigned long long>(s.replayed),
+                s.degraded ? " DEGRADED" : "", s.failed ? " FAILED" : "");
+  }
+  std::printf("  aggregate: %llu applied, %llu rejected, %llu dropped; "
+              "%zu degraded, %zu failed\n",
+              static_cast<unsigned long long>(applied),
+              static_cast<unsigned long long>(rejected),
+              static_cast<unsigned long long>(dropped), fc.degradedDevices(),
+              fc.failedDevices());
+  double drainSecs = seconds(t2 - t1);
+  std::printf("  throughput: %.1f updates/s (bring-up %.2f s, drain %.2f s)\n",
+              drainSecs > 0 ? applied / drainSecs : 0.0, seconds(t1 - t0),
+              drainSecs);
+
+  if (fc.failedDevices() != 0) {
+    std::fprintf(stderr, "fleet: FAILED — %zu device(s) quarantined\n",
+                 fc.failedDevices());
+    return 1;
+  }
+  if (dropped != 0) {
+    // A capped queue legitimately drops updates, so the devices saw
+    // different streams; equal digests are no longer an invariant.
+    std::printf("  state digests: not compared (%llu update(s) dropped)\n",
+                static_cast<unsigned long long>(dropped));
+    return 0;
+  }
+  // Every device received the identical stream, so every device must end in
+  // the identical committed state — regardless of its fault plan.
+  std::string first = fc.stateDigest(0);
+  for (size_t i = 1; i < fc.deviceCount(); ++i) {
+    if (fc.stateDigest(i) != first) {
+      std::fprintf(stderr,
+                   "fleet: DIVERGENCE — %s digest %s != %s digest %s\n",
+                   fc.deviceName(i).c_str(), fc.stateDigest(i).c_str(),
+                   fc.deviceName(0).c_str(), first.c_str());
+      return 1;
+    }
+  }
+  std::printf("  state digests: all %zu device(s) identical (%s), fleet %s\n",
+              fc.deviceCount(), first.c_str(), fc.fleetDigest().c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -655,6 +767,13 @@ int main(int argc, char** argv) {
           parseNumber(value(&i, arg), "--checkpoint-every");
     } else if (arg == "--state-dir") {
       opts.stateDir = value(&i, arg);
+    } else if (arg == "--devices") {
+      opts.devices = parseNumber(value(&i, arg), "--devices");
+      if (opts.devices == 0) argError("--devices needs at least 1");
+    } else if (arg == "--queue-cap") {
+      opts.queueCap = parseNumber(value(&i, arg), "--queue-cap");
+    } else if (arg == "--no-shared-cache") {
+      opts.sharedCache = false;
     } else if (arg == "--torn-tail") {
       opts.tornTail = true;
     } else if (arg == "--stats") {
@@ -703,6 +822,8 @@ int main(int argc, char** argv) {
       rc = cmdDifftest(checked, opts);
     } else if (opts.command == "crashtest") {
       rc = cmdCrashtest(checked, opts);
+    } else if (opts.command == "fleet") {
+      rc = cmdFleet(checked, opts);
     } else {
       return usage();
     }
