@@ -243,6 +243,84 @@ ApplyResult FaultTolerantController::applyBatch(
   return result;
 }
 
+BulkApplyResult FaultTolerantController::applyBulk(
+    const flay::UpdateSource& source, flay::BulkLoadOptions options) {
+  ControllerObs& cobs = ControllerObs::get();
+  BulkApplyResult result;
+  // The journal and a possible degradation handoff both need the chunk's
+  // successfully applied updates.
+  bool collectForController = journal_ != nullptr || device_ != nullptr;
+  options.collectApplied |= collectForController;
+  // Device-visible state before the stream: if the recompile at the end
+  // fails, this is what the pinned program still represents.
+  std::unique_ptr<runtime::DeviceConfig> preConfig;
+  if (device_ != nullptr && !degraded_) {
+    preConfig = std::make_unique<runtime::DeviceConfig>(service_->config());
+  }
+  std::vector<runtime::Update> applied;
+
+  result.report = service_->applyStream(
+      source, options, [&](const flay::BulkChunkVerdict& chunk) {
+        // The chunk is already applied in memory when this runs; the
+        // journal records it as one committed group, so recovery replays
+        // exactly the acknowledged chunks.
+        if (journal_ != nullptr && !chunk.applied.empty()) {
+          journal_->appendBegin(chunk.applied.size());
+          for (const auto& u : chunk.applied) journal_->appendUpdate(u);
+          journal_->appendCommit();
+        }
+        size_t installed = chunk.bypassed + chunk.analyzed;
+        committedUpdates_ += installed;
+        sinceCheckpoint_ += installed;
+        cobs.applied.add(installed);
+        if (device_ != nullptr) {
+          applied.insert(applied.end(), chunk.applied.begin(),
+                         chunk.applied.end());
+        }
+      });
+
+  if (device_ != nullptr) {
+    if (!degraded_) {
+      if (result.report.needsRecompilation) {
+        if (recompileAndInstall(&result.retries)) {
+          result.deviceCurrent = true;
+        } else {
+          enterDegraded(std::move(*preConfig), applied);
+        }
+      } else {
+        // Every applied update was semantics-preserving (bypassed or
+        // verified): the entries flow straight to the running program.
+        result.deviceCurrent = true;
+        cobs.forwarded.add(result.report.applied);
+      }
+    } else {
+      queueUpdates(applied);
+      sinceRecoverAttempt_ += applied.size();
+      if (options_.tryRecoverEvery != 0 &&
+          sinceRecoverAttempt_ >= options_.tryRecoverEvery) {
+        sinceRecoverAttempt_ = 0;
+        tryRecover();
+      }
+    }
+  } else {
+    result.deviceCurrent = true;
+  }
+  result.degraded = degraded_;
+  maybeCheckpoint();
+  return result;
+}
+
+BulkApplyResult FaultTolerantController::applyBulk(
+    const std::vector<runtime::Update>& updates, flay::BulkLoadOptions options) {
+  size_t next = 0;
+  return applyBulk(
+      [&]() -> std::optional<runtime::Update> {
+        if (next >= updates.size()) return std::nullopt;
+        return updates[next++];
+      },
+      std::move(options));
+}
+
 bool FaultTolerantController::recompileAndInstall(size_t* retries) {
   ControllerObs& cobs = ControllerObs::get();
   cobs.recompiles.add(1);
@@ -345,44 +423,7 @@ uint64_t FaultTolerantController::backoffMicros(uint32_t attempt) {
 }
 
 std::string FaultTolerantController::stateDigest() const {
-  Fnv fnv;
-  const runtime::DeviceConfig& config = service_->config();
-  for (const auto& [name, table] : config.tables()) {
-    fnv.mix(name);
-    for (const runtime::TableEntry& e : table.entries()) {
-      fnv.mix(std::to_string(e.id));
-      fnv.mix(e.toString());
-    }
-    fnv.mix(table.defaultActionName());
-    for (const auto& a : table.defaultActionArgs()) fnv.mix(a.toHexString());
-    fnv.mix(std::to_string(table.nextId()));
-  }
-  for (const auto& [name, vs] : config.valueSets()) {
-    fnv.mix(name);
-    for (const auto& [value, mask] : vs.members()) {
-      fnv.mix(value.toHexString());
-      fnv.mix(mask.toHexString());
-    }
-  }
-  for (const auto& [name, prof] : config.actionProfiles()) {
-    fnv.mix(name);
-    for (const auto& m : prof.members()) {
-      fnv.mix(std::to_string(m.memberId));
-      fnv.mix(m.actionName);
-      for (const auto& a : m.args) fnv.mix(a.toHexString());
-    }
-  }
-  // Specialized expressions are rendered canonically (commutative chains
-  // flattened and content-sorted): arena ids and the arena's id-ordered
-  // operand placement both depend on construction history, which a crash
-  // recovery does not share with the run it replaces.
-  const expr::ExprArena& arena =
-      const_cast<flay::FlayService&>(*service_).arena();
-  CanonicalRenderer renderer(arena);
-  for (const auto& p : service_->analysis().annotations.points()) {
-    fnv.mix(renderer.render(p.specialized));
-  }
-  return fnv.hex();
+  return service_->stateDigest();
 }
 
 }  // namespace flay::controller

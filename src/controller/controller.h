@@ -42,6 +42,16 @@ struct ControllerOptions {
   flay::SpecializerOptions specializer;
 };
 
+/// Outcome of one streaming bulk load routed through the controller.
+struct BulkApplyResult {
+  flay::BulkLoadReport report;
+  /// The device kept up with the whole stream (entries forwarded, or one
+  /// recompiled program installed at the end).
+  bool deviceCurrent = false;
+  bool degraded = false;
+  size_t retries = 0;
+};
+
 struct ApplyResult {
   flay::UpdateVerdict verdict;
   /// The device kept up with this update: either the entries flowed to the
@@ -83,6 +93,20 @@ class FaultTolerantController {
 
   ApplyResult apply(const runtime::Update& update);
   ApplyResult applyBatch(const std::vector<runtime::Update>& updates);
+
+  /// Streams a bulk load through the service's classifier-prefiltered path
+  /// (FlayService::applyStream), journaling each chunk as one committed
+  /// transaction group and reconciling the device once at the end of the
+  /// stream: a single recompile+install if any chunk's verdict demands it,
+  /// plain forwarding otherwise. While degraded, the stream is applied to
+  /// the authoritative state and queued for the device until recovery.
+  /// Unlike applyBatch there is no whole-stream rollback — rejected updates
+  /// are skipped (and counted) exactly as a sequential replay would.
+  BulkApplyResult applyBulk(const flay::UpdateSource& source,
+                            flay::BulkLoadOptions options = {});
+  /// Convenience wrapper for an in-memory batch.
+  BulkApplyResult applyBulk(const std::vector<runtime::Update>& updates,
+                            flay::BulkLoadOptions options = {});
 
   bool degraded() const { return degraded_; }
   size_t queuedUpdates() const { return queued_.size(); }

@@ -1,0 +1,295 @@
+#include "flay/bulk.h"
+
+#include <chrono>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/obs.h"
+
+namespace flay::flay {
+
+namespace {
+
+struct BulkObs {
+  obs::Registry& reg = obs::Registry::global();
+  obs::Counter& updates = reg.counter("flay.updates");
+  obs::Counter& bypass = reg.counter("flay.bulk_bypass");
+  obs::Counter& analyzed = reg.counter("flay.bulk_analyzed");
+  obs::Counter& rejected = reg.counter("flay.bulk_rejected");
+  obs::Counter& probeHits = reg.counter("flay.bulk_probe_hits");
+  obs::Counter& chunks = reg.counter("flay.bulk_chunks");
+  obs::Counter& loads = reg.counter("flay.bulk_loads");
+  obs::Histogram& configApplyUs = reg.histogram("flay.config_apply_us");
+  obs::Histogram& verdictUs = reg.histogram("flay.bulk_verdict_us");
+
+  static BulkObs& get() {
+    static BulkObs instance;
+    return instance;
+  }
+};
+
+uint64_t microsSince(std::chrono::steady_clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+/// True if the entry is exact-valued on every key (its match region is a
+/// single point of the concatenated key space).
+bool fullyExactValued(const runtime::TableEntry& e) {
+  for (const auto& m : e.matches) {
+    if (!m.isExactValued()) return false;
+  }
+  return true;
+}
+
+/// Concatenated key/mask of an entry, key 0 in the high bits — the same
+/// layout the filter's probe rules use.
+BitVec concatValues(const runtime::TableEntry& e) {
+  BitVec acc = e.matches[0].value;
+  for (size_t k = 1; k < e.matches.size(); ++k) {
+    acc = acc.concat(e.matches[k].value);
+  }
+  return acc;
+}
+
+BitVec concatMasks(const runtime::TableEntry& e) {
+  BitVec acc = e.matches[0].mask;
+  for (size_t k = 1; k < e.matches.size(); ++k) {
+    acc = acc.concat(e.matches[k].mask);
+  }
+  return acc;
+}
+
+}  // namespace
+
+BulkLoader::BulkLoader(FlayService& service, BulkLoadOptions options)
+    : service_(service), options_(options) {
+  if (options_.chunkSize == 0) options_.chunkSize = 1;
+}
+
+BulkLoader::~BulkLoader() = default;
+
+void BulkLoader::rebuild(TableFilter& f, const std::string& table) {
+  const runtime::TableState& t = service_.config_->table(table);
+  const p4::TableDecl& decl = t.decl();
+  f = TableFilter();
+  f.eligible = decl.actionProfile.empty() && !decl.keys.empty();
+  f.threshold = service_.options_.encoder.overapproxThreshold;
+  f.live = t.size();
+  f.usesPriority = t.usesPriority();
+  f.defaultAction = t.defaultActionName();
+  f.keyExactOnly.assign(decl.keys.size(), true);
+  for (size_t k = 0; k < decl.keys.size(); ++k) {
+    if (decl.keys[k].matchKind != p4::MatchKind::kExact) {
+      f.nonExactKeys.push_back(k);
+    }
+  }
+  for (const auto& e : t.entries()) {
+    ++f.actionCounts[e.actionName];
+    for (size_t k = 0; k < e.matches.size() && k < f.keyExactOnly.size();
+         ++k) {
+      if (!e.matches[k].isExactValued()) f.keyExactOnly[k] = false;
+    }
+  }
+  // Below the threshold the table is encoded precisely from its normalized
+  // entries, so bypassing needs proof that the normalized set can't change:
+  // a point-probe classifier over the installed rules answers "is this exact
+  // key already covered?" in O(key). Above the threshold the encoding is
+  // over-approximate and the probe is unnecessary.
+  if (f.eligible && f.live > 0 && f.live <= f.threshold) {
+    f.rules.reserve(f.live);
+    for (const auto& e : t.entries()) {
+      classifier::Rule r;
+      r.value = concatValues(e);
+      r.mask = concatMasks(e);
+      r.priority = e.priority;
+      r.actionId = static_cast<uint32_t>(f.rules.size());
+      f.keyWidth = r.value.width();
+      f.rules.push_back(std::move(r));
+    }
+    f.probe = classifier::chooseClassifier(f.rules, f.keyWidth);
+  }
+  f.reservedTo = f.live + options_.chunkSize;
+  service_.config_->reserveTable(table, f.reservedTo);
+  f.built = true;
+}
+
+BulkLoader::TableFilter& BulkLoader::filterFor(const std::string& table) {
+  TableFilter& f = filters_[table];
+  if (!f.built || f.dirty) rebuild(f, table);
+  return f;
+}
+
+BulkLoader::Route BulkLoader::route(const runtime::Update& u) {
+  if (u.kind != runtime::Update::Kind::kInsert) {
+    // Non-insert table mutations invalidate the target's filter; they are
+    // always analyzed (defaults, deletes, and modifies all reach bindings
+    // or digests directly).
+    auto it = filters_.find(u.target);
+    if (it != filters_.end()) it->second.dirty = true;
+    return Route::kAnalyze;
+  }
+  if (!options_.classifierPrefilter) return Route::kAnalyze;
+  if (!service_.config_->hasTable(u.target)) return Route::kAnalyze;
+  TableFilter& f = filterFor(u.target);
+  if (!f.eligible) return Route::kAnalyze;
+  const runtime::TableEntry& e = u.entry;
+  if (e.matches.size() != f.keyExactOnly.size()) return Route::kAnalyze;
+  if (f.live > f.threshold) {
+    // Over-approximated encoding: hit/action/params are free symbols, so
+    // the encoding is constant in the entries. The structural digest still
+    // tracks the raw action set and per-key exactness flags — bypass only
+    // if the entry leaves both unchanged.
+    if (e.actionName != f.defaultAction &&
+        f.actionCounts.find(e.actionName) == f.actionCounts.end()) {
+      return Route::kAnalyze;
+    }
+    for (size_t k : f.nonExactKeys) {
+      if (f.keyExactOnly[k] && !e.matches[k].isExactValued()) {
+        return Route::kAnalyze;
+      }
+    }
+    return Route::kBypass;
+  }
+  // Precise encoding: sound to bypass only when the entry provably cannot
+  // join the normalized entry set — and cannot push the raw size past the
+  // threshold, which would flip the encoding itself.
+  if (f.probe && f.live + 1 <= f.threshold && fullyExactValued(e)) {
+    std::optional<uint32_t> hit = f.probe->classify(concatValues(e));
+    if (hit) {
+      BulkObs::get().probeHits.add(1);
+      const classifier::Rule& w = f.rules[*hit];
+      // The probe hit names an installed rule covering the entry's entire
+      // (single-point) match region. It renders the insert invisible when:
+      //  - priority tables: the rule has match precedence (priority wins,
+      //    the installed rule's smaller id wins ties) — the entry is
+      //    eclipsed out of the normalized set, or rejects as a duplicate;
+      //  - exact/lpm tables: the rule is itself exact-valued, i.e. the
+      //    insert is a duplicate and rejects. A shorter covering prefix
+      //    does NOT precede an exact entry under lpm order, so it proves
+      //    nothing — route those to the analysis.
+      bool invisible = f.usesPriority ? w.priority >= e.priority
+                                      : w.mask.isAllOnes();
+      if (invisible) return Route::kBypass;
+    }
+  }
+  return Route::kAnalyze;
+}
+
+void BulkLoader::noteApplied(const runtime::Update& u) {
+  if (u.kind != runtime::Update::Kind::kInsert) return;
+  auto it = filters_.find(u.target);
+  if (it == filters_.end() || it->second.dirty) return;
+  TableFilter& f = it->second;
+  ++f.live;
+  ++f.actionCounts[u.entry.actionName];
+  for (size_t k = 0;
+       k < u.entry.matches.size() && k < f.keyExactOnly.size(); ++k) {
+    if (!u.entry.matches[k].isExactValued()) f.keyExactOnly[k] = false;
+  }
+  // In the precise regime the probe must cover every installed rule, so a
+  // fresh insert forces a rebuild on the next route against this table —
+  // bounded work, since the regime only lasts `threshold` entries. Crossing
+  // the threshold flips the encoding to over-approximate, where the
+  // incremental action/exactness bookkeeping above suffices.
+  if (f.live <= f.threshold) {
+    f.dirty = true;
+  } else if (f.probe) {
+    f.probe.reset();
+  }
+  if (f.live >= f.reservedTo) {
+    f.reservedTo = f.live + options_.chunkSize;
+    service_.config_->reserveTable(u.target, f.reservedTo);
+  }
+}
+
+BulkLoadReport BulkLoader::run(const UpdateSource& source,
+                               const BulkChunkCallback& cb) {
+  BulkObs& bobs = BulkObs::get();
+  bobs.loads.add(1);
+  BulkLoadReport report;
+  bool exhausted = false;
+  size_t chunkIndex = 0;
+  while (!exhausted) {
+    BulkChunkVerdict chunk;
+    chunk.chunkIndex = chunkIndex;
+    std::set<std::string> objects;
+    auto chunkStart = std::chrono::steady_clock::now();
+    while (chunk.updates < options_.chunkSize) {
+      std::optional<runtime::Update> u = source();
+      if (!u) {
+        exhausted = true;
+        break;
+      }
+      ++chunk.updates;
+      Route r = route(*u);
+      auto applyStart = std::chrono::steady_clock::now();
+      try {
+        std::string object = service_.config_->apply(*u);
+        bobs.configApplyUs.record(microsSince(applyStart));
+        bobs.updates.add(1);
+        if (r == Route::kBypass) {
+          ++chunk.bypassed;
+          bobs.bypass.add(1);
+        } else {
+          ++chunk.analyzed;
+          bobs.analyzed.add(1);
+          objects.insert(std::move(object));
+        }
+        noteApplied(*u);
+        if (options_.collectApplied) chunk.applied.push_back(std::move(*u));
+      } catch (const std::invalid_argument&) {
+        // Same contract as a sequential replay that skips rejections:
+        // nothing changed, count and move on.
+        bobs.configApplyUs.record(microsSince(applyStart));
+        ++chunk.rejected;
+        bobs.rejected.add(1);
+      }
+    }
+    if (chunk.updates == 0) break;
+    if (!objects.empty()) {
+      chunk.verdict = service_.analyzeObjects(objects);
+    }
+    chunk.verdictLatencyUs = microsSince(chunkStart);
+    bobs.verdictUs.record(chunk.verdictLatencyUs);
+    bobs.chunks.add(1);
+    report.updates += chunk.updates;
+    report.applied += chunk.bypassed + chunk.analyzed;
+    report.bypassed += chunk.bypassed;
+    report.analyzed += chunk.analyzed;
+    report.rejected += chunk.rejected;
+    ++report.chunks;
+    report.expressionsChanged |= chunk.verdict.expressionsChanged;
+    report.needsRecompilation |= chunk.verdict.needsRecompilation;
+    report.overapproximated |= chunk.verdict.overapproximated;
+    report.changedComponents.insert(chunk.verdict.changedComponents.begin(),
+                                    chunk.verdict.changedComponents.end());
+    if (cb) cb(chunk);
+    ++chunkIndex;
+  }
+  return report;
+}
+
+BulkLoadReport FlayService::applyStream(const UpdateSource& source,
+                                        const BulkLoadOptions& options,
+                                        const BulkChunkCallback& cb) {
+  BulkLoader loader(*this, options);
+  return loader.run(source, cb);
+}
+
+BulkLoadReport FlayService::bulkLoad(const std::vector<runtime::Update>& updates,
+                                     const BulkLoadOptions& options,
+                                     const BulkChunkCallback& cb) {
+  size_t next = 0;
+  return applyStream(
+      [&]() -> std::optional<runtime::Update> {
+        if (next >= updates.size()) return std::nullopt;
+        return updates[next++];
+      },
+      options, cb);
+}
+
+}  // namespace flay::flay

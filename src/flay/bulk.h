@@ -1,0 +1,101 @@
+#ifndef FLAY_FLAY_BULK_H
+#define FLAY_FLAY_BULK_H
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "classifier/classifier.h"
+#include "flay/engine.h"
+
+namespace flay::flay {
+
+/// Streaming bulk-update loader: the scale path through FlayService for
+/// routing-table-sized streams (§4.2 taken to a million entries).
+///
+/// Three ideas, layered:
+///
+///  1. Classifier pre-filter. Per touched table, the loader derives key
+///     predicates from the installed rule shape (src/classifier): per-key
+///     exactness flags, the installed action set, and — below the
+///     over-approximation threshold — a point-probe classifier built from
+///     the installed entries (chooseClassifier picks the same structure the
+///     table's match kinds dictate: hash, trie, STCAM, TCAM). An insert
+///     provably invisible to the analysis bypasses re-encoding, digesting,
+///     and semantics checks entirely:
+///       - table already past the over-approximation threshold (hit/action/
+///         param bindings are free, so the encoding is constant in the
+///         entries), AND the entry's action is already in the table's raw
+///         action set, AND every non-exact key keeps its digest flag (the
+///         key is already "masked", or the entry is exact-valued on it); or
+///       - below the threshold: the entry is exact-valued on every key and
+///         the point-probe finds an installed rule covering it with match
+///         precedence, i.e. the entry is eclipsed and the normalized entry
+///         set — which is what the precise encoding and digest are computed
+///         from — cannot change.
+///     Everything else (threshold-crossing entries, new actions, shape
+///     flips, non-insert updates) routes through the incremental analysis.
+///  2. Chunked, amortized analysis. Non-bypassed updates accumulate the
+///     touched-object set of a chunk; one analyzeObjects() call per chunk
+///     pays the (memoized) taint closure, re-encoding, and substitution
+///     once instead of per update.
+///  3. Bounded memory. Updates are pulled from an UpdateSource, applied,
+///     and dropped; per-chunk verdicts stream out through the callback.
+///     Table storage is pre-reserved a chunk ahead so the stream never
+///     pays mid-load reallocation or index rehash.
+class BulkLoader {
+ public:
+  explicit BulkLoader(FlayService& service, BulkLoadOptions options = {});
+  ~BulkLoader();
+
+  /// Pulls `source` dry, applying every update. Returns the aggregate
+  /// report; per-chunk verdicts stream through `cb` (may be empty).
+  BulkLoadReport run(const UpdateSource& source,
+                     const BulkChunkCallback& cb = {});
+
+ private:
+  enum class Route { kBypass, kAnalyze };
+
+  /// Per-table pre-filter state, tracking exactly the properties the
+  /// encoder and the structural table digest key on.
+  struct TableFilter {
+    bool eligible = false;  ///< no action profile, has keys
+    size_t live = 0;        ///< raw installed entry count
+    size_t threshold = 0;
+    uint32_t keyWidth = 0;  ///< concatenated key width (key 0 = high bits)
+    bool usesPriority = false;
+    std::string defaultAction;
+    /// Raw per-action entry counts (the over-approx digest's action set).
+    std::map<std::string, size_t> actionCounts;
+    /// Per key index: every installed entry is exact-valued on it (the
+    /// digest's "exactable"/"masked" flag, over raw entries).
+    std::vector<bool> keyExactOnly;
+    /// Key indices with a non-exact match kind (the digested ones).
+    std::vector<size_t> nonExactKeys;
+    /// Installed rules (concatenated keys) + point-probe classifier; only
+    /// built while the table is at or below the threshold.
+    std::vector<classifier::Rule> rules;
+    std::unique_ptr<classifier::Classifier> probe;
+    /// Storage reserved up to this many entries; re-reserved a chunk ahead.
+    size_t reservedTo = 0;
+    bool built = false;
+    /// Table mutated by a non-insert update: rebuild before next decision.
+    bool dirty = false;
+  };
+
+  TableFilter& filterFor(const std::string& table);
+  void rebuild(TableFilter& f, const std::string& table);
+  /// Classifies one update against the pre-filter. Never mutates config.
+  Route route(const runtime::Update& u);
+  /// Folds one successfully applied update into the filter state.
+  void noteApplied(const runtime::Update& u);
+
+  FlayService& service_;
+  BulkLoadOptions options_;
+  std::map<std::string, TableFilter> filters_;
+};
+
+}  // namespace flay::flay
+
+#endif  // FLAY_FLAY_BULK_H

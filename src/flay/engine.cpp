@@ -5,6 +5,7 @@
 
 #include "expr/analysis.h"
 
+#include "expr/canonical.h"
 #include "expr/substitute.h"
 #include "obs/obs.h"
 
@@ -25,7 +26,9 @@ struct EngineObs {
   obs::Counter& recompileVerdicts = reg.counter("flay.recompile_verdicts");
   obs::Counter& exprChangeVerdicts = reg.counter("flay.expr_change_verdicts");
   obs::Counter& overapproximations = reg.counter("flay.overapproximations");
+  obs::Counter& batchAborts = reg.counter("flay.batch_aborts");
   obs::Histogram& configApplyUs = reg.histogram("flay.config_apply_us");
+  obs::Histogram& batchApplyUs = reg.histogram("flay.batch_apply_us");
   obs::Histogram& analyzeUs = reg.histogram("flay.analyze_us");
   obs::Histogram& closureUs = reg.histogram("flay.closure_us");
   obs::Histogram& encodeUs = reg.histogram("flay.encode_us");
@@ -110,13 +113,21 @@ void FlayService::buildObjectDependencies() {
       }
     }
   }
+  for (size_t i = 0; i < objectOrder_.size(); ++i) {
+    objectOrderIndex_.emplace(objectOrder_[i], i);
+  }
 }
 
-std::vector<std::string> FlayService::dependencyClosure(
-    const std::set<std::string>& objects) const {
-  std::set<std::string> closure = objects;
-  // Transitive closure over the dependents relation.
-  std::vector<std::string> frontier(objects.begin(), objects.end());
+const std::vector<std::string>& FlayService::closureOf(
+    const std::string& object) {
+  auto cached = closureCache_.find(object);
+  if (cached != closureCache_.end()) return cached->second;
+  // Transitive closure over the dependents relation. The graph is built
+  // once in buildObjectDependencies() and never mutated, so the result is
+  // memoized: a burst re-touching the same table pays one map lookup
+  // instead of a graph walk per batch.
+  std::set<std::string> closure{object};
+  std::vector<std::string> frontier{object};
   while (!frontier.empty()) {
     std::string o = std::move(frontier.back());
     frontier.pop_back();
@@ -126,18 +137,36 @@ std::vector<std::string> FlayService::dependencyClosure(
       if (closure.insert(d).second) frontier.push_back(d);
     }
   }
+  return closureCache_
+      .emplace(object,
+               std::vector<std::string>(closure.begin(), closure.end()))
+      .first->second;
+}
+
+std::vector<std::string> FlayService::dependencyClosure(
+    const std::set<std::string>& objects) {
+  std::set<std::string> closure;
+  for (const auto& o : objects) {
+    const std::vector<std::string>& c = closureOf(o);
+    closure.insert(c.begin(), c.end());
+  }
   // Emit in program order so upstream bindings are resolved before any
-  // downstream encoding reads them.
-  std::vector<std::string> ordered;
-  for (const auto& o : objectOrder_) {
-    if (closure.count(o) != 0) ordered.push_back(o);
-  }
-  // Objects outside the known order (e.g. action profiles) go last.
-  for (const auto& o : closure) {
-    if (std::find(ordered.begin(), ordered.end(), o) == ordered.end()) {
-      ordered.push_back(o);
-    }
-  }
+  // downstream encoding reads them; objects outside the known order (e.g.
+  // action profiles) go last, in name order.
+  std::vector<std::string> ordered(closure.begin(), closure.end());
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [this](const std::string& a, const std::string& b) {
+                     auto ia = objectOrderIndex_.find(a);
+                     auto ib = objectOrderIndex_.find(b);
+                     size_t ka = ia == objectOrderIndex_.end()
+                                     ? objectOrder_.size()
+                                     : ia->second;
+                     size_t kb = ib == objectOrderIndex_.end()
+                                     ? objectOrder_.size()
+                                     : ib->second;
+                     if (ka != kb) return ka < kb;
+                     return a < b;
+                   });
   return ordered;
 }
 
@@ -372,21 +401,28 @@ UpdateVerdict FlayService::applyBatch(
   EngineObs& eobs = EngineObs::get();
   eobs.batches.add(1);
   std::set<std::string> objects;
-  auto applyStart = std::chrono::steady_clock::now();
+  // config_apply_us is a *per-apply* latency histogram: one sample per
+  // update, in the abort path too. The whole-loop time goes to the separate
+  // batch_apply_us histogram, so batch size never skews per-apply quantiles.
+  auto batchStart = std::chrono::steady_clock::now();
   for (const auto& u : updates) {
+    auto applyStart = std::chrono::steady_clock::now();
     try {
       objects.insert(config_->apply(u));
-      eobs.updates.add(1);
     } catch (...) {
       eobs.configApplyUs.record(microsSince(applyStart));
+      eobs.batchApplyUs.record(microsSince(batchStart));
+      eobs.batchAborts.add(1);
       // Updates before the malformed one are already installed in the
       // config; re-analyze that prefix before surfacing the error so the
       // annotations never get out of sync with the installed state.
       if (!objects.empty()) analyzeObjects(objects);
       throw;
     }
+    eobs.configApplyUs.record(microsSince(applyStart));
+    eobs.updates.add(1);
   }
-  eobs.configApplyUs.record(microsSince(applyStart));
+  eobs.batchApplyUs.record(microsSince(batchStart));
   return analyzeObjects(objects);
 }
 
@@ -417,6 +453,45 @@ void FlayService::adoptConfig(runtime::DeviceConfig config) {
   *config_ = std::move(config);
   bindings_.clear();
   respecializeAll();
+}
+
+std::string FlayService::stateDigest() const {
+  expr::Fnv fnv;
+  for (const auto& [name, table] : config_->tables()) {
+    fnv.mix(name);
+    for (const runtime::TableEntry& e : table.entries()) {
+      fnv.mix(std::to_string(e.id));
+      fnv.mix(e.toString());
+    }
+    fnv.mix(table.defaultActionName());
+    for (const auto& a : table.defaultActionArgs()) fnv.mix(a.toHexString());
+    fnv.mix(std::to_string(table.nextId()));
+  }
+  for (const auto& [name, vs] : config_->valueSets()) {
+    fnv.mix(name);
+    for (const auto& [value, mask] : vs.members()) {
+      fnv.mix(value.toHexString());
+      fnv.mix(mask.toHexString());
+    }
+  }
+  for (const auto& [name, prof] : config_->actionProfiles()) {
+    fnv.mix(name);
+    for (const auto& m : prof.members()) {
+      fnv.mix(std::to_string(m.memberId));
+      fnv.mix(m.actionName);
+      for (const auto& a : m.args) fnv.mix(a.toHexString());
+    }
+  }
+  // Specialized expressions are rendered canonically (commutative chains
+  // flattened and content-sorted): arena ids and the arena's id-ordered
+  // operand placement both depend on construction history, which neither a
+  // crash recovery nor an alternate update path (bulk load vs sequential
+  // replay) shares with the run it is compared against.
+  expr::CanonicalRenderer renderer(*arena_);
+  for (const auto& p : analysis_.annotations.points()) {
+    fnv.mix(renderer.render(p.specialized));
+  }
+  return fnv.hex();
 }
 
 expr::ExprRef FlayService::resolveSymbol(expr::ExprRef symbolExpr) const {

@@ -2,7 +2,9 @@
 #define FLAY_FLAY_ENGINE_H
 
 #include <chrono>
+#include <functional>
 #include <memory>
+#include <optional>
 #include <set>
 
 #include "flay/check_engine.h"
@@ -59,6 +61,60 @@ struct UpdateVerdict {
   bool overapproximated = false;
 };
 
+/// Tuning knobs for the streaming bulk-load path (see flay/bulk.h).
+struct BulkLoadOptions {
+  /// Updates pulled from the source per analysis chunk. The analysis (and
+  /// the verdict streamed to the caller) is amortized over a chunk, and the
+  /// loader's transient state is bounded by the chunk, so a million-entry
+  /// stream never needs to be materialized.
+  size_t chunkSize = 4096;
+  /// Pre-classify inserts against per-table key predicates derived from the
+  /// installed rule shape (src/classifier) and let provably
+  /// analysis-invisible entries — fresh keys landing in tables already past
+  /// the over-approximation threshold — bypass re-encoding and the
+  /// semantics checks entirely.
+  bool classifierPrefilter = true;
+  /// Collect the successfully applied updates of each chunk into
+  /// BulkChunkVerdict::applied (for journaling / device forwarding). Off by
+  /// default: collection is the one per-chunk cost that scales with the
+  /// chunk contents.
+  bool collectApplied = false;
+};
+
+/// Verdict streamed out after each bulk-load chunk.
+struct BulkChunkVerdict {
+  size_t chunkIndex = 0;
+  size_t updates = 0;   ///< updates consumed from the source in this chunk
+  size_t bypassed = 0;  ///< pre-filtered as analysis-invisible
+  size_t analyzed = 0;  ///< routed through the incremental analysis
+  size_t rejected = 0;  ///< invalid for the current state; skipped
+  /// Analysis verdict over the chunk's non-bypassed updates.
+  UpdateVerdict verdict;
+  /// First-update-pulled to verdict-ready latency for this chunk.
+  uint64_t verdictLatencyUs = 0;
+  /// Successfully applied updates (only with BulkLoadOptions::collectApplied).
+  std::vector<runtime::Update> applied;
+};
+
+/// Aggregate outcome of one bulk load.
+struct BulkLoadReport {
+  uint64_t updates = 0;   ///< pulled from the source
+  uint64_t applied = 0;   ///< installed into the config (bypassed + analyzed)
+  uint64_t bypassed = 0;
+  uint64_t analyzed = 0;
+  uint64_t rejected = 0;
+  size_t chunks = 0;
+  bool expressionsChanged = false;
+  bool needsRecompilation = false;
+  bool overapproximated = false;
+  std::set<std::string> changedComponents;
+};
+
+/// Pull-based update stream: returns updates until exhausted (nullopt).
+using UpdateSource = std::function<std::optional<runtime::Update>()>;
+/// Invoked after each chunk's analysis with its streamed verdict.
+using BulkChunkCallback = std::function<void(const BulkChunkVerdict&)>;
+
 /// Opaque value-copy of everything applyUpdate()/applyBatch() mutate: the
 /// device config, the control-plane assignment, the per-point specialized
 /// expressions, and the change-detection digests. ExprRefs point into the
@@ -94,6 +150,32 @@ class FlayService {
   /// Applies a burst of updates, analyzing each object once at the end —
   /// the §4.2 scenario of 1000 fuzzer updates processed in under a second.
   UpdateVerdict applyBatch(const std::vector<runtime::Update>& updates);
+
+  /// Streaming bulk load: pulls updates from `source` until exhausted,
+  /// applying them in chunks of options.chunkSize. Inserts that the
+  /// classifier pre-filter proves analysis-invisible bypass re-encoding and
+  /// semantics checks; the rest are analyzed once per chunk (taint closure
+  /// and substitution amortized over the chunk, not per update). Rejected
+  /// updates (std::invalid_argument) are counted and skipped — the same
+  /// contract as replaying the stream through applyUpdate() and skipping
+  /// rejections, to which this path is digest-identical. Memory stays
+  /// bounded by the chunk, and per-chunk verdicts stream out through `cb`.
+  /// Defined in flay/bulk.cpp.
+  BulkLoadReport applyStream(const UpdateSource& source,
+                             const BulkLoadOptions& options = {},
+                             const BulkChunkCallback& cb = {});
+  /// Convenience wrapper over applyStream for an in-memory batch.
+  BulkLoadReport bulkLoad(const std::vector<runtime::Update>& updates,
+                          const BulkLoadOptions& options = {},
+                          const BulkChunkCallback& cb = {});
+
+  /// Process-independent digest of the full update-visible state: the
+  /// config (entries with ids and allocator positions, value sets,
+  /// profiles) plus every specialized program-point expression rendered
+  /// canonically. Two services with equal digests are in observably
+  /// identical states — the parity contract between the bulk-load path and
+  /// a sequential replay, and the crashtest's recovery check.
+  std::string stateDigest() const;
 
   /// Re-specializes every annotation from the current config (used once at
   /// startup and after a semantics-changing batch has been recompiled).
@@ -139,14 +221,22 @@ class FlayService {
   std::chrono::microseconds preprocessTime() const { return preprocessTime_; }
 
  private:
+  /// The bulk loader drives config_ and analyzeObjects() directly so it can
+  /// interleave pre-filtered installs with chunked analysis.
+  friend class BulkLoader;
+
   /// Recomputes bindings for `objects` and re-specializes tainted points.
   UpdateVerdict analyzeObjects(const std::set<std::string>& objects);
   void rebindObject(const std::string& object, bool* overapproximated);
   /// Expands a set of updated objects with every object whose encoding
   /// depends on them (tables keying on fields other tables write), in
-  /// program order so upstream bindings resolve first.
+  /// program order so upstream bindings resolve first. Per-object closures
+  /// are memoized — the dependency graph is built once and never mutated —
+  /// so a batch pays a set union, not a graph re-walk.
   std::vector<std::string> dependencyClosure(
-      const std::set<std::string>& objects) const;
+      const std::set<std::string>& objects);
+  /// Memoized transitive dependents of one object (including itself).
+  const std::vector<std::string>& closureOf(const std::string& object);
   void buildObjectDependencies();
   /// The specialization decision a point's expression currently supports:
   /// "" for unknown/non-constant, else a rendering of the constant.
@@ -170,6 +260,10 @@ class FlayService {
   std::map<std::string, std::set<std::string>> objectDependents_;
   /// Objects (tables then value sets) in program order, for closure order.
   std::vector<std::string> objectOrder_;
+  /// object -> position in objectOrder_ (closure ordering without scans).
+  std::map<std::string, size_t> objectOrderIndex_;
+  /// Memoized per-object transitive closures (the graph is immutable).
+  std::map<std::string, std::vector<std::string>> closureCache_;
   /// Decision digests for change detection at the recompile level.
   std::vector<std::string> pointDigests_;
   std::map<std::string, std::string> tableDigests_;

@@ -168,6 +168,52 @@ size_t FleetController::broadcast(const runtime::Update& update) {
   return accepted;
 }
 
+FleetController::BulkBroadcastResult FleetController::broadcastBulk(
+    const std::vector<runtime::Update>& updates,
+    flay::BulkLoadOptions options) {
+  FleetObs& fobs = FleetObs::get();
+  std::mutex rmu;
+  BulkBroadcastResult result;
+  std::vector<std::function<void()>> tasks;
+  for (auto& mp : members_) {
+    Member& m = *mp;
+    if (m.failed.load(std::memory_order_relaxed) || m.ctl == nullptr) {
+      continue;
+    }
+    tasks.push_back([&, this] {
+      try {
+        controller::BulkApplyResult r = m.ctl->applyBulk(updates, options);
+        m.applied.fetch_add(r.report.applied, std::memory_order_relaxed);
+        m.retries.fetch_add(r.retries, std::memory_order_relaxed);
+        m.rejected.fetch_add(r.report.rejected, std::memory_order_relaxed);
+        m.degraded.store(r.degraded, std::memory_order_relaxed);
+        m.appliedCounter->add(r.report.applied);
+        m.rejectedCounter->add(r.report.rejected);
+        fobs.applied.add(r.report.applied);
+        fobs.rejected.add(r.report.rejected);
+        std::lock_guard<std::mutex> lock(rmu);
+        ++result.devices;
+        result.applied += r.report.applied;
+        result.bypassed += r.report.bypassed;
+        result.rejected += r.report.rejected;
+      } catch (const std::exception&) {
+        // Same quarantine contract as drainMember: the device's state is
+        // unknown, so it stops taking work; the rest of the fleet finishes.
+        m.failed.store(true, std::memory_order_relaxed);
+        fobs.deviceFailures.add(1);
+      }
+    });
+  }
+  if (pool_ != nullptr) {
+    pool_->run(std::move(tasks));
+  } else {
+    for (auto& t : tasks) t();
+  }
+  fobs.degradedGauge.reset();
+  fobs.degradedGauge.add(degradedDevices());
+  return result;
+}
+
 void FleetController::drainMember(Member& m) {
   FleetObs& fobs = FleetObs::get();
   for (;;) {

@@ -97,6 +97,24 @@ class FleetController {
   /// Enqueues the update on every device; returns how many accepted it.
   size_t broadcast(const runtime::Update& update);
 
+  /// Outcome of a fleet-wide bulk broadcast, summed over the devices that
+  /// completed the stream.
+  struct BulkBroadcastResult {
+    size_t devices = 0;  ///< devices that completed the stream
+    uint64_t applied = 0;
+    uint64_t bypassed = 0;
+    uint64_t rejected = 0;
+  };
+
+  /// Streams one bulk load (controller::applyBulk, i.e. the classifier-
+  /// prefiltered chunked path) to every live device, concurrently over the
+  /// shared pool. Devices receive identical streams, so equal fleet digests
+  /// before imply equal fleet digests after. Bypasses the per-update queues:
+  /// do not interleave with a concurrent drain(). A device whose stream
+  /// throws is quarantined like in drain(); the rest complete.
+  BulkBroadcastResult broadcastBulk(const std::vector<runtime::Update>& updates,
+                                    flay::BulkLoadOptions options = {});
+
   /// Processes every queue to empty. Devices drain concurrently over the
   /// shared pool (jobs-way); within a device, updates apply strictly in
   /// enqueue order. Engine-rejected updates (std::invalid_argument) are

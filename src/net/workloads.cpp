@@ -153,6 +153,37 @@ std::vector<Update> middleblockAclEntries(size_t count, uint64_t seed) {
   return updates;
 }
 
+Update bulkRouteUpdate(size_t i, uint64_t seed) {
+  // splitmix64: cheap stateless per-index randomness for action args.
+  uint64_t z = seed + 0x9E3779B97F4A7C15ull * (i + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  z ^= z >> 31;
+
+  if (i % 64 == 63) {
+    // Ternary ACL entry; unique priority makes every match set distinct.
+    TableEntry e;
+    e.matches.push_back(FieldMatch::ternary(BitVec(32, z & 0xFFFFFFFFull),
+                                            BitVec(32, 0xFFFFFF00u)));
+    e.matches.push_back(
+        FieldMatch::ternary(BitVec(32, z >> 32), BitVec(32, 0xFFFF0000u)));
+    e.actionName = (z & 1) != 0 ? "permit" : "deny";
+    e.priority = static_cast<int32_t>(i % 1000000) + 1;
+    return Update::insert("BulkIngress.acl", std::move(e));
+  }
+  // Route insert. (plen, base) is a bijection of i, so masked values never
+  // collide: plen cycles 16..32 and base counts up per cycle, staying below
+  // 2^16 for any i under ~1.1M (the masked prefix keeps base's low bits).
+  uint32_t plen = 16 + static_cast<uint32_t>(i % 17);
+  uint32_t base = static_cast<uint32_t>(i / 17);
+  uint32_t prefix = base << (32 - plen);
+  return Update::insert(
+      "BulkIngress.routes",
+      entry({FieldMatch::exact(BitVec(16, 1)),
+             FieldMatch::lpm(BitVec(32, prefix), plen)},
+            "set_nh", {BitVec(16, (z % 4094) + 1)}));
+}
+
 std::string programPath(const std::string& name) {
   return std::string(FLAY_PROGRAMS_DIR) + "/" + name + ".p4l";
 }

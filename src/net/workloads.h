@@ -34,6 +34,14 @@ std::vector<runtime::Update> scionV4RouteBurst(size_t count,
 std::vector<runtime::Update> middleblockAclEntries(size_t count,
                                                    uint64_t seed = 4);
 
+/// The i-th update of the bulkroute.p4l bulk-load stream: mostly unique
+/// route inserts into BulkIngress.routes (exact vrf + lpm dst), with every
+/// 64th update a ternary BulkIngress.acl insert. A pure function of
+/// (i, seed), so million-entry streams are generated on the fly instead of
+/// materialized — the memory-boundedness half of the bulk-load contract.
+/// Duplicate-free for i < ~1.1M.
+runtime::Update bulkRouteUpdate(size_t i, uint64_t seed = 5);
+
 /// Resolves a bundled program path ("scion" -> "<programs dir>/scion.p4l").
 std::string programPath(const std::string& name);
 

@@ -17,6 +17,7 @@ TableState::TableState(const p4::ControlDecl& control,
     if (decl.keys[i].matchKind == p4::MatchKind::kLpm) {
       hasLpm_ = true;
       lpmIndex_ = i;
+      ++lpmKeys_;
     }
   }
 }
@@ -71,19 +72,47 @@ void TableState::validate(const TableEntry& entry) const {
   }
 }
 
+std::string TableState::matchSignature(const TableEntry& e) const {
+  // FieldMatch::operator== compares (mask, value & mask), so rendering
+  // exactly those two plus the priority makes signature equality coincide
+  // with the duplicate predicate. Kinds need not be mixed in: validate()
+  // pins every match kind to the table schema.
+  std::string sig = std::to_string(e.priority);
+  for (const auto& m : e.matches) {
+    sig += '|';
+    sig += m.mask.toHexString();
+    sig += ':';
+    sig += m.value.bitAnd(m.mask).toHexString();
+  }
+  return sig;
+}
+
+void TableState::indexEntry(const TableEntry& e, size_t index) {
+  if (++sigCount_[matchSignature(e)] >= 2) ++duplicateEntries_;
+  idToIndex_[e.id] = index;
+}
+
+void TableState::reindexFrom(size_t from) {
+  for (size_t i = from; i < entries_.size(); ++i) {
+    idToIndex_[entries_[i].id] = i;
+  }
+}
+
 uint64_t TableState::insert(TableEntry entry) {
   validate(entry);
   if (entries_.size() >= decl_->size) {
     throw std::invalid_argument(qualifiedName() + ": table is full (size " +
                                 std::to_string(decl_->size) + ")");
   }
-  for (const auto& e : entries_) {
-    if (e.sameMatchSet(entry) && e.priority == entry.priority) {
-      throw std::invalid_argument(qualifiedName() +
-                                  ": duplicate entry " + entry.toString());
-    }
+  std::string sig = matchSignature(entry);
+  auto sit = sigCount_.find(sig);
+  if (sit != sigCount_.end() && sit->second > 0) {
+    throw std::invalid_argument(qualifiedName() +
+                                ": duplicate entry " + entry.toString());
   }
   entry.id = nextId_++;
+  ++sigCount_[std::move(sig)];
+  idToIndex_[entry.id] = entries_.size();
   entries_.push_back(std::move(entry));
   return entries_.back().id;
 }
@@ -98,43 +127,68 @@ void TableState::restoreEntry(TableEntry entry) {
     throw std::invalid_argument(qualifiedName() + ": table is full (size " +
                                 std::to_string(decl_->size) + ")");
   }
-  for (const auto& e : entries_) {
-    if (e.id == entry.id) {
-      throw std::invalid_argument(qualifiedName() + ": duplicate restored id " +
-                                  std::to_string(entry.id));
-    }
-    if (e.sameMatchSet(entry) && e.priority == entry.priority) {
-      throw std::invalid_argument(qualifiedName() + ": duplicate entry " +
-                                  entry.toString());
-    }
+  if (idToIndex_.count(entry.id) != 0) {
+    throw std::invalid_argument(qualifiedName() + ": duplicate restored id " +
+                                std::to_string(entry.id));
+  }
+  std::string sig = matchSignature(entry);
+  auto sit = sigCount_.find(sig);
+  if (sit != sigCount_.end() && sit->second > 0) {
+    throw std::invalid_argument(qualifiedName() + ": duplicate entry " +
+                                entry.toString());
   }
   if (entry.id >= nextId_) nextId_ = entry.id + 1;
+  ++sigCount_[std::move(sig)];
+  idToIndex_[entry.id] = entries_.size();
   entries_.push_back(std::move(entry));
 }
 
 void TableState::modify(TableEntry entry) {
   validate(entry);
-  for (auto& e : entries_) {
-    if (e.id == entry.id) {
-      e = std::move(entry);
-      return;
-    }
+  auto it = idToIndex_.find(entry.id);
+  if (it == idToIndex_.end()) {
+    throw std::invalid_argument(qualifiedName() + ": no entry with id " +
+                                std::to_string(entry.id));
   }
-  throw std::invalid_argument(qualifiedName() + ": no entry with id " +
-                              std::to_string(entry.id));
+  TableEntry& e = entries_[it->second];
+  auto sit = sigCount_.find(matchSignature(e));
+  if (sit != sigCount_.end()) {
+    if (sit->second >= 2) --duplicateEntries_;
+    if (--sit->second == 0) sigCount_.erase(sit);
+  }
+  if (++sigCount_[matchSignature(entry)] >= 2) ++duplicateEntries_;
+  e = std::move(entry);
 }
 
 void TableState::remove(uint64_t id) {
-  auto it = std::find_if(entries_.begin(), entries_.end(),
-                         [id](const TableEntry& e) { return e.id == id; });
-  if (it == entries_.end()) {
+  auto it = idToIndex_.find(id);
+  if (it == idToIndex_.end()) {
     throw std::invalid_argument(qualifiedName() + ": no entry with id " +
                                 std::to_string(id));
   }
-  entries_.erase(it);
+  size_t index = it->second;
+  auto sit = sigCount_.find(matchSignature(entries_[index]));
+  if (sit != sigCount_.end()) {
+    if (sit->second >= 2) --duplicateEntries_;
+    if (--sit->second == 0) sigCount_.erase(sit);
+  }
+  idToIndex_.erase(it);
+  entries_.erase(entries_.begin() + static_cast<ptrdiff_t>(index));
+  reindexFrom(index);
 }
 
-void TableState::clear() { entries_.clear(); }
+void TableState::clear() {
+  entries_.clear();
+  sigCount_.clear();
+  idToIndex_.clear();
+  duplicateEntries_ = 0;
+}
+
+void TableState::reserve(size_t n) {
+  entries_.reserve(n);
+  sigCount_.reserve(n);
+  idToIndex_.reserve(n);
+}
 
 void TableState::setDefaultAction(std::string actionName,
                                   std::vector<BitVec> args) {
@@ -178,6 +232,14 @@ std::vector<const TableEntry*> TableState::normalizedEntries() const {
             [this](const TableEntry* a, const TableEntry* b) {
               return precedes(*a, *b);
             });
+  // Without ternary keys and with at most one lpm key, eclipse is
+  // structurally impossible: an earlier entry under this sort has a
+  // longer-or-equal prefix, so its region can only contain a later one's if
+  // the match sets are identical — which insert rejects and only modify()
+  // can manufacture. That makes normalization O(n log n) for FIB-shaped
+  // tables, where the quadratic scan below would dominate million-entry
+  // bulk loads.
+  if (!hasTernary_ && lpmKeys_ <= 1 && duplicateEntries_ == 0) return sorted;
   // Drop entries whose whole match region is covered by a single earlier
   // entry: they can never be the winning match. (Covering by a union of
   // earlier entries is not detected; that is an optimization, not a

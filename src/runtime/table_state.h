@@ -3,6 +3,7 @@
 
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "runtime/entry.h"
@@ -41,6 +42,10 @@ class TableState {
   void remove(uint64_t id);
   void clear();
 
+  /// Pre-sizes the entry storage and the duplicate/id indexes for `n` total
+  /// entries, so a bulk load pays no mid-stream reallocation or rehash.
+  void reserve(size_t n);
+
   /// Overrides the default action; pass the declaration default to reset.
   void setDefaultAction(std::string actionName, std::vector<BitVec> args);
   const std::string& defaultActionName() const { return defaultActionName_; }
@@ -73,15 +78,33 @@ class TableState {
   void validate(const TableEntry& entry) const;
   /// Precedence comparator: true if a should be tried before b.
   bool precedes(const TableEntry& a, const TableEntry& b) const;
+  /// Canonical key of an entry's match set + priority — equal signatures iff
+  /// the duplicate predicate (sameMatchSet && equal priority) holds.
+  std::string matchSignature(const TableEntry& e) const;
+  void indexEntry(const TableEntry& e, size_t index);
+  /// Rebuilds idToIndex_ for entries_[from..] after an erase shifted them.
+  void reindexFrom(size_t from);
 
   const p4::ControlDecl* control_;
   const p4::TableDecl* decl_;
   std::vector<TableEntry> entries_;
+  /// Multiplicity of each match signature among entries_. insert() rejects
+  /// signatures with count > 0 in O(1) — the burst-path fix for the O(n)
+  /// duplicate scan that made a 1k-entry batch O(n^2). A count (not a set)
+  /// because modify() historically permits creating duplicate match sets.
+  std::unordered_map<std::string, uint32_t> sigCount_;
+  /// Entry id -> position in entries_, for O(1) modify/remove/restore.
+  std::unordered_map<uint64_t, size_t> idToIndex_;
   std::string defaultActionName_;
   std::vector<BitVec> defaultActionArgs_;
   bool hasTernary_ = false;
   bool hasLpm_ = false;
   size_t lpmIndex_ = 0;  // index of the lpm key, if hasLpm_
+  size_t lpmKeys_ = 0;   // number of lpm keys
+  /// Entries sharing a match signature with an earlier entry (only modify()
+  /// can create these; insert rejects duplicates). Nonzero disables the
+  /// no-eclipse fast path in normalizedEntries().
+  size_t duplicateEntries_ = 0;
   uint64_t nextId_ = 1;
 };
 

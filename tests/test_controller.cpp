@@ -460,5 +460,49 @@ TEST(SolverDeadline, StarvedSpecializerStaysConservative) {
   EXPECT_LE(result.stats.totalChanges(), fullResult.stats.totalChanges());
 }
 
+// ---------------------------------------------------------------------------
+// Streaming bulk apply through the controller.
+// ---------------------------------------------------------------------------
+
+// Each chunk commits as one journal transaction, so a controller recovered
+// after the stream lands on the exact same digest — and the bulk path's
+// state matches a controller that applied the same stream sequentially.
+TEST(BulkApply, JournalsPerChunkAndRecoversToSameDigest) {
+  StateDir dir("bulk");
+  p4::CheckedProgram checked = load("middleblock");
+  auto stream = net::middleblockAclEntries(150);
+
+  ControllerOptions opts;
+  opts.stateDir = dir.str();
+  std::string digest;
+  uint64_t committed = 0;
+  {
+    FaultTolerantController ctrl(checked, nullptr, opts);
+    flay::BulkLoadOptions bopts;
+    bopts.chunkSize = 32;
+    BulkApplyResult res = ctrl.applyBulk(stream, bopts);
+    EXPECT_EQ(res.report.applied, stream.size());
+    EXPECT_EQ(res.report.rejected, 0u);
+    EXPECT_GT(res.report.bypassed, 0u);
+    EXPECT_TRUE(res.deviceCurrent);
+    EXPECT_FALSE(res.degraded);
+    digest = ctrl.stateDigest();
+    committed = ctrl.committedUpdates();
+    EXPECT_EQ(committed, stream.size());
+  }
+  FaultTolerantController recovered(checked, nullptr, opts);
+  EXPECT_EQ(recovered.stateDigest(), digest);
+  // The end-of-stream checkpoint may absorb the whole journal; whatever is
+  // left to replay can't exceed what was committed.
+  EXPECT_LE(recovered.replayedUpdates(), committed);
+
+  StateDir seqDir("bulk-seq");
+  ControllerOptions seqOpts;
+  seqOpts.stateDir = seqDir.str();
+  FaultTolerantController seq(checked, nullptr, seqOpts);
+  applyScript(seq, stream, stream.size());
+  EXPECT_EQ(seq.stateDigest(), digest);
+}
+
 }  // namespace
 }  // namespace flay::controller

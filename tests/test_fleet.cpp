@@ -265,5 +265,34 @@ TEST(Fleet, CheckpointAllBoundsReplay) {
   EXPECT_EQ(recovered.fleetDigest(), want);
 }
 
+// The streaming bulk broadcast must land every device on the same digest as
+// the queued broadcast/drain path fed the identical stream.
+TEST(Fleet, BroadcastBulkConvergesAndMatchesQueuedPath) {
+  p4::CheckedProgram checked = load("middleblock");
+  auto stream = net::middleblockAclEntries(120);
+
+  FleetOptions opts;
+  opts.devices = 3;
+  opts.jobs = 2;
+  FleetController bulkFc(checked, opts);
+  flay::BulkLoadOptions bopts;
+  bopts.chunkSize = 32;
+  auto res = bulkFc.broadcastBulk(stream, bopts);
+  EXPECT_EQ(res.devices, 3u);
+  EXPECT_EQ(res.applied, 3 * stream.size());
+  EXPECT_EQ(res.rejected, 0u);
+  EXPECT_GT(res.bypassed, 0u);
+  std::string first = bulkFc.stateDigest(0);
+  for (size_t i = 1; i < bulkFc.deviceCount(); ++i) {
+    EXPECT_EQ(bulkFc.stateDigest(i), first) << bulkFc.deviceName(i);
+  }
+
+  FleetController seqFc(checked, opts);
+  for (const auto& u : stream) seqFc.broadcast(u);
+  seqFc.drain();
+  EXPECT_EQ(seqFc.stateDigest(0), first)
+      << "bulk and queued paths diverged on identical streams";
+}
+
 }  // namespace
 }  // namespace flay::fleet

@@ -365,5 +365,72 @@ TEST_F(RuntimeTest, LpmEqualPrefixLenOrdersByInsertOrder) {
   EXPECT_EQ(resorted.front()->id, third) << "longest prefix sorts first";
 }
 
+// The signature/id indexes behind O(1) duplicate detection must stay
+// consistent across the full mutation cycle: duplicate rejects, remove
+// releases the signature, modify keeps id lookups working, and reserve is
+// purely a capacity hint.
+TEST_F(RuntimeTest, DuplicateIndexSurvivesMutationCycle) {
+  TableState& t = config.table("C.exact_t");
+  t.reserve(16);
+  uint64_t id = t.insert(exactEntry(1, "set_a", {BitVec(8, 10)}));
+  // Same match signature, different action: still a duplicate.
+  EXPECT_THROW(t.insert(exactEntry(1, "drop_pkt")), std::invalid_argument);
+
+  t.remove(id);
+  EXPECT_EQ(t.size(), 0u);
+  uint64_t id2 = t.insert(exactEntry(1, "drop_pkt"));
+  EXPECT_NE(id, id2) << "ids are never reused";
+  EXPECT_THROW(t.insert(exactEntry(1, "set_a", {BitVec(8, 9)})),
+               std::invalid_argument);
+
+  // Modify by id keeps the entry findable and its signature claimed.
+  TableEntry mod = exactEntry(1, "set_a", {BitVec(8, 42)});
+  mod.id = id2;
+  t.modify(mod);
+  const TableEntry* hit = t.lookup({BitVec(8, 1)});
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->actionName, "set_a");
+  EXPECT_THROW(t.insert(exactEntry(1, "noop")), std::invalid_argument);
+
+  // reserve() is a pure capacity hint; the index still detects duplicates
+  // afterward.
+  t.reserve(1000);
+  t.insert(exactEntry(2, "set_a", {BitVec(8, 1)}));
+  EXPECT_THROW(t.insert(exactEntry(2, "set_a", {BitVec(8, 1)})),
+               std::invalid_argument);
+  EXPECT_EQ(t.size(), 2u);
+}
+
+// normalizedEntries() skips its quadratic eclipse scan for exact/lpm
+// tables — but only while no modify()-made duplicate match sets exist,
+// the one way two such entries can shadow each other.
+TEST_F(RuntimeTest, ModifyMadeDuplicateDisablesNoEclipseFastPath) {
+  TableState& t = config.table("C.lpm_t");
+  auto mk = [](uint64_t net, uint32_t plen, uint64_t arg) {
+    TableEntry e;
+    e.matches.push_back(FieldMatch::lpm(BitVec(32, net), plen));
+    e.actionName = "set_a";
+    e.actionArgs.push_back(BitVec(8, arg));
+    return e;
+  };
+  uint64_t a = t.insert(mk(0x0A000000, 8, 1));
+  uint64_t b = t.insert(mk(0x0B000000, 8, 2));
+  EXPECT_EQ(t.normalizedEntries().size(), 2u);
+
+  TableEntry dup = mk(0x0A000000, 8, 3);
+  dup.id = b;
+  t.modify(dup);
+  auto norm = t.normalizedEntries();
+  ASSERT_EQ(norm.size(), 1u);
+  EXPECT_EQ(norm[0]->id, a) << "earlier id must shadow the duplicate";
+
+  // Removing the original releases the signature; the fast path applies
+  // again and the surviving entry normalizes alone.
+  t.remove(a);
+  auto after = t.normalizedEntries();
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_EQ(after[0]->id, b);
+}
+
 }  // namespace
 }  // namespace flay::runtime

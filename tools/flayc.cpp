@@ -83,6 +83,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <random>
 #include <stdexcept>
 #include <string>
@@ -138,14 +139,18 @@ struct Options {
   bool stats = false;
   bool statsJson = false;
   std::string traceOut;
+  bool bulk = false;
+  size_t chunk = 4096;
 };
 
 int usage() {
   std::fprintf(
       stderr,
       "usage: flayc "
-      "<check|print|analyze|compile|specialize|fuzz|difftest|crashtest|fleet> "
+      "<check|print|analyze|compile|specialize|fuzz|bulkload|difftest|"
+      "crashtest|fleet> "
       "<prog.p4l> [--skip-parser] [--iterations N] [--config NAME]\n"
+      "             [--bulk] [--chunk N]\n"
       "             [--updates N] [--seed S] [--packets M] [--no-shrink]\n"
       "             [--replay-updates i,j,k|none] [--packet-hex HEX] "
       "[--ingress-port P]\n"
@@ -370,6 +375,41 @@ int cmdFuzz(const p4::CheckedProgram& checked, const Options& opts) {
     return 1;
   }
 
+  if (opts.bulk) {
+    // Route the insert pools through the streaming bulk path instead of
+    // per-update applies (inserts only: deletes need installed ids, which a
+    // pure insert stream does not carry). The consistency oracle below
+    // checks the exact same invariant either way.
+    std::vector<runtime::Update> updates;
+    bool progress = true;
+    while (updates.size() < opts.updates && progress) {
+      progress = false;
+      for (Pool& pool : pools) {
+        if (updates.size() >= opts.updates) break;
+        if (pool.next >= pool.entries.size()) continue;
+        updates.push_back(
+            runtime::Update::insert(pool.table, pool.entries[pool.next++]));
+        progress = true;
+      }
+    }
+    core::BulkLoadOptions bopts;
+    bopts.chunkSize = opts.chunk;
+    core::BulkLoadReport rep = service.bulkLoad(updates, bopts);
+    std::printf(
+        "fuzz run (bulk): %llu/%llu updates applied (%llu bypassed, "
+        "%llu analyzed, %llu rejected) in %zu chunk(s) of %zu across %zu "
+        "tables\n",
+        static_cast<unsigned long long>(rep.applied),
+        static_cast<unsigned long long>(rep.updates),
+        static_cast<unsigned long long>(rep.bypassed),
+        static_cast<unsigned long long>(rep.analyzed),
+        static_cast<unsigned long long>(rep.rejected), rep.chunks, opts.chunk,
+        pools.size());
+    std::printf("  expression-changing:  %s\n",
+                rep.expressionsChanged ? "yes" : "no");
+    std::printf("  recompile-requiring:  %s\n",
+                rep.needsRecompilation ? "yes" : "no");
+  } else {
   size_t applied = 0, inserts = 0, deletes = 0, rejected = 0;
   size_t exprChanges = 0, recompiles = 0;
   std::vector<std::pair<std::string, uint64_t>> installed;
@@ -416,6 +456,7 @@ int cmdFuzz(const p4::CheckedProgram& checked, const Options& opts) {
   std::printf("  expression-changing:  %zu\n", exprChanges);
   std::printf("  recompile-requiring:  %zu\n", recompiles);
   std::printf("  semantics-preserving: %zu\n", applied - recompiles);
+  }
 
   // Turn the stats run into a pass/fail check: the incremental analysis of
   // the whole run must agree with a from-scratch respecialization.
@@ -442,6 +483,93 @@ int cmdFuzz(const p4::CheckedProgram& checked, const Options& opts) {
   // is what cache-equivalence checks compare across settings: every number
   // is a pure function of the fuzzed config, independent of thread count
   // and cache state.
+  auto result =
+      core::Specializer(service, specializerOptions(opts)).specialize();
+  std::printf("  specialization verdicts: %zu changes, %zu solver queries, "
+              "%zu timeouts\n",
+              result.stats.totalChanges(), result.stats.solverQueries,
+              result.stats.solverTimeouts);
+  return 0;
+}
+
+int cmdBulkload(const p4::CheckedProgram& checked, const Options& opts) {
+  core::FlayOptions foptions;
+  foptions.analysis.analyzeParser = !opts.skipParser;
+  core::FlayService service(checked, foptions);
+  applyCannedConfig(service, opts.config);
+
+  // Stream source: the bulkroute workload generator when the program has
+  // its FIB (constant memory at any --updates), otherwise a materialized
+  // fuzzer pool round-robined across the program's tables.
+  core::UpdateSource source;
+  size_t next = 0;
+  std::vector<runtime::Update> pool;
+  if (service.config().hasTable("BulkIngress.routes")) {
+    source = [&]() -> std::optional<runtime::Update> {
+      if (next >= opts.updates) return std::nullopt;
+      return net::bulkRouteUpdate(next++, opts.seed);
+    };
+  } else {
+    pool = net::fuzzUpdateSequence(checked, opts.updates, opts.seed);
+    source = [&]() -> std::optional<runtime::Update> {
+      if (next >= pool.size()) return std::nullopt;
+      return pool[next++];
+    };
+  }
+
+  core::BulkLoadOptions bopts;
+  bopts.chunkSize = opts.chunk;
+  obs::Histogram verdictLatency;
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point t0 = Clock::now();
+  core::BulkLoadReport rep = service.applyStream(
+      source, bopts, [&](const core::BulkChunkVerdict& chunk) {
+        verdictLatency.record(chunk.verdictLatencyUs);
+      });
+  double secs = std::chrono::duration<double>(Clock::now() - t0).count();
+
+  std::printf(
+      "bulkload: %llu/%llu updates applied (%llu bypassed, %llu analyzed, "
+      "%llu rejected) in %zu chunk(s) of %zu\n",
+      static_cast<unsigned long long>(rep.applied),
+      static_cast<unsigned long long>(rep.updates),
+      static_cast<unsigned long long>(rep.bypassed),
+      static_cast<unsigned long long>(rep.analyzed),
+      static_cast<unsigned long long>(rep.rejected), rep.chunks, opts.chunk);
+  std::printf("  sustained: %.0f updates/s (%.3f s wall)\n",
+              secs > 0 ? rep.updates / secs : 0.0, secs);
+  std::printf("  verdict latency: p50=%lluus p99=%lluus max=%lluus\n",
+              static_cast<unsigned long long>(verdictLatency.quantile(0.5)),
+              static_cast<unsigned long long>(verdictLatency.quantile(0.99)),
+              static_cast<unsigned long long>(verdictLatency.max()));
+  std::printf("  expression-changing: %s, recompile-requiring: %s\n",
+              rep.expressionsChanged ? "yes" : "no",
+              rep.needsRecompilation ? "yes" : "no");
+
+  // Pass/fail: the bulk path's incremental state must agree with a
+  // from-scratch respecialization of the final config — the same oracle
+  // fuzz runs use, which also covers every bypassed entry.
+  oracle::ConsistencyReport consistency =
+      oracle::checkIncrementalConsistency(service);
+  if (!consistency.consistent) {
+    std::fprintf(stderr,
+                 "bulkload: INCREMENTAL DRIFT — %zu program point(s) disagree "
+                 "with a from-scratch respecialization\n",
+                 consistency.mismatchedPoints.size());
+    std::fprintf(stderr,
+                 "  reproduce: flayc bulkload %s --updates %zu --seed %llu "
+                 "--chunk %zu\n",
+                 opts.file.c_str(), opts.updates,
+                 static_cast<unsigned long long>(opts.seed), opts.chunk);
+    return 1;
+  }
+  std::printf("  incremental-vs-scratch: consistent (%zu points)\n",
+              service.analysis().annotations.points().size());
+  std::printf("  state digest: %s\n", service.stateDigest().c_str());
+
+  // Specialize the bulk-loaded state through the semantics-check engine so
+  // --jobs / --no-verdict-cache drive the parallel probes over the loaded
+  // config (the TSan job runs bulkload with --jobs 4).
   auto result =
       core::Specializer(service, specializerOptions(opts)).specialize();
   std::printf("  specialization verdicts: %zu changes, %zu solver queries, "
@@ -781,6 +909,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--stats=json") {
       opts.stats = true;
       opts.statsJson = true;
+    } else if (arg == "--bulk") {
+      opts.bulk = true;
+    } else if (arg == "--chunk") {
+      opts.chunk = parseNumber(value(&i, arg), "--chunk");
+      if (opts.chunk == 0) argError("--chunk needs at least 1");
     } else if (arg == "--trace-out") {
       opts.traceOut = value(&i, arg);
     } else if (arg.size() >= 2 && arg[0] == '-' && arg[1] == '-') {
@@ -818,6 +951,8 @@ int main(int argc, char** argv) {
       rc = cmdSpecialize(checked, opts);
     } else if (opts.command == "fuzz") {
       rc = cmdFuzz(checked, opts);
+    } else if (opts.command == "bulkload") {
+      rc = cmdBulkload(checked, opts);
     } else if (opts.command == "difftest") {
       rc = cmdDifftest(checked, opts);
     } else if (opts.command == "crashtest") {
