@@ -1,5 +1,6 @@
 #include "flay/check_engine.h"
 
+#include <algorithm>
 #include <span>
 #include <functional>
 #include <unordered_set>
@@ -68,7 +69,13 @@ CheckEngine::CheckEngine(const expr::ExprArena& arena,
       renderer_(arena),
       cache_(sharedCache != nullptr ? std::move(sharedCache)
                                     : std::make_shared<VerdictCache>()),
-      scopePrefix_(std::move(scopePrefix)) {}
+      scopePrefix_(std::move(scopePrefix)),
+      retirements_(std::make_shared<ScopeRetirementQueue>()) {
+  // On a shared cache this also delivers invalidations performed by sibling
+  // engines; their scope tags carry a different prefix, so the retirements
+  // simply miss this engine's scope-group map.
+  cache_->attachArtifact(retirements_);
+}
 
 std::string CheckEngine::scoped(const std::string& scope) const {
   return scopePrefix_.empty() ? scope : scopePrefix_ + scope;
@@ -78,7 +85,45 @@ CheckEngine::~CheckEngine() = default;
 
 void CheckEngine::configure(const CheckEngineOptions& options) {
   if (pool_ != nullptr && options.jobs != options_.jobs) pool_.reset();
+  if (options.jobs != options_.jobs ||
+      options.incrementalSat != options_.incrementalSat) {
+    // Slot count changed (or the mode toggled): drop the warm sessions and
+    // let ensureSessions() re-warm at the next probe. Verdicts are facts, so
+    // a rebuild can never change an answer.
+    sessions_.clear();
+  }
   options_ = options;
+}
+
+void CheckEngine::ensureSessions() {
+  const size_t slots = options_.jobs <= 1 ? 1 : options_.jobs;
+  if (sessions_.size() == slots) return;
+  sessions_.clear();
+  sessions_.reserve(slots);
+  for (size_t i = 0; i < slots; ++i) {
+    auto session = std::make_unique<smt::ProbeSession>(arena_);
+    session->setNodeWatermark(watermark_);
+    sessions_.push_back(std::move(session));
+  }
+}
+
+void CheckEngine::drainRetirements() {
+  bool clearAll = false;
+  std::vector<std::string> scopes = retirements_->drain(&clearAll);
+  if (sessions_.empty()) return;
+  if (clearAll) {
+    for (auto& s : sessions_) s->rebuild();
+    return;
+  }
+  for (const std::string& scope : scopes) {
+    for (auto& s : sessions_) s->retireScope(scope);
+  }
+}
+
+void CheckEngine::setIncrementalWatermark(uint32_t nodeId) {
+  if (nodeId <= watermark_) return;
+  watermark_ = nodeId;
+  for (auto& s : sessions_) s->setNodeWatermark(watermark_);
 }
 
 bool CheckEngine::withinDagLimit(ExprRef e) const {
@@ -88,6 +133,7 @@ bool CheckEngine::withinDagLimit(ExprRef e) const {
 
 void CheckEngine::prefetch(const std::vector<CheckQuery>& queries) {
   prefetched_.clear();
+  if (options_.incrementalSat) drainRetirements();
   if (queries.empty()) return;
   EngineObs& o = EngineObs::get();
   o.prefetchBatches.add(1);
@@ -122,10 +168,39 @@ void CheckEngine::prefetch(const std::vector<CheckQuery>& queries) {
   if (pending.empty()) return;
 
   // Probe concurrently. Workers write disjoint slots; the arena is only
-  // read (probeConstant never interns), so no synchronization is needed
-  // beyond the pool's completion barrier.
+  // read (probes never intern), so no synchronization is needed beyond the
+  // pool's completion barrier.
   std::vector<smt::ConstantProbe> probes(pending.size());
-  if (options_.jobs <= 1 || pending.size() == 1) {
+  if (options_.incrementalSat) {
+    // Warm-session mode: one task per session slot over a contiguous slice,
+    // so each (not thread-safe) session is touched by exactly one thread.
+    // Slicing does not affect verdicts — they are facts, and warm-solve
+    // timeouts fall back to the same fresh probe either mode would run.
+    ensureSessions();
+    const size_t slots = sessions_.size();
+    if (slots == 1 || pending.size() == 1) {
+      for (size_t i = 0; i < pending.size(); ++i) {
+        probes[i] = sessions_[0]->probe(pending[i].expr, pending[i].scope,
+                                        options_.solverConflictBudget);
+      }
+    } else {
+      if (pool_ == nullptr) {
+        pool_ = std::make_unique<support::ThreadPool>(options_.jobs - 1);
+      }
+      const size_t chunk = (pending.size() + slots - 1) / slots;
+      std::vector<std::function<void()>> tasks;
+      for (size_t k = 0; k * chunk < pending.size(); ++k) {
+        tasks.push_back([this, &pending, &probes, k, chunk] {
+          const size_t end = std::min(pending.size(), (k + 1) * chunk);
+          for (size_t i = k * chunk; i < end; ++i) {
+            probes[i] = sessions_[k]->probe(pending[i].expr, pending[i].scope,
+                                            options_.solverConflictBudget);
+          }
+        });
+      }
+      pool_->run(std::move(tasks));
+    }
+  } else if (options_.jobs <= 1 || pending.size() == 1) {
     for (size_t i = 0; i < pending.size(); ++i) {
       probes[i] =
           smt::probeConstant(arena_, pending[i].expr,
@@ -177,8 +252,17 @@ smt::ConstantProbe CheckEngine::settle(ExprRef e, const std::string& scope,
     }
   }
   EngineObs::get().syncProbes.add(1);
-  smt::ConstantProbe probe =
-      smt::probeConstant(arena_, e, options_.solverConflictBudget);
+  smt::ConstantProbe probe;
+  if (options_.incrementalSat) {
+    // Lazy checks run on the coordinating thread; slot 0's session is the
+    // designated warm solver for them.
+    drainRetirements();
+    ensureSessions();
+    probe = sessions_[0]->probe(e, scoped(scope),
+                                options_.solverConflictBudget);
+  } else {
+    probe = smt::probeConstant(arena_, e, options_.solverConflictBudget);
+  }
   if (outcome != nullptr) outcome->timedOut = probe.timedOut;
   if (options_.useVerdictCache && !probe.timedOut) {
     std::string tag = scoped(scope);

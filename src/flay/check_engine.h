@@ -2,14 +2,17 @@
 #define FLAY_FLAY_CHECK_ENGINE_H
 
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "expr/arena.h"
 #include "expr/canonical.h"
 #include "flay/verdict_cache.h"
+#include "smt/incremental.h"
 #include "smt/solver.h"
 #include "support/thread_pool.h"
 
@@ -29,6 +32,12 @@ struct CheckEngineOptions {
   size_t solverDagLimit = 512;
   /// Fail-safe deadline per underlying SAT call, in conflicts (0 = none).
   uint64_t solverConflictBudget = 20000;
+  /// Keep one warm assumption-based SAT session per worker slot and encode
+  /// delta CNF into it across probes, instead of a fresh solver per probe.
+  /// Verdicts are identical either way (warm kUnknowns fall back to a fresh
+  /// probe); this only trades memory for speed on repeated/overlapping
+  /// formulas.
+  bool incrementalSat = true;
 };
 
 /// How a verdict was obtained, for the caller's stats.
@@ -51,6 +60,38 @@ struct CheckQuery {
   std::string scope;
 };
 
+/// Collects scope invalidations signalled by the verdict cache — possibly
+/// from another thread, or another engine sharing the cache — until the
+/// owning engine's next synchronous drain point (prefetch/settle entry). The
+/// warm clause groups retire there; doing it inside the notification would
+/// race the worker threads that solve on those sessions.
+class ScopeRetirementQueue final : public ScopeArtifact {
+ public:
+  void onScopeInvalidated(const std::string& scope) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_.push_back(scope);
+  }
+  void onCacheCleared() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    cleared_ = true;
+    pending_.clear();  // subsumed by the full teardown
+  }
+  /// Returns the queued scopes and resets the queue. `clearAll` reports
+  /// whether the whole cache was dropped since the last drain, which
+  /// subsumes individual scope retirements.
+  std::vector<std::string> drain(bool* clearAll) {
+    std::lock_guard<std::mutex> lock(mu_);
+    *clearAll = cleared_;
+    cleared_ = false;
+    return std::exchange(pending_, {});
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<std::string> pending_;
+  bool cleared_ = false;
+};
+
 /// The semantics-check engine: answers the specializer's "is this
 /// specialized expression a constant?" questions through, in order, arena
 /// constant folding, a canonical-digest verdict cache, and budgeted
@@ -58,10 +99,14 @@ struct CheckQuery {
 /// a whole batch concurrently on a thread pool — safe because probes only
 /// read the (immutable once interned) arena and never intern nodes.
 ///
-/// Determinism: every probe uses a fresh solver with the same conflict
-/// budget, so a verdict is a pure function of the expression — identical
-/// across jobs settings, cache on/off, and prefetch vs lazy evaluation.
-/// Timeouts are deterministic for the same reason, and are never cached.
+/// Determinism: a verdict is a pure function of the expression. In the
+/// default fresh-solver mode every probe uses a fresh solver with the same
+/// conflict budget, so even timeouts are deterministic. In incremental mode
+/// (CheckEngineOptions::incrementalSat) each worker slot keeps a warm
+/// smt::ProbeSession; warm solves that exhaust their budget fall back to the
+/// fresh probe, so verdicts stay identical across jobs settings, cache
+/// on/off, incremental on/off, and prefetch vs lazy evaluation. Timeouts
+/// are never cached in either mode.
 class CheckEngine {
  public:
   /// `sharedCache` lets multiple engines (one per FlayService, e.g. across a
@@ -107,9 +152,19 @@ class CheckEngine {
                                      CheckOutcome* outcome = nullptr);
 
   /// Drops cached verdicts recorded under `scope` (memory hygiene when a
-  /// component respecializes; correctness never depends on this).
+  /// component respecializes). Also queues the scope's warm clause groups
+  /// for retirement — that part is a soundness requirement in incremental
+  /// mode: the scope's formulas are about to be replaced, and their retired
+  /// encodings must not satisfy later probes via stale memo hits.
   void invalidateScope(const std::string& scope);
   void clearCache();
+
+  /// Raises the shared-structure watermark for the warm sessions: arena
+  /// nodes interned before this point are version-lifetime program structure
+  /// and encode into the permanent clause group; newer nodes encode into
+  /// the probing scope's retirable group. Call at the start of an update
+  /// round with the arena's node count. No-op in fresh-solver mode.
+  void setIncrementalWatermark(uint32_t nodeId);
 
   VerdictCache& cache() { return *cache_; }
 
@@ -127,6 +182,11 @@ class CheckEngine {
   bool withinDagLimit(expr::ExprRef e) const;
   /// The cache scope tag for a component scope: scopePrefix_ + scope.
   std::string scoped(const std::string& scope) const;
+  /// Applies queued scope retirements to the warm sessions. Must only run
+  /// from the coordinating thread while no worker is solving.
+  void drainRetirements();
+  /// Lazily builds one warm ProbeSession per worker slot.
+  void ensureSessions();
 
   const expr::ExprArena& arena_;
   expr::CanonicalRenderer renderer_;
@@ -136,6 +196,12 @@ class CheckEngine {
   std::unique_ptr<support::ThreadPool> pool_;
   /// Expr id -> staged result from the last prefetch().
   std::unordered_map<uint32_t, Prefetched> prefetched_;
+  /// Warm incremental sessions, one per worker slot (jobs slots; a single
+  /// slot when serial). Slot k is only ever touched by prefetch task k or,
+  /// for slot 0, the coordinating thread — sessions are not thread-safe.
+  std::vector<std::unique_ptr<smt::ProbeSession>> sessions_;
+  std::shared_ptr<ScopeRetirementQueue> retirements_;
+  uint32_t watermark_ = 0;
 };
 
 }  // namespace flay::flay

@@ -282,6 +282,14 @@ UpdateVerdict FlayService::analyzeObjects(const std::set<std::string>& objects) 
   uint64_t tableDigestUs = 0;
   uint64_t pointDigestUs = 0;
 
+  // Everything interned before this round — program structure and surviving
+  // specializations alike — is shared across the probes that follow, so the
+  // warm solvers may encode it into their permanent clause group. Nodes the
+  // rebinding below interns fresh belong to this round's components and go
+  // into retirable scope groups.
+  checkEngine_->setIncrementalWatermark(
+      static_cast<uint32_t>(arena_->numNodes()));
+
   // Re-encode the updated objects plus every object whose encoding depends
   // on them, upstream first.
   std::vector<std::string> closure;

@@ -76,6 +76,7 @@ class Specializer::Impl {
     eopts.useVerdictCache = options_.useVerdictCache;
     eopts.solverDagLimit = options_.solverDagLimit;
     eopts.solverConflictBudget = options_.solverConflictBudget;
+    eopts.incrementalSat = options_.incrementalSat;
     engine_.configure(eopts);
   }
 

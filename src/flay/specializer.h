@@ -55,6 +55,11 @@ struct SpecializerOptions {
   /// verdict cache. Off = every check re-probes (for A/B testing; verdicts
   /// are identical either way).
   bool useVerdictCache = true;
+  /// Keep warm assumption-based SAT sessions across probes (delta CNF plus
+  /// learned-clause retention) instead of a fresh solver per probe. Off =
+  /// every probe pays the full encode+solve (for A/B testing; verdicts are
+  /// identical either way).
+  bool incrementalSat = true;
 };
 
 struct SpecializationResult {

@@ -59,29 +59,37 @@ void VerdictCache::insert(std::string_view rendering, CachedVerdict verdict,
                           std::span<const std::string> scopes) {
   CacheObs& o = CacheObs::get();
   uint64_t digest = digestOf(rendering);
-  std::lock_guard<std::mutex> lock(mu_);
-  if (entries_ >= maxEntries_) {
-    // Bounded memory beats recency bookkeeping on this hot path: a full
-    // cache is dropped wholesale and rebuilt by the very next check pass.
-    o.evictions.add(entries_);
-    buckets_.clear();
-    scopeIndex_.clear();
-    entries_ = 0;
+  std::vector<std::shared_ptr<ScopeArtifact>> listeners;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (entries_ >= maxEntries_) {
+      // Bounded memory beats recency bookkeeping on this hot path: a full
+      // cache is dropped wholesale and rebuilt by the very next check pass.
+      o.evictions.add(entries_);
+      buckets_.clear();
+      scopeIndex_.clear();
+      entries_ = 0;
+      listeners = liveArtifactsLocked();
+    }
+    std::vector<Entry>& bucket = buckets_[digest];
+    bool present = false;
+    for (const Entry& e : bucket) {
+      if (e.rendering == rendering) present = true;  // first verdict wins
+    }
+    if (!present) {
+      Entry entry;
+      entry.rendering = std::string(rendering);
+      entry.verdict = std::move(verdict);
+      entry.scopes.assign(scopes.begin(), scopes.end());
+      for (const std::string& s : entry.scopes) {
+        scopeIndex_[s].emplace_back(digest, entry.rendering);
+      }
+      bucket.push_back(std::move(entry));
+      ++entries_;
+      o.inserts.add(1);
+    }
   }
-  std::vector<Entry>& bucket = buckets_[digest];
-  for (const Entry& e : bucket) {
-    if (e.rendering == rendering) return;  // first verdict wins
-  }
-  Entry entry;
-  entry.rendering = std::string(rendering);
-  entry.verdict = std::move(verdict);
-  entry.scopes.assign(scopes.begin(), scopes.end());
-  for (const std::string& s : entry.scopes) {
-    scopeIndex_[s].emplace_back(digest, entry.rendering);
-  }
-  bucket.push_back(std::move(entry));
-  ++entries_;
-  o.inserts.add(1);
+  for (auto& a : listeners) a->onCacheCleared();
 }
 
 void VerdictCache::dropLocked(uint64_t digest, std::string_view rendering) {
@@ -99,20 +107,53 @@ void VerdictCache::dropLocked(uint64_t digest, std::string_view rendering) {
 }
 
 void VerdictCache::invalidateScope(const std::string& scope) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = scopeIndex_.find(scope);
-  if (it == scopeIndex_.end()) return;
-  for (const auto& [digest, rendering] : it->second) {
-    dropLocked(digest, rendering);
+  std::vector<std::shared_ptr<ScopeArtifact>> listeners;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = scopeIndex_.find(scope);
+    if (it != scopeIndex_.end()) {
+      for (const auto& [digest, rendering] : it->second) {
+        dropLocked(digest, rendering);
+      }
+      scopeIndex_.erase(it);
+    }
+    // Artifacts are notified even when the scope had no cached entries: the
+    // check engine may hold warm clause groups for scopes whose verdicts all
+    // timed out or were evicted.
+    listeners = liveArtifactsLocked();
   }
-  scopeIndex_.erase(it);
+  for (auto& a : listeners) a->onScopeInvalidated(scope);
 }
 
 void VerdictCache::clear() {
+  std::vector<std::shared_ptr<ScopeArtifact>> listeners;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    buckets_.clear();
+    scopeIndex_.clear();
+    entries_ = 0;
+    listeners = liveArtifactsLocked();
+  }
+  for (auto& a : listeners) a->onCacheCleared();
+}
+
+void VerdictCache::attachArtifact(std::weak_ptr<ScopeArtifact> artifact) {
   std::lock_guard<std::mutex> lock(mu_);
-  buckets_.clear();
-  scopeIndex_.clear();
-  entries_ = 0;
+  artifacts_.push_back(std::move(artifact));
+}
+
+std::vector<std::shared_ptr<ScopeArtifact>>
+VerdictCache::liveArtifactsLocked() {
+  std::vector<std::shared_ptr<ScopeArtifact>> live;
+  size_t keep = 0;
+  for (std::weak_ptr<ScopeArtifact>& w : artifacts_) {
+    if (std::shared_ptr<ScopeArtifact> s = w.lock()) {
+      live.push_back(std::move(s));
+      artifacts_[keep++] = std::move(w);
+    }
+  }
+  artifacts_.resize(keep);
+  return live;
 }
 
 size_t VerdictCache::size() const {

@@ -1,6 +1,7 @@
 #ifndef FLAY_FLAY_VERDICT_CACHE_H
 #define FLAY_FLAY_VERDICT_CACHE_H
 
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <span>
@@ -12,6 +13,24 @@
 #include "support/bitvec.h"
 
 namespace flay::flay {
+
+/// Listener for scope-keyed artifacts stored alongside the verdicts — e.g.
+/// the check engine's warm incremental-solver clause groups, which are keyed
+/// on the same scope tags as the cached verdicts and must retire when the
+/// scope is invalidated. Notifications may arrive from any thread (a fleet's
+/// shared cache is invalidated concurrently by several controllers), after
+/// the cache's own entries were dropped; implementations must only enqueue
+/// work and never call back into the cache.
+class ScopeArtifact {
+ public:
+  virtual ~ScopeArtifact() = default;
+  /// The entries recorded under `scope` were invalidated. Fires even when
+  /// the scope had no entries — artifacts may exist for scopes whose
+  /// verdicts all timed out or were evicted.
+  virtual void onScopeInvalidated(const std::string& scope) = 0;
+  /// The whole cache was dropped (explicit clear() or cap eviction).
+  virtual void onCacheCleared() = 0;
+};
 
 /// A settled semantics-check verdict: the specialized expression is a proven
 /// boolean constant, a proven bit-vector constant, or provably not constant.
@@ -57,6 +76,11 @@ class VerdictCache {
   void invalidateScope(const std::string& scope);
   void clear();
 
+  /// Registers an artifact listener, weakly held — expired listeners are
+  /// pruned on the next notification, so an engine that dies before its
+  /// (shared) cache needs no explicit detach.
+  void attachArtifact(std::weak_ptr<ScopeArtifact> artifact);
+
   size_t size() const;
 
   static constexpr size_t kDefaultMaxEntries = 1 << 16;
@@ -70,6 +94,9 @@ class VerdictCache {
 
   static uint64_t digestOf(std::string_view rendering);
   void dropLocked(uint64_t digest, std::string_view rendering);
+  /// Locks in still-live listeners (pruning the rest) so they can be
+  /// notified after mu_ is released.
+  std::vector<std::shared_ptr<ScopeArtifact>> liveArtifactsLocked();
 
   mutable std::mutex mu_;
   size_t maxEntries_;
@@ -79,6 +106,7 @@ class VerdictCache {
   /// scope -> (digest, rendering) pairs recorded under it.
   std::unordered_map<std::string, std::vector<std::pair<uint64_t, std::string>>>
       scopeIndex_;
+  std::vector<std::weak_ptr<ScopeArtifact>> artifacts_;
 };
 
 }  // namespace flay::flay

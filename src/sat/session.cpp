@@ -1,0 +1,75 @@
+#include "sat/session.h"
+
+#include <algorithm>
+
+namespace flay::sat {
+
+bool SolverSession::addClause(std::span<const Lit> lits) {
+  if (activeGroup_ == kPermanentGroup) return solver_.addClause(lits);
+  Group& g = groups_[activeGroup_];
+  assert(g.live && "emitting into a retired clause group");
+  if (!g.materialized) {
+    g.act = Lit::make(solver_.newVar(), false);
+    g.materialized = true;
+  }
+  clauseScratch_.assign(lits.begin(), lits.end());
+  // Guard literal last: never initially watched (see class comment).
+  clauseScratch_.push_back(~g.act);
+  return solver_.addClause(clauseScratch_);
+}
+
+uint32_t SolverSession::openGroup() {
+  groups_.push_back(Group{});
+  return nextGroup_++;
+}
+
+void SolverSession::retireGroup(uint32_t g) {
+  if (g == kPermanentGroup || g >= groups_.size() || !groups_[g].live) return;
+  groups_[g].live = false;
+  ++retired_;
+  // An unmaterialized group emitted no clauses; nothing to disable.
+  if (groups_[g].materialized) solver_.addUnit(~groups_[g].act);
+}
+
+bool SolverSession::groupLive(uint32_t g) const {
+  return g < groups_.size() && groups_[g].live;
+}
+
+size_t SolverSession::numLiveGroups() const {
+  size_t n = 0;
+  for (const Group& g : groups_) n += (g.live && g.materialized) ? 1 : 0;
+  return n;
+}
+
+void SolverSession::buildAssumptions(std::span<const Lit> user) {
+  assumptionScratch_.clear();
+  // Group-id order: deterministic for a fixed set of live groups.
+  for (uint32_t i = 1; i < groups_.size(); ++i) {
+    if (groups_[i].live && groups_[i].materialized) {
+      assumptionScratch_.push_back(groups_[i].act);
+    }
+  }
+  assumptionScratch_.insert(assumptionScratch_.end(), user.begin(),
+                            user.end());
+}
+
+Result SolverSession::solve(std::span<const Lit> assumptions) {
+  buildAssumptions(assumptions);
+  return solver_.solve(assumptionScratch_);
+}
+
+Result SolverSession::solveRestricted(std::span<const Lit> assumptions,
+                                      std::span<const uint32_t> decisionVars) {
+  buildAssumptions(assumptions);
+  return solver_.solveRestricted(assumptionScratch_, decisionVars);
+}
+
+Result SolverSession::solveRestricted(std::span<const Lit> assumptions,
+                                      std::span<const uint32_t> decisionVars,
+                                      std::span<const uint8_t> propagateMask) {
+  buildAssumptions(assumptions);
+  return solver_.solveRestricted(assumptionScratch_, decisionVars,
+                                 propagateMask);
+}
+
+}  // namespace flay::sat

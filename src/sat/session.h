@@ -1,0 +1,118 @@
+#ifndef FLAY_SAT_SESSION_H
+#define FLAY_SAT_SESSION_H
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sat/solver.h"
+
+namespace flay::sat {
+
+/// Assumption-based incremental solving session (MiniSat-style): a warm
+/// Solver whose clause database is partitioned into *groups*, each guarded by
+/// an activation literal. Clauses added while a non-permanent group `g` is
+/// active are stored as `(lits..., ~act_g)`; every solve assumes `act_g`
+/// for each live group, which switches the guarded clauses on. Retiring a
+/// group adds the level-0 unit `~act_g`, permanently satisfying (and thereby
+/// disabling) every clause in the group — push/pop without touching the
+/// clause store.
+///
+/// Lifetime rules:
+///  - Group 0 is the *permanent* group: clauses emitted into it carry no
+///    guard and can never be retired. Use it for encoding shared across the
+///    whole program version.
+///  - openGroup() mints a fresh group (ids from 1); retireGroup() disables
+///    it. Retirement is idempotent and final — a retired group id is never
+///    reused, and emitting into a retired group is a caller bug (asserted).
+///  - Learned clauses are entailed by the full original database (guards
+///    included), so they remain sound across every solve *and* across group
+///    retirement; the session keeps them warm for the lifetime of the
+///    underlying solver.
+///
+/// The guard literal is appended *last* so it is never one of the two
+/// initially watched literals: assuming `act_g = true` at solve time then
+/// visits only the (rare) learned clauses that happen to watch `~act_g`,
+/// not the whole group's clause list.
+class SolverSession final : public ClauseSink {
+ public:
+  static constexpr uint32_t kPermanentGroup = 0;
+
+  uint32_t newVar() override { return solver_.newVar(); }
+  uint32_t numVars() const override { return solver_.numVars(); }
+  bool modelValue(uint32_t v) const override { return solver_.modelValue(v); }
+  using ClauseSink::addClause;
+  using ClauseSink::addUnit;
+
+  /// Routes the clause into the active group (guarded unless the active
+  /// group is the permanent group 0).
+  bool addClause(std::span<const Lit> lits) override;
+
+  void setActiveGroup(uint32_t group) override {
+    assert(group < nextGroup_ && "unknown clause group");
+    activeGroup_ = group;
+  }
+  uint32_t activeGroup() const override { return activeGroup_; }
+
+  /// Mints a fresh retirable group and returns its id (ids start at 1; the
+  /// activation variable is allocated lazily on first clause emission so an
+  /// unused group costs nothing).
+  uint32_t openGroup();
+
+  /// Disables every clause in `g` via a level-0 unit on the negated
+  /// activation literal. Idempotent; retiring group 0 or an unknown id is a
+  /// no-op.
+  void retireGroup(uint32_t g);
+  bool groupLive(uint32_t g) const;
+  /// Live groups that have emitted at least one clause (these are the ones
+  /// that cost an assumption per solve).
+  size_t numLiveGroups() const;
+  size_t numRetiredGroups() const { return retired_; }
+
+  /// Solves under the live-group activation assumptions plus the caller's
+  /// assumptions (in that order — deterministic for a fixed group set).
+  Result solve(std::span<const Lit> assumptions = {});
+
+  /// Restricted-decision variant; see Solver::solveRestricted. The
+  /// decision-variable cone must cover the support of every caller
+  /// assumption (activation literals are accounted for by the session).
+  Result solveRestricted(std::span<const Lit> assumptions,
+                         std::span<const uint32_t> decisionVars);
+
+  /// Split decision/propagation variant; see the three-argument
+  /// Solver::solveRestricted.
+  Result solveRestricted(std::span<const Lit> assumptions,
+                         std::span<const uint32_t> decisionVars,
+                         std::span<const uint8_t> propagateMask);
+
+  void setConflictBudget(uint64_t maxConflictsPerSolve) {
+    solver_.setConflictBudget(maxConflictsPerSolve);
+  }
+
+  Solver& solver() { return solver_; }
+  const Solver& solver() const { return solver_; }
+
+ private:
+  void buildAssumptions(std::span<const Lit> user);
+
+  struct Group {
+    Lit act{UINT32_MAX};  // UINT32_MAX code = not yet materialized
+    bool live = true;
+    bool materialized = false;
+  };
+
+  Solver solver_;
+  std::vector<Group> groups_{Group{}};  // indexed by group id; [0] is the
+                                        // permanent group (never guarded,
+                                        // never retired)
+  uint32_t nextGroup_ = 1;
+  uint32_t activeGroup_ = kPermanentGroup;
+  size_t retired_ = 0;
+  std::vector<Lit> clauseScratch_;
+  std::vector<Lit> assumptionScratch_;
+};
+
+}  // namespace flay::sat
+
+#endif  // FLAY_SAT_SESSION_H

@@ -76,12 +76,18 @@ uint32_t Solver::newVar() {
   seen_.push_back(0);
   watches_.emplace_back();
   watches_.emplace_back();
+  binWatches_.emplace_back();
+  binWatches_.emplace_back();
   return v;
 }
 
 bool Solver::addClause(std::span<const Lit> lits) {
   if (unsat_) return false;
-  assert(trailLimits_.empty() && "clauses must be added at decision level 0");
+  // The database only changes at decision level 0. Assumption levels kept
+  // alive for trail reuse (see search()) are cancelled here: the new clause
+  // may be unit or conflicting under them, and level-0 normalization below
+  // must only see level-0 assignments.
+  if (!trailLimits_.empty()) backtrack(0);
   // Normalize: drop duplicate and false literals, detect tautologies and
   // already-satisfied clauses.
   std::vector<Lit> out;
@@ -117,6 +123,11 @@ bool Solver::addClause(std::span<const Lit> lits) {
 void Solver::attachClause(uint32_t idx) {
   const Clause& c = clauses_[idx];
   assert(c.lits.size() >= 2);
+  if (c.lits.size() == 2) {
+    binWatches_[(~c.lits[0]).code].push_back({c.lits[1], idx});
+    binWatches_[(~c.lits[1]).code].push_back({c.lits[0], idx});
+    return;
+  }
   watches_[(~c.lits[0]).code].push_back({idx, c.lits[1]});
   watches_[(~c.lits[1]).code].push_back({idx, c.lits[0]});
 }
@@ -133,6 +144,25 @@ int32_t Solver::propagate() {
   while (propagateHead_ < trail_.size()) {
     Lit p = trail_[propagateHead_++];
     ++propagations_;
+    for (const BinWatcher& bw : binWatches_[p.code]) {
+      const int8_t v = value(bw.other);
+      if (v == 1) continue;
+      if (v == 0) {
+        propagateHead_ = trail_.size();
+        return static_cast<int32_t>(bw.clauseIdx);
+      }
+      const uint32_t uv = bw.other.var();
+      if (restricted_ && trailLimits_.size() > assumptionCount_ &&
+          (uv >= propagateMask_.size() || !propagateMask_[uv])) {
+        // Out-of-cone unit; see the matching branch below.
+        continue;
+      }
+      // No touch of the backing clause here: analyze() skips the propagated
+      // literal by variable, so reason clauses need no ordering. Avoiding the
+      // dereference matters — it would be a random access into the (large)
+      // warm clause store for every binary implication.
+      enqueue(bw.other, static_cast<int32_t>(bw.clauseIdx));
+    }
     std::vector<Watcher>& ws = watches_[p.code];
     size_t keep = 0;
     for (size_t i = 0; i < ws.size(); ++i) {
@@ -171,6 +201,19 @@ int32_t Solver::propagate() {
         propagateHead_ = trail_.size();
         return static_cast<int32_t>(w.clauseIdx);
       }
+      const uint32_t unitVar = c.lits[0].var();
+      if (restricted_ && trailLimits_.size() > assumptionCount_ &&
+          (unitVar >= propagateMask_.size() || !propagateMask_[unitVar])) {
+        // Restricted solve, past the assumption levels: the unit literal is
+        // outside the decision cone. In a definitional database an
+        // unassigned gate output extends any cone model, so leave the clause
+        // silent instead of cascading propagation through every other
+        // probe's encoding. The watcher stays, so if the literal's variable
+        // is ever assigned the clause is checked normally. Assumption-level
+        // propagation (activation-literal cascades shared by every probe and
+        // preserved across solves by trail reuse) stays unrestricted.
+        continue;
+      }
       enqueue(c.lits[0], static_cast<int32_t>(w.clauseIdx));
     }
     ws.resize(keep);
@@ -193,10 +236,14 @@ void Solver::analyze(int32_t conflictIdx, std::vector<Lit>& outLearned,
     assert(reasonIdx != -1);
     Clause& c = clauses_[reasonIdx];
     if (c.learned) bumpClause(static_cast<uint32_t>(reasonIdx));
-    size_t start = first ? 0 : 1;
+    // For a reason clause, skip the literal it propagated (`p`); binary
+    // clauses are not kept ordered by propagate(), so match by variable
+    // rather than relying on position 0.
+    const bool isConflict = first;
     first = false;
-    for (size_t i = start; i < c.lits.size(); ++i) {
+    for (size_t i = 0; i < c.lits.size(); ++i) {
       Lit q = c.lits[i];
+      if (!isConflict && q.var() == p.var()) continue;
       if (seen_[q.var()] || levels_[q.var()] == 0) continue;
       seen_[q.var()] = 1;
       bumpVar(q.var());
@@ -242,15 +289,33 @@ void Solver::backtrack(uint32_t level) {
   trail_.resize(bound);
   trailLimits_.resize(level);
   propagateHead_ = trail_.size();
+  decisionCursor_ = 0;
 }
 
 Lit Solver::pickBranchLit() {
   uint32_t best = UINT32_MAX;
   double bestAct = -1.0;
-  for (uint32_t v = 0; v < numVars(); ++v) {
-    if (assigns_[v] == kUndef && varActivity_[v] > bestAct) {
-      bestAct = varActivity_[v];
-      best = v;
+  if (restricted_) {
+    // Restricted solve: only the probe's cone of influence is eligible, and
+    // the pick is a rolling cursor over the cone rather than an activity
+    // scan — probes over a definitional database are conflict-light, so
+    // VSIDS order buys nothing while an O(cone) scan per decision would make
+    // each solve quadratic in the cone. The cursor resets on backtrack (an
+    // unassigned variable may reappear behind it).
+    while (decisionCursor_ < decisionVars_.size() &&
+           assigns_[decisionVars_[decisionCursor_]] != kUndef) {
+      ++decisionCursor_;
+    }
+    if (decisionCursor_ < decisionVars_.size()) {
+      best = decisionVars_[decisionCursor_];
+    }
+  } else {
+    const uint32_t n = numVars();
+    for (uint32_t v = 0; v < n; ++v) {
+      if (assigns_[v] == kUndef && varActivity_[v] > bestAct) {
+        bestAct = varActivity_[v];
+        best = v;
+      }
     }
   }
   if (best == UINT32_MAX) return Lit{UINT32_MAX};
@@ -331,13 +396,57 @@ void Solver::reduceLearned() {
     if (r >= 0) r = remap[r];
   }
   for (auto& ws : watches_) ws.clear();
+  for (auto& ws : binWatches_) ws.clear();
   for (uint32_t i = 0; i < clauses_.size(); ++i) attachClause(i);
 }
 
 Result Solver::solve(std::span<const Lit> assumptions) {
+  restricted_ = false;
+  decisionVars_ = {};
+  return search(assumptions);
+}
+
+Result Solver::solveRestricted(std::span<const Lit> assumptions,
+                               std::span<const uint32_t> decisionVars) {
+  maskScratch_.assign(numVars(), 0);
+  for (uint32_t v : decisionVars) maskScratch_[v] = 1;
+  return solveRestricted(assumptions, decisionVars, maskScratch_);
+}
+
+Result Solver::solveRestricted(std::span<const Lit> assumptions,
+                               std::span<const uint32_t> decisionVars,
+                               std::span<const uint8_t> propagateMask) {
+  restricted_ = true;
+  decisionVars_ = decisionVars;
+  propagateMask_ = propagateMask;
+  decisionCursor_ = 0;  // new decision-var span; backtrack() may not run
+  Result r = search(assumptions);
+  restricted_ = false;
+  decisionVars_ = {};
+  propagateMask_ = {};
+  return r;
+}
+
+Result Solver::search(std::span<const Lit> assumptions) {
   if (unsat_) return Result::kUnsat;
   StatsFlusher stats(*this);
-  backtrack(0);
+  // Assumption-trail reuse: decision levels whose assumptions match a prefix
+  // of the previous solve's assumptions are kept, along with everything they
+  // propagated. A warm session assumes the same activation literals on every
+  // probe, so the (potentially whole-database) propagation cascade those
+  // trigger is paid once per group-set change instead of once per solve.
+  // Every terminal path below leaves at most the applied assumption levels on
+  // the trail, and addClause() cancels them, so the preserved prefix is
+  // always exactly the propagation closure of those assumptions.
+  size_t keep = 0;
+  while (keep < assumptions.size() && keep < lastAssumptions_.size() &&
+         keep < trailLimits_.size() &&
+         assumptions[keep] == lastAssumptions_[keep]) {
+    ++keep;
+  }
+  backtrack(static_cast<uint32_t>(keep));
+  lastAssumptions_.assign(assumptions.begin(), assumptions.end());
+  assumptionCount_ = assumptions.size();
   uint64_t restartNum = 0;
   uint64_t conflictBudget = 100 * luby(restartNum + 1);
   uint64_t conflictsThisRestart = 0;
@@ -397,7 +506,10 @@ Result Solver::solve(std::span<const Lit> assumptions) {
     if (trailLimits_.size() < assumptions.size()) {
       Lit a = assumptions[trailLimits_.size()];
       if (value(a) == 0) {
-        backtrack(0);
+        // Keep the already-applied assumption levels for the next solve: a
+        // repeated unsat probe (e.g. a constant point re-checked under the
+        // same activation set) then fails here immediately instead of
+        // re-propagating the whole activation cascade.
         return Result::kUnsat;
       }
       trailLimits_.push_back(static_cast<uint32_t>(trail_.size()));
@@ -406,9 +518,15 @@ Result Solver::solve(std::span<const Lit> assumptions) {
     }
     Lit next = pickBranchLit();
     if (next.code == UINT32_MAX) {
-      // All variables assigned: model found.
-      model_ = assigns_;
-      backtrack(0);
+      // Every decision-eligible variable is assigned: model found. Merge the
+      // trail into the stored model instead of overwriting it wholesale — a
+      // restricted solve leaves variables outside its cone unassigned, and
+      // their previous model values (used for phase saving and for cached
+      // model reads) must survive.
+      for (Lit l : trail_) model_[l.var()] = assigns_[l.var()];
+      // Drop only the free-search decisions; the assumption levels stay for
+      // prefix reuse by the next solve.
+      backtrack(static_cast<uint32_t>(assumptions.size()));
       return Result::kSat;
     }
     ++decisions_;

@@ -25,28 +25,97 @@ struct Lit {
 /// treat it conservatively (neither sat nor unsat is proven).
 enum class Result { kSat, kUnsat, kUnknown };
 
-/// Conflict-driven clause-learning SAT solver: two-watched-literal
-/// propagation, VSIDS branching, 1-UIP clause learning, Luby restarts, and
-/// learned-clause reduction. Small but complete — the engine behind the
-/// bit-vector queries Flay asks instead of Z3.
-class Solver {
+/// Destination for CNF emission. The bit-blaster and the delta-CNF encoder
+/// write through this interface so the same Tseitin code can feed either a
+/// plain per-probe Solver (every clause unguarded and permanent) or a
+/// SolverSession (clauses routed into activation-literal-guarded groups that
+/// can later be retired when the program component they encode is
+/// respecialized).
+class ClauseSink {
  public:
-  /// Creates a fresh variable and returns its index.
-  uint32_t newVar();
-  uint32_t numVars() const { return static_cast<uint32_t>(assigns_.size()); }
+  virtual ~ClauseSink() = default;
 
-  /// Adds a clause (disjunction of literals). An empty clause makes the
-  /// instance trivially unsatisfiable. Returns false if the instance is
-  /// already known to be unsat.
-  bool addClause(std::span<const Lit> lits);
+  /// Creates a fresh variable and returns its index.
+  virtual uint32_t newVar() = 0;
+  virtual uint32_t numVars() const = 0;
+
+  /// Adds a clause (disjunction of literals). Returns false if the instance
+  /// is already known to be unsat.
+  virtual bool addClause(std::span<const Lit> lits) = 0;
+
+  /// Value of variable `v` in the model of the last kSat answer.
+  virtual bool modelValue(uint32_t v) const = 0;
+
+  /// Clause-group routing. Group 0 is the permanent group; sinks without
+  /// group support ignore the setting and emit everything unguarded.
+  virtual void setActiveGroup(uint32_t /*group*/) {}
+  virtual uint32_t activeGroup() const { return 0; }
+
   bool addClause(std::initializer_list<Lit> lits) {
     return addClause(std::span<const Lit>(lits.begin(), lits.size()));
   }
   bool addUnit(Lit l) { return addClause({l}); }
+};
+
+/// Conflict-driven clause-learning SAT solver: two-watched-literal
+/// propagation, VSIDS branching, 1-UIP clause learning, Luby restarts, and
+/// learned-clause reduction. Small but complete — the engine behind the
+/// bit-vector queries Flay asks instead of Z3.
+class Solver final : public ClauseSink {
+ public:
+  uint32_t newVar() override;
+  uint32_t numVars() const override {
+    return static_cast<uint32_t>(assigns_.size());
+  }
+
+  /// Adds a clause (disjunction of literals). An empty clause makes the
+  /// instance trivially unsatisfiable. Returns false if the instance is
+  /// already known to be unsat.
+  bool addClause(std::span<const Lit> lits) override;
+  using ClauseSink::addClause;
+  using ClauseSink::addUnit;
 
   /// Solves under optional assumptions. Can be called repeatedly; learned
-  /// clauses persist between calls.
+  /// clauses persist between calls. Consecutive solves additionally reuse the
+  /// trail for the longest shared assumption prefix: the decision levels (and
+  /// all propagation) for assumptions that match the previous call positionally
+  /// are kept instead of being rebuilt, so a warm session that assumes a
+  /// stable set of activation literals pays their propagation cascade once,
+  /// not once per probe. addClause() invalidates the kept levels.
   Result solve(std::span<const Lit> assumptions = {});
+
+  /// Solves under assumptions with decisions restricted to `decisionVars`,
+  /// declaring kSat as soon as every decision variable is assigned without
+  /// conflict (other variables may remain unassigned). Sound only when the
+  /// clause database is purely definitional outside the assumptions — i.e.
+  /// every clause not satisfied by a level-0 unit or an assumption is part of
+  /// a Tseitin gate definition whose output can be evaluated from its inputs
+  /// — and `decisionVars` covers the full support cone of every assumption
+  /// that is not an activation literal. Under those conditions any partial
+  /// assignment that satisfies the cone extends to a total model by
+  /// evaluating the remaining gates, so kSat is genuine; kUnsat conclusions
+  /// are sound unconditionally. This is what lets a warm incremental session
+  /// answer a probe by exploring only the probe's cone of influence instead
+  /// of re-assigning every variable the session has ever allocated.
+  Result solveRestricted(std::span<const Lit> assumptions,
+                         std::span<const uint32_t> decisionVars);
+
+  /// As above, but with separate decision and propagation sets: decisions are
+  /// restricted to `decisionVars` (typically the free input bits of the
+  /// probe's cone) while propagation may additionally assign any variable `v`
+  /// with `propagateMask[v] != 0` (the full cone, inputs and Tseitin gate
+  /// outputs alike; variables at or past `propagateMask.size()` are outside).
+  /// In a definitional database every gate output is forced by propagation
+  /// once its inputs are assigned, so restricting decisions to the inputs
+  /// answers the same query with O(inputs) decisions instead of O(cone).
+  /// The mask is consulted in place and must stay valid for the duration of
+  /// the call; handing over a persistent per-cone mask makes solve setup O(1)
+  /// instead of O(cone) re-stamping per solve. `decisionVars` must be covered
+  /// by the mask; unit propagation outside it is suppressed past the
+  /// assumption levels (see propagate()).
+  Result solveRestricted(std::span<const Lit> assumptions,
+                         std::span<const uint32_t> decisionVars,
+                         std::span<const uint8_t> propagateMask);
 
   /// Fail-safe deadline: each subsequent solve() call may spend at most this
   /// many conflicts before giving up with Result::kUnknown (0 = unlimited).
@@ -59,8 +128,14 @@ class Solver {
   /// Number of solve() calls that ran out of budget.
   uint64_t numBudgetExhaustions() const { return budgetExhaustions_; }
 
-  /// Value of variable `v` in the model of the last kSat answer.
-  bool modelValue(uint32_t v) const { return model_[v] == 1; }
+  /// Value of variable `v` in the model of the last kSat answer. After a
+  /// restricted solve only the decision variables (plus whatever propagation
+  /// reached) are refreshed; other variables keep their previous model
+  /// values.
+  bool modelValue(uint32_t v) const override { return model_[v] == 1; }
+
+  /// Total clauses in the database (original + learned).
+  uint64_t numClauses() const { return clauses_.size(); }
 
   // Statistics, exposed for benchmarks and tests.
   uint64_t numConflicts() const { return conflicts_; }
@@ -91,12 +166,25 @@ class Solver {
     Lit blocker;
   };
 
+  /// Binary clauses get dedicated implication lists instead of general
+  /// watchers: the implied literal is stored inline, so scanning one costs a
+  /// single value lookup with no clause dereference and no watch-migration
+  /// attempt. This matters for warm sessions — a binary gate clause watching
+  /// a variable shared across many probes' encodings can never migrate its
+  /// watch elsewhere, so with general watchers every solve re-scans every
+  /// other probe's gates through the full clause path.
+  struct BinWatcher {
+    Lit other;          // the implied literal
+    uint32_t clauseIdx;  // backing clause, for conflict analysis reasons
+  };
+
   int8_t value(Lit l) const {
     int8_t v = assigns_[l.var()];
     if (v == kUndef) return kUndef;
     return l.negated() ? static_cast<int8_t>(1 - v) : v;
   }
 
+  Result search(std::span<const Lit> assumptions);
   void enqueue(Lit l, int32_t reasonClause);
   /// Returns the index of a conflicting clause, or -1.
   int32_t propagate();
@@ -112,7 +200,8 @@ class Solver {
   static uint64_t luby(uint64_t i);
 
   std::vector<Clause> clauses_;
-  std::vector<std::vector<Watcher>> watches_;  // indexed by Lit code
+  std::vector<std::vector<Watcher>> watches_;        // indexed by Lit code
+  std::vector<std::vector<BinWatcher>> binWatches_;  // indexed by Lit code
   std::vector<int8_t> assigns_;                // var -> 0/1/kUndef
   std::vector<int8_t> model_;
   std::vector<uint32_t> levels_;       // var -> decision level
@@ -126,6 +215,20 @@ class Solver {
   double clauseActivityInc_ = 1.0;
   std::vector<uint8_t> seen_;  // scratch for analyze()
   bool unsat_ = false;
+  // Assumptions of the previous search(), for assumption-trail reuse.
+  std::vector<Lit> lastAssumptions_;
+
+  // Restricted-decision state for solveRestricted(); cleared on return.
+  bool restricted_ = false;
+  std::span<const uint32_t> decisionVars_;
+  // Caller-owned cone-membership mask (nonzero byte = propagation allowed)
+  // and the assumption count of the current search, used to confine
+  // decision-level propagation to the probe's cone.
+  std::span<const uint8_t> propagateMask_;
+  std::vector<uint8_t> maskScratch_;  // backs the two-argument overload
+  size_t assumptionCount_ = 0;
+  // Rolling pick position in decisionVars_; reset by backtrack().
+  size_t decisionCursor_ = 0;
 
   uint64_t conflicts_ = 0;
   uint64_t decisions_ = 0;

@@ -1,0 +1,143 @@
+#ifndef FLAY_SMT_INCREMENTAL_H
+#define FLAY_SMT_INCREMENTAL_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "expr/arena.h"
+#include "expr/eval.h"
+#include "sat/session.h"
+#include "smt/bitblaster.h"
+#include "smt/solver.h"
+
+namespace flay::smt {
+
+struct ProbeSessionOptions {
+  /// Rebuild valve: when the warm solver exceeds either cap, the session is
+  /// torn down and re-warmed from scratch. Retired clauses are disabled but
+  /// not physically reclaimed, and per-probe eqConst gates accumulate, so
+  /// the valve is what bounds memory over a long-lived session.
+  uint32_t maxVars = 1u << 17;
+  uint64_t maxClauses = 1u << 18;
+};
+
+/// Warm incremental constantness prober: the session-lifetime counterpart of
+/// smt::probeConstant. One instance owns one sat::SolverSession plus one
+/// incremental BitBlaster and answers many probes across updates to the same
+/// program version, reusing the Tseitin encoding (delta CNF: unchanged
+/// subexpressions are memo hits costing zero clauses) and the solver's
+/// learned clauses.
+///
+/// Scopes and clause groups: each probe names the program component (scope)
+/// it belongs to. Encoding emitted for nodes interned during the current
+/// update round lands in that scope's activation-literal clause group;
+/// nodes older than the watermark (see setNodeWatermark) are shared program
+/// structure and encode into the permanent group. retireScope() disables a
+/// scope's group and purges every memo entry that depended on it — required
+/// for soundness, because a retired group's gate variables become
+/// unconstrained and a stale memo hit would manufacture spurious
+/// "not constant" answers.
+///
+/// Witness memo: a "not constant" verdict is re-provable without any SAT
+/// search — two input valuations on which the expression concretely
+/// evaluates to different values are a standing disproof of constancy, and
+/// because expressions are immutable hash-consed arena nodes the proof can
+/// never go stale. The session captures such a pair from the solver models
+/// the first time a point is proven not-constant and re-checks it by two
+/// concrete evaluations (microseconds, zero solver work) on every later
+/// probe of the same expression. Constant points symmetrically remember
+/// their proven value so steady-state re-proof is a single UNSAT solve
+/// against it (the equality gate is an encoding memo hit) instead of a
+/// model search plus a refutation. Both memos survive rebuild() and scope
+/// retirement — they reference only arena-level semantics, not encoding
+/// state.
+///
+/// Determinism: verdicts are facts about expressions, so warm and fresh
+/// probes can only diverge through kUnknown (conflict-budget exhaustion).
+/// Whenever any warm solve returns kUnknown the session falls back to a
+/// fresh smt::probeConstant with the same budget, making its timeout
+/// behavior identical to the non-incremental path. The witness fast path
+/// only ever returns verdicts a budget-free solve would also return, and a
+/// failed remembered-value re-proof (budget exhaustion) drops through to
+/// the same fresh fallback.
+///
+/// Not thread-safe: the check engine keeps one session per worker slot.
+class ProbeSession {
+ public:
+  explicit ProbeSession(const expr::ExprArena& arena,
+                        ProbeSessionOptions options = {});
+
+  ProbeSession(const ProbeSession&) = delete;
+  ProbeSession& operator=(const ProbeSession&) = delete;
+
+  /// Probes whether `e` is constant. `scope` tags newly emitted clause
+  /// groups; `maxConflicts` bounds every underlying SAT call (0 =
+  /// unlimited), exactly like probeConstant.
+  ConstantProbe probe(expr::ExprRef e, const std::string& scope,
+                      uint64_t maxConflicts);
+
+  /// Retires the clause group(s) opened for `scope` and purges dependent
+  /// encoding. No-op for scopes this session never encoded for.
+  void retireScope(const std::string& scope);
+
+  /// Raises the shared-structure watermark: arena nodes with id below it
+  /// encode into the permanent group from now on. Typically the arena node
+  /// count at the start of an update round. Never lowers.
+  void setNodeWatermark(uint32_t nodeId);
+
+  /// Drops all warm state (solver, encoding, scope groups). The next probe
+  /// re-warms lazily.
+  void rebuild();
+
+  uint64_t numRebuilds() const { return rebuilds_; }
+  uint64_t numFallbacks() const { return fallbacks_; }
+  const sat::SolverSession& session() const { return *session_; }
+
+ private:
+  /// Two input valuations (symbol id -> concrete value) under which the
+  /// expression evaluates differently; a permanent disproof of constancy.
+  struct Witness {
+    std::vector<std::pair<uint32_t, expr::Value>> a, b;
+  };
+
+  uint32_t groupForScope(const std::string& scope);
+  void maybeRebuild();
+  /// Runs the warm two-sided constantness check; returns false when any
+  /// solve exhausted its budget (caller falls back to a fresh probe).
+  bool tryProbe(expr::ExprRef e, const std::string& scope,
+                uint64_t maxConflicts, ConstantProbe* out);
+  /// Re-proves a remembered not-constant verdict by concretely evaluating
+  /// `e` under both stored witness valuations. Returns false (after
+  /// dropping the pair) if no witness is stored or it fails to
+  /// discriminate.
+  bool tryWitness(expr::ExprRef e, ConstantProbe* out);
+  /// Variable leaves reachable from `e`, cached per expression id.
+  const std::vector<expr::ExprRef>& supportVars(expr::ExprRef e);
+  /// Reads the last solver model's value for every variable in `e`'s
+  /// support. Only valid immediately after a kSat solve whose decision cone
+  /// covered `e`.
+  std::vector<std::pair<uint32_t, expr::Value>> readSupportModel(
+      expr::ExprRef e);
+
+  const expr::ExprArena& arena_;
+  ProbeSessionOptions options_;
+  std::unique_ptr<sat::SolverSession> session_;
+  std::unique_ptr<BitBlaster> blaster_;
+  std::unordered_map<std::string, uint32_t> scopeGroups_;
+  expr::Evaluator eval_{arena_};
+  // Keyed by expression id; survive rebuild() (see class comment).
+  std::unordered_map<uint32_t, Witness> witnesses_;
+  std::unordered_map<uint32_t, expr::Value> knownValues_;
+  std::unordered_map<uint32_t, std::vector<expr::ExprRef>> supportCache_;
+  uint32_t watermark_ = 0;
+  uint64_t rebuilds_ = 0;
+  uint64_t fallbacks_ = 0;
+};
+
+}  // namespace flay::smt
+
+#endif  // FLAY_SMT_INCREMENTAL_H

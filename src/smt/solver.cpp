@@ -3,34 +3,13 @@
 #include <array>
 
 #include "obs/obs.h"
+#include "smt/internal_obs.h"
 
 namespace flay::smt {
 
 using expr::ExprRef;
-
-namespace {
-
-/// Telemetry for the queries Flay issues instead of Z3 calls. The SAT layer
-/// below reports its own conflict/propagation counters; these count at the
-/// query granularity of §3's analysis.
-struct SmtObs {
-  obs::Registry& reg = obs::Registry::global();
-  obs::Counter& checks = reg.counter("smt.checks");
-  obs::Counter& satResults = reg.counter("smt.sat_results");
-  obs::Counter& unsatResults = reg.counter("smt.unsat_results");
-  obs::Counter& unknownResults = reg.counter("smt.unknown_results");
-  obs::Counter& validQueries = reg.counter("smt.valid_queries");
-  obs::Counter& constantQueries = reg.counter("smt.constant_queries");
-  obs::Counter& foldedQueries = reg.counter("smt.folded_queries");
-  obs::Histogram& checkUs = reg.histogram("smt.check_us");
-
-  static SmtObs& get() {
-    static SmtObs instance;
-    return instance;
-  }
-};
-
-}  // namespace
+using internal::PhaseTimer;
+using internal::SmtObs;
 
 SmtSolver::SmtSolver(const expr::ExprArena& arena)
     : arena_(arena),
@@ -214,6 +193,7 @@ ConstantProbe probeConstant(const expr::ExprArena& arena, ExprRef e,
   }
   o.constantQueries.add(1);
   obs::ScopedTimer timer(o.checkUs, "smt.probe_constant");
+  PhaseTimer phases;
   sat::Solver sat;
   sat.setConflictBudget(maxConflicts);
   BitBlaster blaster(arena, sat);
@@ -223,10 +203,21 @@ ConstantProbe probeConstant(const expr::ExprArena& arena, ExprRef e,
     return probe;
   };
   if (arena.isBool(e)) {
-    sat::Lit l = blaster.blastBool(e);
-    sat::Result asTrue = sat.solve(std::array{l});
+    sat::Lit l;
+    {
+      auto t = phases.encode();
+      l = blaster.blastBool(e);
+    }
+    sat::Result asTrue, asFalse;
+    {
+      auto t = phases.solve();
+      asTrue = sat.solve(std::array{l});
+    }
     if (asTrue == sat::Result::kUnknown) return expired();
-    sat::Result asFalse = sat.solve(std::array{~l});
+    {
+      auto t = phases.solve();
+      asFalse = sat.solve(std::array{~l});
+    }
     if (asFalse == sat::Result::kUnknown) return expired();
     bool canBeTrue = asTrue == sat::Result::kSat;
     bool canBeFalse = asFalse == sat::Result::kSat;
@@ -240,8 +231,15 @@ ConstantProbe probeConstant(const expr::ExprArena& arena, ExprRef e,
   }
   // Encode e before the model run: the solve must range over its bits for
   // bvModelValue to read a candidate out of the model.
-  blaster.blastBv(e);
-  sat::Result modelRun = sat.solve();
+  {
+    auto t = phases.encode();
+    blaster.blastBv(e);
+  }
+  sat::Result modelRun;
+  {
+    auto t = phases.solve();
+    modelRun = sat.solve();
+  }
   if (modelRun == sat::Result::kUnknown) return expired();
   if (modelRun != sat::Result::kSat) {
     // Unreachable in a consistent encoding, but be conservative.
@@ -251,8 +249,16 @@ ConstantProbe probeConstant(const expr::ExprArena& arena, ExprRef e,
   BitVec v = blaster.bvModelValue(e);
   // e is constant iff no model disagrees with v. Reusing the solver keeps
   // the Tseitin encoding (and its learned clauses) for the second call.
-  sat::Lit same = blaster.eqConst(e, v);
-  sat::Result differs = sat.solve(std::array{~same});
+  sat::Lit same;
+  {
+    auto t = phases.encode();
+    same = blaster.eqConst(e, v);
+  }
+  sat::Result differs;
+  {
+    auto t = phases.solve();
+    differs = sat.solve(std::array{~same});
+  }
   if (differs == sat::Result::kUnknown) return expired();
   if (differs == sat::Result::kSat) {
     probe.notConstant = true;

@@ -1,14 +1,17 @@
 #!/bin/sh
-# Cache/parallel equivalence test for the semantics-check engine.
+# Cache/parallel/incremental-SAT equivalence test for the semantics-check
+# engine.
 #
 #   cache_equiv.sh <path-to-flayc> <programs-dir>
 #
 # The engine's contract is that a verdict is a pure function of the
 # specialized expression: the same program and update trace must print
-# byte-identical output whatever the --jobs count and whether the verdict
-# cache is on. This runs `flayc fuzz` (whose final "specialization verdicts"
+# byte-identical output whatever the --jobs count, whether the verdict cache
+# is on, and whether probes run on warm incremental SAT sessions or a fresh
+# solver each. This runs `flayc fuzz` (whose final "specialization verdicts"
 # line summarizes every engine verdict of a full specialize) and `flayc
-# specialize` under all four settings and diffs the complete stdout.
+# specialize` under all eight jobs x cache x incremental settings and diffs
+# the complete stdout.
 set -u
 
 FLAYC=$1
@@ -22,15 +25,22 @@ note() { printf '%s\n' "$*"; }
 fail() { note "FAIL: $*"; failures=$((failures + 1)); }
 
 # compare <label> -- <subcommand args...>
-# Runs the command under jobs=1/cache, jobs=4/cache, jobs=1/no-cache,
-# jobs=4/no-cache and requires identical stdout.
+# Runs the command under the 2x2x2 matrix of {jobs 1, jobs 4} x {cache,
+# no-cache} x {incremental, fresh solver} and requires identical stdout.
 compare() {
   label=$1; shift; shift
   "$FLAYC" "$@" >"$TMP/ref.out" 2>&1 || {
     fail "$label: baseline run failed"
     return
   }
-  for variant in "--jobs 4" "--no-verdict-cache" "--jobs 4 --no-verdict-cache"; do
+  for variant in \
+      "--jobs 4" \
+      "--no-verdict-cache" \
+      "--jobs 4 --no-verdict-cache" \
+      "--no-incremental-sat" \
+      "--jobs 4 --no-incremental-sat" \
+      "--no-verdict-cache --no-incremental-sat" \
+      "--jobs 4 --no-verdict-cache --no-incremental-sat"; do
     # shellcheck disable=SC2086
     "$FLAYC" "$@" $variant >"$TMP/var.out" 2>&1 || {
       fail "$label ($variant): run failed"
@@ -58,4 +68,4 @@ if [ "$failures" -ne 0 ]; then
   note "$failures check(s) failed"
   exit 1
 fi
-note "all cache/parallel equivalence checks passed"
+note "all cache/parallel/incremental equivalence checks passed"

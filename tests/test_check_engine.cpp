@@ -461,5 +461,204 @@ TEST_F(CheckEngineTest, CacheOffLeavesCacheEmpty)
   EXPECT_EQ(service.checkEngine().cache().size(), 0u);
 }
 
+// ---------------------------------------------------------------------------
+// Incremental SAT: delta-CNF encoding vs full re-encoding
+
+// A specialize run answers identically with warm incremental sessions and
+// with a fresh solver per probe — the core equivalence of the delta-CNF
+// path, checked on the printed program and every verdict-derived stat.
+TEST_F(CheckEngineTest, IncrementalAndFreshSpecializeIdentically) {
+  auto runWith = [&](bool incremental, size_t jobs) {
+    FlayService service(checked);
+    populate(service);
+    SpecializerOptions sopts;
+    sopts.jobs = jobs;
+    sopts.incrementalSat = incremental;
+    return Specializer(service, sopts).specialize();
+  };
+  SpecializationResult fresh = runWith(false, 1);
+  for (size_t jobs : {size_t{1}, size_t{4}}) {
+    SpecializationResult warm = runWith(true, jobs);
+    EXPECT_EQ(p4::printProgram(warm.program), p4::printProgram(fresh.program))
+        << "jobs=" << jobs;
+    EXPECT_EQ(warm.stats.totalChanges(), fresh.stats.totalChanges());
+    EXPECT_EQ(warm.stats.solverQueries, fresh.stats.solverQueries);
+    EXPECT_EQ(warm.stats.solverTimeouts, fresh.stats.solverTimeouts);
+  }
+}
+
+// Delta-parity under churn: a fuzzed update script drives two services in
+// lockstep — one probing through warm incremental sessions (delta CNF,
+// clause-group retirement on every respecialized component), one through
+// fresh per-probe solvers — and every program point's verdict must match
+// point-by-point after every round.
+TEST_F(CheckEngineTest, FuzzedUpdateScriptKeepsDeltaAndFullEncodingInParity) {
+  FlayService warm(checked);
+  FlayService fresh(checked);
+  {
+    CheckEngineOptions on;
+    on.incrementalSat = true;
+    warm.checkEngine().configure(on);
+    CheckEngineOptions off;
+    off.incrementalSat = false;
+    fresh.checkEngine().configure(off);
+  }
+  std::mt19937 rng(20260808);
+  std::vector<uint64_t> t1Ids, t2Ids;
+  uint64_t nextId = 1;
+  for (int round = 0; round < 12; ++round) {
+    // One random update, applied to both services.
+    Update u = Update::insert("C.t1", ternaryEntry(0, 0, "noop", 0, 1));
+    switch (rng() % 5) {
+      case 0:
+        u = Update::insert(
+            "C.t1", ternaryEntry(rng() % 256, rng() % 2 ? 0xFF : 0xF0,
+                                 rng() % 2 ? "set_a" : "drop_pkt", rng() % 256,
+                                 static_cast<int32_t>(1 + rng() % 4)));
+        t1Ids.push_back(nextId++);
+        break;
+      case 1:
+        u = Update::insert("C.t2", exactEntry(rng() % 256, rng() % 256));
+        t2Ids.push_back(nextId++);
+        break;
+      case 2:
+        if (!t1Ids.empty()) {
+          size_t k = rng() % t1Ids.size();
+          u = Update::remove("C.t1", t1Ids[k]);
+          t1Ids.erase(t1Ids.begin() + static_cast<ptrdiff_t>(k));
+        }
+        break;
+      case 3:
+        if (!t2Ids.empty()) {
+          size_t k = rng() % t2Ids.size();
+          u = Update::remove("C.t2", t2Ids[k]);
+          t2Ids.erase(t2Ids.begin() + static_cast<ptrdiff_t>(k));
+        }
+        break;
+      default:
+        u = Update::setDefault("C.t1", rng() % 2 ? "drop_pkt" : "noop", {});
+        break;
+    }
+    try {
+      warm.applyUpdate(u);
+      fresh.applyUpdate(u);
+    } catch (const std::exception&) {
+      continue;  // duplicate/malformed draw: both services rejected it alike
+    }
+    ASSERT_EQ(warm.stateDigest(), fresh.stateDigest()) << "round " << round;
+    // Point-by-point verdict parity on the freshly specialized expressions.
+    for (const auto& p : warm.analysis().annotations.points()) {
+      const auto& fp = fresh.analysis().annotations.point(p.id);
+      ASSERT_EQ(p.specialized, fp.specialized);
+      if (warm.arena().isBool(p.specialized)) {
+        TriVerdict w =
+            warm.checkEngine().boolVerdict(p.specialized, p.component);
+        TriVerdict f =
+            fresh.checkEngine().boolVerdict(fp.specialized, fp.component);
+        ASSERT_EQ(static_cast<int>(w), static_cast<int>(f))
+            << "round " << round << " point " << p.id << " (" << p.label
+            << ")";
+      } else {
+        auto w = warm.checkEngine().constVerdict(p.specialized, p.component);
+        auto f = fresh.checkEngine().constVerdict(fp.specialized, fp.component);
+        ASSERT_EQ(w.has_value(), f.has_value())
+            << "round " << round << " point " << p.id;
+        if (w.has_value()) ASSERT_EQ(w->toHexString(), f->toHexString());
+      }
+    }
+  }
+}
+
+// Builds an unsat pigeonhole formula PH(5,4) as a boolean expression: small
+// enough for the DAG limit, but expensive enough that a near-zero conflict
+// budget reliably expires on it.
+expr::ExprRef pigeonholeExpr(expr::ExprArena& arena) {
+  using expr::ExprRef;
+  constexpr int P = 5, H = 4;
+  ExprRef x[P][H];
+  for (int p = 0; p < P; ++p) {
+    for (int h = 0; h < H; ++h) {
+      x[p][h] = arena.boolVar("ph" + std::to_string(p) + "_" +
+                                  std::to_string(h),
+                              expr::SymbolClass::kDataPlane);
+    }
+  }
+  ExprRef all = arena.boolConst(true);
+  for (int p = 0; p < P; ++p) {
+    ExprRef some = arena.boolConst(false);
+    for (int h = 0; h < H; ++h) some = arena.bOr(some, x[p][h]);
+    all = arena.bAnd(all, some);
+  }
+  for (int h = 0; h < H; ++h) {
+    for (int p1 = 0; p1 < P; ++p1) {
+      for (int p2 = p1 + 1; p2 < P; ++p2) {
+        all = arena.bAnd(
+            all, arena.bOr(arena.bNot(x[p1][h]), arena.bNot(x[p2][h])));
+      }
+    }
+  }
+  return all;
+}
+
+// Regression pin: a verdict that times out (kUnknown) is never cached — in
+// fresh mode or incremental mode. If it were, the later budget raise would
+// keep serving the stale kUnknown instead of settling the question.
+TEST(CheckEngineTimeout, UnknownNeverCachedInEitherMode) {
+  expr::ExprArena arena;
+  expr::ExprRef ph = pigeonholeExpr(arena);
+  for (bool incremental : {false, true}) {
+    CheckEngine engine(arena);
+    CheckEngineOptions eopts;
+    eopts.incrementalSat = incremental;
+    eopts.solverConflictBudget = 2;
+    engine.configure(eopts);
+
+    CheckOutcome starved;
+    TriVerdict v = engine.boolVerdict(ph, "C.t", &starved);
+    EXPECT_EQ(static_cast<int>(v), static_cast<int>(TriVerdict::kUnknown))
+        << "incremental=" << incremental;
+    EXPECT_TRUE(starved.timedOut);
+    EXPECT_EQ(engine.cache().size(), 0u)
+        << "timed-out verdict was cached (incremental=" << incremental << ")";
+
+    // With the budget lifted the same engine settles the question — which a
+    // cached kUnknown would have made impossible.
+    eopts.solverConflictBudget = 0;
+    engine.configure(eopts);
+    CheckOutcome settled;
+    v = engine.boolVerdict(ph, "C.t", &settled);
+    EXPECT_EQ(static_cast<int>(v), static_cast<int>(TriVerdict::kFalse))
+        << "incremental=" << incremental;
+    EXPECT_FALSE(settled.timedOut);
+    EXPECT_EQ(engine.cache().size(), 1u);
+  }
+}
+
+// Scope invalidation retires the matching warm clause groups: after a
+// component's scope is invalidated, probes for that scope re-encode from
+// scratch and still answer correctly (a stale group would leave the old
+// gates' activation guard dangling and could flip verdicts).
+TEST(CheckEngineTimeout, ScopeInvalidationKeepsWarmSessionSound) {
+  expr::ExprArena arena;
+  expr::ExprRef ph = pigeonholeExpr(arena);
+  expr::ExprRef trivial =
+      arena.bOr(ph, arena.bNot(ph));  // tautology sharing ph's structure
+  CheckEngine engine(arena);
+  CheckEngineOptions eopts;
+  eopts.incrementalSat = true;
+  engine.configure(eopts);
+  EXPECT_EQ(static_cast<int>(engine.boolVerdict(ph, "C.t")),
+            static_cast<int>(TriVerdict::kFalse));
+  engine.invalidateScope("C.t");
+  // Re-probing after retirement must re-derive the same verdicts.
+  EXPECT_EQ(static_cast<int>(engine.boolVerdict(ph, "C.t")),
+            static_cast<int>(TriVerdict::kFalse));
+  EXPECT_EQ(static_cast<int>(engine.boolVerdict(trivial, "C.t")),
+            static_cast<int>(TriVerdict::kTrue));
+  engine.clearCache();  // full teardown path (onCacheCleared -> rebuild)
+  EXPECT_EQ(static_cast<int>(engine.boolVerdict(ph, "C.t")),
+            static_cast<int>(TriVerdict::kFalse));
+}
+
 }  // namespace
 }  // namespace flay::flay

@@ -2,10 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <random>
 #include <vector>
 
 #include "obs/obs.h"
+#include "sat/session.h"
 
 namespace flay::sat {
 namespace {
@@ -248,6 +250,233 @@ TEST(SatSolver, LearnedDbStaysBoundedOnHardInstance) {
   // The reduction runs are visible through the observability registry too.
   EXPECT_GT(obs::Registry::global().counter("sat.reduce_runs").value(),
             reduceRuns0);
+}
+
+// ---------------------------------------------------------------------------
+// SolverSession: assumption-based incremental solving with activation-literal
+// clause groups. The battery below locks the session to the one contract the
+// verdict hot path depends on: at every step, a warm session must return the
+// same result a fresh solver does when given only the currently-live clauses.
+
+TEST(SolverSession, PermanentClausesBehaveLikePlainSolver) {
+  SolverSession s;
+  uint32_t a = s.newVar(), b = s.newVar();
+  s.addClause({neg(a), pos(b)});  // a -> b
+  s.addUnit(pos(a));
+  EXPECT_EQ(s.solve(), Result::kSat);
+  EXPECT_TRUE(s.modelValue(b));
+  EXPECT_EQ(s.numLiveGroups(), 0u);  // permanent clauses cost no assumptions
+}
+
+TEST(SolverSession, RetiredGroupClausesStopConstraining) {
+  SolverSession s;
+  uint32_t a = s.newVar(), b = s.newVar();
+  s.addClause({pos(a), pos(b)});  // permanent: a | b
+  uint32_t g = s.openGroup();
+  s.setActiveGroup(g);
+  s.addUnit(neg(a));
+  s.addUnit(neg(b));
+  s.setActiveGroup(SolverSession::kPermanentGroup);
+  EXPECT_EQ(s.solve(), Result::kUnsat);  // (a|b) & !a & !b
+  s.retireGroup(g);
+  EXPECT_EQ(s.solve(), Result::kSat);  // guards off: only a | b remains
+  EXPECT_TRUE(s.modelValue(a) || s.modelValue(b));
+  // Retirement is idempotent and final.
+  s.retireGroup(g);
+  EXPECT_FALSE(s.groupLive(g));
+  EXPECT_EQ(s.numRetiredGroups(), 1u);
+  EXPECT_EQ(s.solve(), Result::kSat);
+}
+
+TEST(SolverSession, GroupsRetireIndependently) {
+  SolverSession s;
+  uint32_t a = s.newVar();
+  uint32_t g1 = s.openGroup();
+  uint32_t g2 = s.openGroup();
+  s.setActiveGroup(g1);
+  s.addUnit(pos(a));
+  s.setActiveGroup(g2);
+  s.addUnit(neg(a));
+  s.setActiveGroup(SolverSession::kPermanentGroup);
+  EXPECT_EQ(s.solve(), Result::kUnsat);
+  s.retireGroup(g2);
+  EXPECT_EQ(s.solve(), Result::kSat);
+  EXPECT_TRUE(s.modelValue(a));  // g1's unit still live
+  s.retireGroup(g1);
+  EXPECT_EQ(s.solve(), Result::kSat);
+}
+
+TEST(SolverSession, ConflictBudgetUnknownThenRecovery) {
+  // A hard pigeonhole instance inside a retirable group: a tiny conflict
+  // budget must yield kUnknown without corrupting the session — lifting the
+  // budget settles the same question, and retiring the group flips it.
+  constexpr int P = 7, H = 6;
+  SolverSession s;
+  uint32_t x[P][H];
+  for (auto& row : x) {
+    for (auto& v : row) v = s.newVar();
+  }
+  uint32_t g = s.openGroup();
+  s.setActiveGroup(g);
+  for (int p = 0; p < P; ++p) {
+    std::vector<Lit> c;
+    for (int h = 0; h < H; ++h) c.push_back(pos(x[p][h]));
+    s.addClause(c);
+  }
+  for (int h = 0; h < H; ++h) {
+    for (int p1 = 0; p1 < P; ++p1) {
+      for (int p2 = p1 + 1; p2 < P; ++p2) {
+        s.addClause({neg(x[p1][h]), neg(x[p2][h])});
+      }
+    }
+  }
+  s.setActiveGroup(SolverSession::kPermanentGroup);
+  s.setConflictBudget(5);
+  EXPECT_EQ(s.solve(), Result::kUnknown);
+  s.setConflictBudget(0);
+  EXPECT_EQ(s.solve(), Result::kUnsat);
+  s.retireGroup(g);
+  EXPECT_EQ(s.solve(), Result::kSat);
+}
+
+TEST(SolverSession, RestrictedSolveDecidesDefinitionalCone) {
+  // y <-> (a & b), Tseitin-style: restricting decisions to {a, b} must still
+  // settle queries about y, because y is propagation-defined by its inputs.
+  SolverSession s;
+  uint32_t a = s.newVar(), b = s.newVar(), y = s.newVar();
+  s.addClause({neg(y), pos(a)});
+  s.addClause({neg(y), pos(b)});
+  s.addClause({neg(a), neg(b), pos(y)});
+  const std::array<uint32_t, 2> cone{a, b};
+  EXPECT_EQ(s.solveRestricted(std::array{pos(y)}, cone), Result::kSat);
+  EXPECT_TRUE(s.modelValue(a));
+  EXPECT_TRUE(s.modelValue(b));
+  EXPECT_EQ(s.solveRestricted(std::array{pos(y), neg(a)}, cone),
+            Result::kUnsat);
+  EXPECT_EQ(s.solveRestricted(std::array{neg(y)}, cone), Result::kSat);
+  EXPECT_FALSE(s.modelValue(a) && s.modelValue(b));
+}
+
+// Differential fuzz: a randomized interleaving of clause emissions (permanent
+// and grouped), group retirements, and assumption solves. After every solve
+// the warm session's verdict is replayed on a fresh solver loaded with only
+// the live clauses — byte-for-byte the equivalence the check engine's warm
+// sessions rely on, including after retirement and across learned-clause
+// retention.
+class SessionDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SessionDifferentialTest, MatchesFreshReplayAtEveryStep) {
+  std::mt19937_64 rng(GetParam() * 104729u);
+  constexpr uint32_t kVars = 10;
+  SolverSession session;
+  for (uint32_t i = 0; i < kVars; ++i) session.newVar();
+
+  struct GroupClauses {
+    uint32_t id;
+    bool live;
+    std::vector<std::vector<Lit>> clauses;
+  };
+  std::vector<std::vector<Lit>> permanent;
+  std::vector<GroupClauses> groups;
+
+  auto randClause = [&] {
+    std::vector<Lit> c;
+    size_t len = 1 + rng() % 3;
+    for (size_t k = 0; k < len; ++k) {
+      c.push_back(Lit::make(rng() % kVars, rng() % 2 == 0));
+    }
+    return c;
+  };
+
+  auto freshVerdict = [&](std::span<const Lit> assumptions) {
+    Solver fresh;
+    for (uint32_t i = 0; i < kVars; ++i) fresh.newVar();
+    for (const auto& c : permanent) fresh.addClause(c);
+    for (const auto& g : groups) {
+      if (!g.live) continue;
+      for (const auto& c : g.clauses) fresh.addClause(c);
+    }
+    return fresh.solve(assumptions);
+  };
+
+  int solves = 0;
+  for (int step = 0; step < 80; ++step) {
+    switch (rng() % 6) {
+      case 0: {  // open a group and emit clauses into it
+        GroupClauses gc{session.openGroup(), true, {}};
+        session.setActiveGroup(gc.id);
+        size_t n = 1 + rng() % 3;
+        for (size_t i = 0; i < n; ++i) {
+          auto c = randClause();
+          session.addClause(std::span<const Lit>(c));
+          gc.clauses.push_back(std::move(c));
+        }
+        session.setActiveGroup(SolverSession::kPermanentGroup);
+        groups.push_back(std::move(gc));
+        break;
+      }
+      case 1: {  // retire a random group
+        if (groups.empty()) break;
+        GroupClauses& g = groups[rng() % groups.size()];
+        session.retireGroup(g.id);
+        g.live = false;
+        break;
+      }
+      case 2: {  // permanent clause
+        auto c = randClause();
+        session.addClause(std::span<const Lit>(c));
+        permanent.push_back(std::move(c));
+        break;
+      }
+      default: {  // solve under random assumptions
+        std::vector<Lit> assumptions;
+        size_t n = rng() % 3;
+        for (size_t k = 0; k < n; ++k) {
+          assumptions.push_back(Lit::make(rng() % kVars, rng() % 2 == 0));
+        }
+        Result warm = session.solve(assumptions);
+        Result fresh = freshVerdict(assumptions);
+        ASSERT_EQ(warm, fresh)
+            << "step " << step << " seed " << GetParam() << ": warm session "
+            << "and fresh replay of the live clauses disagree";
+        ++solves;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(solves, 10) << "schedule degenerated; widen the action mix";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SessionDifferentialTest,
+                         ::testing::Range(1, 41));
+
+// Same differential, driven through kUnknown: a conflict budget that starves
+// some solves must starve them without poisoning later unlimited solves.
+TEST(SolverSession, DifferentialSurvivesBudgetStarvation) {
+  std::mt19937_64 rng(4242);
+  constexpr uint32_t kVars = 12;
+  SolverSession session;
+  for (uint32_t i = 0; i < kVars; ++i) session.newVar();
+  std::vector<std::vector<Lit>> permanent;
+  for (int i = 0; i < 40; ++i) {
+    std::vector<Lit> c;
+    for (int k = 0; k < 3; ++k) c.push_back(Lit::make(rng() % kVars, rng() % 2 == 0));
+    session.addClause(std::span<const Lit>(c));
+    permanent.push_back(std::move(c));
+  }
+  for (int round = 0; round < 20; ++round) {
+    std::vector<Lit> assumptions{Lit::make(rng() % kVars, rng() % 2 == 0)};
+    // Starved solve: whatever it returns, it must not corrupt the session.
+    session.setConflictBudget(1);
+    (void)session.solve(assumptions);
+    // Unlimited solve must match a fresh unlimited solver exactly.
+    session.setConflictBudget(0);
+    Result warm = session.solve(assumptions);
+    Solver fresh;
+    for (uint32_t i = 0; i < kVars; ++i) fresh.newVar();
+    for (const auto& c : permanent) fresh.addClause(c);
+    ASSERT_EQ(warm, fresh.solve(assumptions)) << "round " << round;
+  }
 }
 
 }  // namespace

@@ -56,6 +56,9 @@
 //                       threads (default 1; verdicts are identical at any N)
 //   --no-verdict-cache  disable the canonical-digest verdict cache (A/B
 //                       switch; verdicts are identical either way)
+//   --no-incremental-sat  probe with a fresh SAT solver per semantics check
+//                       instead of warm per-worker incremental sessions (A/B
+//                       switch; verdicts are identical either way)
 //   --kill-points K     crashtest: number of simulated-SIGKILL positions (20)
 //   --checkpoint-every C  crashtest/fleet: updates between checkpoints (16)
 //   --state-dir DIR     crashtest: journal/checkpoint directory (default: a
@@ -129,6 +132,7 @@ struct Options {
   std::string faultPlan;
   size_t jobs = 1;
   bool verdictCache = true;
+  bool incrementalSat = true;
   size_t killPoints = 20;
   size_t checkpointEvery = 16;
   std::string stateDir;
@@ -155,7 +159,7 @@ int usage() {
       "             [--replay-updates i,j,k|none] [--packet-hex HEX] "
       "[--ingress-port P]\n"
       "             [--sabotage drop-entry] [--fault-plan P]\n"
-      "             [--jobs N] [--no-verdict-cache]\n"
+      "             [--jobs N] [--no-verdict-cache] [--no-incremental-sat]\n"
       "             [--kill-points K] [--checkpoint-every C] "
       "[--state-dir DIR] [--torn-tail]\n"
       "             [--devices N] [--queue-cap Q] [--no-shared-cache]\n"
@@ -233,6 +237,7 @@ core::SpecializerOptions specializerOptions(const Options& opts) {
   core::SpecializerOptions sopts;
   sopts.jobs = opts.jobs;
   sopts.useVerdictCache = opts.verdictCache;
+  sopts.incrementalSat = opts.incrementalSat;
   return sopts;
 }
 
@@ -765,6 +770,7 @@ int cmdFleet(const p4::CheckedProgram& checked, const Options& opts) {
   // semantics-check engine stays single-threaded so N draining devices
   // don't oversubscribe the machine N*jobs ways.
   fopts.controller.specializer.useVerdictCache = opts.verdictCache;
+  fopts.controller.specializer.incrementalSat = opts.incrementalSat;
   fopts.controller.specializer.jobs = 1;
   fopts.deviceCompiler.searchIterations = opts.iterations;
 
@@ -888,6 +894,8 @@ int main(int argc, char** argv) {
       if (opts.jobs == 0) argError("--jobs needs at least 1");
     } else if (arg == "--no-verdict-cache") {
       opts.verdictCache = false;
+    } else if (arg == "--no-incremental-sat") {
+      opts.incrementalSat = false;
     } else if (arg == "--kill-points") {
       opts.killPoints = parseNumber(value(&i, arg), "--kill-points");
     } else if (arg == "--checkpoint-every") {
