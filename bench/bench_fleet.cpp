@@ -12,7 +12,6 @@
 // component pay its solver probes once fleet-wide.
 
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -22,6 +21,7 @@
 #include "net/workloads.h"
 #include "obs/bench_report.h"
 #include "obs/obs.h"
+#include "support/stopwatch.h"
 
 namespace {
 
@@ -62,13 +62,12 @@ RunResult runFleet(const p4::CheckedProgram& checked,
 
   // Throughput is over the update stream only (bring-up is a per-device
   // constant, reported by fleet.device_init_us instead).
-  auto t0 = std::chrono::steady_clock::now();
+  flay::support::Stopwatch drainTimer;
   for (const auto& u : script) fc.broadcast(u);
   fc.drain();
-  auto t1 = std::chrono::steady_clock::now();
 
   RunResult r;
-  r.seconds = std::chrono::duration<double>(t1 - t0).count();
+  r.seconds = drainTimer.elapsedSeconds();
   for (size_t i = 0; i < fc.deviceCount(); ++i) {
     r.applied += fc.status(i).applied;
   }

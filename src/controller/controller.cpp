@@ -30,6 +30,11 @@ struct ControllerObs {
   obs::Counter& installsOk = reg.counter("controller.installs_ok");
   obs::Histogram& backoffUs = reg.histogram("controller.backoff_us");
   obs::Histogram& recoverUs = reg.histogram("controller.recover_us");
+  /// Verdict-ready -> device-visible per committed step (the paper's
+  /// reaction-time claim measured at the install boundary).
+  obs::Histogram& installLagUs = reg.histogram("controller.install_lag_us");
+  /// Time spent pinned per degradation episode.
+  obs::Histogram& degradedUs = reg.histogram("controller.degraded_us");
 
   static ControllerObs& get() {
     static ControllerObs instance;
@@ -132,7 +137,8 @@ void FaultTolerantController::recoverFromJournal() {
           }
           service_->applyBatch(pending);
           replayedUpdates_ += pending.size();
-          committedUpdates_ += pending.size();
+          committedUpdates_.fetch_add(pending.size(),
+                                      std::memory_order_relaxed);
           sinceCheckpoint_ += pending.size();
           ControllerObs::get().replayed.add(pending.size());
         }
@@ -184,26 +190,35 @@ ApplyResult FaultTolerantController::applyBatch(
     throw;
   }
   if (journal_ != nullptr) journal_->appendCommit();
-  committedUpdates_ += updates.size();
+  committedUpdates_.fetch_add(updates.size(), std::memory_order_relaxed);
   sinceCheckpoint_ += updates.size();
   cobs.applied.add(updates.size());
+  // The verdict is ready here; the lag clock runs until this step becomes
+  // device-visible (entries forwarded or a recompiled program installed).
+  support::Stopwatch lag;
 
   if (device_ != nullptr) {
     if (!degraded_) {
       if (result.verdict.needsRecompilation) {
         if (recompileAndInstall(&result.retries)) {
           result.deviceCurrent = true;
+          fireEpoch(/*advanced=*/true, /*viaRecompile=*/true,
+                    /*recovery=*/false, lag.elapsedMicros());
         } else {
           // Pin the last good program; the device keeps forwarding with it.
           // snap.config is the device-visible state: everything before this
           // batch had reached the device.
           enterDegraded(std::move(snap.config), updates);
+          fireEpoch(false, false, false, 0);
         }
       } else {
         // Semantics-preserving: the entries are representable on the running
         // program and flow straight through.
         result.deviceCurrent = true;
         cobs.forwarded.add(updates.size());
+        deviceVisibleUpdates_.store(committedUpdates(),
+                                    std::memory_order_relaxed);
+        fireEpoch(true, false, false, lag.elapsedMicros());
       }
     } else {
       // Degraded: forward the batch only if it stays semantics-preserving
@@ -226,6 +241,12 @@ ApplyResult FaultTolerantController::applyBatch(
       }
       if (!forwarded) queueUpdates(updates);
       result.deviceCurrent = forwarded;
+      if (forwarded) {
+        deviceVisibleUpdates_.fetch_add(updates.size(),
+                                        std::memory_order_relaxed);
+      }
+      fireEpoch(forwarded, false, false,
+                forwarded ? lag.elapsedMicros() : 0);
 
       sinceRecoverAttempt_ += updates.size();
       if (options_.tryRecoverEvery != 0 &&
@@ -236,6 +257,7 @@ ApplyResult FaultTolerantController::applyBatch(
     }
   } else {
     result.deviceCurrent = true;
+    deviceVisibleUpdates_.store(committedUpdates(), std::memory_order_relaxed);
   }
 
   result.degraded = degraded_;
@@ -270,7 +292,7 @@ BulkApplyResult FaultTolerantController::applyBulk(
           journal_->appendCommit();
         }
         size_t installed = chunk.bypassed + chunk.analyzed;
-        committedUpdates_ += installed;
+        committedUpdates_.fetch_add(installed, std::memory_order_relaxed);
         sinceCheckpoint_ += installed;
         cobs.applied.add(installed);
         if (device_ != nullptr) {
@@ -279,22 +301,30 @@ BulkApplyResult FaultTolerantController::applyBulk(
         }
       });
 
+  // Stream verdicts are complete here; lag runs until device visibility.
+  support::Stopwatch lag;
   if (device_ != nullptr) {
     if (!degraded_) {
       if (result.report.needsRecompilation) {
         if (recompileAndInstall(&result.retries)) {
           result.deviceCurrent = true;
+          fireEpoch(true, true, false, lag.elapsedMicros());
         } else {
           enterDegraded(std::move(*preConfig), applied);
+          fireEpoch(false, false, false, 0);
         }
       } else {
         // Every applied update was semantics-preserving (bypassed or
         // verified): the entries flow straight to the running program.
         result.deviceCurrent = true;
         cobs.forwarded.add(result.report.applied);
+        deviceVisibleUpdates_.store(committedUpdates(),
+                                    std::memory_order_relaxed);
+        fireEpoch(true, false, false, lag.elapsedMicros());
       }
     } else {
       queueUpdates(applied);
+      fireEpoch(false, false, false, 0);
       sinceRecoverAttempt_ += applied.size();
       if (options_.tryRecoverEvery != 0 &&
           sinceRecoverAttempt_ >= options_.tryRecoverEvery) {
@@ -304,6 +334,7 @@ BulkApplyResult FaultTolerantController::applyBulk(
     }
   } else {
     result.deviceCurrent = true;
+    deviceVisibleUpdates_.store(committedUpdates(), std::memory_order_relaxed);
   }
   result.degraded = degraded_;
   maybeCheckpoint();
@@ -326,7 +357,7 @@ bool FaultTolerantController::recompileAndInstall(size_t* retries) {
   cobs.recompiles.add(1);
   flay::Specializer specializer(*service_, options_.specializer);
   flay::SpecializationResult specialized = specializer.specialize();
-  auto checked = std::make_unique<p4::CheckedProgram>(
+  auto checked = std::make_shared<p4::CheckedProgram>(
       flay::recheck(std::move(specialized.program)));
 
   for (uint32_t attempt = 0; attempt <= options_.maxInstallRetries; ++attempt) {
@@ -344,6 +375,9 @@ bool FaultTolerantController::recompileAndInstall(size_t* retries) {
     InstallResult installed = device_->installProgram(*checked);
     if (!installed.ok) continue;
     pinned_ = std::move(checked);
+    // The installed program was specialized against the full committed
+    // state, so every committed update is now device-visible.
+    deviceVisibleUpdates_.store(committedUpdates(), std::memory_order_relaxed);
     cobs.installsOk.add(1);
     return true;
   }
@@ -355,6 +389,7 @@ void FaultTolerantController::enterDegraded(
     const std::vector<runtime::Update>& updates) {
   ControllerObs::get().degradations.add(1);
   degraded_ = true;
+  degradedSince_.restart();
   sinceRecoverAttempt_ = 0;
   if (deviceView_ == nullptr) {
     deviceView_ =
@@ -387,7 +422,28 @@ bool FaultTolerantController::tryRecover() {
   queued_.clear();
   queuedTargets_.clear();
   cobs.recoveries.add(1);
+  // The recovery lag is the full degraded episode: how long the oldest
+  // queued update waited between its verdict and device visibility.
+  uint64_t degradedFor = degradedSince_.elapsedMicros();
+  cobs.degradedUs.record(degradedFor);
+  fireEpoch(/*advanced=*/true, /*viaRecompile=*/true, /*recovery=*/true,
+            degradedFor);
   return true;
+}
+
+void FaultTolerantController::fireEpoch(bool advanced, bool viaRecompile,
+                                        bool recovery, uint64_t lagMicros) {
+  if (advanced) ControllerObs::get().installLagUs.record(lagMicros);
+  if (!epochCallback_) return;
+  EpochEvent event;
+  event.committed = committedUpdates();
+  event.deviceVisible = deviceVisibleUpdates();
+  event.advanced = advanced;
+  event.viaRecompile = viaRecompile;
+  event.recovery = recovery;
+  event.degraded = degraded_;
+  event.installLagMicros = lagMicros;
+  epochCallback_(event);
 }
 
 const runtime::DeviceConfig& FaultTolerantController::deviceConfig() const {

@@ -1,6 +1,8 @@
 #ifndef FLAY_CONTROLLER_CONTROLLER_H
 #define FLAY_CONTROLLER_CONTROLLER_H
 
+#include <atomic>
+#include <functional>
 #include <memory>
 #include <set>
 #include <string>
@@ -10,6 +12,7 @@
 #include "controller/wal.h"
 #include "flay/engine.h"
 #include "flay/specializer.h"
+#include "support/stopwatch.h"
 
 namespace flay::controller {
 
@@ -51,6 +54,29 @@ struct BulkApplyResult {
   bool degraded = false;
   size_t retries = 0;
 };
+
+/// Device-visibility accounting for one committed step, fired on the
+/// applying thread after every committed batch/stream and after every
+/// successful recovery. `committed - deviceVisible` is the device's update
+/// backlog: the staleness (in updates) any packet it forwards right now
+/// experiences. The replay harness turns these events into version-stamped
+/// program swaps and verdict-to-install lag samples.
+struct EpochEvent {
+  uint64_t committed = 0;      ///< committedUpdates() after this step
+  uint64_t deviceVisible = 0;  ///< committed updates represented on the device
+  /// This step moved deviceVisible forward (forwarded entries or an install).
+  bool advanced = false;
+  /// Visibility advanced via specialize + compile + install (not forwarding).
+  bool viaRecompile = false;
+  /// Fired by a successful tryRecover() leaving degraded mode.
+  bool recovery = false;
+  /// Controller is degraded after this step.
+  bool degraded = false;
+  /// Verdict-ready -> device-visible for this step; for a recovery, the full
+  /// time spent degraded (how long the oldest queued update waited).
+  uint64_t installLagMicros = 0;
+};
+using EpochCallback = std::function<void(const EpochEvent&)>;
 
 struct ApplyResult {
   flay::UpdateVerdict verdict;
@@ -127,7 +153,30 @@ class FaultTolerantController {
 
   /// Committed updates replayed from the journal during construction.
   uint64_t replayedUpdates() const { return replayedUpdates_; }
-  uint64_t committedUpdates() const { return committedUpdates_; }
+  uint64_t committedUpdates() const {
+    return committedUpdates_.load(std::memory_order_relaxed);
+  }
+  /// Committed updates represented on the device right now (equals
+  /// committedUpdates() when healthy; lags by the queued backlog while
+  /// degraded). Safe to read from any thread.
+  uint64_t deviceVisibleUpdates() const {
+    return deviceVisibleUpdates_.load(std::memory_order_relaxed);
+  }
+
+  /// Observer for device-visibility changes (see EpochEvent). Invoked on
+  /// whichever thread applies updates, strictly serialized with the apply
+  /// itself — reading deviceProgram()/deviceConfig() inside the callback is
+  /// safe. Set before the first apply; not thread-safe against a concurrent
+  /// apply.
+  void setEpochCallback(EpochCallback cb) { epochCallback_ = std::move(cb); }
+
+  /// Shared handle to the pinned (last installed) program; null when the
+  /// device still runs the original. Unlike deviceProgram(), the returned
+  /// snapshot stays valid after the next install replaces the pin — this is
+  /// what lets forwarding threads keep serving a superseded version.
+  std::shared_ptr<const p4::CheckedProgram> pinnedProgram() const {
+    return pinned_;
+  }
 
   /// Forces a checkpoint of the current committed state.
   void checkpointNow();
@@ -149,6 +198,10 @@ class FaultTolerantController {
   void queueUpdates(const std::vector<runtime::Update>& updates);
   uint64_t backoffMicros(uint32_t attempt);
   void maybeCheckpoint();
+  /// Builds and dispatches one EpochEvent (and records the install-lag
+  /// histogram sample when visibility advanced).
+  void fireEpoch(bool advanced, bool viaRecompile, bool recovery,
+                 uint64_t lagMicros);
 
   const p4::CheckedProgram& checked_;
   Device* device_;
@@ -156,7 +209,9 @@ class FaultTolerantController {
   std::unique_ptr<flay::FlayService> service_;
   std::unique_ptr<Journal> journal_;
   /// Last good specialized program on the device; null = original program.
-  std::unique_ptr<p4::CheckedProgram> pinned_;
+  /// Shared so superseded versions outlive the pin swap (see
+  /// pinnedProgram()).
+  std::shared_ptr<const p4::CheckedProgram> pinned_;
   /// Device's view of the analysis while degraded: tracks exactly the
   /// updates forwarded to the pinned program, so its verdicts decide
   /// forwardability. Lazily built on first degradation.
@@ -166,7 +221,15 @@ class FaultTolerantController {
   std::set<std::string> queuedTargets_;
   std::mt19937_64 jitterRng_;
   uint64_t replayedUpdates_ = 0;
-  uint64_t committedUpdates_ = 0;
+  /// Atomics so fleet status queries and replay forwarding threads can read
+  /// the epoch pair while the drain worker applies; only the applying thread
+  /// writes.
+  std::atomic<uint64_t> committedUpdates_{0};
+  std::atomic<uint64_t> deviceVisibleUpdates_{0};
+  EpochCallback epochCallback_;
+  /// Restarted on entering degraded mode; a recovery's installLagMicros is
+  /// this watch's elapsed time.
+  support::Stopwatch degradedSince_;
   size_t sinceCheckpoint_ = 0;
   size_t sinceRecoverAttempt_ = 0;
 };

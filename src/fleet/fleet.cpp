@@ -8,6 +8,7 @@
 
 #include "expr/canonical.h"
 #include "obs/obs.h"
+#include "support/stopwatch.h"
 
 namespace flay::fleet {
 
@@ -24,10 +25,17 @@ struct FleetObs {
   /// the value (reset + add) after every drain, so a scrape between drains
   /// reads the current number of degraded devices.
   obs::Counter& degradedGauge = reg.counter("fleet.degraded_devices");
+  /// Quarantine re-admission: recovery attempts issued by tryRecoverAll(),
+  /// successes, and members whose RecoveryPolicy attempt budget ran out.
+  obs::Counter& readmissionAttempts = reg.counter("fleet.readmission_attempts");
+  obs::Counter& readmissions = reg.counter("fleet.readmissions");
+  obs::Counter& readmissionGiveups = reg.counter("fleet.readmission_giveups");
   obs::Histogram& applyUs = reg.histogram("fleet.apply_us");
   obs::Histogram& drainUs = reg.histogram("fleet.drain_us");
   obs::Histogram& queueDepth = reg.histogram("fleet.queue_depth");
   obs::Histogram& initUs = reg.histogram("fleet.device_init_us");
+  obs::Histogram& readmissionBackoffUs =
+      reg.histogram("fleet.readmission_backoff_us");
 
   static FleetObs& get() {
     static FleetObs instance;
@@ -60,8 +68,15 @@ struct FleetController::Member {
   std::atomic<uint64_t> dropped{0};
   std::atomic<uint64_t> retries{0};
 
+  // Re-admission backoff state, owned by the tryRecoverAll() caller (writes
+  // inside pool tasks are ordered by the pool join).
+  uint32_t recoverAttempts = 0;
+  uint64_t nextRecoverAtMicros = 0;
+  std::mt19937_64 recoverRng{1};
+
   obs::Counter* appliedCounter = nullptr;   // fleet.<name>.applied_updates
   obs::Counter* rejectedCounter = nullptr;  // fleet.<name>.rejected_updates
+  obs::Counter* droppedCounter = nullptr;   // fleet.<name>.dropped_updates
 };
 
 FleetController::FleetController(const p4::CheckedProgram& checked,
@@ -85,6 +100,9 @@ FleetController::FleetController(const p4::CheckedProgram& checked,
         &reg.counter("fleet." + m->name + ".applied_updates");
     m->rejectedCounter =
         &reg.counter("fleet." + m->name + ".rejected_updates");
+    m->droppedCounter =
+        &reg.counter("fleet." + m->name + ".dropped_updates");
+    m->recoverRng.seed(options_.controller.seed + 0x5eedULL + i);
     members_.push_back(std::move(m));
   }
 
@@ -146,6 +164,7 @@ bool FleetController::enqueue(size_t device, const runtime::Update& update) {
   FleetObs& fobs = FleetObs::get();
   if (m.failed.load(std::memory_order_relaxed)) {
     m.dropped.fetch_add(1, std::memory_order_relaxed);
+    m.droppedCounter->add(1);
     fobs.dropped.add(1);
     return false;
   }
@@ -153,6 +172,7 @@ bool FleetController::enqueue(size_t device, const runtime::Update& update) {
   if (options_.queueCapacity != 0 &&
       m.queue.size() >= options_.queueCapacity) {
     m.dropped.fetch_add(1, std::memory_order_relaxed);
+    m.droppedCounter->add(1);
     fobs.dropped.add(1);
     return false;
   }
@@ -246,6 +266,7 @@ void FleetController::drainMember(Member& m) {
       fobs.deviceFailures.add(1);
       std::lock_guard<std::mutex> lock(m.qmu);
       m.dropped.fetch_add(m.queue.size(), std::memory_order_relaxed);
+      m.droppedCounter->add(m.queue.size());
       fobs.dropped.add(m.queue.size());
       m.queue.clear();
       return;
@@ -282,6 +303,78 @@ void FleetController::drain() {
   fobs.degradedGauge.add(degradedDevices());
 }
 
+size_t FleetController::tryRecoverAll() {
+  FleetObs& fobs = FleetObs::get();
+  const RecoveryPolicy& policy = options_.recovery;
+  uint64_t now = support::Stopwatch::nowMicros();
+  std::vector<std::function<void()>> tasks;
+  for (auto& mp : members_) {
+    Member& m = *mp;
+    if (m.failed.load(std::memory_order_relaxed) || m.ctl == nullptr) continue;
+    if (!m.degraded.load(std::memory_order_relaxed)) {
+      m.recoverAttempts = 0;  // inline recovery (or never degraded): reset
+      m.nextRecoverAtMicros = 0;
+      continue;
+    }
+    if (policy.maxAttempts != 0 && m.recoverAttempts >= policy.maxAttempts) {
+      continue;  // given up (counted once, below, when the budget ran out)
+    }
+    if (now < m.nextRecoverAtMicros) continue;  // backing off
+    tasks.push_back([this, &m, &fobs, &policy] {
+      ++m.recoverAttempts;
+      fobs.readmissionAttempts.add(1);
+      bool ok = false;
+      try {
+        ok = m.ctl->tryRecover();
+      } catch (const std::exception&) {
+        m.failed.store(true, std::memory_order_relaxed);
+        fobs.deviceFailures.add(1);
+        return;
+      }
+      m.degraded.store(m.ctl->degraded(), std::memory_order_relaxed);
+      if (ok) {
+        m.recoverAttempts = 0;
+        m.nextRecoverAtMicros = 0;
+        fobs.readmissions.add(1);
+        return;
+      }
+      if (policy.maxAttempts != 0 &&
+          m.recoverAttempts >= policy.maxAttempts) {
+        fobs.readmissionGiveups.add(1);
+        return;
+      }
+      uint64_t base =
+          policy.backoffBaseMicros == 0 ? 1 : policy.backoffBaseMicros;
+      uint64_t exp = m.recoverAttempts >= 63
+                         ? policy.backoffMaxMicros
+                         : base << (m.recoverAttempts - 1);
+      uint64_t capped = std::min(exp, policy.backoffMaxMicros);
+      std::uniform_int_distribution<uint64_t> jitter(0, base - 1);
+      uint64_t backoff = capped + jitter(m.recoverRng);
+      fobs.readmissionBackoffUs.record(backoff);
+      m.nextRecoverAtMicros = support::Stopwatch::nowMicros() + backoff;
+    });
+  }
+  if (pool_ != nullptr) {
+    pool_->run(std::move(tasks));
+  } else {
+    for (auto& t : tasks) t();
+  }
+  fobs.degradedGauge.reset();
+  fobs.degradedGauge.add(degradedDevices());
+  return degradedDevices();
+}
+
+void FleetController::setEpochCallback(size_t device,
+                                       controller::EpochCallback cb) {
+  Member& m = *members_.at(device);
+  if (m.ctl == nullptr) {
+    throw std::runtime_error("device " + m.name +
+                             " failed to initialize: " + m.initError);
+  }
+  m.ctl->setEpochCallback(std::move(cb));
+}
+
 DeviceStatus FleetController::status(size_t device) const {
   const Member& m = *members_.at(device);
   DeviceStatus s;
@@ -293,6 +386,9 @@ DeviceStatus FleetController::status(size_t device) const {
   s.dropped = m.dropped.load(std::memory_order_relaxed);
   s.retries = m.retries.load(std::memory_order_relaxed);
   s.replayed = m.ctl != nullptr ? m.ctl->replayedUpdates() : 0;
+  s.committed = m.ctl != nullptr ? m.ctl->committedUpdates() : 0;
+  s.deviceVisible = m.ctl != nullptr ? m.ctl->deviceVisibleUpdates() : 0;
+  s.recoverAttempts = m.recoverAttempts;
   {
     std::lock_guard<std::mutex> lock(m.qmu);
     s.queued = m.queue.size();
@@ -340,8 +436,41 @@ std::string FleetController::fleetDigest() const {
   for (size_t i = 0; i < members_.size(); ++i) {
     fnv.mix(members_[i]->name);
     fnv.mix(stateDigest(i));
+    // Loss accounting is part of the fleet's observable state: a member
+    // that dropped updates must never digest-equal a member that applied
+    // them all, even if its committed state happens to match.
+    fnv.mix(std::to_string(
+        members_[i]->dropped.load(std::memory_order_relaxed)));
   }
   return fnv.hex();
+}
+
+FleetController::ConvergenceReport FleetController::convergence() const {
+  ConvergenceReport report;
+  // Reference digest: the first live, lossless member.
+  for (size_t i = 0; i < members_.size(); ++i) {
+    const Member& m = *members_[i];
+    uint64_t dropped = m.dropped.load(std::memory_order_relaxed);
+    report.droppedUpdates += dropped;
+    if (m.failed.load(std::memory_order_relaxed) || m.ctl == nullptr) {
+      report.failedDevices.push_back(i);
+      continue;
+    }
+    if (dropped != 0) {
+      report.lossyDevices.push_back(i);
+      continue;
+    }
+    std::string digest = stateDigest(i);
+    if (report.digest.empty()) {
+      report.digest = digest;
+    } else if (digest != report.digest) {
+      report.divergentDevices.push_back(i);
+    }
+  }
+  report.converged = report.failedDevices.empty() &&
+                     report.lossyDevices.empty() &&
+                     report.divergentDevices.empty() && !report.digest.empty();
+  return report;
 }
 
 void FleetController::checkpointAll() {

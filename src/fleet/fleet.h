@@ -15,6 +15,22 @@
 
 namespace flay::fleet {
 
+/// Quarantine re-admission policy for tryRecoverAll(): a degraded member is
+/// only re-attempted after an exponential (jittered, capped) backoff since
+/// its last failed attempt, so a device stuck in an outage is not hammered
+/// with specialize+compile+install work on every poll. The *caller* still
+/// decides when to poll (typically once per drain cycle); the fleet decides
+/// which members are actually due.
+struct RecoveryPolicy {
+  /// Backoff after the n-th consecutive failure: min(base << (n-1), max)
+  /// plus jitter in [0, base).
+  uint64_t backoffBaseMicros = 500;
+  uint64_t backoffMaxMicros = 200000;
+  /// Consecutive failed attempts before the fleet stops re-admitting a
+  /// member (0 = never give up). The counter resets on success.
+  uint32_t maxAttempts = 0;
+};
+
 struct FleetOptions {
   /// Number of managed devices. Each gets a name ("dev0".."devN-1"), its own
   /// SimulatedDevice + FaultTolerantController + FlayService, and — when
@@ -44,6 +60,8 @@ struct FleetOptions {
   /// When false, controllers run without a device (analysis + WAL only; no
   /// compiles or installs). Crash-recovery tests use this shape.
   bool attachDevices = true;
+  /// Re-admission backoff for tryRecoverAll().
+  RecoveryPolicy recovery;
   /// Base per-device controller options. stateDir and seed are overwritten
   /// per device; flay.sharedVerdictCache/verdictScopePrefix are overwritten
   /// according to `sharedVerdictCache`.
@@ -66,6 +84,12 @@ struct DeviceStatus {
   uint64_t retries = 0;
   uint64_t replayed = 0;  // journal replay during construction
   size_t queued = 0;
+  /// Device-visibility epochs (see FaultTolerantController): committed -
+  /// deviceVisible is this member's live staleness in updates.
+  uint64_t committed = 0;
+  uint64_t deviceVisible = 0;
+  /// Consecutive failed tryRecoverAll() attempts (resets on re-admission).
+  uint32_t recoverAttempts = 0;
 };
 
 /// Control plane for a fleet of N devices: one FaultTolerantController per
@@ -122,15 +146,45 @@ class FleetController {
   /// abandons its remaining queue without disturbing the fleet.
   void drain();
 
+  /// Attempts recovery of every degraded member that is due per the
+  /// RecoveryPolicy backoff schedule, concurrently over the shared pool.
+  /// Counted in fleet.readmission_attempts / fleet.readmissions. Returns the
+  /// number of members still degraded afterwards. Same threading contract as
+  /// drain(): not concurrent with itself or with drain().
+  size_t tryRecoverAll();
+
+  /// Installs `cb` as `device`'s epoch observer (see
+  /// FaultTolerantController::setEpochCallback). Fires on the drain worker
+  /// applying that device's updates. Set before the first drain.
+  void setEpochCallback(size_t device, controller::EpochCallback cb);
+
   DeviceStatus status(size_t device) const;
   size_t degradedDevices() const;
   size_t failedDevices() const;
 
+  /// One convergence check that cannot be silently wrong about loss: a
+  /// member that dropped updates (bounded queue overflow or quarantine) saw
+  /// a different stream, so its digest divergence is *expected* and
+  /// attributed — while a lossless member's divergence is a hard failure.
+  struct ConvergenceReport {
+    /// Every live, lossless member shares `digest` and nothing was dropped
+    /// or failed fleet-wide.
+    bool converged = false;
+    std::string digest;  ///< reference digest ("" if no live lossless member)
+    std::vector<size_t> lossyDevices;      ///< dropped > 0 (divergence expected)
+    std::vector<size_t> divergentDevices;  ///< lossless but digest mismatch
+    std::vector<size_t> failedDevices;
+    uint64_t droppedUpdates = 0;  ///< fleet-wide
+  };
+  ConvergenceReport convergence() const;
+
   /// Process-independent digest of one device's committed state (see
   /// FaultTolerantController::stateDigest).
   std::string stateDigest(size_t device) const;
-  /// Digest over every device's digest, in device order: two fleets with
-  /// equal fleet digests are member-by-member in identical states.
+  /// Digest over every device's digest, in device order, mixed with each
+  /// device's dropped-update count: two fleets with equal fleet digests are
+  /// member-by-member in identical states *and* identical loss accounting —
+  /// a member that silently shed updates can never alias a clean fleet.
   std::string fleetDigest() const;
 
   /// Forces a checkpoint on every device (bounds journal replay on the next

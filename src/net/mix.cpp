@@ -1,0 +1,94 @@
+#include "net/mix.h"
+
+namespace flay::net {
+
+const char* mixName(TrafficMix mix) {
+  switch (mix) {
+    case TrafficMix::kUniform: return "uniform";
+    case TrafficMix::kHeavyHitter: return "heavy-hitter";
+    case TrafficMix::kPortScan: return "port-scan";
+    case TrafficMix::kTunnel: return "tunnel";
+  }
+  return "?";
+}
+
+std::optional<TrafficMix> parseMix(const std::string& name) {
+  if (name == "uniform") return TrafficMix::kUniform;
+  if (name == "heavy-hitter") return TrafficMix::kHeavyHitter;
+  if (name == "port-scan") return TrafficMix::kPortScan;
+  if (name == "tunnel") return TrafficMix::kTunnel;
+  return std::nullopt;
+}
+
+std::vector<TrafficMix> allMixes() {
+  return {TrafficMix::kUniform, TrafficMix::kHeavyHitter,
+          TrafficMix::kPortScan, TrafficMix::kTunnel};
+}
+
+TrafficMixer::TrafficMixer(const p4::CheckedProgram& checked,
+                           const runtime::DeviceConfig& config, TrafficMix mix,
+                           uint64_t seed)
+    : mix_(mix), fuzzer_(checked, config, seed), rng_(seed ^ 0x9e3779b97f4a7c15ULL) {
+  if (mix_ == TrafficMix::kHeavyHitter) {
+    pool_.reserve(kFlowPool);
+    for (size_t i = 0; i < kFlowPool; ++i) pool_.push_back(fuzzer_.randomPacket());
+  }
+}
+
+sim::Packet TrafficMixer::next() {
+  switch (mix_) {
+    case TrafficMix::kUniform: return fuzzer_.randomPacket();
+    case TrafficMix::kHeavyHitter: return heavyHitter();
+    case TrafficMix::kPortScan: return portScan();
+    case TrafficMix::kTunnel: return tunnel();
+  }
+  return fuzzer_.randomPacket();
+}
+
+sim::Packet TrafficMixer::heavyHitter() {
+  // Geometric rank pick: flow k is drawn with probability 2^-(k+1), so the
+  // top flow carries about half the stream and the pool tail is mice.
+  uint64_t r = rng_();
+  size_t rank = 0;
+  while (rank + 1 < pool_.size() && (r & 1) == 0) {
+    r >>= 1;
+    ++rank;
+  }
+  // Slow hot-set drift: occasionally replace one pooled flow with a fresh
+  // fuzzed packet (steered against the *current* entries of this snapshot).
+  if (++sinceRefresh_ >= 64) {
+    sinceRefresh_ = 0;
+    pool_[rng_() % pool_.size()] = fuzzer_.randomPacket();
+  }
+  return pool_[rank];
+}
+
+sim::Packet TrafficMixer::portScan() {
+  if (scanStep_ >= kSweepLength) {
+    scanBase_ = fuzzer_.randomPacket();
+    scanStep_ = 0;
+  }
+  sim::Packet p = scanBase_;
+  // Sweep a 16-bit window near the tail of the headers — the scan shape:
+  // one fixed source varying the last-parsed key field monotonically.
+  if (p.bytes.size() >= 2) {
+    size_t at = p.bytes.size() - 2;
+    p.bytes[at] = static_cast<uint8_t>(scanStep_ >> 8);
+    p.bytes[at + 1] = static_cast<uint8_t>(scanStep_);
+  }
+  ++scanStep_;
+  return p;
+}
+
+sim::Packet TrafficMixer::tunnel() {
+  // Bias toward the deepest parser chains (encapsulated/tunneled packets
+  // carry the most header bytes): best-of-3 by parsed length.
+  sim::Packet best = fuzzer_.randomPacket();
+  for (int i = 0; i < 2; ++i) {
+    sim::Packet cand = fuzzer_.randomPacket();
+    if (cand.bytes.size() > best.bytes.size()) best = std::move(cand);
+  }
+  return best;
+}
+
+}  // namespace flay::net

@@ -1,0 +1,63 @@
+#ifndef FLAY_NET_MIX_H
+#define FLAY_NET_MIX_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/fuzzer.h"
+#include "sim/packet.h"
+
+namespace flay::net {
+
+/// Replay traffic shapes, after the applied workloads of the P4 measurement
+/// literature: heavy-hitter detection (a few elephant flows dominating),
+/// port scans (one source sweeping a key space), and tunneled traffic
+/// (packets taking the deepest parser chains). kUniform is the unbiased
+/// fuzzer baseline.
+enum class TrafficMix { kUniform, kHeavyHitter, kPortScan, kTunnel };
+
+const char* mixName(TrafficMix mix);
+/// "uniform" | "heavy-hitter" | "port-scan" | "tunnel"; nullopt otherwise.
+std::optional<TrafficMix> parseMix(const std::string& name);
+std::vector<TrafficMix> allMixes();
+
+/// Deterministic packet stream with the given shape over one program +
+/// config snapshot. Built on PacketFuzzer, so every packet is parser-aware
+/// (reaches deep states, biases table-key fields toward installed entries).
+/// The config reference must outlive the mixer and must not be mutated while
+/// the mixer runs — replay forwarding threads bind one mixer per immutable
+/// ProgramVersion snapshot and rebuild on version swap.
+class TrafficMixer {
+ public:
+  TrafficMixer(const p4::CheckedProgram& checked,
+               const runtime::DeviceConfig& config, TrafficMix mix,
+               uint64_t seed);
+
+  sim::Packet next();
+
+ private:
+  sim::Packet heavyHitter();
+  sim::Packet portScan();
+  sim::Packet tunnel();
+
+  TrafficMix mix_;
+  PacketFuzzer fuzzer_;
+  std::mt19937_64 rng_;
+
+  // Heavy-hitter state: a small flow pool replayed with geometric
+  // concentration (flow 0 carries ~half the stream).
+  static constexpr size_t kFlowPool = 16;
+  std::vector<sim::Packet> pool_;
+  size_t sinceRefresh_ = 0;
+
+  // Port-scan state: one fuzzed base packet per sweep; each step rewrites a
+  // 16-bit window near the tail of the parsed bytes with a sweep counter.
+  static constexpr size_t kSweepLength = 256;
+  sim::Packet scanBase_;
+  size_t scanStep_ = kSweepLength;  // forces a fresh base on first use
+};
+
+}  // namespace flay::net
+
+#endif  // FLAY_NET_MIX_H

@@ -1,0 +1,91 @@
+#ifndef FLAY_SIM_VERSIONED_H
+#define FLAY_SIM_VERSIONED_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "p4/typecheck.h"
+#include "runtime/device_config.h"
+
+namespace flay::sim {
+
+/// One immutable installed-program snapshot: everything a forwarding thread
+/// needs to serve packets, plus the epoch accounting that turns each packet
+/// into a staleness sample. Published once and never mutated afterwards, so
+/// any number of forwarding threads can hold it via shared_ptr while the
+/// control plane swaps in successors.
+struct ProgramVersion {
+  /// The program the device is running (specialized, or the original when
+  /// nothing was installed yet).
+  std::shared_ptr<const p4::CheckedProgram> program;
+  /// Config the interpreter drives `program` with (migrated onto it).
+  std::shared_ptr<const runtime::DeviceConfig> config;
+  /// Device-visible control-plane state in terms of the *original* program —
+  /// the reference side for post-hoc oracle replays and packet generation.
+  std::shared_ptr<const runtime::DeviceConfig> deviceConfig;
+  /// Committed updates this version makes visible on the device. A packet
+  /// served by this version while the controller has committed more is a
+  /// stale packet; the difference is its staleness in updates.
+  uint64_t epoch = 0;
+  /// Monotonic publish number (per data plane).
+  uint64_t sequence = 0;
+  /// support::Stopwatch::nowMicros() at publish time.
+  uint64_t publishedAtMicros = 0;
+  /// Published while the owning controller was degraded (device pinned to
+  /// its last good program; some committed updates may be queued).
+  bool degraded = false;
+  /// Published by a recovery (re-specialize + install after degradation).
+  bool recovery = false;
+};
+
+/// Version-stamped program swap between one control plane and any number of
+/// forwarding threads. publish() is called from the control side (serialized
+/// per device by construction — the fleet applies a device's updates in
+/// order); current() hands a forwarding thread an immutable snapshot.
+/// sequence() is a single relaxed atomic load, cheap enough to poll per
+/// packet to detect that a newer version is available.
+class VersionedDataPlane {
+ public:
+  void publish(ProgramVersion version) {
+    auto snap = std::make_shared<const ProgramVersion>(std::move(version));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      current_ = std::move(snap);
+    }
+    // Release so a forwarding thread that observes the new sequence also
+    // observes the fully-built version through the mutex on the next fetch.
+    seq_.fetch_add(1, std::memory_order_release);
+  }
+
+  /// Null until the first publish.
+  std::shared_ptr<const ProgramVersion> current() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return current_;
+  }
+
+  uint64_t sequence() const { return seq_.load(std::memory_order_acquire); }
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const ProgramVersion> current_;
+  std::atomic<uint64_t> seq_{0};
+};
+
+/// Per-packet epoch accounting: the update epoch a packet *should* have seen
+/// (what the control plane has committed for this device) versus the epoch
+/// of the version that actually forwarded it.
+struct EpochStamp {
+  uint64_t servedEpoch = 0;
+  uint64_t authoritativeEpoch = 0;
+
+  bool stale() const { return authoritativeEpoch > servedEpoch; }
+  uint64_t stalenessUpdates() const {
+    return stale() ? authoritativeEpoch - servedEpoch : 0;
+  }
+};
+
+}  // namespace flay::sim
+
+#endif  // FLAY_SIM_VERSIONED_H

@@ -1,0 +1,48 @@
+#ifndef FLAY_SUPPORT_STOPWATCH_H
+#define FLAY_SUPPORT_STOPWATCH_H
+
+#include <chrono>
+#include <cstdint>
+
+namespace flay::support {
+
+/// The one timing source for every latency sample in the codebase:
+/// std::chrono::steady_clock, so a wall-clock step (NTP slew, suspend) can
+/// never produce a negative or wildly wrong duration. Benches, the replay
+/// harness, and the controller's lag accounting all go through this instead
+/// of hand-rolled now()/duration_cast boilerplate.
+class Stopwatch {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Stopwatch() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  uint64_t elapsedMicros() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                              start_)
+            .count());
+  }
+
+  double elapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Monotonic microsecond stamp (steady-clock epoch). Only differences are
+  /// meaningful; stamps are comparable across threads within one process.
+  static uint64_t nowMicros() {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            Clock::now().time_since_epoch())
+            .count());
+  }
+
+ private:
+  Clock::time_point start_;
+};
+
+}  // namespace flay::support
+
+#endif  // FLAY_SUPPORT_STOPWATCH_H

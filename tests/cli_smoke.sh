@@ -71,6 +71,16 @@ expect_arg_error "non-numeric --queue-cap" \
   -- fleet "$PROG" --queue-cap big
 expect_arg_error "bad fault plan on fleet" \
   -- fleet "$PROG" --fault-plan bogus-key=3
+expect_arg_error "unknown traffic mix" \
+  -- replay "$PROG" --mix elephant-flows
+expect_arg_error "missing value for --mix" \
+  -- replay "$PROG" --mix
+expect_arg_error "non-numeric --churn-rate" \
+  -- replay "$PROG" --churn-rate sometimes
+expect_arg_error "negative --churn-rate" \
+  -- replay "$PROG" --churn-rate -3
+expect_arg_error "zero --window rejected" \
+  -- replay "$PROG" --window 0
 
 # Usage (no command / unknown command) also exits 2, but multi-line.
 "$FLAYC" >/dev/null 2>&1
@@ -93,6 +103,12 @@ expect_ok "fleet drains a faulty 3-device fleet to identical digests" \
 expect_ok "fleet with per-device caches and a queue cap" \
   -- fleet "$PROG" --devices 2 --updates 10 --seed 1 --queue-cap 4 \
      --no-shared-cache
+expect_ok "replay forwards packets under churn with all gates enforced" \
+  -- replay "$PROG" --updates 12 --packets 2000 --devices 2 --jobs 2 \
+     --seed 1 --mix heavy-hitter
+expect_ok "replay with a fault plan and paced churn" \
+  -- replay "$PROG" --updates 12 --packets 2000 --devices 2 --jobs 2 \
+     --seed 1 --fault-plan transient --churn-rate 200 --mix tunnel
 
 if [ "$failures" -ne 0 ]; then
   note "$failures check(s) failed"

@@ -504,5 +504,101 @@ TEST(BulkApply, JournalsPerChunkAndRecoversToSameDigest) {
   EXPECT_EQ(seq.stateDigest(), digest);
 }
 
+// ---------------------------------------------------------------------------
+// Epoch events: the device-visibility contract the replay harness builds on.
+// ---------------------------------------------------------------------------
+
+// Every committed step fires exactly one event; committed is monotone and
+// never behind deviceVisible; healthy steps leave no backlog; a sustained
+// outage opens a committed-vs-deviceVisible gap that packets experience as
+// staleness; the closing recovery event carries the full degraded episode.
+TEST(EpochEvents, TrackCommittedVersusDeviceVisibleThroughAnOutage) {
+  p4::CheckedProgram checked = load("middleblock");
+  FaultPlan plan;
+  plan.outageStart = 2;
+  plan.outageLength = 30;
+  SimulatedDevice device(plan);
+
+  ControllerOptions opts;
+  opts.maxInstallRetries = 1;
+  opts.tryRecoverEvery = 0;
+  FaultTolerantController ctrl(checked, &device, opts);
+  ASSERT_FALSE(ctrl.degraded());
+
+  std::vector<EpochEvent> events;
+  ctrl.setEpochCallback([&](const EpochEvent& e) { events.push_back(e); });
+
+  auto script = net::fuzzUpdateSequence(checked, 40, 13);
+  applyScript(ctrl, script, script.size());
+  ASSERT_TRUE(ctrl.degraded())
+      << "script never forced a recompile during the outage";
+  ASSERT_FALSE(events.empty());
+
+  uint64_t lastCommitted = 0;
+  bool sawGap = false;
+  for (const EpochEvent& e : events) {
+    EXPECT_GE(e.committed, lastCommitted);
+    lastCommitted = e.committed;
+    EXPECT_LE(e.deviceVisible, e.committed);
+    if (!e.degraded) {
+      // Healthy steps end device-current: no backlog survives the event.
+      EXPECT_EQ(e.deviceVisible, e.committed);
+    }
+    sawGap |= e.degraded && e.deviceVisible < e.committed;
+    EXPECT_FALSE(e.recovery);
+  }
+  EXPECT_TRUE(sawGap) << "degraded mode never exposed an update backlog";
+  EXPECT_GT(ctrl.committedUpdates(), ctrl.deviceVisibleUpdates());
+
+  // Burn through the outage; the recovery event closes the gap.
+  size_t eventsBefore = events.size();
+  bool healthy = false;
+  for (int attempt = 0; attempt < 40 && !healthy; ++attempt) {
+    healthy = ctrl.tryRecover();
+  }
+  ASSERT_TRUE(healthy);
+  ASSERT_GT(events.size(), eventsBefore);
+  const EpochEvent& rec = events.back();
+  EXPECT_TRUE(rec.recovery);
+  EXPECT_TRUE(rec.advanced);
+  EXPECT_TRUE(rec.viaRecompile);
+  EXPECT_FALSE(rec.degraded);
+  EXPECT_EQ(rec.deviceVisible, rec.committed);
+  EXPECT_EQ(ctrl.committedUpdates(), ctrl.deviceVisibleUpdates());
+}
+
+// Healthy churn: every advancing event reports the verdict-to-install lag
+// that the replay harness turns into install-lag histograms, and the pinned
+// program handle stays valid across installs (shared ownership, so a
+// forwarding thread holding a superseded version never dangles).
+TEST(EpochEvents, HealthyStepsAdvanceWithLagAndStablePins) {
+  p4::CheckedProgram checked = load("middleblock");
+  SimulatedDevice device;
+  FaultTolerantController ctrl(checked, &device);
+
+  std::vector<EpochEvent> events;
+  ctrl.setEpochCallback([&](const EpochEvent& e) { events.push_back(e); });
+  std::shared_ptr<const p4::CheckedProgram> firstPin;
+
+  auto script = net::fuzzUpdateSequence(checked, 24, 5);
+  for (const auto& u : script) {
+    try {
+      ctrl.apply(u);
+    } catch (const std::invalid_argument&) {
+    }
+    if (!firstPin && ctrl.pinnedProgram()) firstPin = ctrl.pinnedProgram();
+  }
+  ASSERT_FALSE(events.empty());
+  for (const EpochEvent& e : events) {
+    EXPECT_TRUE(e.advanced);
+    EXPECT_FALSE(e.recovery);
+    EXPECT_EQ(e.deviceVisible, e.committed);
+  }
+  // The superseded pin is still alive and usable after later installs.
+  if (firstPin) {
+    EXPECT_FALSE(firstPin->program.controls.empty());
+  }
+}
+
 }  // namespace
 }  // namespace flay::controller

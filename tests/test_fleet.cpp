@@ -9,9 +9,11 @@
 
 #include <unistd.h>
 
+#include <chrono>
 #include <filesystem>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "net/fuzzer.h"
@@ -292,6 +294,137 @@ TEST(Fleet, BroadcastBulkConvergesAndMatchesQueuedPath) {
   seqFc.drain();
   EXPECT_EQ(seqFc.stateDigest(0), first)
       << "bulk and queued paths diverged on identical streams";
+}
+
+// Per-device drop accounting: every dropped update lands in that member's
+// own fleet.<name>.dropped_updates counter, the drop makes the member lossy
+// in convergence() (divergence expected and attributed, not a failure), and
+// the fleet digest mixes the loss so a lossy fleet can never alias a clean
+// one.
+TEST(Fleet, PerDeviceDropCountersMakeConvergenceLossAware) {
+  p4::CheckedProgram checked = load("middleblock");
+  auto script = net::fuzzUpdateSequence(checked, 10, /*seed=*/3);
+
+  FleetOptions opts;
+  opts.devices = 2;
+  opts.queueCapacity = 4;
+  FleetController fc(checked, opts);
+  obs::Registry& reg = obs::Registry::global();
+  uint64_t dev0Before = reg.counter("fleet.dev0.dropped_updates").value();
+  uint64_t dev1Before = reg.counter("fleet.dev1.dropped_updates").value();
+  for (const auto& u : script) fc.broadcast(u);
+  fc.drain();
+
+  EXPECT_EQ(reg.counter("fleet.dev0.dropped_updates").value(),
+            dev0Before + 6);
+  EXPECT_EQ(reg.counter("fleet.dev1.dropped_updates").value(),
+            dev1Before + 6);
+
+  FleetController::ConvergenceReport conv = fc.convergence();
+  EXPECT_FALSE(conv.converged);
+  EXPECT_EQ(conv.droppedUpdates, 12u);
+  EXPECT_EQ(conv.lossyDevices.size(), 2u);
+  EXPECT_TRUE(conv.divergentDevices.empty());
+  EXPECT_TRUE(conv.failedDevices.empty());
+
+  // A clean fleet fed the same truncated stream ends with the same state
+  // digests but a different *fleet* digest: the loss accounting is mixed in.
+  FleetOptions cleanOpts;
+  cleanOpts.devices = 2;
+  FleetController clean(checked, cleanOpts);
+  for (size_t i = 0; i < 4; ++i) clean.broadcast(script[i]);
+  clean.drain();
+  EXPECT_EQ(clean.stateDigest(0), fc.stateDigest(0));
+  EXPECT_NE(clean.fleetDigest(), fc.fleetDigest());
+  FleetController::ConvergenceReport cleanConv = clean.convergence();
+  EXPECT_TRUE(cleanConv.converged);
+  EXPECT_FALSE(cleanConv.digest.empty());
+  EXPECT_EQ(cleanConv.droppedUpdates, 0u);
+}
+
+// tryRecoverAll: a member degraded by a deterministic outage is re-admitted
+// through the exponential-backoff schedule — attempts are counted, the
+// backoff histogram records the waits, the attempt counter resets on
+// success, and the fleet converges to identical digests afterwards.
+TEST(Fleet, TryRecoverAllReadmitsAfterBackoff) {
+  p4::CheckedProgram checked = load("middleblock");
+  auto script = net::fuzzUpdateSequence(checked, 16, /*seed=*/4);
+
+  FleetOptions opts;
+  opts.devices = 2;
+  opts.jobs = 2;
+  // Installs 1..12 fail: every device degrades on its first recompile.
+  opts.faultPlan = controller::FaultPlan::parse("outage=1+12");
+  opts.controller.maxInstallRetries = 1;
+  opts.controller.tryRecoverEvery = 0;  // re-admission only via the fleet
+  opts.recovery.backoffBaseMicros = 100;
+  opts.recovery.backoffMaxMicros = 1000;
+  FleetController fc(checked, opts);
+  for (const auto& u : script) fc.broadcast(u);
+  fc.drain();
+  ASSERT_EQ(fc.degradedDevices(), 2u);
+
+  obs::Registry& reg = obs::Registry::global();
+  uint64_t attemptsBefore = reg.counter("fleet.readmission_attempts").value();
+  uint64_t readmittedBefore = reg.counter("fleet.readmissions").value();
+  uint64_t backoffBefore = reg.histogram("fleet.readmission_backoff_us").count();
+
+  size_t stillDegraded = fc.degradedDevices();
+  for (int round = 0; round < 2000 && stillDegraded > 0; ++round) {
+    stillDegraded = fc.tryRecoverAll();
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  EXPECT_EQ(stillDegraded, 0u);
+  uint64_t attempts = reg.counter("fleet.readmission_attempts").value();
+  EXPECT_GE(attempts, attemptsBefore + 4)
+      << "the 12-install outage cannot clear on the first attempt";
+  EXPECT_EQ(reg.counter("fleet.readmissions").value(), readmittedBefore + 2);
+  EXPECT_GT(reg.histogram("fleet.readmission_backoff_us").count(),
+            backoffBefore);
+
+  std::string first = fc.stateDigest(0);
+  for (size_t i = 0; i < fc.deviceCount(); ++i) {
+    DeviceStatus s = fc.status(i);
+    EXPECT_FALSE(s.degraded) << s.name;
+    EXPECT_EQ(s.recoverAttempts, 0u) << s.name << ": reset on success";
+    EXPECT_EQ(s.committed, s.deviceVisible) << s.name;
+    EXPECT_EQ(fc.stateDigest(i), first) << s.name;
+  }
+  EXPECT_TRUE(fc.convergence().converged);
+}
+
+// maxAttempts bounds re-admission: once a member exhausts its budget the
+// fleet stops hammering it (counted once in fleet.readmission_giveups) and
+// tryRecoverAll keeps reporting it degraded.
+TEST(Fleet, TryRecoverAllGivesUpAfterMaxAttempts) {
+  p4::CheckedProgram checked = load("middleblock");
+  auto script = net::fuzzUpdateSequence(checked, 16, /*seed=*/4);
+
+  FleetOptions opts;
+  opts.devices = 1;
+  opts.faultPlan = controller::FaultPlan::parse("outage=1+100000");
+  opts.controller.maxInstallRetries = 1;
+  opts.controller.tryRecoverEvery = 0;
+  opts.recovery.backoffBaseMicros = 50;
+  opts.recovery.backoffMaxMicros = 200;
+  opts.recovery.maxAttempts = 3;
+  FleetController fc(checked, opts);
+  for (const auto& u : script) fc.broadcast(u);
+  fc.drain();
+  ASSERT_EQ(fc.degradedDevices(), 1u);
+
+  obs::Registry& reg = obs::Registry::global();
+  uint64_t giveupsBefore = reg.counter("fleet.readmission_giveups").value();
+  uint64_t attemptsBefore = reg.counter("fleet.readmission_attempts").value();
+  for (int round = 0; round < 200; ++round) {
+    EXPECT_EQ(fc.tryRecoverAll(), 1u);
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  EXPECT_EQ(reg.counter("fleet.readmission_attempts").value(),
+            attemptsBefore + 3);
+  EXPECT_EQ(reg.counter("fleet.readmission_giveups").value(),
+            giveupsBefore + 1);
+  EXPECT_EQ(fc.status(0).recoverAttempts, 3u);
 }
 
 }  // namespace

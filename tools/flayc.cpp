@@ -96,8 +96,11 @@
 #include "flay/specializer.h"
 #include "fleet/fleet.h"
 #include "net/fuzzer.h"
+#include "net/mix.h"
 #include "net/workloads.h"
 #include "obs/obs.h"
+#include "replay/replay.h"
+#include "support/stopwatch.h"
 #include "oracle/oracle.h"
 #include "p4/printer.h"
 #include "tofino/compiler.h"
@@ -111,6 +114,8 @@ namespace obs = flay::obs;
 namespace oracle = flay::oracle;
 namespace ctrl = flay::controller;
 namespace fleet = flay::fleet;
+namespace replay = flay::replay;
+using flay::support::Stopwatch;
 
 namespace {
 
@@ -123,6 +128,10 @@ struct Options {
   size_t updates = 100;
   uint64_t seed = 42;
   size_t packets = 32;
+  bool packetsSet = false;
+  std::string mix = "heavy-hitter";
+  double churnRate = 0;
+  size_t window = 8192;
   bool shrink = true;
   bool replayUpdatesSet = false;
   std::vector<size_t> replayUpdates;
@@ -152,7 +161,7 @@ int usage() {
       stderr,
       "usage: flayc "
       "<check|print|analyze|compile|specialize|fuzz|bulkload|difftest|"
-      "crashtest|fleet> "
+      "crashtest|fleet|replay> "
       "<prog.p4l> [--skip-parser] [--iterations N] [--config NAME]\n"
       "             [--bulk] [--chunk N]\n"
       "             [--updates N] [--seed S] [--packets M] [--no-shrink]\n"
@@ -163,6 +172,8 @@ int usage() {
       "             [--kill-points K] [--checkpoint-every C] "
       "[--state-dir DIR] [--torn-tail]\n"
       "             [--devices N] [--queue-cap Q] [--no-shared-cache]\n"
+      "             [--mix uniform|heavy-hitter|port-scan|tunnel] "
+      "[--churn-rate R] [--window W]\n"
       "             [--stats[=json]] [--trace-out FILE]\n");
   return 2;
 }
@@ -525,13 +536,12 @@ int cmdBulkload(const p4::CheckedProgram& checked, const Options& opts) {
   core::BulkLoadOptions bopts;
   bopts.chunkSize = opts.chunk;
   obs::Histogram verdictLatency;
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point t0 = Clock::now();
+  Stopwatch timer;
   core::BulkLoadReport rep = service.applyStream(
       source, bopts, [&](const core::BulkChunkVerdict& chunk) {
         verdictLatency.record(chunk.verdictLatencyUs);
       });
-  double secs = std::chrono::duration<double>(Clock::now() - t0).count();
+  double secs = timer.elapsedSeconds();
 
   std::printf(
       "bulkload: %llu/%llu updates applied (%llu bypassed, %llu analyzed, "
@@ -777,17 +787,13 @@ int cmdFleet(const p4::CheckedProgram& checked, const Options& opts) {
   std::vector<runtime::Update> script =
       net::fuzzUpdateSequence(checked, opts.updates, opts.seed);
 
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point t0 = Clock::now();
+  Stopwatch bringUp;
   fleet::FleetController fc(checked, fopts);
-  Clock::time_point t1 = Clock::now();
+  double bringUpSecs = bringUp.elapsedSeconds();
+  Stopwatch drainTimer;
   for (const auto& u : script) fc.broadcast(u);
   fc.drain();
-  Clock::time_point t2 = Clock::now();
-
-  auto seconds = [](Clock::duration d) {
-    return std::chrono::duration<double>(d).count();
-  };
+  double drainSecs = drainTimer.elapsedSeconds();
   std::printf("fleet: %zu device(s), %zu update(s) broadcast, jobs=%zu, "
               "shared-cache=%s\n",
               fc.deviceCount(), script.size(), opts.jobs,
@@ -813,9 +819,8 @@ int cmdFleet(const p4::CheckedProgram& checked, const Options& opts) {
               static_cast<unsigned long long>(rejected),
               static_cast<unsigned long long>(dropped), fc.degradedDevices(),
               fc.failedDevices());
-  double drainSecs = seconds(t2 - t1);
   std::printf("  throughput: %.1f updates/s (bring-up %.2f s, drain %.2f s)\n",
-              drainSecs > 0 ? applied / drainSecs : 0.0, seconds(t1 - t0),
+              drainSecs > 0 ? applied / drainSecs : 0.0, bringUpSecs,
               drainSecs);
 
   if (fc.failedDevices() != 0) {
@@ -847,6 +852,38 @@ int cmdFleet(const p4::CheckedProgram& checked, const Options& opts) {
   return 0;
 }
 
+int cmdReplay(const p4::CheckedProgram& checked, const Options& opts) {
+  replay::ReplayOptions ropts;
+  ropts.devices = opts.devices;
+  // The fuzz default of 32 packets is far too short to observe churn;
+  // replay's own default only applies when --packets was not given.
+  ropts.packets = opts.packetsSet ? opts.packets : 20000;
+  ropts.updates = opts.updates;
+  ropts.churnRate = opts.churnRate;
+  ropts.jobs = opts.jobs;
+  ropts.queueCapacity = opts.queueCap;
+  ropts.seed = opts.seed;
+  ropts.windowPackets = opts.window;
+  ropts.mix = *net::parseMix(opts.mix);  // validated at arg-parse time
+  if (!opts.faultPlan.empty()) ropts.faultPlan = parseFaultPlan(opts.faultPlan);
+  ropts.controller.flay.analysis.analyzeParser = !opts.skipParser;
+  ropts.controller.specializer = specializerOptions(opts);
+  ropts.controller.specializer.jobs = 1;  // same rationale as cmdFleet
+  ropts.controller.seed = opts.seed;
+  ropts.deviceCompiler.searchIterations = opts.iterations;
+
+  replay::LiveReplayHarness harness(checked, ropts);
+  replay::ReplayReport report = harness.run();
+  std::printf("%s", replay::describeReport(report).c_str());
+  if (!report.ok) {
+    std::fprintf(stderr, "replay: FAILED — %zu gate violation(s)\n",
+                 report.gateFailures.size());
+    return 1;
+  }
+  std::printf("  all gates passed\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -873,6 +910,24 @@ int main(int argc, char** argv) {
       opts.seed = parseNumber(value(&i, arg), "--seed");
     } else if (arg == "--packets") {
       opts.packets = parseNumber(value(&i, arg), "--packets");
+      opts.packetsSet = true;
+    } else if (arg == "--mix") {
+      opts.mix = value(&i, arg);
+      if (!net::parseMix(opts.mix)) {
+        argError("unknown --mix '" + opts.mix +
+                 "' (uniform, heavy-hitter, port-scan, tunnel)");
+      }
+    } else if (arg == "--churn-rate") {
+      std::string v = value(&i, arg);
+      char* end = nullptr;
+      opts.churnRate = std::strtod(v.c_str(), &end);
+      if (v.empty() || end == nullptr || *end != '\0' || opts.churnRate < 0 ||
+          opts.churnRate != opts.churnRate) {
+        argError("bad number '" + v + "' for --churn-rate");
+      }
+    } else if (arg == "--window") {
+      opts.window = parseNumber(value(&i, arg), "--window");
+      if (opts.window == 0) argError("--window needs at least 1");
     } else if (arg == "--shrink") {
       opts.shrink = true;
     } else if (arg == "--no-shrink") {
@@ -967,6 +1022,8 @@ int main(int argc, char** argv) {
       rc = cmdCrashtest(checked, opts);
     } else if (opts.command == "fleet") {
       rc = cmdFleet(checked, opts);
+    } else if (opts.command == "replay") {
+      rc = cmdReplay(checked, opts);
     } else {
       return usage();
     }
