@@ -149,12 +149,15 @@ int main(int argc, char** argv) {
   // --- Scale phase: bulkroute streams -------------------------------------
   p4::CheckedProgram bulkroute =
       p4::loadProgramFromFile(net::programPath("bulkroute"));
+  obs::Counter& probeRebuilds =
+      obs::Registry::global().counter("flay.bulk_probe_rebuilds");
   std::printf("\nbulkroute streaming load (chunks of 4096):\n");
   for (size_t count : counts) {
     core::FlayService svc(bulkroute);
     core::BulkLoadOptions opts;
     opts.chunkSize = 4096;
     obs::Histogram verdictLatency;
+    uint64_t rebuildsBefore = probeRebuilds.value();
     size_t next = 0;
     auto t0 = std::chrono::steady_clock::now();
     core::BulkLoadReport rep = svc.applyStream(
@@ -180,7 +183,23 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(rep.analyzed),
                 static_cast<unsigned long long>(rep.rejected));
 
+    // Regression gate: the point-probe is folded incrementally (every 64
+    // below-threshold inserts), never rebuilt per insert — a rebuild count
+    // approaching the update count is the O(N) classifier-build bug back.
+    uint64_t rebuilds = probeRebuilds.value() - rebuildsBefore;
+    uint64_t rebuildCap = count / 64 + 16;
+    if (rebuilds > rebuildCap) {
+      std::fprintf(stderr,
+                   "FAIL: %llu probe rebuilds for %zu updates (cap %llu) — "
+                   "probe is rebuilding per insert\n",
+                   static_cast<unsigned long long>(rebuilds), count,
+                   static_cast<unsigned long long>(rebuildCap));
+      ok = false;
+    }
+
     std::string suffix = std::to_string(count);
+    metrics.emplace_back("probe_rebuilds_" + suffix,
+                         static_cast<double>(rebuilds));
     metrics.emplace_back("updates_per_sec_" + suffix, rate);
     metrics.emplace_back("p99_verdict_us_" + suffix,
                          static_cast<double>(p99));

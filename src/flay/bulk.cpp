@@ -18,6 +18,7 @@ struct BulkObs {
   obs::Counter& analyzed = reg.counter("flay.bulk_analyzed");
   obs::Counter& rejected = reg.counter("flay.bulk_rejected");
   obs::Counter& probeHits = reg.counter("flay.bulk_probe_hits");
+  obs::Counter& probeRebuilds = reg.counter("flay.bulk_probe_rebuilds");
   obs::Counter& chunks = reg.counter("flay.bulk_chunks");
   obs::Counter& loads = reg.counter("flay.bulk_loads");
   obs::Histogram& configApplyUs = reg.histogram("flay.config_apply_us");
@@ -28,6 +29,10 @@ struct BulkObs {
     return instance;
   }
 };
+
+/// Fresh inserts appended to a below-threshold filter since the last
+/// classifier build; beyond this the delta folds into a rebuilt probe.
+constexpr size_t kProbeDeltaMax = 64;
 
 uint64_t microsSince(std::chrono::steady_clock::time_point start) {
   return static_cast<uint64_t>(
@@ -111,6 +116,7 @@ void BulkLoader::rebuild(TableFilter& f, const std::string& table) {
       f.rules.push_back(std::move(r));
     }
     f.probe = classifier::chooseClassifier(f.rules, f.keyWidth);
+    f.probeCovers = f.rules.size();
   }
   f.reservedTo = f.live + options_.chunkSize;
   service_.config_->reserveTable(table, f.reservedTo);
@@ -157,24 +163,44 @@ BulkLoader::Route BulkLoader::route(const runtime::Update& u) {
   // Precise encoding: sound to bypass only when the entry provably cannot
   // join the normalized entry set — and cannot push the raw size past the
   // threshold, which would flip the encoding itself.
-  if (f.probe && f.live + 1 <= f.threshold && fullyExactValued(e)) {
-    std::optional<uint32_t> hit = f.probe->classify(concatValues(e));
-    if (hit) {
-      BulkObs::get().probeHits.add(1);
-      const classifier::Rule& w = f.rules[*hit];
-      // The probe hit names an installed rule covering the entry's entire
-      // (single-point) match region. It renders the insert invisible when:
-      //  - priority tables: the rule has match precedence (priority wins,
-      //    the installed rule's smaller id wins ties) — the entry is
-      //    eclipsed out of the normalized set, or rejects as a duplicate;
-      //  - exact/lpm tables: the rule is itself exact-valued, i.e. the
-      //    insert is a duplicate and rejects. A shorter covering prefix
-      //    does NOT precede an exact entry under lpm order, so it proves
-      //    nothing — route those to the analysis.
-      bool invisible = f.usesPriority ? w.priority >= e.priority
-                                      : w.mask.isAllOnes();
-      if (invisible) return Route::kBypass;
+  //
+  // A covering rule renders the insert invisible when:
+  //  - priority tables: the rule has match precedence (priority wins, the
+  //    installed rule's smaller id wins ties — every installed id precedes
+  //    the incoming entry's) — the entry is eclipsed out of the normalized
+  //    set, or rejects as a duplicate;
+  //  - exact/lpm tables: the rule is itself exact-valued, i.e. the insert
+  //    is a duplicate and rejects. A shorter covering prefix does NOT
+  //    precede an exact entry under lpm order, so it proves nothing —
+  //    route those to the analysis.
+  if (f.live + 1 <= f.threshold && fullyExactValued(e) &&
+      (f.probe != nullptr || f.probeCovers < f.rules.size())) {
+    BitVec point = concatValues(e);
+    auto invisibleUnder = [&](const classifier::Rule& w) {
+      return f.usesPriority ? w.priority >= e.priority : w.mask.isAllOnes();
+    };
+    bool covered = false;
+    bool invisible = false;
+    if (f.probe != nullptr) {
+      // The probe answers with the highest-precedence covering rule among
+      // rules[0, probeCovers); if that winner doesn't qualify, no probe
+      // rule does (qualification is monotone in precedence).
+      std::optional<uint32_t> hit = f.probe->classify(point);
+      if (hit) {
+        covered = true;
+        invisible = invisibleUnder(f.rules[*hit]);
+      }
     }
+    // Linear scan over the bounded delta of inserts since the last probe
+    // build; any qualifying covering rule suffices.
+    for (size_t i = f.probeCovers; !invisible && i < f.rules.size(); ++i) {
+      const classifier::Rule& w = f.rules[i];
+      if (point.bitAnd(w.mask) != w.value.bitAnd(w.mask)) continue;
+      covered = true;
+      invisible = invisibleUnder(w);
+    }
+    if (covered) BulkObs::get().probeHits.add(1);
+    if (invisible) return Route::kBypass;
   }
   return Route::kAnalyze;
 }
@@ -190,15 +216,44 @@ void BulkLoader::noteApplied(const runtime::Update& u) {
        k < u.entry.matches.size() && k < f.keyExactOnly.size(); ++k) {
     if (!u.entry.matches[k].isExactValued()) f.keyExactOnly[k] = false;
   }
-  // In the precise regime the probe must cover every installed rule, so a
-  // fresh insert forces a rebuild on the next route against this table —
-  // bounded work, since the regime only lasts `threshold` entries. Crossing
-  // the threshold flips the encoding to over-approximate, where the
-  // incremental action/exactness bookkeeping above suffices.
+  // In the precise regime the probe must cover every installed rule.
+  // Rebuilding it per insert made every below-threshold insert O(table) —
+  // the rebuild-per-insert bug — so instead the fresh rule is appended to
+  // the filter's delta (scanned linearly by route()) and folded into a
+  // rebuilt classifier only every kProbeDeltaMax inserts. Crossing the
+  // threshold flips the encoding to over-approximate, where the
+  // incremental action/exactness bookkeeping above suffices and the probe
+  // state can be dropped.
   if (f.live <= f.threshold) {
-    f.dirty = true;
-  } else if (f.probe) {
+    if (f.eligible) {
+      if (u.entry.matches.size() == f.keyExactOnly.size()) {
+        classifier::Rule r;
+        r.value = concatValues(u.entry);
+        r.mask = concatMasks(u.entry);
+        r.priority = u.entry.priority;
+        r.actionId = static_cast<uint32_t>(f.rules.size());
+        if (f.rules.empty()) f.keyWidth = r.value.width();
+        if (r.value.width() == f.keyWidth) {
+          f.rules.push_back(std::move(r));
+          if (f.rules.size() - f.probeCovers >= kProbeDeltaMax) {
+            f.probe = classifier::chooseClassifier(f.rules, f.keyWidth);
+            f.probeCovers = f.rules.size();
+            BulkObs::get().probeRebuilds.add(1);
+          }
+        } else {
+          f.dirty = true;  // key-width drift: fall back to a full rebuild
+        }
+      } else {
+        f.dirty = true;
+      }
+    }
+    // Ineligible tables keep no probe; the count/exactness bookkeeping
+    // above is the whole filter state and stays incremental.
+  } else if (f.probe != nullptr || !f.rules.empty()) {
     f.probe.reset();
+    f.rules.clear();
+    f.rules.shrink_to_fit();
+    f.probeCovers = 0;
   }
   if (f.live >= f.reservedTo) {
     f.reservedTo = f.live + options_.chunkSize;

@@ -74,9 +74,14 @@ class BulkLoader {
     /// Key indices with a non-exact match kind (the digested ones).
     std::vector<size_t> nonExactKeys;
     /// Installed rules (concatenated keys) + point-probe classifier; only
-    /// built while the table is at or below the threshold.
+    /// built while the table is at or below the threshold. The probe covers
+    /// rules[0, probeCovers); rules appended since (fresh inserts) form a
+    /// bounded linear-scan delta, folded into a rebuilt classifier every
+    /// kProbeDeltaMax inserts — so a bulk stream of N below-threshold
+    /// inserts pays O(N/kProbeDeltaMax) classifier builds, not O(N).
     std::vector<classifier::Rule> rules;
     std::unique_ptr<classifier::Classifier> probe;
+    size_t probeCovers = 0;
     /// Storage reserved up to this many entries; re-reserved a chunk ahead.
     size_t reservedTo = 0;
     bool built = false;

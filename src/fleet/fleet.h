@@ -2,6 +2,7 @@
 #define FLAY_FLEET_FLEET_H
 
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -14,6 +15,21 @@
 #include "support/thread_pool.h"
 
 namespace flay::fleet {
+
+/// How the fleet talks to its device controllers.
+///
+///  - kInproc: direct function calls on the drain workers (the original,
+///    fully tested single-process path).
+///  - kSocket: every device runs behind an AgentEndpoint on the far end of a
+///    socketpair, speaking the versioned wire protocol (src/wire) — real
+///    serialization, real syscalls, pipelined batches and batched acks. The
+///    same endpoint code serves `flayc agent` processes over Unix-domain
+///    sockets; here the agents are in-process threads so the fleet object
+///    keeps its existing ownership and digest API.
+///
+/// The two transports are observably equivalent: equal update streams yield
+/// byte-identical fleet digests (tests/wire_equiv.sh holds this).
+enum class Transport { kInproc, kSocket };
 
 /// Quarantine re-admission policy for tryRecoverAll(): a degraded member is
 /// only re-attempted after an exponential (jittered, capped) backoff since
@@ -29,6 +45,13 @@ struct RecoveryPolicy {
   /// Consecutive failed attempts before the fleet stops re-admitting a
   /// member (0 = never give up). The counter resets on success.
   uint32_t maxAttempts = 0;
+  /// Clock used for the backoff schedule, in microseconds. Null = wall
+  /// clock (support::Stopwatch::nowMicros). Injecting a fake clock makes
+  /// the whole re-admission schedule deterministic end-to-end: the jitter
+  /// RNG is already seeded per member, so with a scripted clock two runs
+  /// attempt recovery at exactly the same points. May be called from pool
+  /// workers — a test clock must be thread-safe (e.g. read an atomic).
+  std::function<uint64_t()> clock;
 };
 
 struct FleetOptions {
@@ -62,6 +85,12 @@ struct FleetOptions {
   bool attachDevices = true;
   /// Re-admission backoff for tryRecoverAll().
   RecoveryPolicy recovery;
+  /// Controller <-> device transport (see Transport).
+  Transport transport = Transport::kInproc;
+  /// Socket transport tuning: updates per kBatch frame, and how many batch
+  /// frames may be in flight per link before the daemon requires an ack.
+  size_t wireBatchSize = 32;
+  size_t wireWindowBatches = 8;
   /// Base per-device controller options. stateDir and seed are overwritten
   /// per device; flay.sharedVerdictCache/verdictScopePrefix are overwritten
   /// according to `sharedVerdictCache`.
@@ -90,6 +119,10 @@ struct DeviceStatus {
   uint64_t deviceVisible = 0;
   /// Consecutive failed tryRecoverAll() attempts (resets on re-admission).
   uint32_t recoverAttempts = 0;
+  /// Earliest time (on the RecoveryPolicy clock) the next re-admission
+  /// attempt is due; 0 = due immediately. Observable so tests can verify
+  /// the backoff schedule without sleeping through it.
+  uint64_t nextRecoverAtMicros = 0;
 };
 
 /// Control plane for a fleet of N devices: one FaultTolerantController per
@@ -196,12 +229,26 @@ class FleetController {
     return cache_;
   }
 
+  Transport transport() const { return options_.transport; }
+
+  /// Fault injection (socket transport only): abruptly severs `device`'s
+  /// link mid-stream, as if the daemon died. The agent sees EOF (the wire's
+  /// torn-tail contract: unacknowledged batches never happened), its thread
+  /// exits, and the member is quarantined with its unacknowledged and
+  /// queued updates counted as dropped. No-op on the in-process transport.
+  void disconnectAgent(size_t device);
+
  private:
   struct Member;
 
   void drainMember(Member& m);
+  void drainMemberSocket(Member& m);
+  void shutdownLinks();
 
   FleetOptions options_;
+  /// Fingerprint of the fleet's program (socket transport): every agent's
+  /// kHello must match or the handshake is rejected (shard-by-program).
+  std::string programFingerprint_;
   std::shared_ptr<flay::VerdictCache> cache_;  // null when not shared
   std::unique_ptr<support::ThreadPool> pool_;  // null when jobs <= 1
   std::vector<std::unique_ptr<Member>> members_;

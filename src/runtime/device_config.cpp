@@ -216,7 +216,13 @@ uint64_t parseUint(std::string_view orig, std::string_view digits) {
     if (c < '0' || c > '9') {
       badUpdate(orig, "bad number '" + std::string(digits) + "'");
     }
-    v = v * 10 + static_cast<uint64_t>(c - '0');
+    uint64_t d = static_cast<uint64_t>(c - '0');
+    // A value that wraps uint64 must be rejected, not silently reduced
+    // mod 2^64 — wire input is adversarial.
+    if (v > (UINT64_MAX - d) / 10) {
+      badUpdate(orig, "number '" + std::string(digits) + "' overflows");
+    }
+    v = v * 10 + d;
   }
   return v;
 }
@@ -332,6 +338,12 @@ TableEntry parseEntryBody(const TableSchema& schema, std::string_view body,
           badUpdate(orig, "lpm key needs 'value/prefixLen'");
         }
         uint64_t len = parseUint(orig, m.substr(slash + 1));
+        // FieldMatch::lpm rejects prefixLen > width, but only after the
+        // u32 cast — catch a 2^32-aliasing length before it truncates.
+        if (len > width) {
+          badUpdate(orig, "lpm prefix length " + std::to_string(len) +
+                              " exceeds key width");
+        }
         entry.matches.push_back(
             FieldMatch::lpm(BitVec::parse(width, trim(m.substr(0, slash))),
                             static_cast<uint32_t>(len)));
@@ -348,8 +360,17 @@ TableEntry parseEntryBody(const TableSchema& schema, std::string_view body,
     std::string_view p = rest.substr(prio + 6);
     bool negative = !p.empty() && p.front() == '-';
     if (negative) p.remove_prefix(1);
-    int64_t v = static_cast<int64_t>(parseUint(orig, p));
-    entry.priority = static_cast<int32_t>(negative ? -v : v);
+    uint64_t v = parseUint(orig, p);
+    // priority is int32 on the wire and in the classifier; a magnitude that
+    // does not fit must fail here, not wrap into a different priority.
+    uint64_t limit = negative ? 2147483648ull : 2147483647ull;
+    if (v > limit) {
+      badUpdate(orig, "priority " + std::string(negative ? "-" : "") +
+                          std::string(p) + " out of int32 range");
+    }
+    entry.priority =
+        negative ? static_cast<int32_t>(-static_cast<int64_t>(v))
+                 : static_cast<int32_t>(v);
     rest = trim(rest.substr(0, prio));
   }
   parseActionCall(*schema.control, rest, orig, &entry.actionName,
@@ -407,6 +428,9 @@ Update Update::fromString(const p4::CheckedProgram& checked,
     findTable(checked, target, orig);
     u.target = std::move(target);
     u.entry.id = parseKeyedUint(s, "id", orig);
+    if (!trim(s).empty()) {
+      badUpdate(orig, "trailing garbage after id");
+    }
     return u;
   }
   if (kind == "set-default") {
@@ -430,8 +454,9 @@ Update Update::fromString(const p4::CheckedProgram& checked,
     Update u;
     u.kind = Kind::kProfileAdd;
     u.target = std::move(target);
-    u.member.memberId =
-        static_cast<uint32_t>(parseKeyedUint(s, "member", orig));
+    uint64_t member = parseKeyedUint(s, "member", orig);
+    if (member > UINT32_MAX) badUpdate(orig, "member id out of range");
+    u.member.memberId = static_cast<uint32_t>(member);
     parseActionCall(*control, s, orig, &u.member.actionName, &u.member.args);
     return u;
   }
@@ -440,8 +465,12 @@ Update Update::fromString(const p4::CheckedProgram& checked,
     u.kind = Kind::kProfileRemove;
     findControlByPrefix(checked, target, orig);
     u.target = std::move(target);
-    u.member.memberId =
-        static_cast<uint32_t>(parseKeyedUint(s, "member", orig));
+    uint64_t member = parseKeyedUint(s, "member", orig);
+    if (member > UINT32_MAX) badUpdate(orig, "member id out of range");
+    u.member.memberId = static_cast<uint32_t>(member);
+    if (!trim(s).empty()) {
+      badUpdate(orig, "trailing garbage after member id");
+    }
     return u;
   }
   badUpdate(orig, "unknown update kind '" + std::string(kind) + "'");

@@ -79,6 +79,16 @@ expect_arg_error "non-numeric --churn-rate" \
   -- replay "$PROG" --churn-rate sometimes
 expect_arg_error "negative --churn-rate" \
   -- replay "$PROG" --churn-rate -3
+expect_arg_error "unknown --transport rejected" \
+  -- fleet "$PROG" --transport carrier-pigeon
+expect_arg_error "missing value for --transport" \
+  -- fleet "$PROG" --transport
+expect_arg_error "missing value for --listen" \
+  -- daemon "$PROG" --listen
+expect_arg_error "daemon without --listen rejected" \
+  -- daemon "$PROG"
+expect_arg_error "agent without --connect rejected" \
+  -- agent "$PROG"
 expect_arg_error "zero --window rejected" \
   -- replay "$PROG" --window 0
 
@@ -103,6 +113,11 @@ expect_ok "fleet drains a faulty 3-device fleet to identical digests" \
 expect_ok "fleet with per-device caches and a queue cap" \
   -- fleet "$PROG" --devices 2 --updates 10 --seed 1 --queue-cap 4 \
      --no-shared-cache
+expect_ok "fleet over the socket transport converges identically" \
+  -- fleet "$PROG" --devices 2 --updates 10 --seed 1 --transport socket
+expect_ok "daemon drives spawned agent processes to a clean digest" \
+  -- daemon "$PROG" --listen "${TMPDIR:-/tmp}/flayc-smoke-$$.sock" \
+     --devices 2 --updates 10 --seed 1 --spawn
 expect_ok "replay forwards packets under churn with all gates enforced" \
   -- replay "$PROG" --updates 12 --packets 2000 --devices 2 --jobs 2 \
      --seed 1 --mix heavy-hitter

@@ -226,6 +226,43 @@ TEST(BulkPrefilter, EclipsedExactEntryBypassesViaProbe) {
   EXPECT_EQ(svc.stateDigest(), sequentialDigest(checked, stream));
 }
 
+// The point-probe is maintained incrementally: a stream of N below-threshold
+// inserts folds fresh rules into the probe every 64 inserts instead of
+// rebuilding per insert, so the classifier-build count is O(N/64) — the
+// regression this pins down was an O(N) rebuild-per-insert in the precise
+// regime. Bypass decisions (and therefore the digest) are unchanged.
+TEST(BulkPrefilter, ProbeFoldsIncrementallyNotPerInsert) {
+  auto checked = load("middleblock");
+  constexpr size_t kInserts = 400;
+  std::vector<Update> stream;
+  // One wide, high-priority cover rule...
+  stream.push_back(Update::insert(
+      "MbIngress.acl_pre_ingress",
+      aclEntry(0x0A000000u, 0xFF000000u, 0xC0A80000u, 0xFFFF0000u, 1000)));
+  // ...then N distinct exact-valued entries it eclipses: all bypassed, all
+  // appended to the probe's rule set.
+  for (size_t i = 0; i < kInserts; ++i) {
+    stream.push_back(Update::insert(
+        "MbIngress.acl_pre_ingress",
+        aclEntry(0x0A000000u + static_cast<uint32_t>(i), 0xFFFFFFFFu,
+                 0xC0A80101u, 0xFFFFFFFFu, 5)));
+  }
+
+  obs::Counter& rebuilds =
+      obs::Registry::global().counter("flay.bulk_probe_rebuilds");
+  uint64_t before = rebuilds.value();
+  core::FlayService svc(checked);
+  auto rep = svc.bulkLoad(stream, {});
+  // A threshold-crossing insert legitimately routes to analysis once; every
+  // other eclipsed insert must bypass.
+  EXPECT_GE(rep.bypassed, kInserts - 1);
+  uint64_t built = rebuilds.value() - before;
+  // N/64 delta folds plus a small constant for initial builds; a rebuild-
+  // per-insert regression would be ~400 here.
+  EXPECT_LE(built, kInserts / 64 + 4) << "probe rebuilt per insert";
+  EXPECT_EQ(svc.stateDigest(), sequentialDigest(checked, stream));
+}
+
 TEST(BulkPrefilter, UncoveredExactEntryIsAnalyzed) {
   auto checked = load("middleblock");
   std::vector<Update> stream;

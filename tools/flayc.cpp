@@ -30,7 +30,23 @@
 //                                  with one verdict cache across all
 //                                  services, and require every device to end
 //                                  in the identical state (non-zero exit on
-//                                  divergence or a failed device)
+//                                  divergence or a failed device); with
+//                                  --transport socket every device runs
+//                                  behind an in-process agent speaking the
+//                                  versioned wire protocol
+//   flayc daemon     <prog.p4l>    controller daemon: listen on a Unix-domain
+//                                  socket (--listen), accept one agent per
+//                                  device (optionally fork/exec them with
+//                                  --spawn), shard by program fingerprint,
+//                                  stream a fuzzed update script as pipelined
+//                                  batch frames, and require identical agent
+//                                  state digests (non-zero exit on
+//                                  divergence or a dead link)
+//   flayc agent      <prog.p4l>    device agent: connect to a daemon
+//                                  (--connect), run one fault-tolerant
+//                                  controller + simulated device, and serve
+//                                  wire-protocol requests until the daemon
+//                                  says goodbye
 //
 // Options:
 //   --skip-parser       analyze without symbolic parser execution
@@ -70,6 +86,13 @@
 //                       rest of the fleet (default 0 = unbounded)
 //   --no-shared-cache   fleet: give every device a private verdict cache
 //                       instead of the fleet-wide shared one (A/B switch)
+//   --transport T       fleet/replay: inproc (direct calls, default) or
+//                       socket (per-device agents over the wire protocol);
+//                       the two produce byte-identical fleet digests
+//   --listen PATH       daemon: Unix-domain socket path to bind
+//   --connect PATH      agent: daemon socket path to connect to
+//   --device NAME       agent: device name presented in the hello (dev0)
+//   --spawn             daemon: fork/exec one `flayc agent` per device
 //   --torn-tail         crashtest: append a torn half-record to the journal
 //                       before recovery (simulates a write cut by the crash)
 //   --stats[=json]      print the observability registry (counters and
@@ -80,20 +103,26 @@
 // values) print a one-line error and exit 2.
 
 #include <dirent.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <optional>
 #include <random>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "controller/controller.h"
 #include "flay/specializer.h"
+#include "fleet/agent.h"
 #include "fleet/fleet.h"
 #include "net/fuzzer.h"
 #include "net/mix.h"
@@ -115,6 +144,7 @@ namespace oracle = flay::oracle;
 namespace ctrl = flay::controller;
 namespace fleet = flay::fleet;
 namespace replay = flay::replay;
+namespace wire = flay::wire;
 using flay::support::Stopwatch;
 
 namespace {
@@ -154,6 +184,12 @@ struct Options {
   std::string traceOut;
   bool bulk = false;
   size_t chunk = 4096;
+  std::string transport = "inproc";
+  std::string listenPath;
+  std::string connectPath;
+  std::string deviceName = "dev0";
+  bool spawnAgents = false;
+  std::string argv0;  // for daemon --spawn re-exec
 };
 
 int usage() {
@@ -161,7 +197,7 @@ int usage() {
       stderr,
       "usage: flayc "
       "<check|print|analyze|compile|specialize|fuzz|bulkload|difftest|"
-      "crashtest|fleet|replay> "
+      "crashtest|fleet|replay|daemon|agent> "
       "<prog.p4l> [--skip-parser] [--iterations N] [--config NAME]\n"
       "             [--bulk] [--chunk N]\n"
       "             [--updates N] [--seed S] [--packets M] [--no-shrink]\n"
@@ -172,6 +208,9 @@ int usage() {
       "             [--kill-points K] [--checkpoint-every C] "
       "[--state-dir DIR] [--torn-tail]\n"
       "             [--devices N] [--queue-cap Q] [--no-shared-cache]\n"
+      "             [--transport inproc|socket] [--listen PATH] "
+      "[--connect PATH]\n"
+      "             [--device NAME] [--spawn]\n"
       "             [--mix uniform|heavy-hitter|port-scan|tunnel] "
       "[--churn-rate R] [--window W]\n"
       "             [--stats[=json]] [--trace-out FILE]\n");
@@ -783,6 +822,8 @@ int cmdFleet(const p4::CheckedProgram& checked, const Options& opts) {
   fopts.controller.specializer.incrementalSat = opts.incrementalSat;
   fopts.controller.specializer.jobs = 1;
   fopts.deviceCompiler.searchIterations = opts.iterations;
+  fopts.transport = opts.transport == "socket" ? fleet::Transport::kSocket
+                                               : fleet::Transport::kInproc;
 
   std::vector<runtime::Update> script =
       net::fuzzUpdateSequence(checked, opts.updates, opts.seed);
@@ -795,9 +836,9 @@ int cmdFleet(const p4::CheckedProgram& checked, const Options& opts) {
   fc.drain();
   double drainSecs = drainTimer.elapsedSeconds();
   std::printf("fleet: %zu device(s), %zu update(s) broadcast, jobs=%zu, "
-              "shared-cache=%s\n",
+              "shared-cache=%s, transport=%s\n",
               fc.deviceCount(), script.size(), opts.jobs,
-              opts.sharedCache ? "on" : "off");
+              opts.sharedCache ? "on" : "off", opts.transport.c_str());
   uint64_t applied = 0, rejected = 0, dropped = 0;
   for (size_t i = 0; i < fc.deviceCount(); ++i) {
     fleet::DeviceStatus s = fc.status(i);
@@ -871,6 +912,8 @@ int cmdReplay(const p4::CheckedProgram& checked, const Options& opts) {
   ropts.controller.specializer.jobs = 1;  // same rationale as cmdFleet
   ropts.controller.seed = opts.seed;
   ropts.deviceCompiler.searchIterations = opts.iterations;
+  ropts.transport = opts.transport == "socket" ? fleet::Transport::kSocket
+                                               : fleet::Transport::kInproc;
 
   replay::LiveReplayHarness harness(checked, ropts);
   replay::ReplayReport report = harness.run();
@@ -884,10 +927,190 @@ int cmdReplay(const p4::CheckedProgram& checked, const Options& opts) {
   return 0;
 }
 
+// `flayc agent prog.p4l --connect PATH` — one device agent process: builds
+// a FaultTolerantController over a SimulatedDevice and serves the wire
+// protocol until the daemon says bye (or the connection drops).
+int cmdAgent(const p4::CheckedProgram& checked, const Options& opts) {
+  if (opts.connectPath.empty()) argError("agent needs --connect PATH");
+
+  ctrl::ControllerOptions copts;
+  copts.checkpointEvery = opts.checkpointEvery;
+  copts.seed = opts.seed;
+  copts.flay.analysis.analyzeParser = !opts.skipParser;
+  copts.specializer = specializerOptions(opts);
+  copts.specializer.jobs = 1;  // same rationale as cmdFleet
+  if (!opts.stateDir.empty()) copts.stateDir = opts.stateDir;
+
+  ctrl::FaultPlan plan;
+  if (!opts.faultPlan.empty()) plan = parseFaultPlan(opts.faultPlan);
+  tofino::CompilerOptions compilerOpts;
+  compilerOpts.searchIterations = opts.iterations;
+  ctrl::SimulatedDevice device(plan, tofino::PipelineModel{},
+                                     compilerOpts);
+  ctrl::FaultTolerantController ctl(checked, &device, copts);
+
+  wire::Fd fd = wire::connectUnix(opts.connectPath);
+  fleet::AgentEndpoint endpoint(checked, ctl, wire::FrameChannel(std::move(fd)),
+                                opts.deviceName, opts.seed);
+  bool ok = endpoint.serve();
+  const fleet::AgentStats& st = endpoint.stats();
+  std::printf("agent %s: batches=%llu applied=%llu rejected=%llu "
+              "retries=%llu bulkloads=%llu%s%s\n",
+              opts.deviceName.c_str(),
+              static_cast<unsigned long long>(st.batches),
+              static_cast<unsigned long long>(st.applied),
+              static_cast<unsigned long long>(st.rejected),
+              static_cast<unsigned long long>(st.retries),
+              static_cast<unsigned long long>(st.bulkLoads),
+              ok ? "" : " FAILED", ctl.degraded() ? " DEGRADED" : "");
+  if (!ok && !endpoint.lastError().empty()) {
+    std::fprintf(stderr, "agent %s: %s\n", opts.deviceName.c_str(),
+                 endpoint.lastError().c_str());
+  }
+  return ok ? 0 : 1;
+}
+
+// `flayc daemon prog.p4l --listen PATH [--spawn]` — the controller daemon:
+// accepts --devices agent connections (optionally forking+exec'ing them
+// itself), shards by program fingerprint at handshake, then drives the
+// fuzzed update script down every accepted link concurrently and checks
+// the replicated digests for divergence.
+int cmdDaemon(const p4::CheckedProgram& checked, const Options& opts) {
+  if (opts.listenPath.empty()) argError("daemon needs --listen PATH");
+
+  wire::Fd listener = wire::listenUnix(opts.listenPath);
+  std::string fingerprint = fleet::programFingerprint(checked);
+
+  std::vector<pid_t> children;
+  if (opts.spawnAgents) {
+    for (size_t i = 0; i < opts.devices; ++i) {
+      std::string device = "dev" + std::to_string(i);
+      std::string seed = std::to_string(opts.seed + i);
+      pid_t pid = fork();
+      if (pid < 0) {
+        std::fprintf(stderr, "daemon: fork failed: %s\n",
+                     std::strerror(errno));
+        return 1;
+      }
+      if (pid == 0) {
+        execl(opts.argv0.c_str(), opts.argv0.c_str(), "agent",
+              opts.file.c_str(), "--connect", opts.listenPath.c_str(),
+              "--device", device.c_str(), "--seed", seed.c_str(),
+              static_cast<char*>(nullptr));
+        std::fprintf(stderr, "daemon: exec %s failed: %s\n",
+                     opts.argv0.c_str(), std::strerror(errno));
+        _Exit(127);
+      }
+      children.push_back(pid);
+    }
+  }
+
+  std::vector<std::unique_ptr<fleet::AgentLink>> links;
+  for (size_t i = 0; i < opts.devices; ++i) {
+    wire::Fd conn = wire::acceptOne(listener);
+    auto link = std::make_unique<fleet::AgentLink>(
+        std::move(conn), "conn" + std::to_string(i));
+    wire::Hello hello = link->handshake();
+    if (hello.programFingerprint != fingerprint) {
+      // Shard-by-program: this daemon only drives agents running the same
+      // checked program; anything else is turned away at the door.
+      link->reject("program fingerprint mismatch (daemon " + fingerprint +
+                   ", agent " + hello.programFingerprint + ")");
+      std::fprintf(stderr, "daemon: rejected %s (fingerprint mismatch)\n",
+                   hello.deviceName.c_str());
+      --i;  // the slot is still open
+      continue;
+    }
+    link->accept();
+    std::printf("daemon: accepted %s\n", hello.deviceName.c_str());
+    links.push_back(std::move(link));
+  }
+  listener.reset();
+
+  std::vector<runtime::Update> script =
+      net::fuzzUpdateSequence(checked, opts.updates, opts.seed);
+  std::vector<std::string> texts;
+  texts.reserve(script.size());
+  for (const auto& u : script) texts.push_back(u.toString());
+
+  Stopwatch drainTimer;
+  std::atomic<uint64_t> applied{0}, rejected{0};
+  std::atomic<size_t> failures{0};
+  std::vector<std::thread> drivers;
+  drivers.reserve(links.size());
+  for (auto& linkPtr : links) {
+    drivers.emplace_back([&, link = linkPtr.get()] {
+      try {
+        for (const auto& t : texts) link->enqueue(t);
+        fleet::AgentLink::FlushDelta d = link->flush();
+        applied += d.applied;
+        rejected += d.rejected;
+      } catch (const wire::WireError& e) {
+        std::fprintf(stderr, "daemon: %s died: %s\n", link->label().c_str(),
+                     e.what());
+        ++failures;
+      }
+    });
+  }
+  for (auto& t : drivers) t.join();
+  double drainSecs = drainTimer.elapsedSeconds();
+
+  std::string firstDigest;
+  bool diverged = false;
+  for (auto& link : links) {
+    if (!link->alive()) continue;
+    try {
+      wire::DigestReply reply = link->digest();
+      if (firstDigest.empty()) {
+        firstDigest = reply.digest;
+      } else if (reply.digest != firstDigest) {
+        std::fprintf(stderr, "daemon: DIVERGENCE — %s digest %s != %s\n",
+                     link->label().c_str(), reply.digest.c_str(),
+                     firstDigest.c_str());
+        diverged = true;
+      }
+    } catch (const wire::WireError& e) {
+      std::fprintf(stderr, "daemon: digest from %s failed: %s\n",
+                   link->label().c_str(), e.what());
+      ++failures;
+    }
+  }
+  for (auto& link : links) link->bye();
+
+  size_t childFailures = 0;
+  for (pid_t pid : children) {
+    int status = 0;
+    if (waitpid(pid, &status, 0) < 0 || !WIFEXITED(status) ||
+        WEXITSTATUS(status) != 0) {
+      ++childFailures;
+    }
+  }
+  unlink(opts.listenPath.c_str());
+
+  std::printf("daemon: %zu agent(s), %zu update(s) each; applied=%llu "
+              "rejected=%llu in %.2f s%s\n",
+              links.size(), texts.size(),
+              static_cast<unsigned long long>(applied.load()),
+              static_cast<unsigned long long>(rejected.load()), drainSecs,
+              firstDigest.empty()
+                  ? ""
+                  : ("; digest " + firstDigest).c_str());
+  if (failures != 0 || childFailures != 0 || diverged) {
+    std::fprintf(stderr,
+                 "daemon: FAILED — %zu link failure(s), %zu agent exit "
+                 "failure(s)%s\n",
+                 failures.load(), childFailures,
+                 diverged ? ", digests diverged" : "");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Options opts;
+  opts.argv0 = argv[0];
   // Strict parsing: a flag missing its value or an unknown flag is a
   // one-line diagnostic and exit 2 — never silently absorbed as a
   // positional argument.
@@ -965,6 +1188,21 @@ int main(int argc, char** argv) {
       opts.queueCap = parseNumber(value(&i, arg), "--queue-cap");
     } else if (arg == "--no-shared-cache") {
       opts.sharedCache = false;
+    } else if (arg == "--transport") {
+      opts.transport = value(&i, arg);
+      if (opts.transport != "inproc" && opts.transport != "socket") {
+        argError("unknown --transport '" + opts.transport +
+                 "' (inproc, socket)");
+      }
+    } else if (arg == "--listen") {
+      opts.listenPath = value(&i, arg);
+    } else if (arg == "--connect") {
+      opts.connectPath = value(&i, arg);
+    } else if (arg == "--device") {
+      opts.deviceName = value(&i, arg);
+      if (opts.deviceName.empty()) argError("--device needs a name");
+    } else if (arg == "--spawn") {
+      opts.spawnAgents = true;
     } else if (arg == "--torn-tail") {
       opts.tornTail = true;
     } else if (arg == "--stats") {
@@ -1024,6 +1262,10 @@ int main(int argc, char** argv) {
       rc = cmdFleet(checked, opts);
     } else if (opts.command == "replay") {
       rc = cmdReplay(checked, opts);
+    } else if (opts.command == "daemon") {
+      rc = cmdDaemon(checked, opts);
+    } else if (opts.command == "agent") {
+      rc = cmdAgent(checked, opts);
     } else {
       return usage();
     }
