@@ -76,6 +76,15 @@ FaultTolerantController::FaultTolerantController(
     recoverFromJournal();
     journal_->open();
   }
+  if (options_.ifcPolicy.has_value()) {
+    // Attach after recovery: the baseline recheck covers the recovered
+    // state, and violations already present there are journaled once (the
+    // log carries no trusted verdicts — see appendIfcViolation).
+    ifc_ = std::make_shared<ifc::IfcEngine>(*service_, *options_.ifcPolicy);
+    service_->attachAnalysis(ifc_);
+    ifc_->recheck();
+    journalIfcViolations();
+  }
   if (device_ != nullptr && options_.installInitialProgram) {
     size_t retries = 0;
     if (!recompileAndInstall(&retries)) {
@@ -151,7 +160,29 @@ void FaultTolerantController::recoverFromJournal() {
         break;
       case JournalRecord::Type::kCheckpoint:
         break;
+      case JournalRecord::Type::kIfcViolation:
+        // Audit-only: IFC verdicts are re-derived from the recovered state
+        // by the engine attached after replay, never trusted from the log.
+        break;
     }
+  }
+}
+
+void FaultTolerantController::journalIfcViolations() {
+  if (ifc_ == nullptr) return;
+  for (const auto& flow : ifc_->lastReport().flows) {
+    const std::string key = flow.label + " -> " + flow.sink;
+    bool& wasViolating = ifcViolating_[key];
+    const bool violating = flow.isViolation();
+    if (violating && !wasViolating) {
+      ++ifcViolationEvents_;
+      obs::Registry::global().counter("controller.ifc_violations").add(1);
+      if (journal_ != nullptr && journal_->isOpen()) {
+        journal_->appendIfcViolation(key + ": " +
+                                     ifc::toString(flow.status));
+      }
+    }
+    wasViolating = violating;
   }
 }
 
@@ -193,6 +224,9 @@ ApplyResult FaultTolerantController::applyBatch(
   committedUpdates_.fetch_add(updates.size(), std::memory_order_relaxed);
   sinceCheckpoint_ += updates.size();
   cobs.applied.add(updates.size());
+  // The attached IFC engine already re-verified its flows inside the apply
+  // (analysis notification); journal any flow that just turned violating.
+  journalIfcViolations();
   // The verdict is ready here; the lag clock runs until this step becomes
   // device-visible (entries forwarded or a recompiled program installed).
   support::Stopwatch lag;
@@ -295,6 +329,7 @@ BulkApplyResult FaultTolerantController::applyBulk(
         committedUpdates_.fetch_add(installed, std::memory_order_relaxed);
         sinceCheckpoint_ += installed;
         cobs.applied.add(installed);
+        journalIfcViolations();
         if (device_ != nullptr) {
           applied.insert(applied.end(), chunk.applied.begin(),
                          chunk.applied.end());

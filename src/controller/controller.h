@@ -3,7 +3,9 @@
 
 #include <atomic>
 #include <functional>
+#include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
@@ -12,6 +14,7 @@
 #include "controller/wal.h"
 #include "flay/engine.h"
 #include "flay/specializer.h"
+#include "ifc/ifc.h"
 #include "support/stopwatch.h"
 
 namespace flay::controller {
@@ -41,6 +44,11 @@ struct ControllerOptions {
   bool installInitialProgram = true;
   /// Jitter seed.
   uint64_t seed = 1;
+  /// When set, an ifc::IfcEngine is attached to the service: every
+  /// committed apply re-verifies the policy's flows on the incremental hot
+  /// path, and each flow transitioning into violation is journaled as an
+  /// "ifc" audit record.
+  std::optional<ifc::IfcPolicy> ifcPolicy;
   flay::FlayOptions flay;
   flay::SpecializerOptions specializer;
 };
@@ -181,6 +189,15 @@ class FaultTolerantController {
   /// Forces a checkpoint of the current committed state.
   void checkpointNow();
 
+  /// Per-update IFC report of the attached engine; null when
+  /// options.ifcPolicy was not set.
+  const ifc::IfcReport* lastIfcReport() const {
+    return ifc_ != nullptr ? &ifc_->lastReport() : nullptr;
+  }
+  /// Flow transitions into violation observed (and journaled) so far. A
+  /// flow that clears and re-violates counts again.
+  uint64_t ifcViolationEvents() const { return ifcViolationEvents_; }
+
   /// Process-independent digest of the full controller-visible state
   /// (config including entry ids and allocator positions, plus every
   /// specialized program-point expression). Two controllers with equal
@@ -198,6 +215,9 @@ class FaultTolerantController {
   void queueUpdates(const std::vector<runtime::Update>& updates);
   uint64_t backoffMicros(uint32_t attempt);
   void maybeCheckpoint();
+  /// Journals every flow that transitioned into violation since the last
+  /// call (no-op without an attached IFC engine).
+  void journalIfcViolations();
   /// Builds and dispatches one EpochEvent (and records the install-lag
   /// histogram sample when visibility advanced).
   void fireEpoch(bool advanced, bool viaRecompile, bool recovery,
@@ -217,6 +237,13 @@ class FaultTolerantController {
   /// forwardability. Lazily built on first degradation.
   std::unique_ptr<flay::FlayService> deviceView_;
   bool degraded_ = false;
+  /// Attached when options.ifcPolicy is set; shares ownership with the
+  /// service's analysis list.
+  std::shared_ptr<ifc::IfcEngine> ifc_;
+  /// Last seen violation state per "label -> sink" flow, for edge-triggered
+  /// journaling.
+  std::map<std::string, bool> ifcViolating_;
+  uint64_t ifcViolationEvents_ = 0;
   std::vector<runtime::Update> queued_;
   std::set<std::string> queuedTargets_;
   std::mt19937_64 jitterRng_;

@@ -92,6 +92,9 @@ bool parseLine(std::string_view line, JournalRecord* rec) {
   } else if (type == "checkpoint") {
     rec->type = JournalRecord::Type::kCheckpoint;
     if (!p.literal(",\"file\":") || !p.quoted(&rec->file)) return false;
+  } else if (type == "ifc") {
+    rec->type = JournalRecord::Type::kIfcViolation;
+    if (!p.literal(",\"text\":") || !p.quoted(&rec->text)) return false;
   } else {
     return false;
   }
@@ -151,6 +154,10 @@ uint64_t Journal::appendAbort() { return append("\"type\":\"abort\""); }
 uint64_t Journal::appendCheckpoint(const std::string& checkpointFile) {
   return append("\"type\":\"checkpoint\",\"file\":\"" +
                 jsonEscape(checkpointFile) + "\"");
+}
+
+uint64_t Journal::appendIfcViolation(const std::string& flowText) {
+  return append("\"type\":\"ifc\",\"text\":\"" + jsonEscape(flowText) + "\"");
 }
 
 std::vector<JournalRecord> Journal::load(const std::string& path) {

@@ -13,10 +13,11 @@ namespace flay::controller {
 /// One journal record. The journal is JSONL: one JSON object per line,
 /// e.g. {"seq":4,"type":"update","text":"insert Ingress.fwd [...] -> fwd(...)"}.
 struct JournalRecord {
-  enum class Type { kBegin, kUpdate, kCommit, kAbort, kCheckpoint };
+  enum class Type { kBegin, kUpdate, kCommit, kAbort, kCheckpoint,
+                    kIfcViolation };
   Type type = Type::kUpdate;
   uint64_t seq = 0;
-  std::string text;  // kUpdate: Update::toString wire text
+  std::string text;  // kUpdate: Update wire text; kIfcViolation: flow line
   size_t n = 0;      // kBegin: updates in the transaction
   std::string file;  // kCheckpoint: checkpoint file name (relative to dir)
 };
@@ -44,6 +45,11 @@ class Journal {
   uint64_t appendCommit();
   uint64_t appendAbort();
   uint64_t appendCheckpoint(const std::string& checkpointFile);
+  /// Journals an information-flow violation surfaced by the IFC analysis
+  /// after a committed apply. Purely an audit record: replay ignores it
+  /// (verdicts are re-derived from the recovered state, not trusted from
+  /// the log).
+  uint64_t appendIfcViolation(const std::string& flowText);
 
   uint64_t lastSeq() const { return seq_; }
   const std::string& path() const { return path_; }

@@ -390,6 +390,7 @@ UpdateVerdict FlayService::analyzeObjects(const std::set<std::string>& objects) 
   if (verdict.overapproximated) eobs.overapproximations.add(1);
   verdict.analysisTime = std::chrono::duration_cast<std::chrono::microseconds>(
       std::chrono::steady_clock::now() - start);
+  notifyAnalyses(verdict);
   return verdict;
 }
 
@@ -451,6 +452,9 @@ void FlayService::restore(const ServiceSnapshot& snap) {
   for (size_t i = 0; i < points.size() && i < snap.specialized.size(); ++i) {
     points[i].specialized = snap.specialized[i];
   }
+  // The rollback changed the control-plane assignment without an analysis
+  // round; attached analyses re-derive their state from the new bindings.
+  notifyAnalyses(UpdateVerdict{});
 }
 
 void FlayService::adoptConfig(runtime::DeviceConfig config) {

@@ -115,6 +115,18 @@ using UpdateSource = std::function<std::optional<runtime::Update>()>;
 /// Invoked after each chunk's analysis with its streamed verdict.
 using BulkChunkCallback = std::function<void(const BulkChunkVerdict&)>;
 
+/// A secondary analysis product riding the incremental update hot path.
+/// Implementations (e.g. ifc::IfcEngine) are attached to a FlayService and
+/// get called after every analyzed update round — applyUpdate, applyBatch,
+/// each bulk chunk, respecializeAll — on the applying thread, after the
+/// service has finished its own check-engine work for the round. restore()
+/// fires with a default verdict: the state changed but no round ran.
+class UpdateAnalysis {
+ public:
+  virtual ~UpdateAnalysis() = default;
+  virtual void onUpdateAnalyzed(const UpdateVerdict& verdict) = 0;
+};
+
 /// Opaque value-copy of everything applyUpdate()/applyBatch() mutate: the
 /// device config, the control-plane assignment, the per-point specialized
 /// expressions, and the change-detection digests. ExprRefs point into the
@@ -213,6 +225,14 @@ class FlayService {
   /// (over-approximated or never bound).
   expr::ExprRef resolveSymbol(expr::ExprRef symbolExpr) const;
 
+  /// Attaches a secondary analysis to the update hot path: it is notified
+  /// after every analyzed round (and after restore()), so its products stay
+  /// re-verified on the same incremental cadence as the constant verdicts.
+  /// The service keeps the analysis alive; attach order is notify order.
+  void attachAnalysis(std::shared_ptr<UpdateAnalysis> analysis) {
+    analyses_.push_back(std::move(analysis));
+  }
+
   /// Time spent in the one-time data-plane analysis.
   std::chrono::microseconds dataPlaneAnalysisTime() const {
     return analysis_.analysisTime;
@@ -227,6 +247,9 @@ class FlayService {
 
   /// Recomputes bindings for `objects` and re-specializes tainted points.
   UpdateVerdict analyzeObjects(const std::set<std::string>& objects);
+  void notifyAnalyses(const UpdateVerdict& verdict) {
+    for (const auto& a : analyses_) a->onUpdateAnalyzed(verdict);
+  }
   void rebindObject(const std::string& object, bool* overapproximated);
   /// Expands a set of updated objects with every object whose encoding
   /// depends on them (tables keying on fields other tables write), in
@@ -267,6 +290,8 @@ class FlayService {
   /// Decision digests for change detection at the recompile level.
   std::vector<std::string> pointDigests_;
   std::map<std::string, std::string> tableDigests_;
+  /// Attached secondary analyses (ifc::IfcEngine), notified per round.
+  std::vector<std::shared_ptr<UpdateAnalysis>> analyses_;
   std::chrono::microseconds preprocessTime_{0};
 };
 

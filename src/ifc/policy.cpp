@@ -1,0 +1,194 @@
+#include "ifc/policy.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace flay::ifc {
+
+namespace {
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream in(line);
+  std::string tok;
+  while (in >> tok) {
+    if (tok[0] == '#') break;
+    out.push_back(tok);
+  }
+  return out;
+}
+
+std::set<std::string> splitLabels(const std::string& s) {
+  std::set<std::string> out;
+  size_t pos = 0;
+  while (pos <= s.size()) {
+    size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    std::string item = s.substr(pos, comma - pos);
+    if (!item.empty()) out.insert(item);
+    pos = comma + 1;
+    if (comma == s.size()) break;
+  }
+  return out;
+}
+
+[[noreturn]] void bad(size_t lineNo, const std::string& what) {
+  throw std::invalid_argument("ifc policy line " + std::to_string(lineNo) +
+                              ": " + what);
+}
+
+}  // namespace
+
+IfcPolicy IfcPolicy::parse(const std::string& text) {
+  IfcPolicy policy;
+  std::set<std::string> sinkFields;
+  std::istringstream in(text);
+  std::string line;
+  size_t lineNo = 0;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    std::vector<std::string> tok = tokenize(line);
+    if (tok.empty()) continue;
+    if (tok[0] == "label") {
+      if (tok.size() != 3) bad(lineNo, "want: label <name> <field>");
+      policy.labels[tok[1]].insert(tok[2]);
+    } else if (tok[0] == "sink") {
+      if (tok.size() != 4 || tok[2] != "allow") {
+        bad(lineNo, "want: sink <field> allow <labels|*|none>");
+      }
+      if (!sinkFields.insert(tok[1]).second) {
+        bad(lineNo, "duplicate sink '" + tok[1] + "'");
+      }
+      SinkPolicy sink;
+      sink.field = tok[1];
+      if (tok[3] == "*") {
+        sink.allowAll = true;
+      } else if (tok[3] != "none") {
+        sink.allowed = splitLabels(tok[3]);
+        if (sink.allowed.empty()) {
+          bad(lineNo, "empty allow list (use 'none')");
+        }
+      }
+      policy.sinks.push_back(std::move(sink));
+    } else if (tok[0] == "declassify") {
+      if (tok.size() != 3) bad(lineNo, "want: declassify <table> <label>");
+      policy.declassify.push_back({tok[1], tok[2]});
+    } else {
+      bad(lineNo, "unknown directive '" + tok[0] + "'");
+    }
+  }
+  if (policy.sinks.empty()) {
+    throw std::invalid_argument("ifc policy declares no sinks");
+  }
+  return policy;
+}
+
+IfcPolicy IfcPolicy::parseFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::invalid_argument("cannot read ifc policy '" + path + "'");
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse(text.str());
+}
+
+void IfcPolicy::validate(const p4::CheckedProgram& checked) const {
+  std::set<std::string> known;
+  for (const auto& f : checked.env.fields()) known.insert(f.canonical);
+  known.insert("sm.ingress_port");
+  known.insert("sm.packet_length");
+  auto checkField = [&](const std::string& field, const char* role) {
+    if (known.count(field) == 0) {
+      throw std::invalid_argument(std::string("ifc policy: unknown ") + role +
+                                  " field '" + field + "'");
+    }
+  };
+  for (const auto& [label, fields] : labels) {
+    for (const auto& f : fields) checkField(f, "source");
+  }
+  for (const auto& s : sinks) checkField(s.field, "sink");
+  for (const auto& d : declassify) {
+    bool found = false;
+    for (const auto& control : checked.program.controls) {
+      for (const auto& t : control.tables) {
+        found |= control.name + "." + t.name == d.table;
+      }
+    }
+    if (!found) {
+      throw std::invalid_argument("ifc policy: unknown declassify table '" +
+                                  d.table + "'");
+    }
+    if (labels.count(d.label) == 0) {
+      throw std::invalid_argument("ifc policy: declassify names label '" +
+                                  d.label + "' with no source fields");
+    }
+  }
+}
+
+std::set<std::string> IfcPolicy::labelsOf(const std::string& field) const {
+  std::set<std::string> out;
+  for (const auto& [label, fields] : labels) {
+    if (fields.count(field) != 0) out.insert(label);
+  }
+  return out;
+}
+
+std::vector<std::string> IfcPolicy::labelNames() const {
+  std::vector<std::string> out;
+  for (const auto& [label, fields] : labels) {
+    if (!fields.empty()) out.push_back(label);
+  }
+  return out;  // std::map iteration is already sorted
+}
+
+std::vector<std::string> IfcPolicy::declassifiersFor(
+    const std::string& label) const {
+  std::vector<std::string> out;
+  for (const auto& d : declassify) {
+    if (d.label == label) out.push_back(d.table);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::string IfcPolicy::render() const {
+  std::ostringstream out;
+  for (const auto& [label, fields] : labels) {
+    for (const auto& f : fields) out << "label " << label << " " << f << "\n";
+  }
+  std::vector<SinkPolicy> sorted = sinks;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const SinkPolicy& a, const SinkPolicy& b) {
+              return a.field < b.field;
+            });
+  for (const auto& s : sorted) {
+    out << "sink " << s.field << " allow ";
+    if (s.allowAll) {
+      out << "*";
+    } else if (s.allowed.empty()) {
+      out << "none";
+    } else {
+      bool first = true;
+      for (const auto& l : s.allowed) {
+        if (!first) out << ",";
+        out << l;
+        first = false;
+      }
+    }
+    out << "\n";
+  }
+  std::vector<std::pair<std::string, std::string>> decl;
+  for (const auto& d : declassify) decl.emplace_back(d.table, d.label);
+  std::sort(decl.begin(), decl.end());
+  decl.erase(std::unique(decl.begin(), decl.end()), decl.end());
+  for (const auto& [table, label] : decl) {
+    out << "declassify " << table << " " << label << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace flay::ifc

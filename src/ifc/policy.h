@@ -1,0 +1,85 @@
+#ifndef FLAY_IFC_POLICY_H
+#define FLAY_IFC_POLICY_H
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "p4/typecheck.h"
+
+namespace flay::ifc {
+
+/// Per-sink policy: which source labels may flow into the sink's final
+/// value. A sink is a canonical field observed at the end of the pipeline
+/// (e.g. "sm.egress_spec", "meta.nexthop_id"); observation means the packet
+/// is actually delivered — drops hide the value.
+struct SinkPolicy {
+  std::string field;
+  bool allowAll = false;          ///< "allow *": nothing to check here
+  std::set<std::string> allowed;  ///< labels that may flow into this sink
+};
+
+/// Per-table declassification annotation: flows of `label` that the table's
+/// *installed entries* mediate (which entry matched, which action ran) are
+/// sanctioned. With no entries installed the table's match outcome is
+/// constant, so the annotation downgrades nothing — labels are only
+/// released for behavior the control plane actually configured.
+struct Declassify {
+  std::string table;  ///< qualified table name, e.g. "Ingress.ipv4_route"
+  std::string label;
+};
+
+/// An information-flow policy over a P4-lite program: source labels on
+/// header/metadata fields, per-sink allow-lists, and per-table declassify
+/// annotations. The label lattice is the powerset of label names ordered by
+/// inclusion; a flow (label L -> sink k) is in question whenever k does not
+/// allow L.
+///
+/// Text format, one directive per line ('#' starts a comment):
+///
+///   label  <name> <field-canonical>        # tag a source field
+///   sink   <field-canonical> allow <l1,l2|*|none>
+///   declassify <table-qualified> <label>
+///
+/// Example:
+///
+///   label secret hdr.ipv4.src_addr
+///   sink  sm.egress_spec allow none
+///   declassify Ingress.ipv4_route secret
+class IfcPolicy {
+ public:
+  /// Parses the text form; throws std::invalid_argument on a malformed
+  /// directive (message names the line).
+  static IfcPolicy parse(const std::string& text);
+  /// Loads and parses a policy file; throws std::invalid_argument when the
+  /// file cannot be read or parsed.
+  static IfcPolicy parseFile(const std::string& path);
+
+  /// Checks every referenced field exists in the program's type environment
+  /// and every declassified table is declared; throws std::invalid_argument
+  /// naming the first offender. Call once after parse, before building an
+  /// IfcEngine.
+  void validate(const p4::CheckedProgram& checked) const;
+
+  /// Labels carried by a source field (empty set when unlabeled).
+  std::set<std::string> labelsOf(const std::string& field) const;
+  /// Sorted label names with at least one source field.
+  std::vector<std::string> labelNames() const;
+  /// Declassifying tables for one label, sorted.
+  std::vector<std::string> declassifiersFor(const std::string& label) const;
+
+  /// Normalized text rendering (sorted directives) — parse(render()) is a
+  /// fixpoint, used by tests and the controller journal.
+  std::string render() const;
+
+  /// label -> source fields carrying it.
+  std::map<std::string, std::set<std::string>> labels;
+  /// Sink policies in file order (duplicate fields rejected at parse).
+  std::vector<SinkPolicy> sinks;
+  std::vector<Declassify> declassify;
+};
+
+}  // namespace flay::ifc
+
+#endif  // FLAY_IFC_POLICY_H

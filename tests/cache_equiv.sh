@@ -64,6 +64,18 @@ done
 compare "fuzz scion" \
   -- fuzz "$PROGRAMS/scion.p4l" --updates 40 --seed 2
 
+# Information-flow verdicts ride the same check engine, so the rendered IFC
+# report (including every per-update violation transition) must also be
+# byte-identical across the whole matrix.
+for prog in middleblock switch scion; do
+  compare "ifc $prog" \
+    -- ifc "$PROGRAMS/$prog.p4l" \
+       --policy "$PROGRAMS/ifc/$prog-strict.policy" --updates 30 --seed 7
+done
+compare "fuzz+ifc middleblock" \
+  -- fuzz "$PROGRAMS/middleblock.p4l" --updates 30 --seed 3 \
+     --ifc-policy "$PROGRAMS/ifc/middleblock-open.policy"
+
 if [ "$failures" -ne 0 ]; then
   note "$failures check(s) failed"
   exit 1

@@ -91,6 +91,23 @@ expect_arg_error "agent without --connect rejected" \
   -- agent "$PROG"
 expect_arg_error "zero --window rejected" \
   -- replay "$PROG" --window 0
+expect_arg_error "ifc without --policy rejected" \
+  -- ifc "$PROG"
+expect_arg_error "missing value for --policy" \
+  -- ifc "$PROG" --policy
+expect_arg_error "missing value for --ifc-policy" \
+  -- fuzz "$PROG" --ifc-policy
+expect_arg_error "unreadable policy file rejected" \
+  -- ifc "$PROG" --policy "$PROGRAMS/ifc/no-such.policy"
+BADPOLICY=${TMPDIR:-/tmp}/flayc-smoke-bad-$$.policy
+printf 'label secret hdr.no.such.field\nsink sm.egress_spec allow none\n' \
+  >"$BADPOLICY"
+expect_arg_error "policy naming an unknown field rejected" \
+  -- ifc "$PROG" --policy "$BADPOLICY"
+printf 'frobnicate a b\n' >"$BADPOLICY"
+expect_arg_error "malformed policy directive rejected" \
+  -- ifc "$PROG" --policy "$BADPOLICY"
+rm -f "$BADPOLICY"
 
 # Usage (no command / unknown command) also exits 2, but multi-line.
 "$FLAYC" >/dev/null 2>&1
@@ -124,6 +141,15 @@ expect_ok "replay forwards packets under churn with all gates enforced" \
 expect_ok "replay with a fault plan and paced churn" \
   -- replay "$PROG" --updates 12 --packets 2000 --devices 2 --jobs 2 \
      --seed 1 --fault-plan transient --churn-rate 200 --mix tunnel
+expect_ok "ifc re-verdicts a replayed update stream" \
+  -- ifc "$PROG" --policy "$PROGRAMS/ifc/middleblock-strict.policy" \
+     --updates 10 --seed 7
+expect_ok "ifc with a replay filter and the cache disabled" \
+  -- ifc "$PROG" --policy "$PROGRAMS/ifc/middleblock-open.policy" \
+     --updates 10 --seed 7 --replay-updates 0,2,4 --no-verdict-cache
+expect_ok "fuzz cross-checks incremental IFC against from-scratch" \
+  -- fuzz "$PROG" --updates 10 --seed 3 \
+     --ifc-policy "$PROGRAMS/ifc/middleblock-open.policy"
 
 if [ "$failures" -ne 0 ]; then
   note "$failures check(s) failed"

@@ -47,6 +47,14 @@
 //                                  controller + simulated device, and serve
 //                                  wire-protocol requests until the daemon
 //                                  says goodbye
+//   flayc ifc        <prog.p4l>    information-flow check: load a label/sink
+//                                  policy (--policy), verdict every
+//                                  source->sink flow of the specialized
+//                                  program, replay a fuzzed update stream,
+//                                  and after every update cross-check the
+//                                  incremental re-verdicts against a
+//                                  from-scratch engine (non-zero exit on
+//                                  drift)
 //
 // Options:
 //   --skip-parser       analyze without symbolic parser execution
@@ -93,6 +101,10 @@
 //   --connect PATH      agent: daemon socket path to connect to
 //   --device NAME       agent: device name presented in the hello (dev0)
 //   --spawn             daemon: fork/exec one `flayc agent` per device
+//   --policy FILE       ifc: label/sink/declassify policy file (required)
+//   --ifc-policy FILE   fuzz/difftest: additionally run the information-flow
+//                       engine over the same update stream, cross-checking
+//                       incremental vs from-scratch verdicts every update
 //   --torn-tail         crashtest: append a torn half-record to the journal
 //                       before recovery (simulates a write cut by the crash)
 //   --stats[=json]      print the observability registry (counters and
@@ -106,6 +118,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <chrono>
@@ -122,6 +135,7 @@
 
 #include "controller/controller.h"
 #include "flay/specializer.h"
+#include "ifc/ifc.h"
 #include "fleet/agent.h"
 #include "fleet/fleet.h"
 #include "net/fuzzer.h"
@@ -142,6 +156,7 @@ namespace runtime = flay::runtime;
 namespace obs = flay::obs;
 namespace oracle = flay::oracle;
 namespace ctrl = flay::controller;
+namespace ifc = flay::ifc;
 namespace fleet = flay::fleet;
 namespace replay = flay::replay;
 namespace wire = flay::wire;
@@ -189,6 +204,8 @@ struct Options {
   std::string connectPath;
   std::string deviceName = "dev0";
   bool spawnAgents = false;
+  std::string policyFile;     // ifc: required --policy
+  std::string ifcPolicyFile;  // fuzz/difftest: optional --ifc-policy
   std::string argv0;  // for daemon --spawn re-exec
 };
 
@@ -197,7 +214,7 @@ int usage() {
       stderr,
       "usage: flayc "
       "<check|print|analyze|compile|specialize|fuzz|bulkload|difftest|"
-      "crashtest|fleet|replay|daemon|agent> "
+      "crashtest|fleet|replay|daemon|agent|ifc> "
       "<prog.p4l> [--skip-parser] [--iterations N] [--config NAME]\n"
       "             [--bulk] [--chunk N]\n"
       "             [--updates N] [--seed S] [--packets M] [--no-shrink]\n"
@@ -213,6 +230,7 @@ int usage() {
       "             [--device NAME] [--spawn]\n"
       "             [--mix uniform|heavy-hitter|port-scan|tunnel] "
       "[--churn-rate R] [--window W]\n"
+      "             [--policy FILE] [--ifc-policy FILE]\n"
       "             [--stats[=json]] [--trace-out FILE]\n");
   return 2;
 }
@@ -389,11 +407,41 @@ int cmdSpecialize(const p4::CheckedProgram& checked, const Options& opts) {
   return 0;
 }
 
+/// Loads and validates a policy for --policy/--ifc-policy; a malformed or
+/// mismatched file is an argument error (one line, exit 2), the same
+/// contract as every other flag value.
+ifc::IfcPolicy loadPolicy(const std::string& path,
+                          const p4::CheckedProgram& checked) {
+  try {
+    ifc::IfcPolicy policy = ifc::IfcPolicy::parseFile(path);
+    policy.validate(checked);
+    return policy;
+  } catch (const std::invalid_argument& e) {
+    argError(e.what());
+  }
+}
+
 int cmdFuzz(const p4::CheckedProgram& checked, const Options& opts) {
   core::FlayOptions foptions;
   foptions.analysis.analyzeParser = !opts.skipParser;
   core::FlayService service(checked, foptions);
   applyCannedConfig(service, opts.config);
+
+  // --ifc-policy rider: the attached engine re-verdicts incrementally after
+  // every analyzed update; each applied update is then cross-checked
+  // against a from-scratch engine over the same state.
+  std::shared_ptr<ifc::IfcEngine> ifcEngine;
+  if (!opts.ifcPolicyFile.empty()) {
+    ifcEngine = std::make_shared<ifc::IfcEngine>(
+        service, loadPolicy(opts.ifcPolicyFile, checked));
+    service.attachAnalysis(ifcEngine);
+    ifcEngine->recheck();
+  }
+  auto ifcConsistent = [&]() -> bool {
+    return ifcEngine == nullptr ||
+           ifcEngine->recheckFromScratch().render() ==
+               ifcEngine->lastReport().render();
+  };
 
   const auto& tables = service.analysis().tables;
   if (tables.empty()) {
@@ -464,6 +512,10 @@ int cmdFuzz(const p4::CheckedProgram& checked, const Options& opts) {
                 rep.expressionsChanged ? "yes" : "no");
     std::printf("  recompile-requiring:  %s\n",
                 rep.needsRecompilation ? "yes" : "no");
+    if (!ifcConsistent()) {
+      std::fprintf(stderr, "fuzz: IFC INCREMENTAL DRIFT after bulk load\n");
+      return 1;
+    }
   } else {
   size_t applied = 0, inserts = 0, deletes = 0, rejected = 0;
   size_t exprChanges = 0, recompiles = 0;
@@ -501,6 +553,16 @@ int cmdFuzz(const p4::CheckedProgram& checked, const Options& opts) {
       progress = true;
       if (verdict.expressionsChanged) ++exprChanges;
       if (verdict.needsRecompilation) ++recompiles;
+      if (!ifcConsistent()) {
+        std::fprintf(stderr,
+                     "fuzz: IFC INCREMENTAL DRIFT after %zu update(s)\n"
+                     "  reproduce: flayc fuzz %s --ifc-policy %s --updates "
+                     "%zu --seed %llu\n",
+                     applied, opts.file.c_str(), opts.ifcPolicyFile.c_str(),
+                     opts.updates,
+                     static_cast<unsigned long long>(opts.seed));
+        return 1;
+      }
     }
     if (!progress) break;
   }
@@ -532,6 +594,12 @@ int cmdFuzz(const p4::CheckedProgram& checked, const Options& opts) {
   }
   std::printf("  incremental-vs-scratch: consistent (%zu points)\n",
               service.analysis().annotations.points().size());
+  if (ifcEngine != nullptr) {
+    std::printf("  ifc: %zu flow(s), %zu violation(s), "
+                "incremental-vs-scratch: consistent\n",
+                ifcEngine->lastReport().flows.size(),
+                ifcEngine->lastReport().violations());
+  }
 
   // Specialize the fuzzed state through the semantics-check engine so
   // --jobs / --no-verdict-cache are exercised end-to-end. The verdict line
@@ -633,6 +701,77 @@ int cmdBulkload(const p4::CheckedProgram& checked, const Options& opts) {
   return 0;
 }
 
+int cmdIfc(const p4::CheckedProgram& checked, const Options& opts) {
+  if (opts.policyFile.empty()) argError("ifc needs --policy FILE");
+  ifc::IfcPolicy policy = loadPolicy(opts.policyFile, checked);
+
+  core::FlayOptions foptions;
+  foptions.analysis.analyzeParser = !opts.skipParser;
+  core::FlayService service(checked, foptions);
+  core::CheckEngineOptions eopts;
+  eopts.jobs = opts.jobs;
+  eopts.useVerdictCache = opts.verdictCache;
+  eopts.incrementalSat = opts.incrementalSat;
+  service.checkEngine().configure(eopts);
+  applyCannedConfig(service, opts.config);
+
+  auto engine = std::make_shared<ifc::IfcEngine>(service, policy);
+  service.attachAnalysis(engine);
+  ifc::IfcReport report = engine->recheck();
+  std::printf("ifc: %zu label(s), %zu sink(s), %zu declassification(s)\n",
+              policy.labels.size(), policy.sinks.size(),
+              policy.declassify.size());
+  std::printf("initial %s", report.render().c_str());
+
+  // Replay a fuzzed update stream (optionally filtered to --replay-updates
+  // indices); after every applied update the attached engine has already
+  // re-verdicted incrementally, and a from-scratch engine over the same
+  // state must agree byte-for-byte.
+  std::vector<runtime::Update> script =
+      net::fuzzUpdateSequence(checked, opts.updates, opts.seed);
+  size_t applied = 0, rejected = 0;
+  std::string lastRender = report.render();
+  for (size_t i = 0; i < script.size(); ++i) {
+    if (opts.replayUpdatesSet &&
+        std::find(opts.replayUpdates.begin(), opts.replayUpdates.end(), i) ==
+            opts.replayUpdates.end()) {
+      continue;
+    }
+    try {
+      service.applyUpdate(script[i]);
+    } catch (const std::invalid_argument&) {
+      ++rejected;  // same contract as a sequential replay: count, move on
+      continue;
+    }
+    ++applied;
+    const ifc::IfcReport& inc = engine->lastReport();
+    ifc::IfcReport scratch = engine->recheckFromScratch();
+    if (scratch.render() != inc.render()) {
+      std::fprintf(stderr,
+                   "ifc: INCREMENTAL DRIFT after update %zu\n"
+                   "--- incremental ---\n%s--- from-scratch ---\n%s"
+                   "reproduce: flayc ifc %s --policy %s --updates %zu "
+                   "--seed %llu\n",
+                   i, inc.render().c_str(), scratch.render().c_str(),
+                   opts.file.c_str(), opts.policyFile.c_str(), opts.updates,
+                   static_cast<unsigned long long>(opts.seed));
+      return 1;
+    }
+    std::string render = inc.render();
+    if (render != lastRender) {
+      std::printf("after update %zu: %zu violation(s)\n", i,
+                  inc.violations());
+      lastRender = std::move(render);
+    }
+  }
+
+  std::printf("final %s", engine->lastReport().render().c_str());
+  std::printf("ifc: %zu update(s) applied (%zu rejected), "
+              "incremental-vs-scratch: consistent\n",
+              applied, rejected);
+  return 0;
+}
+
 int cmdDifftest(const p4::CheckedProgram& checked, const Options& opts) {
   oracle::OracleOptions ooptions;
   ooptions.updates = opts.updates;
@@ -670,9 +809,50 @@ int cmdDifftest(const p4::CheckedProgram& checked, const Options& opts) {
                 ooptions.faultPlan->toString().c_str(), report.faultRetries,
                 report.degradedSteps);
   }
+  // --ifc-policy rider: replay the oracle's script on a side service with
+  // an attached IFC engine, cross-checking incremental vs from-scratch
+  // verdicts after every applied update.
+  int ifcRc = 0;
+  if (!opts.ifcPolicyFile.empty()) {
+    core::FlayOptions sideOptions;
+    sideOptions.analysis.analyzeParser = !opts.skipParser;
+    core::FlayService side(checked, sideOptions);
+    core::CheckEngineOptions eopts;
+    eopts.jobs = opts.jobs;
+    eopts.useVerdictCache = opts.verdictCache;
+    eopts.incrementalSat = opts.incrementalSat;
+    side.checkEngine().configure(eopts);
+    auto engine = std::make_shared<ifc::IfcEngine>(
+        side, loadPolicy(opts.ifcPolicyFile, checked));
+    side.attachAnalysis(engine);
+    engine->recheck();
+    size_t checks = 0;
+    for (const auto& u : diff.script()) {
+      try {
+        side.applyUpdate(u);
+      } catch (const std::invalid_argument&) {
+        continue;  // rejected by the replay contract: state unchanged
+      }
+      ++checks;
+      if (engine->recheckFromScratch().render() !=
+          engine->lastReport().render()) {
+        std::fprintf(stderr,
+                     "difftest: IFC INCREMENTAL DRIFT after %zu update(s)\n",
+                     checks);
+        ifcRc = 1;
+        break;
+      }
+    }
+    if (ifcRc == 0) {
+      std::printf("  ifc cross-check: %zu update(s), %zu violation(s), "
+                  "incremental-vs-scratch: consistent\n",
+                  checks, engine->lastReport().violations());
+    }
+  }
+
   if (report.equivalent) {
     std::printf("  equivalent: original and specialized programs agree\n");
-    return 0;
+    return ifcRc;
   }
 
   std::fprintf(stderr, "difftest: NOT EQUIVALENT\n%s\n",
@@ -1203,6 +1383,10 @@ int main(int argc, char** argv) {
       if (opts.deviceName.empty()) argError("--device needs a name");
     } else if (arg == "--spawn") {
       opts.spawnAgents = true;
+    } else if (arg == "--policy") {
+      opts.policyFile = value(&i, arg);
+    } else if (arg == "--ifc-policy") {
+      opts.ifcPolicyFile = value(&i, arg);
     } else if (arg == "--torn-tail") {
       opts.tornTail = true;
     } else if (arg == "--stats") {
@@ -1256,6 +1440,8 @@ int main(int argc, char** argv) {
       rc = cmdBulkload(checked, opts);
     } else if (opts.command == "difftest") {
       rc = cmdDifftest(checked, opts);
+    } else if (opts.command == "ifc") {
+      rc = cmdIfc(checked, opts);
     } else if (opts.command == "crashtest") {
       rc = cmdCrashtest(checked, opts);
     } else if (opts.command == "fleet") {
